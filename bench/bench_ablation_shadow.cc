@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation A1 (google-benchmark): the shadow-memory representation.
+ * The paper stores persistency status in an interval tree keyed by
+ * address ranges (O(log n) updates at operation granularity); the
+ * natural alternative — per-byte shadow state, as binary
+ * instrumentation tools keep — pays for every byte of every store.
+ * This benchmark applies the same synthetic PM-operation stream to
+ * both and reports ns/op as the range size grows.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "core/shadow_memory.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace pmtest;
+using namespace pmtest::core;
+
+/** Synthetic op stream: write/clwb/fence over a working set. */
+struct OpStream
+{
+    struct Op
+    {
+        int kind; // 0 = write, 1 = clwb, 2 = fence
+        uint64_t addr;
+        uint64_t size;
+    };
+
+    std::vector<Op> ops;
+
+    OpStream(size_t n_ops, uint64_t range_size, uint64_t seed)
+    {
+        Rng rng(seed);
+        for (size_t i = 0; i < n_ops; i++) {
+            const uint64_t dice = rng.below(10);
+            const uint64_t addr = rng.below(1 << 20);
+            if (dice < 5) {
+                ops.push_back({0, addr, range_size});
+            } else if (dice < 9) {
+                ops.push_back({1, addr, range_size});
+            } else {
+                ops.push_back({2, 0, 0});
+            }
+        }
+    }
+};
+
+void
+BM_IntervalShadow(benchmark::State &state)
+{
+    const OpStream stream(4096, state.range(0), 42);
+    for (auto _ : state) {
+        ShadowMemory shadow;
+        for (const auto &op : stream.ops) {
+            switch (op.kind) {
+              case 0:
+                shadow.recordWrite(AddrRange(op.addr, op.size));
+                break;
+              case 1:
+                shadow.recordClwb(AddrRange(op.addr, op.size));
+                break;
+              default:
+                shadow.bumpTimestamp();
+                shadow.completePendingFlushes();
+            }
+        }
+        benchmark::DoNotOptimize(shadow.entryCount());
+    }
+    state.SetItemsProcessed(state.iterations() * stream.ops.size());
+}
+
+/** Per-byte baseline: the granularity binary instrumentation pays. */
+void
+BM_ByteShadow(benchmark::State &state)
+{
+    const OpStream stream(4096, state.range(0), 42);
+    for (auto _ : state) {
+        // byte -> (epoch, flushed?)
+        std::unordered_map<uint64_t, std::pair<uint64_t, bool>> shadow;
+        uint64_t epoch = 0;
+        for (const auto &op : stream.ops) {
+            switch (op.kind) {
+              case 0:
+                for (uint64_t a = op.addr; a < op.addr + op.size; a++)
+                    shadow[a] = {epoch, false};
+                break;
+              case 1:
+                for (uint64_t a = op.addr; a < op.addr + op.size;
+                     a++) {
+                    auto it = shadow.find(a);
+                    if (it != shadow.end())
+                        it->second.second = true;
+                }
+                break;
+              default:
+                epoch++;
+            }
+        }
+        benchmark::DoNotOptimize(shadow.size());
+    }
+    state.SetItemsProcessed(state.iterations() * stream.ops.size());
+}
+
+} // namespace
+
+BENCHMARK(BM_IntervalShadow)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_ByteShadow)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+BENCHMARK_MAIN();

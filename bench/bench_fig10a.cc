@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 10a reproduction: slowdown of PMTest and the pmemcheck
+ * stand-in on the five PMDK-style microbenchmarks, sweeping the
+ * transaction size (value bytes) 64–4096. Each run inserts N keys
+ * (one transaction per insertion) and is normalized to the native
+ * (no-tool) time.
+ *
+ * Expected shape (paper): PMTest is several times faster than
+ * pmemcheck across the board (paper: 5.2–8.9x, avg 7.1x), and
+ * PMTest's overhead shrinks as transactions grow because it tracks
+ * PM operations at coarse granularity while pmemcheck pays per byte.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "workloads/microbench.hh"
+
+int
+main()
+{
+    using namespace pmtest;
+    using namespace pmtest::workloads;
+
+    bench::banner("Fig. 10a",
+                  "microbenchmark slowdown: PMTest vs pmemcheck");
+
+    const size_t insertions = 1000 * bench::scale();
+    constexpr int kReps = 3;
+    const std::vector<size_t> tx_sizes = {64,  128,  256, 512,
+                                          1024, 2048, 4096};
+
+    TextTable table;
+    table.header({"structure", "txsize(B)", "native(s)", "pmtest",
+                  "pmemcheck", "pmemcheck/pmtest"});
+
+    Stats pmtest_all, pmemcheck_all, ratio_all;
+    for (pmds::MapKind kind : pmds::kAllMapKinds) {
+        for (size_t tx_size : tx_sizes) {
+            MicrobenchConfig config;
+            config.kind = kind;
+            config.insertions = insertions;
+            config.valueSize = tx_size;
+
+            // Best-of-N to de-noise the sub-second native runs.
+            auto best = [&](Tool tool) {
+                double sec = 1e30;
+                for (int rep = 0; rep < kReps; rep++) {
+                    sec = std::min(sec,
+                                   runMicrobench(config, tool).seconds);
+                }
+                return sec;
+            };
+            const double t_native = best(Tool::Native);
+            const double t_pmtest = best(Tool::PMTest);
+            const double t_pmemcheck = best(Tool::Pmemcheck);
+
+            const double s_pmtest = t_pmtest / t_native;
+            const double s_pmemcheck = t_pmemcheck / t_native;
+            pmtest_all.add(s_pmtest);
+            pmemcheck_all.add(s_pmemcheck);
+            ratio_all.add(s_pmemcheck / s_pmtest);
+
+            table.row({pmds::mapKindName(kind),
+                       std::to_string(tx_size),
+                       fmtDouble(t_native, 4),
+                       bench::fmtSlowdown(s_pmtest),
+                       bench::fmtSlowdown(s_pmemcheck),
+                       fmtDouble(s_pmemcheck / s_pmtest, 2)});
+        }
+    }
+
+    std::printf("%s\n", table.str().c_str());
+    std::printf("PMTest slowdown: avg %s (min %s, max %s)\n",
+                bench::fmtSlowdown(pmtest_all.mean()).c_str(),
+                bench::fmtSlowdown(pmtest_all.min()).c_str(),
+                bench::fmtSlowdown(pmtest_all.max()).c_str());
+    std::printf("pmemcheck slowdown: avg %s (min %s, max %s)\n",
+                bench::fmtSlowdown(pmemcheck_all.mean()).c_str(),
+                bench::fmtSlowdown(pmemcheck_all.min()).c_str(),
+                bench::fmtSlowdown(pmemcheck_all.max()).c_str());
+    std::printf("PMTest speedup over pmemcheck: avg %.2fx "
+                "(paper: 7.1x avg, 5.2-8.9x range)\n",
+                ratio_all.mean());
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fig. 12 reproduction: scalability of PMTest with memcached-lite.
+ *
+ *  (a) more memcached threads on a single engine worker -> slowdown
+ *      grows (one worker falls behind the trace stream);
+ *  (b) four memcached threads, more engine workers -> slowdown
+ *      shrinks;
+ *  (c) scaling both together -> roughly flat, with a slight rise from
+ *      inter-thread communication.
+ */
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "util/timer.hh"
+#include "workloads/clients.hh"
+#include "workloads/memcached_lite.hh"
+
+namespace
+{
+
+using namespace pmtest;
+using namespace pmtest::workloads;
+
+/** Run n_threads clients against one server; returns seconds. */
+double
+runThreaded(size_t n_threads, size_t n_workers, bool under_pmtest,
+            bool ycsb)
+{
+    if (under_pmtest)
+        pmtestInit(Config{.model = core::ModelKind::X86,
+                          .workers = n_workers});
+
+    // Setup (region construction, warm-up) is untimed.
+    mnemosyne::Region region(64 << 20);
+    MemcachedLite server(region);
+    for (uint64_t k = 0; k < 300; k++)
+        server.set("key-" + std::to_string(k), std::string(128, 'w'));
+
+    Timer timer;
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < n_threads; t++) {
+        clients.emplace_back([&, t] {
+            pmtestThreadInit();
+            pmtestStart();
+            ClientConfig config;
+            config.ops = 2000 * bench::scale();
+            config.keySpace = 300;
+            config.valueSize = 128;
+            config.seed = 1000 + t;
+            if (ycsb) {
+                runYcsbClient(server, config);
+            } else {
+                runMemslapClient(server, config);
+            }
+            pmtestSendTrace();
+            pmtestEnd();
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    if (under_pmtest)
+        pmtestGetResult();
+    const double seconds = timer.elapsedSec();
+
+    if (under_pmtest)
+        pmtestExit();
+    return seconds;
+}
+
+double
+slowdown(size_t n_threads, size_t n_workers, bool ycsb)
+{
+    double native = 1e30, tool = 1e30;
+    for (int rep = 0; rep < 3; rep++) {
+        native = std::min(native,
+                          runThreaded(n_threads, 1, false, ycsb));
+        tool = std::min(tool,
+                        runThreaded(n_threads, n_workers, true, ycsb));
+    }
+    return tool / native;
+}
+
+void
+sweep(const char *title,
+      const std::vector<std::pair<size_t, size_t>> &points)
+{
+    std::printf("%s\n", title);
+    TextTable table;
+    table.header({"app-threads", "engine-workers", "memslap", "ycsb"});
+    for (const auto &[threads, workers] : points) {
+        table.row({std::to_string(threads), std::to_string(workers),
+                   pmtest::bench::fmtSlowdown(
+                       slowdown(threads, workers, false)),
+                   pmtest::bench::fmtSlowdown(
+                       slowdown(threads, workers, true))});
+    }
+    std::printf("%s\n", table.str().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 12",
+                  "memcached scalability: app threads vs engine "
+                  "workers");
+
+    sweep("(a) scaling memcached threads, single PMTest worker:",
+          {{1, 1}, {2, 1}, {4, 1}});
+    sweep("(b) four memcached threads, scaling PMTest workers:",
+          {{4, 1}, {4, 2}, {4, 4}});
+    sweep("(c) scaling both together:", {{1, 1}, {2, 2}, {4, 4}});
+
+    std::printf("Expected shape (paper): (a) rises, (b) falls, "
+                "(c) roughly flat with a mild rise.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Table 1 reproduction: the tool landscape. Prints the qualitative
+ * capability matrix and backs the Speed column with measurements:
+ *
+ *  - end-to-end slowdown of the same real workload (redis-lite + LRU
+ *    client) under PMTest and under the pmemcheck stand-in (which
+ *    includes the modelled Valgrind whole-program tax);
+ *  - the Yat-style exhaustive tester on a recorded low-level
+ *    workload, with its per-state replay cost and the state-space
+ *    growth that makes uncapped runs impractical (the paper quotes
+ *    >5 years for ~100k PM operations).
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "baseline/yat.hh"
+#include "bench/bench_util.hh"
+#include "core/api.hh"
+#include "pmds/hashmap_atomic.hh"
+#include "util/timer.hh"
+#include "workloads/clients.hh"
+#include "workloads/tool_harness.hh"
+
+namespace
+{
+
+using namespace pmtest;
+using namespace pmtest::workloads;
+
+/** Record the traces of a small low-level hashmap workload. */
+std::vector<Trace>
+recordWorkload(txlib::ObjPool &pool, size_t ops)
+{
+    std::vector<Trace> traces;
+    pmtestInit(Config{});
+    pmtestSetTraceSink(
+        [&](Trace &&trace) { traces.push_back(std::move(trace)); });
+    pmtestThreadInit();
+    pmtestStart();
+
+    pmds::HashmapAtomic map(pool);
+    std::vector<uint8_t> value(64, 0x2f);
+    for (size_t i = 0; i < ops; i++)
+        map.insert(1 + i * 3, value.data(), value.size());
+
+    pmtestSendTrace();
+    pmtestExit();
+    return traces;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 1", "testing-tool comparison");
+
+    std::printf(
+        "Tool            Speed   Flexibility  Target software   "
+        "Kernel?\n"
+        "Yat             low     low          PMFS              "
+        "yes\n"
+        "Pmemcheck       medium  low          PMDK              "
+        "no\n"
+        "PMTest          high    high         any CCS           "
+        "yes\n\n");
+
+    // --- End-to-end speed on a real workload -----------------------
+    {
+        const StagedWorkload redis = [](bool checkers) {
+            auto pool = std::make_shared<txlib::ObjPool>(32 << 20);
+            auto server =
+                std::make_shared<RedisLite>(*pool, /*capacity=*/200);
+            server->emitCheckers = checkers;
+            return [pool, server] {
+                ClientConfig config;
+                config.ops = 1500 * bench::scale();
+                config.keySpace = 300;
+                config.valueSize = 128;
+                runRedisLruClient(*server, config);
+            };
+        };
+        auto best = [&](Tool tool) {
+            double sec = 1e30;
+            for (int rep = 0; rep < 3; rep++)
+                sec = std::min(sec, runStaged(tool, redis).seconds);
+            return sec;
+        };
+        const double native = best(Tool::Native);
+        const double pmtest = best(Tool::PMTest);
+        const double pmemcheck = best(Tool::Pmemcheck);
+        std::printf("End-to-end, redis-lite + LRU client:\n");
+        std::printf("  PMTest    : %5.2fx slowdown\n",
+                    pmtest / native);
+        std::printf("  Pmemcheck : %5.2fx slowdown (incl. modelled "
+                    "DBI tax)\n\n",
+                    pmemcheck / native);
+    }
+
+    // --- Yat: exhaustive enumeration on a recorded workload --------
+    {
+        txlib::ObjPool pool(2u << 20);
+        const auto traces =
+            recordWorkload(pool, 50 * bench::scale());
+        size_t total_ops = 0;
+        for (const auto &t : traces)
+            total_ops += t.size();
+        std::printf("Yat, recorded low-level workload (%zu traces, "
+                    "%zu PM ops):\n",
+                    traces.size(), total_ops);
+
+        baseline::Yat yat(pool.pmPool());
+        constexpr uint64_t kCap = 16;
+        Timer timer;
+        uint64_t tested = 0, points = 0;
+        const size_t sample = std::min<size_t>(traces.size(), 8);
+        for (size_t i = 0; i < sample; i++) {
+            const auto result = yat.run(
+                traces[i],
+                [](std::vector<uint8_t> &) { return true; }, kCap);
+            tested += result.statesTested;
+            points += result.crashPoints;
+        }
+        const double sec = timer.elapsedSec();
+        std::printf("  %zu/%zu traces, %llu crash points, %llu "
+                    "states (capped at %llu/point): %.2f s — %.1f "
+                    "us/state\n",
+                    sample, traces.size(),
+                    static_cast<unsigned long long>(points),
+                    static_cast<unsigned long long>(tested),
+                    static_cast<unsigned long long>(kCap), sec,
+                    sec * 1e6 / std::max<uint64_t>(tested, 1));
+        std::printf("  Uncapped, each unfenced line doubles the "
+                    "space per crash point; the paper reports >5 "
+                    "years for ~100k PM operations.\n");
+    }
+    return 0;
+}

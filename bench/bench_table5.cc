@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 5 reproduction: the synthetic bug campaign. 42 bugs across
+ * the six classes are injected into the microbenchmark structures,
+ * the Mnemosyne-style library and the mini PMFS; every one must be
+ * detected by the checkers the paper prescribes (18 low-level
+ * checkers for the low-level classes, 2 transaction checker pairs for
+ * the transactional classes).
+ */
+
+#include "bench/bench_util.hh"
+#include "util/timer.hh"
+#include "workloads/bug_injector.hh"
+
+int
+main()
+{
+    using namespace pmtest;
+    using namespace pmtest::workloads;
+
+    bench::banner("Table 5", "synthetic crash-consistency bug campaign");
+
+    Timer timer;
+    const auto cases = buildTable5Campaign();
+    const auto outcome = runCampaign(cases);
+    const double sec = timer.elapsedSec();
+
+    TextTable table;
+    table.header({"bug class", "#cases", "#detected"});
+    const char *order[] = {"ordering",  "writeback", "perf-writeback",
+                           "backup",    "completion", "perf-log"};
+    for (const char *category : order) {
+        const auto it = outcome.byCategory.find(category);
+        if (it == outcome.byCategory.end())
+            continue;
+        table.row({category, std::to_string(it->second.first),
+                   std::to_string(it->second.second)});
+    }
+    table.row({"TOTAL", std::to_string(outcome.total),
+               std::to_string(outcome.detected)});
+    std::printf("%s\n", table.str().c_str());
+
+    if (!outcome.missed.empty()) {
+        std::printf("MISSED cases:\n");
+        for (const auto &id : outcome.missed)
+            std::printf("  %s\n", id.c_str());
+    } else {
+        std::printf("All injected bugs detected "
+                    "(paper: 42/42 detected).\n");
+    }
+    std::printf("Campaign wall time: %.2f s\n", sec);
+    return outcome.missed.empty() ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 6 reproduction: the known (commit-history) and new bugs.
+ * Each case re-creates one of the six real bugs at its faithful code
+ * site — the PMFS xips.c double flush, the files.c unmapped-buffer
+ * flush, the rbtree missing undo log entry, the journal.c redundant
+ * commit flush, and the two btree_map bugs — and checks that PMTest
+ * reports the expected finding kind.
+ */
+
+#include "bench/bench_util.hh"
+#include "workloads/bug_injector.hh"
+
+int
+main()
+{
+    using namespace pmtest;
+    using namespace pmtest::workloads;
+
+    bench::banner("Table 6", "known + new real-bug reproductions");
+
+    const auto cases = buildTable6Campaign();
+
+    TextTable table;
+    table.header({"case", "type", "expected finding", "detected"});
+    size_t detected = 0;
+    for (const auto &bug : cases) {
+        const auto report = bug.run();
+        const bool hit = reportContains(report, bug.expected);
+        detected += hit ? 1 : 0;
+        table.row({bug.id, bug.category,
+                   core::findingKindName(bug.expected),
+                   hit ? "yes" : "NO"});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("%zu/%zu real bugs detected "
+                "(paper: 3 known + 3 new, all detected)\n",
+                detected, cases.size());
+    return detected == cases.size() ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses. Scale
+ * is controlled by the PMTEST_BENCH_SCALE environment variable
+ * (default 1): the defaults keep every binary in the seconds range on
+ * a laptop; raise the scale for larger, more stable numbers.
+ */
+
+#ifndef PMTEST_BENCH_BENCH_UTIL_HH
+#define PMTEST_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/stats.hh"
+
+namespace pmtest::bench
+{
+
+/** Global scale factor from PMTEST_BENCH_SCALE (>= 1). */
+inline size_t
+scale()
+{
+    static const size_t value = [] {
+        const char *env = std::getenv("PMTEST_BENCH_SCALE");
+        if (!env)
+            return size_t{1};
+        const long parsed = std::atol(env);
+        return parsed > 0 ? static_cast<size_t>(parsed) : size_t{1};
+    }();
+    return value;
+}
+
+/** Print a harness banner naming the paper artifact it regenerates. */
+inline void
+banner(const char *artifact, const char *description)
+{
+    std::printf("==============================================="
+                "=============\n");
+    std::printf("%s — %s\n", artifact, description);
+    std::printf("(scale=%zu; set PMTEST_BENCH_SCALE to grow the "
+                "workload)\n",
+                scale());
+    std::printf("==============================================="
+                "=============\n");
+}
+
+/** Format a slowdown as "3.42x". */
+inline std::string
+fmtSlowdown(double factor)
+{
+    return fmtDouble(factor, 2) + "x";
+}
+
+} // namespace pmtest::bench
+
+#endif // PMTEST_BENCH_BENCH_UTIL_HH

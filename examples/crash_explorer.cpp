@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Why interval checking beats crash-state enumeration (paper §2.2 /
+ * Table 1): this example runs the same buggy protocol through
+ *
+ *   (a) the Yat-style exhaustive tester, counting how many crash
+ *       states it must replay, and
+ *   (b) PMTest, which reaches the same verdict from one pass over
+ *       the trace,
+ *
+ * and prints the actual inconsistent crash image the bug can produce.
+ *
+ *   $ ./crash_explorer
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "baseline/yat.hh"
+#include "core/api.hh"
+#include "core/engine.hh"
+#include "util/timer.hh"
+
+int
+main()
+{
+    using namespace pmtest;
+
+    std::printf("== Crash-state explorer: exhaustive vs interval "
+                "checking ==\n\n");
+
+    // A pool holding the classic data/valid pair on separate lines.
+    pmem::PmPool pool(1 << 16);
+    auto *data = static_cast<uint64_t *>(pool.at(pool.alloc(64)));
+    auto *valid = static_cast<uint64_t *>(pool.at(pool.alloc(64)));
+    std::vector<uint8_t> initial(pool.base(),
+                                 pool.base() + pool.size());
+
+    // The buggy protocol: both stores in one epoch.
+    *data = 42;
+    *valid = 1;
+    Trace trace(0, 0);
+    trace.append(PmOp::write(reinterpret_cast<uint64_t>(data), 8));
+    trace.append(PmOp::write(reinterpret_cast<uint64_t>(valid), 8));
+    trace.append(PmOp::clwb(reinterpret_cast<uint64_t>(data), 8));
+    trace.append(PmOp::clwb(reinterpret_cast<uint64_t>(valid), 8));
+    trace.append(PmOp::sfence());
+    trace.append(PmOp::isOrderedBefore(
+        reinterpret_cast<uint64_t>(data), 8,
+        reinterpret_cast<uint64_t>(valid), 8));
+
+    // (a) Exhaustive enumeration.
+    const uint64_t data_off = pool.offsetOf(data);
+    const uint64_t valid_off = pool.offsetOf(valid);
+    std::vector<uint8_t> bad_image;
+    baseline::Yat yat(pool);
+    yat.setInitialImage(initial);
+    Timer yat_timer;
+    const auto yat_result = yat.run(
+        trace, [&](std::vector<uint8_t> &image) {
+            uint64_t d, v;
+            std::memcpy(&d, image.data() + data_off, 8);
+            std::memcpy(&v, image.data() + valid_off, 8);
+            const bool consistent = v == 0 || d == 42;
+            if (!consistent && bad_image.empty())
+                bad_image = image;
+            return consistent;
+        });
+    const double yat_sec = yat_timer.elapsedSec();
+
+    std::printf("Yat-style enumeration: %llu crash points, "
+                "%llu states replayed, %llu inconsistent (%.3f ms)\n",
+                static_cast<unsigned long long>(yat_result.crashPoints),
+                static_cast<unsigned long long>(yat_result.statesTested),
+                static_cast<unsigned long long>(yat_result.failures),
+                yat_sec * 1e3);
+    if (!bad_image.empty()) {
+        uint64_t d, v;
+        std::memcpy(&d, bad_image.data() + data_off, 8);
+        std::memcpy(&v, bad_image.data() + valid_off, 8);
+        std::printf("  an actual bad crash image: data=%llu "
+                    "valid=%llu  <- valid points at stale data\n",
+                    static_cast<unsigned long long>(d),
+                    static_cast<unsigned long long>(v));
+    }
+
+    // (b) PMTest: one pass over the trace.
+    core::Engine engine(core::ModelKind::X86);
+    Timer pmtest_timer;
+    const auto report = engine.check(trace);
+    const double pmtest_sec = pmtest_timer.elapsedSec();
+    std::printf("\nPMTest interval checking: %zu FAIL in one pass "
+                "(%.3f ms)\n",
+                report.failCount(), pmtest_sec * 1e3);
+    for (const auto &finding : report.findings())
+        std::printf("  %s\n", finding.str().c_str());
+
+    std::printf("\nSame verdict; the enumeration cost grows "
+                "exponentially with in-flight lines, the interval "
+                "pass stays linear in the trace.\n");
+    return 0;
+}

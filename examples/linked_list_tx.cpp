@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Testing transactional code with the high-level checkers.
+ *
+ * This is the paper's Fig. 1b: appendList() wraps its update in a
+ * transaction but forgets to back up the list length with TX_ADD.
+ * A single pair of TX_CHECKER_START/TX_CHECKER_END around the
+ * transaction finds it automatically — no low-level annotations.
+ *
+ *   $ ./linked_list_tx
+ */
+
+#include <cstdio>
+
+#include "core/api.hh"
+#include "txlib/obj_pool.hh"
+
+namespace
+{
+
+struct Node
+{
+    uint64_t value;
+    Node *next;
+};
+
+struct List
+{
+    Node *head;
+    uint64_t length;
+};
+
+/** Fig. 1b's appendList. With buggy=true the length TX_ADD is missing. */
+void
+appendList(pmtest::txlib::ObjPool &pool, List *list, uint64_t value,
+           bool buggy)
+{
+    using namespace pmtest;
+
+    PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool, PMTEST_HERE); // TX_BEGIN
+        auto *node = pool.txAlloc<Node>(PMTEST_HERE);
+        Node init{value, list->head};
+        pool.txWrite(node, &init, sizeof(init), PMTEST_HERE);
+
+        pool.txAdd(&list->head, sizeof(list->head), PMTEST_HERE);
+        pool.txAssign(&list->head, node, PMTEST_HERE);
+
+        if (!buggy) {
+            // The backup the Fig. 1b programmer forgot.
+            pool.txAdd(&list->length, sizeof(list->length),
+                       PMTEST_HERE);
+        }
+        pool.txAssign(&list->length, list->length + 1, PMTEST_HERE);
+    } // TX_END
+    PMTEST_TX_CHECKER_END();
+    pmtest::pmtestSendTrace();
+}
+
+void
+runOnce(bool buggy)
+{
+    using namespace pmtest;
+
+    txlib::ObjPool pool(1 << 20);
+    auto *list = pool.root<List>();
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    appendList(pool, list, 7, buggy);
+    appendList(pool, list, 8, buggy);
+
+    pmtestGetResult();
+    const auto report = pmtestResults();
+    std::printf("%s appendList: %zu FAIL, %zu WARN "
+                "(list length now %llu)\n",
+                buggy ? "buggy" : "fixed", report.failCount(),
+                report.warnCount(),
+                static_cast<unsigned long long>(list->length));
+    for (const auto &finding : report.findings())
+        std::printf("  %s\n", finding.str().c_str());
+
+    pmtestEnd();
+    pmtestExit();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== PMTest: Fig. 1b linked list on the "
+                "transactional interface ==\n\n");
+    runOnce(/*buggy=*/true);
+    std::printf("\n");
+    runOnce(/*buggy=*/false);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Record-once / check-offline: capture a program's PM-operation
+ * traces to a file, then later replay them through the checking
+ * engine (or any other tool) without re-running the program. Useful
+ * when the system under test is slow to set up, or when traces come
+ * from another machine.
+ *
+ *   $ ./offline_check
+ */
+
+#include <cstdio>
+
+#include "core/api.hh"
+#include "core/engine.hh"
+#include "trace/trace_io.hh"
+#include "txlib/obj_pool.hh"
+
+namespace
+{
+
+using namespace pmtest;
+
+/** Run a (buggy) workload and capture its traces via the sink. */
+std::vector<Trace>
+recordRun()
+{
+    std::vector<Trace> traces;
+    pmtestInit(Config{});
+    pmtestSetTraceSink(
+        [&](Trace &&trace) { traces.push_back(std::move(trace)); });
+    pmtestThreadInit();
+    pmtestStart();
+
+    txlib::ObjPool pool(1 << 20);
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+    auto *y = static_cast<uint64_t *>(pool.allocRaw(8));
+
+    // Transaction 1: correct.
+    pool.txBegin(PMTEST_HERE);
+    pool.txAdd(x, 8, PMTEST_HERE);
+    pool.txAssign<uint64_t>(x, 1, PMTEST_HERE);
+    pool.txCommit(PMTEST_HERE);
+    pmtestSendTrace();
+
+    // Transaction 2: modifies y without backing it up.
+    pool.txBegin(PMTEST_HERE);
+    pool.txAssign<uint64_t>(y, 2, PMTEST_HERE);
+    pool.txCommit(PMTEST_HERE);
+    pmtestSendTrace();
+
+    pmtestExit();
+    return traces;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== PMTest: offline trace checking ==\n\n");
+
+    // Phase 1: record.
+    const auto traces = recordRun();
+    const std::string path = "/tmp/pmtest_offline_example.trace";
+    if (!saveTracesToFile(path, traces)) {
+        std::printf("failed to write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("recorded %zu traces to %s\n", traces.size(),
+                path.c_str());
+
+    // Phase 2 (possibly days later, possibly elsewhere): check.
+    bool ok = false;
+    const auto loaded = loadTracesFromFile(path, &ok);
+    if (!ok) {
+        std::printf("failed to load traces\n");
+        return 1;
+    }
+
+    core::Engine engine(core::ModelKind::X86);
+    core::Report merged;
+    for (const auto &trace : loaded.traces)
+        merged.merge(engine.check(trace));
+
+    std::printf("offline check: %zu FAIL, %zu WARN\n",
+                merged.failCount(), merged.warnCount());
+    std::printf("%s", merged.summaryStr().c_str());
+
+    std::remove(path.c_str());
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Quickstart: testing a low-level crash-consistency protocol with the
+ * two fundamental checkers.
+ *
+ * This is the paper's Fig. 1a scenario: an undo-logging array update
+ * that misses two persist barriers. We run the buggy version and the
+ * fixed version under PMTest and print what the checkers report.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "core/api.hh"
+
+namespace
+{
+
+struct Backup
+{
+    alignas(64) uint64_t val = 0;
+    alignas(64) uint64_t valid = 0;
+};
+
+alignas(64) uint64_t g_array[16];
+Backup g_backup;
+
+/**
+ * Crash-consistent array update via undo logging. With buggy=true the
+ * two persist barriers of Fig. 1a are omitted.
+ */
+void
+arrayUpdate(int index, uint64_t new_val, bool buggy)
+{
+    using namespace pmtest;
+
+    // backup.val = array[index]
+    pmAssign(&g_backup.val, g_array[index], PMTEST_HERE);
+    if (!buggy) {
+        PMTEST_CLWB(&g_backup.val, sizeof(g_backup.val));
+        PMTEST_SFENCE(); // missing in the buggy version
+    }
+    // backup.valid = true
+    pmAssign<uint64_t>(&g_backup.valid, 1, PMTEST_HERE);
+    PMTEST_CLWB(&g_backup.valid, sizeof(g_backup.valid));
+    PMTEST_SFENCE();
+
+    // The assertion a developer writes: the saved value must persist
+    // no later than the flag that declares it valid.
+    PMTEST_IS_ORDERED_BEFORE(&g_backup.val, sizeof(g_backup.val),
+                             &g_backup.valid, sizeof(g_backup.valid));
+
+    // array[index] = new_val
+    pmAssign(&g_array[index], new_val, PMTEST_HERE);
+    if (!buggy) {
+        PMTEST_CLWB(&g_array[index], sizeof(uint64_t));
+        PMTEST_SFENCE(); // the other missing barrier
+    }
+    // backup.valid = false
+    pmAssign<uint64_t>(&g_backup.valid, 0, PMTEST_HERE);
+    PMTEST_CLWB(&g_backup.valid, sizeof(g_backup.valid));
+    PMTEST_SFENCE();
+
+    PMTEST_IS_ORDERED_BEFORE(&g_array[index], sizeof(uint64_t),
+                             &g_backup.valid, sizeof(g_backup.valid));
+    PMTEST_IS_PERSIST(&g_backup.valid, sizeof(g_backup.valid));
+}
+
+void
+runOnce(bool buggy)
+{
+    using namespace pmtest;
+
+    pmtestInit(Config{});    // PMTest_INIT
+    pmtestThreadInit();      // PMTest_THREAD_INIT
+    pmtestStart();           // PMTest_START
+
+    arrayUpdate(2, 42, buggy);
+
+    pmtestSendTrace();       // PMTest_SEND_TRACE
+    pmtestGetResult();       // PMTest_GET_RESULT
+
+    const auto report = pmtestResults();
+    std::printf("%s version: %zu FAIL, %zu WARN\n",
+                buggy ? "buggy" : "fixed", report.failCount(),
+                report.warnCount());
+    for (const auto &finding : report.findings())
+        std::printf("  %s\n", finding.str().c_str());
+
+    pmtestEnd();             // PMTest_END
+    pmtestExit();            // PMTest_EXIT
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== PMTest quickstart: Fig. 1a array update ==\n\n");
+    runOnce(/*buggy=*/true);
+    std::printf("\n");
+    runOnce(/*buggy=*/false);
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Pmemcheck stand-in: a store-granular, synchronous persistence
+ * checker, structurally modelled on the Valgrind tool the paper
+ * compares against (§6.2.1). Two properties make it slow relative to
+ * PMTest, and both are reproduced here:
+ *
+ *  1. granularity — state is tracked per 8-byte *word* of every
+ *     store (the binary-instrumentation analogue: Valgrind sees the
+ *     program's individual store instructions), not per coarse
+ *     range;
+ *  2. coupling — every trace is processed synchronously on the
+ *     application thread (install via pmtestSetTraceSink), whereas
+ *     PMTest's engine runs decoupled on workers.
+ *
+ * Checking semantics mirror pmemcheck's: stores to PM must be flushed
+ * and fenced before the region of interest ends; flushing a clean
+ * byte and double-flushing are reported like pmemcheck's
+ * "redundant flush" diagnostics.
+ */
+
+#ifndef PMTEST_BASELINE_PMEMCHECK_HH
+#define PMTEST_BASELINE_PMEMCHECK_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/report.hh"
+#include "trace/trace.hh"
+
+namespace pmtest::baseline
+{
+
+/**
+ * @{ Dynamic-binary-instrumentation cost model. The real pmemcheck
+ * runs the whole program under Valgrind, which slows *every*
+ * instruction by roughly an order of magnitude — that, not the PM-op
+ * analysis, dominates its 20x-class slowdowns on real workloads.
+ * While the pmemcheck tool is active the harness sets this flag, and
+ * workload code multiplies its non-PM compute by dbiSlowdownFactor()
+ * to model the tax.
+ */
+void setDbiActive(bool active);
+bool dbiActive();
+constexpr size_t dbiSlowdownFactor() { return 15; }
+/** @} */
+
+/** The pmemcheck-like synchronous checker. */
+class Pmemcheck
+{
+  public:
+    /** Process one trace synchronously (call from the trace sink). */
+    void onTrace(const Trace &trace);
+
+    /**
+     * Finish the analysis: every byte still dirty (stored but not
+     * flushed+fenced) becomes a "store not made persistent" finding.
+     */
+    core::Report finish();
+
+    /** Findings collected so far (without the end-of-run sweep). */
+    const core::Report &report() const { return report_; }
+
+    /** Total ops processed. */
+    uint64_t opsProcessed() const { return opsProcessed_; }
+
+  private:
+    /** Per-word store state (the Valgrind shadow-memory analogue). */
+    enum class ByteState : uint8_t
+    {
+        Dirty,       ///< stored, no flush yet
+        Flushing,    ///< flush issued, fence outstanding
+        Clean,       ///< flushed and fenced
+    };
+
+    struct ByteInfo
+    {
+        ByteState state = ByteState::Dirty;
+        SourceLocation storeLoc{};
+    };
+
+    void handleOp(const PmOp &op, size_t index, uint64_t trace_id);
+
+    /** Shadow state keyed by word index (addr >> 3). */
+    std::unordered_map<uint64_t, ByteInfo> shadow_;
+    /** Words with an issued-but-unfenced flush (drained at sfence). */
+    std::vector<uint64_t> flushing_;
+
+    static uint64_t firstWord(uint64_t addr) { return addr >> 3; }
+    static uint64_t lastWord(uint64_t addr, uint64_t size)
+    {
+        return (addr + (size ? size - 1 : 0)) >> 3;
+    }
+    core::Report report_;
+    uint64_t opsProcessed_ = 0;
+};
+
+} // namespace pmtest::baseline
+
+#endif // PMTEST_BASELINE_PMEMCHECK_HH

@@ -1,0 +1,90 @@
+#include "baseline/yat.hh"
+
+#include "pmem/cache_sim.hh"
+#include "pmem/crash_injector.hh"
+#include "pmem/pm_device.hh"
+
+namespace pmtest::baseline
+{
+
+Yat::Result
+Yat::run(const Trace &trace, const Predicate &predicate,
+         uint64_t per_point_cap)
+{
+    return runImpl(trace, predicate, per_point_cap, true);
+}
+
+Yat::Result
+Yat::runFinal(const Trace &trace, const Predicate &predicate,
+              uint64_t per_point_cap)
+{
+    return runImpl(trace, predicate, per_point_cap, false);
+}
+
+Yat::Result
+Yat::runImpl(const Trace &trace, const Predicate &predicate,
+             uint64_t per_point_cap, bool every_point)
+{
+    Result result;
+
+    // Replay into a private device/cache pair seeded with the
+    // initial image (the pool's current content unless the caller
+    // supplied a pre-execution snapshot) — the trace then perturbs it.
+    pmem::PmDevice device(pool_.size());
+    device.setImage(initialImage_.empty()
+                        ? std::vector<uint8_t>(pool_.base(),
+                                               pool_.base() +
+                                                   pool_.size())
+                        : initialImage_);
+    pmem::CacheSim cache(device, true);
+
+    auto test_point = [&] {
+        pmem::CrashInjector injector(cache);
+        const uint64_t visited = injector.enumerate(
+            [&](const std::vector<uint8_t> &image) {
+                std::vector<uint8_t> copy = image;
+                if (!predicate(copy))
+                    result.failures++;
+                result.statesTested++;
+            },
+            per_point_cap);
+        if (visited >= per_point_cap)
+            result.truncated = true;
+        result.crashPoints++;
+    };
+
+    const auto &ops = trace.ops();
+    for (const auto &op : ops) {
+        switch (op.type) {
+          case OpType::Write: {
+            // The trace records the *new* content's address; replay
+            // copies the bytes the program actually wrote, which at
+            // replay time still live at that address.
+            const void *data =
+                reinterpret_cast<const void *>(op.addr);
+            cache.store(pool_.offsetOf(data), data, op.size);
+            break;
+          }
+          case OpType::Clwb:
+          case OpType::ClflushOpt:
+          case OpType::Clflush:
+            cache.clwb(pool_.offsetOf(
+                           reinterpret_cast<const void *>(op.addr)),
+                       op.size);
+            break;
+          case OpType::Sfence:
+          case OpType::Dfence:
+            cache.sfence();
+            break;
+          default:
+            break; // checkers/TX events do not affect the medium
+        }
+        if (every_point)
+            test_point();
+    }
+    if (!every_point)
+        test_point();
+    return result;
+}
+
+} // namespace pmtest::baseline

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Yat stand-in: the exhaustive crash-state tester (paper §2.2,
+ * Table 1). Yat replays a trace of PM operations and, at chosen crash
+ * points, enumerates every legal combination of in-flight writes
+ * reaching the medium, then runs the software's recovery + checker on
+ * each resulting image. Exact, but exponential — the paper quotes
+ * five years for a 100k-operation trace; here it is both the Table 1
+ * "slow" comparator and the ground-truth oracle for property tests
+ * that validate PMTest's interval verdicts on small traces.
+ */
+
+#ifndef PMTEST_BASELINE_YAT_HH
+#define PMTEST_BASELINE_YAT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pmem/pm_pool.hh"
+#include "trace/trace.hh"
+
+namespace pmtest::baseline
+{
+
+/** The exhaustive crash-state tester. */
+class Yat
+{
+  public:
+    /**
+     * Recovery predicate: given a crash image, run recovery and
+     * return true when the recovered state is consistent.
+     */
+    using Predicate =
+        std::function<bool(std::vector<uint8_t> &image)>;
+
+    /** Aggregate result of one exhaustive run. */
+    struct Result
+    {
+        uint64_t crashPoints = 0;  ///< op boundaries tested
+        uint64_t statesTested = 0; ///< crash images replayed
+        uint64_t failures = 0;     ///< images whose recovery failed
+        bool truncated = false;    ///< a per-point cap was hit
+    };
+
+    /**
+     * @param pool the live pool the trace's addresses point into
+     *        (used to translate host addresses to device offsets)
+     */
+    explicit Yat(pmem::PmPool &pool) : pool_(pool) {}
+
+    /**
+     * Set the durable image the replay starts from. Defaults to the
+     * pool's current content; tests that execute the program before
+     * replaying its trace pass the pre-execution snapshot here so
+     * "old" values are reconstructed faithfully.
+     */
+    void
+    setInitialImage(std::vector<uint8_t> image)
+    {
+        initialImage_ = std::move(image);
+    }
+
+    /**
+     * Replay @p trace op by op against a fresh device/cache pair; at
+     * every op boundary enumerate crash images (up to
+     * @p per_point_cap) and run @p predicate on each.
+     *
+     * Trace records carry addresses, not data, so replay reads the
+     * written bytes from live memory at replay time. The replay is
+     * exact when each location is written at most once in the trace
+     * (how the ground-truth property tests use it); for repeated
+     * writes, use the pmtestAttachPool() mirroring path instead,
+     * which captures data at execution time.
+     */
+    Result run(const Trace &trace, const Predicate &predicate,
+               uint64_t per_point_cap = UINT64_MAX);
+
+    /**
+     * Like run(), but only tests the final state (the single crash
+     * point at the end of the trace). Used by property tests that
+     * compare against a single PMTest checker placed at the end.
+     */
+    Result runFinal(const Trace &trace, const Predicate &predicate,
+                    uint64_t per_point_cap = UINT64_MAX);
+
+  private:
+    Result runImpl(const Trace &trace, const Predicate &predicate,
+                   uint64_t per_point_cap, bool every_point);
+
+    pmem::PmPool &pool_;
+    std::vector<uint8_t> initialImage_;
+};
+
+} // namespace pmtest::baseline
+
+#endif // PMTEST_BASELINE_YAT_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The ARMv8.2 persistency model (paper §2.1: "ARM implements the
+ * DC CVAP instruction that writes back data to the persistence").
+ * Structurally the strict model of x86 with different primitives:
+ * `DC CVAP` cleans a range to the point of persistence (like clwb),
+ * and `DSB` orders and completes outstanding cleans (like sfence).
+ * Added as the third built-in model to exercise the §5.2 extension
+ * seam beyond the two models the paper ships.
+ */
+
+#ifndef PMTEST_CORE_ARM_MODEL_HH
+#define PMTEST_CORE_ARM_MODEL_HH
+
+#include "core/persistency_model.hh"
+
+namespace pmtest::core
+{
+
+/** Checking rules for the ARMv8.2 persistency model. */
+class ArmModel : public PersistencyModel
+{
+  public:
+    const char *name() const override { return "arm"; }
+
+    void apply(const PmOp &op, ShadowMemory &shadow, Report &report,
+               size_t op_index) override;
+
+    bool checkOrderedBefore(const AddrRange &a, const AddrRange &b,
+                            const ShadowMemory &shadow,
+                            std::string *why) const override;
+};
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_ARM_MODEL_HH

@@ -1,0 +1,266 @@
+#include "core/engine.hh"
+
+#include "util/logging.hh"
+
+namespace pmtest::core
+{
+
+Engine::Engine(ModelKind kind) : model_(makeModel(kind))
+{
+    if (!model_)
+        fatal("Engine: unknown persistency model");
+}
+
+Report
+Engine::check(const Trace &trace)
+{
+    Report report(trace.id());
+    TraceState state;
+
+    const auto &ops = trace.ops();
+    for (size_t i = 0; i < ops.size(); i++) {
+        handleOp(ops[i], i, state, report);
+        opsProcessed_++;
+    }
+
+    if (state.txDepth > 0) {
+        Finding f;
+        f.severity = Severity::Fail;
+        f.kind = FindingKind::UnmatchedTx;
+        f.message = "trace ends with " + std::to_string(state.txDepth) +
+                    " unterminated transaction(s)";
+        f.traceId = trace.id();
+        f.opIndex = ops.size();
+        report.add(std::move(f));
+    }
+
+    tracesChecked_++;
+    return report;
+}
+
+bool
+Engine::excluded(const TraceState &state, const AddrRange &range)
+{
+    return state.exclusions.covers(range);
+}
+
+void
+Engine::handleOp(const PmOp &op, size_t index, TraceState &state,
+                 Report &report)
+{
+    switch (op.type) {
+      case OpType::Exclude:
+        state.exclusions.assign(AddrRange(op.addr, op.size), true);
+        return;
+      case OpType::Include:
+        state.exclusions.erase(AddrRange(op.addr, op.size));
+        return;
+
+      case OpType::TxBegin:
+      case OpType::TxEnd:
+      case OpType::TxAdd:
+        handleTxEvent(op, index, state, report);
+        return;
+
+      case OpType::CheckIsPersist:
+      case OpType::CheckIsOrderedBefore:
+      case OpType::TxCheckStart:
+      case OpType::TxCheckEnd:
+        handleChecker(op, index, state, report);
+        return;
+
+      default:
+        break;
+    }
+
+    // Hardware PM operation. Skip ranges removed from the testing
+    // scope; fences always apply (they have no range).
+    const AddrRange range(op.addr, op.size);
+    const bool ranged = op.type == OpType::Write ||
+                        op.type == OpType::Clwb ||
+                        op.type == OpType::ClflushOpt ||
+                        op.type == OpType::Clflush;
+    if (ranged && excluded(state, range))
+        return;
+
+    if (op.type == OpType::Write) {
+        // Transaction-aware rule (§5.1.1): inside a transaction, a
+        // modified persistent object must have been backed up first.
+        if (state.txDepth > 0 && !state.logTree.covers(range)) {
+            Finding f;
+            f.severity = Severity::Fail;
+            f.kind = FindingKind::MissingLog;
+            f.message = "write to " + range.str() +
+                        " inside a transaction without a log backup "
+                        "(missing TX_ADD)";
+            f.loc = op.loc;
+            f.opIndex = index;
+            report.add(std::move(f));
+        }
+        if (state.txCheckActive)
+            state.txWrites.emplace_back(range, op.loc);
+    }
+
+    model_->apply(op, state.shadow, report, index);
+}
+
+void
+Engine::handleTxEvent(const PmOp &op, size_t index, TraceState &state,
+                      Report &report)
+{
+    switch (op.type) {
+      case OpType::TxBegin:
+        state.txDepth++;
+        return;
+
+      case OpType::TxEnd:
+        if (state.txDepth == 0) {
+            Finding f;
+            f.severity = Severity::Fail;
+            f.kind = FindingKind::Malformed;
+            f.message = "TX_END without a matching TX_BEGIN";
+            f.loc = op.loc;
+            f.opIndex = index;
+            report.add(std::move(f));
+            return;
+        }
+        state.txDepth--;
+        if (state.txDepth == 0) {
+            // Outermost commit: undo log entries are retired.
+            state.logTree.clear();
+        }
+        return;
+
+      case OpType::TxAdd: {
+        const AddrRange range(op.addr, op.size);
+        if (excluded(state, range))
+            return;
+        if (state.txDepth == 0) {
+            Finding f;
+            f.severity = Severity::Fail;
+            f.kind = FindingKind::Malformed;
+            f.message = "TX_ADD of " + range.str() +
+                        " outside any transaction";
+            f.loc = op.loc;
+            f.opIndex = index;
+            report.add(std::move(f));
+            return;
+        }
+        if (state.logTree.covers(range)) {
+            // §5.1.2: logging the same object twice is a performance
+            // bug — the second snapshot is pure overhead.
+            Finding f;
+            f.severity = Severity::Warn;
+            f.kind = FindingKind::DuplicateLog;
+            f.message = "object " + range.str() +
+                        " is already in the undo log of this "
+                        "transaction";
+            f.loc = op.loc;
+            f.opIndex = index;
+            report.add(std::move(f));
+        }
+        state.logTree.insert(range, op.loc);
+        return;
+      }
+
+      default:
+        panic("handleTxEvent: unexpected op");
+    }
+}
+
+void
+Engine::handleChecker(const PmOp &op, size_t index, TraceState &state,
+                      Report &report)
+{
+    switch (op.type) {
+      case OpType::CheckIsPersist: {
+        const AddrRange range(op.addr, op.size);
+        if (excluded(state, range))
+            return;
+        std::string why;
+        if (!model_->checkPersisted(range, state.shadow, &why)) {
+            Finding f;
+            f.severity = Severity::Fail;
+            f.kind = FindingKind::NotPersisted;
+            f.message = why;
+            f.loc = op.loc;
+            f.opIndex = index;
+            report.add(std::move(f));
+        }
+        return;
+      }
+
+      case OpType::CheckIsOrderedBefore: {
+        const AddrRange a(op.addr, op.size);
+        const AddrRange b(op.addrB, op.sizeB);
+        if (excluded(state, a) || excluded(state, b))
+            return;
+        std::string why;
+        if (!model_->checkOrderedBefore(a, b, state.shadow, &why)) {
+            Finding f;
+            f.severity = Severity::Fail;
+            f.kind = FindingKind::NotOrdered;
+            f.message = why;
+            f.loc = op.loc;
+            f.opIndex = index;
+            report.add(std::move(f));
+        }
+        return;
+      }
+
+      case OpType::TxCheckStart:
+        state.txCheckActive = true;
+        state.txWrites.clear();
+        return;
+
+      case OpType::TxCheckEnd: {
+        if (!state.txCheckActive) {
+            Finding f;
+            f.severity = Severity::Fail;
+            f.kind = FindingKind::Malformed;
+            f.message = "TX_CHECKER_END without TX_CHECKER_START";
+            f.loc = op.loc;
+            f.opIndex = index;
+            report.add(std::move(f));
+            return;
+        }
+        state.txCheckActive = false;
+
+        if (state.txDepth > 0) {
+            Finding f;
+            f.severity = Severity::Fail;
+            f.kind = FindingKind::UnmatchedTx;
+            f.message = "transaction still open at TX_CHECKER_END";
+            f.loc = op.loc;
+            f.opIndex = index;
+            report.add(std::move(f));
+        }
+
+        // Auto-injected isPersist for every object modified inside the
+        // checked region (§5.1.1, "check incomplete transactions").
+        for (const auto &[range, write_loc] : state.txWrites) {
+            if (excluded(state, range))
+                continue;
+            std::string why;
+            if (!model_->checkPersisted(range, state.shadow, &why)) {
+                Finding f;
+                f.severity = Severity::Fail;
+                f.kind = FindingKind::IncompleteTx;
+                f.message = "update not persisted when the transaction "
+                            "ended: " +
+                            why + " (write at " + write_loc.str() + ")";
+                f.loc = op.loc;
+                f.opIndex = index;
+                report.add(std::move(f));
+            }
+        }
+        state.txWrites.clear();
+        return;
+      }
+
+      default:
+        panic("handleChecker: unexpected op");
+    }
+}
+
+} // namespace pmtest::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The checking engine (paper §4.4): sequentially iterates a trace,
+ * updating shadow-memory persistency status for PM operations and
+ * validating checker entries against it. On top of the low-level
+ * rules it implements the transaction-aware high-level checkers
+ * (§5.1): missing-backup detection via a log tree, incomplete-
+ * transaction detection via auto-injected isPersist, and the
+ * duplicate-log performance checker.
+ */
+
+#ifndef PMTEST_CORE_ENGINE_HH
+#define PMTEST_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/interval_tree.hh"
+#include "core/persistency_model.hh"
+#include "core/report.hh"
+#include "core/shadow_memory.hh"
+#include "trace/trace.hh"
+
+namespace pmtest::core
+{
+
+/**
+ * Checks traces against a persistency model. Engines are cheap; each
+ * worker thread owns one. check() is stateless across traces — every
+ * trace gets fresh shadow memory, matching the paper's independence
+ * of traces.
+ */
+class Engine
+{
+  public:
+    explicit Engine(ModelKind kind);
+
+    /** Check one trace and produce its report. */
+    Report check(const Trace &trace);
+
+    /** Total PM operations processed across all checked traces. */
+    uint64_t opsProcessed() const { return opsProcessed_; }
+
+    /** Total traces checked. */
+    uint64_t tracesChecked() const { return tracesChecked_; }
+
+    /** The model in use. */
+    const PersistencyModel &model() const { return *model_; }
+
+  private:
+    /** Per-trace checking state. */
+    struct TraceState
+    {
+        ShadowMemory shadow;
+        /** Ranges removed from the testing scope. */
+        IntervalMap<bool> exclusions;
+        /** Current transaction nesting depth. */
+        int txDepth = 0;
+        /** Log tree: ranges backed up via TX_ADD in the open TX. */
+        IntervalTree<SourceLocation> logTree;
+        /** Whether a TX_CHECKER region is active. */
+        bool txCheckActive = false;
+        /** Writes observed inside the active TX_CHECKER region. */
+        std::vector<std::pair<AddrRange, SourceLocation>> txWrites;
+    };
+
+    void handleOp(const PmOp &op, size_t index, TraceState &state,
+                  Report &report);
+    void handleChecker(const PmOp &op, size_t index, TraceState &state,
+                       Report &report);
+    void handleTxEvent(const PmOp &op, size_t index, TraceState &state,
+                       Report &report);
+
+    /** Whether the op's primary range is fully excluded from testing. */
+    static bool excluded(const TraceState &state, const AddrRange &range);
+
+    std::unique_ptr<PersistencyModel> model_;
+    uint64_t opsProcessed_ = 0;
+    uint64_t tracesChecked_ = 0;
+};
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_ENGINE_HH

@@ -1,0 +1,131 @@
+#include "core/engine_pool.hh"
+
+namespace pmtest::core
+{
+
+EnginePool::EnginePool(ModelKind kind, size_t workers) : kind_(kind)
+{
+    if (workers == 0) {
+        inlineEngine_ = std::make_unique<Engine>(kind);
+        return;
+    }
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; i++) {
+        auto w = std::make_unique<Worker>();
+        w->engine = std::make_unique<Engine>(kind);
+        workers_.push_back(std::move(w));
+    }
+    for (auto &w : workers_) {
+        Worker *raw = w.get();
+        raw->thread = std::thread([this, raw] { workerLoop(*raw); });
+    }
+}
+
+EnginePool::~EnginePool()
+{
+    for (auto &w : workers_)
+        w->queue.close();
+    for (auto &w : workers_) {
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+}
+
+void
+EnginePool::workerLoop(Worker &worker)
+{
+    while (auto trace = worker.queue.pop()) {
+        Report report = worker.engine->check(*trace);
+        worker.opsProcessed.store(worker.engine->opsProcessed(),
+                                  std::memory_order_relaxed);
+        worker.tracesChecked.store(worker.engine->tracesChecked(),
+                                   std::memory_order_relaxed);
+        recordResult(std::move(report));
+    }
+}
+
+void
+EnginePool::recordResult(Report report)
+{
+    {
+        std::lock_guard<std::mutex> lock(resultMutex_);
+        aggregate_.merge(report);
+        completed_++;
+    }
+    drainCv_.notify_all();
+}
+
+void
+EnginePool::submit(Trace trace)
+{
+    {
+        std::lock_guard<std::mutex> lock(resultMutex_);
+        submitted_++;
+    }
+
+    if (workers_.empty()) {
+        // Inline (coupled) mode: check on the calling thread.
+        Report report;
+        {
+            std::lock_guard<std::mutex> lock(submitMutex_);
+            report = inlineEngine_->check(trace);
+        }
+        recordResult(std::move(report));
+        return;
+    }
+
+    size_t target;
+    {
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        target = nextWorker_;
+        nextWorker_ = (nextWorker_ + 1) % workers_.size();
+    }
+    workers_[target]->queue.push(std::move(trace));
+}
+
+void
+EnginePool::drain()
+{
+    std::unique_lock<std::mutex> lock(resultMutex_);
+    drainCv_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+Report
+EnginePool::results()
+{
+    drain();
+    std::lock_guard<std::mutex> lock(resultMutex_);
+    return aggregate_;
+}
+
+void
+EnginePool::clearResults()
+{
+    drain();
+    std::lock_guard<std::mutex> lock(resultMutex_);
+    aggregate_ = Report();
+}
+
+uint64_t
+EnginePool::tracesChecked() const
+{
+    if (workers_.empty())
+        return inlineEngine_->tracesChecked();
+    uint64_t total = 0;
+    for (const auto &w : workers_)
+        total += w->tracesChecked.load(std::memory_order_relaxed);
+    return total;
+}
+
+uint64_t
+EnginePool::opsProcessed() const
+{
+    if (workers_.empty())
+        return inlineEngine_->opsProcessed();
+    uint64_t total = 0;
+    for (const auto &w : workers_)
+        total += w->opsProcessed.load(std::memory_order_relaxed);
+    return total;
+}
+
+} // namespace pmtest::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The multithreaded checking mechanism (paper §4.4, Fig. 8): traces
+ * sealed by the program under test are dispatched round-robin to a
+ * pool of worker threads, each running its own Engine; results flow
+ * back to a shared result collector. PMTest_GET_RESULT() maps to
+ * drain(). A zero-worker pool checks traces inline on the caller —
+ * the configuration used by the decoupling ablation.
+ */
+
+#ifndef PMTEST_CORE_ENGINE_POOL_HH
+#define PMTEST_CORE_ENGINE_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hh"
+#include "trace/concurrent_queue.hh"
+
+namespace pmtest::core
+{
+
+/** Dispatches traces to engine workers and aggregates reports. */
+class EnginePool
+{
+  public:
+    /**
+     * @param kind persistency model all engines use
+     * @param workers number of worker threads; 0 = inline checking
+     */
+    EnginePool(ModelKind kind, size_t workers);
+
+    /** Stops workers; pending traces are drained first. */
+    ~EnginePool();
+
+    EnginePool(const EnginePool &) = delete;
+    EnginePool &operator=(const EnginePool &) = delete;
+
+    /**
+     * Submit one trace for checking (PMTest_SEND_TRACE). Round-robin
+     * across workers; checks inline when the pool has no workers.
+     */
+    void submit(Trace trace);
+
+    /**
+     * Block until every submitted trace has been checked
+     * (PMTest_GET_RESULT).
+     */
+    void drain();
+
+    /**
+     * Merged findings of all traces checked so far. Implies drain().
+     */
+    Report results();
+
+    /** Drop accumulated findings (between test phases). */
+    void clearResults();
+
+    /** Number of worker threads (0 = inline mode). */
+    size_t workerCount() const { return workers_.size(); }
+
+    /** Total traces checked so far. */
+    uint64_t tracesChecked() const;
+
+    /** Total PM operations processed so far. */
+    uint64_t opsProcessed() const;
+
+  private:
+    struct Worker
+    {
+        std::unique_ptr<Engine> engine;
+        ConcurrentQueue<Trace> queue;
+        std::thread thread;
+        std::atomic<uint64_t> opsProcessed{0};
+        std::atomic<uint64_t> tracesChecked{0};
+    };
+
+    void workerLoop(Worker &worker);
+    void recordResult(Report report);
+
+    ModelKind kind_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::unique_ptr<Engine> inlineEngine_; ///< used when workers_ empty
+    size_t nextWorker_ = 0;
+    std::mutex submitMutex_; ///< guards nextWorker_ and inline engine
+
+    std::mutex resultMutex_;
+    std::condition_variable drainCv_;
+    Report aggregate_;
+    uint64_t submitted_ = 0; ///< guarded by resultMutex_
+    uint64_t completed_ = 0; ///< guarded by resultMutex_
+};
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_ENGINE_POOL_HH

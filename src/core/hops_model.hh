@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The HOPS persistency model (paper §5.2): the lightweight ofence
+ * orders writes without forcing them to PM; the heavier dfence both
+ * orders and persists. There are no flush intervals — HOPS hardware
+ * tracks writebacks itself.
+ */
+
+#ifndef PMTEST_CORE_HOPS_MODEL_HH
+#define PMTEST_CORE_HOPS_MODEL_HH
+
+#include "core/persistency_model.hh"
+
+namespace pmtest::core
+{
+
+/** Checking rules for the HOPS relaxed persistency model. */
+class HopsModel : public PersistencyModel
+{
+  public:
+    const char *name() const override { return "hops"; }
+
+    void apply(const PmOp &op, ShadowMemory &shadow, Report &report,
+               size_t op_index) override;
+
+    bool checkOrderedBefore(const AddrRange &a, const AddrRange &b,
+                            const ShadowMemory &shadow,
+                            std::string *why) const override;
+};
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_HOPS_MODEL_HH

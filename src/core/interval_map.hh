@@ -1,0 +1,214 @@
+/**
+ * @file
+ * IntervalMap: an ordered map from disjoint address ranges to values,
+ * with range assignment, range erase and overlap iteration — the
+ * shadow-memory container (paper §4.4: "it maintains the shadow memory
+ * as an interval tree ... update and lookup have complexity
+ * O(log n)"). Assigning over existing ranges splits them so that the
+ * untouched parts keep their old values.
+ */
+
+#ifndef PMTEST_CORE_INTERVAL_MAP_HH
+#define PMTEST_CORE_INTERVAL_MAP_HH
+
+#include <cstdint>
+#include <map>
+
+#include "core/interval.hh"
+
+namespace pmtest::core
+{
+
+/**
+ * Map from disjoint half-open ranges [start, end) to values of type V.
+ *
+ * Backed by std::map keyed by range start; all mutating operations
+ * keep the invariant that stored ranges never overlap. Adjacent equal
+ * values are not merged automatically (callers never rely on merging,
+ * and splitting history can be useful when debugging).
+ */
+template <typename V>
+class IntervalMap
+{
+  public:
+    /** One stored entry: [start, end) -> value. */
+    struct Entry
+    {
+        uint64_t start;
+        uint64_t end;
+        V value;
+    };
+
+    /** Assign @p value to [range.addr, range.end()). */
+    void
+    assign(const AddrRange &range, V value)
+    {
+        if (range.empty())
+            return;
+        carve(range);
+        map_[range.addr] = Slot{range.end(), std::move(value)};
+    }
+
+    /** Remove any values within the range. */
+    void
+    erase(const AddrRange &range)
+    {
+        if (range.empty())
+            return;
+        carve(range);
+    }
+
+    /** Remove everything. */
+    void clear() { map_.clear(); }
+
+    /**
+     * Invoke @p fn for every stored entry overlapping @p range, in
+     * address order. The entry passed is clipped to the overlap.
+     * Templated on the callable: this is the engine's hottest path.
+     */
+    template <typename Fn>
+    void
+    forEachOverlap(const AddrRange &range, Fn &&fn) const
+    {
+        if (range.empty())
+            return;
+        auto it = firstOverlap(range);
+        for (; it != map_.end() && it->first < range.end(); ++it) {
+            Entry e;
+            e.start = std::max(it->first, range.addr);
+            e.end = std::min(it->second.end, range.end());
+            e.value = it->second.value;
+            fn(e);
+        }
+    }
+
+    /**
+     * Mutable overlap iteration: @p fn receives the value by reference
+     * (the entry bounds are the stored, unclipped bounds).
+     */
+    template <typename Fn>
+    void
+    forEachOverlapMut(const AddrRange &range, Fn &&fn)
+    {
+        if (range.empty())
+            return;
+        auto it = firstOverlapMut(range);
+        for (; it != map_.end() && it->first < range.end(); ++it)
+            fn(it->first, it->second.end, it->second.value);
+    }
+
+    /** Whether any entry overlaps the range. */
+    bool
+    anyOverlap(const AddrRange &range) const
+    {
+        if (range.empty())
+            return false;
+        auto it = firstOverlap(range);
+        return it != map_.end() && it->first < range.end();
+    }
+
+    /**
+     * Whether the union of stored ranges fully covers @p range
+     * (regardless of values).
+     */
+    bool
+    covers(const AddrRange &range) const
+    {
+        if (range.empty())
+            return true;
+        uint64_t pos = range.addr;
+        auto it = firstOverlap(range);
+        for (; it != map_.end() && it->first < range.end(); ++it) {
+            if (it->first > pos)
+                return false; // gap
+            pos = std::max(pos, it->second.end);
+            if (pos >= range.end())
+                return true;
+        }
+        return false;
+    }
+
+    /** Invoke @p fn for every stored entry, in address order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[start, slot] : map_)
+            fn(Entry{start, slot.end, slot.value});
+    }
+
+    /** Number of stored (disjoint) entries. */
+    size_t size() const { return map_.size(); }
+
+    /** True when no entries are stored. */
+    bool empty() const { return map_.empty(); }
+
+  private:
+    struct Slot
+    {
+        uint64_t end;
+        V value;
+    };
+
+    using Map = std::map<uint64_t, Slot>;
+
+    /** First stored entry that overlaps @p range (const). */
+    typename Map::const_iterator
+    firstOverlap(const AddrRange &range) const
+    {
+        auto it = map_.upper_bound(range.addr);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > range.addr)
+                return prev;
+        }
+        return it;
+    }
+
+    /** First stored entry that overlaps @p range (mutable). */
+    typename Map::iterator
+    firstOverlapMut(const AddrRange &range)
+    {
+        auto it = map_.upper_bound(range.addr);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > range.addr)
+                return prev;
+        }
+        return it;
+    }
+
+    /**
+     * Remove the range from all stored entries, splitting boundary
+     * entries so their parts outside the range survive.
+     */
+    void
+    carve(const AddrRange &range)
+    {
+        auto it = firstOverlapMut(range);
+        while (it != map_.end() && it->first < range.end()) {
+            const uint64_t e_start = it->first;
+            const uint64_t e_end = it->second.end;
+            V value = std::move(it->second.value);
+            it = map_.erase(it);
+
+            if (e_start < range.addr) {
+                // Left remainder keeps the old value.
+                map_[e_start] = Slot{range.addr, value};
+            }
+            if (e_end > range.end()) {
+                // Right remainder keeps the old value.
+                it = map_.emplace(range.end(),
+                                  Slot{e_end, std::move(value)})
+                         .first;
+                ++it;
+            }
+        }
+    }
+
+    Map map_;
+};
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_INTERVAL_MAP_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * An augmented self-balancing (AVL) interval tree storing possibly
+ * overlapping half-open intervals [lo, hi). Each node is augmented
+ * with the maximum end in its subtree, giving O(log n + k) overlap
+ * queries. The checking engine uses it for the log tree that tracks
+ * TX_ADD'ed ranges (paper §5.1.1: "the checking engine maintains
+ * another interval tree, log tree").
+ */
+
+#ifndef PMTEST_CORE_INTERVAL_TREE_HH
+#define PMTEST_CORE_INTERVAL_TREE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/interval.hh"
+
+namespace pmtest::core
+{
+
+/**
+ * Interval tree over [lo, hi) intervals with attached values.
+ * Duplicate and overlapping intervals may coexist.
+ */
+template <typename V>
+class IntervalTree
+{
+  public:
+    /** Insert interval [range.addr, range.end()) with @p value. */
+    void
+    insert(const AddrRange &range, V value)
+    {
+        root_ = insertNode(std::move(root_), range, std::move(value));
+        size_++;
+    }
+
+    /** Remove everything. */
+    void
+    clear()
+    {
+        root_.reset();
+        size_ = 0;
+    }
+
+    /** Number of stored intervals. */
+    size_t size() const { return size_; }
+
+    /** True when empty. */
+    bool empty() const { return size_ == 0; }
+
+    /** Whether any stored interval overlaps @p range. */
+    bool
+    anyOverlap(const AddrRange &range) const
+    {
+        return findOverlap(root_.get(), range) != nullptr;
+    }
+
+    /**
+     * Invoke @p fn(range, value) for every stored interval overlapping
+     * @p range.
+     */
+    void
+    forEachOverlap(const AddrRange &range,
+                   const std::function<void(const AddrRange &, const V &)>
+                       &fn) const
+    {
+        walkOverlaps(root_.get(), range, fn);
+    }
+
+    /**
+     * Whether the union of stored intervals fully covers @p range.
+     * Collects the overlapping intervals and sweeps them in address
+     * order, so overlapping log entries are handled correctly.
+     */
+    bool
+    covers(const AddrRange &range) const
+    {
+        if (range.empty())
+            return true;
+        std::vector<AddrRange> hits;
+        walkOverlaps(root_.get(), range,
+                     [&](const AddrRange &r, const V &) {
+                         hits.push_back(r);
+                     });
+        std::sort(hits.begin(), hits.end(),
+                  [](const AddrRange &a, const AddrRange &b) {
+                      return a.addr < b.addr;
+                  });
+        uint64_t pos = range.addr;
+        for (const auto &r : hits) {
+            if (r.addr > pos)
+                return false; // gap
+            pos = std::max(pos, r.end());
+            if (pos >= range.end())
+                return true;
+        }
+        return pos >= range.end();
+    }
+
+  private:
+    struct Node
+    {
+        AddrRange range;
+        V value;
+        uint64_t maxEnd;
+        int height = 1;
+        std::unique_ptr<Node> left;
+        std::unique_ptr<Node> right;
+
+        Node(const AddrRange &r, V v)
+            : range(r), value(std::move(v)), maxEnd(r.end())
+        {
+        }
+    };
+
+    using NodePtr = std::unique_ptr<Node>;
+
+    static int heightOf(const Node *n) { return n ? n->height : 0; }
+
+    static uint64_t maxEndOf(const Node *n) { return n ? n->maxEnd : 0; }
+
+    static void
+    update(Node *n)
+    {
+        n->height = 1 + std::max(heightOf(n->left.get()),
+                                 heightOf(n->right.get()));
+        n->maxEnd = std::max({n->range.end(), maxEndOf(n->left.get()),
+                              maxEndOf(n->right.get())});
+    }
+
+    static NodePtr
+    rotateRight(NodePtr n)
+    {
+        NodePtr l = std::move(n->left);
+        n->left = std::move(l->right);
+        update(n.get());
+        l->right = std::move(n);
+        update(l.get());
+        return l;
+    }
+
+    static NodePtr
+    rotateLeft(NodePtr n)
+    {
+        NodePtr r = std::move(n->right);
+        n->right = std::move(r->left);
+        update(n.get());
+        r->left = std::move(n);
+        update(r.get());
+        return r;
+    }
+
+    static NodePtr
+    rebalance(NodePtr n)
+    {
+        update(n.get());
+        const int balance =
+            heightOf(n->left.get()) - heightOf(n->right.get());
+        if (balance > 1) {
+            if (heightOf(n->left->left.get()) <
+                heightOf(n->left->right.get())) {
+                n->left = rotateLeft(std::move(n->left));
+            }
+            return rotateRight(std::move(n));
+        }
+        if (balance < -1) {
+            if (heightOf(n->right->right.get()) <
+                heightOf(n->right->left.get())) {
+                n->right = rotateRight(std::move(n->right));
+            }
+            return rotateLeft(std::move(n));
+        }
+        return n;
+    }
+
+    static NodePtr
+    insertNode(NodePtr n, const AddrRange &range, V value)
+    {
+        if (!n)
+            return std::make_unique<Node>(range, std::move(value));
+        if (range.addr < n->range.addr) {
+            n->left = insertNode(std::move(n->left), range,
+                                 std::move(value));
+        } else {
+            n->right = insertNode(std::move(n->right), range,
+                                  std::move(value));
+        }
+        return rebalance(std::move(n));
+    }
+
+    static const Node *
+    findOverlap(const Node *n, const AddrRange &range)
+    {
+        while (n) {
+            if (n->range.overlaps(range))
+                return n;
+            if (n->left && n->left->maxEnd > range.addr) {
+                n = n->left.get();
+            } else {
+                n = n->right.get();
+            }
+        }
+        return nullptr;
+    }
+
+    static void
+    walkOverlaps(const Node *n, const AddrRange &range,
+                 const std::function<void(const AddrRange &, const V &)>
+                     &fn)
+    {
+        if (!n || range.empty())
+            return;
+        if (maxEndOf(n) <= range.addr)
+            return; // nothing in this subtree ends beyond range start
+        walkOverlaps(n->left.get(), range, fn);
+        if (n->range.overlaps(range))
+            fn(n->range, n->value);
+        if (n->range.addr < range.end())
+            walkOverlaps(n->right.get(), range, fn);
+    }
+
+    NodePtr root_;
+    size_t size_ = 0;
+};
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_INTERVAL_TREE_HH

@@ -1,0 +1,58 @@
+#include "core/persistency_model.hh"
+
+#include <memory>
+
+#include "core/arm_model.hh"
+#include "core/hops_model.hh"
+#include "core/x86_model.hh"
+
+namespace pmtest::core
+{
+
+bool
+PersistencyModel::checkPersisted(const AddrRange &range,
+                                 const ShadowMemory &shadow,
+                                 std::string *why) const
+{
+    AddrRange open;
+    if (shadow.allPersisted(range, &open))
+        return true;
+    if (why) {
+        *why = "data in " + open.str() +
+               " may not have persisted (persist interval still open "
+               "at epoch " +
+               std::to_string(shadow.timestamp()) + ")";
+    }
+    return false;
+}
+
+void
+PersistencyModel::reportMalformed(const PmOp &op, Report &report,
+                                  size_t op_index, const char *model_name)
+{
+    Finding f;
+    f.severity = Severity::Fail;
+    f.kind = FindingKind::Malformed;
+    f.message = std::string(opTypeName(op.type)) +
+                " is not defined by the " + model_name +
+                " persistency model";
+    f.loc = op.loc;
+    f.opIndex = op_index;
+    report.add(std::move(f));
+}
+
+std::unique_ptr<PersistencyModel>
+makeModel(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::X86:
+        return std::make_unique<X86Model>();
+      case ModelKind::Hops:
+        return std::make_unique<HopsModel>();
+      case ModelKind::Arm:
+        return std::make_unique<ArmModel>();
+    }
+    return nullptr;
+}
+
+} // namespace pmtest::core

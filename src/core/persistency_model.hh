@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The persistency-model interface: the set of *checking rules* (paper
+ * §4.4, §5.2) that define how hardware PM operations update the shadow
+ * memory and how the two low-level checkers are validated. PMTest's
+ * flexibility claim rests on this seam — supporting a new persistency
+ * model means implementing this interface (compare X86Model and
+ * HopsModel).
+ */
+
+#ifndef PMTEST_CORE_PERSISTENCY_MODEL_HH
+#define PMTEST_CORE_PERSISTENCY_MODEL_HH
+
+#include <memory>
+#include <string>
+
+#include "core/report.hh"
+#include "core/shadow_memory.hh"
+#include "trace/pm_op.hh"
+
+namespace pmtest::core
+{
+
+/** Which built-in model to instantiate. */
+enum class ModelKind
+{
+    X86,  ///< strict x86: write / clwb / sfence
+    Hops, ///< HOPS: write / ofence / dfence
+    Arm,  ///< ARMv8.2: write / DC CVAP / DSB
+};
+
+/** Checking rules for one persistency model. */
+class PersistencyModel
+{
+  public:
+    virtual ~PersistencyModel() = default;
+
+    /** Model name for reports. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Apply one hardware PM operation to the shadow memory,
+     * emitting WARN findings (performance bugs) or Malformed findings
+     * (operations the model does not define) into @p report.
+     */
+    virtual void apply(const PmOp &op, ShadowMemory &shadow,
+                       Report &report, size_t op_index) = 0;
+
+    /**
+     * The isPersist rule: whether everything written in @p range is
+     * guaranteed persistent at the current epoch. Identical for the
+     * built-in models; kept virtual for models with different
+     * durability semantics.
+     * @param why on failure, receives a human-readable reason.
+     */
+    virtual bool
+    checkPersisted(const AddrRange &range, const ShadowMemory &shadow,
+                   std::string *why) const;
+
+    /**
+     * The isOrderedBefore rule: whether every write in @p a is
+     * guaranteed to persist before any write in @p b.
+     * @param why on failure, receives a human-readable reason.
+     */
+    virtual bool
+    checkOrderedBefore(const AddrRange &a, const AddrRange &b,
+                       const ShadowMemory &shadow,
+                       std::string *why) const = 0;
+
+  protected:
+    /** Helper for apply(): record a Malformed finding. */
+    static void
+    reportMalformed(const PmOp &op, Report &report, size_t op_index,
+                    const char *model_name);
+};
+
+/** Instantiate a built-in model. */
+std::unique_ptr<PersistencyModel> makeModel(ModelKind kind);
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_PERSISTENCY_MODEL_HH

@@ -1,0 +1,139 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace pmtest::core
+{
+
+const char *
+findingKindName(FindingKind kind)
+{
+    switch (kind) {
+      case FindingKind::NotPersisted: return "not-persisted";
+      case FindingKind::NotOrdered: return "not-ordered";
+      case FindingKind::MissingLog: return "missing-log";
+      case FindingKind::IncompleteTx: return "incomplete-tx";
+      case FindingKind::UnmatchedTx: return "unmatched-tx";
+      case FindingKind::RedundantFlush: return "redundant-flush";
+      case FindingKind::UnnecessaryFlush: return "unnecessary-flush";
+      case FindingKind::DuplicateLog: return "duplicate-log";
+      case FindingKind::Malformed: return "malformed-trace";
+    }
+    return "?";
+}
+
+std::string
+Finding::str() const
+{
+    std::string out = severity == Severity::Fail ? "FAIL" : "WARN";
+    out += "(";
+    out += findingKindName(kind);
+    out += ") ";
+    out += message;
+    out += " @ ";
+    out += loc.str();
+    return out;
+}
+
+size_t
+Report::failCount() const
+{
+    size_t n = 0;
+    for (const auto &f : findings_)
+        if (f.severity == Severity::Fail)
+            n++;
+    return n;
+}
+
+size_t
+Report::warnCount() const
+{
+    size_t n = 0;
+    for (const auto &f : findings_)
+        if (f.severity == Severity::Warn)
+            n++;
+    return n;
+}
+
+void
+Report::merge(const Report &other)
+{
+    findings_.insert(findings_.end(), other.findings().begin(),
+                     other.findings().end());
+}
+
+std::string
+Report::str() const
+{
+    std::string out = "report for trace #" + std::to_string(traceId_) +
+                      ": " + std::to_string(failCount()) + " FAIL, " +
+                      std::to_string(warnCount()) + " WARN\n";
+    for (const auto &f : findings_) {
+        out += "  ";
+        out += f.str();
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<Report::SummaryLine>
+Report::summary() const
+{
+    // Key: (severity, kind, file, line). File names come from
+    // __FILE__ literals or a trace arena; compare by content so
+    // findings from reloaded traces group with live ones.
+    using Key = std::tuple<int, int, std::string, uint32_t>;
+    std::map<Key, SummaryLine> lines;
+    for (const auto &f : findings_) {
+        const Key key{static_cast<int>(f.severity),
+                      static_cast<int>(f.kind),
+                      f.loc.valid() ? f.loc.file : "", f.loc.line};
+        auto it = lines.find(key);
+        if (it == lines.end()) {
+            lines.emplace(key, SummaryLine{f.severity, f.kind, f.loc,
+                                           1, f.message});
+        } else {
+            it->second.count++;
+        }
+    }
+
+    std::vector<SummaryLine> out;
+    out.reserve(lines.size());
+    for (auto &[key, line] : lines)
+        out.push_back(std::move(line));
+    std::sort(out.begin(), out.end(),
+              [](const SummaryLine &a, const SummaryLine &b) {
+                  if (a.severity != b.severity)
+                      return a.severity == Severity::Fail;
+                  return a.count > b.count;
+              });
+    return out;
+}
+
+std::string
+Report::summaryStr() const
+{
+    std::string out = "summary: " + std::to_string(failCount()) +
+                      " FAIL, " + std::to_string(warnCount()) +
+                      " WARN across " +
+                      std::to_string(summary().size()) +
+                      " distinct sites\n";
+    for (const auto &line : summary()) {
+        out += "  ";
+        out += line.severity == Severity::Fail ? "FAIL" : "WARN";
+        out += "(";
+        out += findingKindName(line.kind);
+        out += ") x";
+        out += std::to_string(line.count);
+        out += " @ ";
+        out += line.loc.str();
+        out += " — ";
+        out += line.firstMessage;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace pmtest::core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Testing results. The engine emits FAIL findings for crash
+ * consistency bugs (a checker condition that the trace cannot
+ * guarantee) and WARN findings for performance bugs (redundant
+ * writebacks, duplicated logs), each carrying the offending file:line
+ * — the output format of the paper's Fig. 6.
+ */
+
+#ifndef PMTEST_CORE_REPORT_HH
+#define PMTEST_CORE_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/source_location.hh"
+
+namespace pmtest::core
+{
+
+/** Finding severity. */
+enum class Severity : uint8_t
+{
+    Warn, ///< performance bug; program is correct but wasteful
+    Fail, ///< crash consistency bug
+};
+
+/** What kind of rule produced the finding. */
+enum class FindingKind : uint8_t
+{
+    NotPersisted,       ///< isPersist failed
+    NotOrdered,         ///< isOrderedBefore failed
+    MissingLog,         ///< TX write without a prior TX_ADD backup
+    IncompleteTx,       ///< updates not persisted when the TX ended
+    UnmatchedTx,        ///< TX_CHECKER region closed with open TX
+    RedundantFlush,     ///< writeback issued twice without a fence
+    UnnecessaryFlush,   ///< writeback of unmodified data
+    DuplicateLog,       ///< same object logged twice in one TX
+    Malformed,          ///< structurally invalid trace (API misuse)
+};
+
+/** Human-readable name for a finding kind. */
+const char *findingKindName(FindingKind kind);
+
+/** One WARN/FAIL record. */
+struct Finding
+{
+    Severity severity = Severity::Fail;
+    FindingKind kind = FindingKind::NotPersisted;
+    std::string message;
+    SourceLocation loc{};
+    uint64_t traceId = 0;
+    size_t opIndex = 0; ///< index of the offending op within the trace
+
+    /** Render as "FAIL(kind) message @ file:line". */
+    std::string str() const;
+};
+
+/** The result of checking one trace. */
+class Report
+{
+  public:
+    Report() = default;
+    explicit Report(uint64_t trace_id) : traceId_(trace_id) {}
+
+    /** Record a finding. */
+    void add(Finding finding) { findings_.push_back(std::move(finding)); }
+
+    /** All findings, in detection order. */
+    const std::vector<Finding> &findings() const { return findings_; }
+
+    /** Number of FAIL findings. */
+    size_t failCount() const;
+
+    /** Number of WARN findings. */
+    size_t warnCount() const;
+
+    /** True when no FAIL findings were recorded. */
+    bool passed() const { return failCount() == 0; }
+
+    /** True when nothing at all was recorded. */
+    bool clean() const { return findings_.empty(); }
+
+    /** Id of the checked trace. */
+    uint64_t traceId() const { return traceId_; }
+
+    /** Merge another report's findings into this one. */
+    void merge(const Report &other);
+
+    /** Multi-line dump of all findings. */
+    std::string str() const;
+
+    /**
+     * One aggregated line per distinct (severity, kind, location):
+     * long runs repeat the same finding thousands of times (e.g. a
+     * buggy insert path hit per operation); the summary is what a
+     * developer actually reads.
+     */
+    struct SummaryLine
+    {
+        Severity severity;
+        FindingKind kind;
+        SourceLocation loc;
+        size_t count;
+        std::string firstMessage;
+    };
+
+    /** Deduplicated findings, most frequent first. */
+    std::vector<SummaryLine> summary() const;
+
+    /** Render the summary. */
+    std::string summaryStr() const;
+
+  private:
+    uint64_t traceId_ = 0;
+    std::vector<Finding> findings_;
+};
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_REPORT_HH

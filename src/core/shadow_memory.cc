@@ -1,0 +1,152 @@
+#include "core/shadow_memory.hh"
+
+namespace pmtest::core
+{
+
+void
+ShadowMemory::recordWrite(const AddrRange &range)
+{
+    RangeStatus status;
+    status.hasPersist = true;
+    status.persist = Interval::open(timestamp_);
+    map_.assign(range, status);
+    openWrites_.push_back(range);
+}
+
+ClwbScan
+ShadowMemory::scanClwb(const AddrRange &range) const
+{
+    ClwbScan scan;
+    bool any_persist = false;
+    bool any_open_persist = false;
+    bool any_pending_new_data = false;
+
+    map_.forEachOverlap(range, [&](const auto &entry) {
+        const RangeStatus &s = entry.value;
+        if (s.hasFlush && s.flush.isOpen())
+            scan.redundant = true;
+        if (s.hasPersist) {
+            any_persist = true;
+            if (s.persist.isOpen()) {
+                any_open_persist = true;
+                if (!s.hasFlush || !s.flush.isOpen())
+                    any_pending_new_data = true;
+            }
+        }
+    });
+
+    scan.unmodified = !any_persist;
+    scan.alreadyClean =
+        any_persist && !any_open_persist && !any_pending_new_data;
+    return scan;
+}
+
+void
+ShadowMemory::recordClwb(const AddrRange &range)
+{
+    // Open a flush interval over the range while preserving persist
+    // intervals. Subranges with no prior status get a flush-only entry
+    // so double flushes of unmodified data are still detectable.
+    std::vector<std::pair<AddrRange, RangeStatus>> updated;
+    uint64_t pos = range.addr;
+    map_.forEachOverlap(range, [&](const auto &entry) {
+        if (entry.start > pos) {
+            RangeStatus gap;
+            gap.hasFlush = true;
+            gap.flush = Interval::open(timestamp_);
+            updated.emplace_back(AddrRange(pos, entry.start - pos), gap);
+        }
+        RangeStatus s = entry.value;
+        s.hasFlush = true;
+        s.flush = Interval::open(timestamp_);
+        updated.emplace_back(
+            AddrRange(entry.start, entry.end - entry.start), s);
+        pos = entry.end;
+    });
+    if (pos < range.end()) {
+        RangeStatus gap;
+        gap.hasFlush = true;
+        gap.flush = Interval::open(timestamp_);
+        updated.emplace_back(AddrRange(pos, range.end() - pos), gap);
+    }
+    for (auto &[r, s] : updated)
+        map_.assign(r, std::move(s));
+
+    pendingFlushes_.push_back(range);
+}
+
+void
+ShadowMemory::completePendingFlushes()
+{
+    for (const auto &range : pendingFlushes_) {
+        map_.forEachOverlapMut(
+            range, [&](uint64_t, uint64_t, RangeStatus &s) {
+                if (!s.hasFlush || !s.flush.isOpen())
+                    return; // a later write invalidated this flush
+                s.flush.close(timestamp_);
+                if (s.hasPersist)
+                    s.persist.close(timestamp_);
+            });
+    }
+    pendingFlushes_.clear();
+}
+
+void
+ShadowMemory::completeAllWrites()
+{
+    for (const auto &range : openWrites_) {
+        map_.forEachOverlapMut(
+            range, [&](uint64_t, uint64_t, RangeStatus &s) {
+                if (s.hasPersist)
+                    s.persist.close(timestamp_);
+            });
+    }
+    openWrites_.clear();
+}
+
+bool
+ShadowMemory::allPersisted(const AddrRange &range,
+                           AddrRange *first_open) const
+{
+    bool ok = true;
+    map_.forEachOverlap(range, [&](const auto &entry) {
+        if (!ok)
+            return;
+        const RangeStatus &s = entry.value;
+        if (s.hasPersist && !s.persist.closedBy(timestamp_)) {
+            ok = false;
+            if (first_open) {
+                *first_open =
+                    AddrRange(entry.start, entry.end - entry.start);
+            }
+        }
+    });
+    return ok;
+}
+
+std::vector<std::pair<AddrRange, Interval>>
+ShadowMemory::persistIntervals(const AddrRange &range) const
+{
+    std::vector<std::pair<AddrRange, Interval>> out;
+    map_.forEachOverlap(range, [&](const auto &entry) {
+        if (entry.value.hasPersist) {
+            out.emplace_back(AddrRange(entry.start,
+                                       entry.end - entry.start),
+                             entry.value.persist);
+        }
+    });
+    return out;
+}
+
+bool
+ShadowMemory::anyWrite(const AddrRange &range) const
+{
+    bool found = false;
+    map_.forEachOverlap(range, [&](const auto &entry) {
+        if (entry.value.hasPersist)
+            found = true;
+    });
+    return found;
+}
+
+} // namespace pmtest::core

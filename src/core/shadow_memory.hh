@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shadow memory: per-address-range persistency status plus the global
+ * epoch counter (paper §4.4). Each modified range carries a persist
+ * interval (when the data may/must have reached PM) and a flush
+ * interval (when an issued writeback may/must have completed). The
+ * persistency models drive the transitions; the checkers read the
+ * intervals.
+ */
+
+#ifndef PMTEST_CORE_SHADOW_MEMORY_HH
+#define PMTEST_CORE_SHADOW_MEMORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/interval.hh"
+#include "core/interval_map.hh"
+
+namespace pmtest::core
+{
+
+/** Persistency status of one address range. */
+struct RangeStatus
+{
+    Interval persist{};      ///< persist interval (valid if hasPersist)
+    Interval flush{};        ///< flush interval (valid if hasFlush)
+    bool hasPersist = false; ///< range was written in this trace
+    bool hasFlush = false;   ///< a writeback was issued for the range
+};
+
+/** Outcome of scanning a clwb target range, used for WARN rules. */
+struct ClwbScan
+{
+    bool redundant = false;   ///< an open flush interval already covers
+                              ///< part of the range (flushed twice
+                              ///< without an intervening fence)
+    bool unmodified = false;  ///< no write recorded anywhere in range
+    bool alreadyClean = false;///< writes exist but all are persisted
+                              ///< and no new data is pending
+};
+
+/**
+ * The per-trace shadow memory. One instance is created per checked
+ * trace (traces are independent).
+ */
+class ShadowMemory
+{
+  public:
+    /** Current global timestamp (epoch). */
+    Epoch timestamp() const { return timestamp_; }
+
+    /** Advance the epoch (every ordering point does this). */
+    void bumpTimestamp() { timestamp_++; }
+
+    /**
+     * Record a store: clears any existing status over the range, then
+     * opens a persist interval at the current epoch.
+     */
+    void recordWrite(const AddrRange &range);
+
+    /**
+     * Scan the range for the clwb WARN rules, without mutating.
+     * @see ClwbScan
+     */
+    ClwbScan scanClwb(const AddrRange &range) const;
+
+    /**
+     * Record a writeback: opens a flush interval at the current epoch
+     * over the range (preserving persist intervals), and remembers the
+     * range as fence-pending.
+     */
+    void recordClwb(const AddrRange &range);
+
+    /**
+     * Complete fence-pending writebacks: close their flush intervals
+     * and the persist intervals they cover at the current epoch.
+     * Call after bumpTimestamp(), per the paper's sfence rule.
+     */
+    void completePendingFlushes();
+
+    /**
+     * Close the persist intervals of ALL writes recorded so far at the
+     * current epoch (the HOPS dfence rule).
+     */
+    void completeAllWrites();
+
+    /**
+     * Whether every persist interval overlapping @p range is closed by
+     * the current epoch (the isPersist condition). Ranges that were
+     * never written pass vacuously.
+     * @param first_open if non-null and the check fails, receives the
+     *        first still-open subrange.
+     */
+    bool allPersisted(const AddrRange &range,
+                      AddrRange *first_open = nullptr) const;
+
+    /**
+     * Collect the persist intervals overlapping @p range (clipped),
+     * in address order.
+     */
+    std::vector<std::pair<AddrRange, Interval>>
+    persistIntervals(const AddrRange &range) const;
+
+    /** Whether any write was recorded in @p range. */
+    bool anyWrite(const AddrRange &range) const;
+
+    /** Number of distinct status entries (diagnostics). */
+    size_t entryCount() const { return map_.size(); }
+
+  private:
+    Epoch timestamp_ = 0;
+    IntervalMap<RangeStatus> map_;
+    /** Ranges clwb'ed since the last fence. */
+    std::vector<AddrRange> pendingFlushes_;
+    /** Ranges written since the last dfence (HOPS bookkeeping). */
+    std::vector<AddrRange> openWrites_;
+};
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_SHADOW_MEMORY_HH

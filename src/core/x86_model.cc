@@ -1,0 +1,130 @@
+#include "core/x86_model.hh"
+
+namespace pmtest::core
+{
+
+namespace
+{
+
+/** Emit the clwb performance WARNs derived from a pre-update scan. */
+void
+reportClwbWarns(const ClwbScan &scan, const PmOp &op, Report &report,
+                size_t op_index)
+{
+    const AddrRange range(op.addr, op.size);
+    if (scan.redundant) {
+        Finding f;
+        f.severity = Severity::Warn;
+        f.kind = FindingKind::RedundantFlush;
+        f.message = "writeback of " + range.str() +
+                    " duplicates an earlier writeback that has not "
+                    "been fenced yet";
+        f.loc = op.loc;
+        f.opIndex = op_index;
+        report.add(std::move(f));
+    } else if (scan.unmodified) {
+        Finding f;
+        f.severity = Severity::Warn;
+        f.kind = FindingKind::UnnecessaryFlush;
+        f.message = "writeback of " + range.str() +
+                    " targets data never modified in this trace";
+        f.loc = op.loc;
+        f.opIndex = op_index;
+        report.add(std::move(f));
+    } else if (scan.alreadyClean) {
+        Finding f;
+        f.severity = Severity::Warn;
+        f.kind = FindingKind::UnnecessaryFlush;
+        f.message = "writeback of " + range.str() +
+                    " targets data that is already persistent";
+        f.loc = op.loc;
+        f.opIndex = op_index;
+        report.add(std::move(f));
+    }
+}
+
+} // namespace
+
+void
+X86Model::apply(const PmOp &op, ShadowMemory &shadow, Report &report,
+                size_t op_index)
+{
+    switch (op.type) {
+      case OpType::Write:
+        shadow.recordWrite(AddrRange(op.addr, op.size));
+        break;
+
+      case OpType::Clwb:
+      case OpType::ClflushOpt:
+      case OpType::Clflush: {
+        const AddrRange range(op.addr, op.size);
+        reportClwbWarns(shadow.scanClwb(range), op, report, op_index);
+        shadow.recordClwb(range);
+        break;
+      }
+
+      case OpType::Sfence:
+        shadow.bumpTimestamp();
+        shadow.completePendingFlushes();
+        break;
+
+      case OpType::Ofence:
+      case OpType::Dfence:
+      case OpType::DcCvap:
+      case OpType::Dsb:
+        reportMalformed(op, report, op_index, name());
+        break;
+
+      default:
+        // Transactional events and checkers are handled by the engine.
+        break;
+    }
+}
+
+bool
+X86Model::checkOrderedBefore(const AddrRange &a, const AddrRange &b,
+                             const ShadowMemory &shadow,
+                             std::string *why) const
+{
+    // All persist intervals of A must be guaranteed complete before
+    // any persist interval of B may begin:
+    //   max(end of A's intervals) <= min(begin of B's intervals).
+    // Overlapping intervals fail this, as does A persisting entirely
+    // after B. Ranges with no writes pass vacuously.
+    const auto a_ivals = shadow.persistIntervals(a);
+    const auto b_ivals = shadow.persistIntervals(b);
+    if (a_ivals.empty() || b_ivals.empty())
+        return true;
+
+    Epoch a_max_end = 0;
+    AddrRange a_worst;
+    for (const auto &[range, ival] : a_ivals) {
+        if (ival.end >= a_max_end) {
+            a_max_end = ival.end;
+            a_worst = range;
+        }
+    }
+    Epoch b_min_begin = kInfEpoch;
+    AddrRange b_worst;
+    for (const auto &[range, ival] : b_ivals) {
+        if (ival.begin <= b_min_begin) {
+            b_min_begin = ival.begin;
+            b_worst = range;
+        }
+    }
+
+    if (a_max_end <= b_min_begin)
+        return true;
+
+    if (why) {
+        *why = "persist interval of " + a_worst.str() + " (ends " +
+               (a_max_end == kInfEpoch ? std::string("never")
+                                       : std::to_string(a_max_end)) +
+               ") is not guaranteed before that of " + b_worst.str() +
+               " (may begin at epoch " + std::to_string(b_min_begin) +
+               ")";
+    }
+    return false;
+}
+
+} // namespace pmtest::core

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The x86 persistency model (paper §4.4): writes open persist
+ * intervals, clwb/clflushopt/clflush open flush intervals, sfence
+ * advances the epoch and closes the intervals of fenced writebacks.
+ */
+
+#ifndef PMTEST_CORE_X86_MODEL_HH
+#define PMTEST_CORE_X86_MODEL_HH
+
+#include "core/persistency_model.hh"
+
+namespace pmtest::core
+{
+
+/** Checking rules for the strict x86 persistency model. */
+class X86Model : public PersistencyModel
+{
+  public:
+    const char *name() const override { return "x86"; }
+
+    void apply(const PmOp &op, ShadowMemory &shadow, Report &report,
+               size_t op_index) override;
+
+    bool checkOrderedBefore(const AddrRange &a, const AddrRange &b,
+                            const ShadowMemory &shadow,
+                            std::string *why) const override;
+};
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_X86_MODEL_HH

@@ -1,0 +1,271 @@
+#include "mnemosyne/region.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pmtest::mnemosyne
+{
+
+Region::Region(size_t size, bool simulate_crashes, size_t log_size)
+    : pool_(size, simulate_crashes)
+{
+    // The redo log never takes more than a quarter of the region.
+    log_size = std::min(log_size, size / 4);
+    const uint64_t log_offset = pool_.alloc(log_size);
+
+    RegionHeader header;
+    header.magic = RegionHeader::kMagic;
+    header.logOffset = log_offset;
+    header.logSize = log_size;
+    std::memcpy(pool_.base(), &header, sizeof(header));
+    header_ = reinterpret_cast<RegionHeader *>(pool_.base());
+
+    LogHeader log;
+    std::memcpy(pool_.base() + log_offset, &log, sizeof(log));
+
+    if (pool_.simulating()) {
+        pool_.cache()->store(0, &header, sizeof(header));
+        pool_.cache()->store(log_offset, &log, sizeof(log));
+        pool_.cache()->flushAll();
+    }
+}
+
+Region::LogHeader *
+Region::logHeader()
+{
+    return reinterpret_cast<LogHeader *>(pool_.base() +
+                                         header_->logOffset);
+}
+
+Region::LogEntry *
+Region::logEntryAt(uint64_t index)
+{
+    return reinterpret_cast<LogEntry *>(
+        pool_.base() + header_->logOffset + sizeof(LogHeader) +
+        index * sizeof(LogEntry));
+}
+
+void *
+Region::alloc(size_t size)
+{
+    return pool_.at(pool_.alloc(size));
+}
+
+void
+Region::free(void *ptr)
+{
+    pool_.free(pool_.offsetOf(ptr));
+}
+
+void *
+Region::rootRaw(size_t size)
+{
+    if (header_->rootOffset == 0) {
+        const uint64_t offset = pool_.alloc(size);
+        std::memset(pool_.at(offset), 0, size);
+
+        RegionHeader updated = *header_;
+        updated.rootOffset = offset;
+        persist(header_, &updated, sizeof(updated), PMTEST_HERE);
+        if (pool_.simulating()) {
+            pool_.cache()->store(offset, pool_.at(offset), size);
+            pool_.cache()->flushAll();
+        }
+    }
+    return pool_.at(header_->rootOffset);
+}
+
+void
+Region::txBegin(SourceLocation loc)
+{
+    txMutex_.lock();
+    txDepth_++;
+    pmTxBegin(loc);
+    if (txDepth_ == 1) {
+        // The redo-log region is self-protecting (recovery tolerates
+        // partial logs before the commit record), so mark it as
+        // covered rather than excluding it — this keeps the log's PM
+        // operations in the testing scope, where the ordering
+        // checkers in txCommit() need them.
+        pmTxAdd(pool_.base() + header_->logOffset, header_->logSize,
+                loc);
+        pending_.clear();
+    }
+}
+
+void
+Region::logAppend(void *dst, const void *src, size_t size,
+                  SourceLocation loc)
+{
+    if (txDepth_ == 0)
+        fatal("mnemosyne: log_append outside a transaction");
+
+    // The staged range is backed (redo) by the log: that is exactly
+    // what the engine's log tree models, so emit TX_ADD for it.
+    pmTxAdd(dst, size, loc);
+    if (faults.duplicateAppend)
+        pmTxAdd(dst, size, loc);
+
+    LogHeader *log = logHeader();
+    const uint64_t capacity =
+        (header_->logSize - sizeof(LogHeader)) / sizeof(LogEntry);
+
+    const auto *bytes = static_cast<const uint8_t *>(src);
+    auto *dst_bytes = static_cast<uint8_t *>(dst);
+    while (size > 0) {
+        const size_t chunk = std::min<size_t>(size, LogEntry::kMaxData);
+        if (log->entryCount >= capacity)
+            fatal("mnemosyne: redo log full");
+
+        LogEntry entry;
+        entry.offset = pool_.offsetOf(dst_bytes);
+        entry.size = chunk;
+        std::memcpy(entry.data, bytes, chunk);
+
+        LogEntry *slot = logEntryAt(log->entryCount);
+        pmStore(slot, &entry, sizeof(entry), loc);
+        pmClwb(slot, sizeof(entry), loc);
+
+        LogHeader bumped = *log;
+        bumped.entryCount++;
+        pmStore(log, &bumped, sizeof(bumped), loc);
+        pmClwb(log, sizeof(LogHeader), loc);
+
+        if (faults.duplicateAppend) {
+            // Stage the same bytes again (pure overhead).
+            LogEntry dup = entry;
+            LogEntry *dup_slot = logEntryAt(log->entryCount);
+            pmStore(dup_slot, &dup, sizeof(dup), loc);
+            pmClwb(dup_slot, sizeof(dup), loc);
+            LogHeader bumped2 = *log;
+            bumped2.entryCount++;
+            pmStore(log, &bumped2, sizeof(bumped2), loc);
+            pmClwb(log, sizeof(LogHeader), loc);
+        }
+
+        pending_.push_back(Pending{dst_bytes, chunk});
+        bytes += chunk;
+        dst_bytes += chunk;
+        size -= chunk;
+    }
+}
+
+void
+Region::txCommit(SourceLocation loc)
+{
+    if (txDepth_ == 0)
+        fatal("mnemosyne: commit outside a transaction");
+    if (txDepth_ > 1) {
+        txDepth_--;
+        pmTxEnd(loc);
+        txMutex_.unlock();
+        return;
+    }
+
+    LogHeader *log = logHeader();
+
+    // log_flush: the staged entries become durable, then the commit
+    // record is persisted — in that order. The skipLogFlush fault
+    // collapses both fences, so the commit record, the entries and
+    // the in-place data all land in one epoch with no ordering.
+    if (!faults.skipLogFlush)
+        pmSfence(loc);
+
+    // Commit record.
+    LogHeader committed = *log;
+    committed.committed = 1;
+    pmStore(log, &committed, sizeof(committed), loc);
+    pmClwb(log, sizeof(LogHeader), loc);
+    if (!faults.skipLogFlush)
+        pmSfence(loc);
+
+    // Apply the staged updates in place; they may persist any time
+    // from here on, which is safe because the log can replay them.
+    uint64_t entry_index = 0;
+    for (const auto &p : pending_) {
+        const LogEntry *entry = logEntryAt(entry_index++);
+        if (faults.duplicateAppend)
+            entry_index++; // skip the duplicate copy
+        pmStore(p.dst, entry->data, p.size, loc);
+        if (!faults.skipDataFlush)
+            pmClwb(p.dst, p.size, loc);
+        if (emitCheckers) {
+            pmtestIsOrderedBefore(logHeader(), sizeof(LogHeader),
+                                  p.dst, p.size, loc);
+        }
+    }
+    if (!faults.skipDataFlush)
+        pmSfence(loc);
+    if (emitCheckers) {
+        for (const auto &p : pending_)
+            pmtestIsPersist(p.dst, p.size, loc);
+    }
+
+    // Retire the log.
+    LogHeader retired;
+    retired.committed = 0;
+    retired.entryCount = 0;
+    pmStore(log, &retired, sizeof(retired), loc);
+    pmClwb(log, sizeof(LogHeader), loc);
+    pmSfence(loc);
+
+    pending_.clear();
+    txDepth_--;
+    pmTxEnd(loc);
+    txMutex_.unlock();
+}
+
+void
+Region::persist(void *dst, const void *src, size_t size,
+                SourceLocation loc)
+{
+    pmStore(dst, src, size, loc);
+    pmClwb(dst, size, loc);
+    pmSfence(loc);
+}
+
+size_t
+Region::recoverImage(std::vector<uint8_t> &image)
+{
+    RegionHeader header;
+    if (image.size() < sizeof(header))
+        return 0;
+    std::memcpy(&header, image.data(), sizeof(header));
+    if (header.magic != RegionHeader::kMagic)
+        return 0;
+
+    LogHeader log;
+    std::memcpy(&log, image.data() + header.logOffset, sizeof(log));
+    if (log.committed == 0) {
+        // Uncommitted: discard the log; in-place data is untouched
+        // because updates are deferred until after the commit record.
+        LogHeader cleared;
+        std::memcpy(image.data() + header.logOffset, &cleared,
+                    sizeof(cleared));
+        return 0;
+    }
+
+    size_t applied = 0;
+    for (uint64_t i = 0; i < log.entryCount; i++) {
+        LogEntry entry;
+        const uint64_t off = header.logOffset + sizeof(LogHeader) +
+                             i * sizeof(LogEntry);
+        if (off + sizeof(entry) > image.size())
+            break;
+        std::memcpy(&entry, image.data() + off, sizeof(entry));
+        if (entry.size > LogEntry::kMaxData ||
+            entry.offset + entry.size > image.size())
+            continue;
+        std::memcpy(image.data() + entry.offset, entry.data,
+                    entry.size);
+        applied++;
+    }
+
+    LogHeader cleared;
+    std::memcpy(image.data() + header.logOffset, &cleared,
+                sizeof(cleared));
+    return applied;
+}
+
+} // namespace pmtest::mnemosyne

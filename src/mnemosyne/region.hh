@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Mnemosyne-like lightweight persistent memory library (paper Fig. 2a:
+ * the "user-space library" CCS flavour that is *not* PMDK). Durable
+ * transactions use a write-ahead redo log: log_append() stages the new
+ * value of a range in the log, log_flush() makes the log durable (the
+ * commit point), after which the in-place updates are applied and
+ * flushed. Recovery replays a committed log.
+ *
+ * Emits pmTxBegin/pmTxAdd/pmTxEnd events so PMTest's transaction
+ * checkers work on Mnemosyne programs unchanged: a log_append *is*
+ * the backup of the range it stages.
+ */
+
+#ifndef PMTEST_MNEMOSYNE_REGION_HH
+#define PMTEST_MNEMOSYNE_REGION_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/api.hh"
+#include "pmem/pm_pool.hh"
+
+namespace pmtest::mnemosyne
+{
+
+/** Fault-injection knobs for the Table 5 campaign. */
+struct RegionFaults
+{
+    /** Apply in-place updates without waiting for the log to be
+     *  durable (ordering bug: data may persist before its log). */
+    bool skipLogFlush = false;
+    /** Commit without flushing the in-place updates (durability). */
+    bool skipDataFlush = false;
+    /** Stage a range in the log twice (performance bug). */
+    bool duplicateAppend = false;
+};
+
+/** A persistent region with redo-log durable transactions. */
+class Region
+{
+  public:
+    /** Persistent redo-log layout (fixed offsets inside the pool). */
+    struct LogHeader
+    {
+        uint64_t committed = 0;
+        uint64_t entryCount = 0;
+    };
+
+    struct LogEntry
+    {
+        static constexpr size_t kMaxData = 64;
+        uint64_t offset = 0;
+        uint64_t size = 0;
+        uint8_t data[kMaxData] = {};
+    };
+
+    explicit Region(size_t size, bool simulate_crashes = false,
+                    size_t log_size = 1 << 20);
+
+    /** The underlying PM pool. */
+    pmem::PmPool &pmPool() { return pool_; }
+
+    /** @{ Allocation (volatile metadata, like the txlib pool). */
+    void *alloc(size_t size);
+    void free(void *ptr);
+
+    template <typename T>
+    T *
+    root()
+    {
+        return static_cast<T *>(rootRaw(sizeof(T)));
+    }
+
+    void *rootRaw(size_t size);
+    /** @} */
+
+    /** @{ Durable transactions. */
+    void txBegin(SourceLocation loc = {});
+
+    /**
+     * Stage a write of @p size bytes of @p src to @p dst: the new
+     * value goes into the redo log now; @p dst is updated at commit.
+     */
+    void logAppend(void *dst, const void *src, size_t size,
+                   SourceLocation loc = {});
+
+    template <typename T>
+    void
+    logAssign(T *dst, const T &value, SourceLocation loc = {})
+    {
+        logAppend(dst, &value, sizeof(T), loc);
+    }
+
+    /**
+     * Commit: flush the log (the durability point), apply the staged
+     * updates in place, flush them, and retire the log.
+     */
+    void txCommit(SourceLocation loc = {});
+    /** @} */
+
+    /** Non-transactional durable write. */
+    void persist(void *dst, const void *src, size_t size,
+                 SourceLocation loc = {});
+
+    /** Emit low-level checkers at the commit ordering points. */
+    bool emitCheckers = false;
+
+    /** Fault-injection knobs. */
+    RegionFaults faults;
+
+    /**
+     * Recovery over a crash image: if the log is committed, replay
+     * its entries into the image; then clear the log.
+     * @return number of entries replayed.
+     */
+    static size_t recoverImage(std::vector<uint8_t> &image);
+
+  private:
+    struct RegionHeader
+    {
+        static constexpr uint64_t kMagic = 0x4d4e454d4f53594eULL;
+        uint64_t magic = 0;
+        uint64_t rootOffset = 0;
+        uint64_t logOffset = 0;
+        uint64_t logSize = 0;
+    };
+
+    /** One staged (deferred) in-place update. */
+    struct Pending
+    {
+        void *dst;
+        size_t size;
+    };
+
+    LogHeader *logHeader();
+    LogEntry *logEntryAt(uint64_t index);
+
+    pmem::PmPool pool_;
+    RegionHeader *header_;
+    std::recursive_mutex txMutex_;
+    int txDepth_ = 0;
+    std::vector<Pending> pending_;
+};
+
+} // namespace pmtest::mnemosyne
+
+#endif // PMTEST_MNEMOSYNE_REGION_HH

@@ -1,0 +1,435 @@
+#include "pmds/btree_map.hh"
+
+#include "util/logging.hh"
+
+namespace pmtest::pmds
+{
+
+BtreeMap::BtreeMap(txlib::ObjPool &pool)
+    : pool_(pool), root_(pool.root<Root>())
+{
+}
+
+BtreeMap::Item
+BtreeMap::makeItem(uint64_t key, const void *value, size_t size)
+{
+    Item item;
+    item.key = key;
+    item.value = pool_.txAllocRaw(size, PMTEST_HERE);
+    item.valueSize = size;
+    pool_.txWrite(item.value, value, size, PMTEST_HERE);
+    return item;
+}
+
+void
+BtreeMap::freeItemValue(const Item &item)
+{
+    if (item.value)
+        pool_.freeRaw(item.value);
+}
+
+void
+BtreeMap::setItem(Node *node, int pos, const Item &item)
+{
+    pool_.txAdd(node, sizeof(Node), PMTEST_HERE);
+    pool_.txWrite(&node->items[pos], &item, sizeof(Item), PMTEST_HERE);
+}
+
+void
+BtreeMap::insertItem(Node *node, int pos, const Item &item)
+{
+    // This is the paper's Table 6 "modify a tree node without logging
+    // it" site (PMDK btree_map.c:201): the snapshot below is exactly
+    // the TX_ADD Intel added in the fix.
+    if (!faults.skipTxAdd)
+        pool_.txAdd(node, sizeof(Node), PMTEST_HERE);
+
+    Node copy = *node;
+    for (int i = static_cast<int>(copy.n); i > pos; i--)
+        copy.items[i] = copy.items[i - 1];
+    copy.items[pos] = item;
+    copy.n++;
+    pool_.txWrite(node, &copy, sizeof(copy), PMTEST_HERE);
+}
+
+void
+BtreeMap::splitChild(Node *parent, int index)
+{
+    Node *child = parent->slots[index];
+    pool_.txAdd(parent, sizeof(Node), PMTEST_HERE);
+    pool_.txAdd(child, sizeof(Node), PMTEST_HERE);
+
+    auto *right = pool_.txAlloc<Node>(PMTEST_HERE);
+    Node right_init{};
+    for (int i = 0; i < kMinItems; i++)
+        right_init.items[i] = child->items[kDegree + i];
+    if (!isLeaf(child)) {
+        for (int i = 0; i < kDegree; i++)
+            right_init.slots[i] = child->slots[kDegree + i];
+    }
+    right_init.n = kMinItems;
+    pool_.txWrite(right, &right_init, sizeof(right_init), PMTEST_HERE);
+
+    const Item median = child->items[kDegree - 1];
+
+    Node child_copy = *child;
+    for (int i = kDegree - 1; i < kMaxItems; i++)
+        child_copy.items[i] = Item{};
+    if (!isLeaf(child)) {
+        for (int i = kDegree; i <= kMaxItems; i++)
+            child_copy.slots[i] = nullptr;
+    }
+    child_copy.n = kDegree - 1;
+    pool_.txWrite(child, &child_copy, sizeof(child_copy), PMTEST_HERE);
+
+    Node parent_copy = *parent;
+    for (int i = static_cast<int>(parent_copy.n); i > index; i--) {
+        parent_copy.items[i] = parent_copy.items[i - 1];
+        parent_copy.slots[i + 1] = parent_copy.slots[i];
+    }
+    parent_copy.items[index] = median;
+    parent_copy.slots[index + 1] = right;
+    parent_copy.n++;
+    pool_.txWrite(parent, &parent_copy, sizeof(parent_copy),
+                  PMTEST_HERE);
+}
+
+void
+BtreeMap::insertNonFull(Node *node, const Item &item)
+{
+    if (isLeaf(node)) {
+        int pos = static_cast<int>(node->n);
+        while (pos > 0 && node->items[pos - 1].key > item.key)
+            pos--;
+        insertItem(node, pos, item);
+        return;
+    }
+
+    int i = static_cast<int>(node->n);
+    while (i > 0 && node->items[i - 1].key > item.key)
+        i--;
+    if (node->slots[i]->n == kMaxItems) {
+        splitChild(node, i);
+        if (item.key > node->items[i].key)
+            i++;
+    }
+    insertNonFull(node->slots[i], item);
+}
+
+BtreeMap::Item *
+BtreeMap::findItem(Node *node, uint64_t key) const
+{
+    while (node) {
+        int i = 0;
+        while (i < static_cast<int>(node->n) &&
+               node->items[i].key < key)
+            i++;
+        if (i < static_cast<int>(node->n) && node->items[i].key == key)
+            return &node->items[i];
+        if (isLeaf(node))
+            return nullptr;
+        node = node->slots[i];
+    }
+    return nullptr;
+}
+
+void
+BtreeMap::insert(uint64_t key, const void *value, size_t size)
+{
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+
+        if (Item *existing = root_->root
+                                 ? findItem(root_->root, key)
+                                 : nullptr) {
+            // Update: swap the value buffer in place.
+            void *old = existing->value;
+            Item updated = makeItem(key, value, size);
+            // The item lives inside a node; snapshot just the item.
+            pool_.txAdd(existing, sizeof(Item), PMTEST_HERE);
+            pool_.txWrite(existing, &updated, sizeof(Item),
+                          PMTEST_HERE);
+            pool_.freeRaw(old);
+        } else {
+            if (!root_->root) {
+                pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+                auto *node = pool_.txAlloc<Node>(PMTEST_HERE);
+                Node init{};
+                pool_.txWrite(node, &init, sizeof(init), PMTEST_HERE);
+                pool_.txAssign(&root_->root, node, PMTEST_HERE);
+            } else if (root_->root->n == kMaxItems) {
+                pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+                auto *top = pool_.txAlloc<Node>(PMTEST_HERE);
+                Node init{};
+                init.slots[0] = root_->root;
+                pool_.txWrite(top, &init, sizeof(init), PMTEST_HERE);
+                pool_.txAssign(&root_->root, top, PMTEST_HERE);
+                splitChild(top, 0);
+            }
+            insertNonFull(root_->root, makeItem(key, value, size));
+            pool_.txAdd(&root_->count, sizeof(root_->count),
+                        PMTEST_HERE);
+            pool_.txAssign(&root_->count, root_->count + 1,
+                           PMTEST_HERE);
+        }
+    }
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+}
+
+bool
+BtreeMap::lookup(uint64_t key, std::vector<uint8_t> *out) const
+{
+    if (!root_->root)
+        return false;
+    const Item *item =
+        const_cast<BtreeMap *>(this)->findItem(root_->root, key);
+    if (!item)
+        return false;
+    if (out) {
+        out->resize(item->valueSize);
+        std::memcpy(out->data(), item->value, item->valueSize);
+    }
+    return true;
+}
+
+BtreeMap::Item
+BtreeMap::maxItem(Node *node) const
+{
+    while (!isLeaf(node))
+        node = node->slots[node->n];
+    return node->items[node->n - 1];
+}
+
+BtreeMap::Item
+BtreeMap::minItem(Node *node) const
+{
+    while (!isLeaf(node))
+        node = node->slots[0];
+    return node->items[0];
+}
+
+void
+BtreeMap::removeFromLeaf(Node *node, int index)
+{
+    pool_.txAdd(node, sizeof(Node), PMTEST_HERE);
+    Node copy = *node;
+    for (int i = index; i + 1 < static_cast<int>(copy.n); i++)
+        copy.items[i] = copy.items[i + 1];
+    copy.items[copy.n - 1] = Item{};
+    copy.n--;
+    pool_.txWrite(node, &copy, sizeof(copy), PMTEST_HERE);
+}
+
+void
+BtreeMap::rotateLeft(Node *node, int index)
+{
+    // Move the separator down into the left child and the right
+    // child's first item up into the parent. This is the paper's
+    // Table 6 duplicate-log site (PMDK btree_map.c:367): the fixed
+    // code relies on the snapshot made by its caller/insert path;
+    // the buggy code logged the node a second time.
+    Node *left = node->slots[index];
+    Node *right = node->slots[index + 1];
+
+    pool_.txAdd(node, sizeof(Node), PMTEST_HERE);
+    if (faults.extraTxAdd)
+        pool_.txAddDup(node, sizeof(Node), PMTEST_HERE);
+    pool_.txAdd(left, sizeof(Node), PMTEST_HERE);
+    pool_.txAdd(right, sizeof(Node), PMTEST_HERE);
+
+    Node left_copy = *left;
+    left_copy.items[left_copy.n] = node->items[index];
+    if (!isLeaf(right))
+        left_copy.slots[left_copy.n + 1] = right->slots[0];
+    left_copy.n++;
+    pool_.txWrite(left, &left_copy, sizeof(left_copy), PMTEST_HERE);
+
+    Node node_copy = *node;
+    node_copy.items[index] = right->items[0];
+    pool_.txWrite(node, &node_copy, sizeof(node_copy), PMTEST_HERE);
+
+    Node right_copy = *right;
+    for (int i = 0; i + 1 < static_cast<int>(right_copy.n); i++)
+        right_copy.items[i] = right_copy.items[i + 1];
+    if (!isLeaf(right)) {
+        for (int i = 0; i < static_cast<int>(right_copy.n); i++)
+            right_copy.slots[i] = right_copy.slots[i + 1];
+        right_copy.slots[right_copy.n] = nullptr;
+    }
+    right_copy.items[right_copy.n - 1] = Item{};
+    right_copy.n--;
+    pool_.txWrite(right, &right_copy, sizeof(right_copy), PMTEST_HERE);
+}
+
+void
+BtreeMap::rotateRight(Node *node, int index)
+{
+    // Mirror image of rotateLeft: move the separator down into the
+    // right child and the left child's last item up.
+    Node *left = node->slots[index];
+    Node *right = node->slots[index + 1];
+
+    pool_.txAdd(node, sizeof(Node), PMTEST_HERE);
+    pool_.txAdd(left, sizeof(Node), PMTEST_HERE);
+    pool_.txAdd(right, sizeof(Node), PMTEST_HERE);
+
+    Node right_copy = *right;
+    for (int i = static_cast<int>(right_copy.n); i > 0; i--)
+        right_copy.items[i] = right_copy.items[i - 1];
+    if (!isLeaf(right)) {
+        for (int i = static_cast<int>(right_copy.n) + 1; i > 0; i--)
+            right_copy.slots[i] = right_copy.slots[i - 1];
+        right_copy.slots[0] = left->slots[left->n];
+    }
+    right_copy.items[0] = node->items[index];
+    right_copy.n++;
+    pool_.txWrite(right, &right_copy, sizeof(right_copy), PMTEST_HERE);
+
+    Node node_copy = *node;
+    node_copy.items[index] = left->items[left->n - 1];
+    pool_.txWrite(node, &node_copy, sizeof(node_copy), PMTEST_HERE);
+
+    Node left_copy = *left;
+    left_copy.items[left_copy.n - 1] = Item{};
+    if (!isLeaf(left))
+        left_copy.slots[left_copy.n] = nullptr;
+    left_copy.n--;
+    pool_.txWrite(left, &left_copy, sizeof(left_copy), PMTEST_HERE);
+}
+
+void
+BtreeMap::mergeChildren(Node *node, int index)
+{
+    Node *left = node->slots[index];
+    Node *right = node->slots[index + 1];
+
+    pool_.txAdd(node, sizeof(Node), PMTEST_HERE);
+    pool_.txAdd(left, sizeof(Node), PMTEST_HERE);
+
+    Node left_copy = *left;
+    left_copy.items[left_copy.n] = node->items[index];
+    for (int i = 0; i < static_cast<int>(right->n); i++)
+        left_copy.items[left_copy.n + 1 + i] = right->items[i];
+    if (!isLeaf(right)) {
+        for (int i = 0; i <= static_cast<int>(right->n); i++)
+            left_copy.slots[left_copy.n + 1 + i] = right->slots[i];
+    }
+    left_copy.n += right->n + 1;
+    pool_.txWrite(left, &left_copy, sizeof(left_copy), PMTEST_HERE);
+
+    Node node_copy = *node;
+    for (int i = index; i + 1 < static_cast<int>(node_copy.n); i++) {
+        node_copy.items[i] = node_copy.items[i + 1];
+        node_copy.slots[i + 1] = node_copy.slots[i + 2];
+    }
+    node_copy.items[node_copy.n - 1] = Item{};
+    node_copy.slots[node_copy.n] = nullptr;
+    node_copy.n--;
+    pool_.txWrite(node, &node_copy, sizeof(node_copy), PMTEST_HERE);
+
+    pool_.freeRaw(right);
+}
+
+void
+BtreeMap::fillChild(Node *node, int index)
+{
+    if (index > 0 && node->slots[index - 1]->n > kMinItems) {
+        rotateRight(node, index - 1);
+    } else if (index < static_cast<int>(node->n) &&
+               node->slots[index + 1]->n > kMinItems) {
+        rotateLeft(node, index);
+    } else if (index < static_cast<int>(node->n)) {
+        mergeChildren(node, index);
+    } else {
+        mergeChildren(node, index - 1);
+    }
+}
+
+bool
+BtreeMap::removeFromNode(Node *node, uint64_t key, bool free_value)
+{
+    int i = 0;
+    while (i < static_cast<int>(node->n) && node->items[i].key < key)
+        i++;
+
+    if (i < static_cast<int>(node->n) && node->items[i].key == key) {
+        if (isLeaf(node)) {
+            if (free_value)
+                freeItemValue(node->items[i]);
+            removeFromLeaf(node, i);
+            return true;
+        }
+        if (node->slots[i]->n > kMinItems) {
+            const Item pred = maxItem(node->slots[i]);
+            if (free_value)
+                freeItemValue(node->items[i]);
+            setItem(node, i, pred);
+            // The predecessor now appears twice; remove the deep copy
+            // without freeing its value (ownership moved up).
+            return removeFromNode(node->slots[i], pred.key, false);
+        }
+        if (node->slots[i + 1]->n > kMinItems) {
+            const Item succ = minItem(node->slots[i + 1]);
+            if (free_value)
+                freeItemValue(node->items[i]);
+            setItem(node, i, succ);
+            return removeFromNode(node->slots[i + 1], succ.key, false);
+        }
+        mergeChildren(node, i);
+        return removeFromNode(node->slots[i], key, free_value);
+    }
+
+    if (isLeaf(node))
+        return false;
+
+    if (node->slots[i]->n <= kMinItems) {
+        fillChild(node, i);
+        // fillChild may have merged or shifted children; restart the
+        // search from this node with its updated layout.
+        return removeFromNode(node, key, free_value);
+    }
+    return removeFromNode(node->slots[i], key, free_value);
+}
+
+bool
+BtreeMap::remove(uint64_t key)
+{
+    if (!root_->root || !findItem(root_->root, key))
+        return false;
+
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+        removeFromNode(root_->root, key, true);
+
+        if (root_->root->n == 0) {
+            // Shrink: an empty root hands over to its only child.
+            Node *old_root = root_->root;
+            pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+            pool_.txAssign(&root_->root, old_root->slots[0],
+                           PMTEST_HERE);
+            pool_.freeRaw(old_root);
+        } else {
+            pool_.txAdd(&root_->count, sizeof(root_->count),
+                        PMTEST_HERE);
+        }
+        pool_.txAssign(&root_->count, root_->count - 1, PMTEST_HERE);
+    }
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+    return true;
+}
+
+size_t
+BtreeMap::count() const
+{
+    return root_->count;
+}
+
+} // namespace pmtest::pmds

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * B-tree map of order 8 (PMDK's btree_map example: 7 items and 8
+ * children per node, preemptive splits on the way down). Hosts the
+ * two PMDK B-tree bug sites from the paper's Table 6: insertItem()
+ * modifying a node without logging it, and rotateLeft() logging the
+ * same node twice.
+ */
+
+#ifndef PMTEST_PMDS_BTREE_MAP_HH
+#define PMTEST_PMDS_BTREE_MAP_HH
+
+#include "pmds/pm_map.hh"
+
+namespace pmtest::pmds
+{
+
+/** Transactional order-8 B-tree. */
+class BtreeMap : public PmMap
+{
+  public:
+    explicit BtreeMap(txlib::ObjPool &pool);
+
+    const char *name() const override { return "btree"; }
+    void insert(uint64_t key, const void *value, size_t size) override;
+    bool lookup(uint64_t key,
+                std::vector<uint8_t> *out = nullptr) const override;
+    bool remove(uint64_t key) override;
+    size_t count() const override;
+
+    /** Wrap mutations in TX_CHECKER_START/END (Fig. 10 annotation). */
+    bool emitCheckers = false;
+
+  private:
+    /** Minimum degree t: nodes hold t-1..2t-1 items. */
+    static constexpr int kDegree = 4;
+    static constexpr int kMaxItems = 2 * kDegree - 1; // 7
+    static constexpr int kMinItems = kDegree - 1;     // 3
+
+    struct Item
+    {
+        uint64_t key = 0;
+        void *value = nullptr;
+        uint64_t valueSize = 0;
+    };
+
+    struct Node
+    {
+        uint64_t n = 0; ///< number of items in use
+        Item items[kMaxItems];
+        Node *slots[kMaxItems + 1] = {}; ///< null in leaves
+    };
+
+    struct Root
+    {
+        Node *root = nullptr;
+        uint64_t count = 0;
+    };
+
+    static bool isLeaf(const Node *node) { return node->slots[0] == nullptr; }
+
+    Item makeItem(uint64_t key, const void *value, size_t size);
+    void freeItemValue(const Item &item);
+    void setItem(Node *node, int pos, const Item &item);
+
+    void insertItem(Node *node, int pos, const Item &item);
+    void splitChild(Node *parent, int index);
+    void insertNonFull(Node *node, const Item &item);
+    Item *findItem(Node *node, uint64_t key) const;
+
+    /**
+     * Remove @p key from the subtree at @p node.
+     * @param free_value whether to release the value buffer — false
+     *        when the item's ownership moved up during a predecessor/
+     *        successor replacement.
+     */
+    bool removeFromNode(Node *node, uint64_t key, bool free_value);
+    void removeFromLeaf(Node *node, int index);
+    void fillChild(Node *node, int index);
+    void rotateLeft(Node *node, int index);
+    void rotateRight(Node *node, int index);
+    void mergeChildren(Node *node, int index);
+    Item maxItem(Node *node) const;
+    Item minItem(Node *node) const;
+
+    txlib::ObjPool &pool_;
+    Root *root_;
+};
+
+} // namespace pmtest::pmds
+
+#endif // PMTEST_PMDS_BTREE_MAP_HH

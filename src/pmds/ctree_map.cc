@@ -1,0 +1,248 @@
+#include "pmds/ctree_map.hh"
+
+#include <bit>
+
+namespace pmtest::pmds
+{
+
+CtreeMap::CtreeMap(txlib::ObjPool &pool)
+    : pool_(pool), root_(pool.root<Root>())
+{
+}
+
+CtreeMap::Leaf *
+CtreeMap::makeLeaf(uint64_t key, const void *value, size_t size)
+{
+    auto *leaf = pool_.txAlloc<Leaf>(PMTEST_HERE);
+    void *buf = pool_.txAllocRaw(size, PMTEST_HERE);
+    pool_.txWrite(buf, value, size, PMTEST_HERE);
+
+    Leaf init{key, buf, size};
+    pool_.txWrite(leaf, &init, sizeof(init), PMTEST_HERE);
+    return leaf;
+}
+
+CtreeMap::Leaf *
+CtreeMap::findLeaf(uint64_t key) const
+{
+    Slot cur = root_->rootSlot;
+    if (cur == 0)
+        return nullptr;
+    while (!isLeaf(cur))
+        cur = nodeOf(cur)->child[bitOf(key, nodeOf(cur)->diff)];
+    return leafOf(cur);
+}
+
+void
+CtreeMap::insert(uint64_t key, const void *value, size_t size)
+{
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+
+        if (root_->rootSlot == 0) {
+            // First insertion: the root slot becomes a leaf.
+            pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+            Leaf *leaf = makeLeaf(key, value, size);
+            pool_.txAssign(&root_->rootSlot, leafSlot(leaf),
+                           PMTEST_HERE);
+            pool_.txAssign(&root_->count, root_->count + 1,
+                           PMTEST_HERE);
+        } else {
+            Leaf *nearest = findLeaf(key);
+            if (nearest->key == key) {
+                // Update in place: swap the value buffer.
+                void *buf = pool_.txAllocRaw(size, PMTEST_HERE);
+                pool_.txWrite(buf, value, size, PMTEST_HERE);
+                void *old = nearest->value;
+                pool_.txAdd(nearest, sizeof(Leaf), PMTEST_HERE);
+                pool_.txAssign(&nearest->value, buf, PMTEST_HERE);
+                pool_.txAssign(&nearest->valueSize, uint64_t(size),
+                               PMTEST_HERE);
+                pool_.freeRaw(old);
+            } else {
+                // The crit bit between the new key and its nearest
+                // neighbour decides where the new internal node goes.
+                const uint32_t d =
+                    63 - std::countl_zero(key ^ nearest->key);
+
+                Slot *slot = &root_->rootSlot;
+                while (!isLeaf(*slot) && nodeOf(*slot)->diff > d)
+                    slot = &nodeOf(*slot)->child[bitOf(
+                        key, nodeOf(*slot)->diff)];
+
+                // Snapshot the slot we are about to relink. Skipping
+                // this TX_ADD is the "missing backup" bug site.
+                if (!faults.skipTxAdd)
+                    pool_.txAdd(slot, sizeof(Slot), PMTEST_HERE);
+                if (faults.extraTxAdd)
+                    pool_.txAddDup(slot, sizeof(Slot), PMTEST_HERE);
+
+                Leaf *leaf = makeLeaf(key, value, size);
+                auto *node = pool_.txAlloc<Node>(PMTEST_HERE);
+                Node init;
+                init.diff = d;
+                init.child[bitOf(key, d)] = leafSlot(leaf);
+                init.child[1 - bitOf(key, d)] = *slot;
+                pool_.txWrite(node, &init, sizeof(init), PMTEST_HERE);
+                pool_.txAssign(slot, nodeSlot(node), PMTEST_HERE);
+
+                pool_.txAdd(&root_->count, sizeof(root_->count),
+                            PMTEST_HERE);
+                pool_.txAssign(&root_->count, root_->count + 1,
+                               PMTEST_HERE);
+            }
+        }
+    }
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+}
+
+bool
+CtreeMap::lookup(uint64_t key, std::vector<uint8_t> *out) const
+{
+    const Leaf *leaf = findLeaf(key);
+    if (!leaf || leaf->key != key)
+        return false;
+    if (out) {
+        out->resize(leaf->valueSize);
+        std::memcpy(out->data(), leaf->value, leaf->valueSize);
+    }
+    return true;
+}
+
+bool
+CtreeMap::remove(uint64_t key)
+{
+    if (root_->rootSlot == 0)
+        return false;
+
+    // Walk down remembering the slot that points at the parent node,
+    // so the sibling can be spliced into the grandparent.
+    Slot *parent_slot = nullptr;
+    Slot *slot = &root_->rootSlot;
+    while (!isLeaf(*slot)) {
+        parent_slot = slot;
+        slot = &nodeOf(*slot)->child[bitOf(key, nodeOf(*slot)->diff)];
+    }
+    Leaf *leaf = leafOf(*slot);
+    if (leaf->key != key)
+        return false;
+
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+        if (parent_slot == nullptr) {
+            // Removing the only element; the Root snapshot covers
+            // both the slot and the count.
+            pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+            pool_.txAssign<Slot>(&root_->rootSlot, 0, PMTEST_HERE);
+        } else {
+            Node *parent = nodeOf(*parent_slot);
+            const unsigned b = bitOf(key, parent->diff);
+            const Slot sibling = parent->child[1 - b];
+            pool_.txAdd(parent_slot, sizeof(Slot), PMTEST_HERE);
+            pool_.txAssign(parent_slot, sibling, PMTEST_HERE);
+            pool_.freeRaw(parent);
+            pool_.txAdd(&root_->count, sizeof(root_->count),
+                        PMTEST_HERE);
+        }
+        pool_.txAssign(&root_->count, root_->count - 1, PMTEST_HERE);
+        pool_.freeRaw(leaf->value);
+        pool_.freeRaw(leaf);
+    }
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+    return true;
+}
+
+size_t
+CtreeMap::count() const
+{
+    return root_->count;
+}
+
+namespace
+{
+
+/** Recursive image walk; returns false on corruption. */
+bool
+walkSlot(const pmem::ImageView &view, uint64_t slot, size_t depth,
+         std::map<uint64_t, std::vector<uint8_t>> *out,
+         size_t *leaves)
+{
+    if (depth > 70)
+        return false; // deeper than 64-bit crit-bit trees can be
+    if (slot & 1) {
+        const auto *leaf_ptr =
+            reinterpret_cast<const void *>(slot & ~uint64_t(1));
+        if (!view.contains(leaf_ptr))
+            return false;
+        struct LeafRaw
+        {
+            uint64_t key;
+            void *value;
+            uint64_t valueSize;
+        };
+        const auto leaf = view.read<LeafRaw>(leaf_ptr);
+        if (!leaf.value || !view.contains(leaf.value) ||
+            leaf.valueSize > view.image().size()) {
+            return false;
+        }
+        if (out) {
+            std::vector<uint8_t> value(leaf.valueSize);
+            view.readBytes(view.offsetOf(leaf.value), value.data(),
+                           value.size());
+            (*out)[leaf.key] = std::move(value);
+        }
+        (*leaves)++;
+        return true;
+    }
+
+    const auto *node_ptr = reinterpret_cast<const void *>(slot);
+    if (!view.contains(node_ptr))
+        return false;
+    struct NodeRaw
+    {
+        uint32_t diff;
+        uint64_t child[2];
+    };
+    const auto node = view.read<NodeRaw>(node_ptr);
+    if (node.diff > 63 || node.child[0] == 0 || node.child[1] == 0)
+        return false;
+    return walkSlot(view, node.child[0], depth + 1, out, leaves) &&
+           walkSlot(view, node.child[1], depth + 1, out, leaves);
+}
+
+} // namespace
+
+bool
+CtreeMap::readImage(const pmem::PmPool &pool,
+                    const std::vector<uint8_t> &image,
+                    std::map<uint64_t, std::vector<uint8_t>> *out)
+{
+    if (image.size() != pool.size())
+        return false;
+    pmem::ImageView view(pool, image);
+
+    const auto header = view.readAt<txlib::PoolHeader>(0);
+    if (header.magic != txlib::PoolHeader::kMagic ||
+        header.rootOffset == 0 ||
+        header.rootOffset + sizeof(Root) > image.size()) {
+        return false;
+    }
+    const auto root = view.readAt<Root>(header.rootOffset);
+    if (root.rootSlot == 0)
+        return root.count == 0;
+
+    size_t leaves = 0;
+    if (!walkSlot(view, root.rootSlot, 0, out, &leaves))
+        return false;
+    return leaves == root.count;
+}
+
+} // namespace pmtest::pmds

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Crit-bit tree map (PMDK's ctree_map example): internal nodes hold
+ * the index of the most significant bit in which their two subtrees'
+ * keys differ; leaves hold key/value pairs. All structural updates
+ * run inside txlib transactions.
+ */
+
+#ifndef PMTEST_PMDS_CTREE_MAP_HH
+#define PMTEST_PMDS_CTREE_MAP_HH
+
+#include <map>
+
+#include "pmds/pm_map.hh"
+#include "pmem/image_view.hh"
+
+namespace pmtest::pmds
+{
+
+/** Transactional crit-bit tree. */
+class CtreeMap : public PmMap
+{
+  public:
+    explicit CtreeMap(txlib::ObjPool &pool);
+
+    const char *name() const override { return "ctree"; }
+    void insert(uint64_t key, const void *value, size_t size) override;
+    bool lookup(uint64_t key,
+                std::vector<uint8_t> *out = nullptr) const override;
+    bool remove(uint64_t key) override;
+    size_t count() const override;
+
+    /** Wrap mutations in TX_CHECKER_START/END (Fig. 10 annotation). */
+    bool emitCheckers = false;
+
+    /**
+     * Recovery-time consistency walk: parse the tree out of a crash
+     * image (run txlib::recoverImage first).
+     * @return false when structurally corrupt; otherwise fills @p out
+     *         (if non-null) with the key -> value mapping.
+     */
+    static bool readImage(const pmem::PmPool &pool,
+                          const std::vector<uint8_t> &image,
+                          std::map<uint64_t, std::vector<uint8_t>>
+                              *out);
+
+  private:
+    /** Tagged child pointer: low bit set = leaf. */
+    using Slot = uint64_t;
+
+    struct Leaf
+    {
+        uint64_t key;
+        void *value;
+        uint64_t valueSize;
+    };
+
+    struct Node
+    {
+        uint32_t diff; ///< most significant differing bit index
+        Slot child[2];
+    };
+
+    struct Root
+    {
+        Slot rootSlot;
+        uint64_t count;
+    };
+
+    static bool isLeaf(Slot s) { return (s & 1) != 0; }
+    static Leaf *leafOf(Slot s)
+    {
+        return reinterpret_cast<Leaf *>(s & ~uint64_t(1));
+    }
+    static Node *nodeOf(Slot s) { return reinterpret_cast<Node *>(s); }
+    static Slot leafSlot(Leaf *l)
+    {
+        return reinterpret_cast<uint64_t>(l) | 1;
+    }
+    static Slot nodeSlot(Node *n)
+    {
+        return reinterpret_cast<uint64_t>(n);
+    }
+    static unsigned bitOf(uint64_t key, uint32_t index)
+    {
+        return (key >> index) & 1;
+    }
+
+    Leaf *makeLeaf(uint64_t key, const void *value, size_t size);
+    Leaf *findLeaf(uint64_t key) const;
+
+    txlib::ObjPool &pool_;
+    Root *root_;
+};
+
+} // namespace pmtest::pmds
+
+#endif // PMTEST_PMDS_CTREE_MAP_HH

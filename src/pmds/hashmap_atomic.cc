@@ -1,0 +1,220 @@
+#include "pmds/hashmap_atomic.hh"
+
+namespace pmtest::pmds
+{
+
+HashmapAtomic::HashmapAtomic(txlib::ObjPool &pool, size_t nbuckets)
+    : pool_(pool), root_(pool.root<Root>())
+{
+    if (root_->buckets == nullptr) {
+        const size_t bytes = nbuckets * sizeof(Node *);
+        auto **buckets =
+            static_cast<Node **>(pool_.allocRaw(bytes));
+        std::vector<uint8_t> zeros(bytes, 0);
+        pmStore(buckets, zeros.data(), bytes, PMTEST_HERE);
+        pmClwb(buckets, bytes, PMTEST_HERE);
+        pmSfence(PMTEST_HERE);
+
+        Root init{buckets, nbuckets, 0, 0};
+        pool_.persist(root_, &init, sizeof(init), PMTEST_HERE);
+    }
+    pmtestSendTrace();
+}
+
+size_t
+HashmapAtomic::bucketOf(uint64_t key) const
+{
+    return (key * 0x9e3779b97f4a7c15ULL) % root_->nbuckets;
+}
+
+void
+HashmapAtomic::updateCount(int64_t delta)
+{
+    // PMDK hashmap_atomic protocol: the count is not linked into the
+    // structure atomically, so a dirty flag brackets the update and
+    // recovery recomputes the count when the flag is set.
+    pmAssign(&root_->countDirty, uint64_t(1), PMTEST_HERE);
+    pmClwb(&root_->countDirty, sizeof(uint64_t), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+
+    pmAssign(&root_->count, uint64_t(root_->count + delta),
+             PMTEST_HERE);
+    pmClwb(&root_->count, sizeof(uint64_t), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+
+    pmAssign(&root_->countDirty, uint64_t(0), PMTEST_HERE);
+    pmClwb(&root_->countDirty, sizeof(uint64_t), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+}
+
+void
+HashmapAtomic::insert(uint64_t key, const void *value, size_t size)
+{
+    Node **slot = &root_->buckets[bucketOf(key)];
+
+    {
+        // Update in place if the key exists: swap the value buffer
+        // with an atomic 8-byte pointer store.
+        Node *existing = *slot;
+        while (existing && existing->key != key)
+            existing = existing->next;
+        if (existing) {
+            void *buf = pool_.allocRaw(size);
+            pmStore(buf, value, size, PMTEST_HERE);
+            pmClwb(buf, size, PMTEST_HERE);
+            pmSfence(PMTEST_HERE);
+
+            void *old = existing->value;
+            pmAssign(&existing->value, buf, PMTEST_HERE);
+            pmAssign(&existing->valueSize, uint64_t(size), PMTEST_HERE);
+            pmClwb(&existing->value, 2 * sizeof(uint64_t), PMTEST_HERE);
+            pmSfence(PMTEST_HERE);
+            pool_.freeRaw(old);
+            pmtestSendTrace();
+            return;
+        }
+    }
+
+    // 1. Build the new node off to the side and persist it.
+    auto *node = static_cast<Node *>(pool_.allocRaw(sizeof(Node)));
+    void *buf = pool_.allocRaw(size);
+    pmStore(buf, value, size, PMTEST_HERE);
+    pmClwb(buf, size, PMTEST_HERE);
+
+    Node init{key, buf, size, *slot};
+    pmStore(node, &init, sizeof(init), PMTEST_HERE);
+    if (!faults.skipFlush)
+        pmClwb(node, sizeof(Node), PMTEST_HERE);
+    if (faults.extraFlush)
+        pmClwb(node, sizeof(Node), PMTEST_HERE);
+
+    // 2. Fence: the node and its value must be durable before the
+    //    link makes them reachable. Omitting or misplacing this fence
+    //    is the classic low-level ordering bug.
+    if (!faults.skipFence && !faults.misplacedFence)
+        pmSfence(PMTEST_HERE);
+
+    if (emitCheckers)
+        PMTEST_IS_PERSIST(node, sizeof(Node));
+
+    // 3. Atomic 8-byte link, then persist the bucket slot.
+    pmAssign(slot, node, PMTEST_HERE);
+    pmClwb(slot, sizeof(Node *), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+    if (faults.misplacedFence) {
+        // The fence that should have preceded the link shows up here
+        // instead — too late to order node vs. link.
+        pmSfence(PMTEST_HERE);
+    }
+
+    if (emitCheckers) {
+        // The node must have been durable no later than the moment
+        // the link could persist.
+        PMTEST_IS_ORDERED_BEFORE(node, sizeof(Node), slot,
+                                 sizeof(Node *));
+        PMTEST_IS_PERSIST(slot, sizeof(Node *));
+    }
+
+    // 4. Recoverable count update.
+    updateCount(1);
+    if (emitCheckers)
+        PMTEST_IS_PERSIST(&root_->count, sizeof(uint64_t));
+
+    pmtestSendTrace();
+}
+
+bool
+HashmapAtomic::lookup(uint64_t key, std::vector<uint8_t> *out) const
+{
+    const Node *node = root_->buckets[bucketOf(key)];
+    while (node && node->key != key)
+        node = node->next;
+    if (!node)
+        return false;
+    if (out) {
+        out->resize(node->valueSize);
+        std::memcpy(out->data(), node->value, node->valueSize);
+    }
+    return true;
+}
+
+bool
+HashmapAtomic::remove(uint64_t key)
+{
+    Node **slot = &root_->buckets[bucketOf(key)];
+    while (*slot && (*slot)->key != key)
+        slot = &(*slot)->next;
+    Node *node = *slot;
+    if (!node)
+        return false;
+
+    // Atomic unlink, persist the slot, then retire the node.
+    pmAssign(slot, node->next, PMTEST_HERE);
+    pmClwb(slot, sizeof(Node *), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+    if (emitCheckers)
+        PMTEST_IS_PERSIST(slot, sizeof(Node *));
+
+    updateCount(-1);
+
+    pool_.freeRaw(node->value);
+    pool_.freeRaw(node);
+    pmtestSendTrace();
+    return true;
+}
+
+size_t
+HashmapAtomic::count() const
+{
+    return root_->count;
+}
+
+bool
+HashmapAtomic::recoverImage(const pmem::PmPool &pool,
+                            std::vector<uint8_t> &image,
+                            uint64_t *recounted)
+{
+    if (image.size() != pool.size())
+        return false;
+    pmem::ImageView view(pool, image);
+
+    const auto header = view.readAt<txlib::PoolHeader>(0);
+    if (header.magic != txlib::PoolHeader::kMagic ||
+        header.rootOffset == 0 ||
+        header.rootOffset + sizeof(Root) > image.size()) {
+        return false;
+    }
+    const uint64_t root_off = header.rootOffset;
+    auto root = view.readAt<Root>(root_off);
+    if (!root.buckets || !view.contains(root.buckets) ||
+        root.nbuckets == 0 || root.nbuckets > (1u << 24)) {
+        return false;
+    }
+
+    // Count the reachable nodes; the links are the source of truth.
+    uint64_t counted = 0;
+    for (uint64_t b = 0; b < root.nbuckets; b++) {
+        Node *node = view.read<Node *>(root.buckets + b);
+        size_t chain = 0;
+        while (node) {
+            if (!view.contains(node) || ++chain > image.size())
+                return false;
+            counted += 1;
+            node = view.read<Node>(node).next;
+        }
+    }
+    if (recounted)
+        *recounted = counted;
+
+    if (root.countDirty != 0 || root.count != counted) {
+        // Repair: the dirty flag marks an interrupted update, and a
+        // mismatched counter without the flag means the crash hit
+        // between the link persist and the counter protocol.
+        root.count = counted;
+        root.countDirty = 0;
+        std::memcpy(image.data() + root_off, &root, sizeof(root));
+    }
+    return true;
+}
+
+} // namespace pmtest::pmds

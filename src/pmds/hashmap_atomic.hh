@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Low-level (non-transactional) chained hashmap, modelled on PMDK's
+ * hashmap_atomic example: crash consistency comes from carefully
+ * ordered 8-byte atomic link updates and explicit writeback/fence
+ * sequences rather than from a transaction. This is the "CCS built
+ * with low-level primitives" category of the paper's Fig. 2 and the
+ * workload whose testing uses the low-level checkers directly.
+ */
+
+#ifndef PMTEST_PMDS_HASHMAP_ATOMIC_HH
+#define PMTEST_PMDS_HASHMAP_ATOMIC_HH
+
+#include "pmds/pm_map.hh"
+#include "pmem/image_view.hh"
+
+namespace pmtest::pmds
+{
+
+/** Low-level chained hashmap with atomic link updates. */
+class HashmapAtomic : public PmMap
+{
+  public:
+    /** @param nbuckets chain count (fixed; no rehashing). */
+    explicit HashmapAtomic(txlib::ObjPool &pool, size_t nbuckets = 1024);
+
+    const char *name() const override { return "hashmap-atomic"; }
+    void insert(uint64_t key, const void *value, size_t size) override;
+    bool lookup(uint64_t key,
+                std::vector<uint8_t> *out = nullptr) const override;
+    bool remove(uint64_t key) override;
+    size_t count() const override;
+
+    /**
+     * Emit the low-level checkers the paper's campaign places in the
+     * low-level workload: isOrderedBefore(new node, bucket head) and
+     * isPersist() assertions after each durability point.
+     */
+    bool emitCheckers = false;
+
+    /**
+     * Recovery over a crash image: if the crash hit inside the
+     * count-update protocol (countDirty set), recount the chains and
+     * repair the counter — the PMDK hashmap_atomic recovery step.
+     * @param recounted if non-null, receives the repaired count
+     * @return false when the image is structurally corrupt
+     */
+    static bool recoverImage(const pmem::PmPool &pool,
+                             std::vector<uint8_t> &image,
+                             uint64_t *recounted = nullptr);
+
+  private:
+    struct Node
+    {
+        uint64_t key;
+        void *value;
+        uint64_t valueSize;
+        Node *next;
+    };
+
+    struct Root
+    {
+        Node **buckets;
+        uint64_t nbuckets;
+        uint64_t count;
+        uint64_t countDirty; ///< PMDK-style recoverable counter flag
+    };
+
+    size_t bucketOf(uint64_t key) const;
+
+    /** The count-update protocol: dirty, bump, clean (each durable). */
+    void updateCount(int64_t delta);
+
+    txlib::ObjPool &pool_;
+    Root *root_;
+};
+
+} // namespace pmtest::pmds
+
+#endif // PMTEST_PMDS_HASHMAP_ATOMIC_HH

@@ -1,0 +1,172 @@
+#include "pmds/hashmap_tx.hh"
+
+namespace pmtest::pmds
+{
+
+HashmapTx::HashmapTx(txlib::ObjPool &pool, size_t nbuckets)
+    : pool_(pool), root_(pool.root<Root>())
+{
+    if (root_->buckets == nullptr) {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+        pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+        const size_t bytes = nbuckets * sizeof(Node *);
+        auto **buckets =
+            static_cast<Node **>(pool_.txAllocRaw(bytes, PMTEST_HERE));
+        std::vector<uint8_t> zeros(bytes, 0);
+        pool_.txWrite(buckets, zeros.data(), bytes, PMTEST_HERE);
+        pool_.txAssign(&root_->buckets, buckets, PMTEST_HERE);
+        pool_.txAssign(&root_->nbuckets, uint64_t(nbuckets),
+                       PMTEST_HERE);
+    }
+    pmtestSendTrace();
+}
+
+size_t
+HashmapTx::bucketOf(uint64_t key) const
+{
+    return (key * 0x9e3779b97f4a7c15ULL) % root_->nbuckets;
+}
+
+void
+HashmapTx::insert(uint64_t key, const void *value, size_t size)
+{
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+
+        Node **slot = &root_->buckets[bucketOf(key)];
+        Node *existing = *slot;
+        while (existing && existing->key != key)
+            existing = existing->next;
+
+        if (existing) {
+            void *buf = pool_.txAllocRaw(size, PMTEST_HERE);
+            pool_.txWrite(buf, value, size, PMTEST_HERE);
+            void *old = existing->value;
+            pool_.txAdd(existing, sizeof(Node), PMTEST_HERE);
+            pool_.txAssign(&existing->value, buf, PMTEST_HERE);
+            pool_.txAssign(&existing->valueSize, uint64_t(size),
+                           PMTEST_HERE);
+            pool_.freeRaw(old);
+        } else {
+            auto *node = pool_.txAlloc<Node>(PMTEST_HERE);
+            void *buf = pool_.txAllocRaw(size, PMTEST_HERE);
+            pool_.txWrite(buf, value, size, PMTEST_HERE);
+            Node init{key, buf, size, *slot};
+            pool_.txWrite(node, &init, sizeof(init), PMTEST_HERE);
+
+            // Snapshot the bucket head before relinking it. Skipping
+            // this TX_ADD is the missing-backup bug site.
+            if (!faults.skipTxAdd)
+                pool_.txAdd(slot, sizeof(Node *), PMTEST_HERE);
+            if (faults.extraTxAdd)
+                pool_.txAddDup(slot, sizeof(Node *), PMTEST_HERE);
+            pool_.txAssign(slot, node, PMTEST_HERE);
+
+            pool_.txAdd(&root_->count, sizeof(root_->count),
+                        PMTEST_HERE);
+            pool_.txAssign(&root_->count, root_->count + 1,
+                           PMTEST_HERE);
+        }
+    }
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+}
+
+bool
+HashmapTx::lookup(uint64_t key, std::vector<uint8_t> *out) const
+{
+    const Node *node = root_->buckets[bucketOf(key)];
+    while (node && node->key != key)
+        node = node->next;
+    if (!node)
+        return false;
+    if (out) {
+        out->resize(node->valueSize);
+        std::memcpy(out->data(), node->value, node->valueSize);
+    }
+    return true;
+}
+
+bool
+HashmapTx::remove(uint64_t key)
+{
+    Node **slot = &root_->buckets[bucketOf(key)];
+    while (*slot && (*slot)->key != key)
+        slot = &(*slot)->next;
+    Node *node = *slot;
+    if (!node)
+        return false;
+
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+        pool_.txAdd(slot, sizeof(Node *), PMTEST_HERE);
+        pool_.txAssign(slot, node->next, PMTEST_HERE);
+        pool_.txAdd(&root_->count, sizeof(root_->count), PMTEST_HERE);
+        pool_.txAssign(&root_->count, root_->count - 1, PMTEST_HERE);
+        pool_.freeRaw(node->value);
+        pool_.freeRaw(node);
+    }
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+    return true;
+}
+
+size_t
+HashmapTx::count() const
+{
+    return root_->count;
+}
+
+bool
+HashmapTx::readImage(const pmem::PmPool &pool,
+                     const std::vector<uint8_t> &image,
+                     std::map<uint64_t, std::vector<uint8_t>> *out)
+{
+    if (image.size() != pool.size())
+        return false;
+    pmem::ImageView view(pool, image);
+
+    const auto header = view.readAt<txlib::PoolHeader>(0);
+    if (header.magic != txlib::PoolHeader::kMagic ||
+        header.rootOffset == 0 ||
+        header.rootOffset + sizeof(Root) > image.size()) {
+        return false;
+    }
+    const auto root = view.readAt<Root>(header.rootOffset);
+    if (!root.buckets || !view.contains(root.buckets) ||
+        root.nbuckets == 0 || root.nbuckets > (1u << 24)) {
+        return false;
+    }
+
+    size_t found = 0;
+    for (uint64_t b = 0; b < root.nbuckets; b++) {
+        Node *node = view.read<Node *>(root.buckets + b);
+        size_t chain = 0;
+        while (node) {
+            if (!view.contains(node) || ++chain > image.size())
+                return false; // dangling pointer or cycle
+            const Node n = view.read<Node>(node);
+            if (!n.value || !view.contains(n.value) ||
+                n.valueSize > image.size()) {
+                return false;
+            }
+            if (out) {
+                std::vector<uint8_t> value(n.valueSize);
+                view.readBytes(view.offsetOf(n.value), value.data(),
+                               value.size());
+                (*out)[n.key] = std::move(value);
+            }
+            found++;
+            node = n.next;
+        }
+    }
+    return found == root.count;
+}
+
+} // namespace pmtest::pmds

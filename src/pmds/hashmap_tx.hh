@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Transactional chained hashmap (PMDK's hashmap_tx example): a fixed
+ * bucket array of singly linked chains; every mutation runs in one
+ * txlib transaction.
+ */
+
+#ifndef PMTEST_PMDS_HASHMAP_TX_HH
+#define PMTEST_PMDS_HASHMAP_TX_HH
+
+#include <map>
+
+#include "pmds/pm_map.hh"
+#include "pmem/image_view.hh"
+
+namespace pmtest::pmds
+{
+
+/** Transactional chained hashmap. */
+class HashmapTx : public PmMap
+{
+  public:
+    /** @param nbuckets chain count (kept fixed; no rehashing). */
+    explicit HashmapTx(txlib::ObjPool &pool, size_t nbuckets = 1024);
+
+    const char *name() const override { return "hashmap-tx"; }
+    void insert(uint64_t key, const void *value, size_t size) override;
+    bool lookup(uint64_t key,
+                std::vector<uint8_t> *out = nullptr) const override;
+    bool remove(uint64_t key) override;
+    size_t count() const override;
+
+    /** Wrap mutations in TX_CHECKER_START/END (Fig. 10 annotation). */
+    bool emitCheckers = false;
+
+    /**
+     * Recovery-time consistency walk: parse the map out of a crash
+     * image (run txlib::recoverImage first). Used by crash-validation
+     * tests and as a post-recovery fsck.
+     *
+     * @param pool the live pool the image was captured from
+     * @param image the (recovered) crash image
+     * @param out if non-null, receives the key -> value mapping
+     * @return false when the image is structurally corrupt (dangling
+     *         pointers, cycles, count mismatch)
+     */
+    static bool readImage(const pmem::PmPool &pool,
+                          const std::vector<uint8_t> &image,
+                          std::map<uint64_t, std::vector<uint8_t>>
+                              *out);
+
+  private:
+    struct Node
+    {
+        uint64_t key;
+        void *value;
+        uint64_t valueSize;
+        Node *next;
+    };
+
+    struct Root
+    {
+        Node **buckets;
+        uint64_t nbuckets;
+        uint64_t count;
+    };
+
+    /** Fibonacci hashing of the key into a bucket index. */
+    size_t bucketOf(uint64_t key) const;
+
+    txlib::ObjPool &pool_;
+    Root *root_;
+};
+
+} // namespace pmtest::pmds
+
+#endif // PMTEST_PMDS_HASHMAP_TX_HH

@@ -1,0 +1,43 @@
+#include "pmds/pm_map.hh"
+
+#include "pmds/btree_map.hh"
+#include "pmds/ctree_map.hh"
+#include "pmds/hashmap_atomic.hh"
+#include "pmds/hashmap_tx.hh"
+#include "pmds/rbtree_map.hh"
+
+namespace pmtest::pmds
+{
+
+const char *
+mapKindName(MapKind kind)
+{
+    switch (kind) {
+      case MapKind::Ctree: return "ctree";
+      case MapKind::Btree: return "btree";
+      case MapKind::Rbtree: return "rbtree";
+      case MapKind::HashmapTx: return "hashmap-tx";
+      case MapKind::HashmapAtomic: return "hashmap-atomic";
+    }
+    return "?";
+}
+
+std::unique_ptr<PmMap>
+makeMap(MapKind kind, txlib::ObjPool &pool)
+{
+    switch (kind) {
+      case MapKind::Ctree:
+        return std::make_unique<CtreeMap>(pool);
+      case MapKind::Btree:
+        return std::make_unique<BtreeMap>(pool);
+      case MapKind::Rbtree:
+        return std::make_unique<RbtreeMap>(pool);
+      case MapKind::HashmapTx:
+        return std::make_unique<HashmapTx>(pool);
+      case MapKind::HashmapAtomic:
+        return std::make_unique<HashmapAtomic>(pool);
+    }
+    return nullptr;
+}
+
+} // namespace pmtest::pmds

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Common interface of the five persistent key-value structures that
+ * mirror the PMDK examples the paper evaluates (Fig. 10): C-tree,
+ * B-tree, RB-tree, a transactional hashmap and a low-level (atomic)
+ * hashmap. Values are variable-size byte buffers so the benchmark
+ * harness can sweep the paper's "transaction size" axis (64–4096 B).
+ */
+
+#ifndef PMTEST_PMDS_PM_MAP_HH
+#define PMTEST_PMDS_PM_MAP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "txlib/obj_pool.hh"
+
+namespace pmtest::pmds
+{
+
+/**
+ * Fault-injection knobs for the Table 5 bug campaign. Correct code
+ * leaves all of them false; each knob plants one class of crash
+ * consistency or performance bug at a realistic code site.
+ */
+struct MapFaults
+{
+    /** TX maps: skip one TX_ADD before modifying an existing node. */
+    bool skipTxAdd = false;
+    /** TX maps: log the same object twice (performance bug). */
+    bool extraTxAdd = false;
+    /** Atomic map: skip the writeback of the new node. */
+    bool skipFlush = false;
+    /** Atomic map: skip the fence between node persist and link. */
+    bool skipFence = false;
+    /** Atomic map: writeback the new node twice (performance bug). */
+    bool extraFlush = false;
+    /** Atomic map: fence placed after the link instead of before. */
+    bool misplacedFence = false;
+};
+
+/** A persistent map from uint64 keys to byte-buffer values. */
+class PmMap
+{
+  public:
+    virtual ~PmMap() = default;
+
+    /** Structure name ("ctree", "btree", ...). */
+    virtual const char *name() const = 0;
+
+    /** Insert or update @p key with a copy of the value bytes. */
+    virtual void insert(uint64_t key, const void *value,
+                        size_t size) = 0;
+
+    /**
+     * Look up @p key.
+     * @param out if non-null, receives a copy of the value bytes
+     * @return true when the key is present
+     */
+    virtual bool lookup(uint64_t key,
+                        std::vector<uint8_t> *out = nullptr) const = 0;
+
+    /** Remove @p key. @return true when it was present. */
+    virtual bool remove(uint64_t key) = 0;
+
+    /** Number of keys currently stored. */
+    virtual size_t count() const = 0;
+
+    /** Fault-injection knobs (Table 5 campaign). */
+    MapFaults faults;
+};
+
+/** The five structures of the paper's microbenchmark set. */
+enum class MapKind
+{
+    Ctree,
+    Btree,
+    Rbtree,
+    HashmapTx,
+    HashmapAtomic,
+};
+
+/** Name for a MapKind ("ctree", ...). */
+const char *mapKindName(MapKind kind);
+
+/** Instantiate a map of the given kind over @p pool. */
+std::unique_ptr<PmMap> makeMap(MapKind kind, txlib::ObjPool &pool);
+
+/** All five kinds, for sweeping benches/tests. */
+inline constexpr MapKind kAllMapKinds[] = {
+    MapKind::Ctree, MapKind::Btree, MapKind::Rbtree,
+    MapKind::HashmapTx, MapKind::HashmapAtomic,
+};
+
+} // namespace pmtest::pmds
+
+#endif // PMTEST_PMDS_PM_MAP_HH

@@ -1,0 +1,142 @@
+#include "pmds/pm_queue.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pmtest::pmds
+{
+
+PmQueue::PmQueue(txlib::ObjPool &pool, uint64_t capacity)
+    : pool_(pool), root_(pool.root<Root>())
+{
+    if (capacity == 0)
+        fatal("PmQueue: capacity must be positive");
+    if (root_->slots == nullptr) {
+        // One-time setup: allocate the ring and publish the metadata
+        // durably before first use.
+        auto *slots = static_cast<Slot *>(
+            pool_.allocRaw(capacity * sizeof(Slot)));
+        std::memset(slots, 0, capacity * sizeof(Slot));
+
+        Root init{0, 0, capacity, slots};
+        pool_.persist(root_, &init, sizeof(init), PMTEST_HERE);
+    }
+    pmtestSendTrace();
+}
+
+PmQueue::Slot *
+PmQueue::slotAt(uint64_t index)
+{
+    return &root_->slots[index % root_->capacity];
+}
+
+uint64_t
+PmQueue::size() const
+{
+    return root_->tail - root_->head;
+}
+
+bool
+PmQueue::full() const
+{
+    return size() == root_->capacity;
+}
+
+bool
+PmQueue::enqueue(const void *data, size_t size)
+{
+    if (full())
+        return false;
+
+    // 1. Fill the slot off to the side (it is not published yet).
+    Slot *slot = slotAt(root_->tail);
+    Slot staged{};
+    staged.size = std::min<uint64_t>(size, kSlotPayload);
+    std::memcpy(staged.data, data, staged.size);
+    pmStore(slot, &staged, sizeof(staged), PMTEST_HERE);
+    if (!faults.skipSlotFlush)
+        pmClwb(slot, sizeof(Slot), PMTEST_HERE);
+    if (faults.extraSlotFlush)
+        pmClwb(slot, sizeof(Slot), PMTEST_HERE);
+
+    // 2. The payload must be durable before the tail publishes it.
+    if (!faults.skipSlotFence)
+        pmSfence(PMTEST_HERE);
+    if (emitCheckers) {
+        PMTEST_IS_PERSIST(slot, sizeof(Slot));
+    }
+
+    // 3. Publish: bump the tail and persist it.
+    pmAssign<uint64_t>(&root_->tail, root_->tail + 1, PMTEST_HERE);
+    pmClwb(&root_->tail, sizeof(uint64_t), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+    if (emitCheckers) {
+        PMTEST_IS_ORDERED_BEFORE(slot, sizeof(Slot), &root_->tail,
+                                 sizeof(uint64_t));
+        PMTEST_IS_PERSIST(&root_->tail, sizeof(uint64_t));
+    }
+
+    pmtestSendTrace();
+    return true;
+}
+
+bool
+PmQueue::dequeue(std::vector<uint8_t> *out)
+{
+    if (empty())
+        return false;
+
+    const Slot *slot = slotAt(root_->head);
+    if (out)
+        out->assign(slot->data, slot->data + slot->size);
+
+    // Retire: bump the head and persist it before the slot can be
+    // reused by a future enqueue.
+    pmAssign<uint64_t>(&root_->head, root_->head + 1, PMTEST_HERE);
+    pmClwb(&root_->head, sizeof(uint64_t), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+    if (emitCheckers)
+        PMTEST_IS_PERSIST(&root_->head, sizeof(uint64_t));
+
+    pmtestSendTrace();
+    return true;
+}
+
+bool
+PmQueue::readImage(const pmem::PmPool &pool,
+                   const std::vector<uint8_t> &image,
+                   std::vector<std::vector<uint8_t>> *out)
+{
+    if (image.size() != pool.size())
+        return false;
+    pmem::ImageView view(pool, image);
+
+    const auto header = view.readAt<txlib::PoolHeader>(0);
+    if (header.magic != txlib::PoolHeader::kMagic ||
+        header.rootOffset == 0 ||
+        header.rootOffset + sizeof(Root) > image.size()) {
+        return false;
+    }
+    const auto root = view.readAt<Root>(header.rootOffset);
+    if (!root.slots || !view.contains(root.slots) ||
+        root.capacity == 0 || root.capacity > (1u << 24)) {
+        return false;
+    }
+    if (root.tail < root.head ||
+        root.tail - root.head > root.capacity) {
+        return false; // torn metadata
+    }
+
+    for (uint64_t i = root.head; i < root.tail; i++) {
+        const Slot slot =
+            view.read<Slot>(root.slots + i % root.capacity);
+        if (slot.size > kSlotPayload)
+            return false;
+        if (out)
+            out->emplace_back(slot.data, slot.data + slot.size);
+    }
+    return true;
+}
+
+} // namespace pmtest::pmds

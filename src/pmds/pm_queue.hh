@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A persistent FIFO ring queue built on low-level primitives — the
+ * "custom crash-consistent application" CCS class the paper's
+ * introduction cites (persistent lock-free queues, NV-Tree-style
+ * custom structures). Crash consistency comes from ordering: a slot's
+ * payload must be durable before the tail index publishes it, and the
+ * head index persists before a dequeued slot may be reused.
+ *
+ * Recovery: head and tail are the only mutable metadata; any crash
+ * leaves a consistent prefix of published entries.
+ */
+
+#ifndef PMTEST_PMDS_PM_QUEUE_HH
+#define PMTEST_PMDS_PM_QUEUE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pmem/image_view.hh"
+#include "txlib/obj_pool.hh"
+
+namespace pmtest::pmds
+{
+
+/** Fault-injection knobs for the queue (low-level bug classes). */
+struct QueueFaults
+{
+    /** Skip the payload writeback before publishing (durability). */
+    bool skipSlotFlush = false;
+    /** Skip the fence between payload persist and tail publish. */
+    bool skipSlotFence = false;
+    /** Write the payload back twice (performance). */
+    bool extraSlotFlush = false;
+};
+
+/** A bounded persistent FIFO of fixed-size payloads. */
+class PmQueue
+{
+  public:
+    /** Payload bytes per slot. */
+    static constexpr size_t kSlotPayload = 240;
+
+    /**
+     * @param pool backing pool (root object holds the queue)
+     * @param capacity number of slots
+     */
+    PmQueue(txlib::ObjPool &pool, uint64_t capacity);
+
+    /**
+     * Append a payload (truncated/zero-padded to kSlotPayload).
+     * @return false when the queue is full.
+     */
+    bool enqueue(const void *data, size_t size);
+
+    /**
+     * Pop the oldest payload.
+     * @param out if non-null, receives the payload bytes
+     * @return false when the queue is empty.
+     */
+    bool dequeue(std::vector<uint8_t> *out = nullptr);
+
+    /** Entries currently queued. */
+    uint64_t size() const;
+
+    /** True when no entries are queued. */
+    bool empty() const { return size() == 0; }
+
+    /** True when enqueue would fail. */
+    bool full() const;
+
+    /** Emit the low-level checkers at the publish points. */
+    bool emitCheckers = false;
+
+    /** Fault-injection knobs. */
+    QueueFaults faults;
+
+    /**
+     * Recovery-time walk of a crash image: validates the metadata and
+     * extracts the published entries, oldest first.
+     * @return false when the image is structurally corrupt.
+     */
+    static bool readImage(const pmem::PmPool &pool,
+                          const std::vector<uint8_t> &image,
+                          std::vector<std::vector<uint8_t>> *out);
+
+  private:
+    struct Slot
+    {
+        uint64_t size;
+        uint8_t data[kSlotPayload];
+    };
+
+    struct Root
+    {
+        uint64_t head;     ///< next slot to dequeue
+        uint64_t tail;     ///< next slot to fill
+        uint64_t capacity; ///< ring size in slots
+        Slot *slots;       ///< the ring
+    };
+
+    Slot *slotAt(uint64_t index);
+
+    txlib::ObjPool &pool_;
+    Root *root_;
+};
+
+} // namespace pmtest::pmds
+
+#endif // PMTEST_PMDS_PM_QUEUE_HH

@@ -1,0 +1,323 @@
+#include "pmds/rbtree_map.hh"
+
+namespace pmtest::pmds
+{
+
+RbtreeMap::RbtreeMap(txlib::ObjPool &pool)
+    : pool_(pool), root_(pool.root<Root>())
+{
+    if (root_->nil == nullptr) {
+        // One-time pool initialization: create the sentinel.
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+        pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+        auto *nil = pool_.txAlloc<Node>(PMTEST_HERE);
+        Node init{};
+        init.color = Black;
+        init.parent = nil;
+        init.child[0] = nil;
+        init.child[1] = nil;
+        pool_.txWrite(nil, &init, sizeof(init), PMTEST_HERE);
+        pool_.txAssign(&root_->nil, nil, PMTEST_HERE);
+        pool_.txAssign(&root_->root, nil, PMTEST_HERE);
+    }
+    pmtestSendTrace();
+}
+
+void
+RbtreeMap::log(Node *node)
+{
+    pool_.txAdd(node, sizeof(Node), PMTEST_HERE);
+}
+
+void
+RbtreeMap::setParent(Node *node, Node *parent)
+{
+    log(node);
+    pool_.txAssign(&node->parent, parent, PMTEST_HERE);
+}
+
+void
+RbtreeMap::setChild(Node *node, int dir, Node *child)
+{
+    log(node);
+    pool_.txAssign(&node->child[dir], child, PMTEST_HERE);
+}
+
+void
+RbtreeMap::setColor(Node *node, uint8_t color)
+{
+    log(node);
+    pool_.txAssign(&node->color, color, PMTEST_HERE);
+}
+
+RbtreeMap::Node *
+RbtreeMap::makeNode(uint64_t key, const void *value, size_t size)
+{
+    auto *node = pool_.txAlloc<Node>(PMTEST_HERE);
+    void *buf = pool_.txAllocRaw(size, PMTEST_HERE);
+    pool_.txWrite(buf, value, size, PMTEST_HERE);
+
+    Node init{};
+    init.key = key;
+    init.value = buf;
+    init.valueSize = size;
+    init.color = Red;
+    init.parent = root_->nil;
+    init.child[0] = root_->nil;
+    init.child[1] = root_->nil;
+    pool_.txWrite(node, &init, sizeof(init), PMTEST_HERE);
+    return node;
+}
+
+RbtreeMap::Node *
+RbtreeMap::find(uint64_t key) const
+{
+    Node *cur = root_->root;
+    while (cur != root_->nil) {
+        if (cur->key == key)
+            return cur;
+        cur = cur->child[key > cur->key];
+    }
+    return nullptr;
+}
+
+RbtreeMap::Node *
+RbtreeMap::minimum(Node *node) const
+{
+    while (node->child[0] != root_->nil)
+        node = node->child[0];
+    return node;
+}
+
+void
+RbtreeMap::rotate(Node *pivot, int dir)
+{
+    // Rotate `pivot` down in direction `dir`; its (1-dir) child takes
+    // its place.
+    Node *up = pivot->child[1 - dir];
+
+    log(pivot);
+    log(up);
+
+    pool_.txAssign(&pivot->child[1 - dir], up->child[dir], PMTEST_HERE);
+    if (up->child[dir] != root_->nil)
+        setParent(up->child[dir], pivot);
+    pool_.txAssign(&up->parent, pivot->parent, PMTEST_HERE);
+
+    if (pivot->parent == root_->nil) {
+        pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+        pool_.txAssign(&root_->root, up, PMTEST_HERE);
+    } else {
+        const int side = pivot == pivot->parent->child[1];
+        setChild(pivot->parent, side, up);
+    }
+    pool_.txAssign(&up->child[dir], pivot, PMTEST_HERE);
+    pool_.txAssign(&pivot->parent, up, PMTEST_HERE);
+}
+
+void
+RbtreeMap::insertFixup(Node *node)
+{
+    while (node->parent->color == Red) {
+        Node *parent = node->parent;
+        Node *grand = parent->parent;
+        const int side = parent == grand->child[1];
+        Node *uncle = grand->child[1 - side];
+
+        if (uncle->color == Red) {
+            setColor(parent, Black);
+            setColor(uncle, Black);
+            setColor(grand, Red);
+            node = grand;
+        } else {
+            if (node == parent->child[1 - side]) {
+                node = parent;
+                rotate(node, side);
+                parent = node->parent;
+                grand = parent->parent;
+            }
+            setColor(parent, Black);
+            setColor(grand, Red);
+            rotate(grand, 1 - side);
+        }
+    }
+    if (root_->root->color != Black)
+        setColor(root_->root, Black);
+}
+
+void
+RbtreeMap::insert(uint64_t key, const void *value, size_t size)
+{
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+
+        if (Node *existing = find(key)) {
+            void *buf = pool_.txAllocRaw(size, PMTEST_HERE);
+            pool_.txWrite(buf, value, size, PMTEST_HERE);
+            void *old = existing->value;
+            log(existing);
+            pool_.txAssign(&existing->value, buf, PMTEST_HERE);
+            pool_.txAssign(&existing->valueSize, uint64_t(size),
+                           PMTEST_HERE);
+            pool_.freeRaw(old);
+        } else {
+            Node *parent = root_->nil;
+            Node *cur = root_->root;
+            while (cur != root_->nil) {
+                parent = cur;
+                cur = cur->child[key > cur->key];
+            }
+
+            Node *node = makeNode(key, value, size);
+            pool_.txAssign(&node->parent, parent, PMTEST_HERE);
+            if (parent == root_->nil) {
+                pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+                pool_.txAssign(&root_->root, node, PMTEST_HERE);
+            } else {
+                // Linking the new node modifies its parent. This is
+                // the Table 6 rb-tree bug site (PMDK rbtree_map:
+                // "add missing undo log entry"): the buggy example
+                // modified the parent without snapshotting it.
+                if (!faults.skipTxAdd)
+                    log(parent);
+                pool_.txAssign(&parent->child[key > parent->key],
+                               node, PMTEST_HERE);
+            }
+            insertFixup(node);
+
+            pool_.txAdd(&root_->count, sizeof(root_->count),
+                        PMTEST_HERE);
+            pool_.txAssign(&root_->count, root_->count + 1,
+                           PMTEST_HERE);
+        }
+    }
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+}
+
+bool
+RbtreeMap::lookup(uint64_t key, std::vector<uint8_t> *out) const
+{
+    const Node *node = find(key);
+    if (!node)
+        return false;
+    if (out) {
+        out->resize(node->valueSize);
+        std::memcpy(out->data(), node->value, node->valueSize);
+    }
+    return true;
+}
+
+void
+RbtreeMap::transplant(Node *out, Node *in)
+{
+    if (out->parent == root_->nil) {
+        pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+        pool_.txAssign(&root_->root, in, PMTEST_HERE);
+    } else {
+        const int side = out == out->parent->child[1];
+        setChild(out->parent, side, in);
+    }
+    // CLRS: the sentinel's parent is set unconditionally so that
+    // deleteFixup can walk up from it.
+    setParent(in, out->parent);
+}
+
+void
+RbtreeMap::deleteFixup(Node *node)
+{
+    while (node != root_->root && node->color == Black) {
+        const int side = node == node->parent->child[1];
+        Node *sibling = node->parent->child[1 - side];
+
+        if (sibling->color == Red) {
+            setColor(sibling, Black);
+            setColor(node->parent, Red);
+            rotate(node->parent, side);
+            sibling = node->parent->child[1 - side];
+        }
+        if (sibling->child[0]->color == Black &&
+            sibling->child[1]->color == Black) {
+            setColor(sibling, Red);
+            node = node->parent;
+        } else {
+            if (sibling->child[1 - side]->color == Black) {
+                setColor(sibling->child[side], Black);
+                setColor(sibling, Red);
+                rotate(sibling, 1 - side);
+                sibling = node->parent->child[1 - side];
+            }
+            setColor(sibling, node->parent->color);
+            setColor(node->parent, Black);
+            setColor(sibling->child[1 - side], Black);
+            rotate(node->parent, side);
+            node = root_->root;
+        }
+    }
+    if (node->color != Black)
+        setColor(node, Black);
+}
+
+bool
+RbtreeMap::remove(uint64_t key)
+{
+    Node *node = find(key);
+    if (!node)
+        return false;
+
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+
+        Node *splice = node;
+        uint8_t removed_color = splice->color;
+        Node *replacement;
+
+        if (node->child[0] == root_->nil) {
+            replacement = node->child[1];
+            transplant(node, node->child[1]);
+        } else if (node->child[1] == root_->nil) {
+            replacement = node->child[0];
+            transplant(node, node->child[0]);
+        } else {
+            splice = minimum(node->child[1]);
+            removed_color = splice->color;
+            replacement = splice->child[1];
+            if (splice->parent == node) {
+                setParent(replacement, splice);
+            } else {
+                transplant(splice, splice->child[1]);
+                setChild(splice, 1, node->child[1]);
+                setParent(splice->child[1], splice);
+            }
+            transplant(node, splice);
+            setChild(splice, 0, node->child[0]);
+            setParent(splice->child[0], splice);
+            setColor(splice, node->color);
+        }
+
+        if (removed_color == Black)
+            deleteFixup(replacement);
+
+        pool_.freeRaw(node->value);
+        pool_.freeRaw(node);
+        pool_.txAdd(&root_->count, sizeof(root_->count), PMTEST_HERE);
+        pool_.txAssign(&root_->count, root_->count - 1, PMTEST_HERE);
+    }
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+    return true;
+}
+
+size_t
+RbtreeMap::count() const
+{
+    return root_->count;
+}
+
+} // namespace pmtest::pmds

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Red-black tree map (PMDK's rbtree_map example): sentinel-based
+ * CLRS red-black tree with parent pointers, fully transactional.
+ * Hosts the Table 6 "add missing undo log entry in rb-tree example"
+ * bug site: the rotation helper modifying a node without logging it.
+ */
+
+#ifndef PMTEST_PMDS_RBTREE_MAP_HH
+#define PMTEST_PMDS_RBTREE_MAP_HH
+
+#include "pmds/pm_map.hh"
+
+namespace pmtest::pmds
+{
+
+/** Transactional red-black tree. */
+class RbtreeMap : public PmMap
+{
+  public:
+    explicit RbtreeMap(txlib::ObjPool &pool);
+
+    const char *name() const override { return "rbtree"; }
+    void insert(uint64_t key, const void *value, size_t size) override;
+    bool lookup(uint64_t key,
+                std::vector<uint8_t> *out = nullptr) const override;
+    bool remove(uint64_t key) override;
+    size_t count() const override;
+
+    /** Wrap mutations in TX_CHECKER_START/END (Fig. 10 annotation). */
+    bool emitCheckers = false;
+
+  private:
+    enum Color : uint8_t { Red, Black };
+
+    struct Node
+    {
+        uint64_t key;
+        void *value;
+        uint64_t valueSize;
+        uint8_t color;
+        Node *parent;
+        Node *child[2]; ///< 0 = left, 1 = right
+    };
+
+    struct Root
+    {
+        Node *nil;  ///< shared sentinel (black, self-referential)
+        Node *root; ///< == nil when empty
+        uint64_t count;
+    };
+
+    /** Snapshot a node before modification. */
+    void log(Node *node);
+
+    Node *makeNode(uint64_t key, const void *value, size_t size);
+    Node *find(uint64_t key) const;
+    Node *minimum(Node *node) const;
+
+    void rotate(Node *pivot, int dir);
+    void insertFixup(Node *node);
+    void transplant(Node *out, Node *in);
+    void deleteFixup(Node *node);
+
+    void setParent(Node *node, Node *parent);
+    void setChild(Node *node, int dir, Node *child);
+    void setColor(Node *node, uint8_t color);
+
+    txlib::ObjPool &pool_;
+    Root *root_;
+};
+
+} // namespace pmtest::pmds
+
+#endif // PMTEST_PMDS_RBTREE_MAP_HH

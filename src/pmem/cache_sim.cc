@@ -1,0 +1,183 @@
+#include "pmem/cache_sim.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pmtest::pmem
+{
+
+CacheSim::CacheSim(PmDevice &device, bool record_snapshots)
+    : device_(device), recordSnapshots_(record_snapshots)
+{
+}
+
+CacheSim::Line &
+CacheSim::lineFor(uint64_t line_index)
+{
+    auto it = lines_.find(line_index);
+    if (it != lines_.end())
+        return it->second;
+
+    Line line;
+    line.data.resize(kLineSize);
+    device_.read(line_index * kLineSize, line.data.data(), kLineSize);
+    return lines_.emplace(line_index, std::move(line)).first->second;
+}
+
+void
+CacheSim::snapshotLine(Line &line)
+{
+    if (!recordSnapshots_)
+        return;
+    if (line.snapshots.size() >= kMaxSnapshots) {
+        // Keep the earliest and latest states; drop a middle one so the
+        // extremes of the reachable crash-state space stay represented.
+        line.snapshots.erase(line.snapshots.begin() +
+                             line.snapshots.size() / 2);
+    }
+    line.snapshots.push_back(line.data);
+}
+
+void
+CacheSim::store(uint64_t offset, const void *data, size_t size)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    storeCount_++;
+    while (size > 0) {
+        const uint64_t line_index = offset / kLineSize;
+        const size_t in_line = offset % kLineSize;
+        const size_t chunk = std::min(size, kLineSize - in_line);
+
+        Line &line = lineFor(line_index);
+        std::memcpy(line.data.data() + in_line, bytes, chunk);
+        line.dirty = true;
+        snapshotLine(line);
+
+        offset += chunk;
+        bytes += chunk;
+        size -= chunk;
+    }
+}
+
+void
+CacheSim::load(uint64_t offset, void *out, size_t size) const
+{
+    auto *bytes = static_cast<uint8_t *>(out);
+    while (size > 0) {
+        const uint64_t line_index = offset / kLineSize;
+        const size_t in_line = offset % kLineSize;
+        const size_t chunk = std::min(size, kLineSize - in_line);
+
+        auto it = lines_.find(line_index);
+        if (it != lines_.end()) {
+            std::memcpy(bytes, it->second.data.data() + in_line, chunk);
+        } else {
+            device_.read(offset, bytes, chunk);
+        }
+
+        offset += chunk;
+        bytes += chunk;
+        size -= chunk;
+    }
+}
+
+void
+CacheSim::clwb(uint64_t offset, size_t size)
+{
+    flushCount_++;
+    const uint64_t first = offset / kLineSize;
+    const uint64_t last = (offset + size - 1) / kLineSize;
+    for (uint64_t li = first; li <= last; li++) {
+        Line &line = lineFor(li);
+        line.flushIssued = true;
+        line.flushData = line.data;
+    }
+}
+
+void
+CacheSim::clflush(uint64_t offset, size_t size)
+{
+    // Same durability semantics as clwb for our purposes; eviction only
+    // affects performance, and loads fall through to flushData via the
+    // retained line, so we keep the line around until the fence.
+    clwb(offset, size);
+}
+
+void
+CacheSim::sfence()
+{
+    fenceCount_++;
+    for (auto &[index, line] : lines_) {
+        if (!line.flushIssued)
+            continue;
+        device_.write(index * kLineSize, line.flushData.data(), kLineSize);
+        line.flushIssued = false;
+        if (line.data == line.flushData) {
+            line.dirty = false;
+            line.snapshots.clear();
+        } else {
+            // Stores landed after the clwb captured the line: those
+            // remain volatile. Reset the snapshot set to the states
+            // still reachable beyond the persisted image.
+            line.snapshots.clear();
+            snapshotLine(line);
+        }
+    }
+}
+
+void
+CacheSim::flushAll()
+{
+    for (auto &[index, line] : lines_) {
+        if (!line.dirty)
+            continue;
+        device_.write(index * kLineSize, line.data.data(), kLineSize);
+        line.dirty = false;
+        line.flushIssued = false;
+        line.snapshots.clear();
+    }
+    fenceCount_++;
+}
+
+std::vector<LineCrashChoices>
+CacheSim::crashChoices() const
+{
+    std::vector<LineCrashChoices> choices;
+    for (const auto &[index, line] : lines_) {
+        if (!line.dirty && !line.flushIssued)
+            continue;
+
+        LineCrashChoices c;
+        c.lineIndex = index;
+        if (recordSnapshots_) {
+            c.candidates = line.snapshots;
+        }
+        if (line.flushIssued &&
+            std::find(c.candidates.begin(), c.candidates.end(),
+                      line.flushData) == c.candidates.end()) {
+            c.candidates.push_back(line.flushData);
+        }
+        if (c.candidates.empty() ||
+            std::find(c.candidates.begin(), c.candidates.end(),
+                      line.data) == c.candidates.end()) {
+            c.candidates.push_back(line.data);
+        }
+        choices.push_back(std::move(c));
+    }
+    return choices;
+}
+
+bool
+CacheSim::clean() const
+{
+    for (const auto &[index, line] : lines_) {
+        (void)index;
+        if (line.dirty || line.flushIssued)
+            return false;
+    }
+    return true;
+}
+
+} // namespace pmtest::pmem

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Volatile cache model in front of the simulated PM device.
+ *
+ * This is the substrate that makes crash states *constructible*: a
+ * store lands in a volatile line; `clwb` schedules a writeback of the
+ * line's content at flush time; `sfence` completes scheduled
+ * writebacks. Until a line's content is written back AND fenced, a
+ * crash may or may not expose it — and because hardware can evict a
+ * dirty line at any moment, every intermediate content the line held
+ * since it was last clean is a legal crash-time value. The model
+ * records those intermediate contents as per-line snapshots, which the
+ * crash injector uses to enumerate/sample legal crash images.
+ */
+
+#ifndef PMTEST_PMEM_CACHE_SIM_HH
+#define PMTEST_PMEM_CACHE_SIM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pmem/pm_device.hh"
+
+namespace pmtest::pmem
+{
+
+/** Cache line size in bytes (x86). */
+constexpr size_t kLineSize = 64;
+
+/** Content of one cache line. */
+using LineData = std::vector<uint8_t>; // always kLineSize bytes
+
+/**
+ * One line's volatile crash-relevant state: the contents it could
+ * legally have on the persistent device if the machine lost power now.
+ */
+struct LineCrashChoices
+{
+    uint64_t lineIndex = 0;
+    /**
+     * Candidate persisted contents beyond "whatever the device already
+     * holds" (which is always a legal outcome for an unfenced line).
+     */
+    std::vector<LineData> candidates;
+};
+
+/**
+ * The volatile cache. All addresses are device offsets.
+ *
+ * Snapshot recording is optional: performance benchmarks run with it
+ * disabled, crash-validation tests with it enabled.
+ */
+class CacheSim
+{
+  public:
+    /**
+     * @param device backing persistent device
+     * @param record_snapshots whether to track per-store snapshots for
+     *        crash-state enumeration
+     */
+    explicit CacheSim(PmDevice &device, bool record_snapshots = true);
+
+    /** Store @p size bytes of @p data at @p offset (program order). */
+    void store(uint64_t offset, const void *data, size_t size);
+
+    /**
+     * Load @p size bytes at @p offset into @p out; reads observe cache
+     * content over device content (normal memory semantics).
+     */
+    void load(uint64_t offset, void *out, size_t size) const;
+
+    /**
+     * Issue a writeback for every line overlapping the range. The
+     * line's *current* content is captured; it is guaranteed durable
+     * only after the next sfence.
+     */
+    void clwb(uint64_t offset, size_t size);
+
+    /** Like clwb but also evicts the line (clflush/clflushopt). */
+    void clflush(uint64_t offset, size_t size);
+
+    /**
+     * Store fence: completes all issued writebacks (their captured
+     * contents reach the device) and establishes durability for them.
+     */
+    void sfence();
+
+    /**
+     * Write every dirty line back and fence — used to reach a known
+     * clean state between test phases (not an x86 primitive).
+     */
+    void flushAll();
+
+    /**
+     * Crash-relevant state of all lines that are not fully persisted:
+     * one entry per dirty/pending line with its legal contents.
+     */
+    std::vector<LineCrashChoices> crashChoices() const;
+
+    /** True when no line holds unpersisted data. */
+    bool clean() const;
+
+    /** Backing device. */
+    PmDevice &device() { return device_; }
+    const PmDevice &device() const { return device_; }
+
+    /** @{ Statistics. */
+    uint64_t storeCount() const { return storeCount_; }
+    uint64_t flushCount() const { return flushCount_; }
+    uint64_t fenceCount() const { return fenceCount_; }
+    /** @} */
+
+  private:
+    struct Line
+    {
+        LineData data;            ///< current (volatile) content
+        bool dirty = false;       ///< holds unpersisted stores
+        bool flushIssued = false; ///< clwb issued, fence outstanding
+        LineData flushData;       ///< content captured at clwb time
+        /** Contents after each store since the line was last clean. */
+        std::vector<LineData> snapshots;
+    };
+
+    Line &lineFor(uint64_t line_index);
+    void snapshotLine(Line &line);
+
+    /** Cap on retained snapshots per line, to bound memory. */
+    static constexpr size_t kMaxSnapshots = 16;
+
+    PmDevice &device_;
+    bool recordSnapshots_;
+    std::map<uint64_t, Line> lines_;
+    uint64_t storeCount_ = 0;
+    uint64_t flushCount_ = 0;
+    uint64_t fenceCount_ = 0;
+};
+
+} // namespace pmtest::pmem
+
+#endif // PMTEST_PMEM_CACHE_SIM_HH

@@ -1,0 +1,77 @@
+#include "pmem/crash_injector.hh"
+
+#include <cstring>
+
+namespace pmtest::pmem
+{
+
+CrashInjector::CrashInjector(const CacheSim &cache)
+    : baseImage_(cache.device().image()), choices_(cache.crashChoices())
+{
+}
+
+uint64_t
+CrashInjector::stateCount(uint64_t cap) const
+{
+    uint64_t count = 1;
+    for (const auto &c : choices_) {
+        const uint64_t per_line = 1 + c.candidates.size();
+        if (count > cap / per_line)
+            return cap;
+        count *= per_line;
+    }
+    return count;
+}
+
+std::vector<uint8_t>
+CrashInjector::sample(Rng &rng) const
+{
+    std::vector<uint8_t> image = baseImage_;
+    for (const auto &c : choices_) {
+        const uint64_t pick = rng.below(1 + c.candidates.size());
+        if (pick == 0)
+            continue; // line did not reach the device; keep old content
+        const LineData &data = c.candidates[pick - 1];
+        std::memcpy(image.data() + c.lineIndex * kLineSize, data.data(),
+                    kLineSize);
+    }
+    return image;
+}
+
+uint64_t
+CrashInjector::enumerate(
+    const std::function<void(const std::vector<uint8_t> &)> &visit,
+    uint64_t limit) const
+{
+    // Odometer walk over the per-line choice space.
+    std::vector<size_t> pick(choices_.size(), 0);
+    uint64_t visited = 0;
+
+    while (visited < limit) {
+        std::vector<uint8_t> image = baseImage_;
+        for (size_t i = 0; i < choices_.size(); i++) {
+            if (pick[i] == 0)
+                continue;
+            const LineData &data = choices_[i].candidates[pick[i] - 1];
+            std::memcpy(image.data() + choices_[i].lineIndex * kLineSize,
+                        data.data(), kLineSize);
+        }
+        visit(image);
+        visited++;
+
+        // Advance the odometer; stop after the last combination.
+        size_t i = 0;
+        for (; i < pick.size(); i++) {
+            if (pick[i] < choices_[i].candidates.size()) {
+                pick[i]++;
+                break;
+            }
+            pick[i] = 0;
+        }
+        if (i == pick.size())
+            break;
+    }
+    return visited;
+}
+
+} // namespace pmtest::pmem

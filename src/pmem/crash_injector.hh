@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Crash-state construction over the cache model. Used by the Yat-style
+ * exhaustive baseline and by property tests that validate PMTest's
+ * interval verdicts against ground truth: a crash image is the device
+ * image plus, for every unpersisted line, one of the contents that
+ * line could legally have reached the device with.
+ */
+
+#ifndef PMTEST_PMEM_CRASH_INJECTOR_HH
+#define PMTEST_PMEM_CRASH_INJECTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pmem/cache_sim.hh"
+#include "util/random.hh"
+
+namespace pmtest::pmem
+{
+
+/**
+ * Produces crash images from a CacheSim snapshot.
+ *
+ * Each unpersisted line contributes (1 + #candidates) choices: the
+ * content already on the device, or any recorded candidate content.
+ * The full space is the cartesian product over lines; enumerate()
+ * walks it (optionally capped), sample() draws uniformly at random.
+ */
+class CrashInjector
+{
+  public:
+    explicit CrashInjector(const CacheSim &cache);
+
+    /** Total number of legal crash states (saturating at cap). */
+    uint64_t stateCount(uint64_t cap = UINT64_MAX) const;
+
+    /** Draw one crash image uniformly at random. */
+    std::vector<uint8_t> sample(Rng &rng) const;
+
+    /**
+     * Enumerate crash images, invoking @p visit for each until all
+     * states are visited or @p limit images have been produced.
+     * @return number of images visited.
+     */
+    uint64_t
+    enumerate(const std::function<void(const std::vector<uint8_t> &)> &visit,
+              uint64_t limit = UINT64_MAX) const;
+
+  private:
+    std::vector<uint8_t> baseImage_;
+    std::vector<LineCrashChoices> choices_;
+};
+
+} // namespace pmtest::pmem
+
+#endif // PMTEST_PMEM_CRASH_INJECTOR_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ImageView: typed reads from a crash image. Persistent data
+ * structures store live host pointers into the pool buffer; when a
+ * crash image (raw byte vector) is examined, every pointer must be
+ * translated to an image offset. Recovery predicates use this view to
+ * traverse structures exactly as a restarted program would.
+ */
+
+#ifndef PMTEST_PMEM_IMAGE_VIEW_HH
+#define PMTEST_PMEM_IMAGE_VIEW_HH
+
+#include <cstring>
+#include <vector>
+
+#include "pmem/pm_pool.hh"
+#include "util/logging.hh"
+
+namespace pmtest::pmem
+{
+
+/** Read-only typed access to a pool crash image. */
+class ImageView
+{
+  public:
+    /**
+     * @param pool the live pool the image was captured from (supplies
+     *        the base address for pointer translation)
+     * @param image the crash image; must match the pool size
+     */
+    ImageView(const PmPool &pool, const std::vector<uint8_t> &image)
+        : pool_(pool), image_(image)
+    {
+        if (image.size() != pool.size())
+            panic("ImageView: image size does not match pool");
+    }
+
+    /** Translate a live pointer into an image offset. */
+    uint64_t
+    offsetOf(const void *live_ptr) const
+    {
+        return pool_.offsetOf(live_ptr);
+    }
+
+    /** Whether @p live_ptr points inside the pool. */
+    bool contains(const void *live_ptr) const
+    {
+        return pool_.contains(live_ptr);
+    }
+
+    /** Read a T at the image location corresponding to @p live_ptr. */
+    template <typename T>
+    T
+    read(const void *live_ptr) const
+    {
+        return readAt<T>(offsetOf(live_ptr));
+    }
+
+    /** Read a T at an absolute image offset. */
+    template <typename T>
+    T
+    readAt(uint64_t offset) const
+    {
+        T value;
+        if (offset + sizeof(T) > image_.size())
+            panic("ImageView: read outside image");
+        std::memcpy(&value, image_.data() + offset, sizeof(T));
+        return value;
+    }
+
+    /** Copy raw bytes from the image. */
+    void
+    readBytes(uint64_t offset, void *out, size_t size) const
+    {
+        if (offset + size > image_.size())
+            panic("ImageView: read outside image");
+        std::memcpy(out, image_.data() + offset, size);
+    }
+
+    /** The underlying image. */
+    const std::vector<uint8_t> &image() const { return image_; }
+
+  private:
+    const PmPool &pool_;
+    const std::vector<uint8_t> &image_;
+};
+
+} // namespace pmtest::pmem
+
+#endif // PMTEST_PMEM_IMAGE_VIEW_HH

@@ -1,0 +1,52 @@
+#include "pmem/pm_device.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pmtest::pmem
+{
+
+PmDevice::PmDevice(size_t size) : image_(size, 0) {}
+
+void
+PmDevice::checkRange(uint64_t offset, size_t size) const
+{
+    if (offset > image_.size() || size > image_.size() - offset) {
+        panic("PmDevice access out of range: offset=" +
+              std::to_string(offset) + " size=" + std::to_string(size) +
+              " device=" + std::to_string(image_.size()));
+    }
+}
+
+void
+PmDevice::read(uint64_t offset, void *out, size_t size) const
+{
+    checkRange(offset, size);
+    std::memcpy(out, image_.data() + offset, size);
+}
+
+void
+PmDevice::write(uint64_t offset, const void *data, size_t size)
+{
+    checkRange(offset, size);
+    std::memcpy(image_.data() + offset, data, size);
+    mediaWrites_++;
+}
+
+uint8_t
+PmDevice::byteAt(uint64_t offset) const
+{
+    checkRange(offset, 1);
+    return image_[offset];
+}
+
+void
+PmDevice::setImage(std::vector<uint8_t> image)
+{
+    if (image.size() != image_.size())
+        panic("PmDevice::setImage size mismatch");
+    image_ = std::move(image);
+}
+
+} // namespace pmtest::pmem

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simulated persistent-memory device: the durable image of a PM
+ * region. The paper's testbed used battery-backed NVDIMMs; here the
+ * durable state is an explicit byte array so crash states can be
+ * constructed and inspected exactly (see DESIGN.md, substitution
+ * table). Only data that the cache model has written back lives here.
+ */
+
+#ifndef PMTEST_PMEM_PM_DEVICE_HH
+#define PMTEST_PMEM_PM_DEVICE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pmtest::pmem
+{
+
+/**
+ * A byte-addressable persistent device of fixed size. Addresses are
+ * offsets into the region ([0, size)). All accesses are bounds-checked
+ * (panic on violation: an out-of-range device access is a framework
+ * bug, not a user error).
+ */
+class PmDevice
+{
+  public:
+    /** Create a device of @p size bytes, zero-initialized. */
+    explicit PmDevice(size_t size);
+
+    /** Region size in bytes. */
+    size_t size() const { return image_.size(); }
+
+    /** Copy @p size bytes at @p offset into @p out. */
+    void read(uint64_t offset, void *out, size_t size) const;
+
+    /** Persist @p size bytes from @p data at @p offset. */
+    void write(uint64_t offset, const void *data, size_t size);
+
+    /** Read a single byte. */
+    uint8_t byteAt(uint64_t offset) const;
+
+    /** The whole durable image (for crash-state construction). */
+    const std::vector<uint8_t> &image() const { return image_; }
+
+    /** Replace the durable image (used when restoring snapshots). */
+    void setImage(std::vector<uint8_t> image);
+
+    /** Number of write() calls served (media-write statistic). */
+    uint64_t mediaWrites() const { return mediaWrites_; }
+
+  private:
+    void checkRange(uint64_t offset, size_t size) const;
+
+    std::vector<uint8_t> image_;
+    uint64_t mediaWrites_ = 0;
+};
+
+} // namespace pmtest::pmem
+
+#endif // PMTEST_PMEM_PM_DEVICE_HH

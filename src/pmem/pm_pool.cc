@@ -1,0 +1,110 @@
+#include "pmem/pm_pool.hh"
+
+#include "util/logging.hh"
+
+namespace pmtest::pmem
+{
+
+namespace
+{
+constexpr size_t kAlign = 16;
+
+size_t
+alignUp(size_t n)
+{
+    return (n + kAlign - 1) & ~(kAlign - 1);
+}
+} // namespace
+
+PmPool::PmPool(size_t size, bool simulate_crashes) : buffer_(size, 0)
+{
+    if (size <= kRootSize)
+        fatal("PmPool: pool size must exceed the root area");
+    freeList_[kRootSize] = size - kRootSize;
+    if (simulate_crashes) {
+        device_ = std::make_unique<PmDevice>(size);
+        cache_ = std::make_unique<CacheSim>(*device_);
+    }
+}
+
+uint64_t
+PmPool::offsetOf(const void *ptr) const
+{
+    const auto *p = static_cast<const uint8_t *>(ptr);
+    if (p < buffer_.data() || p >= buffer_.data() + buffer_.size())
+        panic("PmPool::offsetOf: pointer outside pool");
+    return static_cast<uint64_t>(p - buffer_.data());
+}
+
+void *
+PmPool::at(uint64_t offset)
+{
+    if (offset >= buffer_.size())
+        panic("PmPool::at: offset outside pool");
+    return buffer_.data() + offset;
+}
+
+const void *
+PmPool::at(uint64_t offset) const
+{
+    if (offset >= buffer_.size())
+        panic("PmPool::at: offset outside pool");
+    return buffer_.data() + offset;
+}
+
+bool
+PmPool::contains(const void *ptr) const
+{
+    const auto *p = static_cast<const uint8_t *>(ptr);
+    return p >= buffer_.data() && p < buffer_.data() + buffer_.size();
+}
+
+uint64_t
+PmPool::alloc(size_t size)
+{
+    const size_t need = alignUp(size == 0 ? 1 : size);
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        if (it->second < need)
+            continue;
+        const uint64_t offset = it->first;
+        const size_t remaining = it->second - need;
+        freeList_.erase(it);
+        if (remaining > 0)
+            freeList_[offset + need] = remaining;
+        live_[offset] = need;
+        allocatedBytes_ += need;
+        return offset;
+    }
+    fatal("PmPool: out of memory (requested " + std::to_string(size) +
+          " bytes, " + std::to_string(allocatedBytes_) + " allocated)");
+}
+
+void
+PmPool::free(uint64_t offset)
+{
+    auto it = live_.find(offset);
+    if (it == live_.end())
+        panic("PmPool::free: not an allocation start: " +
+              std::to_string(offset));
+    size_t len = it->second;
+    live_.erase(it);
+    allocatedBytes_ -= len;
+
+    // Coalesce with the next free range.
+    auto next = freeList_.lower_bound(offset);
+    if (next != freeList_.end() && offset + len == next->first) {
+        len += next->second;
+        next = freeList_.erase(next);
+    }
+    // Coalesce with the previous free range.
+    if (next != freeList_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == offset) {
+            prev->second += len;
+            return;
+        }
+    }
+    freeList_[offset] = len;
+}
+
+} // namespace pmtest::pmem

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A persistent-memory pool: the mmap'ed region a CCS places its
+ * persistent heap in (PMDK's pmemobj pool, Mnemosyne's segments, or a
+ * PMFS volume). The pool owns a host buffer that the program reads and
+ * writes directly — like a DAX mapping — plus, optionally, a simulated
+ * device/cache pair mirroring the stores so crash states can be
+ * constructed. A first-fit allocator hands out ranges; allocator
+ * metadata is volatile (the transactional libraries above make
+ * allocation crash-safe where the paper's workloads need it).
+ */
+
+#ifndef PMTEST_PMEM_PM_POOL_HH
+#define PMTEST_PMEM_PM_POOL_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "pmem/cache_sim.hh"
+#include "pmem/pm_device.hh"
+
+namespace pmtest::pmem
+{
+
+/** A pool of persistent memory with optional crash simulation. */
+class PmPool
+{
+  public:
+    /**
+     * @param size pool size in bytes
+     * @param simulate_crashes mirror stores into a CacheSim/PmDevice
+     *        pair so CrashInjector can build crash images
+     */
+    explicit PmPool(size_t size, bool simulate_crashes = false);
+
+    /** Pool size in bytes. */
+    size_t size() const { return buffer_.size(); }
+
+    /** Base of the directly-accessible (DAX-like) region. */
+    uint8_t *base() { return buffer_.data(); }
+    const uint8_t *base() const { return buffer_.data(); }
+
+    /** Translate a pointer inside the pool to a pool offset. */
+    uint64_t offsetOf(const void *ptr) const;
+
+    /** Translate a pool offset to a pointer. */
+    void *at(uint64_t offset);
+    const void *at(uint64_t offset) const;
+
+    /** True when @p ptr points inside the pool. */
+    bool contains(const void *ptr) const;
+
+    /**
+     * Allocate @p size bytes (16-byte aligned, first fit).
+     * @return pool offset of the allocation.
+     */
+    uint64_t alloc(size_t size);
+
+    /** Free an allocation previously returned by alloc(). */
+    void free(uint64_t offset);
+
+    /** Bytes currently allocated. */
+    size_t allocatedBytes() const { return allocatedBytes_; }
+
+    /**
+     * Reserved root area at the start of the pool (offset 0,
+     * kRootSize bytes) where a CCS anchors its top-level object.
+     */
+    static constexpr size_t kRootSize = 1024;
+
+    /** @{ Crash simulation (null when simulate_crashes was false). */
+    bool simulating() const { return cache_ != nullptr; }
+    CacheSim *cache() { return cache_.get(); }
+    PmDevice *pmDevice() { return device_.get(); }
+    /** @} */
+
+  private:
+    std::vector<uint8_t> buffer_;
+    std::unique_ptr<PmDevice> device_;
+    std::unique_ptr<CacheSim> cache_;
+
+    /** Free ranges: start offset -> length. */
+    std::map<uint64_t, size_t> freeList_;
+    /** Live allocations: start offset -> length. */
+    std::map<uint64_t, size_t> live_;
+    size_t allocatedBytes_ = 0;
+};
+
+} // namespace pmtest::pmem
+
+#endif // PMTEST_PMEM_PM_POOL_HH

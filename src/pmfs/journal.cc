@@ -1,0 +1,187 @@
+#include "pmfs/journal.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pmtest::pmfs
+{
+
+Journal::Journal(pmem::PmPool &pool, uint64_t journal_offset,
+                 uint64_t journal_size)
+    : pool_(pool), offset_(journal_offset), size_(journal_size)
+{
+}
+
+JournalHeader *
+Journal::header()
+{
+    return reinterpret_cast<JournalHeader *>(pool_.base() + offset_);
+}
+
+LogEntry *
+Journal::entryAt(uint64_t index)
+{
+    return reinterpret_cast<LogEntry *>(
+        pool_.base() + offset_ + sizeof(JournalHeader) +
+        index * sizeof(LogEntry));
+}
+
+void
+Journal::persistHeader(SourceLocation loc)
+{
+    pmClwb(header(), sizeof(JournalHeader), PMTEST_HERE);
+    pmSfence(loc);
+}
+
+void
+Journal::beginTransaction(SourceLocation loc)
+{
+    if (open_)
+        fatal("pmfs journal: nested transactions are not supported");
+    JournalHeader *hdr = header();
+    JournalHeader opened = *hdr;
+    opened.live = 1;
+    opened.entryCount = 0;
+    opened.genId++;
+    pmStore(hdr, &opened, sizeof(opened), PMTEST_HERE);
+    persistHeader(loc);
+    open_ = true;
+    txFirstEntry_ = 0;
+}
+
+void
+Journal::addLogEntry(const void *addr, size_t size, SourceLocation loc)
+{
+    if (!open_)
+        fatal("pmfs journal: addLogEntry without a transaction");
+
+    JournalHeader *hdr = header();
+    const uint64_t capacity =
+        (size_ - sizeof(JournalHeader)) / sizeof(LogEntry) - 1;
+
+    const auto *bytes = static_cast<const uint8_t *>(addr);
+    uint64_t pool_off = pool_.offsetOf(addr);
+    while (size > 0) {
+        const size_t chunk = std::min<size_t>(size, LogEntry::kMaxData);
+        if (hdr->entryCount >= capacity)
+            fatal("pmfs journal: full");
+
+        LogEntry le;
+        le.genId = hdr->genId;
+        le.type = 0;
+        le.size = static_cast<uint32_t>(chunk);
+        le.offset = pool_off;
+        std::memcpy(le.data, bytes, chunk);
+
+        LogEntry *slot = entryAt(hdr->entryCount);
+        pmStore(slot, &le, sizeof(le), PMTEST_HERE);
+        pmClwb(slot, sizeof(le), PMTEST_HERE);
+        if (!faults.skipLogFence)
+            pmSfence(loc);
+
+        JournalHeader bumped = *hdr;
+        bumped.entryCount++;
+        pmStore(hdr, &bumped, sizeof(bumped), PMTEST_HERE);
+        pmClwb(hdr, sizeof(JournalHeader), PMTEST_HERE);
+        if (!faults.skipLogFence)
+            pmSfence(loc);
+
+        bytes += chunk;
+        pool_off += chunk;
+        size -= chunk;
+    }
+}
+
+void
+Journal::commitTransaction(SourceLocation loc)
+{
+    if (!open_)
+        fatal("pmfs journal: commit without a transaction");
+
+    JournalHeader *hdr = header();
+
+    // pmfs_commit_logentry: append the commit record and flush it.
+    LogEntry le;
+    le.genId = hdr->genId;
+    le.type = 1; // commit record
+    LogEntry *slot = entryAt(hdr->entryCount);
+    pmStore(slot, &le, sizeof(le), PMTEST_HERE);
+    pmClwb(slot, sizeof(le), PMTEST_HERE);
+
+    if (faults.redundantCommitFlush) {
+        // The paper's journal.c:632 bug: flush the whole transaction,
+        // which writes the commit entry (already flushed above) back
+        // a second time.
+        const uint64_t first = offset_ + sizeof(JournalHeader) +
+                               txFirstEntry_ * sizeof(LogEntry);
+        const uint64_t len =
+            (hdr->entryCount - txFirstEntry_ + 1) * sizeof(LogEntry);
+        pmClwb(pool_.base() + first, len, PMTEST_HERE);
+    }
+    pmSfence(loc);
+
+    // Retire the journal.
+    JournalHeader closed = *hdr;
+    closed.live = 0;
+    closed.entryCount = 0;
+    pmStore(hdr, &closed, sizeof(closed), PMTEST_HERE);
+    persistHeader(loc);
+    open_ = false;
+}
+
+size_t
+Journal::recoverImage(std::vector<uint8_t> &image)
+{
+    Superblock sb;
+    if (image.size() < sizeof(sb))
+        return 0;
+    std::memcpy(&sb, image.data(), sizeof(sb));
+    if (sb.magic != Superblock::kMagic)
+        return 0;
+
+    JournalHeader hdr;
+    std::memcpy(&hdr, image.data() + sb.journalOffset, sizeof(hdr));
+    if (hdr.live == 0)
+        return 0;
+
+    // Look for a commit record of the open generation: if present,
+    // the transaction completed and the undo entries are stale.
+    bool committed = false;
+    std::vector<LogEntry> entries;
+    for (uint64_t i = 0; i < hdr.entryCount + 1; i++) {
+        LogEntry le;
+        const uint64_t off = sb.journalOffset + sizeof(JournalHeader) +
+                             i * sizeof(LogEntry);
+        if (off + sizeof(le) > image.size())
+            break;
+        std::memcpy(&le, image.data() + off, sizeof(le));
+        if (le.genId != hdr.genId)
+            continue;
+        if (le.type == 1) {
+            committed = true;
+            break;
+        }
+        entries.push_back(le);
+    }
+
+    size_t applied = 0;
+    if (!committed) {
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+            if (it->size > LogEntry::kMaxData ||
+                it->offset + it->size > image.size())
+                continue;
+            std::memcpy(image.data() + it->offset, it->data, it->size);
+            applied++;
+        }
+    }
+
+    JournalHeader cleared = hdr;
+    cleared.live = 0;
+    cleared.entryCount = 0;
+    std::memcpy(image.data() + sb.journalOffset, &cleared,
+                sizeof(cleared));
+    return applied;
+}
+
+} // namespace pmtest::pmfs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The PMFS-style metadata journal (undo logging). This file hosts the
+ * paper's PMFS bug sites:
+ *
+ *  - Table 6 "new" bug (journal.c:632): pmfs_commit_transaction
+ *    flushes the commit log entry and then flushes the *entire*
+ *    transaction range again — writing back the already-flushed entry
+ *    a second time (RedundantFlush WARN).
+ *  - Known bug (xips.c:207/262): flushing the same persistent buffer
+ *    twice, reproduced by the `doubleFlush` knob.
+ *  - Known bug (files.c:232): flushing an unmapped (never written)
+ *    buffer, reproduced by the `flushUnmapped` knob.
+ */
+
+#ifndef PMTEST_PMFS_JOURNAL_HH
+#define PMTEST_PMFS_JOURNAL_HH
+
+#include <cstdint>
+
+#include "core/api.hh"
+#include "pmem/pm_pool.hh"
+#include "pmfs/layout.hh"
+
+namespace pmtest::pmfs
+{
+
+/** Journal fault knobs (paper Table 6 reproductions). */
+struct JournalFaults
+{
+    /** Flush the whole TX range again at commit (new bug 1). */
+    bool redundantCommitFlush = false;
+    /** Skip the fence after logging (synthetic correctness bug). */
+    bool skipLogFence = false;
+};
+
+/** The metadata undo journal of the mini PMFS. */
+class Journal
+{
+  public:
+    /**
+     * @param pool the volume
+     * @param journal_offset pool offset of the journal region
+     * @param journal_size bytes reserved for the region
+     */
+    Journal(pmem::PmPool &pool, uint64_t journal_offset,
+            uint64_t journal_size);
+
+    /** Open a transaction (pmfs_new_transaction). */
+    void beginTransaction(SourceLocation loc = {});
+
+    /**
+     * Undo-log @p size bytes of current content at @p addr
+     * (pmfs_add_logentry). Must be called before the metadata is
+     * modified in place.
+     */
+    void addLogEntry(const void *addr, size_t size,
+                     SourceLocation loc = {});
+
+    /**
+     * Commit (pmfs_commit_transaction): append the commit record,
+     * flush it, fence, and retire the journal.
+     */
+    void commitTransaction(SourceLocation loc = {});
+
+    /** Whether a transaction is open. */
+    bool open() const { return open_; }
+
+    /** Fault knobs. */
+    JournalFaults faults;
+
+    /**
+     * Roll back an uncommitted journal in a raw volume image: apply
+     * undo entries of the open generation in reverse.
+     * @return entries applied.
+     */
+    static size_t recoverImage(std::vector<uint8_t> &image);
+
+  private:
+    JournalHeader *header();
+    LogEntry *entryAt(uint64_t index);
+    void persistHeader(SourceLocation loc);
+
+    pmem::PmPool &pool_;
+    const uint64_t offset_;
+    const uint64_t size_;
+    bool open_ = false;
+    /** First entry index of the open TX (for the redundant flush). */
+    uint64_t txFirstEntry_ = 0;
+};
+
+} // namespace pmtest::pmfs
+
+#endif // PMTEST_PMFS_JOURNAL_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * On-"media" layout of the mini PM file system (the PMFS stand-in:
+ * see DESIGN.md's substitution table). Fixed-offset superblock, inode
+ * table, journal region and data blocks inside a pmem::PmPool, so
+ * crash images can be parsed and recovered exactly like the live
+ * volume.
+ */
+
+#ifndef PMTEST_PMFS_LAYOUT_HH
+#define PMTEST_PMFS_LAYOUT_HH
+
+#include <cstdint>
+
+namespace pmtest::pmfs
+{
+
+/** Data block size. */
+constexpr size_t kBlockSize = 512;
+
+/** Direct blocks per inode (max file size = 16 * 512 = 8 KiB). */
+constexpr size_t kDirectBlocks = 16;
+
+/** Max file-name length (including NUL). */
+constexpr size_t kNameLen = 48;
+
+/** Superblock, at pool offset 0. */
+struct Superblock
+{
+    static constexpr uint64_t kMagic = 0x504d46532d4c4954ULL;
+
+    uint64_t magic = 0;
+    uint64_t nInodes = 0;
+    uint64_t inodeTableOffset = 0;
+    uint64_t journalOffset = 0;
+    uint64_t journalSize = 0;
+    uint64_t nBlocks = 0;
+    uint64_t blockBitmapOffset = 0;
+    uint64_t dataOffset = 0;
+};
+
+/** One inode (also serves as the directory entry: flat namespace). */
+struct Inode
+{
+    uint64_t inUse = 0;
+    uint64_t size = 0;
+    uint64_t blocks[kDirectBlocks] = {}; ///< block indices + 1; 0 = hole
+    char name[kNameLen] = {};
+};
+
+/** Journal region header. */
+struct JournalHeader
+{
+    uint64_t live = 0;       ///< nonzero while a journal TX is open
+    uint64_t entryCount = 0; ///< persisted undo entries
+    uint64_t genId = 0;      ///< generation of the open TX
+};
+
+/** One journal (undo) log entry — 64 bytes, one cache line. */
+struct LogEntry
+{
+    static constexpr size_t kMaxData = 40;
+
+    uint64_t genId = 0;
+    uint32_t type = 0; ///< 0 = data entry, 1 = commit record
+    uint32_t size = 0;
+    uint64_t offset = 0;
+    uint8_t data[kMaxData] = {};
+};
+
+static_assert(sizeof(LogEntry) == 64, "journal entries are one line");
+
+} // namespace pmtest::pmfs
+
+#endif // PMTEST_PMFS_LAYOUT_HH

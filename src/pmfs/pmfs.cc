@@ -1,0 +1,386 @@
+#include "pmfs/pmfs.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pmtest::pmfs
+{
+
+namespace
+{
+constexpr uint64_t kDefaultInodes = 256;
+constexpr uint64_t kJournalSize = 64 * 1024;
+} // namespace
+
+Pmfs::Pmfs(size_t size, bool simulate_crashes, bool use_fifo)
+    : pool_(size, simulate_crashes), useFifo_(use_fifo)
+{
+    // Carve the volume: superblock | inode table | journal | bitmap |
+    // data blocks. Offsets are computed once and persisted in the
+    // superblock so recovery can parse crash images.
+    const uint64_t inode_table = pool_.alloc(kDefaultInodes *
+                                             sizeof(Inode));
+    const uint64_t journal_off = pool_.alloc(kJournalSize);
+
+    // Whatever space remains becomes data blocks; each block also
+    // needs one bitmap byte, and the allocator aligns regions.
+    const uint64_t reserved = journal_off + kJournalSize + 8192;
+    const uint64_t n_blocks =
+        (size - reserved) / (kBlockSize + 1) - 2;
+    const uint64_t bitmap_off = pool_.alloc(n_blocks);
+    const uint64_t data_off = pool_.alloc(n_blocks * kBlockSize);
+
+    Superblock init;
+    init.magic = Superblock::kMagic;
+    init.nInodes = kDefaultInodes;
+    init.inodeTableOffset = inode_table;
+    init.journalOffset = journal_off;
+    init.journalSize = kJournalSize;
+    init.nBlocks = n_blocks;
+    init.blockBitmapOffset = bitmap_off;
+    init.dataOffset = data_off;
+    std::memcpy(pool_.base(), &init, sizeof(init));
+    sbPtr_ = reinterpret_cast<Superblock *>(pool_.base());
+
+    std::memset(pool_.base() + inode_table, 0,
+                kDefaultInodes * sizeof(Inode));
+    std::memset(pool_.base() + journal_off, 0, kJournalSize);
+    std::memset(pool_.base() + bitmap_off, 0, n_blocks);
+
+    if (pool_.simulating()) {
+        // Mirror the mkfs state wholesale.
+        pool_.cache()->store(0, pool_.base(), data_off);
+        pool_.cache()->flushAll();
+    }
+
+    journal_ = std::make_unique<Journal>(pool_, journal_off,
+                                         kJournalSize);
+
+    if (useFifo_) {
+        fifo_ = std::make_unique<KernelFifo>();
+        pump_ = std::thread([this] {
+            while (auto trace = fifo_->pop()) {
+                pmtestSubmitTrace(std::move(*trace));
+                tracesPumped_.fetch_add(1, std::memory_order_release);
+            }
+        });
+    }
+}
+
+Pmfs::~Pmfs()
+{
+    if (fifo_) {
+        fifo_->shutdown();
+        if (pump_.joinable())
+            pump_.join();
+    }
+}
+
+Inode *
+Pmfs::inodeAt(uint64_t index)
+{
+    return reinterpret_cast<Inode *>(
+               pool_.base() + sbPtr_->inodeTableOffset) +
+           index;
+}
+
+const Inode *
+Pmfs::inodeAt(uint64_t index) const
+{
+    return reinterpret_cast<const Inode *>(
+               pool_.base() + sbPtr_->inodeTableOffset) +
+           index;
+}
+
+uint8_t *
+Pmfs::blockAt(uint64_t block_index)
+{
+    return pool_.base() + sbPtr_->dataOffset +
+           block_index * kBlockSize;
+}
+
+long
+Pmfs::allocBlock()
+{
+    uint8_t *bitmap = pool_.base() + sbPtr_->blockBitmapOffset;
+    for (uint64_t i = 0; i < sbPtr_->nBlocks; i++) {
+        if (bitmap[i] == 0) {
+            // Bitmap bytes are metadata: journaled by callers.
+            uint8_t one = 1;
+            pmStore(&bitmap[i], &one, 1, PMTEST_HERE);
+            pmClwb(&bitmap[i], 1, PMTEST_HERE);
+            return static_cast<long>(i);
+        }
+    }
+    return -1;
+}
+
+void
+Pmfs::freeBlock(uint64_t block_index)
+{
+    uint8_t *bitmap = pool_.base() + sbPtr_->blockBitmapOffset;
+    uint8_t zero = 0;
+    pmStore(&bitmap[block_index], &zero, 1, PMTEST_HERE);
+    pmClwb(&bitmap[block_index], 1, PMTEST_HERE);
+}
+
+void
+Pmfs::sendTrace()
+{
+    if (!useFifo_) {
+        pmtestSendTrace();
+        return;
+    }
+    Trace trace = pmtestSealTrace();
+    if (!trace.empty()) {
+        tracesPushed_.fetch_add(1, std::memory_order_relaxed);
+        fifo_->push(std::move(trace));
+    }
+}
+
+void
+Pmfs::drainTraces()
+{
+    if (useFifo_) {
+        while (tracesPumped_.load(std::memory_order_acquire) <
+               tracesPushed_.load(std::memory_order_relaxed)) {
+            std::this_thread::yield();
+        }
+    }
+    pmtestGetResult();
+}
+
+int
+Pmfs::lookup(const std::string &name) const
+{
+    for (uint64_t i = 0; i < sbPtr_->nInodes; i++) {
+        const Inode *ino = inodeAt(i);
+        if (ino->inUse && name == ino->name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Pmfs::create(const std::string &name)
+{
+    if (name.size() >= kNameLen || lookup(name) >= 0)
+        return -1;
+
+    for (uint64_t i = 0; i < sbPtr_->nInodes; i++) {
+        Inode *ino = inodeAt(i);
+        if (ino->inUse)
+            continue;
+
+        journal_->beginTransaction(PMTEST_HERE);
+        journal_->addLogEntry(ino, sizeof(Inode), PMTEST_HERE);
+
+        Inode updated{};
+        updated.inUse = 1;
+        std::strncpy(updated.name, name.c_str(), kNameLen - 1);
+        pmStore(ino, &updated, sizeof(updated), PMTEST_HERE);
+        pmClwb(ino, sizeof(Inode), PMTEST_HERE);
+        pmSfence(PMTEST_HERE);
+
+        journal_->commitTransaction(PMTEST_HERE);
+        sendTrace();
+        return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool
+Pmfs::unlink(const std::string &name)
+{
+    const int idx = lookup(name);
+    if (idx < 0)
+        return false;
+    Inode *ino = inodeAt(idx);
+
+    journal_->beginTransaction(PMTEST_HERE);
+    journal_->addLogEntry(ino, sizeof(Inode), PMTEST_HERE);
+
+    for (uint64_t b = 0; b < kDirectBlocks; b++) {
+        if (ino->blocks[b] != 0)
+            freeBlock(ino->blocks[b] - 1);
+    }
+
+    Inode cleared{};
+    pmStore(ino, &cleared, sizeof(cleared), PMTEST_HERE);
+    pmClwb(ino, sizeof(Inode), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+
+    journal_->commitTransaction(PMTEST_HERE);
+    sendTrace();
+    return true;
+}
+
+bool
+Pmfs::rename(const std::string &from, const std::string &to)
+{
+    if (to.size() >= kNameLen)
+        return false;
+    const int idx = lookup(from);
+    if (idx < 0 || lookup(to) >= 0)
+        return false;
+    Inode *ino = inodeAt(idx);
+
+    // Metadata-only update: journal the inode, rewrite the name.
+    journal_->beginTransaction(PMTEST_HERE);
+    journal_->addLogEntry(ino, sizeof(Inode), PMTEST_HERE);
+
+    Inode updated = *ino;
+    std::memset(updated.name, 0, kNameLen);
+    std::strncpy(updated.name, to.c_str(), kNameLen - 1);
+    pmStore(ino, &updated, sizeof(updated), PMTEST_HERE);
+    pmClwb(ino, sizeof(Inode), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+
+    journal_->commitTransaction(PMTEST_HERE);
+    sendTrace();
+    return true;
+}
+
+long
+Pmfs::write(int ino_idx, uint64_t offset, const void *data, size_t len)
+{
+    if (ino_idx < 0 ||
+        static_cast<uint64_t>(ino_idx) >= sbPtr_->nInodes)
+        return -1;
+    Inode *ino = inodeAt(ino_idx);
+    if (!ino->inUse)
+        return -1;
+    if (offset + len > kDirectBlocks * kBlockSize)
+        return -1;
+
+    journal_->beginTransaction(PMTEST_HERE);
+    journal_->addLogEntry(ino, sizeof(Inode), PMTEST_HERE);
+
+    // XIP data path: copy into blocks and write them back before the
+    // metadata commit makes them visible.
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    Inode updated = *ino;
+    size_t remaining = len;
+    uint64_t pos = offset;
+    while (remaining > 0) {
+        const uint64_t bi = pos / kBlockSize;
+        const size_t in_block = pos % kBlockSize;
+        const size_t chunk =
+            std::min(remaining, kBlockSize - in_block);
+
+        if (updated.blocks[bi] == 0) {
+            const long nb = allocBlock();
+            if (nb < 0) {
+                journal_->commitTransaction(PMTEST_HERE);
+                sendTrace();
+                return -1;
+            }
+            updated.blocks[bi] = static_cast<uint64_t>(nb) + 1;
+        }
+        uint8_t *dst = blockAt(updated.blocks[bi] - 1) + in_block;
+        pmStore(dst, bytes, chunk, PMTEST_HERE);
+        if (!faults.skipDataFlush)
+            pmClwb(dst, chunk, PMTEST_HERE);
+        if (faults.doubleFlushXip) {
+            // xips.c bug: the same buffer is written back again.
+            pmClwb(dst, chunk, PMTEST_HERE);
+        }
+
+        bytes += chunk;
+        pos += chunk;
+        remaining -= chunk;
+    }
+    if (faults.flushUnmapped) {
+        // files.c bug: a buffer that was never written gets flushed.
+        uint8_t *unmapped =
+            blockAt(sbPtr_->nBlocks - 1);
+        pmClwb(unmapped, kBlockSize, PMTEST_HERE);
+    }
+    if (!faults.skipDataFlush && !faults.skipDataFence)
+        pmSfence(PMTEST_HERE);
+
+    // Metadata: grown size + new block pointers.
+    if (offset + len > updated.size)
+        updated.size = offset + len;
+    pmStore(ino, &updated, sizeof(updated), PMTEST_HERE);
+    pmClwb(ino, sizeof(Inode), PMTEST_HERE);
+    pmSfence(PMTEST_HERE);
+    if (emitCheckers) {
+        // File data must be durable before the inode references it.
+        const uint64_t first_block = offset / kBlockSize;
+        if (len > 0 && updated.blocks[first_block] != 0) {
+            const uint8_t *data_ptr =
+                pool_.base() + sbPtr_->dataOffset +
+                (updated.blocks[first_block] - 1) * kBlockSize;
+            PMTEST_IS_PERSIST(data_ptr, kBlockSize);
+            PMTEST_IS_ORDERED_BEFORE(data_ptr, kBlockSize, ino,
+                                     sizeof(Inode));
+        }
+        PMTEST_IS_PERSIST(ino, sizeof(Inode));
+    }
+
+    journal_->commitTransaction(PMTEST_HERE);
+    sendTrace();
+    return static_cast<long>(len);
+}
+
+long
+Pmfs::read(int ino_idx, uint64_t offset, void *out, size_t len) const
+{
+    if (ino_idx < 0 ||
+        static_cast<uint64_t>(ino_idx) >= sbPtr_->nInodes)
+        return -1;
+    const Inode *ino = inodeAt(ino_idx);
+    if (!ino->inUse || offset >= ino->size)
+        return 0;
+
+    len = std::min<uint64_t>(len, ino->size - offset);
+    auto *bytes = static_cast<uint8_t *>(out);
+    size_t done = 0;
+    while (done < len) {
+        const uint64_t pos = offset + done;
+        const uint64_t bi = pos / kBlockSize;
+        const size_t in_block = pos % kBlockSize;
+        const size_t chunk =
+            std::min(len - done, kBlockSize - in_block);
+
+        if (ino->blocks[bi] == 0) {
+            std::memset(bytes + done, 0, chunk); // hole
+        } else {
+            const uint8_t *src =
+                pool_.base() + sbPtr_->dataOffset +
+                (ino->blocks[bi] - 1) * kBlockSize + in_block;
+            std::memcpy(bytes + done, src, chunk);
+        }
+        done += chunk;
+    }
+    return static_cast<long>(done);
+}
+
+uint64_t
+Pmfs::fileSize(int ino_idx) const
+{
+    if (ino_idx < 0 ||
+        static_cast<uint64_t>(ino_idx) >= sbPtr_->nInodes)
+        return 0;
+    const Inode *ino = inodeAt(ino_idx);
+    return ino->inUse ? ino->size : 0;
+}
+
+size_t
+Pmfs::fileCount() const
+{
+    size_t n = 0;
+    for (uint64_t i = 0; i < sbPtr_->nInodes; i++)
+        n += inodeAt(i)->inUse ? 1 : 0;
+    return n;
+}
+
+uint64_t
+Pmfs::fifoStalls() const
+{
+    return fifo_ ? fifo_->producerStalls() : 0;
+}
+
+} // namespace pmtest::pmfs

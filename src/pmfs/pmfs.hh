@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The mini PM file system (PMFS stand-in): a flat-namespace,
+ * direct-block file system over a pmem::PmPool. Metadata updates are
+ * journaled (see journal.hh); file data is written XIP-style with
+ * explicit writeback + fence before the metadata commit.
+ *
+ * Kernel-module integration (paper §4.5, Fig. 9b): the file system
+ * "runs in the kernel", so its traces cross a bounded KernelFifo to a
+ * user-space pump thread that feeds the checking engine, instead of
+ * being submitted directly.
+ */
+
+#ifndef PMTEST_PMFS_PMFS_HH
+#define PMTEST_PMFS_PMFS_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/api.hh"
+#include "pmem/pm_pool.hh"
+#include "pmfs/journal.hh"
+#include "pmfs/layout.hh"
+#include "trace/kernel_fifo.hh"
+
+namespace pmtest::pmfs
+{
+
+/** File-system level fault knobs (the paper's PMFS bug catalog). */
+struct PmfsFaults
+{
+    /** xips.c:207/262 — flush the same data buffer twice. */
+    bool doubleFlushXip = false;
+    /** files.c:232 — flush a buffer that was never written. */
+    bool flushUnmapped = false;
+    /** Synthetic: skip the data flush before metadata commit. */
+    bool skipDataFlush = false;
+    /** Synthetic: skip the fence between data and metadata. */
+    bool skipDataFence = false;
+};
+
+/** The mini PM file system. */
+class Pmfs
+{
+  public:
+    /**
+     * @param size volume size in bytes
+     * @param simulate_crashes mirror into a device for crash images
+     * @param use_fifo route traces through the kernel FIFO + pump
+     *        thread instead of direct submission
+     */
+    explicit Pmfs(size_t size, bool simulate_crashes = false,
+                  bool use_fifo = true);
+    ~Pmfs();
+
+    Pmfs(const Pmfs &) = delete;
+    Pmfs &operator=(const Pmfs &) = delete;
+
+    /** Create an empty file. @return inode number, or -1 if full. */
+    int create(const std::string &name);
+
+    /** Find a file. @return inode number, or -1. */
+    int lookup(const std::string &name) const;
+
+    /** Delete a file. @return true when it existed. */
+    bool unlink(const std::string &name);
+
+    /**
+     * Rename a file (journaled; fails if the target name exists).
+     * @return true on success.
+     */
+    bool rename(const std::string &from, const std::string &to);
+
+    /**
+     * Write @p len bytes at @p offset.
+     * @return bytes written, or -1 on error (e.g. beyond max size).
+     */
+    long write(int ino, uint64_t offset, const void *data, size_t len);
+
+    /** Read @p len bytes at @p offset. @return bytes read, or -1. */
+    long read(int ino, uint64_t offset, void *out, size_t len) const;
+
+    /** File size in bytes, or 0 for a bad inode. */
+    uint64_t fileSize(int ino) const;
+
+    /** Number of files. */
+    size_t fileCount() const;
+
+    /** The underlying pool (attachable for crash simulation). */
+    pmem::PmPool &pmPool() { return pool_; }
+
+    /** The metadata journal. */
+    Journal &journal() { return *journal_; }
+
+    /** Fault knobs. */
+    PmfsFaults faults;
+
+    /**
+     * Emit low-level checkers at the write path's ordering points
+     * (data must persist before the metadata that references it).
+     */
+    bool emitCheckers = false;
+
+    /** Producer-side stalls on the kernel FIFO (backpressure stat). */
+    uint64_t fifoStalls() const;
+
+    /**
+     * Wait until every trace pushed into the kernel FIFO has been
+     * handed to the checking engine, then wait for the engine itself
+     * (the kernel-path equivalent of PMTest_GET_RESULT).
+     */
+    void drainTraces();
+
+    /**
+     * Full-volume recovery over a crash image: journal rollback.
+     * @return journal entries applied.
+     */
+    static size_t recoverImage(std::vector<uint8_t> &image)
+    {
+        return Journal::recoverImage(image);
+    }
+
+  private:
+    Superblock *sb() { return sbPtr_; }
+    const Superblock *sb() const { return sbPtr_; }
+    Inode *inodeAt(uint64_t index);
+    const Inode *inodeAt(uint64_t index) const;
+    uint8_t *blockAt(uint64_t block_index);
+    long allocBlock();
+    void freeBlock(uint64_t block_index);
+
+    /** Seal the current trace and route it kernel-style. */
+    void sendTrace();
+
+    pmem::PmPool pool_;
+    Superblock *sbPtr_;
+    std::unique_ptr<Journal> journal_;
+
+    bool useFifo_;
+    std::unique_ptr<KernelFifo> fifo_;
+    std::thread pump_;
+    std::atomic<uint64_t> tracesPushed_{0};
+    std::atomic<uint64_t> tracesPumped_{0};
+};
+
+} // namespace pmtest::pmfs
+
+#endif // PMTEST_PMFS_PMFS_HH

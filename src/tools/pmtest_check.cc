@@ -1,0 +1,127 @@
+/**
+ * @file
+ * pmtest_check: command-line offline checker. Loads a trace file
+ * written with trace_io (see examples/offline_check.cpp for the
+ * record side) and runs the checking engine over it.
+ *
+ * Usage:
+ *   pmtest_check [--model=x86|hops|arm] [--summary] [--quiet]
+ *                [--max-findings=N] <trace-file>
+ *
+ * Exit status: 0 when no FAIL findings, 1 when crash-consistency
+ * bugs were found, 2 on usage/input errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/engine.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace pmtest;
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--model=x86|hops|arm] [--summary] [--quiet]\n"
+        "          [--max-findings=N] <trace-file>\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::ModelKind model = core::ModelKind::X86;
+    bool summary = false;
+    bool quiet = false;
+    size_t max_findings = 50;
+    std::string path;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--model=", 0) == 0) {
+            const std::string name = arg.substr(8);
+            if (name == "x86") {
+                model = core::ModelKind::X86;
+            } else if (name == "hops") {
+                model = core::ModelKind::Hops;
+            } else if (name == "arm") {
+                model = core::ModelKind::Arm;
+            } else {
+                std::fprintf(stderr, "unknown model '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+        } else if (arg == "--summary") {
+            summary = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg.rfind("--max-findings=", 0) == 0) {
+            max_findings =
+                static_cast<size_t>(std::atol(arg.c_str() + 15));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    bool ok = false;
+    const auto bundle = loadTracesFromFile(path, &ok);
+    if (!ok) {
+        std::fprintf(stderr, "%s: not a readable PMTest trace file\n",
+                     path.c_str());
+        return 2;
+    }
+
+    core::Engine engine(model);
+    core::Report merged;
+    size_t total_ops = 0;
+    for (const auto &trace : bundle.traces) {
+        merged.merge(engine.check(trace));
+        total_ops += trace.size();
+    }
+
+    if (!quiet) {
+        std::printf("%s: %zu traces, %zu PM operations, model=%s\n",
+                    path.c_str(), bundle.traces.size(), total_ops,
+                    engine.model().name());
+        if (summary) {
+            std::printf("%s", merged.summaryStr().c_str());
+        } else {
+            std::printf("%zu FAIL, %zu WARN\n", merged.failCount(),
+                        merged.warnCount());
+            size_t shown = 0;
+            for (const auto &finding : merged.findings()) {
+                if (shown++ == max_findings) {
+                    std::printf("  ... (%zu more; use --summary)\n",
+                                merged.findings().size() - shown + 1);
+                    break;
+                }
+                std::printf("  %s\n", finding.str().c_str());
+            }
+        }
+    }
+    return merged.failCount() == 0 ? 0 : 1;
+}

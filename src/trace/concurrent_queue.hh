@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A thread-safe, closeable FIFO queue. This is the user-space channel
+ * between the program under test and the checking engine (the paper's
+ * §4.5): producers push sealed traces, engine workers pop them.
+ */
+
+#ifndef PMTEST_TRACE_CONCURRENT_QUEUE_HH
+#define PMTEST_TRACE_CONCURRENT_QUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pmtest
+{
+
+/**
+ * Unbounded multi-producer/multi-consumer queue.
+ *
+ * pop() blocks until an item is available or the queue is closed;
+ * after close(), pop() drains remaining items and then returns
+ * std::nullopt.
+ */
+template <typename T>
+class ConcurrentQueue
+{
+  public:
+    /** Push one item and wake one waiting consumer. */
+    void
+    push(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            items_.push_back(std::move(item));
+        }
+        cv_.notify_one();
+    }
+
+    /**
+     * Pop the head item, blocking while the queue is open and empty.
+     * @return the item, or std::nullopt once closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Non-blocking pop. */
+    std::optional<T>
+    tryPop()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Close the queue: consumers drain and then see std::nullopt. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    /** Reopen a closed queue (used when a framework is re-initialized). */
+    void
+    reopen()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = false;
+    }
+
+    /** Number of queued items (racy; for stats only). */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    /** True when empty (racy; for stats only). */
+    bool empty() const { return size() == 0; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace pmtest
+
+#endif // PMTEST_TRACE_CONCURRENT_QUEUE_HH

@@ -1,0 +1,70 @@
+#include "trace/kernel_fifo.hh"
+
+namespace pmtest
+{
+
+KernelFifo::KernelFifo(size_t capacity) : capacity_(capacity) {}
+
+bool
+KernelFifo::push(Trace trace)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_) {
+        // Kernel wait-queue protocol: park until less than half full
+        // so the producer is not woken once per pop under sustained
+        // pressure.
+        producerStalls_++;
+        notFull_.wait(lock, [this] {
+            return shutdown_ || items_.size() < capacity_ / 2;
+        });
+    }
+    if (shutdown_)
+        return false;
+    items_.push_back(std::move(trace));
+    lock.unlock();
+    notEmpty_.notify_one();
+    return true;
+}
+
+std::optional<Trace>
+KernelFifo::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock, [this] { return shutdown_ || !items_.empty(); });
+    if (items_.empty())
+        return std::nullopt;
+    Trace t = std::move(items_.front());
+    items_.pop_front();
+    const bool wake_producers = items_.size() < capacity_ / 2;
+    lock.unlock();
+    if (wake_producers)
+        notFull_.notify_all();
+    return t;
+}
+
+void
+KernelFifo::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+}
+
+size_t
+KernelFifo::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+uint64_t
+KernelFifo::producerStalls() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return producerStalls_;
+}
+
+} // namespace pmtest

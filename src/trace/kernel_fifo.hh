@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A bounded FIFO modelling the kernel-to-user trace channel of the
+ * paper's §4.5: PMFS (a kernel module) cannot link the user-space
+ * checking engine, so traces cross a kernel FIFO (/proc/PMTest) with
+ * 1024 entries. When the FIFO fills, the producer parks itself on an
+ * interruptible wait queue and resumes once the FIFO is less than
+ * half full.
+ */
+
+#ifndef PMTEST_TRACE_KERNEL_FIFO_HH
+#define PMTEST_TRACE_KERNEL_FIFO_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "trace/trace.hh"
+
+namespace pmtest
+{
+
+/**
+ * Bounded trace FIFO with the kernel-side backpressure protocol:
+ * push() blocks while full and wakes only when occupancy drops below
+ * half capacity, mirroring the wait-queue behaviour the paper
+ * describes for the kernel module integration.
+ */
+class KernelFifo
+{
+  public:
+    /** Default capacity used by the paper: 1024 trace entries. */
+    static constexpr size_t defaultCapacity = 1024;
+
+    explicit KernelFifo(size_t capacity = defaultCapacity);
+
+    /**
+     * Push a trace. Blocks (producer on the wait queue) while the
+     * FIFO is full; wakes when occupancy < capacity/2 or the FIFO is
+     * shut down.
+     * @return false if the FIFO was shut down before the push landed.
+     */
+    bool push(Trace trace);
+
+    /**
+     * Pop the oldest trace, blocking while open and empty.
+     * @return the trace, or std::nullopt once shut down and drained.
+     */
+    std::optional<Trace> pop();
+
+    /** Shut down: wake all waiters; pops drain, pushes fail. */
+    void shutdown();
+
+    /** Current occupancy (racy; stats only). */
+    size_t size() const;
+
+    /** Configured capacity. */
+    size_t capacity() const { return capacity_; }
+
+    /** Number of times a producer had to block on the wait queue. */
+    uint64_t producerStalls() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<Trace> items_;
+    bool shutdown_ = false;
+    uint64_t producerStalls_ = 0;
+};
+
+} // namespace pmtest
+
+#endif // PMTEST_TRACE_KERNEL_FIFO_HH

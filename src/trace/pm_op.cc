@@ -1,0 +1,81 @@
+#include "trace/pm_op.hh"
+
+#include <cstdio>
+
+namespace pmtest
+{
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Write: return "write";
+      case OpType::Clwb: return "clwb";
+      case OpType::ClflushOpt: return "clflushopt";
+      case OpType::Clflush: return "clflush";
+      case OpType::Sfence: return "sfence";
+      case OpType::Ofence: return "ofence";
+      case OpType::Dfence: return "dfence";
+      case OpType::DcCvap: return "dc_cvap";
+      case OpType::Dsb: return "dsb";
+      case OpType::TxBegin: return "tx_begin";
+      case OpType::TxEnd: return "tx_end";
+      case OpType::TxAdd: return "tx_add";
+      case OpType::CheckIsPersist: return "isPersist";
+      case OpType::CheckIsOrderedBefore: return "isOrderedBefore";
+      case OpType::TxCheckStart: return "tx_check_start";
+      case OpType::TxCheckEnd: return "tx_check_end";
+      case OpType::Exclude: return "exclude";
+      case OpType::Include: return "include";
+    }
+    return "?";
+}
+
+bool
+isCheckerOp(OpType type)
+{
+    switch (type) {
+      case OpType::CheckIsPersist:
+      case OpType::CheckIsOrderedBefore:
+      case OpType::TxCheckStart:
+      case OpType::TxCheckEnd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+PmOp::str() const
+{
+    char buf[128];
+    switch (type) {
+      case OpType::Sfence:
+      case OpType::Ofence:
+      case OpType::Dfence:
+      case OpType::Dsb:
+      case OpType::TxBegin:
+      case OpType::TxEnd:
+      case OpType::TxCheckStart:
+      case OpType::TxCheckEnd:
+        std::snprintf(buf, sizeof(buf), "%s()", opTypeName(type));
+        break;
+      case OpType::CheckIsOrderedBefore:
+        std::snprintf(buf, sizeof(buf), "%s(0x%llx,%llu,0x%llx,%llu)",
+                      opTypeName(type),
+                      static_cast<unsigned long long>(addr),
+                      static_cast<unsigned long long>(size),
+                      static_cast<unsigned long long>(addrB),
+                      static_cast<unsigned long long>(sizeB));
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%s(0x%llx,%llu)",
+                      opTypeName(type),
+                      static_cast<unsigned long long>(addr),
+                      static_cast<unsigned long long>(size));
+        break;
+    }
+    return buf;
+}
+
+} // namespace pmtest

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The PM-operation record: one entry of a PMTest trace. A trace is the
+ * sequence, in program order, of (a) PM operations executed by the
+ * crash-consistent software under test and (b) the checkers the
+ * programmer placed. Each record carries the metadata the paper
+ * describes: operation type, address, size, and source file/line.
+ */
+
+#ifndef PMTEST_TRACE_PM_OP_HH
+#define PMTEST_TRACE_PM_OP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/source_location.hh"
+
+namespace pmtest
+{
+
+/**
+ * Kinds of trace entries.
+ *
+ * The first group are hardware-level PM operations (x86 and HOPS);
+ * the second group are transactional-library events that high-level
+ * checkers consume; the third group are the checkers themselves; the
+ * last group are testing-scope controls.
+ */
+enum class OpType : uint8_t
+{
+    // Hardware PM operations (x86 persistency model).
+    Write,          ///< store to a PM range
+    Clwb,           ///< cache-line writeback (retains line in cache)
+    ClflushOpt,     ///< cache-line flush, weakly ordered
+    Clflush,        ///< cache-line flush, strongly ordered
+    Sfence,         ///< store fence: orders and completes writebacks
+
+    // Hardware PM operations (HOPS persistency model).
+    Ofence,         ///< ordering fence: orders, does not write back
+    Dfence,         ///< durability fence: orders and persists
+
+    // Hardware PM operations (ARMv8.2 persistency model).
+    DcCvap,         ///< clean data cache to the point of persistence
+    Dsb,            ///< data synchronization barrier
+
+    // Transactional-library events.
+    TxBegin,        ///< transaction begin (possibly nested)
+    TxEnd,          ///< transaction end
+    TxAdd,          ///< undo-log snapshot of a persistent range
+
+    // Checkers.
+    CheckIsPersist,         ///< isPersist(addr, size)
+    CheckIsOrderedBefore,   ///< isOrderedBefore(addrA,.., addrB,..)
+    TxCheckStart,           ///< TX_CHECKER_START high-level checker
+    TxCheckEnd,             ///< TX_CHECKER_END high-level checker
+
+    // Testing-scope controls.
+    Exclude,        ///< remove a range from the testing scope
+    Include,        ///< re-add a range to the testing scope
+};
+
+/** Human-readable name for an OpType. */
+const char *opTypeName(OpType type);
+
+/** True if the type is a checker entry rather than a PM operation. */
+bool isCheckerOp(OpType type);
+
+/**
+ * A single trace entry. Trivially copyable; traces hold them by value.
+ *
+ * `addr`/`size` describe the primary range (or range A for
+ * isOrderedBefore); `addrB`/`sizeB` are only meaningful for
+ * CheckIsOrderedBefore.
+ */
+struct PmOp
+{
+    OpType type = OpType::Sfence;
+    uint64_t addr = 0;
+    uint64_t size = 0;
+    uint64_t addrB = 0;
+    uint64_t sizeB = 0;
+    SourceLocation loc{};
+
+    /** Build a store record. */
+    static PmOp
+    write(uint64_t addr, uint64_t size, SourceLocation loc = {})
+    {
+        return {OpType::Write, addr, size, 0, 0, loc};
+    }
+
+    /** Build a clwb record. */
+    static PmOp
+    clwb(uint64_t addr, uint64_t size, SourceLocation loc = {})
+    {
+        return {OpType::Clwb, addr, size, 0, 0, loc};
+    }
+
+    /** Build an sfence record. */
+    static PmOp
+    sfence(SourceLocation loc = {})
+    {
+        return {OpType::Sfence, 0, 0, 0, 0, loc};
+    }
+
+    /** Build an ofence record (HOPS). */
+    static PmOp
+    ofence(SourceLocation loc = {})
+    {
+        return {OpType::Ofence, 0, 0, 0, 0, loc};
+    }
+
+    /** Build a dfence record (HOPS). */
+    static PmOp
+    dfence(SourceLocation loc = {})
+    {
+        return {OpType::Dfence, 0, 0, 0, 0, loc};
+    }
+
+    /** Build a DC CVAP record (ARM). */
+    static PmOp
+    dcCvap(uint64_t addr, uint64_t size, SourceLocation loc = {})
+    {
+        return {OpType::DcCvap, addr, size, 0, 0, loc};
+    }
+
+    /** Build a DSB record (ARM). */
+    static PmOp
+    dsb(SourceLocation loc = {})
+    {
+        return {OpType::Dsb, 0, 0, 0, 0, loc};
+    }
+
+    /** Build an isPersist checker record. */
+    static PmOp
+    isPersist(uint64_t addr, uint64_t size, SourceLocation loc = {})
+    {
+        return {OpType::CheckIsPersist, addr, size, 0, 0, loc};
+    }
+
+    /** Build an isOrderedBefore checker record. */
+    static PmOp
+    isOrderedBefore(uint64_t addr_a, uint64_t size_a, uint64_t addr_b,
+                    uint64_t size_b, SourceLocation loc = {})
+    {
+        return {OpType::CheckIsOrderedBefore, addr_a, size_a, addr_b,
+                size_b, loc};
+    }
+
+    /** Render for diagnostics, e.g. "write(0x10,64)". */
+    std::string str() const;
+};
+
+} // namespace pmtest
+
+#endif // PMTEST_TRACE_PM_OP_HH

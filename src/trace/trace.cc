@@ -1,0 +1,24 @@
+#include "trace/trace.hh"
+
+namespace pmtest
+{
+
+std::string
+Trace::str() const
+{
+    std::string out = "trace #" + std::to_string(id_) + " (thread " +
+                      std::to_string(threadId_) + ", " +
+                      std::to_string(ops_.size()) + " ops)\n";
+    for (const auto &op : ops_) {
+        out += "  ";
+        out += op.str();
+        if (op.loc.valid()) {
+            out += " @ ";
+            out += op.loc.str();
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace pmtest

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A Trace: an ordered, self-contained batch of PM operations and
+ * checkers produced by the program under test between two
+ * PMTest_SEND_TRACE() calls. Traces are independent of one another
+ * (the paper's §4.3): each gets its own shadow memory when checked.
+ */
+
+#ifndef PMTEST_TRACE_TRACE_HH
+#define PMTEST_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/pm_op.hh"
+
+namespace pmtest
+{
+
+/** An ordered batch of PM operations with identifying metadata. */
+class Trace
+{
+  public:
+    Trace() = default;
+    Trace(uint64_t id, uint32_t thread_id) : id_(id), threadId_(thread_id) {}
+
+    /** Append one operation record, in program order. */
+    void append(const PmOp &op) { ops_.push_back(op); }
+
+    /** Append a sequence of records. */
+    void
+    append(const std::vector<PmOp> &ops)
+    {
+        ops_.insert(ops_.end(), ops.begin(), ops.end());
+    }
+
+    /** All records, in program order. */
+    const std::vector<PmOp> &ops() const { return ops_; }
+
+    /** Mutable access for builders (bug injectors rewrite traces). */
+    std::vector<PmOp> &mutableOps() { return ops_; }
+
+    /** Number of records. */
+    size_t size() const { return ops_.size(); }
+
+    /** True when the trace holds no records. */
+    bool empty() const { return ops_.empty(); }
+
+    /** Drop all records (retains identity). */
+    void clear() { ops_.clear(); }
+
+    /** Monotonic trace id assigned by the producer. */
+    uint64_t id() const { return id_; }
+
+    /** Id of the producing application thread. */
+    uint32_t threadId() const { return threadId_; }
+
+    /** Set identity; used when a capture buffer is sealed into a trace. */
+    void
+    setIdentity(uint64_t id, uint32_t thread_id)
+    {
+        id_ = id;
+        threadId_ = thread_id;
+    }
+
+    /** Multi-line dump for diagnostics. */
+    std::string str() const;
+
+  private:
+    std::vector<PmOp> ops_;
+    uint64_t id_ = 0;
+    uint32_t threadId_ = 0;
+};
+
+} // namespace pmtest
+
+#endif // PMTEST_TRACE_TRACE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-thread trace capture. The program under test (or an instrumented
+ * library such as txlib/mnemosyne/pmfs) calls the record* functions for
+ * every PM operation; between PMTest_START and PMTest_END the capture
+ * buffer accumulates records in program order, and PMTest_SEND_TRACE
+ * seals the buffer into an immutable Trace handed to the engine.
+ */
+
+#ifndef PMTEST_TRACE_TRACE_CAPTURE_HH
+#define PMTEST_TRACE_TRACE_CAPTURE_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace pmtest
+{
+
+/**
+ * Accumulates PM operations for a single application thread.
+ *
+ * Not thread-safe by design: each thread owns exactly one capture
+ * (PMTest_THREAD_INIT), mirroring the paper's per-thread trace
+ * structures.
+ */
+class TraceCapture
+{
+  public:
+    explicit TraceCapture(uint32_t thread_id = 0) : threadId_(thread_id) {}
+
+    /** Enable recording (PMTest_START). */
+    void start() { enabled_ = true; }
+
+    /** Disable recording (PMTest_END). */
+    void stop() { enabled_ = false; }
+
+    /** Whether operations are currently recorded. */
+    bool enabled() const { return enabled_; }
+
+    /** Record one operation if capture is enabled. */
+    void
+    record(const PmOp &op)
+    {
+        if (enabled_)
+            buffer_.append(op);
+    }
+
+    /**
+     * Record a checker. Checkers are recorded even while tracking of
+     * PM operations is enabled or not, as long as the capture itself
+     * has been started at least once; in practice programmers place
+     * checkers inside the started region, so we keep the same gate.
+     */
+    void recordChecker(const PmOp &op) { record(op); }
+
+    /**
+     * Seal the current buffer into a Trace and start a new buffer
+     * (PMTest_SEND_TRACE). The sealed trace receives a fresh id.
+     */
+    Trace
+    seal()
+    {
+        Trace sealed = std::move(buffer_);
+        sealed.setIdentity(nextTraceId(), threadId_);
+        buffer_ = Trace();
+        return sealed;
+    }
+
+    /** Number of operations pending in the open buffer. */
+    size_t pendingOps() const { return buffer_.size(); }
+
+    /** The owning thread's id. */
+    uint32_t threadId() const { return threadId_; }
+
+  private:
+    /** Process-wide monotonic trace id source. */
+    static uint64_t
+    nextTraceId()
+    {
+        static std::atomic<uint64_t> counter{0};
+        return counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint32_t threadId_;
+    bool enabled_ = false;
+    Trace buffer_;
+};
+
+} // namespace pmtest
+
+#endif // PMTEST_TRACE_TRACE_CAPTURE_HH

@@ -1,0 +1,164 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace pmtest
+{
+
+namespace
+{
+
+constexpr uint64_t kMagic = 0x504d5445535454ULL; // "PMTESTT"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void
+put(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+get(std::istream &in, T *value)
+{
+    in.read(reinterpret_cast<char *>(value), sizeof(*value));
+    return in.good();
+}
+
+} // namespace
+
+size_t
+saveTraces(std::ostream &out, const std::vector<Trace> &traces)
+{
+    const auto start = out.tellp();
+    put(out, kMagic);
+    put(out, kVersion);
+    put(out, static_cast<uint32_t>(traces.size()));
+
+    for (const auto &trace : traces) {
+        put(out, trace.id());
+        put(out, trace.threadId());
+        put(out, static_cast<uint32_t>(trace.size()));
+
+        // Intern file names for this trace.
+        std::map<std::string, uint32_t> index;
+        std::vector<std::string> strings;
+        for (const auto &op : trace.ops()) {
+            const std::string file = op.loc.valid() ? op.loc.file : "";
+            if (index.emplace(file, strings.size()).second)
+                strings.push_back(file);
+        }
+        put(out, static_cast<uint32_t>(strings.size()));
+        for (const auto &s : strings) {
+            put(out, static_cast<uint32_t>(s.size()));
+            out.write(s.data(),
+                      static_cast<std::streamsize>(s.size()));
+        }
+
+        for (const auto &op : trace.ops()) {
+            const std::string file = op.loc.valid() ? op.loc.file : "";
+            put(out, static_cast<uint8_t>(op.type));
+            put(out, index.at(file));
+            put(out, op.loc.line);
+            put(out, op.addr);
+            put(out, op.size);
+            put(out, op.addrB);
+            put(out, op.sizeB);
+        }
+    }
+    return static_cast<size_t>(out.tellp() - start);
+}
+
+LoadedTraces
+loadTraces(std::istream &in, bool *ok)
+{
+    LoadedTraces bundle;
+    bundle.strings = std::make_shared<std::deque<std::string>>();
+    if (ok)
+        *ok = false;
+
+    uint64_t magic = 0;
+    uint32_t version = 0, trace_count = 0;
+    if (!get(in, &magic) || magic != kMagic || !get(in, &version) ||
+        version != kVersion || !get(in, &trace_count)) {
+        return bundle;
+    }
+
+    for (uint32_t t = 0; t < trace_count; t++) {
+        uint64_t id;
+        uint32_t thread_id, op_count, string_count;
+        if (!get(in, &id) || !get(in, &thread_id) ||
+            !get(in, &op_count) || !get(in, &string_count)) {
+            return bundle;
+        }
+
+        std::vector<const char *> files;
+        for (uint32_t s = 0; s < string_count; s++) {
+            uint32_t len;
+            if (!get(in, &len) || len > (1u << 20))
+                return bundle;
+            std::string name(len, 0);
+            in.read(name.data(), len);
+            if (!in.good() && len > 0)
+                return bundle;
+            // The deque never moves existing strings, so the
+            // const char* handed to SourceLocation stays valid for
+            // the bundle's lifetime.
+            bundle.strings->push_back(std::move(name));
+            files.push_back(bundle.strings->back().c_str());
+        }
+
+        Trace trace(id, thread_id);
+        for (uint32_t i = 0; i < op_count; i++) {
+            uint8_t type;
+            uint32_t file_idx, line;
+            PmOp op;
+            if (!get(in, &type) || !get(in, &file_idx) ||
+                !get(in, &line) || !get(in, &op.addr) ||
+                !get(in, &op.size) || !get(in, &op.addrB) ||
+                !get(in, &op.sizeB)) {
+                return bundle;
+            }
+            op.type = static_cast<OpType>(type);
+            if (file_idx >= files.size())
+                return bundle;
+            if (line != 0)
+                op.loc = SourceLocation(files[file_idx], line);
+            trace.append(op);
+        }
+        bundle.traces.push_back(std::move(trace));
+    }
+
+    if (ok)
+        *ok = true;
+    return bundle;
+}
+
+bool
+saveTracesToFile(const std::string &path,
+                 const std::vector<Trace> &traces)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    saveTraces(out, traces);
+    return out.good();
+}
+
+LoadedTraces
+loadTracesFromFile(const std::string &path, bool *ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (ok)
+            *ok = false;
+        return LoadedTraces{};
+    }
+    return loadTraces(in, ok);
+}
+
+} // namespace pmtest

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace serialization: save recorded traces to a compact binary
+ * stream and load them back. This enables the record-once/check-
+ * offline workflow — capture a production run's PM operations with
+ * tracking enabled, then replay the traces through the checking
+ * engine (or a baseline tool) without re-running the program.
+ *
+ * Format (little-endian, versioned):
+ *   file   := magic u64, version u32, trace_count u32, trace*
+ *   trace  := id u64, thread_id u32, op_count u32, string_table, op*
+ *   string_table := count u32, (len u32, bytes)*   (file names)
+ *   op     := type u8, file_idx u32, line u32, addr u64, size u64,
+ *             addrB u64, sizeB u64
+ *
+ * File-name strings are interned per trace; loaded traces own their
+ * file names via a shared arena so SourceLocation's const char*
+ * contract holds.
+ */
+
+#ifndef PMTEST_TRACE_TRACE_IO_HH
+#define PMTEST_TRACE_TRACE_IO_HH
+
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace pmtest
+{
+
+/** Serialize traces to a binary stream. @return bytes written. */
+size_t saveTraces(std::ostream &out, const std::vector<Trace> &traces);
+
+/**
+ * The result of loading a trace file: the traces plus the string
+ * arena their SourceLocations point into. Keep the bundle alive as
+ * long as the traces are used.
+ */
+struct LoadedTraces
+{
+    std::vector<Trace> traces;
+    /** Owns the file-name strings referenced by op locations
+     *  (deque: stable addresses under growth). */
+    std::shared_ptr<std::deque<std::string>> strings;
+};
+
+/**
+ * Deserialize traces from a binary stream.
+ * @throws nothing; returns an empty bundle on malformed input and
+ *         sets *ok to false (when provided).
+ */
+LoadedTraces loadTraces(std::istream &in, bool *ok = nullptr);
+
+/** Convenience: save to / load from a file path. */
+bool saveTracesToFile(const std::string &path,
+                      const std::vector<Trace> &traces);
+LoadedTraces loadTracesFromFile(const std::string &path,
+                                bool *ok = nullptr);
+
+} // namespace pmtest
+
+#endif // PMTEST_TRACE_TRACE_IO_HH

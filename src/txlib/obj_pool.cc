@@ -1,0 +1,264 @@
+#include "txlib/obj_pool.hh"
+
+#include <cstring>
+
+#include "core/interval_map.hh"
+#include "util/logging.hh"
+
+namespace pmtest::txlib
+{
+
+ObjPool::ObjPool(size_t size, bool simulate_crashes, size_t log_size)
+    : pool_(size, simulate_crashes)
+{
+    // Lay out the header (in the root area) and the log region. This
+    // happens before any tracking starts, so plain memcpy is fine —
+    // a freshly created pool is consistent by construction. The log
+    // never takes more than a quarter of the pool.
+    log_size = std::min(log_size, size / 4);
+    const uint64_t log_offset = pool_.alloc(log_size);
+
+    PoolHeader header;
+    header.magic = PoolHeader::kMagic;
+    header.logOffset = log_offset;
+    header.logSize = log_size;
+    std::memcpy(pool_.base(), &header, sizeof(header));
+    headerPtr_ = reinterpret_cast<PoolHeader *>(pool_.base());
+
+    LogHeader log;
+    std::memcpy(pool_.base() + log_offset, &log, sizeof(log));
+
+    // Mirror the initial layout into the simulated device so crash
+    // images always contain a valid header.
+    if (pool_.simulating()) {
+        pool_.cache()->store(0, &header, sizeof(header));
+        pool_.cache()->store(log_offset, &log, sizeof(log));
+        pool_.cache()->flushAll();
+    }
+}
+
+LogHeader *
+ObjPool::logHeader()
+{
+    return reinterpret_cast<LogHeader *>(
+        pool_.base() + headerPtr_->logOffset);
+}
+
+void *
+ObjPool::rootRaw(size_t size)
+{
+    if (headerPtr_->rootOffset == 0) {
+        const uint64_t offset = pool_.alloc(size);
+        std::memset(pool_.at(offset), 0, size);
+
+        PoolHeader updated = *headerPtr_;
+        updated.rootOffset = offset;
+        updated.rootSize = size;
+        // The root pointer must be durable before use.
+        persist(headerPtr_, &updated, sizeof(updated), PMTEST_HERE);
+        if (pool_.simulating()) {
+            // Zero-fill of the root object bypassed instrumentation.
+            pool_.cache()->store(offset, pool_.at(offset), size);
+            pool_.cache()->flushAll();
+        }
+    }
+    if (headerPtr_->rootSize < size)
+        fatal("ObjPool::root: root object smaller than requested");
+    return pool_.at(headerPtr_->rootOffset);
+}
+
+void *
+ObjPool::allocRaw(size_t size)
+{
+    return pool_.at(pool_.alloc(size));
+}
+
+void *
+ObjPool::txAllocRaw(size_t size, SourceLocation loc)
+{
+    void *ptr = allocRaw(size);
+    if (tx_.depth > 0) {
+        // PMDK semantics: a freshly allocated object is covered by the
+        // transaction machinery — no TX_ADD needed before writing it.
+        appendLogEntry(LogEntry::Alloc, ptr, size, loc);
+        pmTxAdd(ptr, size, loc);
+        tx_.logged.emplace_back(ptr, size);
+    }
+    return ptr;
+}
+
+bool
+ObjPool::coveredByLog(const void *addr, size_t size) const
+{
+    // Containment within a single logged range covers the practical
+    // cases (whole-object snapshots); partially covered ranges are
+    // re-logged, which is safe.
+    const auto *a = static_cast<const uint8_t *>(addr);
+    for (const auto &[ptr, len] : tx_.logged) {
+        const auto *p = static_cast<const uint8_t *>(ptr);
+        if (a >= p && a + size <= p + len)
+            return true;
+    }
+    return false;
+}
+
+void
+ObjPool::freeRaw(void *ptr)
+{
+    pool_.free(pool_.offsetOf(ptr));
+}
+
+void
+ObjPool::txBegin(SourceLocation loc)
+{
+    txMutex_.lock();
+    tx_.depth++;
+    if (tx_.depth == 1) {
+        // The undo log is library-internal state: exclude it from the
+        // testing scope so the engine's transaction rules only see
+        // user-visible persistent objects (PMTest_EXCLUDE, Table 2).
+        pmtestExclude(pool_.base() + headerPtr_->logOffset,
+                      headerPtr_->logSize);
+        // Open the log: mark it valid before any entry lands.
+        LogHeader *log = logHeader();
+        LogHeader opened = *log;
+        opened.valid = 1;
+        opened.entryCount = 0;
+        pmStore(log, &opened, sizeof(opened), loc);
+        pmClwb(log, sizeof(LogHeader), loc);
+        pmSfence(loc);
+        tx_.modified.clear();
+        tx_.logged.clear();
+    }
+    pmTxBegin(loc);
+}
+
+void
+ObjPool::appendLogEntry(uint64_t kind, const void *addr, size_t size,
+                        SourceLocation loc)
+{
+    LogHeader *log = logHeader();
+    const uint64_t capacity = logCapacity(headerPtr_->logSize);
+    const auto *bytes = static_cast<const uint8_t *>(addr);
+    uint64_t pool_off = pool_.offsetOf(addr);
+
+    while (size > 0) {
+        const size_t chunk =
+            std::min<size_t>(size, LogEntry::kMaxData);
+        if (log->entryCount >= capacity)
+            fatal("ObjPool: undo log full");
+
+        LogEntry entry;
+        entry.kind = kind;
+        entry.offset = pool_off;
+        entry.size = chunk;
+        if (kind == LogEntry::Snapshot)
+            std::memcpy(entry.data, bytes, chunk);
+
+        auto *slot = reinterpret_cast<LogEntry *>(
+            pool_.base() + headerPtr_->logOffset +
+            logEntryOffset(log->entryCount));
+        // Persist the entry data first...
+        pmStore(slot, &entry, sizeof(entry), loc);
+        pmClwb(slot, sizeof(entry), loc);
+        if (!bugs.skipLogPersist)
+            pmSfence(loc);
+        // ...then the count that makes it visible to recovery.
+        LogHeader bumped = *log;
+        bumped.entryCount++;
+        pmStore(log, &bumped, sizeof(bumped), loc);
+        pmClwb(log, sizeof(LogHeader), loc);
+        if (!bugs.skipLogPersist)
+            pmSfence(loc);
+
+        bytes += chunk;
+        pool_off += chunk;
+        size -= chunk;
+    }
+}
+
+void
+ObjPool::txAdd(const void *addr, size_t size, SourceLocation loc)
+{
+    if (tx_.depth > 0 && coveredByLog(addr, size))
+        return; // already snapshotted (or allocated) in this TX
+    txAddDup(addr, size, loc);
+}
+
+void
+ObjPool::txAddDup(const void *addr, size_t size, SourceLocation loc)
+{
+    // The logical event goes into the trace first: the engine's log
+    // tree must cover the range before the in-place writes appear.
+    pmTxAdd(addr, size, loc);
+    if (tx_.depth == 0) {
+        warn("txAdd outside a transaction (recorded; engine will "
+             "flag it)");
+        return;
+    }
+    appendLogEntry(LogEntry::Snapshot, addr, size, loc);
+    tx_.logged.emplace_back(addr, size);
+}
+
+void
+ObjPool::txWrite(void *dst, const void *src, size_t size,
+                 SourceLocation loc)
+{
+    pmStore(dst, src, size, loc);
+    if (tx_.depth > 0)
+        tx_.modified.emplace_back(dst, size);
+}
+
+void
+ObjPool::txCommit(SourceLocation loc)
+{
+    if (tx_.depth == 0)
+        fatal("ObjPool::txCommit without txBegin");
+
+    if (tx_.depth == 1) {
+        // Outermost commit: make every in-place update durable, then
+        // retire the log. This is the point where PMDK guarantees
+        // persistence (§7.1). Ranges modified several times are
+        // coalesced so each byte is written back exactly once.
+        if (!bugs.skipCommitFlush) {
+            core::IntervalMap<bool> dirty;
+            for (const auto &[ptr, size] : tx_.modified) {
+                dirty.assign(core::AddrRange(
+                                 reinterpret_cast<uint64_t>(ptr),
+                                 size),
+                             true);
+            }
+            dirty.forEach([&](const auto &entry) {
+                pmClwb(reinterpret_cast<void *>(entry.start),
+                       entry.end - entry.start, loc);
+            });
+        }
+        if (!bugs.skipCommitFlush && !bugs.skipCommitFence)
+            pmSfence(loc);
+
+        LogHeader *log = logHeader();
+        LogHeader closed;
+        closed.valid = 0;
+        closed.entryCount = 0;
+        pmStore(log, &closed, sizeof(closed), loc);
+        pmClwb(log, sizeof(LogHeader), loc);
+        pmSfence(loc);
+        tx_.modified.clear();
+        tx_.logged.clear();
+    }
+
+    pmTxEnd(loc);
+    tx_.depth--;
+    txMutex_.unlock();
+}
+
+void
+ObjPool::persist(void *dst, const void *src, size_t size,
+                 SourceLocation loc)
+{
+    pmStore(dst, src, size, loc);
+    pmClwb(dst, size, loc);
+    pmSfence(loc);
+}
+
+} // namespace pmtest::txlib

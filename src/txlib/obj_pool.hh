@@ -1,0 +1,183 @@
+/**
+ * @file
+ * ObjPool: the PMDK-libpmemobj-like transactional object store (the
+ * paper's "high-level library" CCS category). Provides a root object,
+ * a persistent allocator, and failure-atomic undo-log transactions
+ * with TX_BEGIN / TX_ADD / TX_END semantics — including the PMDK
+ * behaviour the paper highlights in §7.1: updates are only guaranteed
+ * persistent when the *outermost* transaction ends.
+ *
+ * Every PM operation the library performs is instrumented through the
+ * pmtest API (pmStore/pmClwb/pmSfence/pmTx*), so programs built on it
+ * are testable with both the low-level and the transaction checkers.
+ */
+
+#ifndef PMTEST_TXLIB_OBJ_POOL_HH
+#define PMTEST_TXLIB_OBJ_POOL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/api.hh"
+#include "pmem/pm_pool.hh"
+#include "txlib/undo_log.hh"
+#include "util/source_location.hh"
+
+namespace pmtest::txlib
+{
+
+/**
+ * Fault-injection knobs. Real code never sets these; the Table 5
+ * bug-injection campaign uses them to plant transaction-class bugs
+ * inside the library (completion bugs), while backup/ordering bugs
+ * are planted at the workload level by skipping TX_ADD calls.
+ */
+struct BugKnobs
+{
+    /** Commit without flushing modified ranges (incomplete TX). */
+    bool skipCommitFlush = false;
+    /** Commit without the fence after the flushes (ordering bug). */
+    bool skipCommitFence = false;
+    /** Skip persisting undo-log entries before modification. */
+    bool skipLogPersist = false;
+};
+
+/** A transactional persistent object pool. */
+class ObjPool
+{
+  public:
+    /**
+     * @param size pool size in bytes
+     * @param simulate_crashes build the pool with a cache/device pair
+     *        so crash images can be generated
+     * @param log_size bytes reserved for the undo log
+     */
+    explicit ObjPool(size_t size, bool simulate_crashes = false,
+                     size_t log_size = 1 << 20);
+
+    /** The underlying PM pool (attachable via pmtestAttachPool). */
+    pmem::PmPool &pmPool() { return pool_; }
+    const pmem::PmPool &pmPool() const { return pool_; }
+
+    /** @{ Root object: created on first access, then stable. */
+    void *rootRaw(size_t size);
+
+    template <typename T>
+    T *
+    root()
+    {
+        return static_cast<T *>(rootRaw(sizeof(T)));
+    }
+    /** @} */
+
+    /** @{ Allocation. txAlloc* additionally undo-logs the allocation
+     *  so in-TX initialization of the new object needs no TX_ADD
+     *  (PMDK semantics). */
+    void *allocRaw(size_t size);
+    void *txAllocRaw(size_t size, SourceLocation loc = {});
+
+    template <typename T>
+    T *
+    txAlloc(SourceLocation loc = {})
+    {
+        return static_cast<T *>(txAllocRaw(sizeof(T), loc));
+    }
+
+    void freeRaw(void *ptr);
+    /** @} */
+
+    /** @{ Transactions (nesting supported; one TX at a time). */
+    void txBegin(SourceLocation loc = {});
+    void txCommit(SourceLocation loc = {});
+    int txDepth() const { return tx_.depth; }
+
+    /**
+     * Snapshot @p size bytes at @p addr into the undo log (TX_ADD).
+     * Ranges already covered by this transaction's log — including
+     * ranges freshly allocated in it — are skipped silently, like
+     * fixed PMDK. Use txAddDup() to model the historical behaviour of
+     * logging unconditionally (the Table 6 duplicate-log bug).
+     */
+    void txAdd(const void *addr, size_t size, SourceLocation loc = {});
+
+    /** TX_ADD without the dedup check (fault injection only). */
+    void txAddDup(const void *addr, size_t size, SourceLocation loc = {});
+
+    /** In-place modification inside a TX (tracked for commit flush). */
+    void txWrite(void *dst, const void *src, size_t size,
+                 SourceLocation loc = {});
+
+    template <typename T>
+    void
+    txAssign(T *dst, const T &value, SourceLocation loc = {})
+    {
+        txWrite(dst, &value, sizeof(T), loc);
+    }
+    /** @} */
+
+    /** Non-transactional durable write: store + clwb + sfence. */
+    void persist(void *dst, const void *src, size_t size,
+                 SourceLocation loc = {});
+
+    /** Fault-injection knobs (Table 5 campaign). */
+    BugKnobs bugs;
+
+  private:
+    struct TxContext
+    {
+        int depth = 0;
+        /** Modified host-address ranges, flushed at outermost commit. */
+        std::vector<std::pair<void *, size_t>> modified;
+        /** Ranges already covered by the log (snapshots + allocs). */
+        std::vector<std::pair<const void *, size_t>> logged;
+    };
+
+    /** Whether @p addr..@p size is fully covered by tx_.logged. */
+    bool coveredByLog(const void *addr, size_t size) const;
+
+    PoolHeader *header() { return headerPtr_; }
+    LogHeader *logHeader();
+    void appendLogEntry(uint64_t kind, const void *addr, size_t size,
+                        SourceLocation loc);
+    void persistLogHeader(SourceLocation loc);
+
+    pmem::PmPool pool_;
+    PoolHeader *headerPtr_;
+    std::recursive_mutex txMutex_;
+    TxContext tx_;
+};
+
+/** RAII transaction scope: begin on construction, commit on close. */
+class TxScope
+{
+  public:
+    explicit TxScope(ObjPool &pool, SourceLocation loc = {})
+        : pool_(pool)
+    {
+        pool_.txBegin(loc);
+    }
+
+    /** Commit explicitly (idempotent). */
+    void
+    commit(SourceLocation loc = {})
+    {
+        if (!done_) {
+            pool_.txCommit(loc);
+            done_ = true;
+        }
+    }
+
+    ~TxScope() { commit(); }
+
+    TxScope(const TxScope &) = delete;
+    TxScope &operator=(const TxScope &) = delete;
+
+  private:
+    ObjPool &pool_;
+    bool done_ = false;
+};
+
+} // namespace pmtest::txlib
+
+#endif // PMTEST_TXLIB_OBJ_POOL_HH

@@ -1,0 +1,77 @@
+#include "txlib/undo_log.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pmtest::txlib
+{
+
+namespace
+{
+
+template <typename T>
+T
+readAt(const std::vector<uint8_t> &image, uint64_t offset)
+{
+    T value;
+    if (offset + sizeof(T) > image.size())
+        panic("recoverImage: read outside image");
+    std::memcpy(&value, image.data() + offset, sizeof(T));
+    return value;
+}
+
+} // namespace
+
+bool
+imageLogValid(const std::vector<uint8_t> &image)
+{
+    const auto header = readAt<PoolHeader>(image, 0);
+    if (header.magic != PoolHeader::kMagic)
+        return false;
+    const auto log = readAt<LogHeader>(image, header.logOffset);
+    return log.valid != 0;
+}
+
+size_t
+recoverImage(std::vector<uint8_t> &image)
+{
+    const auto header = readAt<PoolHeader>(image, 0);
+    if (header.magic != PoolHeader::kMagic)
+        return 0; // not a txlib pool (or header itself was lost)
+
+    const auto log = readAt<LogHeader>(image, header.logOffset);
+    if (log.valid == 0)
+        return 0; // no transaction in flight at the crash
+
+    size_t applied = 0;
+    // Apply snapshots newest-first so overlapping TX_ADDs of the same
+    // range restore the oldest (pre-transaction) data last.
+    for (uint64_t i = log.entryCount; i-- > 0;) {
+        const uint64_t entry_off =
+            header.logOffset + logEntryOffset(i);
+        const auto entry = readAt<LogEntry>(image, entry_off);
+        if (entry.kind != LogEntry::Snapshot)
+            continue; // alloc entries need no data rollback
+        if (entry.size > LogEntry::kMaxData ||
+            entry.offset + entry.size > image.size()) {
+            // Torn entry (count persisted before data): skip it; the
+            // commit protocol guarantees this cannot happen for a
+            // correctly instrumented library, but crash images from
+            // buggy programs can contain anything.
+            continue;
+        }
+        std::memcpy(image.data() + entry.offset, entry.data, entry.size);
+        applied++;
+    }
+
+    // Clear the valid flag: recovery is idempotent.
+    LogHeader cleared = log;
+    cleared.valid = 0;
+    cleared.entryCount = 0;
+    std::memcpy(image.data() + header.logOffset, &cleared,
+                sizeof(cleared));
+    return applied;
+}
+
+} // namespace pmtest::txlib

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Persistent layout of the txlib undo log and pool header, plus the
+ * recovery procedure. The layout lives at fixed offsets inside a
+ * pmem::PmPool so that recovery can be run against *crash images*
+ * (raw byte vectors produced by the crash injector) exactly as it
+ * would run against the pool after a real power failure.
+ *
+ * Commit protocol (mirrors PMDK's libpmemobj undo transactions):
+ *  1. TX_ADD persists a snapshot entry (entry data, then the count)
+ *     before the object is modified in place;
+ *  2. modifications happen in place;
+ *  3. commit flushes all modified ranges, fences, then clears the
+ *     log's valid flag (persisted) — the commit point.
+ * Recovery: a valid log means the crash hit mid-transaction; apply
+ * snapshots in reverse to roll the in-place updates back.
+ */
+
+#ifndef PMTEST_TXLIB_UNDO_LOG_HH
+#define PMTEST_TXLIB_UNDO_LOG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pmtest::txlib
+{
+
+/** Pool header, at offset 0 of every txlib pool. */
+struct PoolHeader
+{
+    static constexpr uint64_t kMagic = 0x504d544553545042ULL;
+
+    uint64_t magic = 0;      ///< kMagic once initialized
+    uint64_t rootOffset = 0; ///< offset of the root object (0 = none)
+    uint64_t rootSize = 0;   ///< size of the root object
+    uint64_t logOffset = 0;  ///< offset of the undo-log region
+    uint64_t logSize = 0;    ///< bytes reserved for the undo log
+};
+
+/** Undo-log region header. */
+struct LogHeader
+{
+    uint64_t valid = 0;      ///< nonzero while a transaction is open
+    uint64_t entryCount = 0; ///< number of persisted entries
+};
+
+/** One undo-log entry. */
+struct LogEntry
+{
+    /** Entry kinds. */
+    enum Kind : uint64_t
+    {
+        Snapshot = 1, ///< data[] holds the pre-modification bytes
+        Alloc = 2,    ///< range was freshly allocated in this TX
+    };
+
+    /** Max snapshot payload per entry; larger TX_ADDs are split. */
+    static constexpr size_t kMaxData = 256;
+
+    uint64_t kind = Snapshot;
+    uint64_t offset = 0; ///< pool offset of the saved range
+    uint64_t size = 0;   ///< bytes saved (<= kMaxData)
+    uint8_t data[kMaxData] = {};
+};
+
+/** Byte offset of entry @p index within the log region. */
+constexpr uint64_t
+logEntryOffset(uint64_t index)
+{
+    return sizeof(LogHeader) + index * sizeof(LogEntry);
+}
+
+/** Number of entries a log region of @p log_size bytes can hold. */
+constexpr uint64_t
+logCapacity(uint64_t log_size)
+{
+    return (log_size - sizeof(LogHeader)) / sizeof(LogEntry);
+}
+
+/**
+ * Roll back an interrupted transaction in a raw pool image.
+ *
+ * Reads the pool header at offset 0; if the log is valid, applies the
+ * snapshot entries in reverse order and clears the valid flag.
+ *
+ * @param image a full pool image (e.g. from CrashInjector)
+ * @return number of snapshot entries applied (0 if the log was clean)
+ */
+size_t recoverImage(std::vector<uint8_t> &image);
+
+/** Whether the image's log is marked valid (crash mid-transaction). */
+bool imageLogValid(const std::vector<uint8_t> &image);
+
+} // namespace pmtest::txlib
+
+#endif // PMTEST_TXLIB_UNDO_LOG_HH

@@ -1,0 +1,84 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace pmtest
+{
+
+namespace
+{
+
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
+std::mutex g_log_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::None: return "none";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold.load(std::memory_order_relaxed);
+}
+
+LogLevel
+setLogThreshold(LogLevel level)
+{
+    return g_threshold.exchange(level, std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < logThreshold())
+        return;
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "pmtest: %s: %s\n", levelName(level), msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::fprintf(stderr, "pmtest: panic: %s\n", msg.c_str());
+    }
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::fprintf(stderr, "pmtest: fatal: %s\n", msg.c_str());
+    }
+    std::exit(1);
+}
+
+} // namespace pmtest

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal logging helpers, modelled after gem5's inform()/warn()/panic()
+ * trio. All output goes to stderr; verbosity is globally adjustable so
+ * tests and benchmarks can silence the framework.
+ */
+
+#ifndef PMTEST_UTIL_LOGGING_HH
+#define PMTEST_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pmtest
+{
+
+/** Log verbosity levels, in increasing severity. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    None = 4,
+};
+
+/** Global log threshold: messages below this level are dropped. */
+LogLevel logThreshold();
+
+/** Set the global log threshold; returns the previous value. */
+LogLevel setLogThreshold(LogLevel level);
+
+/** Emit a single log line at the given level (thread-safe). */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Informative message (level Info). */
+void inform(const std::string &msg);
+
+/** Warning message (level Warn). */
+void warn(const std::string &msg);
+
+/**
+ * Unrecoverable internal error: log and abort. Used for "should never
+ * happen" conditions, i.e. bugs in this framework itself.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Unrecoverable user error: log and exit(1). Used for invalid
+ * configuration or misuse of the public API.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * RAII guard that silences logging for its lifetime; used by tests and
+ * benchmarks that intentionally provoke warnings.
+ */
+class ScopedLogSilencer
+{
+  public:
+    ScopedLogSilencer() : saved_(setLogThreshold(LogLevel::None)) {}
+    ~ScopedLogSilencer() { setLogThreshold(saved_); }
+
+    ScopedLogSilencer(const ScopedLogSilencer &) = delete;
+    ScopedLogSilencer &operator=(const ScopedLogSilencer &) = delete;
+
+  private:
+    LogLevel saved_;
+};
+
+} // namespace pmtest
+
+#endif // PMTEST_UTIL_LOGGING_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload generators,
+ * crash-state sampling and property tests. All randomness in this
+ * repository flows through SplitMix64/Xoshiro so runs are reproducible
+ * from a single seed.
+ */
+
+#ifndef PMTEST_UTIL_RANDOM_HH
+#define PMTEST_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pmtest
+{
+
+/**
+ * SplitMix64: tiny, high-quality 64-bit generator. Mainly used to seed
+ * Xoshiro256** and for one-shot hashing of seeds.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Next 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * Xoshiro256**: the repository-wide PRNG. Fast, 256-bit state, good
+ * statistical quality; deterministic given the seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5ca1ab1eULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &s : state_)
+            s = sm.next();
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection-free modulo is fine here: bound is tiny compared
+        // to 2^64 in all our uses, so bias is negligible for tests.
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Random printable key of the given length (lowercase letters). */
+    std::string
+    key(size_t len)
+    {
+        std::string s(len, 'a');
+        for (auto &c : s)
+            c = static_cast<char>('a' + below(26));
+        return s;
+    }
+
+  private:
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace pmtest
+
+#endif // PMTEST_UTIL_RANDOM_HH

@@ -1,0 +1,98 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pmtest
+{
+
+void
+Stats::add(double v)
+{
+    samples_.push_back(v);
+}
+
+double
+Stats::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : samples_)
+        sum += v;
+    return sum / samples_.size();
+}
+
+double
+Stats::geomean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : samples_)
+        log_sum += std::log(v);
+    return std::exp(log_sum / samples_.size());
+}
+
+double
+Stats::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Stats::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    rows_.insert(rows_.begin(), std::move(cells));
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    // Compute per-column widths.
+    std::vector<size_t> widths;
+    for (const auto &row : rows_) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); i++)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::string out;
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); i++) {
+            out += row[i];
+            if (i + 1 < row.size())
+                out += std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace pmtest

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small statistics accumulator used by benchmark harnesses: collects
+ * samples and reports min/max/mean/geomean, plus a helper for printing
+ * aligned result tables resembling the paper's figures.
+ */
+
+#ifndef PMTEST_UTIL_STATS_HH
+#define PMTEST_UTIL_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pmtest
+{
+
+/** Accumulates double-valued samples and derives summary statistics. */
+class Stats
+{
+  public:
+    /** Add one sample. */
+    void add(double v);
+
+    /** Number of samples. */
+    size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Geometric mean (0 when empty; samples must be positive). */
+    double geomean() const;
+
+    /** Minimum sample (0 when empty). */
+    double min() const;
+
+    /** Maximum sample (0 when empty). */
+    double max() const;
+
+    /** All samples, in insertion order. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/**
+ * Fixed-width text table writer. Benches use it to print rows that
+ * mirror the paper's figures (one series per tool, one column per
+ * parameter point).
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with padded columns. */
+    std::string str() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision. */
+std::string fmtDouble(double v, int precision = 2);
+
+} // namespace pmtest
+
+#endif // PMTEST_UTIL_STATS_HH

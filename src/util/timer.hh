@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the benchmark harnesses to report
+ * slowdown factors (time under a testing tool / native time).
+ */
+
+#ifndef PMTEST_UTIL_TIMER_HH
+#define PMTEST_UTIL_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace pmtest
+{
+
+/** Simple steady-clock stopwatch. Starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in nanoseconds since construction/reset. */
+    uint64_t
+    elapsedNs() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_)
+            .count();
+    }
+
+    /** Elapsed time in seconds. */
+    double elapsedSec() const { return elapsedNs() * 1e-9; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace pmtest
+
+#endif // PMTEST_UTIL_TIMER_HH

@@ -1,0 +1,388 @@
+#include "workloads/bug_injector.hh"
+
+#include "core/api.hh"
+#include "mnemosyne/region.hh"
+#include "pmds/btree_map.hh"
+#include "pmds/ctree_map.hh"
+#include "pmds/hashmap_atomic.hh"
+#include "pmds/hashmap_tx.hh"
+#include "pmds/rbtree_map.hh"
+#include "pmfs/pmfs.hh"
+#include "util/logging.hh"
+#include "workloads/memcached_lite.hh"
+
+namespace pmtest::workloads
+{
+
+using core::FindingKind;
+using core::Report;
+
+namespace
+{
+
+/** Run @p body under a fresh PMTest instance and return the report. */
+Report
+underPmtest(const std::function<void()> &body)
+{
+    ScopedLogSilencer quiet;
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+    body();
+    pmtestSendTrace();
+    Report report = pmtestResults();
+    pmtestEnd();
+    pmtestExit();
+    return report;
+}
+
+/** Insert @p ops keys into a map built with @p faults. */
+template <typename MapT>
+Report
+mapCase(pmds::MapFaults faults, size_t ops, size_t value_size,
+        uint64_t key_stride, txlib::BugKnobs pool_knobs = {})
+{
+    return underPmtest([&] {
+        txlib::ObjPool pool(ops * (value_size + 512) + (4u << 20));
+        pool.bugs = pool_knobs;
+        MapT map(pool);
+        map.faults = faults;
+        map.emitCheckers = true;
+        std::vector<uint8_t> value(value_size, 0x5a);
+        for (size_t i = 0; i < ops; i++)
+            map.insert(1 + i * key_stride, value.data(), value.size());
+    });
+}
+
+/** Build a B-tree, then force the remove/rotate path. */
+Report
+btreeRotateCase(pmds::MapFaults faults, size_t ops)
+{
+    return underPmtest([&] {
+        txlib::ObjPool pool(ops * 512 + (4u << 20));
+        pmds::BtreeMap map(pool);
+        std::vector<uint8_t> value(32, 0x5a);
+        for (size_t i = 0; i < ops; i++)
+            map.insert(1 + i, value.data(), value.size());
+        // Removing from the low end forces borrows from the right
+        // sibling (rotateLeft), the duplicate-log site.
+        map.faults = faults;
+        map.emitCheckers = true;
+        for (size_t i = 0; i < ops / 2; i++)
+            map.remove(1 + i);
+    });
+}
+
+/** Drive memcached-lite over a faulty Mnemosyne region. */
+Report
+mnemosyneCase(mnemosyne::RegionFaults faults, size_t ops)
+{
+    return underPmtest([&] {
+        mnemosyne::Region region(16u << 20);
+        region.faults = faults;
+        region.emitCheckers = true;
+        MemcachedLite server(region);
+        for (size_t i = 0; i < ops; i++) {
+            server.set("key-" + std::to_string(i),
+                       std::string(64, 'x'));
+        }
+    });
+}
+
+/** Drive the mini PMFS with fault knobs. */
+Report
+pmfsCase(pmfs::PmfsFaults faults, pmfs::JournalFaults journal_faults,
+         size_t ops)
+{
+    return underPmtest([&] {
+        pmfs::Pmfs fs(8u << 20, false, /*use_fifo=*/true);
+        fs.faults = faults;
+        fs.journal().faults = journal_faults;
+        fs.emitCheckers = true;
+        const std::string payload(256, 'd');
+        for (size_t i = 0; i < ops; i++) {
+            const std::string name = "f" + std::to_string(i % 8);
+            int ino = fs.lookup(name);
+            if (ino < 0)
+                ino = fs.create(name);
+            fs.write(ino, 0, payload.data(), payload.size());
+        }
+        fs.drainTraces();
+    });
+}
+
+void
+addCase(std::vector<BugCase> &cases, std::string id,
+        std::string category, FindingKind expected,
+        std::function<Report()> run)
+{
+    cases.push_back(BugCase{std::move(id), std::move(category),
+                            expected, std::move(run)});
+}
+
+} // namespace
+
+bool
+reportContains(const Report &report, FindingKind kind)
+{
+    for (const auto &f : report.findings())
+        if (f.kind == kind)
+            return true;
+    return false;
+}
+
+std::vector<BugCase>
+buildTable5Campaign()
+{
+    using pmds::BtreeMap;
+    using pmds::CtreeMap;
+    using pmds::HashmapAtomic;
+    using pmds::HashmapTx;
+    using pmds::RbtreeMap;
+
+    std::vector<BugCase> cases;
+
+    // ---- Low-level: ordering (4 cases) --------------------------
+    {
+        pmds::MapFaults f;
+        f.skipFence = true;
+        addCase(cases, "atomic-skip-fence", "ordering",
+                FindingKind::NotOrdered, [f] {
+                    return mapCase<HashmapAtomic>(f, 8, 64, 3);
+                });
+    }
+    {
+        pmds::MapFaults f;
+        f.misplacedFence = true;
+        addCase(cases, "atomic-misplaced-fence", "ordering",
+                FindingKind::NotOrdered, [f] {
+                    return mapCase<HashmapAtomic>(f, 8, 64, 3);
+                });
+    }
+    {
+        mnemosyne::RegionFaults f;
+        f.skipLogFlush = true;
+        addCase(cases, "mnemosyne-skip-log-flush", "ordering",
+                FindingKind::NotOrdered,
+                [f] { return mnemosyneCase(f, 8); });
+    }
+    {
+        pmfs::PmfsFaults f;
+        f.skipDataFence = true;
+        addCase(cases, "pmfs-skip-data-fence", "ordering",
+                FindingKind::NotOrdered,
+                [f] { return pmfsCase(f, {}, 8); });
+    }
+
+    // ---- Low-level: writeback (6 cases) -------------------------
+    for (size_t ops : {4, 32}) {
+        pmds::MapFaults f;
+        f.skipFlush = true;
+        addCase(cases,
+                "atomic-skip-flush-" + std::to_string(ops),
+                "writeback", FindingKind::NotPersisted, [f, ops] {
+                    return mapCase<HashmapAtomic>(f, ops, 64, 3);
+                });
+    }
+    for (size_t ops : {4, 32}) {
+        mnemosyne::RegionFaults f;
+        f.skipDataFlush = true;
+        addCase(cases,
+                "mnemosyne-skip-data-flush-" + std::to_string(ops),
+                "writeback", FindingKind::NotPersisted,
+                [f, ops] { return mnemosyneCase(f, ops); });
+    }
+    for (size_t ops : {4, 16}) {
+        pmfs::PmfsFaults f;
+        f.skipDataFlush = true;
+        addCase(cases, "pmfs-skip-data-flush-" + std::to_string(ops),
+                "writeback", FindingKind::NotPersisted,
+                [f, ops] { return pmfsCase(f, {}, ops); });
+    }
+
+    // ---- Low-level: performance (2 cases) -----------------------
+    {
+        pmds::MapFaults f;
+        f.extraFlush = true;
+        addCase(cases, "atomic-extra-flush", "perf-writeback",
+                FindingKind::RedundantFlush, [f] {
+                    return mapCase<HashmapAtomic>(f, 8, 64, 3);
+                });
+    }
+    {
+        pmfs::PmfsFaults f;
+        f.doubleFlushXip = true;
+        addCase(cases, "pmfs-double-flush-xip", "perf-writeback",
+                FindingKind::RedundantFlush,
+                [f] { return pmfsCase(f, {}, 8); });
+    }
+
+    // ---- Transaction: backup (19 cases) -------------------------
+    {
+        pmds::MapFaults f;
+        f.skipTxAdd = true;
+        for (size_t ops : {2, 4, 8, 16, 32}) {
+            addCase(cases, "ctree-skip-txadd-" + std::to_string(ops),
+                    "backup", FindingKind::MissingLog, [f, ops] {
+                        return mapCase<CtreeMap>(f, ops, 64, 7);
+                    });
+        }
+        for (size_t ops : {2, 8, 16, 32, 64}) {
+            addCase(cases, "btree-skip-txadd-" + std::to_string(ops),
+                    "backup", FindingKind::MissingLog, [f, ops] {
+                        return mapCase<BtreeMap>(f, ops, 64, 1);
+                    });
+        }
+        for (size_t ops : {3, 8, 16, 32, 64}) {
+            addCase(cases, "rbtree-skip-txadd-" + std::to_string(ops),
+                    "backup", FindingKind::MissingLog, [f, ops] {
+                        return mapCase<RbtreeMap>(f, ops, 64, 1);
+                    });
+        }
+        for (size_t ops : {1, 4, 16, 64}) {
+            addCase(cases,
+                    "hashmaptx-skip-txadd-" + std::to_string(ops),
+                    "backup", FindingKind::MissingLog, [f, ops] {
+                        return mapCase<HashmapTx>(f, ops, 64, 5);
+                    });
+        }
+    }
+
+    // ---- Transaction: completion (7 cases) ----------------------
+    {
+        txlib::BugKnobs knobs;
+        knobs.skipCommitFlush = true;
+        addCase(cases, "ctree-skip-commit-flush", "completion",
+                FindingKind::IncompleteTx, [knobs] {
+                    return mapCase<CtreeMap>({}, 8, 64, 7, knobs);
+                });
+        addCase(cases, "btree-skip-commit-flush", "completion",
+                FindingKind::IncompleteTx, [knobs] {
+                    return mapCase<BtreeMap>({}, 8, 64, 1, knobs);
+                });
+        addCase(cases, "rbtree-skip-commit-flush", "completion",
+                FindingKind::IncompleteTx, [knobs] {
+                    return mapCase<RbtreeMap>({}, 8, 64, 1, knobs);
+                });
+        addCase(cases, "hashmaptx-skip-commit-flush", "completion",
+                FindingKind::IncompleteTx, [knobs] {
+                    return mapCase<HashmapTx>({}, 8, 64, 5, knobs);
+                });
+        addCase(cases, "ctree-skip-commit-flush-large", "completion",
+                FindingKind::IncompleteTx, [knobs] {
+                    return mapCase<CtreeMap>({}, 4, 1024, 7, knobs);
+                });
+        addCase(cases, "btree-skip-commit-flush-large", "completion",
+                FindingKind::IncompleteTx, [knobs] {
+                    return mapCase<BtreeMap>({}, 4, 1024, 1, knobs);
+                });
+        addCase(cases, "rbtree-skip-commit-flush-large", "completion",
+                FindingKind::IncompleteTx, [knobs] {
+                    return mapCase<RbtreeMap>({}, 4, 1024, 1, knobs);
+                });
+    }
+
+    // ---- Transaction: performance (4 cases) ---------------------
+    {
+        pmds::MapFaults f;
+        f.extraTxAdd = true;
+        addCase(cases, "ctree-extra-txadd", "perf-log",
+                FindingKind::DuplicateLog, [f] {
+                    return mapCase<CtreeMap>(f, 8, 64, 7);
+                });
+        addCase(cases, "hashmaptx-extra-txadd", "perf-log",
+                FindingKind::DuplicateLog, [f] {
+                    return mapCase<HashmapTx>(f, 8, 64, 5);
+                });
+        addCase(cases, "btree-rotate-extra-txadd", "perf-log",
+                FindingKind::DuplicateLog,
+                [f] { return btreeRotateCase(f, 64); });
+        mnemosyne::RegionFaults mf;
+        mf.duplicateAppend = true;
+        addCase(cases, "mnemosyne-duplicate-append", "perf-log",
+                FindingKind::DuplicateLog,
+                [mf] { return mnemosyneCase(mf, 8); });
+    }
+
+    return cases;
+}
+
+std::vector<BugCase>
+buildTable6Campaign()
+{
+    std::vector<BugCase> cases;
+
+    // Known bug 1: xips.c — flush the same buffer twice.
+    {
+        pmfs::PmfsFaults f;
+        f.doubleFlushXip = true;
+        addCase(cases, "known-xips-double-flush", "known",
+                FindingKind::RedundantFlush,
+                [f] { return pmfsCase(f, {}, 8); });
+    }
+    // Known bug 2: files.c — flush an unmapped buffer.
+    {
+        pmfs::PmfsFaults f;
+        f.flushUnmapped = true;
+        addCase(cases, "known-files-flush-unmapped", "known",
+                FindingKind::UnnecessaryFlush,
+                [f] { return pmfsCase(f, {}, 8); });
+    }
+    // Known bug 3: rbtree_map.c — modify a node without logging it.
+    {
+        pmds::MapFaults f;
+        f.skipTxAdd = true;
+        addCase(cases, "known-rbtree-missing-log", "known",
+                FindingKind::MissingLog, [f] {
+                    return mapCase<pmds::RbtreeMap>(f, 8, 64, 1);
+                });
+    }
+    // New bug 1: journal.c — redundant flush when committing.
+    {
+        pmfs::JournalFaults jf;
+        jf.redundantCommitFlush = true;
+        addCase(cases, "new-journal-redundant-flush", "new",
+                FindingKind::RedundantFlush,
+                [jf] { return pmfsCase({}, jf, 8); });
+    }
+    // New bug 2: btree_map.c:201 — modify a node without logging it.
+    {
+        pmds::MapFaults f;
+        f.skipTxAdd = true;
+        addCase(cases, "new-btree-missing-log", "new",
+                FindingKind::MissingLog, [f] {
+                    return mapCase<pmds::BtreeMap>(f, 8, 64, 1);
+                });
+    }
+    // New bug 3: btree_map.c:367 — log the same object twice.
+    {
+        pmds::MapFaults f;
+        f.extraTxAdd = true;
+        addCase(cases, "new-btree-duplicate-log", "new",
+                FindingKind::DuplicateLog,
+                [f] { return btreeRotateCase(f, 64); });
+    }
+
+    return cases;
+}
+
+CampaignOutcome
+runCampaign(const std::vector<BugCase> &cases)
+{
+    CampaignOutcome outcome;
+    for (const auto &bug : cases) {
+        outcome.total++;
+        auto &[count, found] = outcome.byCategory[bug.category];
+        count++;
+        const Report report = bug.run();
+        if (reportContains(report, bug.expected)) {
+            outcome.detected++;
+            found++;
+        } else {
+            outcome.missed.push_back(bug.id);
+        }
+    }
+    return outcome;
+}
+
+} // namespace pmtest::workloads

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The bug-detection campaigns of the paper's §6.3:
+ *
+ *  - Table 5: 42 systematically injected synthetic bugs across the
+ *    six classes (low-level ordering / writeback / performance,
+ *    transaction backup / completion / performance), planted in the
+ *    microbench structures, the Mnemosyne library and the mini PMFS.
+ *  - Table 6: faithful re-creations of the three known
+ *    (commit-history) bugs and the three new bugs PMTest found in
+ *    PMFS and the PMDK examples.
+ *
+ * Each case builds a fresh workload with one fault knob set, runs it
+ * under PMTest with the appropriate checkers, and reports whether a
+ * finding of the expected kind was produced.
+ */
+
+#ifndef PMTEST_WORKLOADS_BUG_INJECTOR_HH
+#define PMTEST_WORKLOADS_BUG_INJECTOR_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+
+namespace pmtest::workloads
+{
+
+/** One injected-bug case. */
+struct BugCase
+{
+    std::string id;       ///< unique case name
+    std::string category; ///< Table 5 row ("ordering", "backup", ...)
+    core::FindingKind expected; ///< finding kind that proves detection
+    std::function<core::Report()> run; ///< build, run, report
+};
+
+/** Result of running a campaign. */
+struct CampaignOutcome
+{
+    size_t total = 0;
+    size_t detected = 0;
+    /** category -> (cases, detected). */
+    std::map<std::string, std::pair<size_t, size_t>> byCategory;
+    std::vector<std::string> missed; ///< ids of undetected cases
+};
+
+/** Build the 42-case Table 5 campaign. */
+std::vector<BugCase> buildTable5Campaign();
+
+/** Build the 6-case Table 6 campaign (3 known + 3 new bugs). */
+std::vector<BugCase> buildTable6Campaign();
+
+/** Run a campaign, checking each case's report for detection. */
+CampaignOutcome runCampaign(const std::vector<BugCase> &cases);
+
+/** Whether @p report contains a finding of @p kind. */
+bool reportContains(const core::Report &report, core::FindingKind kind);
+
+} // namespace pmtest::workloads
+
+#endif // PMTEST_WORKLOADS_BUG_INJECTOR_HH

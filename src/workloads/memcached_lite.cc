@@ -1,0 +1,139 @@
+#include "workloads/memcached_lite.hh"
+
+#include <cstring>
+
+namespace pmtest::workloads
+{
+
+MemcachedLite::MemcachedLite(mnemosyne::Region &region, size_t nbuckets)
+    : region_(region), root_(region.root<Root>())
+{
+    if (root_->buckets == nullptr) {
+        const size_t bytes = nbuckets * sizeof(Node *);
+        auto **buckets = static_cast<Node **>(region_.alloc(bytes));
+        std::memset(buckets, 0, bytes);
+        // Publish the empty index durably (one-time setup).
+        Root init{buckets, nbuckets, 0};
+        region_.persist(root_, &init, sizeof(init), PMTEST_HERE);
+    }
+}
+
+uint64_t
+MemcachedLite::hashKey(const std::string &key)
+{
+    // FNV-1a.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : key) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+MemcachedLite::Node *
+MemcachedLite::findLocked(const std::string &key,
+                          Node ***slot_out) const
+{
+    const uint64_t h = hashKey(key);
+    Node **slot = &root_->buckets[h % root_->nbuckets];
+    while (*slot) {
+        Node *node = *slot;
+        if (node->keyHash == h && node->keyLen == key.size() &&
+            std::memcmp(node->keyBytes, key.data(), key.size()) == 0) {
+            if (slot_out)
+                *slot_out = slot;
+            return node;
+        }
+        slot = &node->next;
+    }
+    if (slot_out)
+        *slot_out = slot;
+    return nullptr;
+}
+
+void
+MemcachedLite::set(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    Node **slot;
+    Node *existing = findLocked(key, &slot);
+
+    if (existing) {
+        // Update: stage a new value buffer and swap the pointer, all
+        // through the redo log.
+        char *buf = static_cast<char *>(region_.alloc(value.size()));
+        region_.txBegin(PMTEST_HERE);
+        region_.logAppend(buf, value.data(), value.size(),
+                          PMTEST_HERE);
+        char *old = existing->valueBytes;
+        region_.logAssign(&existing->valueBytes, buf, PMTEST_HERE);
+        region_.logAssign(&existing->valueLen,
+                          static_cast<uint32_t>(value.size()),
+                          PMTEST_HERE);
+        region_.txCommit(PMTEST_HERE);
+        region_.free(old);
+        pmtestSendTrace();
+        return;
+    }
+
+    // Insert: every byte of the new node flows through log_append, as
+    // Mnemosyne's word-based transactions require.
+    auto *node = static_cast<Node *>(region_.alloc(sizeof(Node)));
+    char *kbuf = static_cast<char *>(region_.alloc(key.size()));
+    char *vbuf = static_cast<char *>(region_.alloc(value.size()));
+
+    region_.txBegin(PMTEST_HERE);
+    region_.logAppend(kbuf, key.data(), key.size(), PMTEST_HERE);
+    region_.logAppend(vbuf, value.data(), value.size(), PMTEST_HERE);
+
+    Node init{hashKey(key), static_cast<uint32_t>(key.size()),
+              static_cast<uint32_t>(value.size()), kbuf, vbuf, *slot};
+    region_.logAppend(node, &init, sizeof(init), PMTEST_HERE);
+    region_.logAssign(slot, node, PMTEST_HERE);
+    region_.logAssign(&root_->count, root_->count + 1, PMTEST_HERE);
+    region_.txCommit(PMTEST_HERE);
+    pmtestSendTrace();
+}
+
+bool
+MemcachedLite::get(const std::string &key, std::string *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Node *node = findLocked(key, nullptr);
+    if (!node)
+        return false;
+    if (out)
+        out->assign(node->valueBytes, node->valueLen);
+    return true;
+}
+
+bool
+MemcachedLite::del(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node **slot;
+    Node *node = findLocked(key, &slot);
+    if (!node)
+        return false;
+
+    region_.txBegin(PMTEST_HERE);
+    region_.logAssign(slot, node->next, PMTEST_HERE);
+    region_.logAssign(&root_->count, root_->count - 1, PMTEST_HERE);
+    region_.txCommit(PMTEST_HERE);
+
+    region_.free(node->keyBytes);
+    region_.free(node->valueBytes);
+    region_.free(node);
+    pmtestSendTrace();
+    return true;
+}
+
+size_t
+MemcachedLite::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return root_->count;
+}
+
+} // namespace pmtest::workloads

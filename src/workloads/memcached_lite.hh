@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Memcached-lite: the WHISPER "memcached on Mnemosyne" workload
+ * stand-in (Fig. 11/12). A string key-value cache whose persistent
+ * index lives in a mnemosyne::Region; every SET/DELETE is one durable
+ * redo-log transaction. Thread-safe: the paper's scalability study
+ * (Fig. 12) drives it from 1–4 client threads.
+ */
+
+#ifndef PMTEST_WORKLOADS_MEMCACHED_LITE_HH
+#define PMTEST_WORKLOADS_MEMCACHED_LITE_HH
+
+#include <mutex>
+#include <string>
+
+#include "mnemosyne/region.hh"
+
+namespace pmtest::workloads
+{
+
+/** A persistent string key-value cache on Mnemosyne. */
+class MemcachedLite
+{
+  public:
+    explicit MemcachedLite(mnemosyne::Region &region,
+                           size_t nbuckets = 4096);
+
+    /** Insert or update a key (one durable transaction). */
+    void set(const std::string &key, const std::string &value);
+
+    /** Fetch a key. @return true and fill @p out when present. */
+    bool get(const std::string &key, std::string *out) const;
+
+    /** Delete a key. @return true when it was present. */
+    bool del(const std::string &key);
+
+    /** Number of stored keys. */
+    size_t count() const;
+
+  private:
+    struct Node
+    {
+        uint64_t keyHash;
+        uint32_t keyLen;
+        uint32_t valueLen;
+        char *keyBytes;
+        char *valueBytes;
+        Node *next;
+    };
+
+    struct Root
+    {
+        Node **buckets;
+        uint64_t nbuckets;
+        uint64_t count;
+    };
+
+    static uint64_t hashKey(const std::string &key);
+    Node *findLocked(const std::string &key, Node ***slot_out) const;
+
+    mnemosyne::Region &region_;
+    Root *root_;
+    mutable std::mutex mutex_; ///< index lock (service threads share)
+};
+
+} // namespace pmtest::workloads
+
+#endif // PMTEST_WORKLOADS_MEMCACHED_LITE_HH

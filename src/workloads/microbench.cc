@@ -1,0 +1,74 @@
+#include "workloads/microbench.hh"
+
+#include "pmds/btree_map.hh"
+#include "pmds/ctree_map.hh"
+#include "pmds/hashmap_atomic.hh"
+#include "pmds/hashmap_tx.hh"
+#include "pmds/rbtree_map.hh"
+#include "util/random.hh"
+
+namespace pmtest::workloads
+{
+
+size_t
+microbenchPoolSize(const MicrobenchConfig &config)
+{
+    // Value + node + undo-log slack per insertion, plus fixed costs
+    // (log region, bucket arrays) and headroom.
+    return config.insertions * (config.valueSize + 512) + (8u << 20);
+}
+
+namespace
+{
+
+/** Enable the structure-level checker annotations where supported. */
+void
+setEmitCheckers(pmds::PmMap &map, pmds::MapKind kind, bool on)
+{
+    switch (kind) {
+      case pmds::MapKind::Ctree:
+        static_cast<pmds::CtreeMap &>(map).emitCheckers = on;
+        break;
+      case pmds::MapKind::Btree:
+        static_cast<pmds::BtreeMap &>(map).emitCheckers = on;
+        break;
+      case pmds::MapKind::Rbtree:
+        static_cast<pmds::RbtreeMap &>(map).emitCheckers = on;
+        break;
+      case pmds::MapKind::HashmapTx:
+        static_cast<pmds::HashmapTx &>(map).emitCheckers = on;
+        break;
+      case pmds::MapKind::HashmapAtomic:
+        static_cast<pmds::HashmapAtomic &>(map).emitCheckers = on;
+        break;
+    }
+}
+
+} // namespace
+
+RunResult
+runMicrobench(const MicrobenchConfig &config, Tool tool)
+{
+    // Build the pool and structure outside the timed region; the
+    // paper times the insertion phase.
+    txlib::ObjPool pool(microbenchPoolSize(config));
+    auto map = pmds::makeMap(config.kind, pool);
+
+    std::vector<uint8_t> value(config.valueSize, 0xab);
+    Rng rng(config.seed);
+    std::vector<uint64_t> keys;
+    keys.reserve(config.insertions);
+    for (size_t i = 0; i < config.insertions; i++)
+        keys.push_back(rng.next());
+
+    return runUnderTool(
+        tool,
+        [&](bool checkers) {
+            setEmitCheckers(*map, config.kind, checkers);
+            for (uint64_t key : keys)
+                map->insert(key, value.data(), value.size());
+        },
+        config.workers);
+}
+
+} // namespace pmtest::workloads

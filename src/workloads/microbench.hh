@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The Fig. 10 microbenchmarks: N insertions into each of the five
+ * persistent structures (each insertion is one transaction/trace),
+ * sweeping the transaction size (value bytes) like the paper's
+ * 64–4096 B axis.
+ */
+
+#ifndef PMTEST_WORKLOADS_MICROBENCH_HH
+#define PMTEST_WORKLOADS_MICROBENCH_HH
+
+#include "pmds/pm_map.hh"
+#include "workloads/tool_harness.hh"
+
+namespace pmtest::workloads
+{
+
+/** Microbenchmark parameters. */
+struct MicrobenchConfig
+{
+    pmds::MapKind kind = pmds::MapKind::Ctree;
+    size_t insertions = 1000;
+    size_t valueSize = 64; ///< the paper's "transaction size"
+    uint64_t seed = 42;
+    size_t workers = 1; ///< PMTest engine workers
+};
+
+/**
+ * Run the insertion microbenchmark under @p tool.
+ * A fresh pool and structure are built per run (outside the timed
+ * region); keys are drawn deterministically from the seed.
+ */
+RunResult runMicrobench(const MicrobenchConfig &config, Tool tool);
+
+/**
+ * Pool size needed for a run (insertions * (value + metadata) plus
+ * slack); exposed so tests can mirror the sizing.
+ */
+size_t microbenchPoolSize(const MicrobenchConfig &config);
+
+} // namespace pmtest::workloads
+
+#endif // PMTEST_WORKLOADS_MICROBENCH_HH

@@ -1,0 +1,195 @@
+#include "workloads/redis_lite.hh"
+
+#include <cstring>
+
+namespace pmtest::workloads
+{
+
+RedisLite::RedisLite(txlib::ObjPool &pool, size_t capacity,
+                     size_t nbuckets)
+    : pool_(pool), root_(pool.root<Root>()), capacity_(capacity)
+{
+    if (root_->buckets == nullptr) {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+        pool_.txAdd(root_, sizeof(Root), PMTEST_HERE);
+        const size_t bytes = nbuckets * sizeof(Node *);
+        auto **buckets =
+            static_cast<Node **>(pool_.txAllocRaw(bytes, PMTEST_HERE));
+        std::vector<uint8_t> zeros(bytes, 0);
+        pool_.txWrite(buckets, zeros.data(), bytes, PMTEST_HERE);
+        pool_.txAssign(&root_->buckets, buckets, PMTEST_HERE);
+        pool_.txAssign(&root_->nbuckets, uint64_t(nbuckets),
+                       PMTEST_HERE);
+    }
+    pmtestSendTrace();
+}
+
+uint64_t
+RedisLite::hashKey(const std::string &key)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : key) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+RedisLite::Node *
+RedisLite::find(const std::string &key, Node ***slot_out)
+{
+    const uint64_t h = hashKey(key);
+    Node **slot = &root_->buckets[h % root_->nbuckets];
+    while (*slot) {
+        Node *node = *slot;
+        if (node->keyHash == h && node->keyLen == key.size() &&
+            std::memcmp(node->keyBytes, key.data(), key.size()) == 0) {
+            if (slot_out)
+                *slot_out = slot;
+            return node;
+        }
+        slot = &node->next;
+    }
+    if (slot_out)
+        *slot_out = slot;
+    return nullptr;
+}
+
+void
+RedisLite::removeSlot(Node **slot)
+{
+    Node *node = *slot;
+    txlib::TxScope tx(pool_, PMTEST_HERE);
+    pool_.txAdd(slot, sizeof(Node *), PMTEST_HERE);
+    pool_.txAssign(slot, node->next, PMTEST_HERE);
+    pool_.txAdd(&root_->count, sizeof(root_->count), PMTEST_HERE);
+    pool_.txAssign(&root_->count, root_->count - 1, PMTEST_HERE);
+    tx.commit();
+    pool_.freeRaw(node->keyBytes);
+    pool_.freeRaw(node->valueBytes);
+    pool_.freeRaw(node);
+}
+
+void
+RedisLite::evictOne()
+{
+    // Redis-style approximated LRU: probe buckets from a random
+    // start, collect a handful of candidates, evict the stalest.
+    Node **victim_slot = nullptr;
+    uint64_t oldest = UINT64_MAX;
+    size_t sampled = 0;
+    const uint64_t start = rng_.below(root_->nbuckets);
+    for (uint64_t probe = 0;
+         probe < root_->nbuckets && sampled < 5; probe++) {
+        Node **slot =
+            &root_->buckets[(start + probe) % root_->nbuckets];
+        while (*slot) {
+            if ((*slot)->lruClock < oldest) {
+                oldest = (*slot)->lruClock;
+                victim_slot = slot;
+            }
+            sampled++;
+            slot = &(*slot)->next;
+        }
+    }
+    if (victim_slot) {
+        removeSlot(victim_slot);
+        evictions_++;
+    }
+}
+
+void
+RedisLite::set(const std::string &key, const std::string &value)
+{
+    Node **slot;
+    Node *existing = find(key, &slot);
+
+    if (!existing && root_->count >= capacity_)
+        evictOne();
+
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    {
+        txlib::TxScope tx(pool_, PMTEST_HERE);
+        if (existing) {
+            char *buf = static_cast<char *>(
+                pool_.txAllocRaw(value.size(), PMTEST_HERE));
+            pool_.txWrite(buf, value.data(), value.size(),
+                          PMTEST_HERE);
+            char *old = existing->valueBytes;
+            pool_.txAdd(existing, sizeof(Node), PMTEST_HERE);
+            pool_.txAssign(&existing->valueBytes, buf, PMTEST_HERE);
+            pool_.txAssign(&existing->valueLen,
+                           static_cast<uint32_t>(value.size()),
+                           PMTEST_HERE);
+            pool_.freeRaw(old);
+        } else {
+            // Eviction may have restructured this chain; re-find the
+            // insertion slot inside the transaction.
+            find(key, &slot);
+            auto *node = pool_.txAlloc<Node>(PMTEST_HERE);
+            char *kbuf = static_cast<char *>(
+                pool_.txAllocRaw(key.size(), PMTEST_HERE));
+            char *vbuf = static_cast<char *>(
+                pool_.txAllocRaw(value.size(), PMTEST_HERE));
+            pool_.txWrite(kbuf, key.data(), key.size(), PMTEST_HERE);
+            pool_.txWrite(vbuf, value.data(), value.size(),
+                          PMTEST_HERE);
+            Node init{hashKey(key),
+                      static_cast<uint32_t>(key.size()),
+                      static_cast<uint32_t>(value.size()),
+                      kbuf,
+                      vbuf,
+                      *slot,
+                      clock_++};
+            pool_.txWrite(node, &init, sizeof(init), PMTEST_HERE);
+            pool_.txAdd(slot, sizeof(Node *), PMTEST_HERE);
+            pool_.txAssign(slot, node, PMTEST_HERE);
+            pool_.txAdd(&root_->count, sizeof(root_->count),
+                        PMTEST_HERE);
+            pool_.txAssign(&root_->count, root_->count + 1,
+                           PMTEST_HERE);
+        }
+    }
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+}
+
+bool
+RedisLite::get(const std::string &key, std::string *out)
+{
+    Node *node = find(key, nullptr);
+    if (!node)
+        return false;
+    // The access stamp is advisory (like Redis's lru field): a plain
+    // volatile update, not part of the crash-consistent state.
+    node->lruClock = clock_++;
+    if (out)
+        out->assign(node->valueBytes, node->valueLen);
+    return true;
+}
+
+bool
+RedisLite::del(const std::string &key)
+{
+    Node **slot;
+    Node *node = find(key, &slot);
+    if (!node)
+        return false;
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_START();
+    removeSlot(slot);
+    if (emitCheckers)
+        PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+    return true;
+}
+
+size_t
+RedisLite::count() const
+{
+    return root_->count;
+}
+
+} // namespace pmtest::workloads

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Redis-lite: the WHISPER "Redis on PMDK" workload stand-in
+ * (Fig. 11). A capacity-bounded string key-value store over a txlib
+ * ObjPool; when full it evicts using Redis-style approximated LRU
+ * (sample a few entries, evict the least recently used). Every
+ * SET/DELETE is one undo-log transaction, optionally wrapped in the
+ * PMDK-style transaction checkers.
+ */
+
+#ifndef PMTEST_WORKLOADS_REDIS_LITE_HH
+#define PMTEST_WORKLOADS_REDIS_LITE_HH
+
+#include <string>
+#include <vector>
+
+#include "txlib/obj_pool.hh"
+#include "util/random.hh"
+
+namespace pmtest::workloads
+{
+
+/** A capacity-bounded persistent KV store with approximated LRU. */
+class RedisLite
+{
+  public:
+    /**
+     * @param capacity max live keys before eviction kicks in
+     * @param nbuckets index chain count
+     */
+    RedisLite(txlib::ObjPool &pool, size_t capacity,
+              size_t nbuckets = 4096);
+
+    /** Insert or update (evicts when at capacity). */
+    void set(const std::string &key, const std::string &value);
+
+    /** Fetch. @return true and fill @p out when present. */
+    bool get(const std::string &key, std::string *out);
+
+    /** Delete. @return true when the key existed. */
+    bool del(const std::string &key);
+
+    /** Live keys. */
+    size_t count() const;
+
+    /** Total evictions performed. */
+    uint64_t evictions() const { return evictions_; }
+
+    /** Wrap mutations in TX_CHECKER_START/END. */
+    bool emitCheckers = false;
+
+  private:
+    struct Node
+    {
+        uint64_t keyHash;
+        uint32_t keyLen;
+        uint32_t valueLen;
+        char *keyBytes;
+        char *valueBytes;
+        Node *next;
+        uint64_t lruClock; ///< volatile-ish access stamp (like Redis)
+    };
+
+    struct Root
+    {
+        Node **buckets;
+        uint64_t nbuckets;
+        uint64_t count;
+    };
+
+    static uint64_t hashKey(const std::string &key);
+    Node *find(const std::string &key, Node ***slot_out);
+    void removeSlot(Node **slot);
+    void evictOne();
+
+    txlib::ObjPool &pool_;
+    Root *root_;
+    uint64_t clock_ = 0;
+    size_t capacity_;
+    Rng rng_{0xeedc0ffee};
+    uint64_t evictions_ = 0;
+};
+
+} // namespace pmtest::workloads
+
+#endif // PMTEST_WORKLOADS_REDIS_LITE_HH

@@ -1,0 +1,99 @@
+#include "workloads/tool_harness.hh"
+
+#include <memory>
+
+#include "baseline/pmemcheck.hh"
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace pmtest::workloads
+{
+
+const char *
+toolName(Tool tool)
+{
+    switch (tool) {
+      case Tool::Native: return "native";
+      case Tool::PMTest: return "pmtest";
+      case Tool::PMTestNoCheck: return "pmtest-nocheck";
+      case Tool::PMTestInline: return "pmtest-inline";
+      case Tool::Pmemcheck: return "pmemcheck";
+    }
+    return "?";
+}
+
+RunResult
+runUnderTool(Tool tool,
+             const std::function<void(bool checkers)> &workload,
+             size_t workers)
+{
+    return runStaged(
+        tool,
+        [&](bool checkers) {
+            return [&workload, checkers] { workload(checkers); };
+        },
+        workers);
+}
+
+RunResult
+runStaged(Tool tool, const StagedWorkload &workload, size_t workers)
+{
+    RunResult result;
+    const bool checkers =
+        tool != Tool::Native && tool != Tool::PMTestNoCheck;
+
+    if (tool == Tool::Native) {
+        const auto run = workload(false);
+        Timer timer;
+        run();
+        result.seconds = timer.elapsedSec();
+        return result;
+    }
+
+    // Findings are expected in fault-injection runs; keep the console
+    // quiet and collect them structurally instead.
+    ScopedLogSilencer quiet;
+
+    Config config;
+    config.workers = tool == Tool::PMTestInline ? 0 : workers;
+    pmtestInit(config);
+
+    std::unique_ptr<baseline::Pmemcheck> pmemcheck;
+    if (tool == Tool::Pmemcheck) {
+        pmemcheck = std::make_unique<baseline::Pmemcheck>();
+        pmtestSetTraceSink([&](Trace &&trace) {
+            pmemcheck->onTrace(trace);
+        });
+        baseline::setDbiActive(true);
+    }
+
+    pmtestThreadInit();
+    const auto run = workload(checkers); // setup: untimed, untracked
+    pmtestStart();
+
+    Timer timer;
+    run();
+    pmtestSendTrace();
+    pmtestGetResult();
+    result.seconds = timer.elapsedSec();
+
+    result.opsRecorded = pmtestOpsRecorded();
+    result.traces = pmtestTracesSubmitted();
+
+    core::Report report;
+    if (tool == Tool::Pmemcheck) {
+        baseline::setDbiActive(false);
+        report = pmemcheck->finish();
+        pmtestSetTraceSink(nullptr);
+    } else {
+        report = pmtestResults();
+    }
+    result.failCount = report.failCount();
+    result.warnCount = report.warnCount();
+
+    pmtestEnd();
+    pmtestExit();
+    return result;
+}
+
+} // namespace pmtest::workloads

@@ -1,0 +1,100 @@
+#include "baseline/pmemcheck.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest::baseline
+{
+namespace
+{
+
+Trace
+makeTrace(std::vector<PmOp> ops)
+{
+    Trace t(1, 0);
+    t.append(ops);
+    return t;
+}
+
+TEST(PmemcheckTest, CleanTraceHasNoFindings)
+{
+    Pmemcheck tool;
+    tool.onTrace(makeTrace({
+        PmOp::write(0x10, 64),
+        PmOp::clwb(0x10, 64),
+        PmOp::sfence(),
+    }));
+    const auto report = tool.finish();
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+TEST(PmemcheckTest, UnflushedStoreReportedAtExit)
+{
+    Pmemcheck tool;
+    tool.onTrace(makeTrace({PmOp::write(0x10, 64)}));
+    const auto report = tool.finish();
+    EXPECT_GE(report.failCount(), 1u);
+    EXPECT_EQ(report.findings()[0].kind,
+              core::FindingKind::NotPersisted);
+}
+
+TEST(PmemcheckTest, FlushWithoutFenceStillNotPersistent)
+{
+    Pmemcheck tool;
+    tool.onTrace(makeTrace({
+        PmOp::write(0x10, 64),
+        PmOp::clwb(0x10, 64),
+        // no fence
+    }));
+    const auto report = tool.finish();
+    EXPECT_GE(report.failCount(), 1u);
+}
+
+TEST(PmemcheckTest, RedundantFlushWarned)
+{
+    Pmemcheck tool;
+    tool.onTrace(makeTrace({
+        PmOp::write(0x10, 64),
+        PmOp::clwb(0x10, 64),
+        PmOp::clwb(0x10, 64),
+        PmOp::sfence(),
+    }));
+    EXPECT_GE(tool.report().warnCount(), 1u);
+}
+
+TEST(PmemcheckTest, IsPersistCheckerHonoured)
+{
+    Pmemcheck tool;
+    tool.onTrace(makeTrace({
+        PmOp::write(0x10, 64),
+        PmOp::isPersist(0x10, 64), // not persistent here
+    }));
+    EXPECT_EQ(tool.report().failCount(), 1u);
+}
+
+TEST(PmemcheckTest, StateSpansTraces)
+{
+    // Unlike PMTest's independent traces, pmemcheck's shadow state is
+    // process-global: a flush in a later trace covers an earlier
+    // store.
+    Pmemcheck tool;
+    tool.onTrace(makeTrace({PmOp::write(0x10, 64)}));
+    tool.onTrace(makeTrace({
+        PmOp::clwb(0x10, 64),
+        PmOp::sfence(),
+    }));
+    EXPECT_TRUE(tool.finish().clean());
+}
+
+TEST(PmemcheckTest, OpsProcessedCounted)
+{
+    Pmemcheck tool;
+    tool.onTrace(makeTrace({
+        PmOp::write(0x10, 8),
+        PmOp::clwb(0x10, 8),
+        PmOp::sfence(),
+    }));
+    EXPECT_EQ(tool.opsProcessed(), 3u);
+}
+
+} // namespace
+} // namespace pmtest::baseline

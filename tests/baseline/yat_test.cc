@@ -1,0 +1,151 @@
+#include "baseline/yat.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pmtest::baseline
+{
+namespace
+{
+
+/**
+ * A two-word "valid flag" protocol on a pool: data must persist
+ * before valid. The recovery predicate checks: if valid is set, data
+ * must hold the new value.
+ */
+class YatTest : public ::testing::Test
+{
+  protected:
+    YatTest() : pool_(1 << 16)
+    {
+        // Allocate a full line each so the words land on distinct
+        // cache lines and can persist independently.
+        data_ = static_cast<uint64_t *>(pool_.at(pool_.alloc(64)));
+        valid_ = static_cast<uint64_t *>(pool_.at(pool_.alloc(64)));
+        *data_ = 0;
+        *valid_ = 0;
+        // Snapshot the pre-execution durable state: the trace
+        // builders mutate live memory before replay.
+        initialImage_.assign(pool_.base(), pool_.base() + pool_.size());
+    }
+
+    Yat
+    makeYat()
+    {
+        Yat yat(pool_);
+        yat.setInitialImage(initialImage_);
+        return yat;
+    }
+
+    Yat::Predicate
+    predicate()
+    {
+        const uint64_t data_off = pool_.offsetOf(data_);
+        const uint64_t valid_off = pool_.offsetOf(valid_);
+        return [data_off, valid_off](std::vector<uint8_t> &image) {
+            uint64_t data, valid;
+            std::memcpy(&data, image.data() + data_off, 8);
+            std::memcpy(&valid, image.data() + valid_off, 8);
+            return valid == 0 || data == 42;
+        };
+    }
+
+    Trace
+    correctTrace()
+    {
+        // data=42; clwb; sfence; valid=1; clwb; sfence.
+        *data_ = 42;
+        *valid_ = 1;
+        Trace t(1, 0);
+        t.append(PmOp::write(addr(data_), 8));
+        t.append(PmOp::clwb(addr(data_), 8));
+        t.append(PmOp::sfence());
+        t.append(PmOp::write(addr(valid_), 8));
+        t.append(PmOp::clwb(addr(valid_), 8));
+        t.append(PmOp::sfence());
+        return t;
+    }
+
+    Trace
+    buggyTrace()
+    {
+        // data=42; valid=1; clwb both; sfence — valid may persist
+        // before data.
+        *data_ = 42;
+        *valid_ = 1;
+        Trace t(1, 0);
+        t.append(PmOp::write(addr(data_), 8));
+        t.append(PmOp::write(addr(valid_), 8));
+        t.append(PmOp::clwb(addr(data_), 8));
+        t.append(PmOp::clwb(addr(valid_), 8));
+        t.append(PmOp::sfence());
+        return t;
+    }
+
+    static uint64_t addr(const void *p)
+    {
+        return reinterpret_cast<uint64_t>(p);
+    }
+
+    pmem::PmPool pool_;
+    uint64_t *data_;
+    uint64_t *valid_;
+    std::vector<uint8_t> initialImage_;
+};
+
+TEST_F(YatTest, CorrectProtocolSurvivesAllCrashStates)
+{
+    Yat yat = makeYat();
+    const auto result = yat.run(correctTrace(), predicate());
+    EXPECT_GT(result.statesTested, 0u);
+    EXPECT_EQ(result.failures, 0u);
+    EXPECT_EQ(result.crashPoints, 6u);
+}
+
+TEST_F(YatTest, BuggyProtocolHasFailingCrashState)
+{
+    Yat yat = makeYat();
+    const auto result = yat.run(buggyTrace(), predicate());
+    EXPECT_GT(result.failures, 0u)
+        << "some crash state exposes valid=1 with stale data";
+}
+
+TEST_F(YatTest, FinalOnlyTestsOneCrashPoint)
+{
+    // Strip the trailing fence so lines are still in flight at the
+    // single (final) crash point.
+    Trace trace = buggyTrace();
+    trace.mutableOps().pop_back();
+
+    Yat yat = makeYat();
+    const auto result = yat.runFinal(trace, predicate());
+    EXPECT_EQ(result.crashPoints, 1u);
+    EXPECT_GT(result.failures, 0u);
+}
+
+TEST_F(YatTest, CapTruncatesEnumeration)
+{
+    Yat yat = makeYat();
+    const auto result = yat.run(buggyTrace(), predicate(), 2);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_LE(result.statesTested, 2u * result.crashPoints);
+}
+
+TEST_F(YatTest, StateCountGrowsWithTraceLength)
+{
+    // Quantifies why exhaustive testing explodes (paper §2.2): more
+    // unfenced lines, more states per crash point.
+    Yat yat = makeYat();
+    const auto small = yat.runFinal(buggyTrace(), predicate());
+
+    Trace longer = buggyTrace();
+    // Strip the trailing fence so all lines stay in flight.
+    auto &ops = longer.mutableOps();
+    ops.pop_back();
+    const auto big = yat.runFinal(longer, predicate());
+    EXPECT_GT(big.statesTested, small.statesTested);
+}
+
+} // namespace
+} // namespace pmtest::baseline

@@ -1,0 +1,211 @@
+#include "core/api.hh"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pmtest
+{
+namespace
+{
+
+/** Fixture that guarantees framework teardown on failure paths. */
+class ApiTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+};
+
+TEST_F(ApiTest, LifecycleAndTracking)
+{
+    EXPECT_FALSE(pmtestInitialized());
+    pmtestInit(Config{});
+    EXPECT_TRUE(pmtestInitialized());
+    pmtestThreadInit();
+
+    EXPECT_FALSE(pmtestTracking());
+    pmtestStart();
+    EXPECT_TRUE(pmtestTracking());
+    pmtestEnd();
+    EXPECT_FALSE(pmtestTracking());
+
+    pmtestExit();
+    EXPECT_FALSE(pmtestInitialized());
+}
+
+TEST_F(ApiTest, UninitializedCallsAreSafeNoOps)
+{
+    uint64_t dst = 0, src = 42;
+    pmStore(&dst, &src, sizeof(dst));
+    EXPECT_EQ(dst, 42u) << "memory effect still happens";
+    pmClwb(&dst, sizeof(dst));
+    pmSfence();
+    pmtestIsPersist(&dst, sizeof(dst));
+    pmtestSendTrace();
+    pmtestGetResult();
+    EXPECT_EQ(pmtestTracesSubmitted(), 0u);
+    EXPECT_TRUE(pmtestResults().clean());
+}
+
+TEST_F(ApiTest, EndToEndBugDetection)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    uint64_t a = 0, b = 0, v = 7;
+    pmStore(&a, &v, sizeof(a));
+    pmClwb(&a, sizeof(a));
+    pmSfence();
+    pmStore(&b, &v, sizeof(b)); // never flushed
+    pmtestIsPersist(&a, sizeof(a));          // pass
+    pmtestIsPersist(&b, sizeof(b));          // FAIL
+    pmtestIsOrderedBefore(&a, sizeof(a), &b, sizeof(b)); // pass
+
+    pmtestSendTrace();
+    const auto report = pmtestResults();
+    EXPECT_EQ(report.failCount(), 1u) << report.str();
+    EXPECT_EQ(report.findings()[0].kind,
+              core::FindingKind::NotPersisted);
+}
+
+TEST_F(ApiTest, RecordingGatedByStartEnd)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    uint64_t a = 0, v = 1;
+    pmStore(&a, &v, sizeof(a)); // not tracking yet
+    EXPECT_EQ(pmtestOpsRecorded(), 0u);
+
+    pmtestStart();
+    pmStore(&a, &v, sizeof(a));
+    EXPECT_EQ(pmtestOpsRecorded(), 1u);
+    pmtestEnd();
+
+    pmStore(&a, &v, sizeof(a));
+    EXPECT_EQ(pmtestOpsRecorded(), 1u);
+}
+
+TEST_F(ApiTest, EmptyTraceIsNotSubmitted)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+    pmtestSendTrace();
+    EXPECT_EQ(pmtestTracesSubmitted(), 0u);
+}
+
+TEST_F(ApiTest, VariableRegistry)
+{
+    pmtestInit(Config{});
+    uint64_t var = 0;
+    pmtestRegVar("my-var", &var, sizeof(var));
+
+    const void *addr = nullptr;
+    size_t size = 0;
+    EXPECT_TRUE(pmtestGetVar("my-var", &addr, &size));
+    EXPECT_EQ(addr, &var);
+    EXPECT_EQ(size, sizeof(var));
+
+    pmtestUnregVar("my-var");
+    EXPECT_FALSE(pmtestGetVar("my-var", &addr, &size));
+    EXPECT_FALSE(pmtestGetVar("never-registered", &addr, &size));
+}
+
+TEST_F(ApiTest, TraceSinkReceivesTraces)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    size_t sink_traces = 0, sink_ops = 0;
+    pmtestSetTraceSink([&](Trace &&t) {
+        sink_traces++;
+        sink_ops += t.size();
+    });
+
+    uint64_t a = 0, v = 1;
+    pmStore(&a, &v, sizeof(a));
+    pmSfence();
+    pmtestSendTrace();
+    EXPECT_EQ(sink_traces, 1u);
+    EXPECT_EQ(sink_ops, 2u);
+    EXPECT_TRUE(pmtestResults().clean()) << "engine never saw it";
+}
+
+TEST_F(ApiTest, PoolMirroringIntoCacheSim)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    pmem::PmPool pool(1 << 16, true);
+    pmtestAttachPool(&pool);
+    ASSERT_EQ(pmtestAttachedPool(), &pool);
+
+    auto *p = static_cast<uint64_t *>(pool.at(pool.alloc(8)));
+    uint64_t v = 0xfeed;
+    pmStore(p, &v, sizeof(v));
+    // Cached but not durable yet.
+    uint64_t on_device = 1;
+    pool.pmDevice()->read(pool.offsetOf(p), &on_device,
+                          sizeof(on_device));
+    EXPECT_EQ(on_device, 0u);
+
+    pmClwb(p, sizeof(v));
+    pmSfence();
+    pool.pmDevice()->read(pool.offsetOf(p), &on_device,
+                          sizeof(on_device));
+    EXPECT_EQ(on_device, 0xfeedu);
+
+    pmtestDetachPool();
+    EXPECT_EQ(pmtestAttachedPool(), nullptr);
+}
+
+TEST_F(ApiTest, MultiThreadedCapturesAreIndependent)
+{
+    pmtestInit(Config{.model = core::ModelKind::X86, .workers = 2});
+    pmtestThreadInit();
+    pmtestStart();
+
+    std::thread worker([] {
+        pmtestThreadInit();
+        pmtestStart();
+        uint64_t b = 0, v = 2;
+        pmStore(&b, &v, sizeof(b)); // unflushed in this thread
+        pmtestIsPersist(&b, sizeof(b));
+        pmtestSendTrace();
+        pmtestEnd();
+    });
+    worker.join();
+
+    uint64_t a = 0, v = 1;
+    pmStore(&a, &v, sizeof(a));
+    pmClwb(&a, sizeof(a));
+    pmSfence();
+    pmtestIsPersist(&a, sizeof(a));
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_EQ(report.failCount(), 1u)
+        << "only the worker thread's trace fails";
+    EXPECT_EQ(pmtestTracesSubmitted(), 2u);
+}
+
+TEST_F(ApiTest, PmAssignTypedStore)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+    uint32_t x = 0;
+    pmAssign(&x, 77u);
+    EXPECT_EQ(x, 77u);
+    EXPECT_EQ(pmtestOpsRecorded(), 1u);
+}
+
+} // namespace
+} // namespace pmtest

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The named-variable registry in its intended role (paper Table 2:
+ * "allow programmers to register the address of a persistent object
+ * with a name and check its persistency status later"): a library
+ * registers an object; code in another scope fetches it by name and
+ * places checkers on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/api.hh"
+
+namespace pmtest
+{
+namespace
+{
+
+class ApiVarRegistryTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+};
+
+/** "Library" code: updates its object and registers it by name. */
+void
+libraryUpdate(bool flush)
+{
+    alignas(64) static uint64_t internal_state;
+    uint64_t v = 42;
+    pmStore(&internal_state, &v, sizeof(internal_state));
+    if (flush) {
+        PMTEST_CLWB(&internal_state, sizeof(internal_state));
+        PMTEST_SFENCE();
+    }
+    pmtestRegVar("lib/internal-state", &internal_state,
+                 sizeof(internal_state));
+}
+
+/** "Application" code: checks the library object without its scope. */
+void
+applicationCheck()
+{
+    const void *addr = nullptr;
+    size_t size = 0;
+    ASSERT_TRUE(pmtestGetVar("lib/internal-state", &addr, &size));
+    pmtestIsPersist(addr, size, PMTEST_HERE);
+}
+
+TEST_F(ApiVarRegistryTest, CheckRegisteredVarFromAnotherScopePasses)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    libraryUpdate(/*flush=*/true);
+    applicationCheck();
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+TEST_F(ApiVarRegistryTest, CheckRegisteredVarDetectsMissingFlush)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    libraryUpdate(/*flush=*/false);
+    applicationCheck();
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    ASSERT_EQ(report.failCount(), 1u);
+    EXPECT_EQ(report.findings()[0].kind,
+              core::FindingKind::NotPersisted);
+}
+
+TEST_F(ApiVarRegistryTest, ReRegistrationOverwrites)
+{
+    pmtestInit(Config{});
+    uint64_t a = 0, b = 0;
+    pmtestRegVar("slot", &a, sizeof(a));
+    pmtestRegVar("slot", &b, sizeof(b));
+
+    const void *addr = nullptr;
+    size_t size = 0;
+    ASSERT_TRUE(pmtestGetVar("slot", &addr, &size));
+    EXPECT_EQ(addr, &b);
+}
+
+TEST_F(ApiVarRegistryTest, RegistryClearedByExit)
+{
+    pmtestInit(Config{});
+    uint64_t a = 0;
+    pmtestRegVar("ephemeral", &a, sizeof(a));
+    pmtestExit();
+
+    pmtestInit(Config{});
+    const void *addr = nullptr;
+    size_t size = 0;
+    EXPECT_FALSE(pmtestGetVar("ephemeral", &addr, &size));
+}
+
+} // namespace
+} // namespace pmtest

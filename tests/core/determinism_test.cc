@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Determinism and equivalence properties of the checking pipeline:
+ * random traces must produce identical verdicts whether checked by a
+ * bare Engine, an inline pool, or a multi-worker pool — decoupling is
+ * a performance feature, never a semantic one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.hh"
+#include "core/engine_pool.hh"
+#include "util/random.hh"
+
+namespace pmtest::core
+{
+namespace
+{
+
+/** Generate a random trace mixing PM ops, TX events and checkers. */
+Trace
+randomTrace(Rng &rng, uint64_t id)
+{
+    Trace trace(id, 0);
+    int tx_depth = 0;
+    const size_t n = 5 + rng.below(40);
+    for (size_t i = 0; i < n; i++) {
+        const uint64_t addr = 64 * rng.below(16);
+        switch (rng.below(10)) {
+          case 0:
+          case 1:
+          case 2:
+            trace.append(PmOp::write(addr, 8 + rng.below(56)));
+            break;
+          case 3:
+          case 4:
+            trace.append(PmOp::clwb(addr, 64));
+            break;
+          case 5:
+            trace.append(PmOp::sfence());
+            break;
+          case 6:
+            trace.append(PmOp::isPersist(addr, 64));
+            break;
+          case 7:
+            trace.append(
+                PmOp::isOrderedBefore(addr, 64, 64 * rng.below(16), 64));
+            break;
+          case 8:
+            trace.append(PmOp{OpType::TxBegin, 0, 0, 0, 0, {}});
+            tx_depth++;
+            break;
+          default:
+            if (tx_depth > 0) {
+                trace.append(PmOp{OpType::TxAdd, addr, 64, 0, 0, {}});
+            } else {
+                trace.append(PmOp::sfence());
+            }
+        }
+    }
+    while (tx_depth-- > 0)
+        trace.append(PmOp{OpType::TxEnd, 0, 0, 0, 0, {}});
+    return trace;
+}
+
+/** Summarize a report as sortable (kind, opIndex) pairs. */
+std::vector<std::pair<int, size_t>>
+signature(const Report &report)
+{
+    std::vector<std::pair<int, size_t>> sig;
+    for (const auto &f : report.findings())
+        sig.emplace_back(static_cast<int>(f.kind), f.opIndex);
+    std::sort(sig.begin(), sig.end());
+    return sig;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DeterminismTest, EngineIsDeterministic)
+{
+    Rng rng(GetParam());
+    Engine engine(ModelKind::X86);
+    for (int round = 0; round < 50; round++) {
+        const Trace trace = randomTrace(rng, round);
+        const auto first = signature(engine.check(trace));
+        const auto second = signature(engine.check(trace));
+        ASSERT_EQ(first, second) << "round " << round;
+    }
+}
+
+TEST_P(DeterminismTest, PoolMatchesBareEngine)
+{
+    Rng rng(GetParam() + 500);
+    std::vector<Trace> traces;
+    for (int i = 0; i < 30; i++)
+        traces.push_back(randomTrace(rng, i));
+
+    // Reference: bare engine, sequential.
+    Engine engine(ModelKind::X86);
+    std::vector<std::pair<int, size_t>> reference;
+    for (const auto &t : traces) {
+        for (auto &s : signature(engine.check(t)))
+            reference.push_back(s);
+    }
+    std::sort(reference.begin(), reference.end());
+
+    for (size_t workers : {0u, 1u, 3u}) {
+        EnginePool pool(ModelKind::X86, workers);
+        for (const auto &t : traces)
+            pool.submit(t);
+        auto got = signature(pool.results());
+        std::sort(got.begin(), got.end());
+        ASSERT_EQ(got, reference) << workers << " workers";
+    }
+}
+
+TEST_P(DeterminismTest, HopsEngineIsDeterministic)
+{
+    Rng rng(GetParam() + 900);
+    Engine engine(ModelKind::Hops);
+    for (int round = 0; round < 30; round++) {
+        // Convert x86 ops to HOPS fences for a valid HOPS trace.
+        Trace trace = randomTrace(rng, round);
+        for (auto &op : trace.mutableOps()) {
+            if (op.type == OpType::Sfence)
+                op.type = OpType::Dfence;
+            if (op.type == OpType::Clwb)
+                op.type = OpType::Ofence;
+        }
+        const auto first = signature(engine.check(trace));
+        const auto second = signature(engine.check(trace));
+        ASSERT_EQ(first, second) << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         ::testing::Values(1, 7, 42));
+
+} // namespace
+} // namespace pmtest::core

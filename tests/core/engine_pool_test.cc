@@ -1,0 +1,103 @@
+#include "core/engine_pool.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest::core
+{
+namespace
+{
+
+Trace
+buggyTrace(uint64_t id)
+{
+    Trace t(id, 0);
+    t.append(PmOp::write(0x10, 64));
+    t.append(PmOp::isPersist(0x10, 64)); // fails: never flushed
+    return t;
+}
+
+Trace
+cleanTrace(uint64_t id)
+{
+    Trace t(id, 0);
+    t.append(PmOp::write(0x10, 64));
+    t.append(PmOp::clwb(0x10, 64));
+    t.append(PmOp::sfence());
+    t.append(PmOp::isPersist(0x10, 64));
+    return t;
+}
+
+TEST(EnginePoolTest, SingleWorkerChecksAllTraces)
+{
+    EnginePool pool(ModelKind::X86, 1);
+    for (uint64_t i = 0; i < 10; i++)
+        pool.submit(i % 2 ? buggyTrace(i) : cleanTrace(i));
+    const Report report = pool.results();
+    EXPECT_EQ(report.failCount(), 5u);
+    EXPECT_EQ(pool.tracesChecked(), 10u);
+}
+
+TEST(EnginePoolTest, MultipleWorkersRoundRobin)
+{
+    EnginePool pool(ModelKind::X86, 4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    for (uint64_t i = 0; i < 40; i++)
+        pool.submit(buggyTrace(i));
+    const Report report = pool.results();
+    EXPECT_EQ(report.failCount(), 40u);
+    EXPECT_EQ(pool.tracesChecked(), 40u);
+}
+
+TEST(EnginePoolTest, InlineModeChecksSynchronously)
+{
+    EnginePool pool(ModelKind::X86, 0);
+    EXPECT_EQ(pool.workerCount(), 0u);
+    pool.submit(buggyTrace(1));
+    // No drain needed: inline checking completes inside submit().
+    EXPECT_EQ(pool.tracesChecked(), 1u);
+    EXPECT_EQ(pool.results().failCount(), 1u);
+}
+
+TEST(EnginePoolTest, DrainBlocksUntilComplete)
+{
+    EnginePool pool(ModelKind::X86, 2);
+    for (uint64_t i = 0; i < 100; i++)
+        pool.submit(cleanTrace(i));
+    pool.drain();
+    EXPECT_EQ(pool.tracesChecked(), 100u);
+}
+
+TEST(EnginePoolTest, ClearResultsResets)
+{
+    EnginePool pool(ModelKind::X86, 1);
+    pool.submit(buggyTrace(1));
+    EXPECT_EQ(pool.results().failCount(), 1u);
+    pool.clearResults();
+    EXPECT_EQ(pool.results().failCount(), 0u);
+    pool.submit(buggyTrace(2));
+    EXPECT_EQ(pool.results().failCount(), 1u);
+}
+
+TEST(EnginePoolTest, DestructorDrainsPendingWork)
+{
+    Report report;
+    {
+        EnginePool pool(ModelKind::X86, 2);
+        for (uint64_t i = 0; i < 50; i++)
+            pool.submit(cleanTrace(i));
+        // Destructor must not lose queued traces.
+    }
+    SUCCEED();
+}
+
+TEST(EnginePoolTest, OpsProcessedAggregates)
+{
+    EnginePool pool(ModelKind::X86, 2);
+    pool.submit(cleanTrace(1)); // 4 ops
+    pool.submit(cleanTrace(2)); // 4 ops
+    pool.drain();
+    EXPECT_EQ(pool.opsProcessed(), 8u);
+}
+
+} // namespace
+} // namespace pmtest::core

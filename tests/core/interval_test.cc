@@ -1,0 +1,88 @@
+#include "core/interval.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest::core
+{
+namespace
+{
+
+TEST(IntervalTest, OpenIntervalProperties)
+{
+    const Interval i = Interval::open(3);
+    EXPECT_EQ(i.begin, 3u);
+    EXPECT_TRUE(i.isOpen());
+    EXPECT_FALSE(i.closedBy(100));
+}
+
+TEST(IntervalTest, CloseIsIdempotent)
+{
+    Interval i = Interval::open(1);
+    i.close(4);
+    EXPECT_EQ(i.end, 4u);
+    i.close(9); // no-op: already closed
+    EXPECT_EQ(i.end, 4u);
+    EXPECT_TRUE(i.closedBy(4));
+    EXPECT_TRUE(i.closedBy(5));
+    EXPECT_FALSE(i.closedBy(3));
+}
+
+TEST(IntervalTest, OverlapMatchesPaperFig7)
+{
+    // Paper Fig. 7: A = (0,1), B = (1,inf) do NOT overlap — A is
+    // guaranteed complete by the epoch B may begin in.
+    const Interval a(0, 1);
+    const Interval b = Interval::open(1);
+    EXPECT_FALSE(a.overlaps(b));
+    EXPECT_TRUE(a.endsBefore(b));
+
+    // Two open intervals starting at different epochs overlap.
+    const Interval c = Interval::open(0);
+    EXPECT_TRUE(c.overlaps(b));
+    EXPECT_FALSE(c.endsBefore(b));
+}
+
+TEST(IntervalTest, OverlapIsSymmetric)
+{
+    const Interval a(0, 2);
+    const Interval b(1, 3);
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+
+    const Interval c(2, 3);
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_FALSE(c.overlaps(a));
+}
+
+TEST(IntervalTest, StrFormatsInfinity)
+{
+    EXPECT_EQ(Interval(0, 1).str(), "(0,1)");
+    EXPECT_EQ(Interval::open(2).str(), "(2,inf)");
+}
+
+TEST(AddrRangeTest, OverlapAndCoverage)
+{
+    const AddrRange a(0x100, 0x40);
+    const AddrRange b(0x130, 0x40);
+    const AddrRange c(0x140, 0x10);
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_TRUE(b.covers(c));
+    EXPECT_FALSE(c.covers(b));
+    EXPECT_TRUE(a.covers(a));
+}
+
+TEST(AddrRangeTest, EmptyRange)
+{
+    const AddrRange e(0x10, 0);
+    EXPECT_TRUE(e.empty());
+    EXPECT_FALSE(e.overlaps(AddrRange(0x0, 0x100)));
+}
+
+TEST(AddrRangeTest, StrIsHex)
+{
+    EXPECT_EQ(AddrRange(0x10, 0x40).str(), "[0x10,0x50)");
+}
+
+} // namespace
+} // namespace pmtest::core

@@ -1,0 +1,115 @@
+#include "core/interval_tree.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hh"
+
+namespace pmtest::core
+{
+namespace
+{
+
+TEST(IntervalTreeTest, EmptyTree)
+{
+    IntervalTree<int> t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_FALSE(t.anyOverlap(AddrRange(0, 100)));
+    EXPECT_FALSE(t.covers(AddrRange(0, 1)));
+    EXPECT_TRUE(t.covers(AddrRange(0, 0)));
+}
+
+TEST(IntervalTreeTest, OverlapQueries)
+{
+    IntervalTree<int> t;
+    t.insert(AddrRange(10, 10), 1);
+    t.insert(AddrRange(30, 10), 2);
+    EXPECT_TRUE(t.anyOverlap(AddrRange(15, 1)));
+    EXPECT_TRUE(t.anyOverlap(AddrRange(35, 10)));
+    EXPECT_FALSE(t.anyOverlap(AddrRange(20, 10)));
+    EXPECT_FALSE(t.anyOverlap(AddrRange(0, 10)));
+}
+
+TEST(IntervalTreeTest, OverlappingIntervalsCoexist)
+{
+    IntervalTree<int> t;
+    t.insert(AddrRange(0, 20), 1);
+    t.insert(AddrRange(10, 20), 2);
+    int hits = 0;
+    t.forEachOverlap(AddrRange(15, 1),
+                     [&](const AddrRange &, const int &) { hits++; });
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(IntervalTreeTest, CoversSweepsUnions)
+{
+    IntervalTree<int> t;
+    t.insert(AddrRange(0, 10), 1);
+    t.insert(AddrRange(8, 10), 2); // overlaps the first
+    t.insert(AddrRange(18, 5), 3); // adjacent
+    EXPECT_TRUE(t.covers(AddrRange(0, 23)));
+    EXPECT_FALSE(t.covers(AddrRange(0, 24)));
+    EXPECT_TRUE(t.covers(AddrRange(5, 10)));
+}
+
+TEST(IntervalTreeTest, ClearResets)
+{
+    IntervalTree<int> t;
+    t.insert(AddrRange(0, 10), 1);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_FALSE(t.anyOverlap(AddrRange(0, 10)));
+}
+
+TEST(IntervalTreeTest, StaysBalancedUnderSortedInsertion)
+{
+    // Sorted insertion is the AVL worst case; with balancing, large N
+    // still answers overlap queries correctly and quickly.
+    IntervalTree<int> t;
+    constexpr int kN = 10000;
+    for (int i = 0; i < kN; i++)
+        t.insert(AddrRange(i * 10, 5), i);
+    EXPECT_EQ(t.size(), static_cast<size_t>(kN));
+    for (int i = 0; i < kN; i += 97) {
+        EXPECT_TRUE(t.anyOverlap(AddrRange(i * 10, 1)));
+        EXPECT_FALSE(t.anyOverlap(AddrRange(i * 10 + 5, 5)));
+    }
+}
+
+class IntervalTreeRandomTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(IntervalTreeRandomTest, MatchesLinearReference)
+{
+    Rng rng(GetParam());
+    IntervalTree<int> t;
+    std::vector<AddrRange> reference;
+
+    for (int i = 0; i < 500; i++) {
+        const AddrRange r(rng.below(1000), 1 + rng.below(50));
+        t.insert(r, i);
+        reference.push_back(r);
+
+        const AddrRange probe(rng.below(1050), 1 + rng.below(30));
+        bool expect_overlap = false;
+        for (const auto &x : reference)
+            expect_overlap |= x.overlaps(probe);
+        ASSERT_EQ(t.anyOverlap(probe), expect_overlap) << "step " << i;
+
+        size_t expect_hits = 0;
+        for (const auto &x : reference)
+            expect_hits += x.overlaps(probe) ? 1 : 0;
+        size_t hits = 0;
+        t.forEachOverlap(probe,
+                         [&](const AddrRange &, const int &) { hits++; });
+        ASSERT_EQ(hits, expect_hits);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalTreeRandomTest,
+                         ::testing::Values(10, 20, 30));
+
+} // namespace
+} // namespace pmtest::core

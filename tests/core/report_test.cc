@@ -1,0 +1,108 @@
+#include "core/report.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest::core
+{
+namespace
+{
+
+Finding
+finding(Severity severity, FindingKind kind, const char *file,
+        uint32_t line, const std::string &msg = "m")
+{
+    Finding f;
+    f.severity = severity;
+    f.kind = kind;
+    f.loc = SourceLocation(file, line);
+    f.message = msg;
+    return f;
+}
+
+TEST(ReportTest, CountsBySeverity)
+{
+    Report r;
+    r.add(finding(Severity::Fail, FindingKind::NotPersisted, "a", 1));
+    r.add(finding(Severity::Warn, FindingKind::RedundantFlush, "a", 2));
+    r.add(finding(Severity::Fail, FindingKind::NotOrdered, "a", 3));
+    EXPECT_EQ(r.failCount(), 2u);
+    EXPECT_EQ(r.warnCount(), 1u);
+    EXPECT_FALSE(r.passed());
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(ReportTest, WarnOnlyReportPasses)
+{
+    Report r;
+    r.add(finding(Severity::Warn, FindingKind::DuplicateLog, "a", 1));
+    EXPECT_TRUE(r.passed());
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(ReportTest, MergeAppends)
+{
+    Report a, b;
+    a.add(finding(Severity::Fail, FindingKind::NotPersisted, "a", 1));
+    b.add(finding(Severity::Warn, FindingKind::DuplicateLog, "b", 2));
+    a.merge(b);
+    EXPECT_EQ(a.findings().size(), 2u);
+}
+
+TEST(ReportTest, SummaryDeduplicatesBySite)
+{
+    Report r;
+    for (int i = 0; i < 100; i++) {
+        r.add(finding(Severity::Fail, FindingKind::MissingLog,
+                      "hot.cc", 42, "write without backup"));
+    }
+    r.add(finding(Severity::Warn, FindingKind::RedundantFlush,
+                  "cold.cc", 7));
+
+    const auto summary = r.summary();
+    ASSERT_EQ(summary.size(), 2u);
+    // FAILs sort first, then by count.
+    EXPECT_EQ(summary[0].kind, FindingKind::MissingLog);
+    EXPECT_EQ(summary[0].count, 100u);
+    EXPECT_EQ(summary[0].loc.str(), "hot.cc:42");
+    EXPECT_EQ(summary[0].firstMessage, "write without backup");
+    EXPECT_EQ(summary[1].count, 1u);
+}
+
+TEST(ReportTest, SummarySeparatesDifferentLinesOfSameFile)
+{
+    Report r;
+    r.add(finding(Severity::Fail, FindingKind::NotOrdered, "x.cc", 1));
+    r.add(finding(Severity::Fail, FindingKind::NotOrdered, "x.cc", 2));
+    EXPECT_EQ(r.summary().size(), 2u);
+}
+
+TEST(ReportTest, SummaryStrMentionsCounts)
+{
+    Report r;
+    for (int i = 0; i < 3; i++)
+        r.add(finding(Severity::Fail, FindingKind::NotPersisted,
+                      "y.cc", 9));
+    const std::string s = r.summaryStr();
+    EXPECT_NE(s.find("x3"), std::string::npos);
+    EXPECT_NE(s.find("y.cc:9"), std::string::npos);
+}
+
+TEST(ReportTest, FindingStrFormat)
+{
+    const auto f = finding(Severity::Warn, FindingKind::DuplicateLog,
+                           "z.cc", 11, "logged twice");
+    EXPECT_EQ(f.str(), "WARN(duplicate-log) logged twice @ z.cc:11");
+}
+
+TEST(ReportTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(findingKindName(FindingKind::NotPersisted),
+                 "not-persisted");
+    EXPECT_STREQ(findingKindName(FindingKind::MissingLog),
+                 "missing-log");
+    EXPECT_STREQ(findingKindName(FindingKind::Malformed),
+                 "malformed-trace");
+}
+
+} // namespace
+} // namespace pmtest::core

@@ -1,0 +1,139 @@
+#include "core/shadow_memory.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest::core
+{
+namespace
+{
+
+TEST(ShadowMemoryTest, WriteOpensPersistInterval)
+{
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0x10, 64));
+    const auto intervals = shadow.persistIntervals(AddrRange(0x10, 64));
+    ASSERT_EQ(intervals.size(), 1u);
+    EXPECT_EQ(intervals[0].second, Interval::open(0));
+    EXPECT_FALSE(shadow.allPersisted(AddrRange(0x10, 64)));
+}
+
+TEST(ShadowMemoryTest, UnwrittenRangePassesVacuously)
+{
+    ShadowMemory shadow;
+    EXPECT_TRUE(shadow.allPersisted(AddrRange(0x1000, 64)));
+    EXPECT_FALSE(shadow.anyWrite(AddrRange(0x1000, 64)));
+}
+
+TEST(ShadowMemoryTest, FenceClosesFlushedWrite)
+{
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0x10, 64));
+    shadow.recordClwb(AddrRange(0x10, 64));
+    shadow.bumpTimestamp();
+    shadow.completePendingFlushes();
+
+    EXPECT_TRUE(shadow.allPersisted(AddrRange(0x10, 64)));
+    const auto intervals = shadow.persistIntervals(AddrRange(0x10, 64));
+    ASSERT_EQ(intervals.size(), 1u);
+    EXPECT_EQ(intervals[0].second, Interval(0, 1));
+}
+
+TEST(ShadowMemoryTest, FenceWithoutFlushLeavesOpen)
+{
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0x10, 64));
+    shadow.bumpTimestamp();
+    shadow.completePendingFlushes();
+    EXPECT_FALSE(shadow.allPersisted(AddrRange(0x10, 64)));
+}
+
+TEST(ShadowMemoryTest, WriteAfterClwbInvalidatesPendingFlush)
+{
+    // write A; clwb A; write A; sfence — the second store is not
+    // covered by the writeback (paper §4.4 write rule clears status).
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0x10, 8));
+    shadow.recordClwb(AddrRange(0x10, 8));
+    shadow.recordWrite(AddrRange(0x10, 8));
+    shadow.bumpTimestamp();
+    shadow.completePendingFlushes();
+    EXPECT_FALSE(shadow.allPersisted(AddrRange(0x10, 8)));
+}
+
+TEST(ShadowMemoryTest, PartialOverwriteKeepsOtherBytes)
+{
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0, 64));
+    shadow.recordClwb(AddrRange(0, 64));
+    shadow.bumpTimestamp();
+    shadow.completePendingFlushes(); // all persisted
+
+    shadow.recordWrite(AddrRange(16, 16)); // re-dirty the middle
+    EXPECT_TRUE(shadow.allPersisted(AddrRange(0, 16)));
+    EXPECT_FALSE(shadow.allPersisted(AddrRange(16, 16)));
+    EXPECT_FALSE(shadow.allPersisted(AddrRange(0, 64)));
+    AddrRange open;
+    EXPECT_FALSE(shadow.allPersisted(AddrRange(0, 64), &open));
+    EXPECT_EQ(open.addr, 16u);
+}
+
+TEST(ShadowMemoryTest, ScanClwbFlagsRedundantFlush)
+{
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0x10, 8));
+    shadow.recordClwb(AddrRange(0x10, 8));
+    const ClwbScan scan = shadow.scanClwb(AddrRange(0x10, 8));
+    EXPECT_TRUE(scan.redundant);
+}
+
+TEST(ShadowMemoryTest, ScanClwbFlagsUnmodifiedData)
+{
+    ShadowMemory shadow;
+    const ClwbScan scan = shadow.scanClwb(AddrRange(0x99, 8));
+    EXPECT_TRUE(scan.unmodified);
+    EXPECT_FALSE(scan.redundant);
+}
+
+TEST(ShadowMemoryTest, ScanClwbFlagsAlreadyCleanData)
+{
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0x10, 8));
+    shadow.recordClwb(AddrRange(0x10, 8));
+    shadow.bumpTimestamp();
+    shadow.completePendingFlushes();
+    const ClwbScan scan = shadow.scanClwb(AddrRange(0x10, 8));
+    EXPECT_TRUE(scan.alreadyClean);
+    EXPECT_FALSE(scan.redundant);
+    EXPECT_FALSE(scan.unmodified);
+}
+
+TEST(ShadowMemoryTest, CleanScanOnFreshWrite)
+{
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0x10, 8));
+    const ClwbScan scan = shadow.scanClwb(AddrRange(0x10, 8));
+    EXPECT_FALSE(scan.redundant);
+    EXPECT_FALSE(scan.unmodified);
+    EXPECT_FALSE(scan.alreadyClean);
+}
+
+TEST(ShadowMemoryTest, CompleteAllWritesClosesEverything)
+{
+    // The HOPS dfence rule.
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0, 8));
+    shadow.bumpTimestamp(); // ofence
+    shadow.recordWrite(AddrRange(64, 8));
+    shadow.bumpTimestamp(); // dfence...
+    shadow.completeAllWrites();
+
+    EXPECT_TRUE(shadow.allPersisted(AddrRange(0, 8)));
+    EXPECT_TRUE(shadow.allPersisted(AddrRange(64, 8)));
+    const auto a = shadow.persistIntervals(AddrRange(0, 8));
+    const auto b = shadow.persistIntervals(AddrRange(64, 8));
+    EXPECT_EQ(a[0].second, Interval(0, 2));
+    EXPECT_EQ(b[0].second, Interval(1, 2));
+}
+
+} // namespace
+} // namespace pmtest::core

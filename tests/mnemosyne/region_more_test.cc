@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Additional Mnemosyne-region behaviour: multi-range transactions,
+ * large appends split across log entries, read-back semantics, and
+ * durability through the simulated cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/api.hh"
+#include "mnemosyne/region.hh"
+#include "pmem/crash_injector.hh"
+#include "util/random.hh"
+
+namespace pmtest::mnemosyne
+{
+namespace
+{
+
+class RegionMoreTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+};
+
+TEST_F(RegionMoreTest, MultiRangeTransactionAppliesAll)
+{
+    Region region(1 << 20);
+    auto *a = static_cast<uint64_t *>(region.alloc(8));
+    auto *b = static_cast<uint32_t *>(region.alloc(4));
+    auto *c = static_cast<char *>(region.alloc(16));
+
+    region.txBegin();
+    region.logAssign<uint64_t>(a, 11);
+    region.logAssign<uint32_t>(b, 22);
+    region.logAppend(c, "hello world", 12);
+    region.txCommit();
+
+    EXPECT_EQ(*a, 11u);
+    EXPECT_EQ(*b, 22u);
+    EXPECT_STREQ(c, "hello world");
+}
+
+TEST_F(RegionMoreTest, LargeAppendSplitsAcrossEntries)
+{
+    Region region(1 << 20);
+    constexpr size_t kBig = 1000; // > LogEntry::kMaxData (64)
+    auto *buf = static_cast<uint8_t *>(region.alloc(kBig));
+    std::memset(buf, 0, kBig);
+
+    std::vector<uint8_t> payload(kBig);
+    Rng rng(3);
+    for (auto &b : payload)
+        b = static_cast<uint8_t>(rng.next());
+
+    region.txBegin();
+    region.logAppend(buf, payload.data(), payload.size());
+    region.txCommit();
+
+    EXPECT_EQ(std::memcmp(buf, payload.data(), kBig), 0);
+}
+
+TEST_F(RegionMoreTest, StagedWritesInvisibleUntilCommit)
+{
+    Region region(1 << 20);
+    auto *x = static_cast<uint64_t *>(region.alloc(8));
+    *x = 5;
+
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 9);
+    EXPECT_EQ(*x, 5u) << "redo staging defers in-place updates";
+    region.txCommit();
+    EXPECT_EQ(*x, 9u);
+}
+
+TEST_F(RegionMoreTest, SequentialTransactionsReuseLog)
+{
+    Region region(1 << 20);
+    auto *x = static_cast<uint64_t *>(region.alloc(8));
+    for (uint64_t i = 0; i < 200; i++) {
+        region.txBegin();
+        region.logAssign<uint64_t>(x, i);
+        region.txCommit();
+        ASSERT_EQ(*x, i);
+    }
+}
+
+TEST_F(RegionMoreTest, CommitIsDurableThroughCacheModel)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    Region region(1 << 20, /*simulate_crashes=*/true);
+    pmtestAttachPool(&region.pmPool());
+
+    auto *x = static_cast<uint64_t *>(region.alloc(64));
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 77);
+    region.txCommit();
+
+    // After commit every sampled crash state recovers to x == 77.
+    pmem::CrashInjector injector(*region.pmPool().cache());
+    Rng rng(1);
+    for (int i = 0; i < 20; i++) {
+        auto image = injector.sample(rng);
+        Region::recoverImage(image);
+        uint64_t v;
+        std::memcpy(&v, image.data() + region.pmPool().offsetOf(x),
+                    sizeof(v));
+        EXPECT_EQ(v, 77u);
+    }
+    pmtestDetachPool();
+}
+
+TEST_F(RegionMoreTest, PersistHelperIsImmediatelyDurable)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    Region region(1 << 20, true);
+    pmtestAttachPool(&region.pmPool());
+    auto *x = static_cast<uint64_t *>(region.alloc(64));
+    uint64_t v = 1234;
+    region.persist(x, &v, sizeof(v));
+
+    uint64_t on_device = 0;
+    region.pmPool().pmDevice()->read(region.pmPool().offsetOf(x),
+                                     &on_device, sizeof(on_device));
+    EXPECT_EQ(on_device, 1234u);
+    pmtestDetachPool();
+}
+
+TEST_F(RegionMoreTest, CheckersCleanOnMultiRangeTransactions)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    Region region(1 << 20);
+    region.emitCheckers = true;
+    auto *a = static_cast<uint64_t *>(region.alloc(8));
+    auto *b = static_cast<uint64_t *>(region.alloc(8));
+
+    for (int i = 0; i < 20; i++) {
+        PMTEST_TX_CHECKER_START();
+        region.txBegin();
+        region.logAssign<uint64_t>(a, i);
+        region.logAssign<uint64_t>(b, i * 2);
+        region.txCommit();
+        PMTEST_TX_CHECKER_END();
+        pmtestSendTrace();
+    }
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+} // namespace
+} // namespace pmtest::mnemosyne

@@ -1,0 +1,203 @@
+#include "mnemosyne/region.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pmtest::mnemosyne
+{
+namespace
+{
+
+class RegionTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+
+    void
+    startPmtest()
+    {
+        pmtestInit(Config{});
+        pmtestThreadInit();
+        pmtestStart();
+    }
+
+    core::Report
+    finishPmtest()
+    {
+        pmtestSendTrace();
+        auto report = pmtestResults();
+        pmtestEnd();
+        pmtestExit();
+        return report;
+    }
+};
+
+TEST_F(RegionTest, CommitAppliesStagedWrites)
+{
+    Region region(1 << 20);
+    auto *x = static_cast<uint64_t *>(region.alloc(8));
+    *x = 0;
+
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 42);
+    EXPECT_EQ(*x, 0u) << "redo log defers the in-place update";
+    region.txCommit();
+    EXPECT_EQ(*x, 42u);
+}
+
+TEST_F(RegionTest, CorrectTransactionIsClean)
+{
+    Region region(1 << 20);
+    region.emitCheckers = true;
+    auto *x = static_cast<uint64_t *>(region.alloc(8));
+
+    startPmtest();
+    PMTEST_TX_CHECKER_START();
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 1);
+    region.txCommit();
+    PMTEST_TX_CHECKER_END();
+    const auto report = finishPmtest();
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+TEST_F(RegionTest, SkipDataFlushDetected)
+{
+    ScopedLogSilencer quiet;
+    Region region(1 << 20);
+    region.emitCheckers = true;
+    region.faults.skipDataFlush = true;
+    auto *x = static_cast<uint64_t *>(region.alloc(8));
+
+    startPmtest();
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 1);
+    region.txCommit();
+    const auto report = finishPmtest();
+    bool not_persisted = false;
+    for (const auto &f : report.findings())
+        not_persisted |= f.kind == core::FindingKind::NotPersisted;
+    EXPECT_TRUE(not_persisted) << report.str();
+}
+
+TEST_F(RegionTest, SkipLogFlushBreaksOrdering)
+{
+    ScopedLogSilencer quiet;
+    Region region(1 << 20);
+    region.emitCheckers = true;
+    region.faults.skipLogFlush = true;
+    auto *x = static_cast<uint64_t *>(region.alloc(8));
+
+    startPmtest();
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 1);
+    region.txCommit();
+    const auto report = finishPmtest();
+    bool not_ordered = false;
+    for (const auto &f : report.findings())
+        not_ordered |= f.kind == core::FindingKind::NotOrdered;
+    EXPECT_TRUE(not_ordered) << report.str();
+}
+
+TEST_F(RegionTest, DuplicateAppendWarns)
+{
+    ScopedLogSilencer quiet;
+    Region region(1 << 20);
+    region.faults.duplicateAppend = true;
+    auto *x = static_cast<uint64_t *>(region.alloc(8));
+
+    startPmtest();
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 1);
+    region.txCommit();
+    const auto report = finishPmtest();
+    bool dup = false;
+    for (const auto &f : report.findings())
+        dup |= f.kind == core::FindingKind::DuplicateLog;
+    EXPECT_TRUE(dup) << report.str();
+}
+
+TEST_F(RegionTest, RecoveryReplaysCommittedLog)
+{
+    Region region(1 << 20);
+    auto *x = static_cast<uint64_t *>(region.alloc(8));
+    *x = 7;
+
+    // Crash after the commit record but before the in-place updates:
+    // hand-build that image by snapshotting mid-commit is hard from
+    // outside, so emulate it — stage the update, commit, then revert
+    // the in-place bytes in the image (as if they never reached PM)
+    // while keeping the committed log. Recovery must redo them.
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 99);
+    region.txCommit();
+
+    std::vector<uint8_t> image(region.pmPool().base(),
+                               region.pmPool().base() +
+                                   region.pmPool().size());
+    // The log was retired at commit; rebuild a committed log image.
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 123);
+    // Mid-transaction: log holds entries but no commit record; take
+    // the pre-commit image and patch the commit flag.
+    std::vector<uint8_t> crash(region.pmPool().base(),
+                               region.pmPool().base() +
+                                   region.pmPool().size());
+    region.txCommit();
+
+    // Find the log header: offset is private, so locate it by magic
+    // via recoverImage semantics — patch committed=1 at the header.
+    // Header layout: RegionHeader at 0 with logOffset at +16.
+    uint64_t log_offset;
+    std::memcpy(&log_offset, crash.data() + 16, sizeof(log_offset));
+    uint64_t one = 1;
+    std::memcpy(crash.data() + log_offset, &one, sizeof(one));
+
+    const size_t replayed = Region::recoverImage(crash);
+    EXPECT_GE(replayed, 1u);
+    uint64_t recovered;
+    std::memcpy(&recovered,
+                crash.data() + region.pmPool().offsetOf(x),
+                sizeof(recovered));
+    EXPECT_EQ(recovered, 123u) << "redo applied the staged value";
+}
+
+TEST_F(RegionTest, RecoveryDiscardsUncommittedLog)
+{
+    Region region(1 << 20);
+    auto *x = static_cast<uint64_t *>(region.alloc(8));
+    *x = 7;
+
+    region.txBegin();
+    region.logAssign<uint64_t>(x, 99);
+    // Crash before commit.
+    std::vector<uint8_t> crash(region.pmPool().base(),
+                               region.pmPool().base() +
+                                   region.pmPool().size());
+    region.txCommit();
+
+    EXPECT_EQ(Region::recoverImage(crash), 0u);
+    uint64_t value;
+    std::memcpy(&value, crash.data() + region.pmPool().offsetOf(x),
+                sizeof(value));
+    EXPECT_EQ(value, 7u) << "old value preserved";
+}
+
+TEST_F(RegionTest, RootIsStable)
+{
+    Region region(1 << 20);
+    struct R { uint64_t a; };
+    R *r1 = region.root<R>();
+    r1->a = 3;
+    EXPECT_EQ(region.root<R>(), r1);
+}
+
+} // namespace
+} // namespace pmtest::mnemosyne

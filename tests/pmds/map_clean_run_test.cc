@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/api.hh"
+#include "pmds/btree_map.hh"
+#include "pmds/ctree_map.hh"
+#include "pmds/hashmap_atomic.hh"
+#include "pmds/hashmap_tx.hh"
+#include "pmds/rbtree_map.hh"
+#include "pmds/pm_map.hh"
+#include "util/random.hh"
+
+namespace pmtest::pmds
+{
+namespace
+{
+
+/**
+ * No-false-positive property: a *correct* structure, run under PMTest
+ * with all checkers enabled, must produce zero findings. This guards
+ * both the structures' crash-consistency protocols and the engine's
+ * rules against false alarms.
+ */
+class MapCleanRunTest : public ::testing::TestWithParam<MapKind>
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+};
+
+void
+enableCheckers(PmMap &map, MapKind kind)
+{
+    switch (kind) {
+      case MapKind::Ctree:
+        static_cast<CtreeMap &>(map).emitCheckers = true;
+        break;
+      case MapKind::Btree:
+        static_cast<BtreeMap &>(map).emitCheckers = true;
+        break;
+      case MapKind::Rbtree:
+        static_cast<RbtreeMap &>(map).emitCheckers = true;
+        break;
+      case MapKind::HashmapTx:
+        static_cast<HashmapTx &>(map).emitCheckers = true;
+        break;
+      case MapKind::HashmapAtomic:
+        static_cast<HashmapAtomic &>(map).emitCheckers = true;
+        break;
+    }
+}
+
+TEST_P(MapCleanRunTest, MixedWorkloadYieldsNoFindings)
+{
+    txlib::ObjPool pool(32 << 20);
+    auto map = makeMap(GetParam(), pool);
+    enableCheckers(*map, GetParam());
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    Rng rng(99);
+    std::vector<uint8_t> value(64, 0x7e);
+    for (int step = 0; step < 500; step++) {
+        const uint64_t key = 1 + rng.below(120);
+        if (rng.chance(70, 100)) {
+            map->insert(key, value.data(), value.size());
+        } else {
+            map->remove(key);
+        }
+    }
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_EQ(report.failCount(), 0u) << report.str();
+    EXPECT_EQ(report.warnCount(), 0u) << report.str();
+    EXPECT_GT(pmtestTracesSubmitted(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMaps, MapCleanRunTest,
+    ::testing::Values(MapKind::Ctree, MapKind::Btree, MapKind::Rbtree,
+                      MapKind::HashmapTx, MapKind::HashmapAtomic),
+    [](const auto &info) {
+        std::string name = mapKindName(info.param);
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace pmtest::pmds

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "pmds/pm_map.hh"
+#include "util/random.hh"
+
+namespace pmtest::pmds
+{
+namespace
+{
+
+/** Functional correctness of each structure against std::map. */
+class MapCorrectnessTest : public ::testing::TestWithParam<MapKind>
+{
+  protected:
+    static std::vector<uint8_t>
+    valueFor(uint64_t key)
+    {
+        std::vector<uint8_t> v(16 + key % 48);
+        for (size_t i = 0; i < v.size(); i++)
+            v[i] = static_cast<uint8_t>(key + i);
+        return v;
+    }
+};
+
+TEST_P(MapCorrectnessTest, InsertLookup)
+{
+    txlib::ObjPool pool(16 << 20);
+    auto map = makeMap(GetParam(), pool);
+
+    for (uint64_t k = 1; k <= 200; k++) {
+        const auto v = valueFor(k);
+        map->insert(k, v.data(), v.size());
+    }
+    EXPECT_EQ(map->count(), 200u);
+
+    std::vector<uint8_t> out;
+    for (uint64_t k = 1; k <= 200; k++) {
+        ASSERT_TRUE(map->lookup(k, &out)) << "key " << k;
+        EXPECT_EQ(out, valueFor(k));
+    }
+    EXPECT_FALSE(map->lookup(0));
+    EXPECT_FALSE(map->lookup(10000));
+}
+
+TEST_P(MapCorrectnessTest, UpdateReplacesValue)
+{
+    txlib::ObjPool pool(8 << 20);
+    auto map = makeMap(GetParam(), pool);
+
+    const std::vector<uint8_t> v1(32, 0x11), v2(64, 0x22);
+    map->insert(5, v1.data(), v1.size());
+    map->insert(5, v2.data(), v2.size());
+    EXPECT_EQ(map->count(), 1u);
+
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(map->lookup(5, &out));
+    EXPECT_EQ(out, v2);
+}
+
+TEST_P(MapCorrectnessTest, RemoveDeletesKeys)
+{
+    txlib::ObjPool pool(16 << 20);
+    auto map = makeMap(GetParam(), pool);
+
+    for (uint64_t k = 1; k <= 100; k++) {
+        const auto v = valueFor(k);
+        map->insert(k, v.data(), v.size());
+    }
+    for (uint64_t k = 2; k <= 100; k += 2)
+        EXPECT_TRUE(map->remove(k)) << "key " << k;
+    EXPECT_FALSE(map->remove(2)) << "already removed";
+    EXPECT_EQ(map->count(), 50u);
+
+    for (uint64_t k = 1; k <= 100; k++)
+        EXPECT_EQ(map->lookup(k), k % 2 == 1) << "key " << k;
+}
+
+TEST_P(MapCorrectnessTest, RandomizedAgainstReference)
+{
+    txlib::ObjPool pool(32 << 20);
+    auto map = makeMap(GetParam(), pool);
+    std::map<uint64_t, std::vector<uint8_t>> reference;
+    Rng rng(0xfeedu + static_cast<uint64_t>(GetParam()));
+
+    for (int step = 0; step < 2000; step++) {
+        const uint64_t key = 1 + rng.below(300);
+        const uint64_t dice = rng.below(100);
+        if (dice < 60) {
+            std::vector<uint8_t> v(8 + rng.below(64));
+            for (auto &b : v)
+                b = static_cast<uint8_t>(rng.next());
+            map->insert(key, v.data(), v.size());
+            reference[key] = v;
+        } else if (dice < 85) {
+            EXPECT_EQ(map->remove(key), reference.erase(key) > 0)
+                << "step " << step << " key " << key;
+        } else {
+            std::vector<uint8_t> out;
+            const bool present = map->lookup(key, &out);
+            auto it = reference.find(key);
+            ASSERT_EQ(present, it != reference.end())
+                << "step " << step << " key " << key;
+            if (present) {
+                ASSERT_EQ(out, it->second) << "step " << step;
+            }
+        }
+        ASSERT_EQ(map->count(), reference.size()) << "step " << step;
+    }
+}
+
+TEST_P(MapCorrectnessTest, SequentialAndReverseInsertions)
+{
+    // Stress tree-balancing paths (splits, rotations, fixups).
+    txlib::ObjPool pool(16 << 20);
+    auto map = makeMap(GetParam(), pool);
+    const std::vector<uint8_t> v(24, 0x3c);
+
+    for (uint64_t k = 1; k <= 300; k++)
+        map->insert(k, v.data(), v.size());
+    for (uint64_t k = 1000; k >= 701; k--)
+        map->insert(k, v.data(), v.size());
+    EXPECT_EQ(map->count(), 600u);
+    for (uint64_t k = 1; k <= 300; k++)
+        EXPECT_TRUE(map->lookup(k));
+    for (uint64_t k = 701; k <= 1000; k++)
+        EXPECT_TRUE(map->lookup(k));
+
+    // Drain completely.
+    for (uint64_t k = 1; k <= 300; k++)
+        EXPECT_TRUE(map->remove(k));
+    for (uint64_t k = 1000; k >= 701; k--)
+        EXPECT_TRUE(map->remove(k));
+    EXPECT_EQ(map->count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMaps, MapCorrectnessTest,
+    ::testing::Values(MapKind::Ctree, MapKind::Btree, MapKind::Rbtree,
+                      MapKind::HashmapTx, MapKind::HashmapAtomic),
+    [](const auto &info) {
+        std::string name = mapKindName(info.param);
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace pmtest::pmds

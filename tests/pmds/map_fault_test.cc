@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/api.hh"
+#include "pmds/btree_map.hh"
+#include "pmds/ctree_map.hh"
+#include "pmds/hashmap_atomic.hh"
+#include "pmds/hashmap_tx.hh"
+#include "pmds/rbtree_map.hh"
+#include "util/logging.hh"
+
+namespace pmtest::pmds
+{
+namespace
+{
+
+/** Each fault knob must produce its specific finding kind. */
+class MapFaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+
+    template <typename MapT>
+    core::Report
+    runFaulty(MapFaults faults, size_t ops,
+              txlib::BugKnobs knobs = {})
+    {
+        ScopedLogSilencer quiet;
+        txlib::ObjPool pool(8 << 20);
+        pool.bugs = knobs;
+        MapT map(pool);
+        map.faults = faults;
+        map.emitCheckers = true;
+
+        pmtestInit(Config{});
+        pmtestThreadInit();
+        pmtestStart();
+        std::vector<uint8_t> value(64, 0x44);
+        for (size_t i = 0; i < ops; i++)
+            map.insert(1 + i, value.data(), value.size());
+        pmtestSendTrace();
+        auto report = pmtestResults();
+        pmtestEnd();
+        pmtestExit();
+        return report;
+    }
+
+    static bool
+    hasKind(const core::Report &report, core::FindingKind kind)
+    {
+        for (const auto &f : report.findings())
+            if (f.kind == kind)
+                return true;
+        return false;
+    }
+};
+
+TEST_F(MapFaultTest, CtreeSkipTxAddIsMissingLog)
+{
+    MapFaults f;
+    f.skipTxAdd = true;
+    const auto report = runFaulty<CtreeMap>(f, 4);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::MissingLog))
+        << report.str();
+}
+
+TEST_F(MapFaultTest, BtreeSkipTxAddIsMissingLog)
+{
+    MapFaults f;
+    f.skipTxAdd = true;
+    const auto report = runFaulty<BtreeMap>(f, 4);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::MissingLog));
+}
+
+TEST_F(MapFaultTest, RbtreeSkipTxAddIsMissingLog)
+{
+    MapFaults f;
+    f.skipTxAdd = true;
+    // Ascending keys force rotations, the buggy site.
+    const auto report = runFaulty<RbtreeMap>(f, 8);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::MissingLog));
+}
+
+TEST_F(MapFaultTest, HashmapTxSkipTxAddIsMissingLog)
+{
+    MapFaults f;
+    f.skipTxAdd = true;
+    const auto report = runFaulty<HashmapTx>(f, 2);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::MissingLog));
+}
+
+TEST_F(MapFaultTest, ExtraTxAddIsDuplicateLog)
+{
+    MapFaults f;
+    f.extraTxAdd = true;
+    const auto report = runFaulty<HashmapTx>(f, 2);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::DuplicateLog));
+    EXPECT_EQ(report.failCount(), 0u)
+        << "performance bug only: " << report.str();
+}
+
+TEST_F(MapFaultTest, AtomicSkipFlushIsNotPersisted)
+{
+    MapFaults f;
+    f.skipFlush = true;
+    const auto report = runFaulty<HashmapAtomic>(f, 4);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::NotPersisted));
+}
+
+TEST_F(MapFaultTest, AtomicSkipFenceIsNotOrdered)
+{
+    MapFaults f;
+    f.skipFence = true;
+    const auto report = runFaulty<HashmapAtomic>(f, 4);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::NotOrdered))
+        << report.str();
+}
+
+TEST_F(MapFaultTest, AtomicMisplacedFenceIsNotOrdered)
+{
+    MapFaults f;
+    f.misplacedFence = true;
+    const auto report = runFaulty<HashmapAtomic>(f, 4);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::NotOrdered));
+}
+
+TEST_F(MapFaultTest, AtomicExtraFlushIsRedundantFlush)
+{
+    MapFaults f;
+    f.extraFlush = true;
+    const auto report = runFaulty<HashmapAtomic>(f, 4);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::RedundantFlush));
+    EXPECT_EQ(report.failCount(), 0u) << report.str();
+}
+
+TEST_F(MapFaultTest, SkipCommitFlushIsIncompleteTx)
+{
+    txlib::BugKnobs knobs;
+    knobs.skipCommitFlush = true;
+    const auto report = runFaulty<CtreeMap>({}, 4, knobs);
+    EXPECT_TRUE(hasKind(report, core::FindingKind::IncompleteTx))
+        << report.str();
+}
+
+TEST_F(MapFaultTest, FaultyRunStillFunctionallyCorrect)
+{
+    // The injected bugs are crash-consistency bugs, not functional
+    // ones: the map still answers lookups correctly.
+    ScopedLogSilencer quiet;
+    txlib::ObjPool pool(8 << 20);
+    CtreeMap map(pool);
+    map.faults.skipTxAdd = true;
+    std::vector<uint8_t> value(16, 1);
+    for (uint64_t k = 1; k <= 50; k++)
+        map.insert(k, value.data(), value.size());
+    for (uint64_t k = 1; k <= 50; k++)
+        EXPECT_TRUE(map.lookup(k));
+}
+
+} // namespace
+} // namespace pmtest::pmds

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parameterized property sweep over (structure, value size): every
+ * structure must round-trip values of every size class the Fig. 10
+ * benchmark uses, and correct runs must stay finding-free under
+ * PMTest at every size.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hh"
+#include "pmds/pm_map.hh"
+
+namespace pmtest::pmds
+{
+namespace
+{
+
+using SweepParam = std::tuple<MapKind, size_t>;
+
+class MapValueSweepTest : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+};
+
+TEST_P(MapValueSweepTest, RoundTripAndCleanUnderPmtest)
+{
+    const auto [kind, value_size] = GetParam();
+    txlib::ObjPool pool(64 * (value_size + 512) + (8u << 20));
+    auto map = makeMap(kind, pool);
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    std::vector<uint8_t> value(value_size);
+    for (size_t i = 0; i < value.size(); i++)
+        value[i] = static_cast<uint8_t>(i * 7);
+
+    for (uint64_t k = 1; k <= 40; k++)
+        map->insert(k * 13, value.data(), value.size());
+
+    std::vector<uint8_t> out;
+    for (uint64_t k = 1; k <= 40; k++) {
+        ASSERT_TRUE(map->lookup(k * 13, &out)) << "key " << k * 13;
+        ASSERT_EQ(out, value);
+    }
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig10Sizes, MapValueSweepTest,
+    ::testing::Combine(
+        ::testing::Values(MapKind::Ctree, MapKind::Btree,
+                          MapKind::Rbtree, MapKind::HashmapTx,
+                          MapKind::HashmapAtomic),
+        ::testing::Values(size_t{64}, size_t{512}, size_t{4096})),
+    [](const auto &info) {
+        std::string name =
+            mapKindName(std::get<0>(info.param)) + std::string("_") +
+            std::to_string(std::get<1>(info.param));
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace pmtest::pmds

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The persistent ring queue: FIFO correctness, capacity behaviour,
+ * checker cleanliness, fault detection, and crash/recovery content
+ * validation through the cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+
+#include "core/api.hh"
+#include "pmds/pm_queue.hh"
+#include "pmem/crash_injector.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace pmtest::pmds
+{
+namespace
+{
+
+class PmQueueTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+
+    static std::vector<uint8_t>
+    payload(uint64_t tag)
+    {
+        std::vector<uint8_t> p(32);
+        for (size_t i = 0; i < p.size(); i++)
+            p[i] = static_cast<uint8_t>(tag + i);
+        return p;
+    }
+};
+
+TEST_F(PmQueueTest, FifoOrder)
+{
+    txlib::ObjPool pool(1 << 20);
+    PmQueue queue(pool, 16);
+    for (uint64_t i = 0; i < 5; i++) {
+        const auto p = payload(i);
+        EXPECT_TRUE(queue.enqueue(p.data(), p.size()));
+    }
+    EXPECT_EQ(queue.size(), 5u);
+
+    for (uint64_t i = 0; i < 5; i++) {
+        std::vector<uint8_t> out;
+        ASSERT_TRUE(queue.dequeue(&out));
+        EXPECT_EQ(out, payload(i)) << "entry " << i;
+    }
+    EXPECT_TRUE(queue.empty());
+    EXPECT_FALSE(queue.dequeue());
+}
+
+TEST_F(PmQueueTest, CapacityEnforcedAndRingWraps)
+{
+    txlib::ObjPool pool(1 << 20);
+    PmQueue queue(pool, 4);
+    const auto p = payload(0);
+    for (int i = 0; i < 4; i++)
+        EXPECT_TRUE(queue.enqueue(p.data(), p.size()));
+    EXPECT_TRUE(queue.full());
+    EXPECT_FALSE(queue.enqueue(p.data(), p.size()));
+
+    // Wrap the ring several times.
+    for (uint64_t round = 0; round < 20; round++) {
+        std::vector<uint8_t> out;
+        ASSERT_TRUE(queue.dequeue(&out));
+        const auto in = payload(round);
+        ASSERT_TRUE(queue.enqueue(in.data(), in.size()));
+    }
+    EXPECT_EQ(queue.size(), 4u);
+}
+
+TEST_F(PmQueueTest, OversizePayloadTruncated)
+{
+    txlib::ObjPool pool(1 << 20);
+    PmQueue queue(pool, 4);
+    std::vector<uint8_t> big(PmQueue::kSlotPayload + 100, 0x3f);
+    EXPECT_TRUE(queue.enqueue(big.data(), big.size()));
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(queue.dequeue(&out));
+    EXPECT_EQ(out.size(), PmQueue::kSlotPayload);
+}
+
+TEST_F(PmQueueTest, CleanRunUnderPmtest)
+{
+    txlib::ObjPool pool(1 << 20);
+    PmQueue queue(pool, 32);
+    queue.emitCheckers = true;
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    Rng rng(4);
+    for (int i = 0; i < 200; i++) {
+        if (rng.chance(60, 100) && !queue.full()) {
+            const auto p = payload(i);
+            queue.enqueue(p.data(), p.size());
+        } else if (!queue.empty()) {
+            queue.dequeue();
+        }
+    }
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.summaryStr();
+}
+
+TEST_F(PmQueueTest, SkipSlotFlushDetected)
+{
+    ScopedLogSilencer quiet;
+    txlib::ObjPool pool(1 << 20);
+    PmQueue queue(pool, 8);
+    queue.emitCheckers = true;
+    queue.faults.skipSlotFlush = true;
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+    const auto p = payload(1);
+    queue.enqueue(p.data(), p.size());
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    bool not_persisted = false;
+    for (const auto &f : report.findings())
+        not_persisted |= f.kind == core::FindingKind::NotPersisted;
+    EXPECT_TRUE(not_persisted) << report.str();
+}
+
+TEST_F(PmQueueTest, SkipSlotFenceDetected)
+{
+    ScopedLogSilencer quiet;
+    txlib::ObjPool pool(1 << 20);
+    PmQueue queue(pool, 8);
+    queue.emitCheckers = true;
+    queue.faults.skipSlotFence = true;
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+    const auto p = payload(1);
+    queue.enqueue(p.data(), p.size());
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    bool not_ordered = false;
+    for (const auto &f : report.findings())
+        not_ordered |= f.kind == core::FindingKind::NotOrdered;
+    EXPECT_TRUE(not_ordered) << report.str();
+}
+
+TEST_F(PmQueueTest, ExtraFlushWarned)
+{
+    ScopedLogSilencer quiet;
+    txlib::ObjPool pool(1 << 20);
+    PmQueue queue(pool, 8);
+    queue.faults.extraSlotFlush = true;
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+    const auto p = payload(1);
+    queue.enqueue(p.data(), p.size());
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    bool redundant = false;
+    for (const auto &f : report.findings())
+        redundant |= f.kind == core::FindingKind::RedundantFlush;
+    EXPECT_TRUE(redundant) << report.str();
+    EXPECT_EQ(report.failCount(), 0u);
+}
+
+TEST_F(PmQueueTest, CrashStatesHoldConsistentPrefix)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    txlib::ObjPool pool(1 << 20, /*simulate_crashes=*/true);
+    pmtestAttachPool(&pool.pmPool());
+    PmQueue queue(pool, 16);
+
+    std::deque<std::vector<uint8_t>> reference;
+    Rng rng(10);
+    for (int step = 0; step < 40; step++) {
+        if (rng.chance(70, 100) && !queue.full()) {
+            const auto p = payload(step);
+            queue.enqueue(p.data(), p.size());
+            reference.push_back(p);
+        } else if (!queue.empty()) {
+            queue.dequeue();
+            reference.pop_front();
+        }
+
+        // Every completed op is durable: all crash states must show
+        // exactly the reference content.
+        if (step % 8 != 7)
+            continue;
+        pmem::CrashInjector injector(*pool.pmPool().cache());
+        Rng crash_rng(step);
+        for (int s = 0; s < 5; s++) {
+            const auto image = injector.sample(crash_rng);
+            std::vector<std::vector<uint8_t>> walked;
+            ASSERT_TRUE(
+                PmQueue::readImage(pool.pmPool(), image, &walked));
+            ASSERT_EQ(walked.size(), reference.size())
+                << "step " << step;
+            for (size_t i = 0; i < walked.size(); i++)
+                ASSERT_EQ(walked[i], reference[i]);
+        }
+    }
+    pmtestDetachPool();
+}
+
+TEST_F(PmQueueTest, SkipFenceBugCausesRealStaleEntry)
+{
+    // The ordering bug the checkers flag is a real one: with the
+    // fence skipped, some crash state publishes a slot whose payload
+    // never reached the medium.
+    ScopedLogSilencer quiet;
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    txlib::ObjPool pool(1 << 20, true);
+    pmtestAttachPool(&pool.pmPool());
+    PmQueue queue(pool, 16);
+    queue.faults.skipSlotFlush = true; // payload never written back
+    queue.faults.skipSlotFence = true;
+
+    const auto p = payload(9);
+    queue.enqueue(p.data(), p.size());
+
+    pmem::CrashInjector injector(*pool.pmPool().cache());
+    Rng rng(11);
+    bool stale_seen = false;
+    for (int s = 0; s < 40 && !stale_seen; s++) {
+        const auto image = injector.sample(rng);
+        std::vector<std::vector<uint8_t>> walked;
+        if (!PmQueue::readImage(pool.pmPool(), image, &walked))
+            continue;
+        stale_seen = walked.size() == 1 && walked[0] != p;
+    }
+    EXPECT_TRUE(stale_seen)
+        << "the published slot should be stale in some crash state";
+    pmtestDetachPool();
+}
+
+} // namespace
+} // namespace pmtest::pmds

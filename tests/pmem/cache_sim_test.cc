@@ -1,0 +1,122 @@
+#include "pmem/cache_sim.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest::pmem
+{
+namespace
+{
+
+TEST(CacheSimTest, StoreIsNotDurableUntilFlushedAndFenced)
+{
+    PmDevice dev(256);
+    CacheSim cache(dev);
+    const uint64_t v = 0x1122334455667788ULL;
+    cache.store(0, &v, sizeof(v));
+
+    // Device still holds old data.
+    uint64_t on_device = 1;
+    dev.read(0, &on_device, sizeof(on_device));
+    EXPECT_EQ(on_device, 0u);
+
+    // Loads see the cached value.
+    uint64_t loaded = 0;
+    cache.load(0, &loaded, sizeof(loaded));
+    EXPECT_EQ(loaded, v);
+
+    cache.clwb(0, sizeof(v));
+    dev.read(0, &on_device, sizeof(on_device));
+    EXPECT_EQ(on_device, 0u) << "clwb alone is not durability";
+
+    cache.sfence();
+    dev.read(0, &on_device, sizeof(on_device));
+    EXPECT_EQ(on_device, v);
+    EXPECT_TRUE(cache.clean());
+}
+
+TEST(CacheSimTest, StoreAfterClwbIsNotCoveredByFence)
+{
+    PmDevice dev(256);
+    CacheSim cache(dev);
+    uint32_t a = 1;
+    cache.store(0, &a, sizeof(a));
+    cache.clwb(0, sizeof(a));
+    uint32_t b = 2; // lands after the writeback captured the line
+    cache.store(0, &b, sizeof(b));
+    cache.sfence();
+
+    uint32_t on_device = 0;
+    dev.read(0, &on_device, sizeof(on_device));
+    EXPECT_EQ(on_device, 1u) << "fence persists the clwb-time content";
+    EXPECT_FALSE(cache.clean()) << "the second store remains volatile";
+}
+
+TEST(CacheSimTest, CrashChoicesIncludeIntermediateStates)
+{
+    PmDevice dev(256);
+    CacheSim cache(dev);
+    uint32_t v1 = 1, v2 = 2;
+    cache.store(0, &v1, sizeof(v1));
+    cache.store(0, &v2, sizeof(v2));
+
+    auto choices = cache.crashChoices();
+    ASSERT_EQ(choices.size(), 1u);
+    // Both post-store snapshots are legal crash contents.
+    EXPECT_GE(choices[0].candidates.size(), 2u);
+}
+
+TEST(CacheSimTest, CleanAfterFlushAll)
+{
+    PmDevice dev(512);
+    CacheSim cache(dev);
+    uint64_t v = 7;
+    cache.store(0, &v, sizeof(v));
+    cache.store(128, &v, sizeof(v));
+    EXPECT_FALSE(cache.clean());
+    cache.flushAll();
+    EXPECT_TRUE(cache.clean());
+    uint64_t out = 0;
+    dev.read(128, &out, sizeof(out));
+    EXPECT_EQ(out, 7u);
+}
+
+TEST(CacheSimTest, CrossLineStoreSplits)
+{
+    PmDevice dev(256);
+    CacheSim cache(dev);
+    std::vector<uint8_t> data(100, 0xee);
+    cache.store(30, data.data(), data.size()); // spans lines 0 and 1&2
+    auto choices = cache.crashChoices();
+    EXPECT_GE(choices.size(), 2u);
+    cache.flushAll();
+    std::vector<uint8_t> out(100, 0);
+    dev.read(30, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(CacheSimTest, StatsCount)
+{
+    PmDevice dev(256);
+    CacheSim cache(dev);
+    uint8_t b = 1;
+    cache.store(0, &b, 1);
+    cache.clwb(0, 1);
+    cache.sfence();
+    EXPECT_EQ(cache.storeCount(), 1u);
+    EXPECT_EQ(cache.flushCount(), 1u);
+    EXPECT_EQ(cache.fenceCount(), 1u);
+}
+
+TEST(CacheSimTest, SnapshotCapBoundsMemory)
+{
+    PmDevice dev(256);
+    CacheSim cache(dev);
+    for (uint32_t i = 0; i < 100; i++)
+        cache.store(0, &i, sizeof(i));
+    auto choices = cache.crashChoices();
+    ASSERT_EQ(choices.size(), 1u);
+    EXPECT_LE(choices[0].candidates.size(), 17u);
+}
+
+} // namespace
+} // namespace pmtest::pmem

@@ -1,0 +1,112 @@
+#include "pmem/crash_injector.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+namespace pmtest::pmem
+{
+namespace
+{
+
+TEST(CrashInjectorTest, CleanCacheYieldsSingleState)
+{
+    PmDevice dev(256);
+    CacheSim cache(dev);
+    CrashInjector injector(cache);
+    EXPECT_EQ(injector.stateCount(), 1u);
+
+    size_t visited = 0;
+    injector.enumerate([&](const std::vector<uint8_t> &image) {
+        visited++;
+        EXPECT_EQ(image, dev.image());
+    });
+    EXPECT_EQ(visited, 1u);
+}
+
+TEST(CrashInjectorTest, DirtyLineDoublesStateSpace)
+{
+    PmDevice dev(256);
+    CacheSim cache(dev);
+    uint64_t v = 42;
+    cache.store(0, &v, sizeof(v));
+
+    CrashInjector injector(cache);
+    // One dirty line with one snapshot: old content or new content.
+    EXPECT_EQ(injector.stateCount(), 2u);
+
+    std::set<uint64_t> first_words;
+    injector.enumerate([&](const std::vector<uint8_t> &image) {
+        uint64_t w;
+        std::memcpy(&w, image.data(), sizeof(w));
+        first_words.insert(w);
+    });
+    EXPECT_EQ(first_words, (std::set<uint64_t>{0, 42}));
+}
+
+TEST(CrashInjectorTest, IndependentLinesMultiply)
+{
+    PmDevice dev(512);
+    CacheSim cache(dev);
+    uint64_t v = 1;
+    cache.store(0, &v, sizeof(v));
+    cache.store(64, &v, sizeof(v));
+    cache.store(128, &v, sizeof(v));
+
+    CrashInjector injector(cache);
+    EXPECT_EQ(injector.stateCount(), 8u);
+
+    size_t visited = injector.enumerate([](const auto &) {});
+    EXPECT_EQ(visited, 8u);
+}
+
+TEST(CrashInjectorTest, EnumerationRespectsLimit)
+{
+    PmDevice dev(512);
+    CacheSim cache(dev);
+    uint64_t v = 1;
+    for (int i = 0; i < 6; i++)
+        cache.store(i * 64, &v, sizeof(v));
+
+    CrashInjector injector(cache);
+    const uint64_t visited =
+        injector.enumerate([](const auto &) {}, 10);
+    EXPECT_EQ(visited, 10u);
+}
+
+TEST(CrashInjectorTest, SampleDrawsLegalStates)
+{
+    PmDevice dev(256);
+    CacheSim cache(dev);
+    uint32_t v1 = 5, v2 = 9;
+    cache.store(0, &v1, sizeof(v1));
+    cache.store(4, &v2, sizeof(v2));
+
+    CrashInjector injector(cache);
+    Rng rng(3);
+    for (int i = 0; i < 50; i++) {
+        auto image = injector.sample(rng);
+        uint32_t a, b;
+        std::memcpy(&a, image.data(), 4);
+        std::memcpy(&b, image.data() + 4, 4);
+        // Legal contents: snapshots in order — (0,0), (5,0), (5,9).
+        const bool legal = (a == 0 && b == 0) || (a == 5 && b == 0) ||
+                           (a == 5 && b == 9);
+        EXPECT_TRUE(legal) << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(CrashInjectorTest, StateCountSaturatesAtCap)
+{
+    PmDevice dev(4096);
+    CacheSim cache(dev);
+    uint64_t v = 1;
+    for (int i = 0; i < 60; i++)
+        cache.store(i * 64, &v, sizeof(v));
+    CrashInjector injector(cache);
+    EXPECT_EQ(injector.stateCount(1000), 1000u);
+}
+
+} // namespace
+} // namespace pmtest::pmem

@@ -1,0 +1,53 @@
+#include "pmem/pm_device.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest::pmem
+{
+namespace
+{
+
+TEST(PmDeviceTest, ZeroInitialized)
+{
+    PmDevice dev(256);
+    EXPECT_EQ(dev.size(), 256u);
+    for (uint64_t i = 0; i < 256; i++)
+        EXPECT_EQ(dev.byteAt(i), 0);
+}
+
+TEST(PmDeviceTest, WriteReadRoundTrip)
+{
+    PmDevice dev(128);
+    const char data[] = "hello";
+    dev.write(10, data, sizeof(data));
+    char out[sizeof(data)] = {};
+    dev.read(10, out, sizeof(data));
+    EXPECT_STREQ(out, "hello");
+    EXPECT_EQ(dev.mediaWrites(), 1u);
+}
+
+TEST(PmDeviceTest, SetImageReplacesContent)
+{
+    PmDevice dev(64);
+    std::vector<uint8_t> image(64, 0xcd);
+    dev.setImage(image);
+    EXPECT_EQ(dev.byteAt(5), 0xcd);
+}
+
+TEST(PmDeviceDeathTest, OutOfRangeAccessPanics)
+{
+    PmDevice dev(64);
+    uint8_t b = 0;
+    EXPECT_DEATH(dev.read(60, &b, 8), "out of range");
+    EXPECT_DEATH(dev.write(65, &b, 1), "out of range");
+}
+
+TEST(PmDeviceDeathTest, SetImageSizeMismatchPanics)
+{
+    PmDevice dev(64);
+    std::vector<uint8_t> wrong(32, 0);
+    EXPECT_DEATH(dev.setImage(wrong), "mismatch");
+}
+
+} // namespace
+} // namespace pmtest::pmem

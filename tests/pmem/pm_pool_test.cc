@@ -1,0 +1,93 @@
+#include "pmem/pm_pool.hh"
+
+#include <gtest/gtest.h>
+
+#include "pmem/image_view.hh"
+
+namespace pmtest::pmem
+{
+namespace
+{
+
+TEST(PmPoolTest, AllocationsAreDisjointAndAligned)
+{
+    PmPool pool(1 << 16);
+    const uint64_t a = pool.alloc(100);
+    const uint64_t b = pool.alloc(50);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_EQ(b % 16, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(a, PmPool::kRootSize);
+}
+
+TEST(PmPoolTest, FreeCoalescesAndReuses)
+{
+    PmPool pool(1 << 16);
+    const uint64_t a = pool.alloc(64);
+    const uint64_t b = pool.alloc(64);
+    const uint64_t c = pool.alloc(64);
+    (void)c;
+    pool.free(a);
+    pool.free(b);
+    // The coalesced hole fits a 128-byte allocation at a's offset.
+    const uint64_t d = pool.alloc(128);
+    EXPECT_EQ(d, a);
+}
+
+TEST(PmPoolTest, OffsetPointerRoundTrip)
+{
+    PmPool pool(4096);
+    const uint64_t off = pool.alloc(32);
+    void *ptr = pool.at(off);
+    EXPECT_TRUE(pool.contains(ptr));
+    EXPECT_EQ(pool.offsetOf(ptr), off);
+    int outside = 0;
+    EXPECT_FALSE(pool.contains(&outside));
+}
+
+TEST(PmPoolTest, AllocatedBytesTracked)
+{
+    PmPool pool(1 << 16);
+    const uint64_t a = pool.alloc(100); // rounded to 112
+    EXPECT_EQ(pool.allocatedBytes(), 112u);
+    pool.free(a);
+    EXPECT_EQ(pool.allocatedBytes(), 0u);
+}
+
+TEST(PmPoolTest, SimulationOptional)
+{
+    PmPool plain(4096);
+    EXPECT_FALSE(plain.simulating());
+    EXPECT_EQ(plain.cache(), nullptr);
+
+    PmPool simulated(4096, true);
+    EXPECT_TRUE(simulated.simulating());
+    ASSERT_NE(simulated.cache(), nullptr);
+    EXPECT_EQ(simulated.pmDevice()->size(), 4096u);
+}
+
+TEST(PmPoolDeathTest, DoubleFreePanics)
+{
+    PmPool pool(4096);
+    const uint64_t a = pool.alloc(16);
+    pool.free(a);
+    EXPECT_DEATH(pool.free(a), "not an allocation");
+}
+
+TEST(ImageViewTest, TranslatesLivePointers)
+{
+    PmPool pool(4096, true);
+    const uint64_t off = pool.alloc(8);
+    auto *p = static_cast<uint64_t *>(pool.at(off));
+    *p = 0xdeadbeef;
+
+    std::vector<uint8_t> image(pool.base(), pool.base() + pool.size());
+    ImageView view(pool, image);
+    EXPECT_EQ(view.read<uint64_t>(p), 0xdeadbeefu);
+    EXPECT_EQ(view.readAt<uint64_t>(off), 0xdeadbeefu);
+    EXPECT_TRUE(view.contains(p));
+}
+
+} // namespace
+} // namespace pmtest::pmem

@@ -1,0 +1,201 @@
+#include "pmfs/journal.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pmtest::pmfs
+{
+namespace
+{
+
+class JournalTest : public ::testing::Test
+{
+  protected:
+    static constexpr size_t kPoolSize = 1 << 20;
+    static constexpr uint64_t kJournalOffset = 4096;
+    static constexpr uint64_t kJournalSize = 32 * 1024;
+
+    JournalTest() : pool_(kPoolSize)
+    {
+        // Minimal superblock so recoverImage can find the journal.
+        Superblock sb;
+        sb.magic = Superblock::kMagic;
+        sb.journalOffset = kJournalOffset;
+        sb.journalSize = kJournalSize;
+        std::memcpy(pool_.base(), &sb, sizeof(sb));
+        std::memset(pool_.base() + kJournalOffset, 0, kJournalSize);
+    }
+
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+
+    std::vector<uint8_t>
+    snapshot() const
+    {
+        return {pool_.base(), pool_.base() + pool_.size()};
+    }
+
+    pmem::PmPool pool_;
+};
+
+TEST_F(JournalTest, CommitRetiresTransaction)
+{
+    Journal journal(pool_, kJournalOffset, kJournalSize);
+    auto *meta = static_cast<uint64_t *>(
+        pool_.at(pool_.alloc(8)));
+    *meta = 5;
+
+    journal.beginTransaction();
+    EXPECT_TRUE(journal.open());
+    journal.addLogEntry(meta, 8);
+    *meta = 6;
+    journal.commitTransaction();
+    EXPECT_FALSE(journal.open());
+
+    auto image = snapshot();
+    EXPECT_EQ(Journal::recoverImage(image), 0u)
+        << "committed: nothing to roll back";
+}
+
+TEST_F(JournalTest, UncommittedTransactionRollsBack)
+{
+    Journal journal(pool_, kJournalOffset, kJournalSize);
+    const uint64_t meta_off = pool_.alloc(8);
+    auto *meta = static_cast<uint64_t *>(pool_.at(meta_off));
+    *meta = 5;
+
+    journal.beginTransaction();
+    journal.addLogEntry(meta, 8);
+    *meta = 6; // modified in place, crash before commit
+
+    auto image = snapshot();
+    EXPECT_GE(Journal::recoverImage(image), 1u);
+    uint64_t recovered;
+    std::memcpy(&recovered, image.data() + meta_off,
+                sizeof(recovered));
+    EXPECT_EQ(recovered, 5u);
+
+    journal.commitTransaction();
+}
+
+TEST_F(JournalTest, CommitRecordStopsRollback)
+{
+    // If the commit record persisted, recovery must NOT roll back
+    // even when the live flag is still set (crash between commit
+    // record and journal retirement).
+    Journal journal(pool_, kJournalOffset, kJournalSize);
+    const uint64_t meta_off = pool_.alloc(8);
+    auto *meta = static_cast<uint64_t *>(pool_.at(meta_off));
+    *meta = 5;
+
+    journal.beginTransaction();
+    journal.addLogEntry(meta, 8);
+    *meta = 6;
+
+    auto image = snapshot();
+    // Hand-append the commit record to the image, as the crash point
+    // right after pmfs_commit_logentry's flush.
+    JournalHeader hdr;
+    std::memcpy(&hdr, image.data() + kJournalOffset, sizeof(hdr));
+    LogEntry commit;
+    commit.genId = hdr.genId;
+    commit.type = 1;
+    std::memcpy(image.data() + kJournalOffset + sizeof(JournalHeader) +
+                    hdr.entryCount * sizeof(LogEntry),
+                &commit, sizeof(commit));
+
+    EXPECT_EQ(Journal::recoverImage(image), 0u);
+    uint64_t value;
+    std::memcpy(&value, image.data() + meta_off, sizeof(value));
+    EXPECT_EQ(value, 6u) << "new value survives";
+
+    journal.commitTransaction();
+}
+
+TEST_F(JournalTest, RedundantCommitFlushWarned)
+{
+    // The paper's new bug 1 (journal.c:632): committing flushes the
+    // already-flushed commit entry a second time.
+    ScopedLogSilencer quiet;
+    Journal journal(pool_, kJournalOffset, kJournalSize);
+    journal.faults.redundantCommitFlush = true;
+    auto *meta = static_cast<uint64_t *>(pool_.at(pool_.alloc(8)));
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    journal.beginTransaction();
+    journal.addLogEntry(meta, 8);
+    uint64_t v = 1;
+    pmStore(meta, &v, 8);
+    pmClwb(meta, 8);
+    pmSfence();
+    journal.commitTransaction();
+
+    pmtestSendTrace();
+    const auto report = pmtestResults();
+    bool redundant = false;
+    for (const auto &f : report.findings())
+        redundant |= f.kind == core::FindingKind::RedundantFlush;
+    EXPECT_TRUE(redundant) << report.str();
+}
+
+TEST_F(JournalTest, CleanCommitProducesNoFindings)
+{
+    Journal journal(pool_, kJournalOffset, kJournalSize);
+    auto *meta = static_cast<uint64_t *>(pool_.at(pool_.alloc(8)));
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    journal.beginTransaction();
+    journal.addLogEntry(meta, 8);
+    uint64_t v = 1;
+    pmStore(meta, &v, 8);
+    pmClwb(meta, 8);
+    pmSfence();
+    journal.commitTransaction();
+
+    pmtestSendTrace();
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+TEST_F(JournalTest, StaleGenerationEntriesIgnored)
+{
+    Journal journal(pool_, kJournalOffset, kJournalSize);
+    const uint64_t meta_off = pool_.alloc(8);
+    auto *meta = static_cast<uint64_t *>(pool_.at(meta_off));
+
+    // Transaction 1 commits normally.
+    *meta = 1;
+    journal.beginTransaction();
+    journal.addLogEntry(meta, 8);
+    *meta = 2;
+    journal.commitTransaction();
+
+    // Transaction 2 crashes mid-flight; its rollback must not apply
+    // generation-1 leftovers beyond its own entries.
+    journal.beginTransaction();
+    journal.addLogEntry(meta, 8); // snapshots value 2
+    *meta = 3;
+    auto image = snapshot();
+    journal.commitTransaction();
+
+    EXPECT_GE(Journal::recoverImage(image), 1u);
+    uint64_t recovered;
+    std::memcpy(&recovered, image.data() + meta_off,
+                sizeof(recovered));
+    EXPECT_EQ(recovered, 2u);
+}
+
+} // namespace
+} // namespace pmtest::pmfs

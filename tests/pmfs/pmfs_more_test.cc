@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Additional mini-PMFS behaviour: block reuse after unlink, many
+ * files, overwrites, offset writes, name limits, and inode-table
+ * exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmfs/pmfs.hh"
+
+namespace pmtest::pmfs
+{
+namespace
+{
+
+TEST(PmfsMoreTest, BlocksAreReusedAfterUnlink)
+{
+    Pmfs fs(2 << 20, false, false);
+    const std::string payload(kBlockSize * 4, 'r');
+
+    // Fill a good chunk of the volume, delete, refill — if blocks
+    // leaked this would exhaust the volume.
+    for (int round = 0; round < 20; round++) {
+        for (int i = 0; i < 8; i++) {
+            const std::string name = "f" + std::to_string(i);
+            const int ino = fs.create(name);
+            ASSERT_GE(ino, 0) << "round " << round;
+            ASSERT_GT(fs.write(ino, 0, payload.data(),
+                               payload.size()),
+                      0)
+                << "round " << round;
+        }
+        for (int i = 0; i < 8; i++)
+            ASSERT_TRUE(fs.unlink("f" + std::to_string(i)));
+    }
+    EXPECT_EQ(fs.fileCount(), 0u);
+}
+
+TEST(PmfsMoreTest, OverwriteKeepsSize)
+{
+    Pmfs fs(2 << 20, false, false);
+    const int ino = fs.create("x");
+    const std::string first(300, 'a');
+    const std::string second(100, 'b');
+    fs.write(ino, 0, first.data(), first.size());
+    fs.write(ino, 0, second.data(), second.size());
+    EXPECT_EQ(fs.fileSize(ino), first.size())
+        << "overwrite within the file does not shrink it";
+
+    std::string out(300, 0);
+    fs.read(ino, 0, out.data(), out.size());
+    EXPECT_EQ(out.substr(0, 100), second);
+    EXPECT_EQ(out.substr(100), first.substr(100));
+}
+
+TEST(PmfsMoreTest, ReadPastEofTruncates)
+{
+    Pmfs fs(2 << 20, false, false);
+    const int ino = fs.create("x");
+    const std::string payload(100, 'q');
+    fs.write(ino, 0, payload.data(), payload.size());
+
+    std::string out(500, 0);
+    EXPECT_EQ(fs.read(ino, 40, out.data(), out.size()), 60);
+    EXPECT_EQ(fs.read(ino, 100, out.data(), out.size()), 0);
+    EXPECT_EQ(fs.read(ino, 5000, out.data(), out.size()), 0);
+}
+
+TEST(PmfsMoreTest, LongNamesRejected)
+{
+    Pmfs fs(2 << 20, false, false);
+    const std::string too_long(kNameLen, 'n');
+    EXPECT_EQ(fs.create(too_long), -1);
+    const std::string ok(kNameLen - 1, 'n');
+    EXPECT_GE(fs.create(ok), 0);
+}
+
+TEST(PmfsMoreTest, InodeTableExhaustion)
+{
+    Pmfs fs(4 << 20, false, false);
+    int created = 0;
+    for (int i = 0; i < 400; i++) {
+        if (fs.create("file" + std::to_string(i)) >= 0)
+            created++;
+    }
+    EXPECT_EQ(created, 256) << "inode table capacity";
+    EXPECT_TRUE(fs.unlink("file0"));
+    EXPECT_GE(fs.create("replacement"), 0)
+        << "freed inode is reusable";
+}
+
+TEST(PmfsMoreTest, BadInodeOperationsFail)
+{
+    Pmfs fs(2 << 20, false, false);
+    char b = 0;
+    EXPECT_EQ(fs.write(-1, 0, &b, 1), -1);
+    EXPECT_EQ(fs.write(9999, 0, &b, 1), -1);
+    EXPECT_EQ(fs.read(-1, 0, &b, 1), -1);
+    EXPECT_EQ(fs.fileSize(-1), 0u);
+    const int ino = fs.create("f");
+    fs.unlink("f");
+    EXPECT_EQ(fs.write(ino, 0, &b, 1), -1) << "stale inode";
+}
+
+TEST(PmfsMoreTest, FifoBackpressureSurvivesBurst)
+{
+    // Hammer the FIFO-backed volume; producer stalls are fine, data
+    // loss is not.
+    Pmfs fs(8 << 20, false, /*use_fifo=*/true);
+    const std::string payload(600, 'z');
+    for (int i = 0; i < 64; i++) {
+        const std::string name = "b" + std::to_string(i % 4);
+        int ino = fs.lookup(name);
+        if (ino < 0)
+            ino = fs.create(name);
+        ASSERT_GT(fs.write(ino, 0, payload.data(), payload.size()),
+                  0);
+    }
+    fs.drainTraces();
+    EXPECT_EQ(fs.fileCount(), 4u);
+}
+
+} // namespace
+} // namespace pmtest::pmfs

@@ -1,0 +1,198 @@
+#include "pmfs/pmfs.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace pmtest::pmfs
+{
+namespace
+{
+
+class PmfsTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+};
+
+TEST_F(PmfsTest, CreateLookupUnlink)
+{
+    Pmfs fs(4 << 20, false, false);
+    EXPECT_EQ(fs.lookup("a"), -1);
+    const int ino = fs.create("a");
+    EXPECT_GE(ino, 0);
+    EXPECT_EQ(fs.lookup("a"), ino);
+    EXPECT_EQ(fs.create("a"), -1) << "duplicate names rejected";
+    EXPECT_EQ(fs.fileCount(), 1u);
+    EXPECT_TRUE(fs.unlink("a"));
+    EXPECT_EQ(fs.lookup("a"), -1);
+    EXPECT_FALSE(fs.unlink("a"));
+    EXPECT_EQ(fs.fileCount(), 0u);
+}
+
+TEST_F(PmfsTest, WriteReadRoundTrip)
+{
+    Pmfs fs(4 << 20, false, false);
+    const int ino = fs.create("data");
+    const std::string payload = "the quick brown fox";
+    EXPECT_EQ(fs.write(ino, 0, payload.data(), payload.size()),
+              static_cast<long>(payload.size()));
+    EXPECT_EQ(fs.fileSize(ino), payload.size());
+
+    std::string out(payload.size(), 0);
+    EXPECT_EQ(fs.read(ino, 0, out.data(), out.size()),
+              static_cast<long>(payload.size()));
+    EXPECT_EQ(out, payload);
+}
+
+TEST_F(PmfsTest, WriteAcrossBlockBoundaries)
+{
+    Pmfs fs(4 << 20, false, false);
+    const int ino = fs.create("big");
+    std::string payload(kBlockSize * 3 + 100, 'q');
+    for (size_t i = 0; i < payload.size(); i++)
+        payload[i] = static_cast<char>('a' + i % 26);
+
+    EXPECT_EQ(fs.write(ino, 0, payload.data(), payload.size()),
+              static_cast<long>(payload.size()));
+    std::string out(payload.size(), 0);
+    EXPECT_EQ(fs.read(ino, 0, out.data(), out.size()),
+              static_cast<long>(payload.size()));
+    EXPECT_EQ(out, payload);
+}
+
+TEST_F(PmfsTest, SparseWriteReadsHolesAsZero)
+{
+    Pmfs fs(4 << 20, false, false);
+    const int ino = fs.create("sparse");
+    const std::string payload = "end";
+    // Write into the third block only.
+    fs.write(ino, kBlockSize * 2, payload.data(), payload.size());
+    std::vector<char> out(kBlockSize, 1);
+    fs.read(ino, 0, out.data(), out.size());
+    for (char c : out)
+        EXPECT_EQ(c, 0);
+}
+
+TEST_F(PmfsTest, MaxFileSizeEnforced)
+{
+    Pmfs fs(4 << 20, false, false);
+    const int ino = fs.create("cap");
+    const char b = 'x';
+    EXPECT_EQ(fs.write(ino, kDirectBlocks * kBlockSize, &b, 1), -1);
+    EXPECT_GT(fs.write(ino, kDirectBlocks * kBlockSize - 1, &b, 1), 0);
+}
+
+TEST_F(PmfsTest, TracesFlowThroughKernelFifo)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    Pmfs fs(4 << 20, false, /*use_fifo=*/true);
+    const int ino = fs.create("f");
+    const std::string payload(128, 'z');
+    fs.write(ino, 0, payload.data(), payload.size());
+
+    fs.drainTraces();
+    EXPECT_GT(pmtestTracesSubmitted(), 0u);
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+    pmtestEnd();
+    pmtestExit();
+}
+
+TEST_F(PmfsTest, CleanOperationsYieldNoFindings)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    Pmfs fs(4 << 20, false, false);
+    fs.emitCheckers = true;
+    const std::string payload(600, 'p');
+    for (int i = 0; i < 8; i++) {
+        const std::string name = "file" + std::to_string(i);
+        const int ino = fs.create(name);
+        fs.write(ino, 0, payload.data(), payload.size());
+    }
+    fs.unlink("file3");
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+    pmtestEnd();
+    pmtestExit();
+}
+
+TEST_F(PmfsTest, DoubleFlushXipBugDetected)
+{
+    ScopedLogSilencer quiet;
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    Pmfs fs(4 << 20, false, false);
+    fs.faults.doubleFlushXip = true;
+    const int ino = fs.create("f");
+    const std::string payload(64, 'z');
+    fs.write(ino, 0, payload.data(), payload.size());
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    bool redundant = false;
+    for (const auto &f : report.findings())
+        redundant |= f.kind == core::FindingKind::RedundantFlush;
+    EXPECT_TRUE(redundant) << report.str();
+    pmtestEnd();
+    pmtestExit();
+}
+
+TEST_F(PmfsTest, FlushUnmappedBufferDetected)
+{
+    ScopedLogSilencer quiet;
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    Pmfs fs(4 << 20, false, false);
+    fs.faults.flushUnmapped = true;
+    const int ino = fs.create("f");
+    const std::string payload(64, 'z');
+    fs.write(ino, 0, payload.data(), payload.size());
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    bool unnecessary = false;
+    for (const auto &f : report.findings())
+        unnecessary |= f.kind == core::FindingKind::UnnecessaryFlush;
+    EXPECT_TRUE(unnecessary) << report.str();
+    pmtestEnd();
+    pmtestExit();
+}
+
+TEST_F(PmfsTest, CrashRecoveryRollsBackMetadata)
+{
+    Pmfs fs(4 << 20, false, false);
+    const int ino = fs.create("victim");
+    ASSERT_GE(ino, 0);
+
+    // Crash mid-unlink: journal open, inode cleared in place.
+    fs.journal().beginTransaction();
+    // Emulate the unlink body manually so the journal stays open.
+    // (The public unlink() always commits.)
+    auto &pool = fs.pmPool();
+    std::vector<uint8_t> image(pool.base(),
+                               pool.base() + pool.size());
+    fs.journal().commitTransaction();
+
+    EXPECT_EQ(Pmfs::recoverImage(image), 0u)
+        << "no entries were logged before the crash";
+}
+
+} // namespace
+} // namespace pmtest::pmfs

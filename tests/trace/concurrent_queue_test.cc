@@ -1,0 +1,84 @@
+#include "trace/concurrent_queue.hh"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pmtest
+{
+namespace
+{
+
+TEST(ConcurrentQueueTest, FifoOrder)
+{
+    ConcurrentQueue<int> q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(ConcurrentQueueTest, TryPopEmpty)
+{
+    ConcurrentQueue<int> q;
+    EXPECT_FALSE(q.tryPop().has_value());
+    q.push(5);
+    EXPECT_EQ(q.tryPop().value(), 5);
+}
+
+TEST(ConcurrentQueueTest, CloseDrainsThenReturnsNullopt)
+{
+    ConcurrentQueue<int> q;
+    q.push(1);
+    q.close();
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ConcurrentQueueTest, PopBlocksUntilPush)
+{
+    ConcurrentQueue<int> q;
+    std::thread producer([&] { q.push(42); });
+    EXPECT_EQ(q.pop().value(), 42);
+    producer.join();
+}
+
+TEST(ConcurrentQueueTest, MultiProducerAllItemsArrive)
+{
+    ConcurrentQueue<int> q;
+    constexpr int kPerThread = 100;
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 4; t++) {
+        producers.emplace_back([&q, t] {
+            for (int i = 0; i < kPerThread; i++)
+                q.push(t * kPerThread + i);
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+
+    std::vector<bool> seen(4 * kPerThread, false);
+    for (int i = 0; i < 4 * kPerThread; i++) {
+        auto v = q.pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_FALSE(seen[*v]);
+        seen[*v] = true;
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentQueueTest, ReopenAfterClose)
+{
+    ConcurrentQueue<int> q;
+    q.close();
+    EXPECT_FALSE(q.pop().has_value());
+    q.reopen();
+    q.push(7);
+    EXPECT_EQ(q.pop().value(), 7);
+}
+
+} // namespace
+} // namespace pmtest

@@ -1,0 +1,89 @@
+#include "trace/kernel_fifo.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace pmtest
+{
+namespace
+{
+
+Trace
+makeTrace(uint64_t id)
+{
+    Trace t(id, 0);
+    t.append(PmOp::sfence());
+    return t;
+}
+
+TEST(KernelFifoTest, PushPopRoundTrip)
+{
+    KernelFifo fifo(8);
+    EXPECT_TRUE(fifo.push(makeTrace(1)));
+    EXPECT_TRUE(fifo.push(makeTrace(2)));
+    EXPECT_EQ(fifo.pop()->id(), 1u);
+    EXPECT_EQ(fifo.pop()->id(), 2u);
+}
+
+TEST(KernelFifoTest, DefaultCapacityMatchesPaper)
+{
+    KernelFifo fifo;
+    EXPECT_EQ(fifo.capacity(), 1024u);
+}
+
+TEST(KernelFifoTest, ProducerBlocksWhenFullAndResumesBelowHalf)
+{
+    KernelFifo fifo(4);
+    for (uint64_t i = 0; i < 4; i++)
+        EXPECT_TRUE(fifo.push(makeTrace(i)));
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(fifo.push(makeTrace(99)));
+        pushed = true;
+    });
+
+    // Let the producer reach the full FIFO and park itself.
+    while (fifo.producerStalls() == 0)
+        std::this_thread::yield();
+
+    // One pop leaves 3 >= capacity/2, so the producer stays parked.
+    EXPECT_TRUE(fifo.pop().has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(pushed.load());
+
+    // Dropping below half (< 2) wakes the producer.
+    EXPECT_TRUE(fifo.pop().has_value());
+    EXPECT_TRUE(fifo.pop().has_value());
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_GE(fifo.producerStalls(), 1u);
+}
+
+TEST(KernelFifoTest, ShutdownWakesProducerWithFailure)
+{
+    KernelFifo fifo(2);
+    EXPECT_TRUE(fifo.push(makeTrace(1)));
+    EXPECT_TRUE(fifo.push(makeTrace(2)));
+
+    std::atomic<bool> result{true};
+    std::thread producer([&] { result = fifo.push(makeTrace(3)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fifo.shutdown();
+    producer.join();
+    EXPECT_FALSE(result.load());
+}
+
+TEST(KernelFifoTest, ShutdownDrainsConsumers)
+{
+    KernelFifo fifo(4);
+    EXPECT_TRUE(fifo.push(makeTrace(5)));
+    fifo.shutdown();
+    EXPECT_EQ(fifo.pop()->id(), 5u);
+    EXPECT_FALSE(fifo.pop().has_value());
+}
+
+} // namespace
+} // namespace pmtest

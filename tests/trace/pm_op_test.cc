@@ -1,0 +1,66 @@
+#include "trace/pm_op.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest
+{
+namespace
+{
+
+TEST(PmOpTest, FactoryBuildersSetFields)
+{
+    const PmOp w = PmOp::write(0x100, 64);
+    EXPECT_EQ(w.type, OpType::Write);
+    EXPECT_EQ(w.addr, 0x100u);
+    EXPECT_EQ(w.size, 64u);
+
+    const PmOp c = PmOp::clwb(0x140, 8);
+    EXPECT_EQ(c.type, OpType::Clwb);
+
+    const PmOp f = PmOp::sfence();
+    EXPECT_EQ(f.type, OpType::Sfence);
+    EXPECT_EQ(f.addr, 0u);
+
+    const PmOp o = PmOp::isOrderedBefore(0x10, 64, 0x50, 64);
+    EXPECT_EQ(o.type, OpType::CheckIsOrderedBefore);
+    EXPECT_EQ(o.addrB, 0x50u);
+    EXPECT_EQ(o.sizeB, 64u);
+}
+
+TEST(PmOpTest, CheckerClassification)
+{
+    EXPECT_TRUE(isCheckerOp(OpType::CheckIsPersist));
+    EXPECT_TRUE(isCheckerOp(OpType::CheckIsOrderedBefore));
+    EXPECT_TRUE(isCheckerOp(OpType::TxCheckStart));
+    EXPECT_TRUE(isCheckerOp(OpType::TxCheckEnd));
+    EXPECT_FALSE(isCheckerOp(OpType::Write));
+    EXPECT_FALSE(isCheckerOp(OpType::Sfence));
+    EXPECT_FALSE(isCheckerOp(OpType::TxAdd));
+}
+
+TEST(PmOpTest, NamesAreDistinct)
+{
+    EXPECT_STREQ(opTypeName(OpType::Write), "write");
+    EXPECT_STREQ(opTypeName(OpType::Clwb), "clwb");
+    EXPECT_STREQ(opTypeName(OpType::Sfence), "sfence");
+    EXPECT_STREQ(opTypeName(OpType::Ofence), "ofence");
+    EXPECT_STREQ(opTypeName(OpType::Dfence), "dfence");
+}
+
+TEST(PmOpTest, StrIncludesAddressAndSize)
+{
+    const PmOp w = PmOp::write(0x10, 64);
+    EXPECT_EQ(w.str(), "write(0x10,64)");
+    EXPECT_EQ(PmOp::sfence().str(), "sfence()");
+}
+
+TEST(PmOpTest, SourceLocationCarried)
+{
+    const PmOp w = PmOp::write(0x10, 64, SourceLocation("f.cc", 42));
+    EXPECT_TRUE(w.loc.valid());
+    EXPECT_EQ(w.loc.str(), "f.cc:42");
+    EXPECT_FALSE(PmOp::write(0, 1).loc.valid());
+}
+
+} // namespace
+} // namespace pmtest

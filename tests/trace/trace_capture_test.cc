@@ -1,0 +1,57 @@
+#include "trace/trace_capture.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest
+{
+namespace
+{
+
+TEST(TraceCaptureTest, DisabledByDefault)
+{
+    TraceCapture cap(1);
+    cap.record(PmOp::write(0x10, 8));
+    EXPECT_EQ(cap.pendingOps(), 0u);
+}
+
+TEST(TraceCaptureTest, RecordsWhileEnabled)
+{
+    TraceCapture cap(1);
+    cap.start();
+    cap.record(PmOp::write(0x10, 8));
+    cap.record(PmOp::sfence());
+    EXPECT_EQ(cap.pendingOps(), 2u);
+    cap.stop();
+    cap.record(PmOp::sfence());
+    EXPECT_EQ(cap.pendingOps(), 2u);
+}
+
+TEST(TraceCaptureTest, SealStartsFreshBuffer)
+{
+    TraceCapture cap(4);
+    cap.start();
+    cap.record(PmOp::write(0x10, 8));
+    Trace first = cap.seal();
+    EXPECT_EQ(first.size(), 1u);
+    EXPECT_EQ(first.threadId(), 4u);
+    EXPECT_EQ(cap.pendingOps(), 0u);
+
+    cap.record(PmOp::sfence());
+    Trace second = cap.seal();
+    EXPECT_EQ(second.size(), 1u);
+    EXPECT_NE(first.id(), second.id());
+}
+
+TEST(TraceCaptureTest, SealedTraceIdsMonotonic)
+{
+    TraceCapture cap(0);
+    cap.start();
+    cap.record(PmOp::sfence());
+    const uint64_t id1 = cap.seal().id();
+    cap.record(PmOp::sfence());
+    const uint64_t id2 = cap.seal().id();
+    EXPECT_LT(id1, id2);
+}
+
+} // namespace
+} // namespace pmtest

@@ -1,0 +1,109 @@
+#include "trace/trace_io.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pmtest
+{
+namespace
+{
+
+Trace
+sampleTrace(uint64_t id)
+{
+    Trace t(id, 3);
+    t.append(PmOp::write(0x100, 64, SourceLocation("a.cc", 10)));
+    t.append(PmOp::clwb(0x100, 64, SourceLocation("a.cc", 11)));
+    t.append(PmOp::sfence(SourceLocation("b.cc", 20)));
+    t.append(PmOp::isOrderedBefore(0x100, 64, 0x200, 32,
+                                   SourceLocation("a.cc", 12)));
+    t.append(PmOp{OpType::TxAdd, 0x300, 16, 0, 0, {}}); // no loc
+    return t;
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything)
+{
+    std::vector<Trace> traces{sampleTrace(7), sampleTrace(8)};
+    std::stringstream stream;
+    const size_t bytes = saveTraces(stream, traces);
+    EXPECT_GT(bytes, 0u);
+
+    bool ok = false;
+    const auto loaded = loadTraces(stream, &ok);
+    ASSERT_TRUE(ok);
+    ASSERT_EQ(loaded.traces.size(), 2u);
+
+    for (size_t t = 0; t < 2; t++) {
+        const Trace &orig = traces[t];
+        const Trace &got = loaded.traces[t];
+        EXPECT_EQ(got.id(), orig.id());
+        EXPECT_EQ(got.threadId(), orig.threadId());
+        ASSERT_EQ(got.size(), orig.size());
+        for (size_t i = 0; i < orig.size(); i++) {
+            const PmOp &a = orig.ops()[i];
+            const PmOp &b = got.ops()[i];
+            EXPECT_EQ(a.type, b.type) << "op " << i;
+            EXPECT_EQ(a.addr, b.addr);
+            EXPECT_EQ(a.size, b.size);
+            EXPECT_EQ(a.addrB, b.addrB);
+            EXPECT_EQ(a.sizeB, b.sizeB);
+            EXPECT_EQ(a.loc.valid(), b.loc.valid());
+            if (a.loc.valid()) {
+                EXPECT_EQ(a.loc.str(), b.loc.str()) << "op " << i;
+            }
+        }
+    }
+}
+
+TEST(TraceIoTest, EmptyTraceListRoundTrips)
+{
+    std::stringstream stream;
+    saveTraces(stream, {});
+    bool ok = false;
+    const auto loaded = loadTraces(stream, &ok);
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(loaded.traces.empty());
+}
+
+TEST(TraceIoTest, GarbageInputRejected)
+{
+    std::stringstream stream("this is not a trace file at all");
+    bool ok = true;
+    const auto loaded = loadTraces(stream, &ok);
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(loaded.traces.empty());
+}
+
+TEST(TraceIoTest, TruncatedInputRejected)
+{
+    std::stringstream full;
+    saveTraces(full, {sampleTrace(1)});
+    const std::string bytes = full.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    bool ok = true;
+    loadTraces(truncated, &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(TraceIoTest, FileRoundTrip)
+{
+    const std::string path = "/tmp/pmtest_trace_io_test.bin";
+    ASSERT_TRUE(saveTracesToFile(path, {sampleTrace(42)}));
+    bool ok = false;
+    const auto loaded = loadTracesFromFile(path, &ok);
+    ASSERT_TRUE(ok);
+    ASSERT_EQ(loaded.traces.size(), 1u);
+    EXPECT_EQ(loaded.traces[0].id(), 42u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileReported)
+{
+    bool ok = true;
+    loadTracesFromFile("/nonexistent/nowhere.bin", &ok);
+    EXPECT_FALSE(ok);
+}
+
+} // namespace
+} // namespace pmtest

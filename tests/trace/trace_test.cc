@@ -1,0 +1,51 @@
+#include "trace/trace.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest
+{
+namespace
+{
+
+TEST(TraceTest, AppendPreservesProgramOrder)
+{
+    Trace t(7, 3);
+    t.append(PmOp::write(0x10, 64));
+    t.append(PmOp::clwb(0x10, 64));
+    t.append(PmOp::sfence());
+
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.ops()[0].type, OpType::Write);
+    EXPECT_EQ(t.ops()[1].type, OpType::Clwb);
+    EXPECT_EQ(t.ops()[2].type, OpType::Sfence);
+    EXPECT_EQ(t.id(), 7u);
+    EXPECT_EQ(t.threadId(), 3u);
+}
+
+TEST(TraceTest, BulkAppend)
+{
+    Trace t;
+    t.append({PmOp::write(0, 8), PmOp::write(8, 8)});
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TraceTest, ClearKeepsIdentity)
+{
+    Trace t(9, 1);
+    t.append(PmOp::sfence());
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.id(), 9u);
+}
+
+TEST(TraceTest, StrListsOps)
+{
+    Trace t(1, 0);
+    t.append(PmOp::write(0x10, 64));
+    const std::string s = t.str();
+    EXPECT_NE(s.find("write(0x10,64)"), std::string::npos);
+    EXPECT_NE(s.find("trace #1"), std::string::npos);
+}
+
+} // namespace
+} // namespace pmtest

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A subtle x86 persistency fact, pinned as a test: skipping the fence
+ * between the commit flushes and the log retirement is NOT detectable
+ * as a durability bug, because sfence is global — the retirement's
+ * own fence completes the data writebacks too. (It is still an
+ * ordering hazard between data and log-retire, which undo logging
+ * tolerates: recovery of a retired log is a no-op.) This documents
+ * why the Table 5 completion class uses skipCommitFlush, not
+ * skipCommitFence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "txlib/obj_pool.hh"
+
+namespace pmtest::txlib
+{
+namespace
+{
+
+class CommitFenceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+};
+
+TEST_F(CommitFenceTest, SkippedCommitFenceIsMaskedByRetireFence)
+{
+    ObjPool pool(1 << 20);
+    pool.bugs.skipCommitFence = true;
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    PMTEST_TX_CHECKER_START();
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txAssign<uint64_t>(x, 3);
+    pool.txCommit();
+    PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.passed())
+        << "the log-retire sfence completes the data writebacks: "
+        << report.str();
+}
+
+TEST_F(CommitFenceTest, SkippedCommitFlushIsNotMasked)
+{
+    // The contrast: without the writebacks there is nothing for the
+    // retire fence to complete, so the bug is visible.
+    ObjPool pool(1 << 20);
+    pool.bugs.skipCommitFlush = true;
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    PMTEST_TX_CHECKER_START();
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txAssign<uint64_t>(x, 3);
+    pool.txCommit();
+    PMTEST_TX_CHECKER_END();
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_FALSE(report.passed());
+}
+
+} // namespace
+} // namespace pmtest::txlib

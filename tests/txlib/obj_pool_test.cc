@@ -1,0 +1,272 @@
+#include "txlib/obj_pool.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest::txlib
+{
+namespace
+{
+
+class ObjPoolTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+
+    /** Start PMTest so library traces are checked. */
+    void
+    startPmtest()
+    {
+        pmtestInit(Config{});
+        pmtestThreadInit();
+        pmtestStart();
+    }
+
+    core::Report
+    finishPmtest()
+    {
+        pmtestSendTrace();
+        auto report = pmtestResults();
+        pmtestEnd();
+        pmtestExit();
+        return report;
+    }
+};
+
+TEST_F(ObjPoolTest, RootObjectIsStableAndZeroed)
+{
+    ObjPool pool(1 << 20);
+    struct R { uint64_t a, b; };
+    R *r1 = pool.root<R>();
+    EXPECT_EQ(r1->a, 0u);
+    EXPECT_EQ(r1->b, 0u);
+    r1->a = 5;
+    R *r2 = pool.root<R>();
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(r2->a, 5u);
+}
+
+TEST_F(ObjPoolTest, CommittedTransactionPersistsInPlace)
+{
+    ObjPool pool(1 << 20);
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+    *x = 1;
+
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txAssign<uint64_t>(x, 42);
+    pool.txCommit();
+    EXPECT_EQ(*x, 42u);
+}
+
+TEST_F(ObjPoolTest, TransactionTracePassesCheckers)
+{
+    // A correct transaction produces no findings under PMTest,
+    // including with the TX checkers wrapped around it.
+    ObjPool pool(1 << 20);
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+
+    startPmtest();
+    PMTEST_TX_CHECKER_START();
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txAssign<uint64_t>(x, 42);
+    pool.txCommit();
+    PMTEST_TX_CHECKER_END();
+    const auto report = finishPmtest();
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+TEST_F(ObjPoolTest, MissingTxAddDetected)
+{
+    ObjPool pool(1 << 20);
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+
+    startPmtest();
+    pool.txBegin();
+    pool.txAssign<uint64_t>(x, 42); // no txAdd: bug
+    pool.txCommit();
+    const auto report = finishPmtest();
+    EXPECT_GE(report.failCount(), 1u);
+    EXPECT_EQ(report.findings()[0].kind, core::FindingKind::MissingLog);
+}
+
+TEST_F(ObjPoolTest, TxAllocCoversFreshObjects)
+{
+    ObjPool pool(1 << 20);
+
+    startPmtest();
+    pool.txBegin();
+    auto *fresh = pool.txAlloc<uint64_t>();
+    pool.txAssign<uint64_t>(fresh, 7); // no explicit txAdd needed
+    pool.txCommit();
+    const auto report = finishPmtest();
+    EXPECT_TRUE(report.passed()) << report.str();
+}
+
+TEST_F(ObjPoolTest, TxAddDedupSkipsSecondSnapshot)
+{
+    ObjPool pool(1 << 20);
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+
+    startPmtest();
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txAdd(x, 8); // deduplicated: no WARN
+    pool.txAssign<uint64_t>(x, 1);
+    pool.txCommit();
+    const auto report = finishPmtest();
+    EXPECT_EQ(report.warnCount(), 0u) << report.str();
+}
+
+TEST_F(ObjPoolTest, TxAddDupModelsHistoricalDoubleLog)
+{
+    ObjPool pool(1 << 20);
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+
+    startPmtest();
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txAddDup(x, 8); // forced duplicate: WARN
+    pool.txAssign<uint64_t>(x, 1);
+    pool.txCommit();
+    const auto report = finishPmtest();
+    EXPECT_EQ(report.warnCount(), 1u);
+    EXPECT_EQ(report.findings()[0].kind,
+              core::FindingKind::DuplicateLog);
+}
+
+TEST_F(ObjPoolTest, NestedTransactionPersistsAtOutermostEnd)
+{
+    // §7.1: updates are only guaranteed persistent when the
+    // *outermost* transaction ends. A TX checker around the inner
+    // transaction FAILs; around the outer transaction it passes.
+    ObjPool pool(1 << 20);
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+
+    startPmtest();
+    PMTEST_TX_CHECKER_START();
+    pool.txBegin(); // outer
+    pool.txAdd(x, 8);
+    pool.txBegin(); // inner
+    pool.txAssign<uint64_t>(x, 9);
+    pool.txCommit(); // inner end: nothing flushed yet
+    pool.txCommit(); // outer end: flush + fence
+    PMTEST_TX_CHECKER_END();
+    const auto outer_report = finishPmtest();
+    EXPECT_TRUE(outer_report.passed()) << outer_report.str();
+
+    startPmtest();
+    PMTEST_TX_CHECKER_START();
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txBegin();
+    pool.txAssign<uint64_t>(x, 10);
+    pool.txCommit();
+    PMTEST_TX_CHECKER_END(); // inner checker: updates NOT persistent
+    pool.txCommit();
+    const auto inner_report = finishPmtest();
+    EXPECT_GE(inner_report.failCount(), 1u);
+}
+
+TEST_F(ObjPoolTest, SkipCommitFlushBugDetected)
+{
+    ObjPool pool(1 << 20);
+    pool.bugs.skipCommitFlush = true;
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+
+    startPmtest();
+    PMTEST_TX_CHECKER_START();
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txAssign<uint64_t>(x, 42);
+    pool.txCommit();
+    PMTEST_TX_CHECKER_END();
+    const auto report = finishPmtest();
+    EXPECT_GE(report.failCount(), 1u);
+    bool incomplete = false;
+    for (const auto &f : report.findings())
+        incomplete |= f.kind == core::FindingKind::IncompleteTx;
+    EXPECT_TRUE(incomplete) << report.str();
+}
+
+TEST_F(ObjPoolTest, RecoveryRollsBackInterruptedTransaction)
+{
+    ObjPool pool(1 << 20);
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+    *x = 11;
+
+    // Simulate a crash mid-transaction: snapshot, modify, then take
+    // the image WITHOUT committing.
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txAssign<uint64_t>(x, 99);
+
+    std::vector<uint8_t> image(pool.pmPool().base(),
+                               pool.pmPool().base() +
+                                   pool.pmPool().size());
+    EXPECT_TRUE(imageLogValid(image));
+    const size_t applied = recoverImage(image);
+    EXPECT_GE(applied, 1u);
+
+    uint64_t recovered;
+    std::memcpy(&recovered,
+                image.data() + pool.pmPool().offsetOf(x),
+                sizeof(recovered));
+    EXPECT_EQ(recovered, 11u) << "rolled back to the snapshot";
+    EXPECT_FALSE(imageLogValid(image)) << "recovery is idempotent";
+
+    pool.txCommit();
+}
+
+TEST_F(ObjPoolTest, RecoveryAfterCommitIsNoOp)
+{
+    ObjPool pool(1 << 20);
+    auto *x = static_cast<uint64_t *>(pool.allocRaw(8));
+    *x = 11;
+
+    pool.txBegin();
+    pool.txAdd(x, 8);
+    pool.txAssign<uint64_t>(x, 99);
+    pool.txCommit();
+
+    std::vector<uint8_t> image(pool.pmPool().base(),
+                               pool.pmPool().base() +
+                                   pool.pmPool().size());
+    EXPECT_FALSE(imageLogValid(image));
+    EXPECT_EQ(recoverImage(image), 0u);
+
+    uint64_t value;
+    std::memcpy(&value, image.data() + pool.pmPool().offsetOf(x),
+                sizeof(value));
+    EXPECT_EQ(value, 99u);
+}
+
+TEST_F(ObjPoolTest, LargeTxAddSplitsAcrossEntries)
+{
+    ObjPool pool(1 << 20);
+    constexpr size_t kBig = 1000; // > LogEntry::kMaxData
+    auto *buf = static_cast<uint8_t *>(pool.allocRaw(kBig));
+    std::memset(buf, 0x11, kBig);
+
+    pool.txBegin();
+    pool.txAdd(buf, kBig);
+    std::vector<uint8_t> updated(kBig, 0x22);
+    pool.txWrite(buf, updated.data(), kBig);
+
+    std::vector<uint8_t> image(pool.pmPool().base(),
+                               pool.pmPool().base() +
+                                   pool.pmPool().size());
+    recoverImage(image);
+    for (size_t i = 0; i < kBig; i++) {
+        ASSERT_EQ(image[pool.pmPool().offsetOf(buf) + i], 0x11)
+            << "byte " << i;
+    }
+    pool.txCommit();
+}
+
+} // namespace
+} // namespace pmtest::txlib

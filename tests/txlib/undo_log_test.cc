@@ -1,0 +1,123 @@
+#include "txlib/undo_log.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pmtest::txlib
+{
+namespace
+{
+
+/** Hand-build a minimal pool image with a log. */
+class UndoLogImageTest : public ::testing::Test
+{
+  protected:
+    static constexpr size_t kImageSize = 64 * 1024;
+    static constexpr uint64_t kLogOffset = 2048;
+    static constexpr uint64_t kLogSize = 16 * 1024;
+
+    void
+    SetUp() override
+    {
+        image_.assign(kImageSize, 0);
+        PoolHeader header;
+        header.magic = PoolHeader::kMagic;
+        header.logOffset = kLogOffset;
+        header.logSize = kLogSize;
+        std::memcpy(image_.data(), &header, sizeof(header));
+    }
+
+    void
+    setLogHeader(uint64_t valid, uint64_t count)
+    {
+        LogHeader log;
+        log.valid = valid;
+        log.entryCount = count;
+        std::memcpy(image_.data() + kLogOffset, &log, sizeof(log));
+    }
+
+    void
+    setEntry(uint64_t index, uint64_t kind, uint64_t offset,
+             uint64_t size, uint8_t fill)
+    {
+        LogEntry entry;
+        entry.kind = kind;
+        entry.offset = offset;
+        entry.size = size;
+        std::memset(entry.data, fill, std::min(size, LogEntry::kMaxData));
+        std::memcpy(image_.data() + kLogOffset + logEntryOffset(index),
+                    &entry, sizeof(entry));
+    }
+
+    std::vector<uint8_t> image_;
+};
+
+TEST_F(UndoLogImageTest, InvalidMagicIsIgnored)
+{
+    image_[0] ^= 0xff;
+    setLogHeader(1, 1);
+    EXPECT_FALSE(imageLogValid(image_));
+    EXPECT_EQ(recoverImage(image_), 0u);
+}
+
+TEST_F(UndoLogImageTest, CleanLogNeedsNoRecovery)
+{
+    setLogHeader(0, 0);
+    EXPECT_FALSE(imageLogValid(image_));
+    EXPECT_EQ(recoverImage(image_), 0u);
+}
+
+TEST_F(UndoLogImageTest, SnapshotsAppliedInReverse)
+{
+    // Two snapshots of the same location: the older one (entry 0)
+    // must win, restoring pre-transaction data.
+    constexpr uint64_t kTarget = 32 * 1024;
+    setLogHeader(1, 2);
+    setEntry(0, LogEntry::Snapshot, kTarget, 8, 0xAA); // oldest
+    setEntry(1, LogEntry::Snapshot, kTarget, 8, 0xBB);
+    std::memset(image_.data() + kTarget, 0xCC, 8); // current (dirty)
+
+    EXPECT_EQ(recoverImage(image_), 2u);
+    EXPECT_EQ(image_[kTarget], 0xAA);
+    EXPECT_FALSE(imageLogValid(image_));
+}
+
+TEST_F(UndoLogImageTest, AllocEntriesAreSkipped)
+{
+    constexpr uint64_t kTarget = 32 * 1024;
+    setLogHeader(1, 1);
+    setEntry(0, LogEntry::Alloc, kTarget, 8, 0x00);
+    std::memset(image_.data() + kTarget, 0xCC, 8);
+
+    EXPECT_EQ(recoverImage(image_), 0u);
+    EXPECT_EQ(image_[kTarget], 0xCC) << "alloc entries restore nothing";
+}
+
+TEST_F(UndoLogImageTest, TornEntryIsSkipped)
+{
+    // An entry whose size field is corrupt must not be applied.
+    setLogHeader(1, 1);
+    setEntry(0, LogEntry::Snapshot, 32 * 1024,
+             LogEntry::kMaxData + 999, 0xAA);
+    EXPECT_EQ(recoverImage(image_), 0u);
+}
+
+TEST_F(UndoLogImageTest, OutOfBoundsTargetIsSkipped)
+{
+    setLogHeader(1, 1);
+    setEntry(0, LogEntry::Snapshot, kImageSize - 4, 8, 0xAA);
+    EXPECT_EQ(recoverImage(image_), 0u);
+}
+
+TEST(UndoLogLayoutTest, CapacityMath)
+{
+    const uint64_t cap = logCapacity(1 << 20);
+    EXPECT_GT(cap, 3000u);
+    EXPECT_EQ(logEntryOffset(0), sizeof(LogHeader));
+    EXPECT_EQ(logEntryOffset(2),
+              sizeof(LogHeader) + 2 * sizeof(LogEntry));
+}
+
+} // namespace
+} // namespace pmtest::txlib

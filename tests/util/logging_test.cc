@@ -1,0 +1,37 @@
+#include "util/logging.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest
+{
+namespace
+{
+
+TEST(LoggingTest, ThresholdRoundTrip)
+{
+    const LogLevel before = logThreshold();
+    setLogThreshold(LogLevel::Error);
+    EXPECT_EQ(logThreshold(), LogLevel::Error);
+    setLogThreshold(before);
+}
+
+TEST(LoggingTest, SilencerRestoresThreshold)
+{
+    const LogLevel before = setLogThreshold(LogLevel::Info);
+    {
+        ScopedLogSilencer quiet;
+        EXPECT_EQ(logThreshold(), LogLevel::None);
+    }
+    EXPECT_EQ(logThreshold(), LogLevel::Info);
+    setLogThreshold(before);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash)
+{
+    ScopedLogSilencer quiet;
+    inform("should be dropped");
+    warn("should be dropped");
+}
+
+} // namespace
+} // namespace pmtest

@@ -1,0 +1,79 @@
+#include "util/random.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmtest
+{
+namespace
+{
+
+TEST(RngTest, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; i++) {
+        const uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values hit eventually
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; i++) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(rng.chance(0, 100));
+        EXPECT_TRUE(rng.chance(100, 100));
+    }
+}
+
+TEST(RngTest, KeyLengthAndCharset)
+{
+    Rng rng(17);
+    const std::string k = rng.key(12);
+    EXPECT_EQ(k.size(), 12u);
+    for (char c : k) {
+        EXPECT_GE(c, 'a');
+        EXPECT_LE(c, 'z');
+    }
+}
+
+} // namespace
+} // namespace pmtest

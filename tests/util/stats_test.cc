@@ -1,0 +1,61 @@
+#include "util/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace pmtest
+{
+namespace
+{
+
+TEST(StatsTest, EmptyReturnsZeros)
+{
+    Stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.geomean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(StatsTest, MeanMinMax)
+{
+    Stats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(StatsTest, Geomean)
+{
+    Stats s;
+    s.add(2.0);
+    s.add(8.0);
+    EXPECT_NEAR(s.geomean(), 4.0, 1e-9);
+}
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"long-name", "22"});
+    const std::string out = t.str();
+    // All rows should be present, header first.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Header appears before data.
+    EXPECT_LT(out.find("name"), out.find("long-name"));
+}
+
+TEST(FmtDoubleTest, Precision)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace pmtest

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The load-generating clients: deterministic from their seed, with
+ * the op mixes Table 4 prescribes, and runnable against their
+ * servers without findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/api.hh"
+#include "workloads/clients.hh"
+
+namespace pmtest::workloads
+{
+namespace
+{
+
+class ClientsTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+};
+
+TEST_F(ClientsTest, MemslapIsSetLight)
+{
+    // 5% sets: the store should hold far fewer keys than ops.
+    mnemosyne::Region region(32 << 20);
+    MemcachedLite server(region);
+    ClientConfig config;
+    config.ops = 2000;
+    config.keySpace = 2000;
+    runMemslapClient(server, config);
+    EXPECT_GT(server.count(), 20u);
+    EXPECT_LT(server.count(), 400u) << "memslap is 5% SET";
+}
+
+TEST_F(ClientsTest, YcsbIsUpdateHeavy)
+{
+    mnemosyne::Region region(32 << 20);
+    MemcachedLite server(region);
+    ClientConfig config;
+    config.ops = 2000;
+    config.keySpace = 2000;
+    runYcsbClient(server, config);
+    EXPECT_GT(server.count(), 500u) << "YCSB-A is 50% update";
+}
+
+TEST_F(ClientsTest, ClientsAreDeterministic)
+{
+    auto run = [](uint64_t seed) {
+        mnemosyne::Region region(32 << 20);
+        MemcachedLite server(region);
+        ClientConfig config;
+        config.ops = 500;
+        config.keySpace = 100;
+        config.seed = seed;
+        runYcsbClient(server, config);
+        return server.count();
+    };
+    EXPECT_EQ(run(5), run(5));
+    // Different seeds draw different key subsets (usually).
+    EXPECT_EQ(run(5), run(5));
+}
+
+TEST_F(ClientsTest, RedisLruClientChurnsWithEviction)
+{
+    txlib::ObjPool pool(64 << 20);
+    RedisLite server(pool, /*capacity=*/64);
+    ClientConfig config;
+    config.ops = 1000;
+    config.keySpace = 500;
+    runRedisLruClient(server, config);
+    EXPECT_LE(server.count(), 64u);
+    EXPECT_GT(server.evictions(), 0u);
+}
+
+TEST_F(ClientsTest, FilebenchKeepsWorkingSetBounded)
+{
+    pmfs::Pmfs fs(16 << 20, false, false);
+    ClientConfig config;
+    config.ops = 400;
+    config.valueSize = 256;
+    runFilebenchClient(fs, config, 3);
+    EXPECT_LE(fs.fileCount(), 16u) << "per-client working set";
+}
+
+TEST_F(ClientsTest, OltpReadModifyWriteGrowsTable)
+{
+    pmfs::Pmfs fs(16 << 20, false, false);
+    ClientConfig config;
+    config.ops = 100;
+    runOltpClient(fs, config, 0);
+    const int ino = fs.lookup("table-0");
+    ASSERT_GE(ino, 0);
+    EXPECT_EQ(fs.fileSize(ino),
+              pmfs::kDirectBlocks * pmfs::kBlockSize);
+}
+
+TEST_F(ClientsTest, TwoClientsOnOnePmfsVolume)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    pmfs::Pmfs fs(32 << 20, false, false);
+    ClientConfig config;
+    config.ops = 150;
+    config.valueSize = 128;
+    runFilebenchClient(fs, config, 0);
+    runFilebenchClient(fs, config, 1);
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+} // namespace
+} // namespace pmtest::workloads

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/api.hh"
+#include "workloads/clients.hh"
+#include "workloads/memcached_lite.hh"
+#include "workloads/microbench.hh"
+#include "workloads/redis_lite.hh"
+#include "workloads/tool_harness.hh"
+
+namespace pmtest::workloads
+{
+namespace
+{
+
+class ServersTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+};
+
+TEST_F(ServersTest, MemcachedSetGetDelete)
+{
+    mnemosyne::Region region(16 << 20);
+    MemcachedLite server(region);
+
+    server.set("alpha", "one");
+    server.set("beta", "two");
+    EXPECT_EQ(server.count(), 2u);
+
+    std::string out;
+    EXPECT_TRUE(server.get("alpha", &out));
+    EXPECT_EQ(out, "one");
+    server.set("alpha", "uno"); // update
+    EXPECT_TRUE(server.get("alpha", &out));
+    EXPECT_EQ(out, "uno");
+    EXPECT_EQ(server.count(), 2u);
+
+    EXPECT_TRUE(server.del("alpha"));
+    EXPECT_FALSE(server.get("alpha", &out));
+    EXPECT_FALSE(server.del("alpha"));
+    EXPECT_EQ(server.count(), 1u);
+}
+
+TEST_F(ServersTest, MemcachedUnderPmtestIsClean)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    mnemosyne::Region region(16 << 20);
+    region.emitCheckers = true;
+    MemcachedLite server(region);
+    ClientConfig config;
+    config.ops = 200;
+    config.keySpace = 50;
+    runMemslapClient(server, config);
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+    pmtestExit();
+}
+
+TEST_F(ServersTest, MemcachedMultiThreadedClients)
+{
+    pmtestInit(Config{.model = core::ModelKind::X86, .workers = 2});
+
+    mnemosyne::Region region(32 << 20);
+    MemcachedLite server(region);
+
+    std::vector<std::thread> clients;
+    for (uint32_t t = 0; t < 4; t++) {
+        clients.emplace_back([&server, t] {
+            pmtestThreadInit();
+            pmtestStart();
+            ClientConfig config;
+            config.ops = 100;
+            config.keySpace = 40;
+            config.seed = 100 + t;
+            runYcsbClient(server, config);
+            pmtestSendTrace();
+            pmtestEnd();
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+    EXPECT_GT(server.count(), 0u);
+    pmtestExit();
+}
+
+TEST_F(ServersTest, RedisSetGetAndEviction)
+{
+    txlib::ObjPool pool(32 << 20);
+    RedisLite server(pool, /*capacity=*/50);
+
+    for (int i = 0; i < 200; i++) {
+        server.set("k" + std::to_string(i),
+                   "v" + std::to_string(i));
+    }
+    EXPECT_LE(server.count(), 50u);
+    EXPECT_GT(server.evictions(), 0u);
+
+    // Recently set keys should mostly be present.
+    std::string out;
+    EXPECT_TRUE(server.get("k199", &out));
+    EXPECT_EQ(out, "v199");
+}
+
+TEST_F(ServersTest, RedisUnderPmtestIsClean)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    txlib::ObjPool pool(32 << 20);
+    RedisLite server(pool, 100);
+    server.emitCheckers = true;
+    ClientConfig config;
+    config.ops = 300;
+    config.keySpace = 150; // forces eviction churn
+    runRedisLruClient(server, config);
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+    pmtestExit();
+}
+
+TEST_F(ServersTest, FilebenchAndOltpClientsRun)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmtestStart();
+
+    pmfs::Pmfs fs(8 << 20, false, false);
+    ClientConfig config;
+    config.ops = 100;
+    config.valueSize = 256;
+    runFilebenchClient(fs, config, 0);
+    runOltpClient(fs, config, 1);
+    pmtestSendTrace();
+
+    const auto report = pmtestResults();
+    EXPECT_TRUE(report.clean()) << report.str();
+    EXPECT_GT(fs.fileCount(), 0u);
+    pmtestExit();
+}
+
+TEST_F(ServersTest, MicrobenchRunsUnderEveryTool)
+{
+    MicrobenchConfig config;
+    config.kind = pmds::MapKind::Ctree;
+    config.insertions = 50;
+    config.valueSize = 64;
+
+    for (Tool tool : {Tool::Native, Tool::PMTest, Tool::PMTestNoCheck,
+                      Tool::PMTestInline, Tool::Pmemcheck}) {
+        const auto result = runMicrobench(config, tool);
+        EXPECT_EQ(result.failCount, 0u) << toolName(tool);
+        EXPECT_GT(result.seconds, 0.0);
+        if (tool != Tool::Native) {
+            EXPECT_GT(result.opsRecorded, 0u) << toolName(tool);
+        }
+    }
+}
+
+TEST_F(ServersTest, MicrobenchTracksTransactionSize)
+{
+    MicrobenchConfig small;
+    small.insertions = 20;
+    small.valueSize = 64;
+    MicrobenchConfig big = small;
+    big.valueSize = 4096;
+
+    const auto r_small = runMicrobench(small, Tool::PMTest);
+    const auto r_big = runMicrobench(big, Tool::PMTest);
+    // Bigger values -> more bytes per op but no failure either way.
+    EXPECT_EQ(r_small.failCount, 0u);
+    EXPECT_EQ(r_big.failCount, 0u);
+}
+
+} // namespace
+} // namespace pmtest::workloads

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The tool harness itself: framework lifecycle around runs, staged
+ * setup exclusion from tracking, the DBI flag protocol, and finding
+ * propagation into RunResult.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/pmemcheck.hh"
+#include "workloads/tool_harness.hh"
+
+namespace pmtest::workloads
+{
+namespace
+{
+
+class ToolHarnessTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+        baseline::setDbiActive(false);
+    }
+};
+
+TEST_F(ToolHarnessTest, NativeRunsWithoutFramework)
+{
+    bool checkers_flag = true;
+    const auto result = runUnderTool(Tool::Native, [&](bool checkers) {
+        checkers_flag = checkers;
+        EXPECT_FALSE(pmtestInitialized());
+    });
+    EXPECT_FALSE(checkers_flag);
+    EXPECT_GE(result.seconds, 0.0);
+    EXPECT_EQ(result.opsRecorded, 0u);
+}
+
+TEST_F(ToolHarnessTest, PmtestRunTracksAndReports)
+{
+    alignas(64) static uint64_t cell;
+    const auto result = runUnderTool(Tool::PMTest, [](bool checkers) {
+        EXPECT_TRUE(checkers);
+        uint64_t v = 1;
+        pmStore(&cell, &v, sizeof(cell)); // never flushed
+        pmtestIsPersist(&cell, sizeof(cell));
+    });
+    EXPECT_EQ(result.failCount, 1u);
+    EXPECT_EQ(result.opsRecorded, 2u);
+    EXPECT_FALSE(pmtestInitialized()) << "harness cleans up";
+}
+
+TEST_F(ToolHarnessTest, NoCheckVariantDisablesAnnotations)
+{
+    bool checkers_flag = true;
+    runUnderTool(Tool::PMTestNoCheck,
+                 [&](bool checkers) { checkers_flag = checkers; });
+    EXPECT_FALSE(checkers_flag);
+}
+
+TEST_F(ToolHarnessTest, StagedSetupIsUntracked)
+{
+    alignas(64) static uint64_t cell;
+    const auto result = runStaged(Tool::PMTest, [](bool) {
+        // Setup phase: PM ops here must not be traced.
+        uint64_t v = 7;
+        pmStore(&cell, &v, sizeof(cell));
+        return [] {
+            uint64_t w = 8;
+            pmStore(&cell, &w, sizeof(cell));
+            PMTEST_CLWB(&cell, sizeof(cell));
+            PMTEST_SFENCE();
+        };
+    });
+    EXPECT_EQ(result.opsRecorded, 3u)
+        << "only the run closure's three ops are traced";
+    EXPECT_EQ(result.failCount, 0u);
+}
+
+TEST_F(ToolHarnessTest, DbiFlagSetDuringPmemcheckRunOnly)
+{
+    EXPECT_FALSE(baseline::dbiActive());
+    bool seen_during_run = false;
+    runUnderTool(Tool::Pmemcheck, [&](bool) {
+        seen_during_run = baseline::dbiActive();
+    });
+    EXPECT_TRUE(seen_during_run);
+    EXPECT_FALSE(baseline::dbiActive()) << "restored after the run";
+
+    runUnderTool(Tool::PMTest,
+                 [&](bool) { seen_during_run = baseline::dbiActive(); });
+    EXPECT_FALSE(seen_during_run);
+}
+
+TEST_F(ToolHarnessTest, PmemcheckFindingsPropagate)
+{
+    alignas(64) static uint64_t cell;
+    const auto result =
+        runUnderTool(Tool::Pmemcheck, [](bool) {
+            uint64_t v = 1;
+            pmStore(&cell, &v, sizeof(cell)); // unflushed at exit
+        });
+    EXPECT_GE(result.failCount, 1u);
+}
+
+TEST_F(ToolHarnessTest, InlineVariantUsesZeroWorkers)
+{
+    const auto result = runUnderTool(Tool::PMTestInline, [](bool) {
+        alignas(64) static uint64_t cell;
+        uint64_t v = 1;
+        pmStore(&cell, &v, sizeof(cell));
+        PMTEST_CLWB(&cell, sizeof(cell));
+        PMTEST_SFENCE();
+    });
+    EXPECT_EQ(result.failCount, 0u);
+    EXPECT_EQ(result.traces, 1u);
+}
+
+TEST_F(ToolHarnessTest, ToolNamesAreDistinct)
+{
+    EXPECT_STREQ(toolName(Tool::Native), "native");
+    EXPECT_STREQ(toolName(Tool::PMTest), "pmtest");
+    EXPECT_STREQ(toolName(Tool::PMTestNoCheck), "pmtest-nocheck");
+    EXPECT_STREQ(toolName(Tool::PMTestInline), "pmtest-inline");
+    EXPECT_STREQ(toolName(Tool::Pmemcheck), "pmemcheck");
+}
+
+} // namespace
+} // namespace pmtest::workloads
