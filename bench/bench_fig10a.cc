@@ -37,6 +37,7 @@ main()
                   "pmemcheck", "pmemcheck/pmtest"});
 
     Stats pmtest_all, pmemcheck_all, ratio_all;
+    uint64_t steals = 0, stall_ns = 0;
     for (pmds::MapKind kind : pmds::kAllMapKinds) {
         for (size_t tx_size : tx_sizes) {
             MicrobenchConfig config;
@@ -48,8 +49,12 @@ main()
             auto best = [&](Tool tool) {
                 double sec = 1e30;
                 for (int rep = 0; rep < kReps; rep++) {
-                    sec = std::min(sec,
-                                   runMicrobench(config, tool).seconds);
+                    const auto run = runMicrobench(config, tool);
+                    sec = std::min(sec, run.seconds);
+                    if (tool == Tool::PMTest) {
+                        steals += run.poolStats.steals;
+                        stall_ns += run.poolStats.producerStallNanos;
+                    }
                 }
                 return sec;
             };
@@ -84,5 +89,10 @@ main()
     std::printf("PMTest speedup over pmemcheck: avg %.2fx "
                 "(paper: 7.1x avg, 5.2-8.9x range)\n",
                 ratio_all.mean());
+    std::printf("dispatch: %llu steals, %.1f ms producer stall across "
+                "the PMTest runs (PMTEST_QUEUE_CAP bounds the "
+                "queues)\n",
+                static_cast<unsigned long long>(steals),
+                static_cast<double>(stall_ns) * 1e-6);
     return 0;
 }

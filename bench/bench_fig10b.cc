@@ -34,6 +34,7 @@ main()
                   "checker-share"});
 
     Stats share_all;
+    uint64_t steals = 0, stall_ns = 0;
     for (pmds::MapKind kind : pmds::kAllMapKinds) {
         for (size_t tx_size : tx_sizes) {
             MicrobenchConfig config;
@@ -44,8 +45,12 @@ main()
             auto best = [&](Tool tool) {
                 double sec = 1e30;
                 for (int rep = 0; rep < kReps; rep++) {
-                    sec = std::min(sec,
-                                   runMicrobench(config, tool).seconds);
+                    const auto run = runMicrobench(config, tool);
+                    sec = std::min(sec, run.seconds);
+                    if (tool == Tool::PMTest) {
+                        steals += run.poolStats.steals;
+                        stall_ns += run.poolStats.producerStallNanos;
+                    }
                 }
                 return sec;
             };
@@ -73,5 +78,9 @@ main()
     std::printf("Checker share of total overhead: avg %.1f%% "
                 "(paper: 18.9-37.8%%)\n",
                 share_all.mean());
+    std::printf("dispatch: %llu steals, %.1f ms producer stall across "
+                "the PMTest runs\n",
+                static_cast<unsigned long long>(steals),
+                static_cast<double>(stall_ns) * 1e-6);
     return 0;
 }

@@ -19,16 +19,73 @@ namespace
  * The process-wide framework state behind the PMTest_* API. One
  * instance exists at a time; pmtestInit()/pmtestExit() manage it.
  */
+/** Build engine-pool options from the public config. */
+core::PoolOptions
+poolOptions(const Config &config)
+{
+    core::PoolOptions options;
+    options.model = config.model;
+    options.workers = config.workers;
+    options.queueCapacity = config.queueCapacity;
+    options.workStealing = config.workStealing;
+    return options;
+}
+
 class Framework
 {
   public:
     explicit Framework(const Config &config)
-        : config_(config), pool_(config.model, config.workers)
+        : config_(config), pool_(poolOptions(config))
     {
     }
 
+    /** Pending batched traces must reach the pool before it drains. */
+    ~Framework() { flushBatches(); }
+
     const Config &config() const { return config_; }
     core::EnginePool &enginePool() { return pool_; }
+
+    /**
+     * Submit one sealed trace, honoring Config::traceBatch: small
+     * traces accumulate in a per-thread buffer and go to the pool as
+     * one dispatch unit.
+     */
+    void
+    submitSealed(Trace trace)
+    {
+        if (config_.traceBatch <= 1) {
+            pool_.submit(std::move(trace));
+            return;
+        }
+        ThreadBatch &batch = threadBatch();
+        std::vector<Trace> full;
+        {
+            std::lock_guard<std::mutex> lock(batch.mutex);
+            batch.traces.push_back(std::move(trace));
+            if (batch.traces.size() >= config_.traceBatch)
+                full = std::move(batch.traces);
+        }
+        if (!full.empty())
+            pool_.submitBatch(std::move(full));
+    }
+
+    /** Push every thread's batched traces into the pool. */
+    void
+    flushBatches()
+    {
+        if (config_.traceBatch <= 1)
+            return;
+        std::lock_guard<std::mutex> lock(captureMutex_);
+        for (auto &batch : batches_) {
+            std::vector<Trace> pending;
+            {
+                std::lock_guard<std::mutex> bl(batch->mutex);
+                pending = std::move(batch->traces);
+            }
+            if (!pending.empty())
+                pool_.submitBatch(std::move(pending));
+        }
+    }
 
     /** Get or create the calling thread's capture. */
     TraceCapture &
@@ -88,11 +145,34 @@ class Framework
     std::mutex traceSinkMutex;
 
   private:
+    /** One thread's not-yet-submitted sealed traces. */
+    struct ThreadBatch
+    {
+        std::mutex mutex;
+        std::vector<Trace> traces;
+    };
+
+    /** Get or create the calling thread's batch buffer. */
+    ThreadBatch &
+    threadBatch()
+    {
+        thread_local ThreadBatch *tls = nullptr;
+        thread_local uint64_t tls_generation = 0;
+        if (tls == nullptr || tls_generation != generation_) {
+            std::lock_guard<std::mutex> lock(captureMutex_);
+            batches_.push_back(std::make_unique<ThreadBatch>());
+            tls = batches_.back().get();
+            tls_generation = generation_;
+        }
+        return *tls;
+    }
+
     Config config_;
     uint64_t generation_ = 0;
     core::EnginePool pool_;
     std::mutex captureMutex_;
     std::vector<std::unique_ptr<TraceCapture>> captures_;
+    std::vector<std::unique_ptr<ThreadBatch>> batches_;
     std::mutex varMutex_;
     std::unordered_map<std::string, std::pair<const void *, size_t>> vars_;
 };
@@ -241,7 +321,7 @@ pmtestSendTrace()
         fw->traceSink(cap.seal());
         return;
     }
-    fw->enginePool().submit(cap.seal());
+    fw->submitSealed(cap.seal());
 }
 
 void
@@ -258,8 +338,10 @@ void
 pmtestGetResult()
 {
     Framework *fw = framework();
-    if (fw)
-        fw->enginePool().drain();
+    if (!fw)
+        return;
+    fw->flushBatches();
+    fw->enginePool().drain();
 }
 
 Trace
@@ -287,6 +369,7 @@ pmtestResults()
     Framework *fw = framework();
     if (!fw)
         return core::Report();
+    fw->flushBatches();
     return fw->enginePool().results();
 }
 
@@ -294,8 +377,10 @@ void
 pmtestClearResults()
 {
     Framework *fw = framework();
-    if (fw)
-        fw->enginePool().clearResults();
+    if (!fw)
+        return;
+    fw->flushBatches();
+    fw->enginePool().clearResults();
 }
 
 void
@@ -468,6 +553,13 @@ pmtestOpsRecorded()
 {
     Framework *fw = framework();
     return fw ? fw->opsRecorded.load(std::memory_order_relaxed) : 0;
+}
+
+core::PoolStats
+pmtestPoolStats()
+{
+    Framework *fw = framework();
+    return fw ? fw->enginePool().stats() : core::PoolStats();
 }
 
 } // namespace pmtest

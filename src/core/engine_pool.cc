@@ -1,18 +1,74 @@
 #include "core/engine_pool.hh"
 
+#include <cstdlib>
+#include <sstream>
+
+#include "util/timer.hh"
+
 namespace pmtest::core
 {
 
-EnginePool::EnginePool(ModelKind kind, size_t workers) : kind_(kind)
+namespace
 {
-    if (workers == 0) {
-        inlineEngine_ = std::make_unique<Engine>(kind);
+
+/** Resolve the queue bound: explicit option, else PMTEST_QUEUE_CAP. */
+size_t
+resolveQueueCapacity(size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char *env = std::getenv("PMTEST_QUEUE_CAP")) {
+        const long long parsed = std::atoll(env);
+        if (parsed > 0)
+            return static_cast<size_t>(parsed);
+    }
+    return 0; // unbounded
+}
+
+} // namespace
+
+size_t
+PoolStats::queuedTraces() const
+{
+    size_t total = 0;
+    for (const auto &w : workers)
+        total += w.queueDepth;
+    return total;
+}
+
+std::string
+PoolStats::str() const
+{
+    std::ostringstream out;
+    out << "pool: " << tracesSubmitted << " submitted, "
+        << tracesCompleted << " completed, " << batchesSubmitted
+        << " batches, " << steals << " steals, producer stalled "
+        << static_cast<double>(producerStallNanos) * 1e-6 << " ms"
+        << " (capacity "
+        << (queueCapacity ? std::to_string(queueCapacity) : "unbounded")
+        << ", stealing " << (workStealing ? "on" : "off") << ")\n";
+    for (size_t i = 0; i < workers.size(); i++) {
+        const WorkerStats &w = workers[i];
+        out << "  worker " << i << ": " << w.tracesChecked
+            << " traces, " << w.opsProcessed << " ops, " << w.steals
+            << " steals, depth " << w.queueDepth << "\n";
+    }
+    return out.str();
+}
+
+EnginePool::EnginePool(const PoolOptions &options)
+    : kind_(options.model),
+      queueCapacity_(resolveQueueCapacity(options.queueCapacity)),
+      stealing_(options.workStealing)
+{
+    if (options.workers == 0) {
+        inlineEngine_ = std::make_unique<Engine>(kind_);
         return;
     }
-    workers_.reserve(workers);
-    for (size_t i = 0; i < workers; i++) {
-        auto w = std::make_unique<Worker>();
-        w->engine = std::make_unique<Engine>(kind);
+    workers_.reserve(options.workers);
+    for (size_t i = 0; i < options.workers; i++) {
+        auto w = std::make_unique<Worker>(queueCapacity_);
+        w->engine = std::make_unique<Engine>(kind_);
         workers_.push_back(std::move(w));
     }
     for (auto &w : workers_) {
@@ -21,38 +77,139 @@ EnginePool::EnginePool(ModelKind kind, size_t workers) : kind_(kind)
     }
 }
 
+EnginePool::EnginePool(ModelKind kind, size_t workers)
+    : EnginePool(PoolOptions{kind, workers})
+{
+}
+
 EnginePool::~EnginePool()
 {
+    {
+        std::lock_guard<std::mutex> lock(workMutex_);
+        stopping_ = true;
+    }
+    // Closing the queues releases any producer still blocked on a
+    // full queue (no new submissions may race destruction, as before).
     for (auto &w : workers_)
         w->queue.close();
+    workCv_.notify_all();
     for (auto &w : workers_) {
         if (w->thread.joinable())
             w->thread.join();
     }
 }
 
+bool
+EnginePool::anyQueued() const
+{
+    for (const auto &w : workers_) {
+        if (!w->queue.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+EnginePool::notifyWork(size_t items)
+{
+    // Taking the mutex (even empty) orders this wakeup against a
+    // worker that just scanned the queues empty and is about to wait:
+    // either it sees the new item during its predicate check, or it
+    // is already waiting and receives the notify.
+    { std::lock_guard<std::mutex> lock(workMutex_); }
+    // With stealing, any worker can serve any queue, so one new trace
+    // needs exactly one wakeup; waking the whole pool per submit is a
+    // thundering herd on the producer's critical path. Without
+    // stealing only the owning worker's predicate passes, so everyone
+    // must be woken to guarantee the owner is.
+    if (stealing_ && items == 1)
+        workCv_.notify_one();
+    else
+        workCv_.notify_all();
+}
+
+std::optional<Trace>
+EnginePool::stealFrom(const Worker &thief)
+{
+    Worker *victim = nullptr;
+    size_t deepest = 0;
+    for (const auto &w : workers_) {
+        if (w.get() == &thief)
+            continue;
+        const size_t depth = w->queue.size();
+        if (depth > deepest) {
+            deepest = depth;
+            victim = w.get();
+        }
+    }
+    if (!victim)
+        return std::nullopt;
+    return victim->queue.tryPop();
+}
+
 void
 EnginePool::workerLoop(Worker &worker)
 {
-    while (auto trace = worker.queue.pop()) {
-        Report report = worker.engine->check(*trace);
-        worker.opsProcessed.store(worker.engine->opsProcessed(),
-                                  std::memory_order_relaxed);
-        worker.tracesChecked.store(worker.engine->tracesChecked(),
-                                   std::memory_order_relaxed);
-        recordResult(std::move(report));
+    for (;;) {
+        std::optional<Trace> trace = worker.queue.tryPop();
+        if (!trace && stealing_) {
+            trace = stealFrom(worker);
+            if (trace)
+                worker.steals.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (trace) {
+            checkOn(worker, std::move(*trace));
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(workMutex_);
+        workCv_.wait(lock, [&] {
+            return stopping_ ||
+                   (stealing_ ? anyQueued() : !worker.queue.empty());
+        });
+        if (stopping_ &&
+            (stealing_ ? !anyQueued() : worker.queue.empty())) {
+            return; // all pending work drained
+        }
     }
+}
+
+void
+EnginePool::checkOn(Worker &worker, Trace trace)
+{
+    Report report = worker.engine->check(trace);
+    worker.opsProcessed.store(worker.engine->opsProcessed(),
+                              std::memory_order_relaxed);
+    worker.tracesChecked.store(worker.engine->tracesChecked(),
+                               std::memory_order_relaxed);
+    recordResult(std::move(report));
 }
 
 void
 EnginePool::recordResult(Report report)
 {
+    bool drained;
     {
         std::lock_guard<std::mutex> lock(resultMutex_);
         aggregate_.merge(report);
         completed_++;
+        // The drain predicate can only turn true at the moment the
+        // counters meet; notifying on every completion wakes blocked
+        // drainers thousands of times for nothing.
+        drained = completed_ == submitted_;
     }
-    drainCv_.notify_all();
+    if (drained)
+        drainCv_.notify_all();
+}
+
+void
+EnginePool::checkInline(Trace trace)
+{
+    Report report;
+    {
+        std::lock_guard<std::mutex> lock(inlineMutex_);
+        report = inlineEngine_->check(trace);
+    }
+    recordResult(std::move(report));
 }
 
 void
@@ -65,22 +222,71 @@ EnginePool::submit(Trace trace)
 
     if (workers_.empty()) {
         // Inline (coupled) mode: check on the calling thread.
-        Report report;
-        {
-            std::lock_guard<std::mutex> lock(submitMutex_);
-            report = inlineEngine_->check(trace);
-        }
-        recordResult(std::move(report));
+        checkInline(std::move(trace));
         return;
     }
 
-    size_t target;
-    {
-        std::lock_guard<std::mutex> lock(submitMutex_);
-        target = nextWorker_;
-        nextWorker_ = (nextWorker_ + 1) % workers_.size();
+    const size_t start =
+        nextWorker_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size();
+    if (workers_[start]->queue.tryPush(trace)) {
+        notifyWork();
+        return;
     }
-    workers_[target]->queue.push(std::move(trace));
+    // Round-robin target full: try the other queues before stalling.
+    for (size_t i = 1; i < workers_.size(); i++) {
+        Worker &w = *workers_[(start + i) % workers_.size()];
+        if (w.queue.tryPush(trace)) {
+            notifyWork();
+            return;
+        }
+    }
+    // Every queue full: backpressure. Block on the original target
+    // and account the stall (its owner is necessarily awake, so the
+    // push is eventually released by a pop).
+    Timer timer;
+    workers_[start]->queue.push(std::move(trace));
+    stallNanos_.fetch_add(timer.elapsedNs(), std::memory_order_relaxed);
+    notifyWork();
+}
+
+void
+EnginePool::submitBatch(std::vector<Trace> traces)
+{
+    if (traces.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(resultMutex_);
+        submitted_ += traces.size();
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+
+    if (workers_.empty()) {
+        for (auto &t : traces)
+            checkInline(std::move(t));
+        return;
+    }
+
+    const size_t start =
+        nextWorker_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size();
+    Worker &target = *workers_[start];
+    const size_t batch_size = traces.size();
+    if (target.queue.tryPushAll(traces)) {
+        notifyWork(batch_size);
+        return;
+    }
+    // The batch does not fit at once: feed it item by item so the
+    // workers can drain concurrently (each push is individually
+    // released by pops), and account the producer stall.
+    Timer timer;
+    for (auto &t : traces) {
+        if (!target.queue.tryPush(t))
+            target.queue.push(std::move(t));
+        notifyWork();
+    }
+    traces.clear();
+    stallNanos_.fetch_add(timer.elapsedNs(), std::memory_order_relaxed);
 }
 
 void
@@ -93,24 +299,75 @@ EnginePool::drain()
 Report
 EnginePool::results()
 {
-    drain();
-    std::lock_guard<std::mutex> lock(resultMutex_);
+    // Wait and snapshot under one lock: traces submitted while we
+    // wait extend the wait, but nothing can complete between the
+    // predicate turning true and the copy.
+    std::unique_lock<std::mutex> lock(resultMutex_);
+    drainCv_.wait(lock, [this] { return completed_ == submitted_; });
     return aggregate_;
 }
 
 void
 EnginePool::clearResults()
 {
-    drain();
-    std::lock_guard<std::mutex> lock(resultMutex_);
+    std::unique_lock<std::mutex> lock(resultMutex_);
+    drainCv_.wait(lock, [this] { return completed_ == submitted_; });
     aggregate_ = Report();
+}
+
+Report
+EnginePool::takeResults()
+{
+    std::unique_lock<std::mutex> lock(resultMutex_);
+    drainCv_.wait(lock, [this] { return completed_ == submitted_; });
+    Report out = std::move(aggregate_);
+    aggregate_ = Report();
+    return out;
+}
+
+PoolStats
+EnginePool::stats() const
+{
+    PoolStats stats;
+    stats.queueCapacity = queueCapacity_;
+    stats.workStealing = stealing_;
+    stats.batchesSubmitted = batches_.load(std::memory_order_relaxed);
+    stats.producerStallNanos =
+        stallNanos_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(resultMutex_);
+        stats.tracesSubmitted = submitted_;
+        stats.tracesCompleted = completed_;
+    }
+    if (workers_.empty()) {
+        std::lock_guard<std::mutex> lock(inlineMutex_);
+        WorkerStats w;
+        w.tracesChecked = inlineEngine_->tracesChecked();
+        w.opsProcessed = inlineEngine_->opsProcessed();
+        stats.workers.push_back(w);
+        return stats;
+    }
+    for (const auto &worker : workers_) {
+        WorkerStats w;
+        w.tracesChecked =
+            worker->tracesChecked.load(std::memory_order_relaxed);
+        w.opsProcessed =
+            worker->opsProcessed.load(std::memory_order_relaxed);
+        w.steals = worker->steals.load(std::memory_order_relaxed);
+        w.queueDepth = worker->queue.size();
+        stats.steals += w.steals;
+        stats.workers.push_back(w);
+    }
+    return stats;
 }
 
 uint64_t
 EnginePool::tracesChecked() const
 {
-    if (workers_.empty())
+    if (workers_.empty()) {
+        std::lock_guard<std::mutex> lock(inlineMutex_);
         return inlineEngine_->tracesChecked();
+    }
     uint64_t total = 0;
     for (const auto &w : workers_)
         total += w->tracesChecked.load(std::memory_order_relaxed);
@@ -120,8 +377,10 @@ EnginePool::tracesChecked() const
 uint64_t
 EnginePool::opsProcessed() const
 {
-    if (workers_.empty())
+    if (workers_.empty()) {
+        std::lock_guard<std::mutex> lock(inlineMutex_);
         return inlineEngine_->opsProcessed();
+    }
     uint64_t total = 0;
     for (const auto &w : workers_)
         total += w->opsProcessed.load(std::memory_order_relaxed);

@@ -1,11 +1,27 @@
 /**
  * @file
  * The multithreaded checking mechanism (paper §4.4, Fig. 8): traces
- * sealed by the program under test are dispatched round-robin to a
- * pool of worker threads, each running its own Engine; results flow
- * back to a shared result collector. PMTest_GET_RESULT() maps to
- * drain(). A zero-worker pool checks traces inline on the caller —
- * the configuration used by the decoupling ablation.
+ * sealed by the program under test are dispatched to a pool of worker
+ * threads, each running its own Engine; results flow back to a shared
+ * result collector. PMTest_GET_RESULT() maps to drain(). A
+ * zero-worker pool checks traces inline on the caller — the
+ * configuration used by the decoupling ablation.
+ *
+ * Dispatch architecture:
+ *  - Each worker owns a FIFO trace queue. Submission places traces
+ *    round-robin, but an idle worker *steals* from the most-loaded
+ *    peer, so one giant trace no longer serializes a whole queue of
+ *    small traces behind it (head-of-line blocking).
+ *  - Queues may be bounded (PoolOptions::queueCapacity or the
+ *    PMTEST_QUEUE_CAP environment variable). A full queue blocks the
+ *    producer — bounded backpressure instead of unbounded memory
+ *    growth when the program outruns its checkers.
+ *  - submitBatch() enqueues many small traces under one queue lock
+ *    acquisition, amortizing dispatch overhead (the paper's §4.2
+ *    "divide the program into sections for better testing speed").
+ *  - stats() snapshots queue depths, steal counts, producer stall
+ *    time and per-worker throughput, so the Fig. 10/11 harnesses can
+ *    report *why* a configuration is fast.
  */
 
 #ifndef PMTEST_CORE_ENGINE_POOL_HH
@@ -15,6 +31,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -24,11 +41,65 @@
 namespace pmtest::core
 {
 
+/** EnginePool construction parameters. */
+struct PoolOptions
+{
+    /** Persistency model all engines use. */
+    ModelKind model = ModelKind::X86;
+    /** Number of worker threads; 0 = inline checking. */
+    size_t workers = 1;
+    /**
+     * Per-worker queue capacity in traces; 0 consults the
+     * PMTEST_QUEUE_CAP environment variable, and means unbounded if
+     * that is unset too.
+     */
+    size_t queueCapacity = 0;
+    /**
+     * Allow idle workers to steal queued traces from loaded peers.
+     * Disabled reproduces the original pinned round-robin dispatch
+     * (kept for the dispatch ablation).
+     */
+    bool workStealing = true;
+};
+
+/** Point-in-time dispatch statistics for one worker. */
+struct WorkerStats
+{
+    uint64_t tracesChecked = 0; ///< traces this worker completed
+    uint64_t opsProcessed = 0;  ///< PM ops this worker processed
+    uint64_t steals = 0;        ///< traces this worker stole from peers
+    size_t queueDepth = 0;      ///< traces currently queued to it
+};
+
+/** Point-in-time snapshot of the pool's dispatch behaviour. */
+struct PoolStats
+{
+    std::vector<WorkerStats> workers;
+    uint64_t tracesSubmitted = 0;   ///< traces accepted by submit*()
+    uint64_t tracesCompleted = 0;   ///< traces fully checked
+    uint64_t batchesSubmitted = 0;  ///< submitBatch() calls
+    uint64_t steals = 0;            ///< total stolen traces
+    uint64_t producerStallNanos = 0;///< time producers blocked on
+                                    ///< full queues (backpressure)
+    size_t queueCapacity = 0;       ///< per-worker bound (0 = none)
+    bool workStealing = true;       ///< stealing enabled
+
+    /** Sum of current queue depths. */
+    size_t queuedTraces() const;
+
+    /** Multi-line human-readable rendering. */
+    std::string str() const;
+};
+
 /** Dispatches traces to engine workers and aggregates reports. */
 class EnginePool
 {
   public:
+    explicit EnginePool(const PoolOptions &options);
+
     /**
+     * Convenience constructor kept source-compatible with the
+     * original round-robin pool.
      * @param kind persistency model all engines use
      * @param workers number of worker threads; 0 = inline checking
      */
@@ -41,10 +112,18 @@ class EnginePool
     EnginePool &operator=(const EnginePool &) = delete;
 
     /**
-     * Submit one trace for checking (PMTest_SEND_TRACE). Round-robin
-     * across workers; checks inline when the pool has no workers.
+     * Submit one trace for checking (PMTest_SEND_TRACE). Blocks when
+     * the target queue is full (bounded mode); checks inline when the
+     * pool has no workers.
      */
     void submit(Trace trace);
+
+    /**
+     * Submit a batch of traces as one dispatch unit: one queue lock
+     * acquisition, one worker wakeup. The traces remain individually
+     * stealable once queued.
+     */
+    void submitBatch(std::vector<Trace> traces);
 
     /**
      * Block until every submitted trace has been checked
@@ -53,15 +132,32 @@ class EnginePool
     void drain();
 
     /**
-     * Merged findings of all traces checked so far. Implies drain().
+     * Merged findings of all traces checked so far. Implies drain();
+     * the wait and the snapshot happen in one critical section, so
+     * the returned report is exactly the drained state even when
+     * other threads keep submitting.
      */
     Report results();
 
     /** Drop accumulated findings (between test phases). */
     void clearResults();
 
+    /**
+     * Atomically drain, snapshot and reset: the returned report
+     * contains every finding not returned by a previous take, and
+     * concurrent submitters cannot slip findings into the gap (they
+     * are either in this snapshot or in the next one).
+     */
+    Report takeResults();
+
+    /** Dispatch statistics snapshot. */
+    PoolStats stats() const;
+
     /** Number of worker threads (0 = inline mode). */
     size_t workerCount() const { return workers_.size(); }
+
+    /** Per-worker queue capacity (0 = unbounded). */
+    size_t queueCapacity() const { return queueCapacity_; }
 
     /** Total traces checked so far. */
     uint64_t tracesChecked() const;
@@ -72,23 +168,44 @@ class EnginePool
   private:
     struct Worker
     {
+        explicit Worker(size_t queue_capacity) : queue(queue_capacity) {}
+
         std::unique_ptr<Engine> engine;
         ConcurrentQueue<Trace> queue;
         std::thread thread;
         std::atomic<uint64_t> opsProcessed{0};
         std::atomic<uint64_t> tracesChecked{0};
+        std::atomic<uint64_t> steals{0};
     };
 
     void workerLoop(Worker &worker);
+    /** Steal one queued trace from the most-loaded peer. */
+    std::optional<Trace> stealFrom(const Worker &thief);
+    /** Process one trace on @p worker and record its report. */
+    void checkOn(Worker &worker, Trace trace);
     void recordResult(Report report);
+    /** Wake workers after @p items new traces were queued. */
+    void notifyWork(size_t items = 1);
+    /** True when any queue holds work (racy; wakeup predicate). */
+    bool anyQueued() const;
+    void checkInline(Trace trace);
 
     ModelKind kind_;
+    size_t queueCapacity_ = 0;
+    bool stealing_ = true;
     std::vector<std::unique_ptr<Worker>> workers_;
     std::unique_ptr<Engine> inlineEngine_; ///< used when workers_ empty
-    size_t nextWorker_ = 0;
-    std::mutex submitMutex_; ///< guards nextWorker_ and inline engine
+    std::atomic<size_t> nextWorker_{0};    ///< round-robin cursor
+    mutable std::mutex inlineMutex_;       ///< guards inline engine
 
-    std::mutex resultMutex_;
+    std::mutex workMutex_; ///< wakeup coordination for idle workers
+    std::condition_variable workCv_;
+    bool stopping_ = false; ///< guarded by workMutex_
+
+    std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> stallNanos_{0};
+
+    mutable std::mutex resultMutex_;
     std::condition_variable drainCv_;
     Report aggregate_;
     uint64_t submitted_ = 0; ///< guarded by resultMutex_

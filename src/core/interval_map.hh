@@ -31,12 +31,17 @@ template <typename V>
 class IntervalMap
 {
   public:
-    /** One stored entry: [start, end) -> value. */
+    /**
+     * One visited entry: [start, end) -> value. The value is a
+     * reference into the map (valid for the duration of the callback
+     * only): overlap iteration is the engine's hottest path, and
+     * payloads like RangeStatus must not be copied per visit.
+     */
     struct Entry
     {
         uint64_t start;
         uint64_t end;
-        V value;
+        const V &value;
     };
 
     /** Assign @p value to [range.addr, range.end()). */
@@ -74,11 +79,9 @@ class IntervalMap
             return;
         auto it = firstOverlap(range);
         for (; it != map_.end() && it->first < range.end(); ++it) {
-            Entry e;
-            e.start = std::max(it->first, range.addr);
-            e.end = std::min(it->second.end, range.end());
-            e.value = it->second.value;
-            fn(e);
+            fn(Entry{std::max(it->first, range.addr),
+                     std::min(it->second.end, range.end()),
+                     it->second.value});
         }
     }
 

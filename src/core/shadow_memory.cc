@@ -10,7 +10,7 @@ ShadowMemory::recordWrite(const AddrRange &range)
     status.hasPersist = true;
     status.persist = Interval::open(timestamp_);
     map_.assign(range, status);
-    openWrites_.push_back(range);
+    openWrites_.assign(range, 1);
 }
 
 ClwbScan
@@ -72,35 +72,37 @@ ShadowMemory::recordClwb(const AddrRange &range)
     for (auto &[r, s] : updated)
         map_.assign(r, std::move(s));
 
-    pendingFlushes_.push_back(range);
+    pendingFlushes_.assign(range, 1);
 }
 
 void
 ShadowMemory::completePendingFlushes()
 {
-    for (const auto &range : pendingFlushes_) {
+    pendingFlushes_.forEach([&](const auto &pending) {
         map_.forEachOverlapMut(
-            range, [&](uint64_t, uint64_t, RangeStatus &s) {
+            AddrRange(pending.start, pending.end - pending.start),
+            [&](uint64_t, uint64_t, RangeStatus &s) {
                 if (!s.hasFlush || !s.flush.isOpen())
                     return; // a later write invalidated this flush
                 s.flush.close(timestamp_);
                 if (s.hasPersist)
                     s.persist.close(timestamp_);
             });
-    }
+    });
     pendingFlushes_.clear();
 }
 
 void
 ShadowMemory::completeAllWrites()
 {
-    for (const auto &range : openWrites_) {
+    openWrites_.forEach([&](const auto &open) {
         map_.forEachOverlapMut(
-            range, [&](uint64_t, uint64_t, RangeStatus &s) {
+            AddrRange(open.start, open.end - open.start),
+            [&](uint64_t, uint64_t, RangeStatus &s) {
                 if (s.hasPersist)
                     s.persist.close(timestamp_);
             });
-    }
+    });
     openWrites_.clear();
 }
 

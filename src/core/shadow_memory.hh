@@ -109,13 +109,28 @@ class ShadowMemory
     /** Number of distinct status entries (diagnostics). */
     size_t entryCount() const { return map_.size(); }
 
+    /**
+     * Number of distinct fence-pending writeback ranges. Repeated
+     * clwb of the same line coalesces to one entry, keeping
+     * completePendingFlushes() linear in *distinct* ranges rather
+     * than in issued flushes.
+     */
+    size_t pendingFlushCount() const { return pendingFlushes_.size(); }
+
+    /** Number of distinct written-since-dfence ranges (HOPS). */
+    size_t openWriteCount() const { return openWrites_.size(); }
+
   private:
     Epoch timestamp_ = 0;
     IntervalMap<RangeStatus> map_;
-    /** Ranges clwb'ed since the last fence. */
-    std::vector<AddrRange> pendingFlushes_;
+    /**
+     * Ranges clwb'ed since the last fence, coalesced at record time:
+     * an interval set, so duplicate flushes of the same line cannot
+     * accumulate within an epoch.
+     */
+    IntervalMap<uint8_t> pendingFlushes_;
     /** Ranges written since the last dfence (HOPS bookkeeping). */
-    std::vector<AddrRange> openWrites_;
+    IntervalMap<uint8_t> openWrites_;
 };
 
 } // namespace pmtest::core

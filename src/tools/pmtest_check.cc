@@ -6,7 +6,14 @@
  *
  * Usage:
  *   pmtest_check [--model=x86|hops|arm] [--summary] [--quiet]
- *                [--max-findings=N] <trace-file>
+ *                [--max-findings=N] [--workers=N] [--queue-cap=N]
+ *                [--batch=N] [--stats] <trace-file>
+ *
+ * --workers=N checks the loaded traces on an engine pool instead of
+ * a single inline engine (the paper's decoupled mode); --queue-cap
+ * bounds the per-worker queues, --batch submits traces N at a time,
+ * and --stats prints the pool's dispatch statistics (queue depths,
+ * steals, producer stall time) after the run.
  *
  * Exit status: 0 when no FAIL findings, 1 when crash-consistency
  * bugs were found, 2 on usage/input errors.
@@ -15,8 +22,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/engine.hh"
+#include "core/engine_pool.hh"
 #include "trace/trace_io.hh"
 
 namespace
@@ -30,7 +39,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--model=x86|hops|arm] [--summary] [--quiet]\n"
-        "          [--max-findings=N] <trace-file>\n",
+        "          [--max-findings=N] [--workers=N] [--queue-cap=N]\n"
+        "          [--batch=N] [--stats] <trace-file>\n",
         argv0);
 }
 
@@ -42,7 +52,11 @@ main(int argc, char **argv)
     core::ModelKind model = core::ModelKind::X86;
     bool summary = false;
     bool quiet = false;
+    bool show_stats = false;
     size_t max_findings = 50;
+    size_t workers = 0;
+    size_t queue_cap = 0;
+    size_t batch = 1;
     std::string path;
 
     for (int i = 1; i < argc; i++) {
@@ -67,6 +81,17 @@ main(int argc, char **argv)
         } else if (arg.rfind("--max-findings=", 0) == 0) {
             max_findings =
                 static_cast<size_t>(std::atol(arg.c_str() + 15));
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            workers = static_cast<size_t>(std::atol(arg.c_str() + 10));
+        } else if (arg.rfind("--queue-cap=", 0) == 0) {
+            queue_cap =
+                static_cast<size_t>(std::atol(arg.c_str() + 12));
+        } else if (arg.rfind("--batch=", 0) == 0) {
+            batch = static_cast<size_t>(std::atol(arg.c_str() + 8));
+            if (batch == 0)
+                batch = 1;
+        } else if (arg == "--stats") {
+            show_stats = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -95,18 +120,35 @@ main(int argc, char **argv)
         return 2;
     }
 
-    core::Engine engine(model);
-    core::Report merged;
+    core::PoolOptions options;
+    options.model = model;
+    options.workers = workers;
+    options.queueCapacity = queue_cap;
+    core::EnginePool pool(options);
+
+    const size_t trace_count = bundle.traces.size();
     size_t total_ops = 0;
-    for (const auto &trace : bundle.traces) {
-        merged.merge(engine.check(trace));
+    for (const auto &trace : bundle.traces)
         total_ops += trace.size();
+    std::vector<Trace> pending;
+    pending.reserve(batch);
+    for (auto &trace : bundle.traces) {
+        pending.push_back(std::move(trace));
+        if (pending.size() >= batch) {
+            pool.submitBatch(std::move(pending));
+            pending.clear();
+        }
     }
+    pool.submitBatch(std::move(pending));
+    const core::Report merged = pool.results();
+    const core::PoolStats stats = pool.stats();
 
     if (!quiet) {
-        std::printf("%s: %zu traces, %zu PM operations, model=%s\n",
-                    path.c_str(), bundle.traces.size(), total_ops,
-                    engine.model().name());
+        std::printf("%s: %zu traces, %zu PM operations, model=%s, "
+                    "%zu workers\n",
+                    path.c_str(), trace_count, total_ops,
+                    core::makeModel(model)->name(),
+                    pool.workerCount());
         if (summary) {
             std::printf("%s", merged.summaryStr().c_str());
         } else {
@@ -123,5 +165,8 @@ main(int argc, char **argv)
             }
         }
     }
+    // An explicit --stats request wins over --quiet.
+    if (show_stats)
+        std::printf("%s", stats.str().c_str());
     return merged.failCount() == 0 ? 0 : 1;
 }

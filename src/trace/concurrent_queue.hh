@@ -3,40 +3,119 @@
  * A thread-safe, closeable FIFO queue. This is the user-space channel
  * between the program under test and the checking engine (the paper's
  * §4.5): producers push sealed traces, engine workers pop them.
+ *
+ * The queue supports an optional capacity bound. A bounded queue
+ * exerts backpressure: push() blocks the producer while the queue is
+ * full, so a program that outruns its checkers stalls instead of
+ * growing memory without limit. tryPush() is the non-blocking probe
+ * used by dispatchers that want to account stall time or fall back to
+ * another queue.
  */
 
 #ifndef PMTEST_TRACE_CONCURRENT_QUEUE_HH
 #define PMTEST_TRACE_CONCURRENT_QUEUE_HH
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace pmtest
 {
 
 /**
- * Unbounded multi-producer/multi-consumer queue.
+ * Multi-producer/multi-consumer queue, unbounded by default.
  *
  * pop() blocks until an item is available or the queue is closed;
  * after close(), pop() drains remaining items and then returns
- * std::nullopt.
+ * std::nullopt. With a nonzero capacity, push() blocks while the
+ * queue is full; close() releases blocked producers (their items are
+ * still enqueued so no trace is lost at shutdown).
  */
 template <typename T>
 class ConcurrentQueue
 {
   public:
-    /** Push one item and wake one waiting consumer. */
+    /** @param capacity maximum queued items; 0 = unbounded. */
+    explicit ConcurrentQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+    /**
+     * Push one item and wake one waiting consumer. On a bounded
+     * queue, blocks while full (backpressure) unless closed.
+     */
     void
     push(T item)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            std::unique_lock<std::mutex> lock(mutex_);
+            notFullCv_.wait(lock, [this] { return !fullLocked(); });
             items_.push_back(std::move(item));
         }
         cv_.notify_one();
+    }
+
+    /**
+     * Non-blocking push. @return false when a bounded queue is full
+     * (the item is left untouched in that case).
+     */
+    bool
+    tryPush(T &item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (fullLocked())
+                return false;
+            items_.push_back(std::move(item));
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Push a batch of items under one lock acquisition (amortizes
+     * locking for producers that submit many small traces). On a
+     * bounded queue the batch is enqueued in chunks, waiting for
+     * space between chunks; items keep their order.
+     */
+    void
+    pushAll(std::vector<T> items)
+    {
+        size_t next = 0;
+        while (next < items.size()) {
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                notFullCv_.wait(lock,
+                                [this] { return !fullLocked(); });
+                do {
+                    items_.push_back(std::move(items[next++]));
+                } while (next < items.size() && !fullLocked());
+            }
+            cv_.notify_all();
+        }
+    }
+
+    /**
+     * Non-blocking batch push: succeeds only when the whole batch
+     * fits (or the queue is unbounded/closed).
+     */
+    bool
+    tryPushAll(std::vector<T> &items)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (capacity_ != 0 && !closed_ &&
+                items_.size() + items.size() > capacity_) {
+                return false;
+            }
+            for (auto &item : items)
+                items_.push_back(std::move(item));
+        }
+        items.clear();
+        cv_.notify_all();
+        return true;
     }
 
     /**
@@ -46,12 +125,17 @@ class ConcurrentQueue
     std::optional<T>
     pop()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return !items_.empty() || closed_; });
-        if (items_.empty())
-            return std::nullopt;
-        T item = std::move(items_.front());
-        items_.pop_front();
+        std::optional<T> item;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return !items_.empty() || closed_; });
+            if (items_.empty())
+                return std::nullopt;
+            item = std::move(items_.front());
+            items_.pop_front();
+        }
+        notFullCv_.notify_one();
         return item;
     }
 
@@ -59,15 +143,22 @@ class ConcurrentQueue
     std::optional<T>
     tryPop()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (items_.empty())
-            return std::nullopt;
-        T item = std::move(items_.front());
-        items_.pop_front();
+        std::optional<T> item;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (items_.empty())
+                return std::nullopt;
+            item = std::move(items_.front());
+            items_.pop_front();
+        }
+        notFullCv_.notify_one();
         return item;
     }
 
-    /** Close the queue: consumers drain and then see std::nullopt. */
+    /**
+     * Close the queue: consumers drain and then see std::nullopt;
+     * producers blocked on a full queue are released.
+     */
     void
     close()
     {
@@ -76,6 +167,7 @@ class ConcurrentQueue
             closed_ = true;
         }
         cv_.notify_all();
+        notFullCv_.notify_all();
     }
 
     /** Reopen a closed queue (used when a framework is re-initialized). */
@@ -85,6 +177,9 @@ class ConcurrentQueue
         std::lock_guard<std::mutex> lock(mutex_);
         closed_ = false;
     }
+
+    /** Capacity bound (0 = unbounded). */
+    size_t capacity() const { return capacity_; }
 
     /** Number of queued items (racy; for stats only). */
     size_t
@@ -98,9 +193,21 @@ class ConcurrentQueue
     bool empty() const { return size() == 0; }
 
   private:
+    /**
+     * Whether a push must wait. A closed queue never blocks
+     * producers: shutdown must not deadlock a stalled submitter.
+     */
+    bool
+    fullLocked() const
+    {
+        return capacity_ != 0 && !closed_ && items_.size() >= capacity_;
+    }
+
     mutable std::mutex mutex_;
-    std::condition_variable cv_;
+    std::condition_variable cv_;        ///< signals "not empty / closed"
+    std::condition_variable notFullCv_; ///< signals "space available"
     std::deque<T> items_;
+    size_t capacity_ = 0;
     bool closed_ = false;
 };
 

@@ -79,6 +79,7 @@ runStaged(Tool tool, const StagedWorkload &workload, size_t workers)
 
     result.opsRecorded = pmtestOpsRecorded();
     result.traces = pmtestTracesSubmitted();
+    result.poolStats = pmtestPoolStats();
 
     core::Report report;
     if (tool == Tool::Pmemcheck) {

@@ -40,6 +40,12 @@ struct RunResult
     size_t warnCount = 0;    ///< WARN findings reported by the tool
     uint64_t opsRecorded = 0;///< PM operations traced
     uint64_t traces = 0;     ///< traces submitted
+    /**
+     * Engine-pool dispatch snapshot taken after the drain (PMTest
+     * tools only): steal counts and producer stall time explain
+     * *why* a worker configuration is fast or slow.
+     */
+    core::PoolStats poolStats;
 };
 
 /**

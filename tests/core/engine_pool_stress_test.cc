@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "core/engine_pool.hh"
 
@@ -85,6 +87,124 @@ TEST(EnginePoolStressTest, ClearBetweenBatches)
             << "batch " << batch;
         pool.clearResults();
     }
+}
+
+TEST(EnginePoolStressTest, TakeResultsLosesNothingUnderConcurrentSubmit)
+{
+    // Regression test for the results()/clearResults() race: the
+    // original implementation called drain() (releasing the result
+    // lock) and then re-acquired it to snapshot/reset, so findings of
+    // traces completed in the gap could be wiped without ever being
+    // observed. takeResults() folds the wait and the snapshot+reset
+    // into one critical section: every finding must be returned by
+    // exactly one take.
+    constexpr size_t kProducers = 4;
+    constexpr size_t kTracesPerProducer = 500;
+
+    EnginePool pool(ModelKind::X86, 2);
+    std::atomic<size_t> producers_done{0};
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < kProducers; p++) {
+        producers.emplace_back([&, p] {
+            for (size_t i = 0; i < kTracesPerProducer; i++)
+                pool.submit(traceWithFailures(p * 1000 + i, 1));
+            producers_done.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+
+    // Consume concurrently with the producers: every take races with
+    // in-flight submissions, which is exactly the window the original
+    // drain-then-relock implementation lost findings in.
+    uint64_t observed = 0;
+    while (producers_done.load(std::memory_order_relaxed) <
+           kProducers) {
+        observed += pool.takeResults().failCount();
+    }
+    for (auto &t : producers)
+        t.join();
+    observed += pool.takeResults().failCount();
+
+    EXPECT_EQ(observed, kProducers * kTracesPerProducer);
+    EXPECT_EQ(pool.results().failCount(), 0u); // everything was taken
+}
+
+TEST(EnginePoolStressTest, WorkStealingRescuesSkewedTraceSizes)
+{
+    // One giant trace pins a worker; without stealing the small
+    // traces round-robined behind it would wait. With stealing every
+    // trace is checked and idle workers record steals.
+    EnginePool pool(ModelKind::X86, 2);
+
+    Trace giant(0, 0);
+    for (size_t i = 0; i < 50000; i++) {
+        const uint64_t addr = 0x1000 + 64 * (i % 512);
+        giant.append(PmOp::write(addr, 8));
+    }
+    pool.submit(std::move(giant));
+    // Round-robin sends every other small trace to the giant's queue;
+    // the other worker must steal them instead of idling.
+    for (uint64_t i = 1; i <= 200; i++)
+        pool.submit(traceWithFailures(i, 1));
+    pool.drain();
+
+    const PoolStats stats = pool.stats();
+    EXPECT_EQ(pool.tracesChecked(), 201u);
+    EXPECT_EQ(pool.results().failCount(), 200u);
+    EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(EnginePoolStressTest, BoundedQueueExertsBackpressure)
+{
+    // With capacity 4 per worker, the producer can never observe more
+    // than workers * capacity queued traces: a fast producer stalls
+    // instead of growing the queues without limit.
+    PoolOptions options;
+    options.workers = 2;
+    options.queueCapacity = 4;
+    EnginePool pool(options);
+
+    size_t max_queued = 0;
+    for (uint64_t i = 0; i < 500; i++) {
+        pool.submit(traceWithFailures(i, 2));
+        max_queued =
+            std::max(max_queued, pool.stats().queuedTraces());
+    }
+    pool.drain();
+
+    EXPECT_LE(max_queued, 2u * 4u);
+    EXPECT_EQ(pool.results().failCount(), 1000u);
+}
+
+TEST(EnginePoolStressTest, BatchedProducersAggregateExactly)
+{
+    constexpr size_t kProducers = 4;
+    constexpr size_t kBatches = 40;
+    constexpr size_t kBatchSize = 10;
+
+    PoolOptions options;
+    options.workers = 2;
+    options.queueCapacity = 16; // smaller than a full producer load
+    EnginePool pool(options);
+
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < kProducers; p++) {
+        producers.emplace_back([&pool, p] {
+            for (size_t b = 0; b < kBatches; b++) {
+                std::vector<Trace> batch;
+                for (size_t i = 0; i < kBatchSize; i++) {
+                    batch.push_back(traceWithFailures(
+                        p * 10000 + b * 100 + i, 1));
+                }
+                pool.submitBatch(std::move(batch));
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+
+    const Report report = pool.results();
+    EXPECT_EQ(report.failCount(), kProducers * kBatches * kBatchSize);
+    EXPECT_EQ(pool.stats().batchesSubmitted, kProducers * kBatches);
 }
 
 TEST(EnginePoolStressTest, ManySmallTracesThroughput)

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <vector>
+
 namespace pmtest::core
 {
 namespace
@@ -97,6 +100,116 @@ TEST(EnginePoolTest, OpsProcessedAggregates)
     pool.submit(cleanTrace(2)); // 4 ops
     pool.drain();
     EXPECT_EQ(pool.opsProcessed(), 8u);
+}
+
+TEST(EnginePoolTest, SubmitBatchChecksEveryTrace)
+{
+    EnginePool pool(ModelKind::X86, 2);
+    std::vector<Trace> batch;
+    for (uint64_t i = 0; i < 25; i++)
+        batch.push_back(buggyTrace(i));
+    pool.submitBatch(std::move(batch));
+    pool.submitBatch({}); // empty batch is a no-op
+    const Report report = pool.results();
+    EXPECT_EQ(report.failCount(), 25u);
+    EXPECT_EQ(pool.tracesChecked(), 25u);
+    EXPECT_EQ(pool.stats().batchesSubmitted, 1u);
+}
+
+TEST(EnginePoolTest, SubmitBatchInlineMode)
+{
+    EnginePool pool(ModelKind::X86, 0);
+    std::vector<Trace> batch;
+    for (uint64_t i = 0; i < 5; i++)
+        batch.push_back(buggyTrace(i));
+    pool.submitBatch(std::move(batch));
+    EXPECT_EQ(pool.results().failCount(), 5u);
+}
+
+TEST(EnginePoolTest, StatsCountersAreConsistent)
+{
+    PoolOptions options;
+    options.workers = 3;
+    options.queueCapacity = 128;
+    EnginePool pool(options);
+
+    for (uint64_t i = 0; i < 30; i++)
+        pool.submit(i % 2 ? buggyTrace(i) : cleanTrace(i));
+    pool.drain();
+
+    const PoolStats stats = pool.stats();
+    ASSERT_EQ(stats.workers.size(), 3u);
+    EXPECT_EQ(stats.tracesSubmitted, 30u);
+    EXPECT_EQ(stats.tracesCompleted, 30u);
+    EXPECT_EQ(stats.queueCapacity, 128u);
+    EXPECT_TRUE(stats.workStealing);
+    EXPECT_EQ(stats.queuedTraces(), 0u); // drained
+
+    uint64_t checked = 0, ops = 0;
+    for (const auto &w : stats.workers) {
+        checked += w.tracesChecked;
+        ops += w.opsProcessed;
+    }
+    EXPECT_EQ(checked, 30u);
+    EXPECT_EQ(ops, pool.opsProcessed());
+    EXPECT_FALSE(stats.str().empty());
+}
+
+TEST(EnginePoolTest, InlineModeStatsReportOnePseudoWorker)
+{
+    EnginePool pool(ModelKind::X86, 0);
+    pool.submit(cleanTrace(1));
+    const PoolStats stats = pool.stats();
+    ASSERT_EQ(stats.workers.size(), 1u);
+    EXPECT_EQ(stats.workers[0].tracesChecked, 1u);
+    EXPECT_EQ(stats.tracesSubmitted, 1u);
+    EXPECT_EQ(stats.tracesCompleted, 1u);
+}
+
+TEST(EnginePoolTest, StealingDisabledStillChecksEverything)
+{
+    PoolOptions options;
+    options.workers = 4;
+    options.workStealing = false;
+    EnginePool pool(options);
+    for (uint64_t i = 0; i < 40; i++)
+        pool.submit(buggyTrace(i));
+    const Report report = pool.results();
+    EXPECT_EQ(report.failCount(), 40u);
+    EXPECT_FALSE(pool.stats().workStealing);
+    EXPECT_EQ(pool.stats().steals, 0u);
+}
+
+TEST(EnginePoolTest, QueueCapacityFromEnvironment)
+{
+    setenv("PMTEST_QUEUE_CAP", "7", /*overwrite=*/1);
+    EnginePool pool(ModelKind::X86, 1);
+    EXPECT_EQ(pool.queueCapacity(), 7u);
+    unsetenv("PMTEST_QUEUE_CAP");
+
+    EnginePool unbounded(ModelKind::X86, 1);
+    EXPECT_EQ(unbounded.queueCapacity(), 0u);
+}
+
+TEST(EnginePoolTest, ExplicitCapacityBeatsEnvironment)
+{
+    setenv("PMTEST_QUEUE_CAP", "7", /*overwrite=*/1);
+    PoolOptions options;
+    options.workers = 1;
+    options.queueCapacity = 3;
+    EnginePool pool(options);
+    EXPECT_EQ(pool.queueCapacity(), 3u);
+    unsetenv("PMTEST_QUEUE_CAP");
+}
+
+TEST(EnginePoolTest, TakeResultsReturnsAndResets)
+{
+    EnginePool pool(ModelKind::X86, 1);
+    pool.submit(buggyTrace(1));
+    EXPECT_EQ(pool.takeResults().failCount(), 1u);
+    EXPECT_EQ(pool.results().failCount(), 0u);
+    pool.submit(buggyTrace(2));
+    EXPECT_EQ(pool.takeResults().failCount(), 1u);
 }
 
 } // namespace

@@ -117,6 +117,75 @@ TEST(ShadowMemoryTest, CleanScanOnFreshWrite)
     EXPECT_FALSE(scan.alreadyClean);
 }
 
+TEST(ShadowMemoryTest, DuplicateClwbCoalescesWithinEpoch)
+{
+    // Regression: repeated clwb of the same line used to append a new
+    // fence-pending entry per call, making completePendingFlushes()
+    // O(flushes x overlaps) within an epoch. Duplicates must coalesce
+    // at record time.
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0x10, 64));
+    for (int i = 0; i < 1000; i++)
+        shadow.recordClwb(AddrRange(0x10, 64));
+    EXPECT_EQ(shadow.pendingFlushCount(), 1u);
+
+    shadow.bumpTimestamp();
+    shadow.completePendingFlushes();
+    EXPECT_EQ(shadow.pendingFlushCount(), 0u);
+    EXPECT_TRUE(shadow.allPersisted(AddrRange(0x10, 64)));
+    const auto intervals = shadow.persistIntervals(AddrRange(0x10, 64));
+    ASSERT_EQ(intervals.size(), 1u);
+    EXPECT_EQ(intervals[0].second, Interval(0, 1));
+}
+
+TEST(ShadowMemoryTest, OverlappingClwbRangesStayDisjoint)
+{
+    // Overlapping flush ranges carve into disjoint pending entries
+    // instead of accumulating one entry per issued clwb.
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0, 128));
+    for (int i = 0; i < 100; i++) {
+        shadow.recordClwb(AddrRange(0, 64));
+        shadow.recordClwb(AddrRange(32, 64)); // overlaps the first
+    }
+    EXPECT_LE(shadow.pendingFlushCount(), 3u);
+
+    shadow.bumpTimestamp();
+    shadow.completePendingFlushes();
+    EXPECT_TRUE(shadow.allPersisted(AddrRange(0, 96)));
+    EXPECT_FALSE(shadow.allPersisted(AddrRange(96, 32))); // unflushed
+}
+
+TEST(ShadowMemoryTest, DuplicateWritesCoalesceOpenWriteBookkeeping)
+{
+    // The HOPS dfence path keeps written-since-dfence ranges; writing
+    // the same word in a loop must not grow that set.
+    ShadowMemory shadow;
+    for (int i = 0; i < 1000; i++)
+        shadow.recordWrite(AddrRange(0x40, 8));
+    EXPECT_EQ(shadow.openWriteCount(), 1u);
+
+    shadow.bumpTimestamp();
+    shadow.completeAllWrites();
+    EXPECT_EQ(shadow.openWriteCount(), 0u);
+    EXPECT_TRUE(shadow.allPersisted(AddrRange(0x40, 8)));
+}
+
+TEST(ShadowMemoryTest, WriteAfterClwbStillInvalidatesCoalescedFlush)
+{
+    // The coalesced bookkeeping must preserve the invalidation rule:
+    // a write after the clwb reopens the persist interval even though
+    // the pending-flush range was recorded only once.
+    ShadowMemory shadow;
+    shadow.recordWrite(AddrRange(0x10, 8));
+    shadow.recordClwb(AddrRange(0x10, 8));
+    shadow.recordClwb(AddrRange(0x10, 8)); // duplicate
+    shadow.recordWrite(AddrRange(0x10, 8)); // invalidates both
+    shadow.bumpTimestamp();
+    shadow.completePendingFlushes();
+    EXPECT_FALSE(shadow.allPersisted(AddrRange(0x10, 8)));
+}
+
 TEST(ShadowMemoryTest, CompleteAllWritesClosesEverything)
 {
     // The HOPS dfence rule.

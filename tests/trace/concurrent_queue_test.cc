@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -78,6 +80,97 @@ TEST(ConcurrentQueueTest, ReopenAfterClose)
     q.reopen();
     q.push(7);
     EXPECT_EQ(q.pop().value(), 7);
+}
+
+TEST(ConcurrentQueueTest, TryPushRespectsCapacity)
+{
+    ConcurrentQueue<int> q(/*capacity=*/2);
+    EXPECT_EQ(q.capacity(), 2u);
+    int a = 1, b = 2, c = 3;
+    EXPECT_TRUE(q.tryPush(a));
+    EXPECT_TRUE(q.tryPush(b));
+    EXPECT_FALSE(q.tryPush(c));
+    EXPECT_EQ(c, 3); // rejected item untouched
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_TRUE(q.tryPush(c));
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(ConcurrentQueueTest, UnboundedTryPushAlwaysSucceeds)
+{
+    ConcurrentQueue<int> q;
+    for (int i = 0; i < 1000; i++) {
+        int v = i;
+        EXPECT_TRUE(q.tryPush(v));
+    }
+    EXPECT_EQ(q.size(), 1000u);
+}
+
+TEST(ConcurrentQueueTest, PushBlocksWhileFullUntilPop)
+{
+    // Backpressure: a producer pushing into a full queue must wait
+    // for a consumer, and its item must arrive afterwards.
+    ConcurrentQueue<int> q(/*capacity=*/1);
+    q.push(1);
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        q.push(2); // blocks until the pop below
+        pushed.store(true);
+    });
+
+    // Give the producer a chance to block (no reliable way to assert
+    // "is blocked"; the FIFO order assertion below is the real check).
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(pushed.load());
+
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+}
+
+TEST(ConcurrentQueueTest, CloseReleasesBlockedProducer)
+{
+    ConcurrentQueue<int> q(/*capacity=*/1);
+    q.push(1);
+    std::thread producer([&] { q.push(2); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.close(); // must not strand the producer at shutdown
+    producer.join();
+    // The late item is still enqueued — nothing is lost.
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ConcurrentQueueTest, PushAllKeepsOrderAcrossCapacityChunks)
+{
+    ConcurrentQueue<int> q(/*capacity=*/4);
+    std::vector<int> items;
+    for (int i = 0; i < 20; i++)
+        items.push_back(i);
+
+    std::thread producer([&] { q.pushAll(std::move(items)); });
+    for (int i = 0; i < 20; i++)
+        EXPECT_EQ(q.pop().value(), i);
+    producer.join();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentQueueTest, TryPushAllIsAllOrNothing)
+{
+    ConcurrentQueue<int> q(/*capacity=*/3);
+    std::vector<int> batch = {1, 2, 3, 4};
+    EXPECT_FALSE(q.tryPushAll(batch));
+    EXPECT_EQ(batch.size(), 4u); // rejected batch untouched
+    EXPECT_TRUE(q.empty());
+
+    batch.pop_back();
+    EXPECT_TRUE(q.tryPushAll(batch));
+    EXPECT_TRUE(batch.empty());
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop().value(), 1);
 }
 
 } // namespace
