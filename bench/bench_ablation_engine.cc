@@ -6,6 +6,11 @@
  * the claim that validation is cheap enough to run at development
  * time (paper §2.2's "fast" requirement). Also measures the
  * worker-pool dispatch overhead per trace.
+ *
+ * Two further axes ablate the checking-kernel rewrite: reusing one
+ * engine's trace state across traces versus constructing a fresh
+ * engine per trace (the pre-rewrite pool behaviour), and the
+ * model-templated dispatch versus per-op virtual dispatch.
  */
 
 #include <benchmark/benchmark.h>
@@ -101,11 +106,72 @@ BM_PoolDispatch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * trace.size());
 }
 
+void
+BM_EngineStateReused(benchmark::State &state)
+{
+    // One engine across all traces: shadow-memory storage, exclusion
+    // lists and TX bookkeeping keep their capacity between checks.
+    const Trace trace =
+        makeTrace(static_cast<size_t>(state.range(0)), 64, 42);
+    Engine engine(ModelKind::X86);
+    for (auto _ : state) {
+        const Report report = engine.check(trace);
+        benchmark::DoNotOptimize(report.failCount());
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+
+void
+BM_EngineStateFresh(benchmark::State &state)
+{
+    // A new engine per trace: every check starts from cold storage —
+    // the allocation profile the pool had before state reuse.
+    const Trace trace =
+        makeTrace(static_cast<size_t>(state.range(0)), 64, 42);
+    for (auto _ : state) {
+        Engine engine(ModelKind::X86);
+        const Report report = engine.check(trace);
+        benchmark::DoNotOptimize(report.failCount());
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+
+void
+BM_EngineDispatchTemplated(benchmark::State &state)
+{
+    const Trace trace =
+        makeTrace(static_cast<size_t>(state.range(0)), 64, 42);
+    Engine engine(ModelKind::X86, Engine::Dispatch::Templated);
+    for (auto _ : state) {
+        const Report report = engine.check(trace);
+        benchmark::DoNotOptimize(report.failCount());
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+
+void
+BM_EngineDispatchVirtual(benchmark::State &state)
+{
+    // Per-op virtual call into the model (the pre-rewrite kernel).
+    const Trace trace =
+        makeTrace(static_cast<size_t>(state.range(0)), 64, 42);
+    Engine engine(ModelKind::X86, Engine::Dispatch::Virtual);
+    for (auto _ : state) {
+        const Report report = engine.check(trace);
+        benchmark::DoNotOptimize(report.failCount());
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+
 } // namespace
 
 BENCHMARK(BM_EngineThroughput)->Arg(16)->Arg(256)->Arg(4096);
 BENCHMARK(BM_EngineWideRanges)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
 BENCHMARK(BM_EngineCheckerDensity)->Arg(0)->Arg(1)->Arg(4)->Arg(16);
 BENCHMARK(BM_PoolDispatch)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_EngineStateReused)->Arg(4)->Arg(64)->Arg(1024);
+BENCHMARK(BM_EngineStateFresh)->Arg(4)->Arg(64)->Arg(1024);
+BENCHMARK(BM_EngineDispatchTemplated)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_EngineDispatchVirtual)->Arg(16)->Arg(256)->Arg(4096);
 
 BENCHMARK_MAIN();

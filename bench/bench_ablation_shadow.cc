@@ -7,12 +7,20 @@
  * instrumentation tools keep — pays for every byte of every store.
  * This benchmark applies the same synthetic PM-operation stream to
  * both and reports ns/op as the range size grows.
+ *
+ * A second axis ablates the interval map's own backing store: the
+ * flat sorted-vector layout (core::IntervalMap) against the original
+ * one-heap-node-per-entry std::map layout (bench::NodeIntervalMap) on
+ * an interval-heavy stream of assigns, erases, coverage queries and
+ * overlap scans.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <unordered_map>
 
+#include "bench/node_interval_map.hh"
+#include "core/interval_map.hh"
 #include "core/shadow_memory.hh"
 #include "util/random.hh"
 
@@ -107,9 +115,104 @@ BM_ByteShadow(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * stream.ops.size());
 }
 
+/**
+ * Interval-heavy stream exercising the map operations the engine's
+ * hot path issues: mostly assigns (recordWrite), some erases, and a
+ * covers + overlap-scan probe per mutation (isPersist checking).
+ */
+struct IntervalStream
+{
+    struct Op
+    {
+        int kind; // 0 = assign, 1 = erase, 2 = covers, 3 = overlap
+        uint64_t addr;
+        uint64_t size;
+    };
+
+    std::vector<Op> ops;
+
+    IntervalStream(size_t n_ops, uint64_t working_set, uint64_t seed)
+    {
+        Rng rng(seed);
+        for (size_t i = 0; i < n_ops; i++) {
+            const uint64_t dice = rng.below(10);
+            const uint64_t addr = 64 * rng.below(working_set / 64);
+            const uint64_t size = 8 + rng.below(120);
+            if (dice < 5) {
+                ops.push_back({0, addr, size});
+            } else if (dice < 6) {
+                ops.push_back({1, addr, size});
+            } else if (dice < 8) {
+                ops.push_back({2, addr, size});
+            } else {
+                ops.push_back({3, addr, size});
+            }
+        }
+    }
+};
+
+/** Drive any interval-map type through the stream; map is reused. */
+template <typename MapT>
+uint64_t
+runIntervalStream(MapT &map, const IntervalStream &stream)
+{
+    uint64_t acc = 0;
+    map.clear();
+    for (const auto &op : stream.ops) {
+        const AddrRange range(op.addr, op.size);
+        switch (op.kind) {
+          case 0:
+            map.assign(range, op.addr);
+            break;
+          case 1:
+            map.erase(range);
+            break;
+          case 2:
+            acc += map.covers(range);
+            break;
+          default:
+            map.forEachOverlap(range, [&](const auto &e) {
+                acc += e.end - e.start;
+            });
+        }
+    }
+    return acc;
+}
+
+/** Flat sorted-vector interval map (current shadow-memory backing). */
+void
+BM_FlatIntervalMap(benchmark::State &state)
+{
+    const IntervalStream stream(
+        8192, static_cast<uint64_t>(state.range(0)), 42);
+    IntervalMap<uint64_t> map;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runIntervalStream(map, stream));
+    state.SetItemsProcessed(state.iterations() * stream.ops.size());
+}
+
+/** Node-per-entry std::map baseline (pre-rewrite backing). */
+void
+BM_NodeIntervalMap(benchmark::State &state)
+{
+    const IntervalStream stream(
+        8192, static_cast<uint64_t>(state.range(0)), 42);
+    pmtest::bench::NodeIntervalMap<uint64_t> map;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runIntervalStream(map, stream));
+    state.SetItemsProcessed(state.iterations() * stream.ops.size());
+}
+
 } // namespace
 
 BENCHMARK(BM_IntervalShadow)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 BENCHMARK(BM_ByteShadow)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Working-set sizes in bytes: small sets stress carve/split density,
+// large sets stress the search.
+BENCHMARK(BM_FlatIntervalMap)
+    ->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK(BM_NodeIntervalMap)
+    ->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Checking-kernel ablation harness: one binary measuring the three
+ * rewrite axes end to end and emitting the results as JSON for CI
+ * trend tracking.
+ *
+ *  - storage: flat sorted-vector IntervalMap vs the node-backed
+ *    std::map layout it replaced, on an interval-heavy op stream.
+ *  - state: one reused engine (capacity-retaining reset) vs a fresh
+ *    engine per trace.
+ *  - dispatch: model-templated kernel vs per-op virtual dispatch.
+ *
+ * Flags:
+ *  --smoke        tiny workload (seconds -> milliseconds); CI uses
+ *                 this to validate the harness and capture the JSON.
+ *  --json=PATH    where to write the JSON (default BENCH_kernel.json).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "bench/node_interval_map.hh"
+#include "core/engine.hh"
+#include "core/interval_map.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+namespace
+{
+
+using namespace pmtest;
+using namespace pmtest::core;
+
+/** One measured comparison: candidate vs baseline on the same work. */
+struct Section
+{
+    std::string name;
+    std::string baseline;
+    std::string candidate;
+    double baselineMops = 0;
+    double candidateMops = 0;
+
+    double speedup() const { return candidateMops / baselineMops; }
+};
+
+/** Best-of-@p reps wall time of @p fn, in seconds. */
+template <typename Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = 0;
+    for (int i = 0; i < reps; i++) {
+        Timer timer;
+        fn();
+        const double sec = timer.elapsedSec();
+        if (i == 0 || sec < best)
+            best = sec;
+    }
+    return best;
+}
+
+// --- storage: flat vs node interval map ----------------------------
+
+struct IntervalOp
+{
+    int kind; // 0 = assign, 1 = erase, 2 = covers, 3 = overlap
+    uint64_t addr;
+    uint64_t size;
+};
+
+std::vector<IntervalOp>
+makeIntervalStream(size_t n_ops, uint64_t working_set, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<IntervalOp> ops;
+    ops.reserve(n_ops);
+    for (size_t i = 0; i < n_ops; i++) {
+        const uint64_t dice = rng.below(10);
+        const uint64_t addr = 64 * rng.below(working_set / 64);
+        const uint64_t size = 8 + rng.below(120);
+        if (dice < 5) {
+            ops.push_back({0, addr, size});
+        } else if (dice < 6) {
+            ops.push_back({1, addr, size});
+        } else if (dice < 8) {
+            ops.push_back({2, addr, size});
+        } else {
+            ops.push_back({3, addr, size});
+        }
+    }
+    return ops;
+}
+
+template <typename MapT>
+uint64_t
+runIntervalStream(MapT &map, const std::vector<IntervalOp> &ops)
+{
+    uint64_t acc = 0;
+    map.clear();
+    for (const auto &op : ops) {
+        const AddrRange range(op.addr, op.size);
+        switch (op.kind) {
+          case 0:
+            map.assign(range, op.addr);
+            break;
+          case 1:
+            map.erase(range);
+            break;
+          case 2:
+            acc += map.covers(range);
+            break;
+          default:
+            map.forEachOverlap(range, [&](const auto &e) {
+                acc += e.end - e.start;
+            });
+        }
+    }
+    return acc;
+}
+
+Section
+measureStorage(size_t stream_ops, int passes, uint64_t working_set,
+               const char *tag)
+{
+    const auto ops = makeIntervalStream(stream_ops, working_set, 42);
+    volatile uint64_t sink = 0;
+
+    IntervalMap<uint64_t> flat;
+    const double flat_sec = bestOf(3, [&] {
+        for (int p = 0; p < passes; p++)
+            sink += runIntervalStream(flat, ops);
+    });
+
+    pmtest::bench::NodeIntervalMap<uint64_t> node;
+    const double node_sec = bestOf(3, [&] {
+        for (int p = 0; p < passes; p++)
+            sink += runIntervalStream(node, ops);
+    });
+
+    const double total = static_cast<double>(stream_ops) * passes;
+    Section s;
+    s.name = std::string("interval_map_storage_") + tag;
+    s.baseline = "node_std_map";
+    s.candidate = "flat_vector";
+    s.baselineMops = total / node_sec * 1e-6;
+    s.candidateMops = total / flat_sec * 1e-6;
+    return s;
+}
+
+// --- state: reused vs fresh engine ---------------------------------
+
+std::vector<Trace>
+makeTraces(size_t count, size_t rounds, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Trace> traces;
+    traces.reserve(count);
+    for (size_t t = 0; t < count; t++) {
+        Trace trace(t, 0);
+        for (size_t i = 0; i < rounds; i++) {
+            const uint64_t addr = 64 * rng.below(1024);
+            trace.append(PmOp::write(addr, 64));
+            trace.append(PmOp::clwb(addr, 64));
+            trace.append(PmOp::sfence());
+            trace.append(PmOp::isPersist(addr, 64));
+        }
+        traces.push_back(std::move(trace));
+    }
+    return traces;
+}
+
+Section
+measureStateReuse(size_t traces_n, size_t rounds)
+{
+    const auto traces = makeTraces(traces_n, rounds, 7);
+    size_t total_ops = 0;
+    for (const auto &t : traces)
+        total_ops += t.size();
+    volatile uint64_t sink = 0;
+
+    Engine reused(ModelKind::X86);
+    const double reused_sec = bestOf(3, [&] {
+        for (const auto &t : traces)
+            sink += reused.check(t).failCount();
+    });
+
+    const double fresh_sec = bestOf(3, [&] {
+        for (const auto &t : traces) {
+            Engine fresh(ModelKind::X86);
+            sink += fresh.check(t).failCount();
+        }
+    });
+
+    Section s;
+    s.name = "engine_state";
+    s.baseline = "fresh_per_trace";
+    s.candidate = "reused";
+    s.baselineMops = static_cast<double>(total_ops) / fresh_sec * 1e-6;
+    s.candidateMops = static_cast<double>(total_ops) / reused_sec * 1e-6;
+    return s;
+}
+
+// --- dispatch: templated vs virtual --------------------------------
+
+Section
+measureDispatch(size_t rounds, int passes)
+{
+    const auto traces = makeTraces(1, rounds, 11);
+    const Trace &trace = traces.front();
+    volatile uint64_t sink = 0;
+
+    Engine templated(ModelKind::X86, Engine::Dispatch::Templated);
+    const double fast_sec = bestOf(3, [&] {
+        for (int p = 0; p < passes; p++)
+            sink += templated.check(trace).failCount();
+    });
+
+    Engine virtualised(ModelKind::X86, Engine::Dispatch::Virtual);
+    const double slow_sec = bestOf(3, [&] {
+        for (int p = 0; p < passes; p++)
+            sink += virtualised.check(trace).failCount();
+    });
+
+    const double total = static_cast<double>(trace.size()) * passes;
+    Section s;
+    s.name = "model_dispatch";
+    s.baseline = "virtual";
+    s.candidate = "templated";
+    s.baselineMops = total / slow_sec * 1e-6;
+    s.candidateMops = total / fast_sec * 1e-6;
+    return s;
+}
+
+// --- reporting -----------------------------------------------------
+
+void
+printSection(const Section &s)
+{
+    std::printf("%-20s %-16s %8.2f Mops/s\n", s.name.c_str(),
+                s.baseline.c_str(), s.baselineMops);
+    std::printf("%-20s %-16s %8.2f Mops/s   -> %.2fx\n", "",
+                s.candidate.c_str(), s.candidateMops, s.speedup());
+}
+
+bool
+writeJson(const std::string &path, const std::vector<Section> &sections,
+          bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"kernel\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"scale\": %zu,\n", pmtest::bench::scale());
+    std::fprintf(f, "  \"sections\": [\n");
+    for (size_t i = 0; i < sections.size(); i++) {
+        const Section &s = sections[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"baseline\": \"%s\", "
+                     "\"candidate\": \"%s\", \"baseline_mops\": %.3f, "
+                     "\"candidate_mops\": %.3f, \"speedup\": %.3f}%s\n",
+                     s.name.c_str(), s.baseline.c_str(),
+                     s.candidate.c_str(), s.baselineMops,
+                     s.candidateMops, s.speedup(),
+                     i + 1 < sections.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string json_path = "BENCH_kernel.json";
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    pmtest::bench::banner("Kernel ablation",
+                          "flat storage, state reuse, devirtualised "
+                          "dispatch");
+
+    const size_t s = pmtest::bench::scale();
+    std::vector<Section> sections;
+    if (smoke) {
+        sections.push_back(measureStorage(1024, 2, 4 << 10, "hot4k"));
+        sections.push_back(measureStorage(1024, 2, 64 << 10, "64k"));
+        sections.push_back(measureStateReuse(16, 16));
+        sections.push_back(measureDispatch(256, 4));
+    } else {
+        sections.push_back(
+            measureStorage(8192, 50 * s, 4 << 10, "hot4k"));
+        sections.push_back(
+            measureStorage(8192, 50 * s, 64 << 10, "64k"));
+        sections.push_back(measureStateReuse(512 * s, 64));
+        sections.push_back(measureDispatch(4096, 100 * s));
+    }
+
+    for (const auto &section : sections)
+        printSection(section);
+
+    if (!writeJson(json_path, sections, smoke))
+        return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The node-backed (std::map) interval map this repository shipped
+ * before the flat sorted-vector rewrite, preserved verbatim as the
+ * "before" side of the storage-layout ablation. Benchmarks pit it
+ * against core::IntervalMap on the same op streams; nothing outside
+ * bench/ may include this header.
+ */
+
+#ifndef PMTEST_BENCH_NODE_INTERVAL_MAP_HH
+#define PMTEST_BENCH_NODE_INTERVAL_MAP_HH
+
+#include <cstdint>
+#include <map>
+
+#include "core/interval.hh"
+
+namespace pmtest::bench
+{
+
+/**
+ * Map from disjoint half-open ranges [start, end) to values of type V,
+ * backed by one heap node per entry (std::map keyed by range start).
+ */
+template <typename V>
+class NodeIntervalMap
+{
+  public:
+    /** One visited entry: [start, end) -> value. */
+    struct Entry
+    {
+        uint64_t start;
+        uint64_t end;
+        const V &value;
+    };
+
+    /** Assign @p value to [range.addr, range.end()). */
+    void
+    assign(const core::AddrRange &range, V value)
+    {
+        if (range.empty())
+            return;
+        carve(range);
+        map_[range.addr] = Slot{range.end(), std::move(value)};
+    }
+
+    /** Remove any values within the range. */
+    void
+    erase(const core::AddrRange &range)
+    {
+        if (range.empty())
+            return;
+        carve(range);
+    }
+
+    /** Remove everything (releases every node). */
+    void clear() { map_.clear(); }
+
+    /** Invoke @p fn for every entry overlapping @p range, clipped. */
+    template <typename Fn>
+    void
+    forEachOverlap(const core::AddrRange &range, Fn &&fn) const
+    {
+        if (range.empty())
+            return;
+        auto it = firstOverlap(range);
+        for (; it != map_.end() && it->first < range.end(); ++it) {
+            fn(Entry{std::max(it->first, range.addr),
+                     std::min(it->second.end, range.end()),
+                     it->second.value});
+        }
+    }
+
+    /** Whether any entry overlaps the range. */
+    bool
+    anyOverlap(const core::AddrRange &range) const
+    {
+        if (range.empty())
+            return false;
+        auto it = firstOverlap(range);
+        return it != map_.end() && it->first < range.end();
+    }
+
+    /** Whether the union of stored ranges fully covers @p range. */
+    bool
+    covers(const core::AddrRange &range) const
+    {
+        if (range.empty())
+            return true;
+        uint64_t pos = range.addr;
+        auto it = firstOverlap(range);
+        for (; it != map_.end() && it->first < range.end(); ++it) {
+            if (it->first > pos)
+                return false; // gap
+            pos = std::max(pos, it->second.end);
+            if (pos >= range.end())
+                return true;
+        }
+        return false;
+    }
+
+    /** Number of stored (disjoint) entries. */
+    size_t size() const { return map_.size(); }
+
+  private:
+    struct Slot
+    {
+        uint64_t end;
+        V value;
+    };
+
+    using Map = std::map<uint64_t, Slot>;
+
+    typename Map::const_iterator
+    firstOverlap(const core::AddrRange &range) const
+    {
+        auto it = map_.upper_bound(range.addr);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > range.addr)
+                return prev;
+        }
+        return it;
+    }
+
+    typename Map::iterator
+    firstOverlapMut(const core::AddrRange &range)
+    {
+        auto it = map_.upper_bound(range.addr);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > range.addr)
+                return prev;
+        }
+        return it;
+    }
+
+    void
+    carve(const core::AddrRange &range)
+    {
+        auto it = firstOverlapMut(range);
+        while (it != map_.end() && it->first < range.end()) {
+            const uint64_t e_start = it->first;
+            const uint64_t e_end = it->second.end;
+            V value = std::move(it->second.value);
+            it = map_.erase(it);
+
+            if (e_start < range.addr)
+                map_[e_start] = Slot{range.addr, value};
+            if (e_end > range.end()) {
+                it = map_.emplace(range.end(),
+                                  Slot{e_end, std::move(value)})
+                         .first;
+                ++it;
+            }
+        }
+    }
+
+    Map map_;
+};
+
+} // namespace pmtest::bench
+
+#endif // PMTEST_BENCH_NODE_INTERVAL_MAP_HH

@@ -4,64 +4,33 @@ namespace pmtest::core
 {
 
 void
-ArmModel::apply(const PmOp &op, ShadowMemory &shadow, Report &report,
-                size_t op_index)
+ArmModel::reportCvapWarns(const ClwbScan &scan, const PmOp &op,
+                          Report &report, size_t op_index)
 {
-    switch (op.type) {
-      case OpType::Write:
-        shadow.recordWrite(AddrRange(op.addr, op.size));
-        break;
-
-      case OpType::DcCvap: {
-        // Clean-to-persistence: same interval semantics as clwb,
-        // including the performance-bug WARN rules.
-        const AddrRange range(op.addr, op.size);
-        const ClwbScan scan = shadow.scanClwb(range);
-        if (scan.redundant) {
-            Finding f;
-            f.severity = Severity::Warn;
-            f.kind = FindingKind::RedundantFlush;
-            f.message = "DC CVAP of " + range.str() +
-                        " duplicates an earlier clean that has not "
-                        "been synchronized yet";
-            f.loc = op.loc;
-            f.opIndex = op_index;
-            report.add(std::move(f));
-        } else if (scan.unmodified || scan.alreadyClean) {
-            Finding f;
-            f.severity = Severity::Warn;
-            f.kind = FindingKind::UnnecessaryFlush;
-            f.message = "DC CVAP of " + range.str() +
-                        (scan.unmodified
-                             ? " targets data never modified in this "
-                               "trace"
-                             : " targets data that is already "
-                               "persistent");
-            f.loc = op.loc;
-            f.opIndex = op_index;
-            report.add(std::move(f));
-        }
-        shadow.recordClwb(range);
-        break;
-      }
-
-      case OpType::Dsb:
-        shadow.bumpTimestamp();
-        shadow.completePendingFlushes();
-        break;
-
-      case OpType::Clwb:
-      case OpType::ClflushOpt:
-      case OpType::Clflush:
-      case OpType::Sfence:
-      case OpType::Ofence:
-      case OpType::Dfence:
-        reportMalformed(op, report, op_index, name());
-        break;
-
-      default:
-        // Transactional events and checkers are handled by the engine.
-        break;
+    const AddrRange range(op.addr, op.size);
+    if (scan.redundant) {
+        Finding f;
+        f.severity = Severity::Warn;
+        f.kind = FindingKind::RedundantFlush;
+        f.message = "DC CVAP of " + range.str() +
+                    " duplicates an earlier clean that has not "
+                    "been synchronized yet";
+        f.loc = op.loc;
+        f.opIndex = op_index;
+        report.add(std::move(f));
+    } else if (scan.unmodified || scan.alreadyClean) {
+        Finding f;
+        f.severity = Severity::Warn;
+        f.kind = FindingKind::UnnecessaryFlush;
+        f.message = "DC CVAP of " + range.str() +
+                    (scan.unmodified
+                         ? " targets data never modified in this "
+                           "trace"
+                         : " targets data that is already "
+                           "persistent");
+        f.loc = op.loc;
+        f.opIndex = op_index;
+        report.add(std::move(f));
     }
 }
 

@@ -1,11 +1,26 @@
 #include "core/engine.hh"
 
+#include "core/arm_model.hh"
+#include "core/hops_model.hh"
+#include "core/x86_model.hh"
 #include "util/logging.hh"
 
 namespace pmtest::core
 {
 
-Engine::Engine(ModelKind kind) : model_(makeModel(kind))
+void
+Engine::TraceState::reset()
+{
+    shadow.reset();
+    exclusions.clear();
+    txDepth = 0;
+    logTree.clear();
+    txCheckActive = false;
+    txWrites.clear();
+}
+
+Engine::Engine(ModelKind kind, Dispatch dispatch)
+    : kind_(kind), dispatch_(dispatch), model_(makeModel(kind))
 {
     if (!model_)
         fatal("Engine: unknown persistency model");
@@ -15,27 +30,54 @@ Report
 Engine::check(const Trace &trace)
 {
     Report report(trace.id());
-    TraceState state;
+    state_.reset();
 
-    const auto &ops = trace.ops();
-    for (size_t i = 0; i < ops.size(); i++) {
-        handleOp(ops[i], i, state, report);
-        opsProcessed_++;
+    // Select the model rules once per trace. The templated kernels
+    // call through a concretely-typed reference to a final class, so
+    // the per-op apply() devirtualizes and inlines; the Virtual mode
+    // instantiates the same kernel against the base class, retaining
+    // the classic one-virtual-call-per-op path for the ablation.
+    if (dispatch_ == Dispatch::Virtual) {
+        runTrace(*model_, trace, report);
+    } else {
+        switch (kind_) {
+          case ModelKind::X86:
+            runTrace(static_cast<X86Model &>(*model_), trace, report);
+            break;
+          case ModelKind::Hops:
+            runTrace(static_cast<HopsModel &>(*model_), trace, report);
+            break;
+          case ModelKind::Arm:
+            runTrace(static_cast<ArmModel &>(*model_), trace, report);
+            break;
+        }
     }
 
-    if (state.txDepth > 0) {
+    if (state_.txDepth > 0) {
         Finding f;
         f.severity = Severity::Fail;
         f.kind = FindingKind::UnmatchedTx;
-        f.message = "trace ends with " + std::to_string(state.txDepth) +
+        f.message = "trace ends with " +
+                    std::to_string(state_.txDepth) +
                     " unterminated transaction(s)";
         f.traceId = trace.id();
-        f.opIndex = ops.size();
+        f.opIndex = trace.size();
         report.add(std::move(f));
     }
 
     tracesChecked_++;
     return report;
+}
+
+template <typename M>
+void
+Engine::runTrace(M &model, const Trace &trace, Report &report)
+{
+    const auto &ops = trace.ops();
+    for (size_t i = 0; i < ops.size(); i++) {
+        handleOp(model, ops[i], i, state_, report);
+        opsProcessed_++;
+    }
 }
 
 bool
@@ -44,9 +86,10 @@ Engine::excluded(const TraceState &state, const AddrRange &range)
     return state.exclusions.covers(range);
 }
 
+template <typename M>
 void
-Engine::handleOp(const PmOp &op, size_t index, TraceState &state,
-                 Report &report)
+Engine::handleOp(M &model, const PmOp &op, size_t index,
+                 TraceState &state, Report &report)
 {
     switch (op.type) {
       case OpType::Exclude:
@@ -66,7 +109,7 @@ Engine::handleOp(const PmOp &op, size_t index, TraceState &state,
       case OpType::CheckIsOrderedBefore:
       case OpType::TxCheckStart:
       case OpType::TxCheckEnd:
-        handleChecker(op, index, state, report);
+        handleChecker(model, op, index, state, report);
         return;
 
       default:
@@ -101,7 +144,7 @@ Engine::handleOp(const PmOp &op, size_t index, TraceState &state,
             state.txWrites.emplace_back(range, op.loc);
     }
 
-    model_->apply(op, state.shadow, report, index);
+    model.apply(op, state.shadow, report, index);
 }
 
 void
@@ -168,9 +211,10 @@ Engine::handleTxEvent(const PmOp &op, size_t index, TraceState &state,
     }
 }
 
+template <typename M>
 void
-Engine::handleChecker(const PmOp &op, size_t index, TraceState &state,
-                      Report &report)
+Engine::handleChecker(const M &model, const PmOp &op, size_t index,
+                      TraceState &state, Report &report)
 {
     switch (op.type) {
       case OpType::CheckIsPersist: {
@@ -178,7 +222,7 @@ Engine::handleChecker(const PmOp &op, size_t index, TraceState &state,
         if (excluded(state, range))
             return;
         std::string why;
-        if (!model_->checkPersisted(range, state.shadow, &why)) {
+        if (!model.checkPersisted(range, state.shadow, &why)) {
             Finding f;
             f.severity = Severity::Fail;
             f.kind = FindingKind::NotPersisted;
@@ -196,7 +240,7 @@ Engine::handleChecker(const PmOp &op, size_t index, TraceState &state,
         if (excluded(state, a) || excluded(state, b))
             return;
         std::string why;
-        if (!model_->checkOrderedBefore(a, b, state.shadow, &why)) {
+        if (!model.checkOrderedBefore(a, b, state.shadow, &why)) {
             Finding f;
             f.severity = Severity::Fail;
             f.kind = FindingKind::NotOrdered;
@@ -242,7 +286,7 @@ Engine::handleChecker(const PmOp &op, size_t index, TraceState &state,
             if (excluded(state, range))
                 continue;
             std::string why;
-            if (!model_->checkPersisted(range, state.shadow, &why)) {
+            if (!model.checkPersisted(range, state.shadow, &why)) {
                 Finding f;
                 f.severity = Severity::Fail;
                 f.kind = FindingKind::IncompleteTx;
@@ -262,5 +306,18 @@ Engine::handleChecker(const PmOp &op, size_t index, TraceState &state,
         panic("handleChecker: unexpected op");
     }
 }
+
+// Instantiate the kernel for the built-in models and for the
+// polymorphic baseline (Dispatch::Virtual). check() selects among
+// these once per trace.
+template void Engine::runTrace<X86Model>(X86Model &, const Trace &,
+                                         Report &);
+template void Engine::runTrace<HopsModel>(HopsModel &, const Trace &,
+                                          Report &);
+template void Engine::runTrace<ArmModel>(ArmModel &, const Trace &,
+                                         Report &);
+template void Engine::runTrace<PersistencyModel>(PersistencyModel &,
+                                                 const Trace &,
+                                                 Report &);
 
 } // namespace pmtest::core

@@ -7,6 +7,18 @@
  * (§5.1): missing-backup detection via a log tree, incomplete-
  * transaction detection via auto-injected isPersist, and the
  * duplicate-log performance checker.
+ *
+ * Hot-path organization:
+ *  - The per-trace checking state (shadow memory, exclusion map, log
+ *    tree, TX-checker write list) lives in the engine and is reset —
+ *    clearing contents but retaining capacity — rather than rebuilt,
+ *    so steady-state checking allocates nothing per trace.
+ *  - The per-op loop is a kernel templated on the concrete
+ *    persistency model (the model classes are final and define
+ *    apply() inline), so model dispatch is selected once per trace by
+ *    ModelKind and the per-op switch inlines instead of paying a
+ *    virtual call per operation. Dispatch::Virtual retains the
+ *    classic one-virtual-call-per-op path as an ablation baseline.
  */
 
 #ifndef PMTEST_CORE_ENGINE_HH
@@ -28,13 +40,22 @@ namespace pmtest::core
 /**
  * Checks traces against a persistency model. Engines are cheap; each
  * worker thread owns one. check() is stateless across traces — every
- * trace gets fresh shadow memory, matching the paper's independence
- * of traces.
+ * trace observes a pristine shadow memory, matching the paper's
+ * independence of traces — but the backing storage of that state is
+ * reused from trace to trace.
  */
 class Engine
 {
   public:
-    explicit Engine(ModelKind kind);
+    /** How the per-op model rules are invoked. */
+    enum class Dispatch
+    {
+        Templated, ///< model-specialized kernel (default; inlined)
+        Virtual,   ///< one virtual call per op (ablation baseline)
+    };
+
+    explicit Engine(ModelKind kind,
+                    Dispatch dispatch = Dispatch::Templated);
 
     /** Check one trace and produce its report. */
     Report check(const Trace &trace);
@@ -48,8 +69,14 @@ class Engine
     /** The model in use. */
     const PersistencyModel &model() const { return *model_; }
 
+    /** The dispatch mode in use. */
+    Dispatch dispatch() const { return dispatch_; }
+
   private:
-    /** Per-trace checking state. */
+    /**
+     * Per-trace checking state, owned by the engine and reset (not
+     * reallocated) between traces.
+     */
     struct TraceState
     {
         ShadowMemory shadow;
@@ -63,19 +90,31 @@ class Engine
         bool txCheckActive = false;
         /** Writes observed inside the active TX_CHECKER region. */
         std::vector<std::pair<AddrRange, SourceLocation>> txWrites;
+
+        /** Restore the start-of-trace state, retaining capacity. */
+        void reset();
     };
 
-    void handleOp(const PmOp &op, size_t index, TraceState &state,
-                  Report &report);
-    void handleChecker(const PmOp &op, size_t index, TraceState &state,
-                       Report &report);
+    /** The per-trace loop, templated on the concrete model type. */
+    template <typename M>
+    void runTrace(M &model, const Trace &trace, Report &report);
+
+    template <typename M>
+    void handleOp(M &model, const PmOp &op, size_t index,
+                  TraceState &state, Report &report);
+    template <typename M>
+    void handleChecker(const M &model, const PmOp &op, size_t index,
+                       TraceState &state, Report &report);
     void handleTxEvent(const PmOp &op, size_t index, TraceState &state,
                        Report &report);
 
     /** Whether the op's primary range is fully excluded from testing. */
     static bool excluded(const TraceState &state, const AddrRange &range);
 
+    ModelKind kind_;
+    Dispatch dispatch_;
     std::unique_ptr<PersistencyModel> model_;
+    TraceState state_;
     uint64_t opsProcessed_ = 0;
     uint64_t tracesChecked_ = 0;
 };

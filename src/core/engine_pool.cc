@@ -11,18 +11,30 @@ namespace pmtest::core
 namespace
 {
 
-/** Resolve the queue bound: explicit option, else PMTEST_QUEUE_CAP. */
+/**
+ * Resolve the per-worker queue bound: explicit option, else the
+ * PMTEST_QUEUE_CAP environment variable, else a default derived from
+ * the worker count. The default bounds the *total* backlog (and so
+ * the memory a stalled checker pipeline can pin) at a fixed number of
+ * traces split across the queues — more workers means shallower
+ * queues, not more queued traces.
+ */
 size_t
-resolveQueueCapacity(size_t requested)
+resolveQueueCapacity(size_t requested, size_t workers)
 {
+    if (workers == 0)
+        return 0; // inline mode has no queues
+    if (requested == PoolOptions::kUnboundedQueue)
+        return 0;
     if (requested != 0)
         return requested;
     if (const char *env = std::getenv("PMTEST_QUEUE_CAP")) {
         const long long parsed = std::atoll(env);
-        if (parsed > 0)
-            return static_cast<size_t>(parsed);
+        return parsed > 0 ? static_cast<size_t>(parsed) : 0;
     }
-    return 0; // unbounded
+    constexpr size_t target_backlog = 1024; ///< total queued traces
+    constexpr size_t min_per_worker = 16;
+    return std::max(min_per_worker, target_backlog / workers);
 }
 
 } // namespace
@@ -42,7 +54,8 @@ PoolStats::str() const
     std::ostringstream out;
     out << "pool: " << tracesSubmitted << " submitted, "
         << tracesCompleted << " completed, " << batchesSubmitted
-        << " batches, " << steals << " steals, producer stalled "
+        << " batches, " << steals << " stolen traces in " << stealScans
+        << " scans, producer stalled "
         << static_cast<double>(producerStallNanos) * 1e-6 << " ms"
         << " (capacity "
         << (queueCapacity ? std::to_string(queueCapacity) : "unbounded")
@@ -51,14 +64,16 @@ PoolStats::str() const
         const WorkerStats &w = workers[i];
         out << "  worker " << i << ": " << w.tracesChecked
             << " traces, " << w.opsProcessed << " ops, " << w.steals
-            << " steals, depth " << w.queueDepth << "\n";
+            << " stolen (" << w.stealScans << " scans), depth "
+            << w.queueDepth << "\n";
     }
     return out.str();
 }
 
 EnginePool::EnginePool(const PoolOptions &options)
     : kind_(options.model),
-      queueCapacity_(resolveQueueCapacity(options.queueCapacity)),
+      queueCapacity_(
+          resolveQueueCapacity(options.queueCapacity, options.workers)),
       stealing_(options.workStealing)
 {
     if (options.workers == 0) {
@@ -128,8 +143,8 @@ EnginePool::notifyWork(size_t items)
         workCv_.notify_all();
 }
 
-std::optional<Trace>
-EnginePool::stealFrom(const Worker &thief)
+size_t
+EnginePool::stealFrom(const Worker &thief, std::vector<Trace> &out)
 {
     Worker *victim = nullptr;
     size_t deepest = 0;
@@ -143,19 +158,42 @@ EnginePool::stealFrom(const Worker &thief)
         }
     }
     if (!victim)
-        return std::nullopt;
-    return victim->queue.tryPop();
+        return 0;
+    return victim->queue.tryPopHalf(out);
 }
 
 void
 EnginePool::workerLoop(Worker &worker)
 {
+    // Reused steal buffer: one victim scan grabs up to half the
+    // deepest peer queue instead of a single trace per scan.
+    std::vector<Trace> stolen;
     for (;;) {
         std::optional<Trace> trace = worker.queue.tryPop();
         if (!trace && stealing_) {
-            trace = stealFrom(worker);
-            if (trace)
-                worker.steals.fetch_add(1, std::memory_order_relaxed);
+            stolen.clear();
+            if (const size_t got = stealFrom(worker, stolen)) {
+                worker.steals.fetch_add(got,
+                                        std::memory_order_relaxed);
+                worker.stealScans.fetch_add(
+                    1, std::memory_order_relaxed);
+                // The first stolen trace runs now; the rest requeue
+                // on the thief, where they stay stealable by other
+                // idle workers.
+                trace = std::move(stolen.front());
+                size_t requeued = 0;
+                for (size_t i = 1; i < stolen.size(); i++) {
+                    if (worker.queue.tryPush(stolen[i])) {
+                        requeued++;
+                        continue;
+                    }
+                    // Own queue full (tiny capacity): check directly
+                    // rather than blocking a worker on a push.
+                    checkOn(worker, std::move(stolen[i]));
+                }
+                if (requeued)
+                    notifyWork(requeued);
+            }
         }
         if (trace) {
             checkOn(worker, std::move(*trace));
@@ -354,8 +392,11 @@ EnginePool::stats() const
         w.opsProcessed =
             worker->opsProcessed.load(std::memory_order_relaxed);
         w.steals = worker->steals.load(std::memory_order_relaxed);
+        w.stealScans =
+            worker->stealScans.load(std::memory_order_relaxed);
         w.queueDepth = worker->queue.size();
         stats.steals += w.steals;
+        stats.stealScans += w.stealScans;
         stats.workers.push_back(w);
     }
     return stats;

@@ -10,12 +10,17 @@
  * Dispatch architecture:
  *  - Each worker owns a FIFO trace queue. Submission places traces
  *    round-robin, but an idle worker *steals* from the most-loaded
- *    peer, so one giant trace no longer serializes a whole queue of
- *    small traces behind it (head-of-line blocking).
- *  - Queues may be bounded (PoolOptions::queueCapacity or the
- *    PMTEST_QUEUE_CAP environment variable). A full queue blocks the
- *    producer — bounded backpressure instead of unbounded memory
- *    growth when the program outruns its checkers.
+ *    peer — half the victim's backlog per scan (one runs immediately,
+ *    the rest requeue on the thief and stay stealable), so one giant
+ *    trace no longer serializes a whole queue of small traces behind
+ *    it and deep backlogs rebalance in O(log) scans instead of one
+ *    scan per trace.
+ *  - Queues are bounded: explicitly (PoolOptions::queueCapacity), via
+ *    the PMTEST_QUEUE_CAP environment variable, or by a default
+ *    derived from the worker count (a fixed total backlog divided
+ *    across queues). A full queue blocks the producer — bounded
+ *    backpressure instead of unbounded memory growth when the
+ *    program outruns its checkers.
  *  - submitBatch() enqueues many small traces under one queue lock
  *    acquisition, amortizing dispatch overhead (the paper's §4.2
  *    "divide the program into sections for better testing speed").
@@ -48,10 +53,15 @@ struct PoolOptions
     ModelKind model = ModelKind::X86;
     /** Number of worker threads; 0 = inline checking. */
     size_t workers = 1;
+    /** queueCapacity value requesting an explicitly unbounded queue. */
+    static constexpr size_t kUnboundedQueue = ~size_t{0};
     /**
-     * Per-worker queue capacity in traces; 0 consults the
-     * PMTEST_QUEUE_CAP environment variable, and means unbounded if
-     * that is unset too.
+     * Per-worker queue capacity in traces. 0 = automatic: the
+     * PMTEST_QUEUE_CAP environment variable if set (a value of 0
+     * there means unbounded), else a default derived from the worker
+     * count — a fixed total backlog divided across the queues, so
+     * adding workers does not grow the in-flight trace count.
+     * kUnboundedQueue requests no bound at all.
      */
     size_t queueCapacity = 0;
     /**
@@ -68,6 +78,8 @@ struct WorkerStats
     uint64_t tracesChecked = 0; ///< traces this worker completed
     uint64_t opsProcessed = 0;  ///< PM ops this worker processed
     uint64_t steals = 0;        ///< traces this worker stole from peers
+    uint64_t stealScans = 0;    ///< successful steal sweeps (each
+                                ///< grabs up to half a victim queue)
     size_t queueDepth = 0;      ///< traces currently queued to it
 };
 
@@ -79,6 +91,7 @@ struct PoolStats
     uint64_t tracesCompleted = 0;   ///< traces fully checked
     uint64_t batchesSubmitted = 0;  ///< submitBatch() calls
     uint64_t steals = 0;            ///< total stolen traces
+    uint64_t stealScans = 0;        ///< total successful steal sweeps
     uint64_t producerStallNanos = 0;///< time producers blocked on
                                     ///< full queues (backpressure)
     size_t queueCapacity = 0;       ///< per-worker bound (0 = none)
@@ -176,11 +189,15 @@ class EnginePool
         std::atomic<uint64_t> opsProcessed{0};
         std::atomic<uint64_t> tracesChecked{0};
         std::atomic<uint64_t> steals{0};
+        std::atomic<uint64_t> stealScans{0};
     };
 
     void workerLoop(Worker &worker);
-    /** Steal one queued trace from the most-loaded peer. */
-    std::optional<Trace> stealFrom(const Worker &thief);
+    /**
+     * Steal up to half the most-loaded peer's queue into @p out.
+     * @return the number of traces stolen (0 when no peer has work).
+     */
+    size_t stealFrom(const Worker &thief, std::vector<Trace> &out);
     /** Process one trace on @p worker and record its report. */
     void checkOn(Worker &worker, Trace trace);
     void recordResult(Report report);

@@ -6,13 +6,23 @@
  * as an interval tree ... update and lookup have complexity
  * O(log n)"). Assigning over existing ranges splits them so that the
  * untouched parts keep their old values.
+ *
+ * Storage is a flat sorted vector rather than a node-based tree:
+ * lookups binary-search contiguous memory (no pointer chasing, no
+ * per-range heap node), mutation splices with memmove, and clear()
+ * retains capacity so a reused map (one shadow memory per engine
+ * worker) stops allocating entirely in steady state. Shadow maps stay
+ * small — tens of disjoint ranges — so the O(n) splice is far cheaper
+ * in practice than the allocator traffic and cache misses of a
+ * std::map node per range (see bench_ablation_shadow).
  */
 
 #ifndef PMTEST_CORE_INTERVAL_MAP_HH
 #define PMTEST_CORE_INTERVAL_MAP_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "core/interval.hh"
 
@@ -22,10 +32,11 @@ namespace pmtest::core
 /**
  * Map from disjoint half-open ranges [start, end) to values of type V.
  *
- * Backed by std::map keyed by range start; all mutating operations
- * keep the invariant that stored ranges never overlap. Adjacent equal
- * values are not merged automatically (callers never rely on merging,
- * and splitting history can be useful when debugging).
+ * Backed by a vector of ranges sorted by start; all mutating
+ * operations keep the invariant that stored ranges never overlap (and
+ * therefore both starts and ends are strictly increasing). Adjacent
+ * equal values are not merged automatically (callers never rely on
+ * merging, and splitting history can be useful when debugging).
  */
 template <typename V>
 class IntervalMap
@@ -44,14 +55,64 @@ class IntervalMap
         const V &value;
     };
 
-    /** Assign @p value to [range.addr, range.end()). */
+    /**
+     * Assign @p value to [range.addr, range.end()).
+     *
+     * Fused carve-and-insert: when the assignment replaces at least
+     * one fully-covered stored item (the engine's hot path is
+     * re-writing an already-tracked range), the new item overwrites
+     * that slot in place and only the surplus items are spliced out —
+     * an exact re-assignment touches no other element at all.
+     */
     void
     assign(const AddrRange &range, V value)
     {
         if (range.empty())
             return;
-        carve(range);
-        map_[range.addr] = Slot{range.end(), std::move(value)};
+        size_t idx = firstOverlap(range);
+        if (idx == items_.size() || items_[idx].start >= range.end()) {
+            // Nothing overlaps: plain sorted insert.
+            items_.insert(
+                items_.begin() + idx,
+                Item{range.addr, range.end(), std::move(value)});
+            return;
+        }
+
+        Item &first = items_[idx];
+        if (first.start < range.addr && first.end > range.end()) {
+            // One item strictly contains the range: split into
+            // [left][new][right] with a single two-element splice.
+            const Item middle{range.addr, range.end(),
+                              std::move(value)};
+            const Item right{range.end(), first.end, first.value};
+            first.end = range.addr;
+            items_.insert(items_.begin() + idx + 1, {middle, right});
+            return;
+        }
+
+        if (first.start < range.addr) {
+            // Left remainder keeps the old value in place.
+            first.end = range.addr;
+            idx++;
+        }
+        size_t last = idx;
+        while (last < items_.size() && items_[last].end <= range.end())
+            last++; // fully covered by the assignment
+        if (last < items_.size() && items_[last].start < range.end()) {
+            // Right remainder keeps the old value in place.
+            items_[last].start = range.end();
+        }
+        if (last > idx) {
+            // Reuse the first covered slot; drop the rest.
+            items_[idx] =
+                Item{range.addr, range.end(), std::move(value)};
+            items_.erase(items_.begin() + idx + 1,
+                         items_.begin() + last);
+        } else {
+            items_.insert(
+                items_.begin() + idx,
+                Item{range.addr, range.end(), std::move(value)});
+        }
     }
 
     /** Remove any values within the range. */
@@ -63,8 +124,8 @@ class IntervalMap
         carve(range);
     }
 
-    /** Remove everything. */
-    void clear() { map_.clear(); }
+    /** Remove everything; the backing storage keeps its capacity. */
+    void clear() { items_.clear(); }
 
     /**
      * Invoke @p fn for every stored entry overlapping @p range, in
@@ -77,11 +138,11 @@ class IntervalMap
     {
         if (range.empty())
             return;
-        auto it = firstOverlap(range);
-        for (; it != map_.end() && it->first < range.end(); ++it) {
-            fn(Entry{std::max(it->first, range.addr),
-                     std::min(it->second.end, range.end()),
-                     it->second.value});
+        for (size_t i = firstOverlap(range);
+             i < items_.size() && items_[i].start < range.end(); i++) {
+            const Item &item = items_[i];
+            fn(Entry{std::max(item.start, range.addr),
+                     std::min(item.end, range.end()), item.value});
         }
     }
 
@@ -95,9 +156,9 @@ class IntervalMap
     {
         if (range.empty())
             return;
-        auto it = firstOverlapMut(range);
-        for (; it != map_.end() && it->first < range.end(); ++it)
-            fn(it->first, it->second.end, it->second.value);
+        for (size_t i = firstOverlap(range);
+             i < items_.size() && items_[i].start < range.end(); i++)
+            fn(items_[i].start, items_[i].end, items_[i].value);
     }
 
     /** Whether any entry overlaps the range. */
@@ -106,8 +167,8 @@ class IntervalMap
     {
         if (range.empty())
             return false;
-        auto it = firstOverlap(range);
-        return it != map_.end() && it->first < range.end();
+        const size_t i = firstOverlap(range);
+        return i < items_.size() && items_[i].start < range.end();
     }
 
     /**
@@ -120,11 +181,11 @@ class IntervalMap
         if (range.empty())
             return true;
         uint64_t pos = range.addr;
-        auto it = firstOverlap(range);
-        for (; it != map_.end() && it->first < range.end(); ++it) {
-            if (it->first > pos)
+        for (size_t i = firstOverlap(range);
+             i < items_.size() && items_[i].start < range.end(); i++) {
+            if (items_[i].start > pos)
                 return false; // gap
-            pos = std::max(pos, it->second.end);
+            pos = std::max(pos, items_[i].end);
             if (pos >= range.end())
                 return true;
         }
@@ -136,80 +197,89 @@ class IntervalMap
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[start, slot] : map_)
-            fn(Entry{start, slot.end, slot.value});
+        for (const Item &item : items_)
+            fn(Entry{item.start, item.end, item.value});
     }
 
     /** Number of stored (disjoint) entries. */
-    size_t size() const { return map_.size(); }
+    size_t size() const { return items_.size(); }
 
     /** True when no entries are stored. */
-    bool empty() const { return map_.empty(); }
+    bool empty() const { return items_.empty(); }
+
+    /** Entries the backing storage can hold without reallocating. */
+    size_t capacity() const { return items_.capacity(); }
+
+    /** Pre-size the backing storage. */
+    void reserve(size_t entries) { items_.reserve(entries); }
 
   private:
-    struct Slot
+    struct Item
     {
+        uint64_t start;
         uint64_t end;
         V value;
     };
 
-    using Map = std::map<uint64_t, Slot>;
-
-    /** First stored entry that overlaps @p range (const). */
-    typename Map::const_iterator
+    /**
+     * Index of the first stored item with end > range.addr — the only
+     * candidate for overlapping @p range (items are disjoint and
+     * sorted, so ends are sorted too). The item may still start at or
+     * beyond range.end(); callers bound their walk on that.
+     */
+    size_t
     firstOverlap(const AddrRange &range) const
     {
-        auto it = map_.upper_bound(range.addr);
-        if (it != map_.begin()) {
-            auto prev = std::prev(it);
-            if (prev->second.end > range.addr)
-                return prev;
-        }
-        return it;
-    }
-
-    /** First stored entry that overlaps @p range (mutable). */
-    typename Map::iterator
-    firstOverlapMut(const AddrRange &range)
-    {
-        auto it = map_.upper_bound(range.addr);
-        if (it != map_.begin()) {
-            auto prev = std::prev(it);
-            if (prev->second.end > range.addr)
-                return prev;
-        }
-        return it;
+        size_t idx = static_cast<size_t>(
+            std::upper_bound(items_.begin(), items_.end(), range.addr,
+                             [](uint64_t addr, const Item &item) {
+                                 return addr < item.start;
+                             }) -
+            items_.begin());
+        if (idx > 0 && items_[idx - 1].end > range.addr)
+            idx--;
+        return idx;
     }
 
     /**
-     * Remove the range from all stored entries, splitting boundary
-     * entries so their parts outside the range survive.
+     * Remove the range from all stored items, splitting boundary items
+     * so their parts outside the range survive.
+     * @return the index at which an item starting at range.addr
+     *         belongs after the carve (assign() inserts there).
      */
-    void
+    size_t
     carve(const AddrRange &range)
     {
-        auto it = firstOverlapMut(range);
-        while (it != map_.end() && it->first < range.end()) {
-            const uint64_t e_start = it->first;
-            const uint64_t e_end = it->second.end;
-            V value = std::move(it->second.value);
-            it = map_.erase(it);
+        size_t idx = firstOverlap(range);
+        if (idx == items_.size() || items_[idx].start >= range.end())
+            return idx; // nothing overlaps
 
-            if (e_start < range.addr) {
-                // Left remainder keeps the old value.
-                map_[e_start] = Slot{range.addr, value};
-            }
-            if (e_end > range.end()) {
-                // Right remainder keeps the old value.
-                it = map_.emplace(range.end(),
-                                  Slot{e_end, std::move(value)})
-                         .first;
-                ++it;
-            }
+        Item &first = items_[idx];
+        if (first.start < range.addr && first.end > range.end()) {
+            // One item strictly contains the range: split in two.
+            Item right{range.end(), first.end, first.value};
+            first.end = range.addr;
+            items_.insert(items_.begin() + idx + 1, std::move(right));
+            return idx + 1;
         }
+
+        if (first.start < range.addr) {
+            // Left remainder keeps the old value in place.
+            first.end = range.addr;
+            idx++;
+        }
+        size_t last = idx;
+        while (last < items_.size() && items_[last].end <= range.end())
+            last++; // fully covered: drop
+        if (last < items_.size() && items_[last].start < range.end()) {
+            // Right remainder keeps the old value in place.
+            items_[last].start = range.end();
+        }
+        items_.erase(items_.begin() + idx, items_.begin() + last);
+        return idx;
     }
 
-    Map map_;
+    std::vector<Item> items_;
 };
 
 } // namespace pmtest::core

@@ -73,32 +73,21 @@ class IntervalTree
 
     /**
      * Whether the union of stored intervals fully covers @p range.
-     * Collects the overlapping intervals and sweeps them in address
-     * order, so overlapping log entries are handled correctly.
+     * Sweeps the overlapping intervals during an in-order walk (the
+     * tree is keyed by interval start, so the walk already visits them
+     * in address order): no per-query allocation, no sort, and the
+     * walk stops as soon as a gap is proven or the range is covered.
+     * Overlapping log entries are handled correctly by the sweep.
      */
     bool
     covers(const AddrRange &range) const
     {
         if (range.empty())
             return true;
-        std::vector<AddrRange> hits;
-        walkOverlaps(root_.get(), range,
-                     [&](const AddrRange &r, const V &) {
-                         hits.push_back(r);
-                     });
-        std::sort(hits.begin(), hits.end(),
-                  [](const AddrRange &a, const AddrRange &b) {
-                      return a.addr < b.addr;
-                  });
         uint64_t pos = range.addr;
-        for (const auto &r : hits) {
-            if (r.addr > pos)
-                return false; // gap
-            pos = std::max(pos, r.end());
-            if (pos >= range.end())
-                return true;
-        }
-        return pos >= range.end();
+        bool gap = false;
+        coverSweep(root_.get(), range, pos, gap);
+        return !gap && pos >= range.end();
     }
 
   private:
@@ -205,6 +194,33 @@ class IntervalTree
             }
         }
         return nullptr;
+    }
+
+    /**
+     * In-order coverage sweep: advance @p pos over overlapping
+     * intervals, setting @p gap when an interval starts beyond the
+     * covered prefix. Stops descending once the verdict is decided.
+     */
+    static void
+    coverSweep(const Node *n, const AddrRange &range, uint64_t &pos,
+               bool &gap)
+    {
+        if (!n || gap || pos >= range.end())
+            return; // verdict already decided
+        if (maxEndOf(n) <= range.addr)
+            return; // nothing in this subtree reaches the range
+        coverSweep(n->left.get(), range, pos, gap);
+        if (gap || pos >= range.end())
+            return;
+        if (n->range.overlaps(range)) {
+            if (n->range.addr > pos) {
+                gap = true;
+                return;
+            }
+            pos = std::max(pos, n->range.end());
+        }
+        if (n->range.addr < range.end())
+            coverSweep(n->right.get(), range, pos, gap);
     }
 
     static void

@@ -42,12 +42,29 @@ struct ClwbScan
 };
 
 /**
- * The per-trace shadow memory. One instance is created per checked
- * trace (traces are independent).
+ * The per-trace shadow memory. Checked traces are independent: each
+ * check starts from a pristine shadow. Engines reuse one instance
+ * across traces via reset(), which restores the pristine state while
+ * keeping the interval maps' flat storage allocated — steady-state
+ * checking performs no shadow allocations.
  */
 class ShadowMemory
 {
   public:
+    /**
+     * Restore the pristine (start-of-trace) state. Equivalent to
+     * constructing a fresh instance except that the backing storage
+     * of the interval maps keeps its capacity.
+     */
+    void
+    reset()
+    {
+        timestamp_ = 0;
+        map_.clear();
+        pendingFlushes_.clear();
+        openWrites_.clear();
+    }
+
     /** Current global timestamp (epoch). */
     Epoch timestamp() const { return timestamp_; }
 

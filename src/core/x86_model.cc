@@ -3,13 +3,9 @@
 namespace pmtest::core
 {
 
-namespace
-{
-
-/** Emit the clwb performance WARNs derived from a pre-update scan. */
 void
-reportClwbWarns(const ClwbScan &scan, const PmOp &op, Report &report,
-                size_t op_index)
+X86Model::reportClwbWarns(const ClwbScan &scan, const PmOp &op,
+                          Report &report, size_t op_index)
 {
     const AddrRange range(op.addr, op.size);
     if (scan.redundant) {
@@ -40,44 +36,6 @@ reportClwbWarns(const ClwbScan &scan, const PmOp &op, Report &report,
         f.loc = op.loc;
         f.opIndex = op_index;
         report.add(std::move(f));
-    }
-}
-
-} // namespace
-
-void
-X86Model::apply(const PmOp &op, ShadowMemory &shadow, Report &report,
-                size_t op_index)
-{
-    switch (op.type) {
-      case OpType::Write:
-        shadow.recordWrite(AddrRange(op.addr, op.size));
-        break;
-
-      case OpType::Clwb:
-      case OpType::ClflushOpt:
-      case OpType::Clflush: {
-        const AddrRange range(op.addr, op.size);
-        reportClwbWarns(shadow.scanClwb(range), op, report, op_index);
-        shadow.recordClwb(range);
-        break;
-      }
-
-      case OpType::Sfence:
-        shadow.bumpTimestamp();
-        shadow.completePendingFlushes();
-        break;
-
-      case OpType::Ofence:
-      case OpType::Dfence:
-      case OpType::DcCvap:
-      case OpType::Dsb:
-        reportMalformed(op, report, op_index, name());
-        break;
-
-      default:
-        // Transactional events and checkers are handled by the engine.
-        break;
     }
 }
 

@@ -113,7 +113,9 @@ main(int argc, char **argv)
     }
 
     bool ok = false;
-    const auto bundle = loadTracesFromFile(path, &ok);
+    // Not const: the loaded traces are moved into the pool below —
+    // a const bundle would silently copy every op array instead.
+    auto bundle = loadTracesFromFile(path, &ok);
     if (!ok) {
         std::fprintf(stderr, "%s: not a readable PMTest trace file\n",
                      path.c_str());

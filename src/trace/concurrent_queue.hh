@@ -139,6 +139,32 @@ class ConcurrentQueue
         return item;
     }
 
+    /**
+     * Non-blocking bulk pop of the front half: removes
+     * ceil(size / 2) items (at least one when non-empty) and appends
+     * them to @p out in FIFO order. One lock acquisition regardless
+     * of how many items move — this is the work-stealing primitive:
+     * a thief drains half the victim's backlog per scan instead of
+     * re-scanning per trace.
+     * @return the number of items appended.
+     */
+    size_t
+    tryPopHalf(std::vector<T> &out)
+    {
+        size_t popped = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const size_t take = (items_.size() + 1) / 2;
+            for (; popped < take; popped++) {
+                out.push_back(std::move(items_.front()));
+                items_.pop_front();
+            }
+        }
+        if (popped)
+            notFullCv_.notify_all();
+        return popped;
+    }
+
     /** Non-blocking pop. */
     std::optional<T>
     tryPop()

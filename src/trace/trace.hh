@@ -9,6 +9,8 @@
 #ifndef PMTEST_TRACE_TRACE_HH
 #define PMTEST_TRACE_TRACE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,22 +20,53 @@
 namespace pmtest
 {
 
-/** An ordered batch of PM operations with identifying metadata. */
+/**
+ * An ordered batch of PM operations with identifying metadata.
+ *
+ * Traces are the unit of hand-off between capture and checking, so
+ * they are cheaply movable end-to-end: moving a trace steals its op
+ * buffer (no PmOp is copied), appends grow the buffer in doubling
+ * chunks from a non-trivial initial capacity (avoiding the tiny
+ * first allocations of a cold vector), and nothing ever calls
+ * shrink_to_fit — a recycled buffer keeps its capacity.
+ */
 class Trace
 {
   public:
+    /** First growth chunk of a cold op buffer. */
+    static constexpr size_t kInitialCapacity = 64;
+
     Trace() = default;
     Trace(uint64_t id, uint32_t thread_id) : id_(id), threadId_(thread_id) {}
 
+    Trace(const Trace &) = default;
+    Trace &operator=(const Trace &) = default;
+    Trace(Trace &&) noexcept = default;
+    Trace &operator=(Trace &&) noexcept = default;
+
     /** Append one operation record, in program order. */
-    void append(const PmOp &op) { ops_.push_back(op); }
+    void
+    append(const PmOp &op)
+    {
+        if (ops_.size() == ops_.capacity())
+            grow(ops_.size() + 1);
+        ops_.push_back(op);
+    }
 
     /** Append a sequence of records. */
     void
     append(const std::vector<PmOp> &ops)
     {
+        if (ops_.size() + ops.size() > ops_.capacity())
+            grow(ops_.size() + ops.size());
         ops_.insert(ops_.end(), ops.begin(), ops.end());
     }
+
+    /** Pre-size the op buffer (never shrinks). */
+    void reserve(size_t records) { ops_.reserve(records); }
+
+    /** Records the op buffer can hold without reallocating. */
+    size_t capacity() const { return ops_.capacity(); }
 
     /** All records, in program order. */
     const std::vector<PmOp> &ops() const { return ops_; }
@@ -68,6 +101,16 @@ class Trace
     std::string str() const;
 
   private:
+    /** Reserve for at least @p needed records in doubling chunks. */
+    void
+    grow(size_t needed)
+    {
+        size_t target = std::max(ops_.capacity() * 2, kInitialCapacity);
+        while (target < needed)
+            target *= 2;
+        ops_.reserve(target);
+    }
+
     std::vector<PmOp> ops_;
     uint64_t id_ = 0;
     uint32_t threadId_ = 0;

@@ -58,6 +58,12 @@ class TraceCapture
     /**
      * Seal the current buffer into a Trace and start a new buffer
      * (PMTest_SEND_TRACE). The sealed trace receives a fresh id.
+     *
+     * The seal steals the op buffer (a vector move — no PmOp is
+     * copied on the way to the engine), and the replacement buffer is
+     * pre-sized to the sealed trace's length: a steady-state producer
+     * sealing similarly-sized traces pays one allocation per trace
+     * and never re-grows mid-capture.
      */
     Trace
     seal()
@@ -65,11 +71,15 @@ class TraceCapture
         Trace sealed = std::move(buffer_);
         sealed.setIdentity(nextTraceId(), threadId_);
         buffer_ = Trace();
+        buffer_.reserve(sealed.size());
         return sealed;
     }
 
     /** Number of operations pending in the open buffer. */
     size_t pendingOps() const { return buffer_.size(); }
+
+    /** The open (not yet sealed) buffer; test introspection. */
+    const Trace &openTrace() const { return buffer_; }
 
     /** The owning thread's id. */
     uint32_t threadId() const { return threadId_; }

@@ -185,9 +185,30 @@ TEST(EnginePoolTest, QueueCapacityFromEnvironment)
     setenv("PMTEST_QUEUE_CAP", "7", /*overwrite=*/1);
     EnginePool pool(ModelKind::X86, 1);
     EXPECT_EQ(pool.queueCapacity(), 7u);
-    unsetenv("PMTEST_QUEUE_CAP");
 
+    // PMTEST_QUEUE_CAP=0 forces an unbounded queue.
+    setenv("PMTEST_QUEUE_CAP", "0", /*overwrite=*/1);
     EnginePool unbounded(ModelKind::X86, 1);
+    EXPECT_EQ(unbounded.queueCapacity(), 0u);
+    unsetenv("PMTEST_QUEUE_CAP");
+}
+
+TEST(EnginePoolTest, DefaultCapacityDerivedFromWorkerCount)
+{
+    // The default bounds the total backlog, splitting it across the
+    // per-worker queues: more workers -> shallower queues.
+    EnginePool one(ModelKind::X86, 1);
+    EnginePool four(ModelKind::X86, 4);
+    ASSERT_GT(one.queueCapacity(), 0u);
+    ASSERT_GT(four.queueCapacity(), 0u);
+    EXPECT_EQ(one.queueCapacity(), 4 * four.queueCapacity());
+    EXPECT_GE(four.queueCapacity(), 16u);
+
+    // An explicitly unbounded queue is still available.
+    PoolOptions options;
+    options.workers = 2;
+    options.queueCapacity = PoolOptions::kUnboundedQueue;
+    EnginePool unbounded(options);
     EXPECT_EQ(unbounded.queueCapacity(), 0u);
 }
 

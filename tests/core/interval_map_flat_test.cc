@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Differential validation of the flat (sorted-vector) IntervalMap
+ * backing store: every operation sequence must behave exactly like a
+ * naive per-byte reference model — assign/erase/covers/anyOverlap/
+ * forEachOverlap over random ranges — and the flat storage must keep
+ * its capacity across clear() so reused maps stop allocating.
+ */
+
+#include "core/interval_map.hh"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/random.hh"
+
+namespace pmtest::core
+{
+namespace
+{
+
+/**
+ * Byte-granular reference: the simplest possible model of "disjoint
+ * ranges mapped to values".
+ */
+class ByteReference
+{
+  public:
+    void
+    assign(const AddrRange &range, int value)
+    {
+        for (uint64_t a = range.addr; a < range.end(); a++)
+            bytes_[a] = value;
+    }
+
+    void
+    erase(const AddrRange &range)
+    {
+        for (uint64_t a = range.addr; a < range.end(); a++)
+            bytes_.erase(a);
+    }
+
+    std::map<uint64_t, int>
+    overlap(const AddrRange &range) const
+    {
+        std::map<uint64_t, int> out;
+        for (uint64_t a = range.addr; a < range.end(); a++) {
+            auto it = bytes_.find(a);
+            if (it != bytes_.end())
+                out[a] = it->second;
+        }
+        return out;
+    }
+
+    bool
+    covers(const AddrRange &range) const
+    {
+        return overlap(range).size() == range.size;
+    }
+
+  private:
+    std::map<uint64_t, int> bytes_;
+};
+
+class FlatMapDifferentialTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FlatMapDifferentialTest, RandomRangesMatchByteReference)
+{
+    Rng rng(GetParam());
+    IntervalMap<int> flat;
+    ByteReference reference;
+
+    for (int step = 0; step < 1200; step++) {
+        // A mix of small local ranges and occasional huge spans that
+        // swallow many stored entries at once (the carve fast/slow
+        // paths both get exercised).
+        const bool wide = rng.chance(1, 10);
+        const uint64_t start = rng.below(1024);
+        const uint64_t size =
+            wide ? 64 + rng.below(512) : 1 + rng.below(48);
+        const AddrRange range(start, size);
+
+        if (rng.chance(7, 10)) {
+            const int value = static_cast<int>(rng.below(1000));
+            flat.assign(range, value);
+            reference.assign(range, value);
+        } else {
+            flat.erase(range);
+            reference.erase(range);
+        }
+
+        for (int probe = 0; probe < 4; probe++) {
+            const AddrRange q(rng.below(1100), 1 + rng.below(96));
+
+            std::map<uint64_t, int> got;
+            uint64_t prev_end = 0;
+            flat.forEachOverlap(q, [&](const auto &e) {
+                EXPECT_GE(e.start, prev_end) << "unsorted/overlapping";
+                EXPECT_LT(e.start, e.end);
+                prev_end = e.end;
+                for (uint64_t a = e.start; a < e.end; a++)
+                    got[a] = e.value;
+            });
+            ASSERT_EQ(got, reference.overlap(q)) << "step " << step;
+
+            EXPECT_EQ(flat.covers(q), reference.covers(q));
+            EXPECT_EQ(flat.anyOverlap(q), !reference.overlap(q).empty());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatMapDifferentialTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(FlatMapTest, ClearRetainsCapacity)
+{
+    IntervalMap<int> m;
+    for (uint64_t i = 0; i < 256; i++)
+        m.assign(AddrRange(i * 2, 1), static_cast<int>(i));
+    ASSERT_EQ(m.size(), 256u);
+    const size_t cap = m.capacity();
+    ASSERT_GE(cap, 256u);
+
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.capacity(), cap); // storage survives the clear
+
+    // Refilling to the same size must not grow the storage.
+    for (uint64_t i = 0; i < 256; i++)
+        m.assign(AddrRange(i * 2, 1), static_cast<int>(i));
+    EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMapTest, SplitPreservesNonTrivialValues)
+{
+    // Splitting must duplicate the value correctly even for types
+    // with real copy/move semantics (the shadow map stores structs).
+    IntervalMap<std::string> m;
+    m.assign(AddrRange(0, 100), std::string("payload"));
+    m.assign(AddrRange(40, 20), std::string("hole"));
+
+    std::vector<std::tuple<uint64_t, uint64_t, std::string>> entries;
+    m.forEach([&](const auto &e) {
+        entries.emplace_back(e.start, e.end, e.value);
+    });
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0],
+              std::make_tuple(uint64_t{0}, uint64_t{40},
+                              std::string("payload")));
+    EXPECT_EQ(entries[1],
+              std::make_tuple(uint64_t{40}, uint64_t{60},
+                              std::string("hole")));
+    EXPECT_EQ(entries[2],
+              std::make_tuple(uint64_t{60}, uint64_t{100},
+                              std::string("payload")));
+}
+
+TEST(FlatMapTest, AssignExactlyOverSplitBoundaries)
+{
+    IntervalMap<int> m;
+    m.assign(AddrRange(0, 10), 1);
+    m.assign(AddrRange(10, 10), 2);
+    m.assign(AddrRange(20, 10), 3);
+
+    // Exactly replace the middle entry.
+    m.assign(AddrRange(10, 10), 9);
+    ASSERT_EQ(m.size(), 3u);
+
+    // Replace a span aligned to entry boundaries on both sides.
+    m.assign(AddrRange(0, 30), 5);
+    ASSERT_EQ(m.size(), 1u);
+    m.forEach([&](const auto &e) {
+        EXPECT_EQ(e.start, 0u);
+        EXPECT_EQ(e.end, 30u);
+        EXPECT_EQ(e.value, 5);
+    });
+}
+
+} // namespace
+} // namespace pmtest::core
