@@ -8,10 +8,20 @@
  *      shrinks;
  *  (c) scaling both together -> roughly flat, with a slight rise from
  *      inter-thread communication.
+ *
+ * Each measured point also snapshots the engine pool's dispatch
+ * statistics (steals, steal scans, producer stall time, queue
+ * capacity, batch count) from its fastest tool run, so a slowdown can
+ * be attributed to backpressure or load imbalance instead of guessed
+ * at. --json=PATH dumps points + dispatch stats for CI trend
+ * tracking.
  */
 
 #include <algorithm>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.hh"
@@ -25,10 +35,14 @@ namespace
 using namespace pmtest;
 using namespace pmtest::workloads;
 
-/** Run n_threads clients against one server; returns seconds. */
+/**
+ * Run n_threads clients against one server; returns seconds. When
+ * running under PMTest, the pool's dispatch statistics are snapshotted
+ * into @p stats_out just before the framework exits.
+ */
 double
 runThreaded(size_t n_threads, size_t n_workers, bool under_pmtest,
-            bool ycsb)
+            bool ycsb, core::PoolStats *stats_out = nullptr)
 {
     if (under_pmtest)
         pmtestInit(Config{.model = core::ModelKind::X86,
@@ -62,8 +76,11 @@ runThreaded(size_t n_threads, size_t n_workers, bool under_pmtest,
     }
     for (auto &c : clients)
         c.join();
-    if (under_pmtest)
+    if (under_pmtest) {
         pmtestGetResult();
+        if (stats_out)
+            *stats_out = pmtestPoolStats();
+    }
     const double seconds = timer.elapsedSec();
 
     if (under_pmtest)
@@ -71,52 +88,154 @@ runThreaded(size_t n_threads, size_t n_workers, bool under_pmtest,
     return seconds;
 }
 
-double
-slowdown(size_t n_threads, size_t n_workers, bool ycsb)
+/** Slowdown plus the dispatch stats of the fastest tool run. */
+struct Measurement
+{
+    double slowdown = 0;
+    core::PoolStats stats;
+};
+
+Measurement
+measure(size_t n_threads, size_t n_workers, bool ycsb)
 {
     double native = 1e30, tool = 1e30;
+    Measurement m;
     for (int rep = 0; rep < 3; rep++) {
         native = std::min(native,
                           runThreaded(n_threads, 1, false, ycsb));
-        tool = std::min(tool,
-                        runThreaded(n_threads, n_workers, true, ycsb));
+        core::PoolStats stats;
+        const double sec =
+            runThreaded(n_threads, n_workers, true, ycsb, &stats);
+        if (sec < tool) {
+            tool = sec;
+            m.stats = std::move(stats);
+        }
     }
-    return tool / native;
+    m.slowdown = tool / native;
+    return m;
 }
 
+/** One fully measured sweep point, for the table and the JSON dump. */
+struct Point
+{
+    std::string sweep;
+    size_t threads = 0;
+    size_t workers = 0;
+    Measurement memslap;
+    Measurement ycsb;
+};
+
 void
-sweep(const char *title,
-      const std::vector<std::pair<size_t, size_t>> &points)
+sweep(const char *tag, const char *title,
+      const std::vector<std::pair<size_t, size_t>> &grid,
+      std::vector<Point> &points)
 {
     std::printf("%s\n", title);
     TextTable table;
-    table.header({"app-threads", "engine-workers", "memslap", "ycsb"});
-    for (const auto &[threads, workers] : points) {
+    table.header({"app-threads", "engine-workers", "memslap", "ycsb",
+                  "steals", "stall-ms"});
+    for (const auto &[threads, workers] : grid) {
+        Point p;
+        p.sweep = tag;
+        p.threads = threads;
+        p.workers = workers;
+        p.memslap = measure(threads, workers, false);
+        p.ycsb = measure(threads, workers, true);
+        const auto &stats = p.memslap.stats;
         table.row({std::to_string(threads), std::to_string(workers),
-                   pmtest::bench::fmtSlowdown(
-                       slowdown(threads, workers, false)),
-                   pmtest::bench::fmtSlowdown(
-                       slowdown(threads, workers, true))});
+                   pmtest::bench::fmtSlowdown(p.memslap.slowdown),
+                   pmtest::bench::fmtSlowdown(p.ycsb.slowdown),
+                   std::to_string(stats.steals),
+                   fmtDouble(stats.producerStallNanos / 1e6, 1)});
+        points.push_back(std::move(p));
     }
     std::printf("%s\n", table.str().c_str());
+}
+
+void
+writeStatsJson(std::FILE *f, const core::PoolStats &stats)
+{
+    std::fprintf(f,
+                 "{\"steals\": %llu, \"steal_scans\": %llu, "
+                 "\"producer_stall_ms\": %.3f, "
+                 "\"queue_capacity\": %zu, \"batches\": %llu, "
+                 "\"traces\": %llu}",
+                 static_cast<unsigned long long>(stats.steals),
+                 static_cast<unsigned long long>(stats.stealScans),
+                 stats.producerStallNanos / 1e6, stats.queueCapacity,
+                 static_cast<unsigned long long>(
+                     stats.batchesSubmitted),
+                 static_cast<unsigned long long>(
+                     stats.tracesCompleted));
+}
+
+bool
+writeJson(const std::string &path, const std::vector<Point> &points)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig12\",\n");
+    std::fprintf(f, "  \"scale\": %zu,\n", pmtest::bench::scale());
+    std::fprintf(f, "  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); i++) {
+        const Point &p = points[i];
+        std::fprintf(f,
+                     "    {\"sweep\": \"%s\", \"app_threads\": %zu, "
+                     "\"engine_workers\": %zu,\n"
+                     "     \"memslap_slowdown\": %.3f, "
+                     "\"ycsb_slowdown\": %.3f,\n"
+                     "     \"memslap_dispatch\": ",
+                     p.sweep.c_str(), p.threads, p.workers,
+                     p.memslap.slowdown, p.ycsb.slowdown);
+        writeStatsJson(f, p.memslap.stats);
+        std::fprintf(f, ",\n     \"ycsb_dispatch\": ");
+        writeStatsJson(f, p.ycsb.stats);
+        std::fprintf(f, "}%s\n",
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else {
+            std::fprintf(stderr, "usage: %s [--json=PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 12",
                   "memcached scalability: app threads vs engine "
                   "workers");
 
-    sweep("(a) scaling memcached threads, single PMTest worker:",
-          {{1, 1}, {2, 1}, {4, 1}});
-    sweep("(b) four memcached threads, scaling PMTest workers:",
-          {{4, 1}, {4, 2}, {4, 4}});
-    sweep("(c) scaling both together:", {{1, 1}, {2, 2}, {4, 4}});
+    std::vector<Point> points;
+    sweep("a", "(a) scaling memcached threads, single PMTest worker:",
+          {{1, 1}, {2, 1}, {4, 1}}, points);
+    sweep("b", "(b) four memcached threads, scaling PMTest workers:",
+          {{4, 1}, {4, 2}, {4, 4}}, points);
+    sweep("c", "(c) scaling both together:", {{1, 1}, {2, 2}, {4, 4}},
+          points);
 
     std::printf("Expected shape (paper): (a) rises, (b) falls, "
                 "(c) roughly flat with a mild rise.\n");
+
+    if (!json_path.empty()) {
+        if (!writeJson(json_path, points))
+            return 1;
+        std::printf("wrote %s\n", json_path.c_str());
+    }
     return 0;
 }

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Offline ingest harness: load→verdict wall time and peak-RSS growth
+ * of the v2 mmap-parallel ingest pipeline against the sequential v1
+ * stream loader, on two file shapes:
+ *
+ *  - table1_small: many small traces (the Table 1 micro-benchmark
+ *    shape) — dispatch-bound, where parallel decode overlapping the
+ *    engine pool pays off.
+ *  - few_large: a handful of big traces — decode-bound, where the
+ *    per-trace frame index lets decoders work on different traces at
+ *    once.
+ *
+ * Phases per shape (in this order, because ru_maxrss is a monotonic
+ * high-water mark — the candidate runs first so its growth is not
+ * masked by the baseline's):
+ *  1. v2 + mmap + 4 decoders + worker pool   (the pipeline)
+ *  2. v2 + mmap + 1 decoder  + worker pool   (overlap only)
+ *  3. v1 + stream loader + serial engine     (the baseline)
+ *
+ * Every phase produces a canonicalized Report; verdict_match asserts
+ * the pipeline's merged report is byte-identical to the serial one.
+ *
+ * Flags:
+ *  --smoke        tiny workload; CI uses this to validate the harness
+ *                 and capture the JSON.
+ *  --json=PATH    where to write the JSON (default BENCH_ingest.json).
+ */
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/engine.hh"
+#include "core/engine_pool.hh"
+#include "core/trace_ingest.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_reader.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+namespace
+{
+
+using namespace pmtest;
+using namespace pmtest::core;
+
+/** Current peak RSS in KiB (monotonic high-water mark). */
+size_t
+peakRssKb()
+{
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<size_t>(usage.ru_maxrss);
+}
+
+/**
+ * Synthesize traces with a persist/flush pattern; roughly one in
+ * sixty-four rounds skips the writeback, so every shape produces
+ * findings (the verdict comparison must compare something
+ * non-trivial) while the check stage stays op-dominated rather than
+ * finding-report-dominated, as in the paper's mostly-correct
+ * workloads.
+ */
+std::vector<Trace>
+makeTraces(size_t count, size_t rounds, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Trace> traces;
+    traces.reserve(count);
+    for (size_t t = 0; t < count; t++) {
+        Trace trace(t, static_cast<uint32_t>(t % 4));
+        for (size_t i = 0; i < rounds; i++) {
+            const uint64_t addr = 64 * rng.below(4096);
+            trace.append(PmOp::write(addr, 64));
+            if (rng.below(64) != 0)
+                trace.append(PmOp::clwb(addr, 64));
+            trace.append(PmOp::sfence());
+            trace.append(PmOp::isPersist(addr, 64));
+        }
+        traces.push_back(std::move(trace));
+    }
+    return traces;
+}
+
+/** One timed load→verdict phase. */
+struct Phase
+{
+    std::string name;
+    double seconds = 0;
+    size_t rssGrowthKb = 0;
+    std::string verdict; ///< canonicalized Report::str()
+    size_t failCount = 0;
+};
+
+/** v2 file → TraceFileReader → decoder team → engine pool. */
+Phase
+runPipeline(const std::string &path, size_t decoders, size_t workers)
+{
+    Phase phase;
+    phase.name = "v2_mmap_" + std::to_string(decoders) + "dec";
+    const size_t rss_before = peakRssKb();
+    Timer timer;
+
+    std::string error;
+    auto reader = TraceFileReader::open(path, IngestMode::Mmap,
+                                        &error);
+    if (!reader) {
+        std::fprintf(stderr, "open %s: %s\n", path.c_str(),
+                     error.c_str());
+        std::exit(1);
+    }
+    PoolOptions options;
+    options.workers = workers;
+    EnginePool pool(options);
+    IngestOptions ingest;
+    ingest.decoders = decoders;
+    ingest.batch = 32;
+    IngestStats stats;
+    ArenaSink arenas;
+    if (!ingestTraces(*reader, pool, ingest, &stats, &arenas)) {
+        std::fprintf(stderr, "ingest failed on %s\n", path.c_str());
+        std::exit(1);
+    }
+    Report merged = pool.results();
+    merged.canonicalize();
+
+    phase.seconds = timer.elapsedSec();
+    phase.rssGrowthKb = peakRssKb() - rss_before;
+    phase.verdict = merged.str();
+    phase.failCount = merged.failCount();
+    return phase;
+}
+
+/** v1 file → sequential stream loader → one inline engine. */
+Phase
+runSerialBaseline(const std::string &path)
+{
+    Phase phase;
+    phase.name = "v1_stream_serial";
+    const size_t rss_before = peakRssKb();
+    Timer timer;
+
+    bool ok = false;
+    auto bundle = loadTracesFromFile(path, &ok);
+    if (!ok) {
+        std::fprintf(stderr, "cannot load %s\n", path.c_str());
+        std::exit(1);
+    }
+    Engine engine(ModelKind::X86);
+    Report merged;
+    for (const auto &trace : bundle.traces)
+        merged.merge(engine.check(trace));
+    merged.canonicalize();
+
+    phase.seconds = timer.elapsedSec();
+    phase.rssGrowthKb = peakRssKb() - rss_before;
+    phase.verdict = merged.str();
+    phase.failCount = merged.failCount();
+    return phase;
+}
+
+/** A file shape: trace population + its measured phases. */
+struct Shape
+{
+    std::string name;
+    size_t traceCount = 0;
+    size_t totalOps = 0;
+    size_t fileBytesV2 = 0;
+    std::vector<Phase> phases;
+    bool verdictMatch = false;
+
+    double
+    speedup() const
+    {
+        // baseline (last phase) over the 4-decoder pipeline (first).
+        return phases.back().seconds / phases.front().seconds;
+    }
+};
+
+Shape
+runShape(const std::string &name, size_t count, size_t rounds,
+         size_t workers)
+{
+    const auto traces = makeTraces(count, rounds, 0xbeef + count);
+    Shape shape;
+    shape.name = name;
+    shape.traceCount = traces.size();
+    for (const auto &t : traces)
+        shape.totalOps += t.size();
+
+    const std::string base =
+        "/tmp/pmtest_bench_ingest_" + std::to_string(getpid()) + "_" +
+        name;
+    const std::string v2_path = base + ".v2.trace";
+    const std::string v1_path = base + ".v1.trace";
+    if (!saveTracesToFile(v2_path, traces, TraceFormat::V2) ||
+        !saveTracesToFile(v1_path, traces, TraceFormat::V1)) {
+        std::fprintf(stderr, "cannot write trace files under /tmp\n");
+        std::exit(1);
+    }
+
+    {
+        std::string error;
+        auto reader = TraceFileReader::open(v2_path, IngestMode::Mmap,
+                                            &error);
+        if (!reader) {
+            std::fprintf(stderr, "open %s: %s\n", v2_path.c_str(),
+                         error.c_str());
+            std::exit(1);
+        }
+        shape.fileBytesV2 = reader->sizeBytes();
+    }
+
+    // Candidate phases first: ru_maxrss only ever rises, so later
+    // phases would otherwise report zero growth no matter what they
+    // allocate.
+    shape.phases.push_back(runPipeline(v2_path, 4, workers));
+    shape.phases.push_back(runPipeline(v2_path, 1, workers));
+    shape.phases.push_back(runSerialBaseline(v1_path));
+
+    shape.verdictMatch =
+        shape.phases.front().verdict == shape.phases.back().verdict &&
+        shape.phases.front().failCount ==
+            shape.phases.back().failCount;
+
+    std::remove(v2_path.c_str());
+    std::remove(v1_path.c_str());
+    return shape;
+}
+
+void
+printShape(const Shape &shape)
+{
+    std::printf("%s: %zu traces, %zu ops, v2 file %.1f MiB\n",
+                shape.name.c_str(), shape.traceCount, shape.totalOps,
+                shape.fileBytesV2 / (1024.0 * 1024.0));
+    for (const auto &phase : shape.phases) {
+        std::printf("  %-18s %8.3f s   rss +%zu KiB   %zu FAIL\n",
+                    phase.name.c_str(), phase.seconds,
+                    phase.rssGrowthKb, phase.failCount);
+    }
+    std::printf("  speedup (v1 serial / v2 mmap 4dec): %.2fx, "
+                "verdict %s\n",
+                shape.speedup(),
+                shape.verdictMatch ? "identical" : "MISMATCH");
+}
+
+bool
+writeJson(const std::string &path, const std::vector<Shape> &shapes,
+          bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"ingest\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"scale\": %zu,\n", pmtest::bench::scale());
+    std::fprintf(f, "  \"shapes\": [\n");
+    for (size_t i = 0; i < shapes.size(); i++) {
+        const Shape &shape = shapes[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"traces\": %zu, "
+                     "\"ops\": %zu, \"v2_bytes\": %zu,\n"
+                     "     \"verdict_match\": %s, \"speedup\": %.3f,\n"
+                     "     \"phases\": [\n",
+                     shape.name.c_str(), shape.traceCount,
+                     shape.totalOps, shape.fileBytesV2,
+                     shape.verdictMatch ? "true" : "false",
+                     shape.speedup());
+        for (size_t p = 0; p < shape.phases.size(); p++) {
+            const Phase &phase = shape.phases[p];
+            std::fprintf(f,
+                         "      {\"name\": \"%s\", "
+                         "\"seconds\": %.6f, "
+                         "\"rss_growth_kb\": %zu, "
+                         "\"fail_count\": %zu}%s\n",
+                         phase.name.c_str(), phase.seconds,
+                         phase.rssGrowthKb, phase.failCount,
+                         p + 1 < shape.phases.size() ? "," : "");
+        }
+        std::fprintf(f, "     ]}%s\n",
+                     i + 1 < shapes.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string json_path = "BENCH_ingest.json";
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    pmtest::bench::banner("Ingest",
+                          "v2 mmap-parallel pipeline vs v1 stream "
+                          "serial, load->verdict");
+
+    const size_t s = pmtest::bench::scale();
+    const size_t workers = 4;
+    std::vector<Shape> shapes;
+    if (smoke) {
+        shapes.push_back(
+            runShape("table1_small", 400, 32, workers));
+        shapes.push_back(runShape("few_large", 8, 4000, workers));
+    } else {
+        shapes.push_back(
+            runShape("table1_small", 4000 * s, 48, workers));
+        shapes.push_back(
+            runShape("few_large", 16, 40000 * s, workers));
+    }
+
+    bool all_match = true;
+    for (const auto &shape : shapes) {
+        printShape(shape);
+        all_match = all_match && shape.verdictMatch;
+    }
+
+    if (!writeJson(json_path, shapes, smoke))
+        return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return all_match ? 0 : 1;
+}

@@ -6,7 +6,16 @@
  * when the system under test is slow to set up, or when traces come
  * from another machine.
  *
- *   $ ./offline_check
+ * Files are written in the indexed v2 format (per-trace framing plus
+ * an index footer), so besides the sequential loader used here they
+ * can be mmap'd and decoded in parallel by pmtest_check
+ * (--ingest=mmap --decoders=N) — see src/trace/trace_reader.hh.
+ *
+ *   $ ./offline_check [output.trace]
+ *
+ * With no argument the trace file goes to /tmp and is removed after
+ * the check; with an explicit path it is kept, so a pipeline (e.g.
+ * the CI offline-check smoke job) can hand it to pmtest_check.
  */
 
 #include <cstdio>
@@ -56,13 +65,16 @@ recordRun()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("== PMTest: offline trace checking ==\n\n");
 
+    const bool keep = argc > 1;
+    const std::string path =
+        keep ? argv[1] : "/tmp/pmtest_offline_example.trace";
+
     // Phase 1: record.
     const auto traces = recordRun();
-    const std::string path = "/tmp/pmtest_offline_example.trace";
     if (!saveTracesToFile(path, traces)) {
         std::printf("failed to write %s\n", path.c_str());
         return 1;
@@ -82,11 +94,13 @@ main()
     core::Report merged;
     for (const auto &trace : loaded.traces)
         merged.merge(engine.check(trace));
+    merged.canonicalize();
 
     std::printf("offline check: %zu FAIL, %zu WARN\n",
                 merged.failCount(), merged.warnCount());
     std::printf("%s", merged.summaryStr().c_str());
 
-    std::remove(path.c_str());
+    if (!keep)
+        std::remove(path.c_str());
     return 0;
 }

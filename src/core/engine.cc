@@ -66,6 +66,7 @@ Engine::check(const Trace &trace)
     }
 
     tracesChecked_++;
+    report.stampTraceId();
     return report;
 }
 

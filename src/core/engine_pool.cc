@@ -60,6 +60,16 @@ PoolStats::str() const
         << " (capacity "
         << (queueCapacity ? std::to_string(queueCapacity) : "unbounded")
         << ", stealing " << (workStealing ? "on" : "off") << ")\n";
+    if (ingest.active) {
+        out << "ingest: " << ingest.bytesMapped << " bytes "
+            << (ingest.mmapBacked ? "mmapped" : "buffered") << ", "
+            << ingest.tracesDecoded << " traces decoded on "
+            << ingest.decoders << " decoder(s), decode "
+            << static_cast<double>(ingest.decodeNanos) * 1e-6
+            << " ms, ingest stalled "
+            << static_cast<double>(ingest.stallNanos) * 1e-6
+            << " ms\n";
+    }
     for (size_t i = 0; i < workers.size(); i++) {
         const WorkerStats &w = workers[i];
         out << "  worker " << i << ": " << w.tracesChecked

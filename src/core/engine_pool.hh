@@ -83,10 +83,30 @@ struct WorkerStats
     size_t queueDepth = 0;      ///< traces currently queued to it
 };
 
+/**
+ * Counters for the file-ingest stage feeding a pool (the offline
+ * pmtest_check pipeline): filled by core::ingestTraces() and carried
+ * here so one PoolStats snapshot describes the whole load→verdict
+ * pipeline — how the bytes came in, how long decoding took, and how
+ * long decoders stalled on the pool's backpressure.
+ */
+struct IngestStats
+{
+    bool active = false;      ///< an ingest stage ran (renders stats)
+    bool mmapBacked = false;  ///< file was mmap'd (vs read() buffer)
+    uint32_t decoders = 0;    ///< decoder threads used
+    uint64_t bytesMapped = 0; ///< file bytes mapped/buffered
+    uint64_t tracesDecoded = 0;
+    uint64_t decodeNanos = 0; ///< summed decode time across decoders
+    uint64_t stallNanos = 0;  ///< summed time decoders were blocked
+                              ///< submitting into full pool queues
+};
+
 /** Point-in-time snapshot of the pool's dispatch behaviour. */
 struct PoolStats
 {
     std::vector<WorkerStats> workers;
+    IngestStats ingest;             ///< offline file-ingest counters
     uint64_t tracesSubmitted = 0;   ///< traces accepted by submit*()
     uint64_t tracesCompleted = 0;   ///< traces fully checked
     uint64_t batchesSubmitted = 0;  ///< submitBatch() calls

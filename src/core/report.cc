@@ -64,6 +64,24 @@ Report::merge(const Report &other)
                      other.findings().end());
 }
 
+void
+Report::stampTraceId()
+{
+    for (auto &f : findings_)
+        f.traceId = traceId_;
+}
+
+void
+Report::canonicalize()
+{
+    std::stable_sort(findings_.begin(), findings_.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.traceId != b.traceId)
+                             return a.traceId < b.traceId;
+                         return a.opIndex < b.opIndex;
+                     });
+}
+
 std::string
 Report::str() const
 {

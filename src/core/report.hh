@@ -88,6 +88,24 @@ class Report
     /** Merge another report's findings into this one. */
     void merge(const Report &other);
 
+    /**
+     * Set every finding's traceId to this report's trace id. The
+     * checking kernels only record opIndex (they do not know the
+     * trace id); the engine stamps the id once per checked trace so
+     * merged reports can be canonicalized.
+     */
+    void stampTraceId();
+
+    /**
+     * Reorder findings into the canonical order: stable sort by
+     * (traceId, opIndex). Per-trace findings stay in detection order
+     * (each trace is checked whole by one engine), so a report merged
+     * from parallel workers canonicalizes to the exact byte sequence
+     * the serial, submission-ordered path produces — the determinism
+     * contract of the parallel offline-check pipeline.
+     */
+    void canonicalize();
+
     /** Multi-line dump of all findings. */
     std::string str() const;
 

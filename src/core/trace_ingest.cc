@@ -1,0 +1,117 @@
+#include "core/trace_ingest.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/timer.hh"
+
+namespace pmtest::core
+{
+
+bool
+ingestTraces(const TraceFileReader &reader, EnginePool &pool,
+             const IngestOptions &options, IngestStats *ingest,
+             ArenaSink *arenas)
+{
+    const size_t count = reader.traceCount();
+    const size_t team =
+        std::max<size_t>(1, std::min(options.decoders, count ? count : 1));
+    const size_t batch_size = std::max<size_t>(1, options.batch);
+
+    // Decoders claim runs of consecutive trace indices rather than
+    // one index at a time: fewer shared-cursor bumps, and each claim
+    // decodes into one batch flushed with a single submitBatch — on
+    // oversubscribed machines (decoders + workers > cores) that
+    // keeps the wakeup rate proportional to batches, not traces.
+    const size_t chunk =
+        std::max<size_t>(1,
+                         std::min(batch_size,
+                                  count / (team * 4) + 1));
+
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::atomic<uint64_t> decode_nanos{0};
+    std::atomic<uint64_t> stall_nanos{0};
+    std::atomic<uint64_t> decoded{0};
+    std::mutex arena_mutex;
+
+    auto decodeLoop = [&] {
+        std::vector<Trace> batch;
+        batch.reserve(batch_size);
+        ArenaSink local_arenas;
+        auto flush = [&] {
+            if (batch.empty())
+                return;
+            // submitBatch blocks when every worker queue is full —
+            // that wait is the ingest backpressure we account as
+            // stall time (an unstalled submit is microseconds).
+            Timer stall;
+            pool.submitBatch(std::move(batch));
+            stall_nanos.fetch_add(stall.elapsedNs(),
+                                  std::memory_order_relaxed);
+            batch.clear();
+            batch.reserve(batch_size);
+        };
+
+        while (!failed.load(std::memory_order_relaxed)) {
+            const size_t begin =
+                cursor.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= count)
+                break;
+            const size_t end = std::min(count, begin + chunk);
+            size_t done = 0;
+            Timer timer;
+            for (size_t i = begin; i < end; i++) {
+                DecodedTrace dt;
+                if (!reader.decode(i, &dt)) {
+                    failed.store(true, std::memory_order_relaxed);
+                    break;
+                }
+                local_arenas.push_back(std::move(dt.strings));
+                batch.push_back(std::move(dt.trace));
+                done++;
+            }
+            decode_nanos.fetch_add(timer.elapsedNs(),
+                                   std::memory_order_relaxed);
+            decoded.fetch_add(done, std::memory_order_relaxed);
+            if (batch.size() >= batch_size)
+                flush();
+        }
+        flush();
+        if (arenas && !local_arenas.empty()) {
+            std::lock_guard<std::mutex> lock(arena_mutex);
+            arenas->insert(arenas->end(),
+                           std::make_move_iterator(local_arenas.begin()),
+                           std::make_move_iterator(local_arenas.end()));
+        }
+    };
+
+    if (team == 1) {
+        decodeLoop();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(team);
+        for (size_t d = 0; d < team; d++)
+            threads.emplace_back(decodeLoop);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    if (ingest) {
+        ingest->active = true;
+        ingest->mmapBacked = reader.mmapBacked();
+        ingest->decoders = static_cast<uint32_t>(team);
+        ingest->bytesMapped = reader.sizeBytes();
+        ingest->tracesDecoded =
+            decoded.load(std::memory_order_relaxed);
+        ingest->decodeNanos =
+            decode_nanos.load(std::memory_order_relaxed);
+        ingest->stallNanos =
+            stall_nanos.load(std::memory_order_relaxed);
+    }
+    return !failed.load(std::memory_order_relaxed);
+}
+
+} // namespace pmtest::core

@@ -383,4 +383,16 @@ Pmfs::fifoStalls() const
     return fifo_ ? fifo_->producerStalls() : 0;
 }
 
+uint64_t
+Pmfs::fifoStallNanos() const
+{
+    return fifo_ ? fifo_->producerStallNanos() : 0;
+}
+
+size_t
+Pmfs::fifoDepth() const
+{
+    return fifo_ ? fifo_->size() : 0;
+}
+
 } // namespace pmtest::pmfs

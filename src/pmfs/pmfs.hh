@@ -106,6 +106,12 @@ class Pmfs
     /** Producer-side stalls on the kernel FIFO (backpressure stat). */
     uint64_t fifoStalls() const;
 
+    /** Time producers spent parked on the kernel FIFO wait queue. */
+    uint64_t fifoStallNanos() const;
+
+    /** Traces currently queued in the kernel FIFO (racy; stats). */
+    size_t fifoDepth() const;
+
     /**
      * Wait until every trace pushed into the kernel FIFO has been
      * handed to the checking engine, then wait for the engine itself

@@ -7,18 +7,37 @@
  * Usage:
  *   pmtest_check [--model=x86|hops|arm] [--summary] [--quiet]
  *                [--max-findings=N] [--workers=N] [--queue-cap=N]
- *                [--batch=N] [--stats] <trace-file>
+ *                [--batch=N] [--ingest=auto|mmap|stream]
+ *                [--decoders=N] [--stats] <trace-file>
  *
- * --workers=N checks the loaded traces on an engine pool instead of
- * a single inline engine (the paper's decoupled mode); --queue-cap
- * bounds the per-worker queues, --batch submits traces N at a time,
- * and --stats prints the pool's dispatch statistics (queue depths,
- * steals, producer stall time) after the run.
+ * Ingest paths:
+ *  --ingest=mmap   map a v2 trace file and decode traces in parallel
+ *                  on --decoders=N threads, feeding the engine pool
+ *                  as they decode — decode of trace N+1 overlaps
+ *                  checking of trace N and peak memory is the
+ *                  in-flight window, not the whole file. Fails on v1
+ *                  files (no index footer).
+ *  --ingest=stream parse the whole file sequentially through the
+ *                  buffered loader before checking (works for v1 and
+ *                  v2 files).
+ *  --ingest=auto   (default) mmap when the file has a v2 index,
+ *                  stream otherwise.
+ *
+ * --workers=N checks traces on an engine pool instead of a single
+ * inline engine (the paper's decoupled mode); --queue-cap bounds the
+ * per-worker queues, --batch submits traces N at a time, and --stats
+ * prints dispatch statistics (queue depths, steals, producer stall
+ * time) plus the ingest counters (bytes mapped, decode time, ingest
+ * stalls) after the run.
+ *
+ * Findings are reported in canonical (traceId, opIndex) order, so
+ * the parallel and serial paths print byte-identical reports.
  *
  * Exit status: 0 when no FAIL findings, 1 when crash-consistency
  * bugs were found, 2 on usage/input errors.
  */
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,7 +45,9 @@
 
 #include "core/engine.hh"
 #include "core/engine_pool.hh"
+#include "core/trace_ingest.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_reader.hh"
 
 namespace
 {
@@ -40,8 +61,31 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--model=x86|hops|arm] [--summary] [--quiet]\n"
         "          [--max-findings=N] [--workers=N] [--queue-cap=N]\n"
-        "          [--batch=N] [--stats] <trace-file>\n",
+        "          [--batch=N] [--ingest=auto|mmap|stream]\n"
+        "          [--decoders=N] [--stats] <trace-file>\n",
         argv0);
+}
+
+/**
+ * Parse the numeric value of "--flag=N". Unlike std::atol (which
+ * silently maps garbage to 0), any non-digit input, empty value,
+ * trailing junk or overflow is a hard usage error: print a message
+ * and exit 2.
+ */
+size_t
+parseNumericOption(const std::string &arg, size_t prefix_len,
+                   const char *flag)
+{
+    const char *begin = arg.c_str() + prefix_len;
+    const char *end = arg.c_str() + arg.size();
+    size_t value = 0;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end || begin == end) {
+        std::fprintf(stderr, "invalid value for %s: '%s'\n", flag,
+                     begin);
+        std::exit(2);
+    }
+    return value;
 }
 
 } // namespace
@@ -57,6 +101,8 @@ main(int argc, char **argv)
     size_t workers = 0;
     size_t queue_cap = 0;
     size_t batch = 1;
+    size_t decoders = 1;
+    IngestMode ingest = IngestMode::Auto;
     std::string path;
 
     for (int i = 1; i < argc; i++) {
@@ -80,16 +126,32 @@ main(int argc, char **argv)
             quiet = true;
         } else if (arg.rfind("--max-findings=", 0) == 0) {
             max_findings =
-                static_cast<size_t>(std::atol(arg.c_str() + 15));
+                parseNumericOption(arg, 15, "--max-findings");
         } else if (arg.rfind("--workers=", 0) == 0) {
-            workers = static_cast<size_t>(std::atol(arg.c_str() + 10));
+            workers = parseNumericOption(arg, 10, "--workers");
         } else if (arg.rfind("--queue-cap=", 0) == 0) {
-            queue_cap =
-                static_cast<size_t>(std::atol(arg.c_str() + 12));
+            queue_cap = parseNumericOption(arg, 12, "--queue-cap");
         } else if (arg.rfind("--batch=", 0) == 0) {
-            batch = static_cast<size_t>(std::atol(arg.c_str() + 8));
+            batch = parseNumericOption(arg, 8, "--batch");
             if (batch == 0)
                 batch = 1;
+        } else if (arg.rfind("--decoders=", 0) == 0) {
+            decoders = parseNumericOption(arg, 11, "--decoders");
+            if (decoders == 0)
+                decoders = 1;
+        } else if (arg.rfind("--ingest=", 0) == 0) {
+            const std::string name = arg.substr(9);
+            if (name == "auto") {
+                ingest = IngestMode::Auto;
+            } else if (name == "mmap") {
+                ingest = IngestMode::Mmap;
+            } else if (name == "stream") {
+                ingest = IngestMode::Stream;
+            } else {
+                std::fprintf(stderr, "unknown ingest mode '%s'\n",
+                             name.c_str());
+                return 2;
+            }
         } else if (arg == "--stats") {
             show_stats = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -112,45 +174,96 @@ main(int argc, char **argv)
         return 2;
     }
 
-    bool ok = false;
-    // Not const: the loaded traces are moved into the pool below —
-    // a const bundle would silently copy every op array instead.
-    auto bundle = loadTracesFromFile(path, &ok);
-    if (!ok) {
-        std::fprintf(stderr, "%s: not a readable PMTest trace file\n",
-                     path.c_str());
-        return 2;
-    }
-
     core::PoolOptions options;
     options.model = model;
     options.workers = workers;
     options.queueCapacity = queue_cap;
-    core::EnginePool pool(options);
 
-    const size_t trace_count = bundle.traces.size();
-    size_t total_ops = 0;
-    for (const auto &trace : bundle.traces)
-        total_ops += trace.size();
-    std::vector<Trace> pending;
-    pending.reserve(batch);
-    for (auto &trace : bundle.traces) {
-        pending.push_back(std::move(trace));
-        if (pending.size() >= batch) {
-            pool.submitBatch(std::move(pending));
-            pending.clear();
+    // Indexed path: map the file and pipeline decode into checking.
+    std::unique_ptr<TraceFileReader> reader;
+    if (ingest != IngestMode::Stream) {
+        std::string error;
+        reader = TraceFileReader::open(path, ingest, &error);
+        if (!reader && ingest == IngestMode::Mmap) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         error.c_str());
+            return 2;
         }
+        // Auto mode: fall back to the sequential loader (v1 files,
+        // unmappable streams) without complaint.
     }
-    pool.submitBatch(std::move(pending));
-    const core::Report merged = pool.results();
-    const core::PoolStats stats = pool.stats();
+
+    size_t trace_count = 0;
+    size_t total_ops = 0;
+    core::Report merged;
+    core::PoolStats stats;
+    core::ArenaSink arenas; // keeps finding locations alive
+    size_t pool_workers = 0;
+
+    if (reader) {
+        trace_count = reader->traceCount();
+        total_ops = static_cast<size_t>(reader->totalOps());
+
+        core::EnginePool pool(options);
+        core::IngestOptions ingest_options;
+        ingest_options.decoders = decoders;
+        ingest_options.batch = batch;
+        core::IngestStats ingest_stats;
+        const bool ok = core::ingestTraces(*reader, pool,
+                                           ingest_options,
+                                           &ingest_stats, &arenas);
+        merged = pool.results();
+        stats = pool.stats();
+        stats.ingest = ingest_stats;
+        pool_workers = pool.workerCount();
+        if (!ok) {
+            std::fprintf(stderr,
+                         "%s: corrupt trace body (decode failed)\n",
+                         path.c_str());
+            return 2;
+        }
+    } else {
+        bool ok = false;
+        // Not const: the loaded traces are moved into the pool below
+        // — a const bundle would silently copy every op array.
+        auto bundle = loadTracesFromFile(path, &ok);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "%s: not a readable PMTest trace file\n",
+                         path.c_str());
+            return 2;
+        }
+        arenas.push_back(bundle.strings);
+
+        core::EnginePool pool(options);
+        trace_count = bundle.traces.size();
+        for (const auto &trace : bundle.traces)
+            total_ops += trace.size();
+        std::vector<Trace> pending;
+        pending.reserve(batch);
+        for (auto &trace : bundle.traces) {
+            pending.push_back(std::move(trace));
+            if (pending.size() >= batch) {
+                pool.submitBatch(std::move(pending));
+                pending.clear();
+            }
+        }
+        pool.submitBatch(std::move(pending));
+        merged = pool.results();
+        stats = pool.stats();
+        pool_workers = pool.workerCount();
+    }
+
+    // Canonical (traceId, opIndex) order: the parallel ingest /
+    // worker pool and the serial inline path print byte-identical
+    // reports.
+    merged.canonicalize();
 
     if (!quiet) {
         std::printf("%s: %zu traces, %zu PM operations, model=%s, "
                     "%zu workers\n",
                     path.c_str(), trace_count, total_ops,
-                    core::makeModel(model)->name(),
-                    pool.workerCount());
+                    core::makeModel(model)->name(), pool_workers);
         if (summary) {
             std::printf("%s", merged.summaryStr().c_str());
         } else {

@@ -10,6 +10,15 @@
  * growing memory without limit. tryPush() is the non-blocking probe
  * used by dispatchers that want to account stall time or fall back to
  * another queue.
+ *
+ * A bounded queue may additionally set a *wake mark* below its
+ * capacity: a producer that blocked on a full queue is only resumed
+ * once occupancy drops under the mark. That is the kernel wait-queue
+ * protocol of the paper's §4.5 (PMFS parks writers until the
+ * /proc/PMTest FIFO is less than half full) — KernelFifo is now a
+ * thin adapter over this primitive, so the kernel path shares the
+ * same backpressure machinery and stall statistics as the engine
+ * pool's dispatch queues.
  */
 
 #ifndef PMTEST_TRACE_CONCURRENT_QUEUE_HH
@@ -17,11 +26,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "util/timer.hh"
 
 namespace pmtest
 {
@@ -39,8 +51,16 @@ template <typename T>
 class ConcurrentQueue
 {
   public:
-    /** @param capacity maximum queued items; 0 = unbounded. */
-    explicit ConcurrentQueue(size_t capacity = 0) : capacity_(capacity) {}
+    /**
+     * @param capacity maximum queued items; 0 = unbounded.
+     * @param wake_mark occupancy below which producers blocked on a
+     *        full queue resume; 0 = resume as soon as any space
+     *        frees (no hysteresis). Must be < capacity when set.
+     */
+    explicit ConcurrentQueue(size_t capacity = 0, size_t wake_mark = 0)
+        : capacity_(capacity), wakeMark_(wake_mark)
+    {
+    }
 
     /**
      * Push one item and wake one waiting consumer. On a bounded
@@ -51,10 +71,30 @@ class ConcurrentQueue
     {
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            notFullCv_.wait(lock, [this] { return !fullLocked(); });
+            waitNotFull(lock);
             items_.push_back(std::move(item));
         }
         cv_.notify_one();
+    }
+
+    /**
+     * Push unless the queue has been closed: the kernel-FIFO entry
+     * point. Blocks like push() while full; once the wait ends,
+     * enqueues and returns true only when the queue is still open —
+     * after shutdown the item is dropped and false is returned.
+     */
+    bool
+    pushUnlessClosed(T item)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            waitNotFull(lock);
+            if (closed_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        cv_.notify_one();
+        return true;
     }
 
     /**
@@ -87,8 +127,7 @@ class ConcurrentQueue
         while (next < items.size()) {
             {
                 std::unique_lock<std::mutex> lock(mutex_);
-                notFullCv_.wait(lock,
-                                [this] { return !fullLocked(); });
+                waitNotFull(lock);
                 do {
                     items_.push_back(std::move(items[next++]));
                 } while (next < items.size() && !fullLocked());
@@ -126,6 +165,7 @@ class ConcurrentQueue
     pop()
     {
         std::optional<T> item;
+        size_t depth = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock,
@@ -134,8 +174,9 @@ class ConcurrentQueue
                 return std::nullopt;
             item = std::move(items_.front());
             items_.pop_front();
+            depth = items_.size();
         }
-        notFullCv_.notify_one();
+        notifyProducers(depth);
         return item;
     }
 
@@ -152,6 +193,7 @@ class ConcurrentQueue
     tryPopHalf(std::vector<T> &out)
     {
         size_t popped = 0;
+        size_t depth = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             const size_t take = (items_.size() + 1) / 2;
@@ -159,9 +201,10 @@ class ConcurrentQueue
                 out.push_back(std::move(items_.front()));
                 items_.pop_front();
             }
+            depth = items_.size();
         }
         if (popped)
-            notFullCv_.notify_all();
+            notifyProducers(depth, /*all=*/true);
         return popped;
     }
 
@@ -170,14 +213,16 @@ class ConcurrentQueue
     tryPop()
     {
         std::optional<T> item;
+        size_t depth = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (items_.empty())
                 return std::nullopt;
             item = std::move(items_.front());
             items_.pop_front();
+            depth = items_.size();
         }
-        notFullCv_.notify_one();
+        notifyProducers(depth);
         return item;
     }
 
@@ -207,6 +252,25 @@ class ConcurrentQueue
     /** Capacity bound (0 = unbounded). */
     size_t capacity() const { return capacity_; }
 
+    /** Producer wake mark (0 = wake as soon as space frees). */
+    size_t wakeMark() const { return wakeMark_; }
+
+    /** Times a producer had to block on a full queue. */
+    uint64_t
+    producerStalls() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return producerStalls_;
+    }
+
+    /** Total time producers spent blocked on a full queue. */
+    uint64_t
+    producerStallNanos() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stallNanos_;
+    }
+
     /** Number of queued items (racy; for stats only). */
     size_t
     size() const
@@ -229,11 +293,58 @@ class ConcurrentQueue
         return capacity_ != 0 && !closed_ && items_.size() >= capacity_;
     }
 
+    /** Occupancy below which a *blocked* producer may resume. */
+    size_t
+    wakeLevel() const
+    {
+        return wakeMark_ != 0 ? wakeMark_ : capacity_;
+    }
+
+    /**
+     * Block (accounting the stall) until a blocked producer may
+     * proceed: below the wake level, or the queue closed.
+     */
+    void
+    waitNotFull(std::unique_lock<std::mutex> &lock)
+    {
+        if (!fullLocked())
+            return;
+        producerStalls_++;
+        Timer timer;
+        notFullCv_.wait(lock, [this] {
+            return closed_ || items_.size() < wakeLevel();
+        });
+        stallNanos_ += timer.elapsedNs();
+    }
+
+    /**
+     * Wake blocked producers after a pop left @p depth items. With a
+     * wake mark, producers stay parked until occupancy drops under
+     * the mark and are then all released (the kernel wait-queue
+     * protocol); without one, a single producer is resumed per freed
+     * slot.
+     */
+    void
+    notifyProducers(size_t depth, bool all = false)
+    {
+        if (wakeMark_ != 0) {
+            if (depth < wakeMark_)
+                notFullCv_.notify_all();
+        } else if (all) {
+            notFullCv_.notify_all();
+        } else {
+            notFullCv_.notify_one();
+        }
+    }
+
     mutable std::mutex mutex_;
     std::condition_variable cv_;        ///< signals "not empty / closed"
     std::condition_variable notFullCv_; ///< signals "space available"
     std::deque<T> items_;
     size_t capacity_ = 0;
+    size_t wakeMark_ = 0;
+    uint64_t producerStalls_ = 0; ///< guarded by mutex_
+    uint64_t stallNanos_ = 0;     ///< guarded by mutex_
     bool closed_ = false;
 };
 

@@ -6,17 +6,23 @@
  * 1024 entries. When the FIFO fills, the producer parks itself on an
  * interruptible wait queue and resumes once the FIFO is less than
  * half full.
+ *
+ * Implementation-wise this is now a thin adapter over
+ * ConcurrentQueue's bounded-backpressure primitives (capacity bound
+ * + half-capacity wake mark + stall accounting) — the same machinery
+ * the engine pool's dispatch queues use — so the kernel path reports
+ * the same backpressure statistics (stall count, stall time, queue
+ * depth) as the user-space path instead of keeping a private buffer
+ * implementation.
  */
 
 #ifndef PMTEST_TRACE_KERNEL_FIFO_HH
 #define PMTEST_TRACE_KERNEL_FIFO_HH
 
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <mutex>
 #include <optional>
 
+#include "trace/concurrent_queue.hh"
 #include "trace/trace.hh"
 
 namespace pmtest
@@ -34,7 +40,10 @@ class KernelFifo
     /** Default capacity used by the paper: 1024 trace entries. */
     static constexpr size_t defaultCapacity = 1024;
 
-    explicit KernelFifo(size_t capacity = defaultCapacity);
+    explicit KernelFifo(size_t capacity = defaultCapacity)
+        : queue_(capacity, capacity / 2)
+    {
+    }
 
     /**
      * Push a trace. Blocks (producer on the wait queue) while the
@@ -42,34 +51,35 @@ class KernelFifo
      * shut down.
      * @return false if the FIFO was shut down before the push landed.
      */
-    bool push(Trace trace);
+    bool push(Trace trace) { return queue_.pushUnlessClosed(std::move(trace)); }
 
     /**
      * Pop the oldest trace, blocking while open and empty.
      * @return the trace, or std::nullopt once shut down and drained.
      */
-    std::optional<Trace> pop();
+    std::optional<Trace> pop() { return queue_.pop(); }
 
     /** Shut down: wake all waiters; pops drain, pushes fail. */
-    void shutdown();
+    void shutdown() { queue_.close(); }
 
     /** Current occupancy (racy; stats only). */
-    size_t size() const;
+    size_t size() const { return queue_.size(); }
 
     /** Configured capacity. */
-    size_t capacity() const { return capacity_; }
+    size_t capacity() const { return queue_.capacity(); }
 
     /** Number of times a producer had to block on the wait queue. */
-    uint64_t producerStalls() const;
+    uint64_t producerStalls() const { return queue_.producerStalls(); }
+
+    /** Total time producers spent parked on the wait queue. */
+    uint64_t
+    producerStallNanos() const
+    {
+        return queue_.producerStallNanos();
+    }
 
   private:
-    const size_t capacity_;
-    mutable std::mutex mutex_;
-    std::condition_variable notFull_;
-    std::condition_variable notEmpty_;
-    std::deque<Trace> items_;
-    bool shutdown_ = false;
-    uint64_t producerStalls_ = 0;
+    ConcurrentQueue<Trace> queue_;
 };
 
 } // namespace pmtest

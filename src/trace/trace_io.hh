@@ -6,12 +6,33 @@
  * tracking enabled, then replay the traces through the checking
  * engine (or a baseline tool) without re-running the program.
  *
- * Format (little-endian, versioned):
- *   file   := magic u64, version u32, trace_count u32, trace*
- *   trace  := id u64, thread_id u32, op_count u32, string_table, op*
+ * Two wire formats (little-endian, versioned):
+ *
+ * v1 (legacy, read-only):
+ *   file   := magic u64, version u32 (=1), trace_count u32, body*
+ *   body   := id u64, thread_id u32, op_count u32, string_table, op*
+ *
+ * v2 (current; what saveTraces writes):
+ *   file   := magic u64, version u32 (=2), trace_count u32,
+ *             frame*, index, tail
+ *   frame  := frame_len u64, body[frame_len]
+ *   index  := trace_count x { offset u64, op_count u32, thread_id u32 }
+ *             (offset = absolute position of the frame_len field)
+ *   tail   := index_offset u64, index_crc32 u32, trace_count u32,
+ *             footer_magic u64
+ *
+ * Shared body encoding (v1 and v2):
+ *   body   := id u64, thread_id u32, op_count u32, string_table, op*
  *   string_table := count u32, (len u32, bytes)*   (file names)
  *   op     := type u8, file_idx u32, line u32, addr u64, size u64,
  *             addrB u64, sizeB u64
+ *
+ * The v2 additions make each trace independently locatable: the
+ * byte-length framing turns one trace into a self-contained decode
+ * unit, and the index footer (validated by magic + CRC32 + exact
+ * size accounting) lets `TraceFileReader` (trace_reader.hh) map the
+ * file and decode traces in parallel without scanning. `loadTraces`
+ * reads both versions, so existing v1 files keep working.
  *
  * File-name strings are interned per trace; loaded traces own their
  * file names via a shared arena so SourceLocation's const char*
@@ -21,6 +42,7 @@
 #ifndef PMTEST_TRACE_TRACE_IO_HH
 #define PMTEST_TRACE_TRACE_IO_HH
 
+#include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <memory>
@@ -32,8 +54,54 @@
 namespace pmtest
 {
 
-/** Serialize traces to a binary stream. @return bytes written. */
-size_t saveTraces(std::ostream &out, const std::vector<Trace> &traces);
+/** Trace file wire-format versions. */
+enum class TraceFormat : uint32_t
+{
+    V1 = 1, ///< legacy sequential stream (no framing, no index)
+    V2 = 2, ///< framed traces + CRC-protected index footer
+};
+
+/** Wire-format constants shared by the writer and the indexed reader. */
+struct TraceWire
+{
+    /** Leading file magic ("PMTESTT"). */
+    static constexpr uint64_t kMagic = 0x504d5445535454ULL;
+    /** v2 footer magic ("PMT2IDX"). */
+    static constexpr uint64_t kFooterMagic = 0x58444932544d50ULL;
+    /** magic u64 + version u32 + trace_count u32. */
+    static constexpr size_t kHeaderBytes = 16;
+    /** offset u64 + op_count u32 + thread_id u32. */
+    static constexpr size_t kIndexEntryBytes = 16;
+    /** index_offset u64 + crc u32 + trace_count u32 + magic u64. */
+    static constexpr size_t kFooterBytes = 24;
+};
+
+/** CRC32 (IEEE 802.3, reflected) of a byte range. */
+uint32_t crc32(const void *data, size_t len);
+
+/**
+ * Encode one trace's body (the framed payload, without the length
+ * prefix) and append it to @p buf. Shared by saveTraces and tests
+ * that hand-build v2 files.
+ */
+void encodeTraceBody(const Trace &trace, std::string *buf);
+
+/**
+ * Decode one trace body from memory with strict bounds checking:
+ * never reads past data+len, and fails (returning false) on any
+ * malformed field instead of guessing. File-name strings are
+ * appended to @p arena (a deque: stable addresses under growth), and
+ * the decoded ops point into it.
+ */
+bool decodeTraceBody(const uint8_t *data, size_t len, Trace *out,
+                     std::deque<std::string> *arena);
+
+/**
+ * Serialize traces to a binary stream in the requested format
+ * (defaults to v2). @return bytes written.
+ */
+size_t saveTraces(std::ostream &out, const std::vector<Trace> &traces,
+                  TraceFormat format = TraceFormat::V2);
 
 /**
  * The result of loading a trace file: the traces plus the string
@@ -49,7 +117,7 @@ struct LoadedTraces
 };
 
 /**
- * Deserialize traces from a binary stream.
+ * Deserialize traces from a binary stream; accepts v1 and v2 files.
  * @throws nothing; returns an empty bundle on malformed input and
  *         sets *ok to false (when provided).
  */
@@ -57,7 +125,8 @@ LoadedTraces loadTraces(std::istream &in, bool *ok = nullptr);
 
 /** Convenience: save to / load from a file path. */
 bool saveTracesToFile(const std::string &path,
-                      const std::vector<Trace> &traces);
+                      const std::vector<Trace> &traces,
+                      TraceFormat format = TraceFormat::V2);
 LoadedTraces loadTracesFromFile(const std::string &path,
                                 bool *ok = nullptr);
 

@@ -1,0 +1,222 @@
+#include "trace/trace_reader.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace pmtest
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+}
+
+/** Load a little-endian scalar from a validated offset. */
+template <typename T>
+T
+load(const uint8_t *data, size_t offset)
+{
+    T value;
+    std::memcpy(&value, data + offset, sizeof(T));
+    return value;
+}
+
+} // namespace
+
+std::unique_ptr<TraceFileReader>
+TraceFileReader::open(const std::string &path, IngestMode mode,
+                      std::string *error)
+{
+    std::unique_ptr<TraceFileReader> reader(new TraceFileReader());
+
+    if (mode != IngestMode::Stream) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            struct stat st{};
+            if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+                void *map = ::mmap(nullptr,
+                                   static_cast<size_t>(st.st_size),
+                                   PROT_READ, MAP_PRIVATE, fd, 0);
+                if (map != MAP_FAILED) {
+                    reader->data_ = static_cast<const uint8_t *>(map);
+                    reader->size_ = static_cast<size_t>(st.st_size);
+                    reader->mmapped_ = true;
+                }
+            }
+            ::close(fd);
+        }
+        if (!reader->mmapped_ && mode == IngestMode::Mmap) {
+            setError(error, path + ": cannot mmap");
+            return nullptr;
+        }
+    }
+
+    if (!reader->mmapped_) {
+        // read() fallback: one buffered copy of the file. Slower and
+        // not zero-copy, but the index/decode machinery is identical.
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            setError(error, path + ": cannot open");
+            return nullptr;
+        }
+        in.seekg(0, std::ios::end);
+        const std::streamoff len = in.tellg();
+        in.seekg(0);
+        if (len < 0) {
+            setError(error, path + ": cannot size");
+            return nullptr;
+        }
+        reader->buffer_.resize(static_cast<size_t>(len));
+        in.read(reinterpret_cast<char *>(reader->buffer_.data()), len);
+        if (!in.good() && len > 0) {
+            setError(error, path + ": short read");
+            return nullptr;
+        }
+        reader->data_ = reader->buffer_.data();
+        reader->size_ = reader->buffer_.size();
+    }
+
+    if (!reader->validate(error))
+        return nullptr;
+    return reader;
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (mmapped_ && data_)
+        ::munmap(const_cast<uint8_t *>(data_), size_);
+}
+
+bool
+TraceFileReader::validate(std::string *error)
+{
+    constexpr size_t header = TraceWire::kHeaderBytes;
+    constexpr size_t footer = TraceWire::kFooterBytes;
+    constexpr size_t entry = TraceWire::kIndexEntryBytes;
+
+    if (size_ < header + footer) {
+        setError(error, "not a v2 trace file (too small)");
+        return false;
+    }
+    if (load<uint64_t>(data_, 0) != TraceWire::kMagic) {
+        setError(error, "not a PMTest trace file (bad magic)");
+        return false;
+    }
+    const uint32_t version = load<uint32_t>(data_, 8);
+    if (version == static_cast<uint32_t>(TraceFormat::V1)) {
+        setError(error, "v1 trace file: no index footer "
+                        "(use the sequential stream loader)");
+        return false;
+    }
+    if (version != static_cast<uint32_t>(TraceFormat::V2)) {
+        setError(error, "unsupported trace format version " +
+                            std::to_string(version));
+        return false;
+    }
+    const uint32_t count = load<uint32_t>(data_, 12);
+
+    // Footer tail: index_offset u64, crc u32, count u32, magic u64.
+    const size_t tail = size_ - footer;
+    if (load<uint64_t>(data_, tail + 16) != TraceWire::kFooterMagic) {
+        setError(error, "corrupt footer (bad index magic)");
+        return false;
+    }
+    const uint64_t index_offset = load<uint64_t>(data_, tail);
+    const uint32_t index_crc = load<uint32_t>(data_, tail + 8);
+    const uint32_t index_count = load<uint32_t>(data_, tail + 12);
+    if (index_count != count) {
+        setError(error, "corrupt footer (trace count mismatch)");
+        return false;
+    }
+    // Exact size accounting: header + frames + index + footer must
+    // tile the file with no slack, so truncation or appended junk is
+    // always caught.
+    const uint64_t index_bytes = uint64_t{count} * entry;
+    if (index_offset < header || index_bytes > size_ ||
+        index_offset != size_ - footer - index_bytes) {
+        setError(error, "corrupt footer (index offset out of range)");
+        return false;
+    }
+    if (crc32(data_ + index_offset, static_cast<size_t>(index_bytes)) !=
+        index_crc) {
+        setError(error, "corrupt index (CRC mismatch)");
+        return false;
+    }
+
+    // Frames must chain exactly: entry i's frame ends where entry
+    // i+1 begins, and the last frame ends at the index.
+    index_.reserve(count);
+    uint64_t expected = header;
+    for (uint32_t i = 0; i < count; i++) {
+        const size_t at = static_cast<size_t>(index_offset) + i * entry;
+        IndexEntry e;
+        e.offset = load<uint64_t>(data_, at);
+        e.opCount = load<uint32_t>(data_, at + 8);
+        e.threadId = load<uint32_t>(data_, at + 12);
+        if (e.offset != expected ||
+            e.offset + sizeof(uint64_t) > index_offset) {
+            setError(error, "corrupt index (frame offsets do not "
+                            "chain)");
+            index_.clear();
+            return false;
+        }
+        const uint64_t frame_len =
+            load<uint64_t>(data_, static_cast<size_t>(e.offset));
+        if (frame_len > index_offset - e.offset - sizeof(uint64_t)) {
+            setError(error, "corrupt frame (length exceeds index)");
+            index_.clear();
+            return false;
+        }
+        expected = e.offset + sizeof(uint64_t) + frame_len;
+        index_.push_back(e);
+    }
+    if (expected != index_offset) {
+        setError(error, "corrupt index (frames do not reach the "
+                        "index)");
+        index_.clear();
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+TraceFileReader::totalOps() const
+{
+    uint64_t total = 0;
+    for (const auto &e : index_)
+        total += e.opCount;
+    return total;
+}
+
+bool
+TraceFileReader::decode(size_t i, DecodedTrace *out) const
+{
+    if (i >= index_.size())
+        return false;
+    const IndexEntry &e = index_[i];
+    const size_t offset = static_cast<size_t>(e.offset);
+    const uint64_t frame_len = load<uint64_t>(data_, offset);
+
+    out->strings = std::make_shared<std::deque<std::string>>();
+    if (!decodeTraceBody(data_ + offset + sizeof(uint64_t),
+                         static_cast<size_t>(frame_len), &out->trace,
+                         out->strings.get())) {
+        return false;
+    }
+    // Cross-check the decode against the index: a mismatch means the
+    // frame and the footer disagree — treat as corruption.
+    return out->trace.size() == e.opCount &&
+           out->trace.threadId() == e.threadId;
+}
+
+} // namespace pmtest

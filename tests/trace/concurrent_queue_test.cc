@@ -173,5 +173,76 @@ TEST(ConcurrentQueueTest, TryPushAllIsAllOrNothing)
     EXPECT_EQ(q.pop().value(), 1);
 }
 
+TEST(ConcurrentQueueTest, ProducerStallsAreCounted)
+{
+    ConcurrentQueue<int> q(/*capacity=*/1);
+    q.push(1);
+    EXPECT_EQ(q.producerStalls(), 0u);
+
+    std::thread producer([&] { q.push(2); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(q.pop().value(), 1);
+    producer.join();
+
+    EXPECT_EQ(q.producerStalls(), 1u);
+    EXPECT_GT(q.producerStallNanos(), 0u);
+    // A push with room to spare does not count as a stall.
+    q.pop();
+    q.push(3);
+    EXPECT_EQ(q.producerStalls(), 1u);
+}
+
+TEST(ConcurrentQueueTest, WakeMarkHoldsProducerUntilBelowMark)
+{
+    // Kernel wait-queue hysteresis: a producer blocked on a full
+    // 4-slot queue with wake mark 2 stays parked while occupancy is
+    // 3 and 2, and resumes only once it drops to 1 (< mark).
+    ConcurrentQueue<int> q(/*capacity=*/4, /*wake_mark=*/2);
+    EXPECT_EQ(q.wakeMark(), 2u);
+    for (int i = 0; i < 4; i++)
+        q.push(i);
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        q.push(4);
+        pushed.store(true);
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(pushed.load());
+
+    EXPECT_EQ(q.pop().value(), 0); // depth 3: still parked
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(pushed.load());
+
+    EXPECT_EQ(q.pop().value(), 1); // depth 2: still parked
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(pushed.load());
+
+    EXPECT_EQ(q.pop().value(), 2); // depth 1 < mark: wake
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 3);
+    EXPECT_EQ(q.pop().value(), 4);
+    EXPECT_GE(q.producerStalls(), 1u);
+}
+
+TEST(ConcurrentQueueTest, PushUnlessClosedDropsAfterShutdown)
+{
+    ConcurrentQueue<int> q(/*capacity=*/1);
+    EXPECT_TRUE(q.pushUnlessClosed(1));
+
+    // A producer parked on the full queue is released by close() and
+    // reports failure instead of enqueueing into a dead queue.
+    std::thread producer([&] { EXPECT_FALSE(q.pushUnlessClosed(2)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.close();
+    producer.join();
+
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.pushUnlessClosed(3));
+}
+
 } // namespace
 } // namespace pmtest

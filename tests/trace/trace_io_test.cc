@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 namespace pmtest
@@ -54,6 +55,33 @@ TEST(TraceIoTest, RoundTripPreservesEverything)
             }
         }
     }
+}
+
+TEST(TraceIoTest, ExplicitV1FormatRoundTrips)
+{
+    std::vector<Trace> traces{sampleTrace(5)};
+    std::stringstream stream;
+    EXPECT_GT(saveTraces(stream, traces, TraceFormat::V1), 0u);
+
+    bool ok = false;
+    const auto loaded = loadTraces(stream, &ok);
+    ASSERT_TRUE(ok);
+    ASSERT_EQ(loaded.traces.size(), 1u);
+    EXPECT_EQ(loaded.traces[0].id(), 5u);
+    EXPECT_EQ(loaded.traces[0].size(), traces[0].size());
+}
+
+TEST(TraceIoTest, DefaultFormatIsIndexedV2)
+{
+    std::stringstream stream;
+    saveTraces(stream, {sampleTrace(1)});
+    const std::string bytes = stream.str();
+    ASSERT_GT(bytes.size(), TraceWire::kFooterBytes);
+    uint64_t footer_magic = 0;
+    std::memcpy(&footer_magic,
+                bytes.data() + bytes.size() - sizeof(uint64_t),
+                sizeof(uint64_t));
+    EXPECT_EQ(footer_magic, TraceWire::kFooterMagic);
 }
 
 TEST(TraceIoTest, EmptyTraceListRoundTrips)
