@@ -11,7 +11,7 @@
 
 #include "bench/bench_util.hh"
 #include "core/api.hh"
-#include "util/timer.hh"
+#include "util/clock.hh"
 
 namespace
 {

@@ -23,7 +23,7 @@
 
 #include "bench/bench_util.hh"
 #include "core/engine_pool.hh"
-#include "util/timer.hh"
+#include "util/clock.hh"
 #include "workloads/microbench.hh"
 
 namespace

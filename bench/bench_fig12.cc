@@ -25,7 +25,8 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "util/timer.hh"
+#include "core/stats_json.hh"
+#include "util/clock.hh"
 #include "workloads/clients.hh"
 #include "workloads/memcached_lite.hh"
 
@@ -152,53 +153,30 @@ sweep(const char *tag, const char *title,
     std::printf("%s\n", table.str().c_str());
 }
 
-void
-writeStatsJson(std::FILE *f, const core::PoolStats &stats)
-{
-    std::fprintf(f,
-                 "{\"steals\": %llu, \"steal_scans\": %llu, "
-                 "\"producer_stall_ms\": %.3f, "
-                 "\"queue_capacity\": %zu, \"batches\": %llu, "
-                 "\"traces\": %llu}",
-                 static_cast<unsigned long long>(stats.steals),
-                 static_cast<unsigned long long>(stats.stealScans),
-                 stats.producerStallNanos / 1e6, stats.queueCapacity,
-                 static_cast<unsigned long long>(
-                     stats.batchesSubmitted),
-                 static_cast<unsigned long long>(
-                     stats.tracesCompleted));
-}
-
 bool
 writeJson(const std::string &path, const std::vector<Point> &points)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return false;
+    JsonWriter w;
+    w.beginObject();
+    w.member("bench", "fig12");
+    w.member("scale", pmtest::bench::scale());
+    w.key("points").beginArray();
+    for (const Point &p : points) {
+        w.beginObject();
+        w.member("sweep", p.sweep);
+        w.member("app_threads", p.threads);
+        w.member("engine_workers", p.workers);
+        w.member("memslap_slowdown", p.memslap.slowdown, 3);
+        w.member("ycsb_slowdown", p.ycsb.slowdown, 3);
+        w.key("memslap_dispatch");
+        core::writePoolStatsJson(w, p.memslap.stats);
+        w.key("ycsb_dispatch");
+        core::writePoolStatsJson(w, p.ycsb.stats);
+        w.endObject();
     }
-    std::fprintf(f, "{\n  \"bench\": \"fig12\",\n");
-    std::fprintf(f, "  \"scale\": %zu,\n", pmtest::bench::scale());
-    std::fprintf(f, "  \"points\": [\n");
-    for (size_t i = 0; i < points.size(); i++) {
-        const Point &p = points[i];
-        std::fprintf(f,
-                     "    {\"sweep\": \"%s\", \"app_threads\": %zu, "
-                     "\"engine_workers\": %zu,\n"
-                     "     \"memslap_slowdown\": %.3f, "
-                     "\"ycsb_slowdown\": %.3f,\n"
-                     "     \"memslap_dispatch\": ",
-                     p.sweep.c_str(), p.threads, p.workers,
-                     p.memslap.slowdown, p.ycsb.slowdown);
-        writeStatsJson(f, p.memslap.stats);
-        std::fprintf(f, ",\n     \"ycsb_dispatch\": ");
-        writeStatsJson(f, p.ycsb.stats);
-        std::fprintf(f, "}%s\n",
-                     i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    return true;
+    w.endArray();
+    w.endObject();
+    return pmtest::bench::writeJsonFile(path, w);
 }
 
 } // namespace

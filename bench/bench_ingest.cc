@@ -42,7 +42,7 @@
 #include "trace/trace_io.hh"
 #include "trace/trace_reader.hh"
 #include "util/random.hh"
-#include "util/timer.hh"
+#include "util/clock.hh"
 
 namespace
 {
@@ -255,43 +255,35 @@ bool
 writeJson(const std::string &path, const std::vector<Shape> &shapes,
           bool smoke)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"ingest\",\n");
-    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(f, "  \"scale\": %zu,\n", pmtest::bench::scale());
-    std::fprintf(f, "  \"shapes\": [\n");
-    for (size_t i = 0; i < shapes.size(); i++) {
-        const Shape &shape = shapes[i];
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"traces\": %zu, "
-                     "\"ops\": %zu, \"v2_bytes\": %zu,\n"
-                     "     \"verdict_match\": %s, \"speedup\": %.3f,\n"
-                     "     \"phases\": [\n",
-                     shape.name.c_str(), shape.traceCount,
-                     shape.totalOps, shape.fileBytesV2,
-                     shape.verdictMatch ? "true" : "false",
-                     shape.speedup());
-        for (size_t p = 0; p < shape.phases.size(); p++) {
-            const Phase &phase = shape.phases[p];
-            std::fprintf(f,
-                         "      {\"name\": \"%s\", "
-                         "\"seconds\": %.6f, "
-                         "\"rss_growth_kb\": %zu, "
-                         "\"fail_count\": %zu}%s\n",
-                         phase.name.c_str(), phase.seconds,
-                         phase.rssGrowthKb, phase.failCount,
-                         p + 1 < shape.phases.size() ? "," : "");
+    JsonWriter w;
+    w.beginObject();
+    w.member("bench", "ingest");
+    w.member("smoke", smoke);
+    w.member("scale", pmtest::bench::scale());
+    w.key("shapes").beginArray();
+    for (const Shape &shape : shapes) {
+        w.beginObject();
+        w.member("name", shape.name);
+        w.member("traces", shape.traceCount);
+        w.member("ops", shape.totalOps);
+        w.member("v2_bytes", shape.fileBytesV2);
+        w.member("verdict_match", shape.verdictMatch);
+        w.member("speedup", shape.speedup(), 3);
+        w.key("phases").beginArray();
+        for (const Phase &phase : shape.phases) {
+            w.beginObject();
+            w.member("name", phase.name);
+            w.member("seconds", phase.seconds, 6);
+            w.member("rss_growth_kb", phase.rssGrowthKb);
+            w.member("fail_count", phase.failCount);
+            w.endObject();
         }
-        std::fprintf(f, "     ]}%s\n",
-                     i + 1 < shapes.size() ? "," : "");
+        w.endArray();
+        w.endObject();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    return true;
+    w.endArray();
+    w.endObject();
+    return pmtest::bench::writeJsonFile(path, w);
 }
 
 } // namespace
@@ -301,17 +293,28 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     std::string json_path = "BENCH_ingest.json";
+    std::string metrics_path;
+    std::string trace_events_path;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
         } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
             json_path = argv[i] + 7;
+        } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+            metrics_path = argv[i] + 15;
+        } else if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
+            trace_events_path = argv[i] + 15;
         } else {
-            std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--json=PATH]\n"
+                         "          [--metrics-json=PATH] "
+                         "[--trace-events=PATH]\n",
                          argv[0]);
             return 2;
         }
     }
+    if (!trace_events_path.empty())
+        obs::Telemetry::instance().enableSpans();
 
     pmtest::bench::banner("Ingest",
                           "v2 mmap-parallel pipeline vs v1 stream "
@@ -340,5 +343,17 @@ main(int argc, char **argv)
     if (!writeJson(json_path, shapes, smoke))
         return 1;
     std::printf("\nwrote %s\n", json_path.c_str());
+    if (!metrics_path.empty() &&
+        !pmtest::bench::writeBenchMetricsJson(metrics_path,
+                                              "bench_ingest"))
+        return 1;
+    if (!trace_events_path.empty()) {
+        std::string error;
+        if (!obs::Telemetry::instance().writeTraceEventsFile(
+                trace_events_path, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 1;
+        }
+    }
     return all_match ? 0 : 1;
 }

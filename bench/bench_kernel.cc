@@ -14,6 +14,10 @@
  *  --smoke        tiny workload (seconds -> milliseconds); CI uses
  *                 this to validate the harness and capture the JSON.
  *  --json=PATH    where to write the JSON (default BENCH_kernel.json).
+ *  --metrics-json=PATH  telemetry snapshot (counters + stage latency
+ *                 histograms) of the run.
+ *  --trace-events=PATH  Chrome trace-event / Perfetto timeline of the
+ *                 run's engine.check spans.
  */
 
 #include <cstdio>
@@ -25,8 +29,10 @@
 #include "bench/node_interval_map.hh"
 #include "core/engine.hh"
 #include "core/interval_map.hh"
+#include "obs/telemetry.hh"
+#include "util/json.hh"
 #include "util/random.hh"
-#include "util/timer.hh"
+#include "util/clock.hh"
 
 namespace
 {
@@ -46,21 +52,7 @@ struct Section
     double speedup() const { return candidateMops / baselineMops; }
 };
 
-/** Best-of-@p reps wall time of @p fn, in seconds. */
-template <typename Fn>
-double
-bestOf(int reps, Fn &&fn)
-{
-    double best = 0;
-    for (int i = 0; i < reps; i++) {
-        Timer timer;
-        fn();
-        const double sec = timer.elapsedSec();
-        if (i == 0 || sec < best)
-            best = sec;
-    }
-    return best;
-}
+using pmtest::bestOfSeconds;
 
 // --- storage: flat vs node interval map ----------------------------
 
@@ -129,13 +121,13 @@ measureStorage(size_t stream_ops, int passes, uint64_t working_set,
     volatile uint64_t sink = 0;
 
     IntervalMap<uint64_t> flat;
-    const double flat_sec = bestOf(3, [&] {
+    const double flat_sec = bestOfSeconds(3, [&] {
         for (int p = 0; p < passes; p++)
             sink += runIntervalStream(flat, ops);
     });
 
     pmtest::bench::NodeIntervalMap<uint64_t> node;
-    const double node_sec = bestOf(3, [&] {
+    const double node_sec = bestOfSeconds(3, [&] {
         for (int p = 0; p < passes; p++)
             sink += runIntervalStream(node, ops);
     });
@@ -182,12 +174,12 @@ measureStateReuse(size_t traces_n, size_t rounds)
     volatile uint64_t sink = 0;
 
     Engine reused(ModelKind::X86);
-    const double reused_sec = bestOf(3, [&] {
+    const double reused_sec = bestOfSeconds(3, [&] {
         for (const auto &t : traces)
             sink += reused.check(t).failCount();
     });
 
-    const double fresh_sec = bestOf(3, [&] {
+    const double fresh_sec = bestOfSeconds(3, [&] {
         for (const auto &t : traces) {
             Engine fresh(ModelKind::X86);
             sink += fresh.check(t).failCount();
@@ -213,13 +205,13 @@ measureDispatch(size_t rounds, int passes)
     volatile uint64_t sink = 0;
 
     Engine templated(ModelKind::X86, Engine::Dispatch::Templated);
-    const double fast_sec = bestOf(3, [&] {
+    const double fast_sec = bestOfSeconds(3, [&] {
         for (int p = 0; p < passes; p++)
             sink += templated.check(trace).failCount();
     });
 
     Engine virtualised(ModelKind::X86, Engine::Dispatch::Virtual);
-    const double slow_sec = bestOf(3, [&] {
+    const double slow_sec = bestOfSeconds(3, [&] {
         for (int p = 0; p < passes; p++)
             sink += virtualised.check(trace).failCount();
     });
@@ -249,29 +241,25 @@ bool
 writeJson(const std::string &path, const std::vector<Section> &sections,
           bool smoke)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return false;
+    JsonWriter w;
+    w.beginObject();
+    w.member("bench", "kernel");
+    w.member("smoke", smoke);
+    w.member("scale", pmtest::bench::scale());
+    w.key("sections").beginArray();
+    for (const Section &s : sections) {
+        w.beginObject();
+        w.member("name", s.name);
+        w.member("baseline", s.baseline);
+        w.member("candidate", s.candidate);
+        w.member("baseline_mops", s.baselineMops, 3);
+        w.member("candidate_mops", s.candidateMops, 3);
+        w.member("speedup", s.speedup(), 3);
+        w.endObject();
     }
-    std::fprintf(f, "{\n  \"bench\": \"kernel\",\n");
-    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(f, "  \"scale\": %zu,\n", pmtest::bench::scale());
-    std::fprintf(f, "  \"sections\": [\n");
-    for (size_t i = 0; i < sections.size(); i++) {
-        const Section &s = sections[i];
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"baseline\": \"%s\", "
-                     "\"candidate\": \"%s\", \"baseline_mops\": %.3f, "
-                     "\"candidate_mops\": %.3f, \"speedup\": %.3f}%s\n",
-                     s.name.c_str(), s.baseline.c_str(),
-                     s.candidate.c_str(), s.baselineMops,
-                     s.candidateMops, s.speedup(),
-                     i + 1 < sections.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    return true;
+    w.endArray();
+    w.endObject();
+    return pmtest::bench::writeJsonFile(path, w);
 }
 
 } // namespace
@@ -281,17 +269,28 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     std::string json_path = "BENCH_kernel.json";
+    std::string metrics_path;
+    std::string trace_events_path;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
         } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
             json_path = argv[i] + 7;
+        } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+            metrics_path = argv[i] + 15;
+        } else if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
+            trace_events_path = argv[i] + 15;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+                         "usage: %s [--smoke] [--json=PATH]\n"
+                         "          [--metrics-json=PATH] "
+                         "[--trace-events=PATH]\n",
+                         argv[0]);
             return 2;
         }
     }
+    if (!trace_events_path.empty())
+        obs::Telemetry::instance().enableSpans();
 
     pmtest::bench::banner("Kernel ablation",
                           "flat storage, state reuse, devirtualised "
@@ -319,5 +318,17 @@ main(int argc, char **argv)
     if (!writeJson(json_path, sections, smoke))
         return 1;
     std::printf("\nwrote %s\n", json_path.c_str());
+    if (!metrics_path.empty() &&
+        !pmtest::bench::writeBenchMetricsJson(metrics_path,
+                                              "bench_kernel"))
+        return 1;
+    if (!trace_events_path.empty()) {
+        std::string error;
+        if (!obs::Telemetry::instance().writeTraceEventsFile(
+                trace_events_path, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 1;
+        }
+    }
     return 0;
 }

@@ -21,7 +21,7 @@
 #include "bench/bench_util.hh"
 #include "core/api.hh"
 #include "pmds/hashmap_atomic.hh"
-#include "util/timer.hh"
+#include "util/clock.hh"
 #include "workloads/clients.hh"
 #include "workloads/tool_harness.hh"
 

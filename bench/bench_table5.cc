@@ -9,7 +9,7 @@
  */
 
 #include "bench/bench_util.hh"
-#include "util/timer.hh"
+#include "util/clock.hh"
 #include "workloads/bug_injector.hh"
 
 int

@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/telemetry.hh"
+#include "util/json.hh"
 #include "util/stats.hh"
 
 namespace pmtest::bench
@@ -51,6 +53,44 @@ inline std::string
 fmtSlowdown(double factor)
 {
     return fmtDouble(factor, 2) + "x";
+}
+
+/** Write a finished JsonWriter document to @p path ("-" = stdout). */
+inline bool
+writeJsonFile(const std::string &path, const JsonWriter &w)
+{
+    if (path == "-") {
+        std::fwrite(w.str().data(), 1, w.str().size(), stdout);
+        std::fputc('\n', stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    const bool ok = std::fwrite(w.str().data(), 1, w.str().size(),
+                                f) == w.str().size();
+    std::fclose(f);
+    return ok;
+}
+
+/**
+ * Write the standard bench telemetry snapshot (counters + per-stage
+ * latency histograms) for harness @p bench to @p path.
+ */
+inline bool
+writeBenchMetricsJson(const std::string &path, const char *bench)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "pmtest-metrics-v1");
+    w.member("tool", bench);
+    w.member("scale", scale());
+    w.key("telemetry");
+    obs::Telemetry::instance().writeMetricsJson(w);
+    w.endObject();
+    return writeJsonFile(path, w);
 }
 
 } // namespace pmtest::bench

@@ -19,7 +19,7 @@
 #include "baseline/yat.hh"
 #include "core/api.hh"
 #include "core/engine.hh"
-#include "util/timer.hh"
+#include "util/clock.hh"
 
 int
 main()

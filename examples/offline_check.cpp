@@ -11,17 +11,23 @@
  * can be mmap'd and decoded in parallel by pmtest_check
  * (--ingest=mmap --decoders=N) — see src/trace/trace_reader.hh.
  *
- *   $ ./offline_check [output.trace]
+ *   $ ./offline_check [output.trace] [--trace-events=FILE]
  *
  * With no argument the trace file goes to /tmp and is removed after
  * the check; with an explicit path it is kept, so a pipeline (e.g.
  * the CI offline-check smoke job) can hand it to pmtest_check.
+ * --trace-events exports a Chrome trace-event timeline of this
+ * process — the recording side of the pipeline, so it includes the
+ * capture.seal spans that pmtest_check (which only replays) cannot
+ * see.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/api.hh"
 #include "core/engine.hh"
+#include "obs/telemetry.hh"
 #include "trace/trace_io.hh"
 #include "txlib/obj_pool.hh"
 
@@ -69,9 +75,29 @@ main(int argc, char **argv)
 {
     std::printf("== PMTest: offline trace checking ==\n\n");
 
-    const bool keep = argc > 1;
+    std::string out_path;
+    std::string trace_events_path;
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
+            trace_events_path = argv[i] + 15;
+        } else if (out_path.empty() && argv[i][0] != '-') {
+            out_path = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [output.trace] "
+                         "[--trace-events=FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (!trace_events_path.empty()) {
+        obs::Telemetry::instance().enableSpans();
+        obs::nameThread("main");
+    }
+
+    const bool keep = !out_path.empty();
     const std::string path =
-        keep ? argv[1] : "/tmp/pmtest_offline_example.trace";
+        keep ? out_path : "/tmp/pmtest_offline_example.trace";
 
     // Phase 1: record.
     const auto traces = recordRun();
@@ -102,5 +128,15 @@ main(int argc, char **argv)
 
     if (!keep)
         std::remove(path.c_str());
+    if (!trace_events_path.empty()) {
+        std::string error;
+        if (!obs::Telemetry::instance().writeTraceEventsFile(
+                trace_events_path, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 1;
+        }
+        std::printf("wrote trace events to %s\n",
+                    trace_events_path.c_str());
+    }
     return 0;
 }

@@ -3,6 +3,7 @@
 #include "core/arm_model.hh"
 #include "core/hops_model.hh"
 #include "core/x86_model.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace pmtest::core
@@ -29,6 +30,12 @@ Engine::Engine(ModelKind kind, Dispatch dispatch)
 Report
 Engine::check(const Trace &trace)
 {
+    // Per-trace, not per-op: the span (and its stage histogram) costs
+    // two clock reads per *trace*, leaving the op loop untouched.
+    obs::SpanScope span(obs::Stage::EngineCheck);
+    obs::count(obs::Counter::TracesChecked);
+    obs::count(obs::Counter::OpsChecked, trace.size());
+
     Report report(trace.id());
     state_.reset();
 

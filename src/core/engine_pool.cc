@@ -3,7 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
-#include "util/timer.hh"
+#include "obs/telemetry.hh"
+#include "util/clock.hh"
 
 namespace pmtest::core
 {
@@ -96,9 +97,12 @@ EnginePool::EnginePool(const PoolOptions &options)
         w->engine = std::make_unique<Engine>(kind_);
         workers_.push_back(std::move(w));
     }
-    for (auto &w : workers_) {
-        Worker *raw = w.get();
-        raw->thread = std::thread([this, raw] { workerLoop(*raw); });
+    for (size_t i = 0; i < workers_.size(); i++) {
+        Worker *raw = workers_[i].get();
+        raw->thread = std::thread([this, raw, i] {
+            obs::nameThread("pool-worker-" + std::to_string(i));
+            workerLoop(*raw);
+        });
     }
 }
 
@@ -182,11 +186,14 @@ EnginePool::workerLoop(Worker &worker)
         std::optional<Trace> trace = worker.queue.tryPop();
         if (!trace && stealing_) {
             stolen.clear();
+            obs::SpanScope scan_span(obs::Stage::StealScan);
             if (const size_t got = stealFrom(worker, stolen)) {
                 worker.steals.fetch_add(got,
                                         std::memory_order_relaxed);
                 worker.stealScans.fetch_add(
                     1, std::memory_order_relaxed);
+                obs::count(obs::Counter::StealScans);
+                obs::count(obs::Counter::TracesStolen, got);
                 // The first stolen trace runs now; the rest requeue
                 // on the thief, where they stay stealable by other
                 // idle workers.
@@ -235,9 +242,11 @@ EnginePool::checkOn(Worker &worker, Trace trace)
 void
 EnginePool::recordResult(Report report)
 {
+    obs::count(obs::Counter::ReportsMerged);
     bool drained;
     {
         std::lock_guard<std::mutex> lock(resultMutex_);
+        obs::SpanScope span(obs::Stage::ReportMerge);
         aggregate_.merge(report);
         completed_++;
         // The drain predicate can only turn true at the moment the
@@ -263,6 +272,7 @@ EnginePool::checkInline(Trace trace)
 void
 EnginePool::submit(Trace trace)
 {
+    obs::count(obs::Counter::TracesSubmitted);
     {
         std::lock_guard<std::mutex> lock(resultMutex_);
         submitted_++;
@@ -292,6 +302,8 @@ EnginePool::submit(Trace trace)
     // Every queue full: backpressure. Block on the original target
     // and account the stall (its owner is necessarily awake, so the
     // push is eventually released by a pop).
+    obs::SpanScope stall_span(obs::Stage::PoolStall);
+    obs::count(obs::Counter::SubmitStalls);
     Timer timer;
     workers_[start]->queue.push(std::move(trace));
     stallNanos_.fetch_add(timer.elapsedNs(), std::memory_order_relaxed);
@@ -303,6 +315,9 @@ EnginePool::submitBatch(std::vector<Trace> traces)
 {
     if (traces.empty())
         return;
+    obs::SpanScope span(obs::Stage::PoolSubmit);
+    obs::count(obs::Counter::TracesSubmitted, traces.size());
+    obs::count(obs::Counter::BatchesSubmitted);
     {
         std::lock_guard<std::mutex> lock(resultMutex_);
         submitted_ += traces.size();
@@ -327,6 +342,8 @@ EnginePool::submitBatch(std::vector<Trace> traces)
     // The batch does not fit at once: feed it item by item so the
     // workers can drain concurrently (each push is individually
     // released by pops), and account the producer stall.
+    obs::SpanScope stall_span(obs::Stage::PoolStall);
+    obs::count(obs::Counter::SubmitStalls);
     Timer timer;
     for (auto &t : traces) {
         if (!target.queue.tryPush(t))

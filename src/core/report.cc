@@ -4,6 +4,8 @@
 #include <map>
 #include <tuple>
 
+#include "obs/telemetry.hh"
+
 namespace pmtest::core
 {
 
@@ -74,6 +76,7 @@ Report::stampTraceId()
 void
 Report::canonicalize()
 {
+    obs::SpanScope span(obs::Stage::ReportCanonicalize);
     std::stable_sort(findings_.begin(), findings_.end(),
                      [](const Finding &a, const Finding &b) {
                          if (a.traceId != b.traceId)

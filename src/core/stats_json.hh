@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The one JSON rendering of the dispatch/ingest statistics. Every
+ * machine-readable consumer — `pmtest_check --metrics-json`,
+ * `bench_fig12 --json`, `bench_ingest` — goes through these writers,
+ * so the three outputs share one schema and cannot drift apart.
+ */
+
+#ifndef PMTEST_CORE_STATS_JSON_HH
+#define PMTEST_CORE_STATS_JSON_HH
+
+#include "core/engine_pool.hh"
+#include "util/json.hh"
+
+namespace pmtest::core
+{
+
+/**
+ * Append @p stats as a JSON object: pool totals, an "ingest" object
+ * when an ingest stage ran, and a per-worker array. The writer must
+ * be positioned where an object value is legal.
+ */
+void writePoolStatsJson(JsonWriter &w, const PoolStats &stats);
+
+/** Append @p stats as a JSON object (the "ingest" sub-object). */
+void writeIngestStatsJson(JsonWriter &w, const IngestStats &stats);
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_STATS_JSON_HH

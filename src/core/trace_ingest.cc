@@ -5,7 +5,8 @@
 #include <mutex>
 #include <thread>
 
-#include "util/timer.hh"
+#include "obs/telemetry.hh"
+#include "util/clock.hh"
 
 namespace pmtest::core
 {
@@ -47,6 +48,7 @@ ingestTraces(const TraceFileReader &reader, EnginePool &pool,
             // submitBatch blocks when every worker queue is full —
             // that wait is the ingest backpressure we account as
             // stall time (an unstalled submit is microseconds).
+            obs::SpanScope span(obs::Stage::IngestSubmit);
             Timer stall;
             pool.submitBatch(std::move(batch));
             stall_nanos.fetch_add(stall.elapsedNs(),
@@ -63,19 +65,25 @@ ingestTraces(const TraceFileReader &reader, EnginePool &pool,
             const size_t end = std::min(count, begin + chunk);
             size_t done = 0;
             Timer timer;
-            for (size_t i = begin; i < end; i++) {
-                DecodedTrace dt;
-                if (!reader.decode(i, &dt)) {
-                    failed.store(true, std::memory_order_relaxed);
-                    break;
+            {
+                obs::SpanScope span(obs::Stage::IngestDecode);
+                for (size_t i = begin; i < end; i++) {
+                    DecodedTrace dt;
+                    if (!reader.decode(i, &dt)) {
+                        failed.store(true,
+                                     std::memory_order_relaxed);
+                        break;
+                    }
+                    local_arenas.push_back(std::move(dt.strings));
+                    batch.push_back(std::move(dt.trace));
+                    done++;
                 }
-                local_arenas.push_back(std::move(dt.strings));
-                batch.push_back(std::move(dt.trace));
-                done++;
             }
             decode_nanos.fetch_add(timer.elapsedNs(),
                                    std::memory_order_relaxed);
             decoded.fetch_add(done, std::memory_order_relaxed);
+            obs::count(obs::Counter::ChunksDecoded);
+            obs::count(obs::Counter::TracesDecoded, done);
             if (batch.size() >= batch_size)
                 flush();
         }
@@ -93,8 +101,12 @@ ingestTraces(const TraceFileReader &reader, EnginePool &pool,
     } else {
         std::vector<std::thread> threads;
         threads.reserve(team);
-        for (size_t d = 0; d < team; d++)
-            threads.emplace_back(decodeLoop);
+        for (size_t d = 0; d < team; d++) {
+            threads.emplace_back([&decodeLoop, d] {
+                obs::nameThread("decoder-" + std::to_string(d));
+                decodeLoop();
+            });
+        }
         for (auto &t : threads)
             t.join();
     }

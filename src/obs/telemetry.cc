@@ -1,0 +1,369 @@
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json.hh"
+
+namespace pmtest::obs
+{
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::CaptureSeal:
+        return "capture.seal";
+      case Stage::PoolSubmit:
+        return "pool.submit";
+      case Stage::PoolStall:
+        return "pool.stall";
+      case Stage::StealScan:
+        return "pool.steal_scan";
+      case Stage::IngestDecode:
+        return "ingest.decode";
+      case Stage::IngestSubmit:
+        return "ingest.submit";
+      case Stage::EngineCheck:
+        return "engine.check";
+      case Stage::ReportMerge:
+        return "report.merge";
+      case Stage::ReportCanonicalize:
+        return "report.canonicalize";
+    }
+    return "unknown";
+}
+
+const char *
+counterName(Counter counter)
+{
+    switch (counter) {
+      case Counter::TracesSealed:
+        return "traces_sealed";
+      case Counter::OpsSealed:
+        return "ops_sealed";
+      case Counter::TracesSubmitted:
+        return "traces_submitted";
+      case Counter::BatchesSubmitted:
+        return "batches_submitted";
+      case Counter::SubmitStalls:
+        return "submit_stalls";
+      case Counter::StealScans:
+        return "steal_scans";
+      case Counter::TracesStolen:
+        return "traces_stolen";
+      case Counter::ChunksDecoded:
+        return "chunks_decoded";
+      case Counter::TracesDecoded:
+        return "traces_decoded";
+      case Counter::TracesChecked:
+        return "traces_checked";
+      case Counter::OpsChecked:
+        return "ops_checked";
+      case Counter::ReportsMerged:
+        return "reports_merged";
+    }
+    return "unknown";
+}
+
+uint64_t
+HistogramSnapshot::bucketLowerBound(size_t index)
+{
+    if (index == 0)
+        return 0;
+    if (index >= 64)
+        return uint64_t{1} << 63;
+    return uint64_t{1} << (index - 1);
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    for (size_t i = 0; i < kHistogramBuckets; i++)
+        buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+    max = std::max(max, other.max);
+}
+
+double
+HistogramSnapshot::quantileNs(double p) const
+{
+    if (count == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(count);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kHistogramBuckets; i++) {
+        if (buckets[i] == 0)
+            continue;
+        const uint64_t before = cumulative;
+        cumulative += buckets[i];
+        if (static_cast<double>(cumulative) < target)
+            continue;
+        // Interpolate within the hit bucket, assuming a uniform
+        // distribution across its [lo, hi) span; the last bucket with
+        // samples is clamped to the observed max instead of 2^i.
+        const double lo =
+            static_cast<double>(bucketLowerBound(i));
+        double hi = i >= 64
+                        ? static_cast<double>(max)
+                        : static_cast<double>(uint64_t{1} << i);
+        if (cumulative == count && max > 0)
+            hi = std::min(hi, static_cast<double>(max));
+        if (hi < lo)
+            hi = lo;
+        const double inside =
+            (target - static_cast<double>(before)) /
+            static_cast<double>(buckets[i]);
+        return lo + (hi - lo) * inside;
+    }
+    return static_cast<double>(max);
+}
+
+double
+HistogramSnapshot::meanNs() const
+{
+    if (count == 0)
+        return 0;
+    return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    for (size_t i = 0; i < kHistogramBuckets; i++)
+        snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+Telemetry &
+Telemetry::instance()
+{
+    // Leaky singleton: worker threads may record right up to process
+    // exit, so the registry must outlive every static destructor.
+    static Telemetry *registry = new Telemetry();
+    return *registry;
+}
+
+Telemetry::ThreadSlot &
+Telemetry::slot()
+{
+    thread_local ThreadSlot *cached = nullptr;
+    if (cached)
+        return *cached;
+    auto owned = std::make_unique<ThreadSlot>();
+    ThreadSlot *raw = owned.get();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        raw->tid = static_cast<uint32_t>(slots_.size() + 1);
+        slots_.push_back(std::move(owned));
+    }
+    cached = raw;
+    return *raw;
+}
+
+void
+Telemetry::addCount(Counter c, uint64_t n)
+{
+    slot().counters[static_cast<size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+void
+Telemetry::recordSpan(Stage stage, uint64_t start_ns, uint64_t dur_ns)
+{
+    ThreadSlot &s = slot();
+    s.stages[static_cast<size_t>(stage)].record(dur_ns);
+    if (!spansOn_.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(s.spanMutex);
+    const uint64_t every =
+        std::max<uint64_t>(1, sampleEvery_.load(std::memory_order_relaxed));
+    if (s.spanSeq++ % every != 0)
+        return;
+    if (s.spans.size() >= kMaxSpansPerThread) {
+        s.spansDropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    s.spans.push_back(SpanEvent{start_ns, dur_ns, stage});
+}
+
+void
+Telemetry::setThreadName(std::string name)
+{
+    ThreadSlot &s = slot();
+    std::lock_guard<std::mutex> lock(s.spanMutex);
+    s.name = std::move(name);
+}
+
+void
+Telemetry::enableSpans(uint64_t sample_every)
+{
+    sampleEvery_.store(std::max<uint64_t>(1, sample_every),
+                       std::memory_order_relaxed);
+    spansOn_.store(true, std::memory_order_relaxed);
+}
+
+void
+Telemetry::disableSpans()
+{
+    spansOn_.store(false, std::memory_order_relaxed);
+}
+
+MetricsSnapshot
+Telemetry::metrics() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.threads = static_cast<uint32_t>(slots_.size());
+    for (const auto &s : slots_) {
+        for (size_t c = 0; c < kCounterCount; c++)
+            snap.counters[c] +=
+                s->counters[c].load(std::memory_order_relaxed);
+        for (size_t h = 0; h < kStageCount; h++)
+            snap.stages[h].merge(s->stages[h].snapshot());
+        snap.spansDropped +=
+            s->spansDropped.load(std::memory_order_relaxed);
+        std::lock_guard<std::mutex> span_lock(s->spanMutex);
+        snap.spansRecorded += s->spans.size();
+    }
+    return snap;
+}
+
+void
+Telemetry::writeMetricsJson(JsonWriter &w) const
+{
+    const MetricsSnapshot snap = metrics();
+    w.beginObject();
+    w.member("compiled", PMTEST_TELEMETRY_ENABLED != 0);
+    w.member("threads", snap.threads);
+
+    w.key("counters").beginObject();
+    for (size_t c = 0; c < kCounterCount; c++)
+        w.member(counterName(static_cast<Counter>(c)),
+                 snap.counters[c]);
+    w.endObject();
+
+    w.key("stages").beginObject();
+    for (size_t h = 0; h < kStageCount; h++) {
+        const HistogramSnapshot &hist = snap.stages[h];
+        w.key(stageName(static_cast<Stage>(h))).beginObject();
+        w.member("count", hist.count);
+        w.member("sum_ns", hist.sum);
+        w.member("max_ns", hist.max);
+        w.member("mean_ns", hist.meanNs(), 1);
+        w.member("p50_ns", hist.quantileNs(0.50), 1);
+        w.member("p95_ns", hist.quantileNs(0.95), 1);
+        w.member("p99_ns", hist.quantileNs(0.99), 1);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("spans").beginObject();
+    w.member("enabled", spansEnabled());
+    w.member("sample_every",
+             sampleEvery_.load(std::memory_order_relaxed));
+    w.member("recorded", snap.spansRecorded);
+    w.member("dropped", snap.spansDropped);
+    w.endObject();
+
+    w.endObject();
+}
+
+void
+Telemetry::writeTraceEventsJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.member("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &s : slots_) {
+        std::lock_guard<std::mutex> span_lock(s->spanMutex);
+        // Thread-name metadata first, so viewers label the row even
+        // when the thread recorded no sampled spans.
+        w.beginObject();
+        w.member("name", "thread_name");
+        w.member("ph", "M");
+        w.member("ts", uint64_t{0});
+        w.member("pid", 1);
+        w.member("tid", s->tid);
+        w.key("args").beginObject();
+        w.member("name", s->name.empty()
+                             ? "thread-" + std::to_string(s->tid)
+                             : s->name);
+        w.endObject();
+        w.endObject();
+        for (const SpanEvent &e : s->spans) {
+            w.beginObject();
+            w.member("name", stageName(e.stage));
+            w.member("cat", "pmtest");
+            w.member("ph", "X");
+            // Trace-event timestamps are microseconds; keep ns
+            // resolution in the fraction.
+            w.member("ts",
+                     static_cast<double>(e.startNs - epochNs_) / 1e3,
+                     3);
+            w.member("dur", static_cast<double>(e.durNs) / 1e3, 3);
+            w.member("pid", 1);
+            w.member("tid", s->tid);
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.endObject();
+}
+
+bool
+Telemetry::writeTraceEventsFile(const std::string &path,
+                                std::string *error) const
+{
+    JsonWriter w;
+    writeTraceEventsJson(w);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        if (error)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    const std::string &doc = w.str();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok && error)
+        *error = "short write to " + path;
+    return ok;
+}
+
+void
+Telemetry::resetForTest()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &s : slots_) {
+        for (auto &c : s->counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &h : s->stages)
+            h.reset();
+        s->spansDropped.store(0, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> span_lock(s->spanMutex);
+        s->spans.clear();
+        s->spanSeq = 0;
+    }
+}
+
+} // namespace pmtest::obs

@@ -8,7 +8,9 @@
  *   pmtest_check [--model=x86|hops|arm] [--summary] [--quiet]
  *                [--max-findings=N] [--workers=N] [--queue-cap=N]
  *                [--batch=N] [--ingest=auto|mmap|stream]
- *                [--decoders=N] [--stats] <trace-file>
+ *                [--decoders=N] [--stats] [--metrics-json=FILE]
+ *                [--trace-events=FILE] [--span-sample=N]
+ *                <trace-file>
  *
  * Ingest paths:
  *  --ingest=mmap   map a v2 trace file and decode traces in parallel
@@ -25,16 +27,28 @@
  *
  * --workers=N checks traces on an engine pool instead of a single
  * inline engine (the paper's decoupled mode); --queue-cap bounds the
- * per-worker queues, --batch submits traces N at a time, and --stats
- * prints dispatch statistics (queue depths, steals, producer stall
- * time) plus the ingest counters (bytes mapped, decode time, ingest
- * stalls) after the run.
+ * per-worker queues and --batch submits traces N at a time.
+ *
+ * Output selection and precedence:
+ *  - The findings report goes to stdout unless --quiet. --summary
+ *    condenses it; --quiet beats --summary.
+ *  - --stats (human-readable dispatch/ingest counters on stdout) is
+ *    an explicit request and always prints, --quiet notwithstanding.
+ *  - --metrics-json=FILE writes the machine-readable snapshot — the
+ *    unified pool/ingest stats plus the telemetry counters and stage
+ *    latency histograms — to FILE regardless of --quiet/--stats.
+ *    FILE may be "-" for stdout.
+ *  - --trace-events=FILE enables span collection for the run and
+ *    writes a Chrome trace-event / Perfetto timeline to FILE.
+ *    --span-sample=N keeps every Nth span per thread (default 1 =
+ *    all; higher values bound memory and overhead on huge runs).
  *
  * Findings are reported in canonical (traceId, opIndex) order, so
  * the parallel and serial paths print byte-identical reports.
  *
  * Exit status: 0 when no FAIL findings, 1 when crash-consistency
- * bugs were found, 2 on usage/input errors.
+ * bugs were found, 2 on usage/input errors. Every malformed flag
+ * prints the usage text and exits 2.
  */
 
 #include <charconv>
@@ -45,9 +59,12 @@
 
 #include "core/engine.hh"
 #include "core/engine_pool.hh"
+#include "core/stats_json.hh"
 #include "core/trace_ingest.hh"
+#include "obs/telemetry.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_reader.hh"
+#include "util/json.hh"
 
 namespace
 {
@@ -62,7 +79,9 @@ usage(const char *argv0)
         "usage: %s [--model=x86|hops|arm] [--summary] [--quiet]\n"
         "          [--max-findings=N] [--workers=N] [--queue-cap=N]\n"
         "          [--batch=N] [--ingest=auto|mmap|stream]\n"
-        "          [--decoders=N] [--stats] <trace-file>\n",
+        "          [--decoders=N] [--stats] [--metrics-json=FILE]\n"
+        "          [--trace-events=FILE] [--span-sample=N]\n"
+        "          <trace-file>\n",
         argv0);
 }
 
@@ -70,11 +89,11 @@ usage(const char *argv0)
  * Parse the numeric value of "--flag=N". Unlike std::atol (which
  * silently maps garbage to 0), any non-digit input, empty value,
  * trailing junk or overflow is a hard usage error: print a message
- * and exit 2.
+ * plus the usage text and exit 2.
  */
 size_t
 parseNumericOption(const std::string &arg, size_t prefix_len,
-                   const char *flag)
+                   const char *flag, const char *argv0)
 {
     const char *begin = arg.c_str() + prefix_len;
     const char *end = arg.c_str() + arg.size();
@@ -83,9 +102,57 @@ parseNumericOption(const std::string &arg, size_t prefix_len,
     if (ec != std::errc{} || ptr != end || begin == end) {
         std::fprintf(stderr, "invalid value for %s: '%s'\n", flag,
                      begin);
+        usage(argv0);
         std::exit(2);
     }
     return value;
+}
+
+/**
+ * Write the unified metrics snapshot: run identity, verdict counts,
+ * the shared pool/ingest stats rendering, and the telemetry section
+ * (counters, per-stage latency histograms, span accounting).
+ */
+bool
+writeMetricsJson(const std::string &path, const std::string &file,
+                 const char *model_name, size_t traces, size_t ops,
+                 size_t workers, const core::Report &merged,
+                 const core::PoolStats &stats)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "pmtest-metrics-v1");
+    w.member("tool", "pmtest_check");
+    w.member("trace_file", file);
+    w.member("model", model_name);
+    w.member("traces", traces);
+    w.member("ops", ops);
+    w.member("workers", workers);
+    w.key("verdict").beginObject();
+    w.member("fail", merged.failCount());
+    w.member("warn", merged.warnCount());
+    w.member("findings", merged.findings().size());
+    w.endObject();
+    w.key("pool");
+    core::writePoolStatsJson(w, stats);
+    w.key("telemetry");
+    obs::Telemetry::instance().writeMetricsJson(w);
+    w.endObject();
+
+    if (path == "-") {
+        std::fwrite(w.str().data(), 1, w.str().size(), stdout);
+        std::fputc('\n', stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    const bool ok = std::fwrite(w.str().data(), 1, w.str().size(),
+                                f) == w.str().size();
+    std::fclose(f);
+    return ok;
 }
 
 } // namespace
@@ -102,8 +169,11 @@ main(int argc, char **argv)
     size_t queue_cap = 0;
     size_t batch = 1;
     size_t decoders = 1;
+    size_t span_sample = 1;
     IngestMode ingest = IngestMode::Auto;
     std::string path;
+    std::string metrics_path;
+    std::string trace_events_path;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -118,6 +188,7 @@ main(int argc, char **argv)
             } else {
                 std::fprintf(stderr, "unknown model '%s'\n",
                              name.c_str());
+                usage(argv[0]);
                 return 2;
             }
         } else if (arg == "--summary") {
@@ -126,19 +197,26 @@ main(int argc, char **argv)
             quiet = true;
         } else if (arg.rfind("--max-findings=", 0) == 0) {
             max_findings =
-                parseNumericOption(arg, 15, "--max-findings");
+                parseNumericOption(arg, 15, "--max-findings", argv[0]);
         } else if (arg.rfind("--workers=", 0) == 0) {
-            workers = parseNumericOption(arg, 10, "--workers");
+            workers = parseNumericOption(arg, 10, "--workers", argv[0]);
         } else if (arg.rfind("--queue-cap=", 0) == 0) {
-            queue_cap = parseNumericOption(arg, 12, "--queue-cap");
+            queue_cap =
+                parseNumericOption(arg, 12, "--queue-cap", argv[0]);
         } else if (arg.rfind("--batch=", 0) == 0) {
-            batch = parseNumericOption(arg, 8, "--batch");
+            batch = parseNumericOption(arg, 8, "--batch", argv[0]);
             if (batch == 0)
                 batch = 1;
         } else if (arg.rfind("--decoders=", 0) == 0) {
-            decoders = parseNumericOption(arg, 11, "--decoders");
+            decoders =
+                parseNumericOption(arg, 11, "--decoders", argv[0]);
             if (decoders == 0)
                 decoders = 1;
+        } else if (arg.rfind("--span-sample=", 0) == 0) {
+            span_sample =
+                parseNumericOption(arg, 14, "--span-sample", argv[0]);
+            if (span_sample == 0)
+                span_sample = 1;
         } else if (arg.rfind("--ingest=", 0) == 0) {
             const std::string name = arg.substr(9);
             if (name == "auto") {
@@ -150,6 +228,23 @@ main(int argc, char **argv)
             } else {
                 std::fprintf(stderr, "unknown ingest mode '%s'\n",
                              name.c_str());
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg.rfind("--metrics-json=", 0) == 0) {
+            metrics_path = arg.substr(15);
+            if (metrics_path.empty()) {
+                std::fprintf(stderr,
+                             "--metrics-json needs a file path\n");
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg.rfind("--trace-events=", 0) == 0) {
+            trace_events_path = arg.substr(15);
+            if (trace_events_path.empty()) {
+                std::fprintf(stderr,
+                             "--trace-events needs a file path\n");
+                usage(argv[0]);
                 return 2;
             }
         } else if (arg == "--stats") {
@@ -173,6 +268,12 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+
+    // Span collection must start before the pipeline so capture-side
+    // and ingest-side spans land in the timeline.
+    if (!trace_events_path.empty())
+        obs::Telemetry::instance().enableSpans(span_sample);
+    obs::nameThread("main");
 
     core::PoolOptions options;
     options.model = model;
@@ -283,5 +384,22 @@ main(int argc, char **argv)
     // An explicit --stats request wins over --quiet.
     if (show_stats)
         std::printf("%s", stats.str().c_str());
+    // The machine-readable outputs are files; they are written
+    // whatever the stdout flags say.
+    if (!metrics_path.empty()) {
+        if (!writeMetricsJson(metrics_path, path,
+                              core::makeModel(model)->name(),
+                              trace_count, total_ops, pool_workers,
+                              merged, stats))
+            return 2;
+    }
+    if (!trace_events_path.empty()) {
+        std::string error;
+        if (!obs::Telemetry::instance().writeTraceEventsFile(
+                trace_events_path, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 2;
+        }
+    }
     return merged.failCount() == 0 ? 0 : 1;
 }

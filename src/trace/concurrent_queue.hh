@@ -33,7 +33,7 @@
 #include <utility>
 #include <vector>
 
-#include "util/timer.hh"
+#include "util/clock.hh"
 
 namespace pmtest
 {

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/telemetry.hh"
 #include "trace/trace.hh"
 
 namespace pmtest
@@ -68,10 +69,13 @@ class TraceCapture
     Trace
     seal()
     {
+        obs::SpanScope span(obs::Stage::CaptureSeal);
         Trace sealed = std::move(buffer_);
         sealed.setIdentity(nextTraceId(), threadId_);
         buffer_ = Trace();
         buffer_.reserve(sealed.size());
+        obs::count(obs::Counter::TracesSealed);
+        obs::count(obs::Counter::OpsSealed, sealed.size());
         return sealed;
     }
 

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The one wall-clock module: every timing consumer — the benchmark
+ * harnesses' slowdown measurements, the engine pool's stall
+ * accounting, and the obs/ telemetry layer's span timestamps — reads
+ * the same monotonic clock through these helpers, so numbers from
+ * different layers are directly comparable.
+ */
+
+#ifndef PMTEST_UTIL_CLOCK_HH
+#define PMTEST_UTIL_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace pmtest
+{
+
+/** Current monotonic time in nanoseconds (steady clock). */
+inline uint64_t
+monotonicNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Simple steady-clock stopwatch. Starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start_(monotonicNanos()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = monotonicNanos(); }
+
+    /** Elapsed time in nanoseconds since construction/reset. */
+    uint64_t elapsedNs() const { return monotonicNanos() - start_; }
+
+    /** Elapsed time in seconds. */
+    double elapsedSec() const { return elapsedNs() * 1e-9; }
+
+  private:
+    uint64_t start_;
+};
+
+/**
+ * Best-of-@p reps wall time of @p fn, in seconds. The standard
+ * benchmark-harness measurement loop: the minimum over repetitions
+ * discards scheduler noise, which only ever adds time.
+ */
+template <typename Fn>
+double
+bestOfSeconds(int reps, Fn &&fn)
+{
+    double best = 0;
+    for (int i = 0; i < reps; i++) {
+        Timer timer;
+        fn();
+        const double sec = timer.elapsedSec();
+        if (i == 0 || sec < best)
+            best = sec;
+    }
+    return best;
+}
+
+} // namespace pmtest
+
+#endif // PMTEST_UTIL_CLOCK_HH

@@ -1,0 +1,174 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace pmtest
+{
+
+void
+JsonWriter::prefix(bool is_key)
+{
+    if (pendingKey_) {
+        // A key was written and this is its value.
+        if (is_key)
+            fatal("JsonWriter: key after key");
+        pendingKey_ = false;
+        return;
+    }
+    if (!stack_.empty() && stack_.back() == Frame::Object && !is_key)
+        fatal("JsonWriter: value in object without key");
+    if (needComma_)
+        out_ += ',';
+    needComma_ = false;
+}
+
+void
+JsonWriter::escaped(std::string_view s)
+{
+    out_ += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out_ += "\\\"";
+            break;
+          case '\\':
+            out_ += "\\\\";
+            break;
+          case '\n':
+            out_ += "\\n";
+            break;
+          case '\r':
+            out_ += "\\r";
+            break;
+          case '\t':
+            out_ += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out_ += buf;
+            } else {
+                out_ += c;
+            }
+        }
+    }
+    out_ += '"';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prefix(false);
+    out_ += '{';
+    stack_.push_back(Frame::Object);
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Frame::Object ||
+        pendingKey_)
+        fatal("JsonWriter: unbalanced endObject");
+    stack_.pop_back();
+    out_ += '}';
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prefix(false);
+    out_ += '[';
+    stack_.push_back(Frame::Array);
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Frame::Array)
+        fatal("JsonWriter: unbalanced endArray");
+    stack_.pop_back();
+    out_ += ']';
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (stack_.empty() || stack_.back() != Frame::Object)
+        fatal("JsonWriter: key outside object");
+    prefix(true);
+    escaped(name);
+    out_ += ':';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    prefix(false);
+    escaped(v);
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prefix(false);
+    out_ += v ? "true" : "false";
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    prefix(false);
+    out_ += std::to_string(v);
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    prefix(false);
+    out_ += std::to_string(v);
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v, int precision)
+{
+    prefix(false);
+    if (!std::isfinite(v))
+        v = 0; // JSON has no NaN/Inf encoding
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    out_ += buf;
+    needComma_ = true;
+    return *this;
+}
+
+} // namespace pmtest

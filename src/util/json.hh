@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal streaming JSON writer. One serializer shared by every
+ * machine-readable output in the repo — `pmtest_check --metrics-json`,
+ * the telemetry trace-event exporter, and the bench `--json` dumps —
+ * so the emitted formats stay structurally valid (escaping, comma
+ * placement, nesting balance) and cannot drift apart in dialect.
+ *
+ * Usage is push-style; the writer tracks the container stack and
+ * inserts commas:
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("name").value("flush");
+ *   w.key("samples").beginArray().value(1).value(2).endArray();
+ *   w.endObject();
+ *   std::string out = w.str();
+ */
+
+#ifndef PMTEST_UTIL_JSON_HH
+#define PMTEST_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmtest
+{
+
+/** Streaming JSON serializer writing into an owned string buffer. */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Write an object key; the next value call supplies its value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<uint64_t>(v));
+    }
+    /** Fixed-precision double (JSON has no NaN/Inf; both render 0). */
+    JsonWriter &value(double v, int precision = 6);
+
+    /** key() + value() in one call, for scalar members. */
+    template <typename V>
+    JsonWriter &
+    member(std::string_view name, V v)
+    {
+        key(name);
+        return value(v);
+    }
+    JsonWriter &
+    member(std::string_view name, double v, int precision)
+    {
+        key(name);
+        return value(v, precision);
+    }
+
+    /** The serialized document. Valid once all containers closed. */
+    const std::string &str() const { return out_; }
+
+    /** True when every begun container has been ended. */
+    bool balanced() const { return stack_.empty(); }
+
+  private:
+    enum class Frame : uint8_t
+    {
+        Object,
+        Array
+    };
+
+    void prefix(bool is_key);
+    void escaped(std::string_view s);
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    bool needComma_ = false;
+    bool pendingKey_ = false;
+};
+
+} // namespace pmtest
+
+#endif // PMTEST_UTIL_JSON_HH

@@ -4,7 +4,7 @@
 
 #include "baseline/pmemcheck.hh"
 #include "util/logging.hh"
-#include "util/timer.hh"
+#include "util/clock.hh"
 
 namespace pmtest::workloads
 {

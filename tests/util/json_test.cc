@@ -1,0 +1,83 @@
+#include "util/json.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace pmtest
+{
+namespace
+{
+
+TEST(JsonWriterTest, EmptyContainers)
+{
+    JsonWriter obj;
+    obj.beginObject().endObject();
+    EXPECT_EQ(obj.str(), "{}");
+    EXPECT_TRUE(obj.balanced());
+
+    JsonWriter arr;
+    arr.beginArray().endArray();
+    EXPECT_EQ(arr.str(), "[]");
+    EXPECT_TRUE(arr.balanced());
+}
+
+TEST(JsonWriterTest, CommasAndNesting)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a").value(1);
+    w.key("b").beginArray().value(2).value(3).endArray();
+    w.key("c").beginObject().member("d", true).endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), R"({"a":1,"b":[2,3],"c":{"d":true}})");
+    EXPECT_TRUE(w.balanced());
+}
+
+TEST(JsonWriterTest, ScalarFormats)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(false);
+    w.value(std::numeric_limits<uint64_t>::max());
+    w.value(int64_t{-42});
+    w.value(3.5, 2);
+    w.value("plain");
+    w.endArray();
+    EXPECT_EQ(w.str(), R"([false,18446744073709551615,-42,3.50,"plain"])");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuotes)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("k\"ey", "a\\b\nc\td\x01");
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"k\\\"ey\":\"a\\\\b\\nc\\td\\u0001\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRenderZero)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::numeric_limits<double>::quiet_NaN(), 3);
+    w.value(std::numeric_limits<double>::infinity(), 3);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[0.000,0.000]");
+}
+
+TEST(JsonWriterTest, BalancedTracksOpenContainers)
+{
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_FALSE(w.balanced());
+    w.key("x").beginArray();
+    EXPECT_FALSE(w.balanced());
+    w.endArray();
+    w.endObject();
+    EXPECT_TRUE(w.balanced());
+}
+
+} // namespace
+} // namespace pmtest
