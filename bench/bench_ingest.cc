@@ -12,14 +12,18 @@
  *    once.
  *
  * Phases per shape (in this order, because ru_maxrss is a monotonic
- * high-water mark — the candidate runs first so its growth is not
+ * high-water mark — the candidates run first so their growth is not
  * masked by the baseline's):
  *  1. v2 + mmap + 4 decoders + worker pool   (the pipeline)
- *  2. v2 + mmap + 1 decoder  + worker pool   (overlap only)
- *  3. v1 + stream loader + serial engine     (the baseline)
+ *  2. v2 + mmap + 2 decoders + worker pool   (scaling point)
+ *  3. v2 + mmap + 1 decoder  + worker pool   (overlap only)
+ *  4. v2 + mmap + 4 decoders over 4 shards   (--shards path)
+ *  5. v2 split across 3 files + 4 decoders   (multi-file path)
+ *  6. v1 + stream loader + serial engine     (the baseline)
  *
  * Every phase produces a canonicalized Report; verdict_match asserts
- * the pipeline's merged report is byte-identical to the serial one.
+ * every configuration's merged report is byte-identical to the
+ * serial one — the determinism contract of the TraceSource pipeline.
  *
  * Flags:
  *  --smoke        tiny workload; CI uses this to validate the harness
@@ -40,7 +44,7 @@
 #include "core/engine_pool.hh"
 #include "core/trace_ingest.hh"
 #include "trace/trace_io.hh"
-#include "trace/trace_reader.hh"
+#include "trace/trace_source.hh"
 #include "util/random.hh"
 #include "util/clock.hh"
 
@@ -98,33 +102,26 @@ struct Phase
     size_t failCount = 0;
 };
 
-/** v2 file → TraceFileReader → decoder team → engine pool. */
+/** Drain @p source through ingest() into a pool; canonical verdict. */
 Phase
-runPipeline(const std::string &path, size_t decoders, size_t workers)
+runSource(std::string name, std::unique_ptr<TraceSource> source,
+          size_t decoders, size_t workers, Timer &timer,
+          size_t rss_before)
 {
     Phase phase;
-    phase.name = "v2_mmap_" + std::to_string(decoders) + "dec";
-    const size_t rss_before = peakRssKb();
-    Timer timer;
+    phase.name = std::move(name);
 
-    std::string error;
-    auto reader = TraceFileReader::open(path, IngestMode::Mmap,
-                                        &error);
-    if (!reader) {
-        std::fprintf(stderr, "open %s: %s\n", path.c_str(),
-                     error.c_str());
-        std::exit(1);
-    }
     PoolOptions options;
     options.workers = workers;
     EnginePool pool(options);
-    IngestOptions ingest;
-    ingest.decoders = decoders;
-    ingest.batch = 32;
+    IngestOptions ingest_options;
+    ingest_options.decoders = decoders;
+    ingest_options.batch = 32;
     IngestStats stats;
-    ArenaSink arenas;
-    if (!ingestTraces(*reader, pool, ingest, &stats, &arenas)) {
-        std::fprintf(stderr, "ingest failed on %s\n", path.c_str());
+    SourceError error;
+    if (!ingest(*source, pool, ingest_options, &stats, &error)) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     error.str().c_str());
         std::exit(1);
     }
     Report merged = pool.results();
@@ -135,6 +132,71 @@ runPipeline(const std::string &path, size_t decoders, size_t workers)
     phase.verdict = merged.str();
     phase.failCount = merged.failCount();
     return phase;
+}
+
+/** v2 file → decoder team → engine pool (optionally sharded). */
+Phase
+runPipeline(const std::string &path, size_t decoders, size_t workers,
+            size_t shards = 1)
+{
+    std::string name = "v2_mmap_" + std::to_string(decoders) + "dec";
+    if (shards > 1)
+        name += "_sh" + std::to_string(shards);
+    const size_t rss_before = peakRssKb();
+    Timer timer;
+
+    std::string error;
+    std::unique_ptr<TraceSource> source;
+    if (shards > 1) {
+        std::shared_ptr<const TraceFileReader> reader =
+            TraceFileReader::open(path, IngestMode::Mmap, &error);
+        if (!reader) {
+            std::fprintf(stderr, "open %s: %s\n", path.c_str(),
+                         error.c_str());
+            std::exit(1);
+        }
+        source = std::make_unique<MultiTraceSource>(
+            shardTraceSource(std::move(reader), path, 0, shards));
+    } else {
+        source = openTraceSource(path, IngestMode::Mmap, 0, &error);
+        if (!source) {
+            std::fprintf(stderr, "open %s: %s\n", path.c_str(),
+                         error.c_str());
+            std::exit(1);
+        }
+    }
+    return runSource(std::move(name), std::move(source), decoders,
+                     workers, timer, rss_before);
+}
+
+/** The same trace set split across several v2 files. */
+Phase
+runMultiFile(const std::vector<std::string> &paths, size_t decoders,
+             size_t workers)
+{
+    std::string name = "v2_multi" + std::to_string(paths.size()) +
+                       "_" + std::to_string(decoders) + "dec";
+    const size_t rss_before = peakRssKb();
+    Timer timer;
+
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.reserve(paths.size());
+    for (size_t i = 0; i < paths.size(); i++) {
+        std::string error;
+        auto child = openTraceSource(paths[i], IngestMode::Mmap,
+                                     static_cast<uint32_t>(i),
+                                     &error);
+        if (!child) {
+            std::fprintf(stderr, "open %s: %s\n", paths[i].c_str(),
+                         error.c_str());
+            std::exit(1);
+        }
+        children.push_back(std::move(child));
+    }
+    auto source =
+        std::make_unique<MultiTraceSource>(std::move(children));
+    return runSource(std::move(name), std::move(source), decoders,
+                     workers, timer, rss_before);
 }
 
 /** v1 file → sequential stream loader → one inline engine. */
@@ -205,6 +267,29 @@ runShape(const std::string &name, size_t count, size_t rounds,
         std::exit(1);
     }
 
+    // The same trace set split across three v2 part files, for the
+    // multi-file ingest phase.
+    std::vector<std::string> part_paths;
+    {
+        const size_t parts = 3;
+        size_t at = 0;
+        for (size_t p = 0; p < parts; p++) {
+            const size_t take =
+                (traces.size() - at) / (parts - p);
+            std::vector<Trace> part(traces.begin() + at,
+                                    traces.begin() + at + take);
+            at += take;
+            const std::string path =
+                base + ".part" + std::to_string(p) + ".trace";
+            if (!saveTracesToFile(path, part, TraceFormat::V2)) {
+                std::fprintf(stderr,
+                             "cannot write trace files under /tmp\n");
+                std::exit(1);
+            }
+            part_paths.push_back(path);
+        }
+    }
+
     {
         std::string error;
         auto reader = TraceFileReader::open(v2_path, IngestMode::Mmap,
@@ -221,16 +306,24 @@ runShape(const std::string &name, size_t count, size_t rounds,
     // phases would otherwise report zero growth no matter what they
     // allocate.
     shape.phases.push_back(runPipeline(v2_path, 4, workers));
+    shape.phases.push_back(runPipeline(v2_path, 2, workers));
     shape.phases.push_back(runPipeline(v2_path, 1, workers));
+    shape.phases.push_back(runPipeline(v2_path, 4, workers, 4));
+    shape.phases.push_back(runMultiFile(part_paths, 4, workers));
     shape.phases.push_back(runSerialBaseline(v1_path));
 
-    shape.verdictMatch =
-        shape.phases.front().verdict == shape.phases.back().verdict &&
-        shape.phases.front().failCount ==
-            shape.phases.back().failCount;
+    shape.verdictMatch = true;
+    for (const auto &phase : shape.phases) {
+        shape.verdictMatch =
+            shape.verdictMatch &&
+            phase.verdict == shape.phases.back().verdict &&
+            phase.failCount == shape.phases.back().failCount;
+    }
 
     std::remove(v2_path.c_str());
     std::remove(v1_path.c_str());
+    for (const auto &path : part_paths)
+        std::remove(path.c_str());
     return shape;
 }
 

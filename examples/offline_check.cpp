@@ -1,15 +1,23 @@
 /**
  * @file
  * Record-once / check-offline: capture a program's PM-operation
- * traces to a file, then later replay them through the checking
- * engine (or any other tool) without re-running the program. Useful
- * when the system under test is slow to set up, or when traces come
- * from another machine.
+ * traces, check them online through the in-process capture source,
+ * save them to a file, and later replay the file through the exact
+ * same ingest pipeline without re-running the program. Useful when
+ * the system under test is slow to set up, or when traces come from
+ * another machine.
+ *
+ * Both checks ride `core::ingest(TraceSource&, EnginePool&, …)`:
+ * the online pass pulls from a CaptureTraceSource fed by the trace
+ * sink, the offline pass from the file source `openTraceSource`
+ * builds (the indexed v2 reader here; the same call accepts legacy
+ * v1 files). The two canonical reports are byte-identical — the live
+ * and replayed pipelines are the same pipeline.
  *
  * Files are written in the indexed v2 format (per-trace framing plus
- * an index footer), so besides the sequential loader used here they
- * can be mmap'd and decoded in parallel by pmtest_check
- * (--ingest=mmap --decoders=N) — see src/trace/trace_reader.hh.
+ * an index footer), so they can also be mmap'd and decoded in
+ * parallel by pmtest_check (--ingest=mmap --decoders=N --shards=N)
+ * — see src/trace/trace_reader.hh.
  *
  *   $ ./offline_check [output.trace] [--trace-events=FILE]
  *
@@ -26,9 +34,11 @@
 #include <cstring>
 
 #include "core/api.hh"
-#include "core/engine.hh"
+#include "core/engine_pool.hh"
+#include "core/trace_ingest.hh"
 #include "obs/telemetry.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_source.hh"
 #include "txlib/obj_pool.hh"
 
 namespace
@@ -36,14 +46,18 @@ namespace
 
 using namespace pmtest;
 
-/** Run a (buggy) workload and capture its traces via the sink. */
-std::vector<Trace>
-recordRun()
+/**
+ * Run a (buggy) workload. Sealed traces flow into @p capture for the
+ * online check and into @p saved for the save-to-file phase.
+ */
+void
+recordRun(CaptureTraceSource *capture, std::vector<Trace> *saved)
 {
-    std::vector<Trace> traces;
     pmtestInit(Config{});
-    pmtestSetTraceSink(
-        [&](Trace &&trace) { traces.push_back(std::move(trace)); });
+    pmtestSetTraceSink([&](Trace &&trace) {
+        saved->push_back(trace);
+        capture->push(std::move(trace));
+    });
     pmtestThreadInit();
     pmtestStart();
 
@@ -65,7 +79,28 @@ recordRun()
     pmtestSendTrace();
 
     pmtestExit();
-    return traces;
+    capture->close();
+}
+
+/** Drain @p source through the unified ingest; canonical report. */
+core::Report
+checkSource(TraceSource &source)
+{
+    core::PoolOptions options;
+    options.model = core::ModelKind::X86;
+    options.workers = 0; // inline checking; the pipeline is the same
+    core::EnginePool pool(options);
+    core::IngestOptions ingest_options;
+    core::IngestStats stats;
+    SourceError error;
+    if (!core::ingest(source, pool, ingest_options, &stats, &error)) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     error.str().c_str());
+        std::exit(1);
+    }
+    core::Report merged = pool.results();
+    merged.canonicalize();
+    return merged;
 }
 
 } // namespace
@@ -99,8 +134,15 @@ main(int argc, char **argv)
     const std::string path =
         keep ? out_path : "/tmp/pmtest_offline_example.trace";
 
-    // Phase 1: record.
-    const auto traces = recordRun();
+    // Phase 1: record, checking online through the capture source.
+    CaptureTraceSource capture;
+    std::vector<Trace> traces;
+    recordRun(&capture, &traces);
+    const core::Report online = checkSource(capture);
+    std::printf("online check:  %zu FAIL, %zu WARN "
+                "(live capture source)\n",
+                online.failCount(), online.warnCount());
+
     if (!saveTracesToFile(path, traces)) {
         std::printf("failed to write %s\n", path.c_str());
         return 1;
@@ -108,35 +150,34 @@ main(int argc, char **argv)
     std::printf("recorded %zu traces to %s\n", traces.size(),
                 path.c_str());
 
-    // Phase 2 (possibly days later, possibly elsewhere): check.
-    bool ok = false;
-    const auto loaded = loadTracesFromFile(path, &ok);
-    if (!ok) {
-        std::printf("failed to load traces\n");
+    // Phase 2 (possibly days later, possibly elsewhere): reopen the
+    // file as a source and run the identical pipeline.
+    std::string error;
+    auto source = openTraceSource(path, IngestMode::Auto, 0, &error);
+    if (!source) {
+        std::printf("failed to load traces: %s\n", error.c_str());
         return 1;
     }
-
-    core::Engine engine(core::ModelKind::X86);
-    core::Report merged;
-    for (const auto &trace : loaded.traces)
-        merged.merge(engine.check(trace));
-    merged.canonicalize();
+    const core::Report offline = checkSource(*source);
 
     std::printf("offline check: %zu FAIL, %zu WARN\n",
-                merged.failCount(), merged.warnCount());
-    std::printf("%s", merged.summaryStr().c_str());
+                offline.failCount(), offline.warnCount());
+    std::printf("%s", offline.summaryStr().c_str());
+    std::printf("online and offline reports %s\n",
+                online.str() == offline.str() ? "match"
+                                              : "DIFFER");
 
     if (!keep)
         std::remove(path.c_str());
     if (!trace_events_path.empty()) {
-        std::string error;
+        std::string err;
         if (!obs::Telemetry::instance().writeTraceEventsFile(
-                trace_events_path, &error)) {
-            std::fprintf(stderr, "%s\n", error.c_str());
+                trace_events_path, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
             return 1;
         }
         std::printf("wrote trace events to %s\n",
                     trace_events_path.c_str());
     }
-    return 0;
+    return online.str() == offline.str() ? 0 : 1;
 }

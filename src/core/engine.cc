@@ -36,7 +36,7 @@ Engine::check(const Trace &trace)
     obs::count(obs::Counter::TracesChecked);
     obs::count(obs::Counter::OpsChecked, trace.size());
 
-    Report report(trace.id());
+    Report report(trace.id(), trace.fileId());
     state_.reset();
 
     // Select the model rules once per trace. The templated kernels
@@ -73,7 +73,10 @@ Engine::check(const Trace &trace)
     }
 
     tracesChecked_++;
-    report.stampTraceId();
+    report.stampIdentity();
+    // The report owns the trace's string arena from here on, so its
+    // finding locations outlive the trace and any reader/loader.
+    report.holdArena(trace.arena());
     return report;
 }
 

@@ -63,7 +63,8 @@ PoolStats::str() const
         << ", stealing " << (workStealing ? "on" : "off") << ")\n";
     if (ingest.active) {
         out << "ingest: " << ingest.bytesMapped << " bytes "
-            << (ingest.mmapBacked ? "mmapped" : "buffered") << ", "
+            << (ingest.mmapBacked ? "mmapped" : "buffered")
+            << " from " << ingest.sources << " source(s), "
             << ingest.tracesDecoded << " traces decoded on "
             << ingest.decoders << " decoder(s), decode "
             << static_cast<double>(ingest.decodeNanos) * 1e-6

@@ -84,8 +84,8 @@ struct WorkerStats
 };
 
 /**
- * Counters for the file-ingest stage feeding a pool (the offline
- * pmtest_check pipeline): filled by core::ingestTraces() and carried
+ * Counters for the ingest stage feeding a pool (the offline
+ * pmtest_check pipeline): filled by core::ingest() and carried
  * here so one PoolStats snapshot describes the whole load→verdict
  * pipeline — how the bytes came in, how long decoding took, and how
  * long decoders stalled on the pool's backpressure.
@@ -93,8 +93,9 @@ struct WorkerStats
 struct IngestStats
 {
     bool active = false;      ///< an ingest stage ran (renders stats)
-    bool mmapBacked = false;  ///< file was mmap'd (vs read() buffer)
+    bool mmapBacked = false;  ///< all bytes were mmap'd (vs buffers)
     uint32_t decoders = 0;    ///< decoder threads used
+    size_t sources = 1;       ///< leaf sources (files/shards) drained
     uint64_t bytesMapped = 0; ///< file bytes mapped/buffered
     uint64_t tracesDecoded = 0;
     uint64_t decodeNanos = 0; ///< summed decode time across decoders

@@ -64,13 +64,30 @@ Report::merge(const Report &other)
 {
     findings_.insert(findings_.end(), other.findings().begin(),
                      other.findings().end());
+    for (const auto &arena : other.arenas_)
+        holdArena(arena);
 }
 
 void
-Report::stampTraceId()
+Report::stampIdentity()
 {
-    for (auto &f : findings_)
+    for (auto &f : findings_) {
         f.traceId = traceId_;
+        f.fileId = fileId_;
+    }
+}
+
+void
+Report::holdArena(Arena arena)
+{
+    if (!arena)
+        return;
+    // Consecutive findings usually come from the same trace; skipping
+    // the immediate duplicate keeps the common case O(1) without a
+    // set. Occasional repeats are harmless (shared_ptr copies).
+    if (!arenas_.empty() && arenas_.back() == arena)
+        return;
+    arenas_.push_back(std::move(arena));
 }
 
 void
@@ -79,6 +96,8 @@ Report::canonicalize()
     obs::SpanScope span(obs::Stage::ReportCanonicalize);
     std::stable_sort(findings_.begin(), findings_.end(),
                      [](const Finding &a, const Finding &b) {
+                         if (a.fileId != b.fileId)
+                             return a.fileId < b.fileId;
                          if (a.traceId != b.traceId)
                              return a.traceId < b.traceId;
                          return a.opIndex < b.opIndex;

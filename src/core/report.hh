@@ -11,6 +11,8 @@
 #define PMTEST_CORE_REPORT_HH
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,7 @@ struct Finding
     std::string message;
     SourceLocation loc{};
     uint64_t traceId = 0;
+    uint32_t fileId = 0; ///< which input source the trace came from
     size_t opIndex = 0; ///< index of the offending op within the trace
 
     /** Render as "FAIL(kind) message @ file:line". */
@@ -61,8 +64,14 @@ struct Finding
 class Report
 {
   public:
+    /** The arena type findings' location strings may point into. */
+    using Arena = std::shared_ptr<const std::deque<std::string>>;
+
     Report() = default;
-    explicit Report(uint64_t trace_id) : traceId_(trace_id) {}
+    explicit Report(uint64_t trace_id, uint32_t file_id = 0)
+        : traceId_(trace_id), fileId_(file_id)
+    {
+    }
 
     /** Record a finding. */
     void add(Finding finding) { findings_.push_back(std::move(finding)); }
@@ -85,24 +94,40 @@ class Report
     /** Id of the checked trace. */
     uint64_t traceId() const { return traceId_; }
 
-    /** Merge another report's findings into this one. */
+    /** Id of the input source the checked trace came from. */
+    uint32_t fileId() const { return fileId_; }
+
+    /** Merge another report's findings (and held arenas) into this. */
     void merge(const Report &other);
 
     /**
-     * Set every finding's traceId to this report's trace id. The
-     * checking kernels only record opIndex (they do not know the
-     * trace id); the engine stamps the id once per checked trace so
-     * merged reports can be canonicalized.
+     * Set every finding's (fileId, traceId) to this report's
+     * identity. The checking kernels only record opIndex (they do
+     * not know the trace identity); the engine stamps it once per
+     * checked trace so merged reports can be canonicalized.
      */
-    void stampTraceId();
+    void stampIdentity();
+
+    /**
+     * Share ownership of the string arena findings' source-location
+     * file names point into. A Report that holds its traces' arenas
+     * is self-contained: it stays valid after the trace, the reader
+     * and every other pipeline object are gone. Null arenas (live
+     * captures point at static __FILE__ literals) are ignored.
+     */
+    void holdArena(Arena arena);
+
+    /** Arenas this report keeps alive (merge concatenates them). */
+    const std::vector<Arena> &arenas() const { return arenas_; }
 
     /**
      * Reorder findings into the canonical order: stable sort by
-     * (traceId, opIndex). Per-trace findings stay in detection order
-     * (each trace is checked whole by one engine), so a report merged
-     * from parallel workers canonicalizes to the exact byte sequence
-     * the serial, submission-ordered path produces — the determinism
-     * contract of the parallel offline-check pipeline.
+     * (fileId, traceId, opIndex). Per-trace findings stay in
+     * detection order (each trace is checked whole by one engine), so
+     * a report merged from parallel workers over any shard/source
+     * assignment canonicalizes to the exact byte sequence the serial,
+     * submission-ordered path produces — the determinism contract of
+     * the parallel offline-check pipeline.
      */
     void canonicalize();
 
@@ -132,7 +157,9 @@ class Report
 
   private:
     uint64_t traceId_ = 0;
+    uint32_t fileId_ = 0;
     std::vector<Finding> findings_;
+    std::vector<Arena> arenas_; ///< keeps finding locations alive
 };
 
 } // namespace pmtest::core

@@ -10,6 +10,7 @@ writeIngestStatsJson(JsonWriter &w, const IngestStats &stats)
     w.member("active", stats.active);
     w.member("mmap_backed", stats.mmapBacked);
     w.member("decoders", stats.decoders);
+    w.member("sources", stats.sources);
     w.member("bytes_mapped", stats.bytesMapped);
     w.member("traces_decoded", stats.tracesDecoded);
     w.member("decode_ms",

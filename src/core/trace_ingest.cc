@@ -12,36 +12,38 @@ namespace pmtest::core
 {
 
 bool
-ingestTraces(const TraceFileReader &reader, EnginePool &pool,
-             const IngestOptions &options, IngestStats *ingest,
-             ArenaSink *arenas)
+ingest(TraceSource &source, EnginePool &pool,
+       const IngestOptions &options, IngestStats *ingest,
+       SourceError *error)
 {
-    const size_t count = reader.traceCount();
-    const size_t team =
-        std::max<size_t>(1, std::min(options.decoders, count ? count : 1));
+    const size_t count = source.traceCount();
+    const bool counted = count != TraceSource::kUnknownCount;
+    size_t team = std::max<size_t>(1, options.decoders);
+    if (counted)
+        team = std::min(team, std::max<size_t>(count, 1));
     const size_t batch_size = std::max<size_t>(1, options.batch);
 
-    // Decoders claim runs of consecutive trace indices rather than
-    // one index at a time: fewer shared-cursor bumps, and each claim
-    // decodes into one batch flushed with a single submitBatch — on
-    // oversubscribed machines (decoders + workers > cores) that
-    // keeps the wakeup rate proportional to batches, not traces.
+    // Decoders claim runs of consecutive traces rather than one at a
+    // time: fewer shared-cursor bumps inside the source, and each
+    // claim decodes into one batch flushed with a single submitBatch
+    // — on oversubscribed machines (decoders + workers > cores) that
+    // keeps the wakeup rate proportional to batches, not traces. An
+    // unknown-count source (live capture) just pulls full batches.
     const size_t chunk =
-        std::max<size_t>(1,
-                         std::min(batch_size,
-                                  count / (team * 4) + 1));
+        counted ? std::max<size_t>(
+                      1, std::min(batch_size, count / (team * 4) + 1))
+                : batch_size;
 
-    std::atomic<size_t> cursor{0};
     std::atomic<bool> failed{false};
     std::atomic<uint64_t> decode_nanos{0};
     std::atomic<uint64_t> stall_nanos{0};
     std::atomic<uint64_t> decoded{0};
-    std::mutex arena_mutex;
+    std::mutex error_mutex;
+    bool error_set = false;
 
     auto decodeLoop = [&] {
         std::vector<Trace> batch;
         batch.reserve(batch_size);
-        ArenaSink local_arenas;
         auto flush = [&] {
             if (batch.empty())
                 return;
@@ -58,29 +60,29 @@ ingestTraces(const TraceFileReader &reader, EnginePool &pool,
         };
 
         while (!failed.load(std::memory_order_relaxed)) {
-            const size_t begin =
-                cursor.fetch_add(chunk, std::memory_order_relaxed);
-            if (begin >= count)
-                break;
-            const size_t end = std::min(count, begin + chunk);
-            size_t done = 0;
+            const size_t before = batch.size();
+            SourceError local_error;
+            TraceSource::Pull result;
             Timer timer;
             {
                 obs::SpanScope span(obs::Stage::IngestDecode);
-                for (size_t i = begin; i < end; i++) {
-                    DecodedTrace dt;
-                    if (!reader.decode(i, &dt)) {
-                        failed.store(true,
-                                     std::memory_order_relaxed);
-                        break;
-                    }
-                    local_arenas.push_back(std::move(dt.strings));
-                    batch.push_back(std::move(dt.trace));
-                    done++;
-                }
+                result = source.pull(chunk, &batch, &local_error);
             }
             decode_nanos.fetch_add(timer.elapsedNs(),
                                    std::memory_order_relaxed);
+            if (result == TraceSource::Pull::Error) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error_set) {
+                    error_set = true;
+                    if (error)
+                        *error = std::move(local_error);
+                }
+                break;
+            }
+            if (result == TraceSource::Pull::End)
+                break;
+            const size_t done = batch.size() - before;
             decoded.fetch_add(done, std::memory_order_relaxed);
             obs::count(obs::Counter::ChunksDecoded);
             obs::count(obs::Counter::TracesDecoded, done);
@@ -88,12 +90,6 @@ ingestTraces(const TraceFileReader &reader, EnginePool &pool,
                 flush();
         }
         flush();
-        if (arenas && !local_arenas.empty()) {
-            std::lock_guard<std::mutex> lock(arena_mutex);
-            arenas->insert(arenas->end(),
-                           std::make_move_iterator(local_arenas.begin()),
-                           std::make_move_iterator(local_arenas.end()));
-        }
     };
 
     if (team == 1) {
@@ -111,11 +107,17 @@ ingestTraces(const TraceFileReader &reader, EnginePool &pool,
             t.join();
     }
 
+    const bool ok = !failed.load(std::memory_order_relaxed);
+    if (ok)
+        obs::count(obs::Counter::SourcesIngested,
+                   source.sourceCount());
+
     if (ingest) {
         ingest->active = true;
-        ingest->mmapBacked = reader.mmapBacked();
+        ingest->mmapBacked = source.mmapBacked();
         ingest->decoders = static_cast<uint32_t>(team);
-        ingest->bytesMapped = reader.sizeBytes();
+        ingest->sources = source.sourceCount();
+        ingest->bytesMapped = source.sizeBytes();
         ingest->tracesDecoded =
             decoded.load(std::memory_order_relaxed);
         ingest->decodeNanos =
@@ -123,7 +125,7 @@ ingestTraces(const TraceFileReader &reader, EnginePool &pool,
         ingest->stallNanos =
             stall_nanos.load(std::memory_order_relaxed);
     }
-    return !failed.load(std::memory_order_relaxed);
+    return ok;
 }
 
 } // namespace pmtest::core

@@ -1,32 +1,32 @@
 /**
  * @file
- * The pipelined offline-check ingest stage: a decoder thread team
- * pulls trace indices from a shared cursor, decodes each trace from
- * its framed slice of a mapped v2 file (TraceFileReader), and feeds
- * the engine pool in batches. Decode of trace N+1 overlaps checking
- * of trace N, and the pool's bounded queues backpressure the
- * decoders, so peak memory is the in-flight window — not the whole
- * file, as with the sequential loadTraces path.
+ * The one ingest implementation: a decoder thread team pulls batches
+ * of decoded traces from a TraceSource — a whole v2 file, a byte-
+ * range shard, a multi-file set, a legacy v1 stream, or the live
+ * in-process capture sink — and feeds the engine pool. Decode of
+ * trace N+1 overlaps checking of trace N, and the pool's bounded
+ * queues backpressure the decoders, so peak memory is the in-flight
+ * window — not the whole input, as with the old sequential path.
  *
- * Used by pmtest_check (--ingest=mmap --decoders=N), bench_ingest,
- * and the ingest determinism tests.
+ * Every trace arrives identity-stamped (fileId, traceId) with its
+ * string arena attached, so the merged report canonicalizes to the
+ * same bytes regardless of how sources, shards and decoder threads
+ * interleaved.
+ *
+ * Used by pmtest_check (--decoders=N, --shards=N, multi-file),
+ * examples/offline_check, bench_ingest, and the determinism tests.
  */
 
 #ifndef PMTEST_CORE_TRACE_INGEST_HH
 #define PMTEST_CORE_TRACE_INGEST_HH
 
-#include <deque>
-#include <memory>
-#include <string>
-#include <vector>
-
 #include "core/engine_pool.hh"
-#include "trace/trace_reader.hh"
+#include "trace/trace_source.hh"
 
 namespace pmtest::core
 {
 
-/** Knobs for ingestTraces(). */
+/** Knobs for ingest(). */
 struct IngestOptions
 {
     /** Decoder threads (>= 1). */
@@ -36,27 +36,18 @@ struct IngestOptions
 };
 
 /**
- * Keeps decoded traces' file-name strings alive: findings hold
- * const char* into these arenas, so the sink must outlive any Report
- * derived from the ingested traces. The op buffers themselves are
- * freed as soon as each trace is checked; only the (tiny) interned
- * file names persist here.
- */
-using ArenaSink =
-    std::vector<std::shared_ptr<std::deque<std::string>>>;
-
-/**
- * Decode every trace in @p reader on @p options.decoders threads and
- * submit them to @p pool. Returns once all traces are *submitted*
- * (call pool.results() to also wait for checking). Fills @p ingest
- * with decode/stall counters for the PoolStats snapshot.
+ * Drain @p source on @p options.decoders threads and submit every
+ * trace to @p pool. Returns once all traces are *submitted* (call
+ * pool.results() to also wait for checking). Fills @p ingest with
+ * decode/stall counters for the PoolStats snapshot.
  *
- * @return false when any trace fails to decode (the remaining work
- *         is abandoned; already-submitted traces still drain).
+ * @return false when the source reports an error (the first error is
+ *         copied to @p error when provided; remaining work is
+ *         abandoned, already-submitted traces still drain).
  */
-bool ingestTraces(const TraceFileReader &reader, EnginePool &pool,
-                  const IngestOptions &options, IngestStats *ingest,
-                  ArenaSink *arenas);
+bool ingest(TraceSource &source, EnginePool &pool,
+            const IngestOptions &options, IngestStats *ingest,
+            SourceError *error = nullptr);
 
 } // namespace pmtest::core
 

@@ -30,6 +30,8 @@ stageName(Stage stage)
         return "report.merge";
       case Stage::ReportCanonicalize:
         return "report.canonicalize";
+      case Stage::SourceOpen:
+        return "source.open";
     }
     return "unknown";
 }
@@ -62,6 +64,8 @@ counterName(Counter counter)
         return "ops_checked";
       case Counter::ReportsMerged:
         return "reports_merged";
+      case Counter::SourcesIngested:
+        return "sources_ingested";
     }
     return "unknown";
 }

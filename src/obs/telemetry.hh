@@ -77,10 +77,11 @@ enum class Stage : uint8_t
     IngestSubmit,      ///< decoder flushing a batch into the pool
     EngineCheck,       ///< Engine::check — one trace through the kernel
     ReportMerge,       ///< merging a per-trace report into the aggregate
-    ReportCanonicalize ///< sorting the merged report into canonical order
+    ReportCanonicalize,///< sorting the merged report into canonical order
+    SourceOpen         ///< opening/validating one trace source (file)
 };
 
-inline constexpr size_t kStageCount = 9;
+inline constexpr size_t kStageCount = 10;
 
 /** Stable span/metric name of @p stage (e.g. "engine.check"). */
 const char *stageName(Stage stage);
@@ -99,10 +100,11 @@ enum class Counter : uint8_t
     TracesDecoded,   ///< traces decoded from a file
     TracesChecked,   ///< traces through Engine::check
     OpsChecked,      ///< PM ops through Engine::check
-    ReportsMerged    ///< per-trace reports merged into aggregates
+    ReportsMerged,   ///< per-trace reports merged into aggregates
+    SourcesIngested  ///< trace sources drained to End by ingest()
 };
 
-inline constexpr size_t kCounterCount = 12;
+inline constexpr size_t kCounterCount = 13;
 
 /** Stable metric name of @p counter (e.g. "traces_checked"). */
 const char *counterName(Counter counter);

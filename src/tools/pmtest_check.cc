@@ -1,29 +1,44 @@
 /**
  * @file
- * pmtest_check: command-line offline checker. Loads a trace file
- * written with trace_io (see examples/offline_check.cpp for the
- * record side) and runs the checking engine over it.
+ * pmtest_check: command-line offline checker. Opens one or more
+ * trace files (or directories of them) written with trace_io (see
+ * examples/offline_check.cpp for the record side) and runs the
+ * checking engine over every trace through the unified TraceSource
+ * ingest pipeline.
  *
  * Usage:
  *   pmtest_check [--model=x86|hops|arm] [--summary] [--quiet]
  *                [--max-findings=N] [--workers=N] [--queue-cap=N]
  *                [--batch=N] [--ingest=auto|mmap|stream]
- *                [--decoders=N] [--stats] [--metrics-json=FILE]
- *                [--trace-events=FILE] [--span-sample=N]
- *                <trace-file>
+ *                [--decoders=N] [--shards=N] [--stats]
+ *                [--metrics-json=FILE] [--trace-events=FILE]
+ *                [--span-sample=N] <trace-file-or-dir>...
+ *
+ * Inputs:
+ *  - Each positional argument is a trace file or a directory;
+ *    directories expand to their regular files in sorted name order.
+ *  - Every input becomes one TraceSource with a stable fileId
+ *    assigned in input order, so findings from different files never
+ *    collide and the merged report is reproducible.
+ *  - Duplicate inputs (after directory expansion and path
+ *    canonicalization) are rejected with exit status 2.
  *
  * Ingest paths:
- *  --ingest=mmap   map a v2 trace file and decode traces in parallel
- *                  on --decoders=N threads, feeding the engine pool
- *                  as they decode — decode of trace N+1 overlaps
- *                  checking of trace N and peak memory is the
- *                  in-flight window, not the whole file. Fails on v1
- *                  files (no index footer).
- *  --ingest=stream parse the whole file sequentially through the
- *                  buffered loader before checking (works for v1 and
- *                  v2 files).
- *  --ingest=auto   (default) mmap when the file has a v2 index,
- *                  stream otherwise.
+ *  --ingest=mmap   require the indexed v2 reader for every input and
+ *                  decode traces in parallel on --decoders=N threads,
+ *                  feeding the engine pool as they decode — decode of
+ *                  trace N+1 overlaps checking of trace N and peak
+ *                  memory is the in-flight window, not the whole
+ *                  file. Fails on v1 files (no index footer).
+ *  --ingest=stream parse each file sequentially through the buffered
+ *                  loader before checking (works for v1 and v2).
+ *  --ingest=auto   (default) indexed reader when a file has a v2
+ *                  index, stream otherwise — v1 and v2 files mix
+ *                  freely in one input set.
+ *
+ * --shards=N splits a single v2 input into N byte-balanced index
+ * ranges that decode independently (decoder threads spread across
+ * the shards). Requires exactly one input file with a v2 index.
  *
  * --workers=N checks traces on an engine pool instead of a single
  * inline engine (the paper's decoupled mode); --queue-cap bounds the
@@ -32,8 +47,9 @@
  * Output selection and precedence:
  *  - The findings report goes to stdout unless --quiet. --summary
  *    condenses it; --quiet beats --summary.
- *  - --stats (human-readable dispatch/ingest counters on stdout) is
- *    an explicit request and always prints, --quiet notwithstanding.
+ *  - --stats (human-readable dispatch/ingest counters on stdout,
+ *    including one line per input source) is an explicit request and
+ *    always prints, --quiet notwithstanding.
  *  - --metrics-json=FILE writes the machine-readable snapshot — the
  *    unified pool/ingest stats plus the telemetry counters and stage
  *    latency histograms — to FILE regardless of --quiet/--stats.
@@ -43,17 +59,20 @@
  *    --span-sample=N keeps every Nth span per thread (default 1 =
  *    all; higher values bound memory and overhead on huge runs).
  *
- * Findings are reported in canonical (traceId, opIndex) order, so
- * the parallel and serial paths print byte-identical reports.
+ * Findings are reported in canonical (fileId, traceId, opIndex)
+ * order, so any decoder/shard/worker configuration prints a
+ * byte-identical report for the same input set.
  *
  * Exit status: 0 when no FAIL findings, 1 when crash-consistency
- * bugs were found, 2 on usage/input errors. Every malformed flag
- * prints the usage text and exits 2.
+ * bugs were found, 2 on usage/input errors (malformed flags,
+ * unreadable or duplicate inputs, decode failures).
  */
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -62,14 +81,14 @@
 #include "core/stats_json.hh"
 #include "core/trace_ingest.hh"
 #include "obs/telemetry.hh"
-#include "trace/trace_io.hh"
-#include "trace/trace_reader.hh"
+#include "trace/trace_source.hh"
 #include "util/json.hh"
 
 namespace
 {
 
 using namespace pmtest;
+namespace fs = std::filesystem;
 
 void
 usage(const char *argv0)
@@ -79,9 +98,9 @@ usage(const char *argv0)
         "usage: %s [--model=x86|hops|arm] [--summary] [--quiet]\n"
         "          [--max-findings=N] [--workers=N] [--queue-cap=N]\n"
         "          [--batch=N] [--ingest=auto|mmap|stream]\n"
-        "          [--decoders=N] [--stats] [--metrics-json=FILE]\n"
-        "          [--trace-events=FILE] [--span-sample=N]\n"
-        "          <trace-file>\n",
+        "          [--decoders=N] [--shards=N] [--stats]\n"
+        "          [--metrics-json=FILE] [--trace-events=FILE]\n"
+        "          [--span-sample=N] <trace-file-or-dir>...\n",
         argv0);
 }
 
@@ -109,6 +128,69 @@ parseNumericOption(const std::string &arg, size_t prefix_len,
 }
 
 /**
+ * Expand positional arguments into the flat input-file list:
+ * directories contribute their regular files in sorted name order,
+ * plain paths pass through. @return false (with a message) on an
+ * unreadable or empty directory.
+ */
+bool
+expandInputs(const std::vector<std::string> &args,
+             std::vector<std::string> *files)
+{
+    for (const auto &arg : args) {
+        std::error_code ec;
+        if (fs::is_directory(arg, ec)) {
+            std::vector<std::string> entries;
+            for (const auto &entry : fs::directory_iterator(arg, ec)) {
+                if (entry.is_regular_file())
+                    entries.push_back(entry.path().string());
+            }
+            if (ec) {
+                std::fprintf(stderr, "%s: cannot read directory\n",
+                             arg.c_str());
+                return false;
+            }
+            if (entries.empty()) {
+                std::fprintf(stderr, "%s: no trace files in "
+                                     "directory\n",
+                             arg.c_str());
+                return false;
+            }
+            std::sort(entries.begin(), entries.end());
+            files->insert(files->end(), entries.begin(),
+                          entries.end());
+        } else {
+            files->push_back(arg);
+        }
+    }
+    return true;
+}
+
+/**
+ * Reject the same file appearing twice in the input set (directly or
+ * via directory expansion): duplicate traces would double every
+ * finding. Compares canonicalized paths so "a.trc" and "./a.trc"
+ * collide.
+ */
+bool
+rejectDuplicates(const std::vector<std::string> &files)
+{
+    std::vector<std::string> seen;
+    for (const auto &file : files) {
+        std::error_code ec;
+        fs::path canon = fs::weakly_canonical(file, ec);
+        const std::string key = ec ? file : canon.string();
+        if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+            std::fprintf(stderr, "duplicate input: %s\n",
+                         file.c_str());
+            return false;
+        }
+        seen.push_back(key);
+    }
+    return true;
+}
+
+/**
  * Write the unified metrics snapshot: run identity, verdict counts,
  * the shared pool/ingest stats rendering, and the telemetry section
  * (counters, per-stage latency histograms, span accounting).
@@ -116,7 +198,8 @@ parseNumericOption(const std::string &arg, size_t prefix_len,
 bool
 writeMetricsJson(const std::string &path, const std::string &file,
                  const char *model_name, size_t traces, size_t ops,
-                 size_t workers, const core::Report &merged,
+                 size_t workers, size_t sources,
+                 const core::Report &merged,
                  const core::PoolStats &stats)
 {
     JsonWriter w;
@@ -128,6 +211,7 @@ writeMetricsJson(const std::string &path, const std::string &file,
     w.member("traces", traces);
     w.member("ops", ops);
     w.member("workers", workers);
+    w.member("sources", sources);
     w.key("verdict").beginObject();
     w.member("fail", merged.failCount());
     w.member("warn", merged.warnCount());
@@ -155,6 +239,23 @@ writeMetricsJson(const std::string &path, const std::string &file,
     return ok;
 }
 
+/** One "  source NAME: ..." line per leaf source. */
+void
+printSourceStats(const TraceSource &source)
+{
+    if (const auto *multi =
+            dynamic_cast<const MultiTraceSource *>(&source)) {
+        for (const auto &child : multi->children())
+            printSourceStats(*child);
+        return;
+    }
+    std::printf("  source %s: %zu traces, %llu ops, %llu bytes %s\n",
+                source.name().c_str(), source.traceCount(),
+                static_cast<unsigned long long>(source.totalOps()),
+                static_cast<unsigned long long>(source.sizeBytes()),
+                source.mmapBacked() ? "mmapped" : "buffered");
+}
+
 } // namespace
 
 int
@@ -169,9 +270,10 @@ main(int argc, char **argv)
     size_t queue_cap = 0;
     size_t batch = 1;
     size_t decoders = 1;
+    size_t shards = 1;
     size_t span_sample = 1;
-    IngestMode ingest = IngestMode::Auto;
-    std::string path;
+    IngestMode ingest_mode = IngestMode::Auto;
+    std::vector<std::string> input_args;
     std::string metrics_path;
     std::string trace_events_path;
 
@@ -212,6 +314,10 @@ main(int argc, char **argv)
                 parseNumericOption(arg, 11, "--decoders", argv[0]);
             if (decoders == 0)
                 decoders = 1;
+        } else if (arg.rfind("--shards=", 0) == 0) {
+            shards = parseNumericOption(arg, 9, "--shards", argv[0]);
+            if (shards == 0)
+                shards = 1;
         } else if (arg.rfind("--span-sample=", 0) == 0) {
             span_sample =
                 parseNumericOption(arg, 14, "--span-sample", argv[0]);
@@ -220,11 +326,11 @@ main(int argc, char **argv)
         } else if (arg.rfind("--ingest=", 0) == 0) {
             const std::string name = arg.substr(9);
             if (name == "auto") {
-                ingest = IngestMode::Auto;
+                ingest_mode = IngestMode::Auto;
             } else if (name == "mmap") {
-                ingest = IngestMode::Mmap;
+                ingest_mode = IngestMode::Mmap;
             } else if (name == "stream") {
-                ingest = IngestMode::Stream;
+                ingest_mode = IngestMode::Stream;
             } else {
                 std::fprintf(stderr, "unknown ingest mode '%s'\n",
                              name.c_str());
@@ -257,14 +363,31 @@ main(int argc, char **argv)
                          arg.c_str());
             usage(argv[0]);
             return 2;
-        } else if (path.empty()) {
-            path = arg;
         } else {
-            usage(argv[0]);
-            return 2;
+            input_args.push_back(arg);
         }
     }
-    if (path.empty()) {
+    if (input_args.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<std::string> inputs;
+    if (!expandInputs(input_args, &inputs))
+        return 2;
+    if (!rejectDuplicates(inputs))
+        return 2;
+    if (shards > 1 && inputs.size() != 1) {
+        std::fprintf(stderr,
+                     "--shards needs exactly one input file "
+                     "(got %zu)\n",
+                     inputs.size());
+        usage(argv[0]);
+        return 2;
+    }
+    if (shards > 1 && ingest_mode == IngestMode::Stream) {
+        std::fprintf(stderr, "--shards needs an indexed (v2) input; "
+                             "remove --ingest=stream\n");
         usage(argv[0]);
         return 2;
     }
@@ -275,95 +398,91 @@ main(int argc, char **argv)
         obs::Telemetry::instance().enableSpans(span_sample);
     obs::nameThread("main");
 
+    // Build the source: one per input file (fileId = input order),
+    // or the byte-balanced shards of a single v2 file.
+    std::unique_ptr<TraceSource> source;
+    if (shards > 1) {
+        std::string error;
+        std::shared_ptr<const TraceFileReader> reader =
+            TraceFileReader::open(inputs[0], ingest_mode, &error);
+        if (!reader) {
+            if (error.rfind(inputs[0], 0) != 0)
+                error = inputs[0] + ": " + error;
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 2;
+        }
+        source = std::make_unique<MultiTraceSource>(
+            shardTraceSource(std::move(reader), inputs[0], 0, shards));
+    } else if (inputs.size() == 1) {
+        std::string error;
+        source = openTraceSource(inputs[0], ingest_mode, 0, &error);
+        if (!source) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 2;
+        }
+    } else {
+        std::vector<std::unique_ptr<TraceSource>> children;
+        children.reserve(inputs.size());
+        for (size_t i = 0; i < inputs.size(); i++) {
+            std::string error;
+            auto child = openTraceSource(
+                inputs[i], ingest_mode,
+                static_cast<uint32_t>(i), &error);
+            if (!child) {
+                std::fprintf(stderr, "%s\n", error.c_str());
+                return 2;
+            }
+            children.push_back(std::move(child));
+        }
+        source = std::make_unique<MultiTraceSource>(
+            std::move(children));
+    }
+
+    const size_t trace_count = source->traceCount();
+    const size_t total_ops =
+        static_cast<size_t>(source->totalOps());
+
     core::PoolOptions options;
     options.model = model;
     options.workers = workers;
     options.queueCapacity = queue_cap;
 
-    // Indexed path: map the file and pipeline decode into checking.
-    std::unique_ptr<TraceFileReader> reader;
-    if (ingest != IngestMode::Stream) {
-        std::string error;
-        reader = TraceFileReader::open(path, ingest, &error);
-        if (!reader && ingest == IngestMode::Mmap) {
-            std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                         error.c_str());
-            return 2;
-        }
-        // Auto mode: fall back to the sequential loader (v1 files,
-        // unmappable streams) without complaint.
-    }
-
-    size_t trace_count = 0;
-    size_t total_ops = 0;
     core::Report merged;
     core::PoolStats stats;
-    core::ArenaSink arenas; // keeps finding locations alive
     size_t pool_workers = 0;
-
-    if (reader) {
-        trace_count = reader->traceCount();
-        total_ops = static_cast<size_t>(reader->totalOps());
-
+    bool ingest_ok = false;
+    SourceError ingest_error;
+    {
         core::EnginePool pool(options);
         core::IngestOptions ingest_options;
         ingest_options.decoders = decoders;
         ingest_options.batch = batch;
         core::IngestStats ingest_stats;
-        const bool ok = core::ingestTraces(*reader, pool,
-                                           ingest_options,
-                                           &ingest_stats, &arenas);
+        ingest_ok = core::ingest(*source, pool, ingest_options,
+                                 &ingest_stats, &ingest_error);
         merged = pool.results();
         stats = pool.stats();
         stats.ingest = ingest_stats;
         pool_workers = pool.workerCount();
-        if (!ok) {
-            std::fprintf(stderr,
-                         "%s: corrupt trace body (decode failed)\n",
-                         path.c_str());
-            return 2;
-        }
-    } else {
-        bool ok = false;
-        // Not const: the loaded traces are moved into the pool below
-        // — a const bundle would silently copy every op array.
-        auto bundle = loadTracesFromFile(path, &ok);
-        if (!ok) {
-            std::fprintf(stderr,
-                         "%s: not a readable PMTest trace file\n",
-                         path.c_str());
-            return 2;
-        }
-        arenas.push_back(bundle.strings);
-
-        core::EnginePool pool(options);
-        trace_count = bundle.traces.size();
-        for (const auto &trace : bundle.traces)
-            total_ops += trace.size();
-        std::vector<Trace> pending;
-        pending.reserve(batch);
-        for (auto &trace : bundle.traces) {
-            pending.push_back(std::move(trace));
-            if (pending.size() >= batch) {
-                pool.submitBatch(std::move(pending));
-                pending.clear();
-            }
-        }
-        pool.submitBatch(std::move(pending));
-        merged = pool.results();
-        stats = pool.stats();
-        pool_workers = pool.workerCount();
+    }
+    if (!ingest_ok) {
+        std::fprintf(stderr, "%s\n", ingest_error.str().c_str());
+        return 2;
     }
 
-    // Canonical (traceId, opIndex) order: the parallel ingest /
-    // worker pool and the serial inline path print byte-identical
-    // reports.
+    // Canonical (fileId, traceId, opIndex) order: any shard/decoder/
+    // worker configuration prints a byte-identical report for the
+    // same input set.
     merged.canonicalize();
 
     if (!quiet) {
+        const std::string display =
+            inputs.size() == 1
+                ? inputs[0]
+                : std::to_string(inputs.size()) + " files";
         std::printf("%s: %zu traces, %zu PM operations, model=%s, "
                     "%zu workers\n",
-                    path.c_str(), trace_count, total_ops,
+                    display.c_str(), trace_count, total_ops,
                     core::makeModel(model)->name(), pool_workers);
         if (summary) {
             std::printf("%s", merged.summaryStr().c_str());
@@ -382,15 +501,24 @@ main(int argc, char **argv)
         }
     }
     // An explicit --stats request wins over --quiet.
-    if (show_stats)
+    if (show_stats) {
+        if (source->sourceCount() > 1)
+            printSourceStats(*source);
         std::printf("%s", stats.str().c_str());
+    }
     // The machine-readable outputs are files; they are written
     // whatever the stdout flags say.
     if (!metrics_path.empty()) {
-        if (!writeMetricsJson(metrics_path, path,
+        std::string joined;
+        for (const auto &input : inputs) {
+            if (!joined.empty())
+                joined += ",";
+            joined += input;
+        }
+        if (!writeMetricsJson(metrics_path, joined,
                               core::makeModel(model)->name(),
                               trace_count, total_ops, pool_workers,
-                              merged, stats))
+                              source->sourceCount(), merged, stats))
             return 2;
     }
     if (!trace_events_path.empty()) {

@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -89,12 +91,44 @@ class Trace
     /** Id of the producing application thread. */
     uint32_t threadId() const { return threadId_; }
 
+    /**
+     * Id of the trace *source* this trace came from (0 when there is
+     * only one source). Assigned by the ingest layer in input order,
+     * so (fileId, id) is a stable identity across any decoder/shard
+     * assignment — the key Report::canonicalize sorts by.
+     */
+    uint32_t fileId() const { return fileId_; }
+
+    /** Set the source id (TraceSource implementations stamp this). */
+    void setFileId(uint32_t file_id) { fileId_ = file_id; }
+
     /** Set identity; used when a capture buffer is sealed into a trace. */
     void
     setIdentity(uint64_t id, uint32_t thread_id)
     {
         id_ = id;
         threadId_ = thread_id;
+    }
+
+    /**
+     * String arena the ops' SourceLocations point into, when this
+     * trace was decoded from a file (null for live-captured traces,
+     * whose locations are __FILE__ literals with static storage).
+     * Sharing the arena through the trace lets reports take ownership
+     * of the file-name storage their findings reference, so a Report
+     * can safely outlive the reader/bundle that decoded the trace.
+     */
+    const std::shared_ptr<const std::deque<std::string>> &
+    arena() const
+    {
+        return arena_;
+    }
+
+    /** Attach the owning string arena (decoder-side). */
+    void
+    setArena(std::shared_ptr<const std::deque<std::string>> arena)
+    {
+        arena_ = std::move(arena);
     }
 
     /** Multi-line dump for diagnostics. */
@@ -114,6 +148,8 @@ class Trace
     std::vector<PmOp> ops_;
     uint64_t id_ = 0;
     uint32_t threadId_ = 0;
+    uint32_t fileId_ = 0;
+    std::shared_ptr<const std::deque<std::string>> arena_;
 };
 
 } // namespace pmtest

@@ -359,6 +359,9 @@ loadTraces(std::istream &in, bool *ok)
         } else if (!readBodyStream(in, &trace, bundle.strings.get())) {
             return bundle;
         }
+        // Every loaded trace co-owns the bundle's string arena, so
+        // reports derived from it can outlive the bundle itself.
+        trace.setArena(bundle.strings);
         bundle.traces.push_back(std::move(trace));
     }
 

@@ -152,6 +152,7 @@ TraceFileReader::validate(std::string *error)
         setError(error, "corrupt index (CRC mismatch)");
         return false;
     }
+    indexOffset_ = index_offset;
 
     // Frames must chain exactly: entry i's frame ends where entry
     // i+1 begins, and the last frame ends at the index.
@@ -213,6 +214,9 @@ TraceFileReader::decode(size_t i, DecodedTrace *out) const
                          out->strings.get())) {
         return false;
     }
+    // The trace co-owns its string arena, so a Report holding the
+    // trace's arena stays valid after this reader is destroyed.
+    out->trace.setArena(out->strings);
     // Cross-check the decode against the index: a mismatch means the
     // frame and the footer disagree — treat as corruption.
     return out->trace.size() == e.opCount &&

@@ -80,6 +80,21 @@ class TraceFileReader
     /** Op count of trace @p i (from the index; no decode needed). */
     uint32_t opCount(size_t i) const { return index_[i].opCount; }
 
+    /**
+     * Bytes trace @p i occupies on disk (length prefix + framed
+     * body). Validation proved the frames tile [header, index)
+     * exactly, so this is the gap to the next frame (or the index).
+     * Byte-range sharding balances shards on these sizes.
+     */
+    uint64_t
+    frameBytes(size_t i) const
+    {
+        const uint64_t next = i + 1 < index_.size()
+                                  ? index_[i + 1].offset
+                                  : indexOffset_;
+        return next - index_[i].offset;
+    }
+
     /** Producing thread of trace @p i. */
     uint32_t threadId(size_t i) const { return index_[i].threadId; }
 
@@ -114,6 +129,7 @@ class TraceFileReader
 
     const uint8_t *data_ = nullptr;
     size_t size_ = 0;
+    uint64_t indexOffset_ = 0; ///< where frames end / the index begins
     bool mmapped_ = false;
     std::vector<uint8_t> buffer_; ///< read() fallback storage
     std::vector<IndexEntry> index_;

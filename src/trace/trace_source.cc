@@ -1,0 +1,364 @@
+#include "trace/trace_source.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/telemetry.hh"
+
+namespace pmtest
+{
+
+std::string
+SourceError::str() const
+{
+    return file + ": trace #" + std::to_string(traceIndex) + ": " +
+           message;
+}
+
+// ---------------------------------------------------------------------------
+// V2FileSource
+// ---------------------------------------------------------------------------
+
+V2FileSource::V2FileSource(
+    std::shared_ptr<const TraceFileReader> reader, std::string path,
+    uint32_t file_id)
+    : V2FileSource(std::move(reader), std::move(path), file_id, 0, 0,
+                   0, 1)
+{
+    end_ = reader_->traceCount();
+    cursor_.store(begin_, std::memory_order_relaxed);
+}
+
+V2FileSource::V2FileSource(
+    std::shared_ptr<const TraceFileReader> reader, std::string path,
+    uint32_t file_id, size_t begin, size_t end, size_t shard,
+    size_t shards)
+    : reader_(std::move(reader)), path_(std::move(path)),
+      fileId_(file_id), begin_(begin), end_(end), cursor_(begin)
+{
+    name_ = path_;
+    if (shards > 1) {
+        name_ += "[" + std::to_string(shard + 1) + "/" +
+                 std::to_string(shards) + "]";
+    }
+}
+
+uint64_t
+V2FileSource::totalOps() const
+{
+    uint64_t total = 0;
+    for (size_t i = begin_; i < end_; i++)
+        total += reader_->opCount(i);
+    return total;
+}
+
+uint64_t
+V2FileSource::sizeBytes() const
+{
+    // A whole-file source accounts the full mapping (header, index
+    // and footer included); a shard accounts only its frame bytes,
+    // so sibling shards sum to less than one double-counted file.
+    if (begin_ == 0 && end_ == reader_->traceCount())
+        return reader_->sizeBytes();
+    uint64_t total = 0;
+    for (size_t i = begin_; i < end_; i++)
+        total += reader_->frameBytes(i);
+    return total;
+}
+
+TraceSource::Pull
+V2FileSource::pull(size_t max, std::vector<Trace> *out,
+                   SourceError *error)
+{
+    if (max == 0)
+        return Pull::Items;
+    const size_t first =
+        cursor_.fetch_add(max, std::memory_order_relaxed);
+    if (first >= end_)
+        return Pull::End;
+    const size_t last = std::min(end_, first + max);
+    for (size_t i = first; i < last; i++) {
+        DecodedTrace decoded;
+        if (!reader_->decode(i, &decoded)) {
+            if (error) {
+                error->file = path_;
+                error->traceIndex = i;
+                error->message = "corrupt trace body (decode failed)";
+            }
+            return Pull::Error;
+        }
+        decoded.trace.setFileId(fileId_);
+        out->push_back(std::move(decoded.trace));
+    }
+    return Pull::Items;
+}
+
+// ---------------------------------------------------------------------------
+// StreamTraceSource
+// ---------------------------------------------------------------------------
+
+StreamTraceSource::StreamTraceSource(std::string path,
+                                     uint32_t file_id,
+                                     LoadedTraces loaded,
+                                     uint64_t file_bytes)
+    : name_(std::move(path)), traces_(std::move(loaded.traces)),
+      fileBytes_(file_bytes)
+{
+    for (auto &trace : traces_) {
+        totalOps_ += trace.size();
+        trace.setFileId(file_id);
+    }
+}
+
+TraceSource::Pull
+StreamTraceSource::pull(size_t max, std::vector<Trace> *out,
+                        SourceError *)
+{
+    if (max == 0)
+        return Pull::Items;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cursor_ >= traces_.size())
+        return Pull::End;
+    const size_t last = std::min(traces_.size(), cursor_ + max);
+    for (; cursor_ < last; cursor_++)
+        out->push_back(std::move(traces_[cursor_]));
+    return Pull::Items;
+}
+
+// ---------------------------------------------------------------------------
+// CaptureTraceSource
+// ---------------------------------------------------------------------------
+
+CaptureTraceSource::CaptureTraceSource(std::string name,
+                                       uint32_t file_id)
+    : name_(std::move(name)), fileId_(file_id)
+{
+}
+
+void
+CaptureTraceSource::push(Trace &&trace)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        trace.setFileId(fileId_);
+        queue_.push_back(std::move(trace));
+    }
+    cv_.notify_one();
+}
+
+void
+CaptureTraceSource::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::function<void(Trace &&)>
+CaptureTraceSource::sink()
+{
+    return [this](Trace &&trace) { push(std::move(trace)); };
+}
+
+TraceSource::Pull
+CaptureTraceSource::pull(size_t max, std::vector<Trace> *out,
+                         SourceError *)
+{
+    if (max == 0)
+        return Pull::Items;
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return head_ < queue_.size() || closed_; });
+    if (head_ == queue_.size())
+        return Pull::End; // closed and drained
+    const size_t last = std::min(queue_.size(), head_ + max);
+    for (; head_ < last; head_++)
+        out->push_back(std::move(queue_[head_]));
+    if (head_ == queue_.size()) {
+        // Fully drained: reclaim the moved-out prefix so a
+        // long-running capture does not accumulate dead traces.
+        queue_.clear();
+        head_ = 0;
+    }
+    return Pull::Items;
+}
+
+// ---------------------------------------------------------------------------
+// MultiTraceSource
+// ---------------------------------------------------------------------------
+
+MultiTraceSource::MultiTraceSource(
+    std::vector<std::unique_ptr<TraceSource>> children)
+    : children_(std::move(children))
+{
+    name_ = "<" + std::to_string(children_.size()) + " sources>";
+}
+
+size_t
+MultiTraceSource::traceCount() const
+{
+    size_t total = 0;
+    for (const auto &c : children_) {
+        if (c->traceCount() == kUnknownCount)
+            return kUnknownCount;
+        total += c->traceCount();
+    }
+    return total;
+}
+
+uint64_t
+MultiTraceSource::totalOps() const
+{
+    uint64_t total = 0;
+    for (const auto &c : children_)
+        total += c->totalOps();
+    return total;
+}
+
+uint64_t
+MultiTraceSource::sizeBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &c : children_)
+        total += c->sizeBytes();
+    return total;
+}
+
+bool
+MultiTraceSource::mmapBacked() const
+{
+    for (const auto &c : children_) {
+        if (!c->mmapBacked())
+            return false;
+    }
+    return !children_.empty();
+}
+
+size_t
+MultiTraceSource::sourceCount() const
+{
+    size_t total = 0;
+    for (const auto &c : children_)
+        total += c->sourceCount();
+    return total;
+}
+
+TraceSource::Pull
+MultiTraceSource::pull(size_t max, std::vector<Trace> *out,
+                       SourceError *error)
+{
+    size_t i = current_.load(std::memory_order_acquire);
+    while (i < children_.size()) {
+        const Pull result = children_[i]->pull(max, out, error);
+        if (result != Pull::End)
+            return result;
+        // This child is exhausted: advance the shared cursor past it
+        // (first puller to notice wins; losers just reload) and keep
+        // pulling from the next one.
+        current_.compare_exchange_strong(i, i + 1,
+                                         std::memory_order_acq_rel);
+        i = current_.load(std::memory_order_acquire);
+    }
+    return Pull::End;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<TraceSource>
+openTraceSource(const std::string &path, IngestMode mode,
+                uint32_t file_id, std::string *error)
+{
+    obs::SpanScope span(obs::Stage::SourceOpen);
+
+    if (mode != IngestMode::Stream) {
+        std::string reader_error;
+        auto reader =
+            TraceFileReader::open(path, mode, &reader_error);
+        if (reader) {
+            return std::make_unique<V2FileSource>(
+                std::shared_ptr<const TraceFileReader>(
+                    std::move(reader)),
+                path, file_id);
+        }
+        if (mode == IngestMode::Mmap) {
+            // Validation errors come without the path; I/O errors
+            // from open() already carry it.
+            if (error) {
+                *error = reader_error.rfind(path, 0) == 0
+                             ? reader_error
+                             : path + ": " + reader_error;
+            }
+            return nullptr;
+        }
+        // Auto: v1 files and unmappable streams fall through to the
+        // sequential loader without complaint.
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = path + ": cannot open";
+        return nullptr;
+    }
+    in.seekg(0, std::ios::end);
+    const std::streamoff len = in.tellg();
+    in.seekg(0);
+    bool ok = false;
+    LoadedTraces loaded = loadTraces(in, &ok);
+    if (!ok) {
+        if (error)
+            *error = path + ": not a readable PMTest trace file";
+        return nullptr;
+    }
+    return std::make_unique<StreamTraceSource>(
+        path, file_id, std::move(loaded),
+        len > 0 ? static_cast<uint64_t>(len) : 0);
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+shardTraceSource(std::shared_ptr<const TraceFileReader> reader,
+                 const std::string &path, uint32_t file_id,
+                 size_t shards)
+{
+    const size_t count = reader->traceCount();
+    const size_t n =
+        std::max<size_t>(1, std::min(shards, std::max<size_t>(count, 1)));
+
+    uint64_t total_bytes = 0;
+    for (size_t i = 0; i < count; i++)
+        total_bytes += reader->frameBytes(i);
+
+    // Byte-balanced contiguous partition: shard s ends where the
+    // cumulative frame bytes first reach s+1 shares of the total, so
+    // a file of one huge trace and many small ones still splits into
+    // comparable decode workloads.
+    std::vector<std::unique_ptr<TraceSource>> out;
+    out.reserve(n);
+    size_t begin = 0;
+    uint64_t cum = 0;
+    for (size_t s = 0; s < n; s++) {
+        size_t end = begin;
+        if (s + 1 == n) {
+            end = count;
+        } else {
+            const uint64_t target = total_bytes * (s + 1) / n;
+            while (end < count && (cum < target || end == begin)) {
+                cum += reader->frameBytes(end);
+                end++;
+            }
+            // Leave at least one trace per remaining shard.
+            const size_t remaining_shards = n - s - 1;
+            end = std::min(end, count - remaining_shards);
+            end = std::max(end, begin);
+        }
+        out.push_back(std::make_unique<V2FileSource>(
+            reader, path, file_id, begin, end, s, n));
+        begin = end;
+    }
+    return out;
+}
+
+} // namespace pmtest

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * TraceSource: the one abstraction every ingest path feeds through.
+ *
+ * The offline/online checking pipeline used to have three hand-wired
+ * entry paths — the v1 sequential stream loader, the v2 mmap reader
+ * with its private decoder team, and the in-process capture sink —
+ * each with its own arena-lifetime and backpressure plumbing. A
+ * TraceSource turns all of them into one shape: a thread-safe
+ * provider that yields batches of decoded, identity-stamped traces,
+ * so `core::ingest(TraceSource&, EnginePool&, …)` is the *only*
+ * decoder-team/backpressure implementation in the repo.
+ *
+ * Identity model: every yielded trace carries a stable
+ * (fileId, traceId) pair — fileId assigned per input source in input
+ * order, traceId recorded by the producer — and every trace co-owns
+ * the string arena its SourceLocations point into. Because
+ * `Report::canonicalize()` sorts findings by (fileId, traceId,
+ * opIndex), any assignment of sources/shards to decoder threads
+ * produces a byte-identical merged report.
+ *
+ * Implementations:
+ *  - V2FileSource      whole v2 file, or a byte-range shard of one
+ *                      ([begin, end) slice of the index footer);
+ *                      decode happens on the *pulling* thread, so N
+ *                      pullers decode N traces concurrently.
+ *  - StreamTraceSource pre-loaded traces from the sequential loader
+ *                      (the only reader of legacy v1 files).
+ *  - CaptureTraceSource the in-process capture sink: the program
+ *                      under test pushes sealed traces, the ingest
+ *                      pulls them — the online path rides the same
+ *                      ingest loop as the offline one.
+ *  - MultiTraceSource  an ordered set of child sources (multiple
+ *                      files, or the shards of one file), drained in
+ *                      order with cross-child pull parallelism.
+ */
+
+#ifndef PMTEST_TRACE_TRACE_SOURCE_HH
+#define PMTEST_TRACE_TRACE_SOURCE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "trace/trace_reader.hh"
+
+namespace pmtest
+{
+
+/**
+ * Where and why a source failed to yield a trace: the file (or
+ * source name), the index of the offending trace within that file,
+ * and a human-readable reason. pmtest_check prints these verbatim.
+ */
+struct SourceError
+{
+    std::string file;
+    size_t traceIndex = 0;
+    std::string message;
+
+    /** Render as "file: trace #N: message". */
+    std::string str() const;
+};
+
+/**
+ * A thread-safe provider of decoded traces. pull() may be called
+ * concurrently from any number of decoder threads; each call claims
+ * and decodes a disjoint batch.
+ */
+class TraceSource
+{
+  public:
+    /** traceCount() value when the total is not known up front. */
+    static constexpr size_t kUnknownCount = ~size_t{0};
+
+    /** Outcome of one pull() call. */
+    enum class Pull
+    {
+        Items, ///< @p out received at least one trace
+        End,   ///< the source is exhausted (nothing appended)
+        Error, ///< a trace failed to decode; *error describes it
+    };
+
+    virtual ~TraceSource() = default;
+
+    /** Human-readable source name (path, "path[2/4]", "<capture>"). */
+    virtual const std::string &name() const = 0;
+
+    /** Traces this source will yield, or kUnknownCount. */
+    virtual size_t traceCount() const = 0;
+
+    /** Total PM ops, when an index knows it up front (else 0). */
+    virtual uint64_t totalOps() const = 0;
+
+    /** Bytes mapped/buffered behind this source (0 when n/a). */
+    virtual uint64_t sizeBytes() const = 0;
+
+    /** True when every byte behind this source is mmap-backed. */
+    virtual bool mmapBacked() const = 0;
+
+    /** Number of leaf sources (composites sum their children). */
+    virtual size_t sourceCount() const { return 1; }
+
+    /**
+     * Claim and decode up to @p max traces into @p out (appended).
+     * Every yielded trace has its fileId stamped and its string
+     * arena attached. Blocking is implementation-defined: file
+     * sources never block; the capture source blocks until traces
+     * arrive or the producer closes it.
+     */
+    virtual Pull pull(size_t max, std::vector<Trace> *out,
+                      SourceError *error) = 0;
+};
+
+/**
+ * A whole v2 indexed file, or a [begin, end) index slice of one
+ * (a byte-range shard). Shards of the same file share one reader —
+ * one mapping, one validation — via the shared_ptr. pull() claims a
+ * run of indices from an atomic cursor and decodes outside any lock,
+ * so concurrent pullers decode different traces in parallel.
+ */
+class V2FileSource final : public TraceSource
+{
+  public:
+    /** Source over the whole of @p reader. */
+    V2FileSource(std::shared_ptr<const TraceFileReader> reader,
+                 std::string path, uint32_t file_id);
+
+    /**
+     * Source over index entries [begin, end) of @p reader; the name
+     * is "path[shard/shards]" when @p shards > 1.
+     */
+    V2FileSource(std::shared_ptr<const TraceFileReader> reader,
+                 std::string path, uint32_t file_id, size_t begin,
+                 size_t end, size_t shard, size_t shards);
+
+    const std::string &name() const override { return name_; }
+    size_t traceCount() const override { return end_ - begin_; }
+    uint64_t totalOps() const override;
+    uint64_t sizeBytes() const override;
+    bool mmapBacked() const override { return reader_->mmapBacked(); }
+
+    Pull pull(size_t max, std::vector<Trace> *out,
+              SourceError *error) override;
+
+    /** First index (inclusive) of this source's slice. */
+    size_t begin() const { return begin_; }
+
+    /** One-past-last index of this source's slice. */
+    size_t end() const { return end_; }
+
+  private:
+    std::shared_ptr<const TraceFileReader> reader_;
+    std::string path_; ///< bare file path (for SourceError)
+    std::string name_; ///< path, possibly with a [shard/shards] tag
+    uint32_t fileId_;
+    size_t begin_;
+    size_t end_;
+    std::atomic<size_t> cursor_;
+};
+
+/**
+ * Pre-loaded traces from the sequential stream loader — the adapter
+ * that keeps legacy v1 files (and unmappable streams) on the unified
+ * ingest path. Decode happened at construction; pull() just hands
+ * out disjoint runs under a lock.
+ */
+class StreamTraceSource final : public TraceSource
+{
+  public:
+    /**
+     * Takes ownership of @p loaded (traces + their shared arena) as
+     * produced by loadTracesFromFile. @p file_bytes is the on-disk
+     * size, for stats.
+     */
+    StreamTraceSource(std::string path, uint32_t file_id,
+                      LoadedTraces loaded, uint64_t file_bytes);
+
+    const std::string &name() const override { return name_; }
+    size_t traceCount() const override { return traces_.size(); }
+    uint64_t totalOps() const override { return totalOps_; }
+    uint64_t sizeBytes() const override { return fileBytes_; }
+    bool mmapBacked() const override { return false; }
+
+    Pull pull(size_t max, std::vector<Trace> *out,
+              SourceError *error) override;
+
+  private:
+    std::string name_;
+    std::vector<Trace> traces_;
+    uint64_t totalOps_ = 0;
+    uint64_t fileBytes_ = 0;
+    std::mutex mutex_;
+    size_t cursor_ = 0; ///< guarded by mutex_
+};
+
+/**
+ * The in-process capture sink as a TraceSource: the program under
+ * test pushes sealed traces (install sink() via pmtestSetTraceSink),
+ * the checking side pulls them through the same ingest() loop the
+ * offline paths use. pull() blocks until traces arrive or close().
+ */
+class CaptureTraceSource final : public TraceSource
+{
+  public:
+    explicit CaptureTraceSource(std::string name = "<capture>",
+                                uint32_t file_id = 0);
+
+    /** Enqueue one sealed trace (producer side; any thread). */
+    void push(Trace &&trace);
+
+    /** No more traces will arrive; blocked pulls drain and end. */
+    void close();
+
+    /** A sink callable suitable for pmtestSetTraceSink(). */
+    std::function<void(Trace &&)> sink();
+
+    const std::string &name() const override { return name_; }
+    size_t traceCount() const override { return kUnknownCount; }
+    uint64_t totalOps() const override { return 0; }
+    uint64_t sizeBytes() const override { return 0; }
+    bool mmapBacked() const override { return false; }
+
+    Pull pull(size_t max, std::vector<Trace> *out,
+              SourceError *error) override;
+
+  private:
+    std::string name_;
+    uint32_t fileId_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Trace> queue_; ///< guarded by mutex_
+    size_t head_ = 0;          ///< first unpulled element
+    bool closed_ = false;
+};
+
+/**
+ * An ordered set of child sources drained front to back. Identity
+ * comes from the children (each stamps its own fileId), so the
+ * composite only routes pulls: concurrent pullers drain the current
+ * child together and roll over to the next when it ends — shards and
+ * multi-file sets parallelize across children with no barrier.
+ */
+class MultiTraceSource final : public TraceSource
+{
+  public:
+    explicit MultiTraceSource(
+        std::vector<std::unique_ptr<TraceSource>> children);
+
+    const std::string &name() const override { return name_; }
+    size_t traceCount() const override;
+    uint64_t totalOps() const override;
+    uint64_t sizeBytes() const override;
+    bool mmapBacked() const override;
+    size_t sourceCount() const override;
+
+    /** The child sources, for per-source reporting. */
+    const std::vector<std::unique_ptr<TraceSource>> &
+    children() const
+    {
+        return children_;
+    }
+
+    Pull pull(size_t max, std::vector<Trace> *out,
+              SourceError *error) override;
+
+  private:
+    std::vector<std::unique_ptr<TraceSource>> children_;
+    std::string name_;
+    std::atomic<size_t> current_{0}; ///< first non-exhausted child
+};
+
+/**
+ * Open one trace file as a source, stamping its traces with
+ * @p file_id:
+ *  - IngestMode::Mmap   — require the v2 indexed reader (error on v1
+ *    or unmappable files);
+ *  - IngestMode::Stream — force the sequential loader (v1 and v2);
+ *  - IngestMode::Auto   — indexed reader when the file has a v2
+ *    index, silent fallback to the stream loader otherwise.
+ * @return nullptr with *error set when the file cannot be read.
+ */
+std::unique_ptr<TraceSource>
+openTraceSource(const std::string &path, IngestMode mode,
+                uint32_t file_id, std::string *error);
+
+/**
+ * Split @p reader's index into @p shards byte-balanced contiguous
+ * slices (frame-byte partitioning, so one huge trace does not leave
+ * its shard siblings idle). Returns fewer sources than requested
+ * when the file has fewer traces than shards; at least one source is
+ * returned even for an empty file.
+ */
+std::vector<std::unique_ptr<TraceSource>>
+shardTraceSource(std::shared_ptr<const TraceFileReader> reader,
+                 const std::string &path, uint32_t file_id,
+                 size_t shards);
+
+} // namespace pmtest
+
+#endif // PMTEST_TRACE_TRACE_SOURCE_HH

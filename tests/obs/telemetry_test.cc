@@ -578,18 +578,17 @@ TEST(TelemetryTest, PipelineExportCoversEveryStage)
 
     {
         std::string error;
-        auto reader =
-            TraceFileReader::open(path, IngestMode::Mmap, &error);
-        ASSERT_NE(reader, nullptr) << error;
+        auto source =
+            openTraceSource(path, IngestMode::Mmap, 0, &error);
+        ASSERT_NE(source, nullptr) << error;
         core::PoolOptions options;
         options.workers = 2;
         core::EnginePool pool(options);
         core::IngestOptions ingest;
         ingest.decoders = 2;
         ingest.batch = 4;
-        core::ArenaSink arenas;
         ASSERT_TRUE(
-            core::ingestTraces(*reader, pool, ingest, nullptr, &arenas));
+            core::ingest(*source, pool, ingest, nullptr, nullptr));
         core::Report merged = pool.results();
         merged.canonicalize();
     }

@@ -302,28 +302,29 @@ TEST(TraceReaderTest, ParallelIngestMatchesSerialByteForByte)
         << "workload must produce findings for the comparison to "
            "mean anything";
 
-    // Parallel pipeline: mmap reader, 4 decoders, 4 pool workers.
+    // Parallel pipeline: mmap source, 4 decoders, 4 pool workers.
+    // The reports own the trace arenas, so nothing else needs to
+    // outlive them.
     core::Report parallel;
-    core::ArenaSink arenas;
     {
         std::string error;
-        auto reader = TraceFileReader::open(v2_path,
-                                            IngestMode::Mmap,
-                                            &error);
-        ASSERT_TRUE(reader) << error;
+        auto source =
+            openTraceSource(v2_path, IngestMode::Mmap, 0, &error);
+        ASSERT_TRUE(source) << error;
         core::PoolOptions options;
         options.workers = 4;
         core::EnginePool pool(options);
         core::IngestOptions ingest;
         ingest.decoders = 4;
         core::IngestStats stats;
-        ASSERT_TRUE(core::ingestTraces(*reader, pool, ingest, &stats,
-                                       &arenas));
+        ASSERT_TRUE(
+            core::ingest(*source, pool, ingest, &stats, nullptr));
         parallel = pool.results();
         parallel.canonicalize();
 
         EXPECT_TRUE(stats.active);
         EXPECT_TRUE(stats.mmapBacked);
+        EXPECT_EQ(stats.sources, 1u);
         EXPECT_EQ(stats.tracesDecoded, traces.size());
         EXPECT_GT(stats.bytesMapped, 0u);
     }

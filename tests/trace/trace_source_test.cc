@@ -1,0 +1,388 @@
+/**
+ * @file
+ * TraceSource tests: identity stamping and arena attachment across
+ * every source kind, byte-balanced shard partitioning, the v1 stream
+ * fallback, the blocking capture source, the multi-source composite,
+ * decode-error attribution (file + trace index), and the byte-
+ * identity of sharded / multi-file ingest against the single-source
+ * run — including a mixed v1+v2 input set against checking each file
+ * separately and merging.
+ */
+
+#include "trace/trace_source.hh"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine_pool.hh"
+#include "core/trace_ingest.hh"
+#include "trace/trace_io.hh"
+
+namespace pmtest
+{
+namespace
+{
+
+std::string
+tmpPath(const char *tag)
+{
+    return "/tmp/pmtest_trace_source_test_" +
+           std::to_string(getpid()) + "_" + tag + ".bin";
+}
+
+Trace
+sampleTrace(uint64_t id, uint32_t thread_id, size_t rounds)
+{
+    Trace t(id, thread_id);
+    for (size_t i = 0; i < rounds; i++) {
+        const uint64_t addr = 0x1000 + 64 * ((id * 7 + i) % 256);
+        t.append(PmOp::write(addr, 64, SourceLocation("wl.cc", 100)));
+        // Every third round skips the writeback: a FAIL finding, so
+        // the byte-identity tests compare non-empty reports.
+        if (i % 3 != 0)
+            t.append(PmOp::clwb(addr, 64,
+                                SourceLocation("wl.cc", 101)));
+        t.append(PmOp::sfence(SourceLocation("wl.cc", 102)));
+        t.append(PmOp::isPersist(addr, 64,
+                                 SourceLocation("chk.cc", 7)));
+    }
+    return t;
+}
+
+std::vector<Trace>
+sampleTraces(size_t count, size_t rounds)
+{
+    std::vector<Trace> traces;
+    for (size_t i = 0; i < count; i++)
+        traces.push_back(
+            sampleTrace(i, static_cast<uint32_t>(i % 3), rounds));
+    return traces;
+}
+
+/** Drain @p source completely; fail the test on a source error. */
+void
+drain(TraceSource &source, std::vector<Trace> *out,
+      size_t pull_size = 4)
+{
+    for (;;) {
+        SourceError error;
+        const auto result = source.pull(pull_size, out, &error);
+        if (result == TraceSource::Pull::End)
+            return;
+        ASSERT_NE(result, TraceSource::Pull::Error) << error.str();
+    }
+}
+
+/** Canonical report of one ingest() run over @p source. */
+std::string
+checkVerdict(TraceSource &source, size_t decoders, size_t workers)
+{
+    core::PoolOptions options;
+    options.workers = workers;
+    core::EnginePool pool(options);
+    core::IngestOptions ingest_options;
+    ingest_options.decoders = decoders;
+    ingest_options.batch = 4;
+    SourceError error;
+    EXPECT_TRUE(core::ingest(source, pool, ingest_options, nullptr,
+                             &error))
+        << error.str();
+    core::Report merged = pool.results();
+    merged.canonicalize();
+    return merged.str();
+}
+
+TEST(TraceSourceTest, V2FileSourceStampsIdentityAndArena)
+{
+    const auto traces = sampleTraces(6, 3);
+    const std::string path = tmpPath("v2_identity");
+    ASSERT_TRUE(saveTracesToFile(path, traces, TraceFormat::V2));
+
+    std::string error;
+    auto source = openTraceSource(path, IngestMode::Auto, 7, &error);
+    ASSERT_TRUE(source) << error;
+    EXPECT_EQ(source->traceCount(), traces.size());
+    EXPECT_EQ(source->sourceCount(), 1u);
+    EXPECT_GT(source->totalOps(), 0u);
+    EXPECT_GT(source->sizeBytes(), 0u);
+
+    std::vector<Trace> out;
+    drain(*source, &out);
+    ASSERT_EQ(out.size(), traces.size());
+    for (const auto &trace : out) {
+        EXPECT_EQ(trace.fileId(), 7u);
+        EXPECT_TRUE(trace.arena() != nullptr)
+            << "decoded traces must co-own their string arena";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceSourceTest, StreamFallbackReadsV1Files)
+{
+    const auto traces = sampleTraces(4, 2);
+    const std::string path = tmpPath("v1_fallback");
+    ASSERT_TRUE(saveTracesToFile(path, traces, TraceFormat::V1));
+
+    std::string error;
+    auto source = openTraceSource(path, IngestMode::Auto, 3, &error);
+    ASSERT_TRUE(source) << error;
+    EXPECT_FALSE(source->mmapBacked());
+    EXPECT_EQ(source->traceCount(), traces.size());
+    EXPECT_GT(source->sizeBytes(), 0u);
+
+    std::vector<Trace> out;
+    drain(*source, &out);
+    ASSERT_EQ(out.size(), traces.size());
+    for (const auto &trace : out)
+        EXPECT_EQ(trace.fileId(), 3u);
+
+    // Mmap mode must reject the same v1 file with a path-qualified
+    // error instead of silently falling back.
+    error.clear();
+    auto strict = openTraceSource(path, IngestMode::Mmap, 0, &error);
+    EXPECT_FALSE(strict);
+    EXPECT_NE(error.find(path), std::string::npos) << error;
+
+    std::remove(path.c_str());
+}
+
+TEST(TraceSourceTest, ShardsPartitionTheIndexExactly)
+{
+    const auto traces = sampleTraces(11, 3);
+    const std::string path = tmpPath("shard_partition");
+    ASSERT_TRUE(saveTracesToFile(path, traces, TraceFormat::V2));
+
+    std::string error;
+    std::shared_ptr<const TraceFileReader> reader =
+        TraceFileReader::open(path, IngestMode::Auto, &error);
+    ASSERT_TRUE(reader) << error;
+
+    for (const size_t shards : {size_t{1}, size_t{2}, size_t{3},
+                                size_t{7}, size_t{11}, size_t{40}}) {
+        auto slices = shardTraceSource(reader, path, 0, shards);
+        ASSERT_FALSE(slices.empty());
+        EXPECT_LE(slices.size(), std::min(shards, traces.size()));
+
+        // Contiguous, in order, covering [0, count) exactly, and no
+        // empty shard (the factory clamps instead).
+        size_t at = 0;
+        uint64_t shard_bytes = 0;
+        for (const auto &slice : slices) {
+            const auto *v2 =
+                dynamic_cast<const V2FileSource *>(slice.get());
+            ASSERT_NE(v2, nullptr);
+            EXPECT_EQ(v2->begin(), at);
+            EXPECT_GT(v2->end(), v2->begin());
+            at = v2->end();
+            shard_bytes += slice->sizeBytes();
+        }
+        EXPECT_EQ(at, traces.size()) << shards << " shards";
+        // Shards account frame bytes only, so they sum to less than
+        // the whole file (header + index + footer excluded).
+        if (slices.size() > 1)
+            EXPECT_LT(shard_bytes, reader->sizeBytes());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceSourceTest, ShardNamesCarryTheSlice)
+{
+    const auto traces = sampleTraces(4, 2);
+    const std::string path = tmpPath("shard_names");
+    ASSERT_TRUE(saveTracesToFile(path, traces, TraceFormat::V2));
+
+    std::string error;
+    std::shared_ptr<const TraceFileReader> reader =
+        TraceFileReader::open(path, IngestMode::Auto, &error);
+    ASSERT_TRUE(reader) << error;
+    auto slices = shardTraceSource(reader, path, 0, 2);
+    ASSERT_EQ(slices.size(), 2u);
+    EXPECT_EQ(slices[0]->name(), path + "[1/2]");
+    EXPECT_EQ(slices[1]->name(), path + "[2/2]");
+    std::remove(path.c_str());
+}
+
+TEST(TraceSourceTest, ShardedIngestMatchesWholeFileByteForByte)
+{
+    const auto traces = sampleTraces(23, 5);
+    const std::string path = tmpPath("shard_verdict");
+    ASSERT_TRUE(saveTracesToFile(path, traces, TraceFormat::V2));
+
+    std::string error;
+    auto whole = openTraceSource(path, IngestMode::Auto, 0, &error);
+    ASSERT_TRUE(whole) << error;
+    const std::string reference = checkVerdict(*whole, 1, 0);
+    EXPECT_NE(reference.find("FAIL"), std::string::npos)
+        << "workload must produce findings for the comparison to "
+           "mean anything";
+
+    std::shared_ptr<const TraceFileReader> reader =
+        TraceFileReader::open(path, IngestMode::Auto, &error);
+    ASSERT_TRUE(reader) << error;
+    MultiTraceSource sharded(shardTraceSource(reader, path, 0, 4));
+    EXPECT_EQ(sharded.sourceCount(), 4u);
+    EXPECT_EQ(sharded.traceCount(), traces.size());
+    EXPECT_EQ(checkVerdict(sharded, 4, 4), reference);
+
+    std::remove(path.c_str());
+}
+
+TEST(TraceSourceTest, MixedV1V2SetMatchesPerFileCheckAndMerge)
+{
+    // Both files reuse trace ids 0..N-1, so the canonical order of
+    // the combined run genuinely depends on the fileId tiebreak.
+    const auto first = sampleTraces(7, 4);
+    const auto second = sampleTraces(5, 3);
+    const std::string v1_path = tmpPath("mixed_v1");
+    const std::string v2_path = tmpPath("mixed_v2");
+    ASSERT_TRUE(saveTracesToFile(v1_path, first, TraceFormat::V1));
+    ASSERT_TRUE(saveTracesToFile(v2_path, second, TraceFormat::V2));
+
+    // Reference: check each file separately (with its input-order
+    // fileId) and merge the reports.
+    std::string error;
+    core::Report reference;
+    {
+        auto a = openTraceSource(v1_path, IngestMode::Auto, 0,
+                                 &error);
+        ASSERT_TRUE(a) << error;
+        core::EnginePool pool(core::PoolOptions{});
+        SourceError source_error;
+        ASSERT_TRUE(core::ingest(*a, pool, core::IngestOptions{},
+                                 nullptr, &source_error))
+            << source_error.str();
+        reference.merge(pool.results());
+    }
+    {
+        auto b = openTraceSource(v2_path, IngestMode::Auto, 1,
+                                 &error);
+        ASSERT_TRUE(b) << error;
+        core::EnginePool pool(core::PoolOptions{});
+        SourceError source_error;
+        ASSERT_TRUE(core::ingest(*b, pool, core::IngestOptions{},
+                                 nullptr, &source_error))
+            << source_error.str();
+        reference.merge(pool.results());
+    }
+    reference.canonicalize();
+    EXPECT_GT(reference.failCount(), 0u);
+
+    // Combined run: one multi-source over both files, parallel
+    // decoders and workers.
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(
+        openTraceSource(v1_path, IngestMode::Auto, 0, &error));
+    ASSERT_TRUE(children.back()) << error;
+    children.push_back(
+        openTraceSource(v2_path, IngestMode::Auto, 1, &error));
+    ASSERT_TRUE(children.back()) << error;
+    MultiTraceSource combined(std::move(children));
+    EXPECT_EQ(combined.sourceCount(), 2u);
+    EXPECT_EQ(combined.traceCount(), first.size() + second.size());
+    EXPECT_EQ(checkVerdict(combined, 3, 4), reference.str());
+
+    std::remove(v1_path.c_str());
+    std::remove(v2_path.c_str());
+}
+
+TEST(TraceSourceTest, CaptureSourceBlocksUntilPushOrClose)
+{
+    CaptureTraceSource capture("<test-capture>", 9);
+
+    std::thread producer([&] {
+        for (uint64_t i = 0; i < 10; i++)
+            capture.push(sampleTrace(i, 0, 2));
+        capture.close();
+    });
+
+    std::vector<Trace> out;
+    for (;;) {
+        SourceError error;
+        const auto result = capture.pull(3, &out, &error);
+        if (result == TraceSource::Pull::End)
+            break;
+        ASSERT_EQ(result, TraceSource::Pull::Items);
+    }
+    producer.join();
+
+    ASSERT_EQ(out.size(), 10u);
+    for (const auto &trace : out)
+        EXPECT_EQ(trace.fileId(), 9u);
+    EXPECT_EQ(capture.traceCount(), TraceSource::kUnknownCount);
+
+    // A closed, drained source stays at End.
+    SourceError error;
+    EXPECT_EQ(capture.pull(3, &out, &error),
+              TraceSource::Pull::End);
+}
+
+TEST(TraceSourceTest, CaptureSinkFeedsIngest)
+{
+    CaptureTraceSource capture;
+    auto sink = capture.sink();
+
+    std::thread producer([&] {
+        for (uint64_t i = 0; i < 8; i++)
+            sink(sampleTrace(i, 0, 3));
+        capture.close();
+    });
+
+    const std::string verdict = checkVerdict(capture, 2, 2);
+    producer.join();
+    EXPECT_NE(verdict.find("FAIL"), std::string::npos);
+}
+
+TEST(TraceSourceTest, DecodeErrorNamesFileAndTraceIndex)
+{
+    const auto traces = sampleTraces(3, 2);
+    const std::string path = tmpPath("decode_error");
+    ASSERT_TRUE(saveTracesToFile(path, traces, TraceFormat::V2));
+
+    // Corrupt the first body's op_count (body offset 12, after the
+    // 8-byte frame length): frame chaining and the index CRC still
+    // validate, but decode cross-checks against the index and fails.
+    {
+        std::fstream f(path, std::ios::binary | std::ios::in |
+                                 std::ios::out);
+        f.seekp(static_cast<std::streamoff>(TraceWire::kHeaderBytes +
+                                            8 + 12));
+        const char bogus = 0x5a;
+        f.write(&bogus, 1);
+    }
+
+    std::string open_error;
+    auto source =
+        openTraceSource(path, IngestMode::Auto, 0, &open_error);
+    ASSERT_TRUE(source) << open_error;
+
+    core::EnginePool pool(core::PoolOptions{});
+    SourceError error;
+    EXPECT_FALSE(core::ingest(*source, pool, core::IngestOptions{},
+                              nullptr, &error));
+    EXPECT_EQ(error.file, path);
+    EXPECT_EQ(error.traceIndex, 0u);
+    EXPECT_NE(error.str().find(path + ": trace #0: "),
+              std::string::npos)
+        << error.str();
+
+    std::remove(path.c_str());
+}
+
+TEST(TraceSourceTest, SourceErrorRendersFileAndIndex)
+{
+    SourceError error;
+    error.file = "set.trace";
+    error.traceIndex = 12;
+    error.message = "corrupt trace body (decode failed)";
+    EXPECT_EQ(error.str(), "set.trace: trace #12: corrupt trace "
+                           "body (decode failed)");
+}
+
+} // namespace
+} // namespace pmtest
