@@ -73,6 +73,9 @@ class ArmModel final : public PersistencyModel
                             const ShadowMemory &shadow,
                             std::string *why) const override;
 
+    OpType repairFlushOp() const override { return OpType::DcCvap; }
+    OpType repairFenceOp() const override { return OpType::Dsb; }
+
   private:
     /** Emit the DC CVAP performance WARNs (cold path; out of line). */
     static void reportCvapWarns(const ClwbScan &scan, const PmOp &op,

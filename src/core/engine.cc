@@ -69,6 +69,9 @@ Engine::check(const Trace &trace)
                     " unterminated transaction(s)";
         f.traceId = trace.id();
         f.opIndex = trace.size();
+        f.hint.action = FixAction::InsertTxEnd;
+        f.hint.opIndex = trace.size();
+        f.hint.count = static_cast<uint32_t>(state_.txDepth);
         report.add(std::move(f));
     }
 
@@ -149,6 +152,10 @@ Engine::handleOp(M &model, const PmOp &op, size_t index,
                         "(missing TX_ADD)";
             f.loc = op.loc;
             f.opIndex = index;
+            f.hint.action = FixAction::InsertTxAdd;
+            f.hint.addr = range.addr;
+            f.hint.size = range.size;
+            f.hint.opIndex = index;
             report.add(std::move(f));
         }
         if (state.txCheckActive)
@@ -211,6 +218,10 @@ Engine::handleTxEvent(const PmOp &op, size_t index, TraceState &state,
                         "transaction";
             f.loc = op.loc;
             f.opIndex = index;
+            f.hint.action = FixAction::DeleteTxAdd;
+            f.hint.addr = range.addr;
+            f.hint.size = range.size;
+            f.hint.opIndex = index;
             report.add(std::move(f));
         }
         state.logTree.insert(range, op.loc);
@@ -240,6 +251,7 @@ Engine::handleChecker(const M &model, const PmOp &op, size_t index,
             f.message = why;
             f.loc = op.loc;
             f.opIndex = index;
+            f.hint = model.durabilityHint(range, state.shadow, index);
             report.add(std::move(f));
         }
         return;
@@ -258,6 +270,7 @@ Engine::handleChecker(const M &model, const PmOp &op, size_t index,
             f.message = why;
             f.loc = op.loc;
             f.opIndex = index;
+            f.hint = model.orderingHint(a, b, state.shadow, index);
             report.add(std::move(f));
         }
         return;
@@ -288,6 +301,9 @@ Engine::handleChecker(const M &model, const PmOp &op, size_t index,
             f.message = "transaction still open at TX_CHECKER_END";
             f.loc = op.loc;
             f.opIndex = index;
+            f.hint.action = FixAction::InsertTxEnd;
+            f.hint.opIndex = index;
+            f.hint.count = static_cast<uint32_t>(state.txDepth);
             report.add(std::move(f));
         }
 
@@ -306,6 +322,8 @@ Engine::handleChecker(const M &model, const PmOp &op, size_t index,
                             why + " (write at " + write_loc.str() + ")";
                 f.loc = op.loc;
                 f.opIndex = index;
+                f.hint = model.durabilityHint(range, state.shadow,
+                                              index);
                 report.add(std::move(f));
             }
         }

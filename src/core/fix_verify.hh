@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hint verification: the replay half of the detect→repair→verify
+ * loop. A synthesized FixHint is only a proposal; verifyHints applies
+ * each one to its trace with the trace-level patcher and replays the
+ * patched trace through the same Engine that produced the finding. A
+ * hint earns hint.verified when the original finding disappears and
+ * the patch introduces no new findings — anything weaker (finding
+ * merely moved, a FAIL traded for a WARN) is rejected.
+ */
+
+#ifndef PMTEST_CORE_FIX_VERIFY_HH
+#define PMTEST_CORE_FIX_VERIFY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/persistency_model.hh"
+#include "core/report.hh"
+#include "trace/trace.hh"
+#include "trace/trace_source.hh"
+
+namespace pmtest
+{
+class JsonWriter;
+}
+
+namespace pmtest::core
+{
+
+/** Outcome tallies of one verifyHints pass. */
+struct HintVerifyStats
+{
+    size_t candidates = 0;   ///< findings carrying a valid hint
+    size_t verified = 0;     ///< patched replay removed the finding
+    size_t rejected = 0;     ///< replay kept it or added new findings
+    size_t missingTrace = 0; ///< finding's trace was not supplied
+};
+
+/**
+ * Verify every hinted finding in @p report by patched replay through
+ * a fresh Engine of @p kind. Findings are matched to @p traces by
+ * their (fileId, traceId) identity — stampIdentity() must have run
+ * (Engine::check always does). Sets hint.verified on the findings
+ * that pass; leaves everything else untouched.
+ */
+HintVerifyStats verifyHints(Report &report,
+                            const std::vector<Trace> &traces,
+                            ModelKind kind);
+
+/**
+ * Convenience overload: drain @p source (e.g. a re-opened input
+ * file set) and verify against the drained traces.
+ * @param error receives the first pull failure, if any; verification
+ *        then proceeds against whatever was drained.
+ */
+HintVerifyStats verifyHints(Report &report, TraceSource &source,
+                            ModelKind kind, SourceError *error = nullptr);
+
+/**
+ * Append the `pmtest-fixhints-v1` document — one record per hinted
+ * finding (action, target range, ops, anchor, verified flag) plus the
+ * pass tallies — as an object value to @p w.
+ */
+void writeFixHintsJson(JsonWriter &w, const Report &report,
+                       const HintVerifyStats &stats, ModelKind kind);
+
+} // namespace pmtest::core
+
+#endif // PMTEST_CORE_FIX_VERIFY_HH

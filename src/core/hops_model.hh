@@ -68,6 +68,22 @@ class HopsModel final : public PersistencyModel
     bool checkOrderedBefore(const AddrRange &a, const AddrRange &b,
                             const ShadowMemory &shadow,
                             std::string *why) const override;
+
+    // HOPS has no explicit writeback; the dfence stands in wherever a
+    // generic repair would insert one (never reached — both hint
+    // synthesizers are overridden below).
+    OpType repairFlushOp() const override { return OpType::Dfence; }
+    OpType repairFenceOp() const override { return OpType::Dfence; }
+
+    /** Durability repair: a dfence in front of the checker. */
+    FixHint durabilityHint(const AddrRange &range,
+                           const ShadowMemory &shadow,
+                           size_t op_index) const override;
+
+    /** Ordering repair: an ofence in front of B's first write. */
+    FixHint orderingHint(const AddrRange &a, const AddrRange &b,
+                         const ShadowMemory &shadow,
+                         size_t op_index) const override;
 };
 
 } // namespace pmtest::core

@@ -26,6 +26,50 @@ PersistencyModel::checkPersisted(const AddrRange &range,
     return false;
 }
 
+FixHint
+PersistencyModel::durabilityHint(const AddrRange &range,
+                                 const ShadowMemory &shadow,
+                                 size_t op_index) const
+{
+    FixHint hint;
+    const AddrRange span = shadow.unflushedSpan(range);
+    if (span.empty()) {
+        // Every pending byte has a writeback in flight: the missing
+        // piece is only the completing fence.
+        hint.action = FixAction::InsertFence;
+    } else {
+        hint.action = FixAction::InsertFlushFence;
+        hint.addr = span.addr;
+        hint.size = span.size;
+    }
+    hint.opIndex = op_index;
+    hint.flushOp = repairFlushOp();
+    hint.fenceOp = repairFenceOp();
+    return hint;
+}
+
+FixHint
+PersistencyModel::orderingHint(const AddrRange &a, const AddrRange &b,
+                               const ShadowMemory &shadow,
+                               size_t op_index) const
+{
+    (void)shadow;
+    FixHint hint;
+    hint.action = FixAction::InsertOrdering;
+    hint.addr = a.addr;
+    hint.size = a.size;
+    hint.addrB = b.addr;
+    hint.sizeB = b.size;
+    hint.opIndex = op_index;
+    hint.flushOp = repairFlushOp();
+    hint.fenceOp = repairFenceOp();
+    // Strict ordering requires A durable before B's write, not just
+    // separated from it; the patcher materializes (or relocates) the
+    // writeback of A as needed.
+    hint.withFlush = true;
+    return hint;
+}
+
 void
 PersistencyModel::reportMalformed(const PmOp &op, Report &report,
                                   size_t op_index, const char *model_name)

@@ -67,6 +67,35 @@ class PersistencyModel
                        const ShadowMemory &shadow,
                        std::string *why) const = 0;
 
+    /** The writeback op this model's repairs insert. */
+    virtual OpType repairFlushOp() const = 0;
+
+    /** The completing-fence op this model's repairs insert. */
+    virtual OpType repairFenceOp() const = 0;
+
+    /**
+     * Repair proposal for a failed checkPersisted over @p range at
+     * the checker op @p op_index. Default (strict models): a fence
+     * alone when every pending byte already has a writeback in
+     * flight, otherwise writeback + fence over the unflushed span —
+     * inserted immediately before the checker.
+     */
+    virtual FixHint durabilityHint(const AddrRange &range,
+                                   const ShadowMemory &shadow,
+                                   size_t op_index) const;
+
+    /**
+     * Repair proposal for a failed checkOrderedBefore(@p a, @p b) at
+     * the checker op @p op_index. Default (strict models): make A
+     * durable before B's first write — writeback of A plus a fence,
+     * placed by the patcher in front of that write (withFlush lets
+     * the patcher skip/retire writebacks as needed). Epoch-based
+     * models (HOPS) override with a fence-only repair.
+     */
+    virtual FixHint orderingHint(const AddrRange &a, const AddrRange &b,
+                                 const ShadowMemory &shadow,
+                                 size_t op_index) const;
+
   protected:
     /** Helper for apply(): record a Malformed finding. */
     static void

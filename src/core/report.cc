@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "obs/telemetry.hh"
+#include "util/logging.hh"
 
 namespace pmtest::core
 {
@@ -12,6 +13,9 @@ namespace pmtest::core
 const char *
 findingKindName(FindingKind kind)
 {
+    // No default and no fallthrough return: -Wswitch makes the
+    // compiler reject any FindingKind this switch does not name, so a
+    // new kind can never render as "?".
     switch (kind) {
       case FindingKind::NotPersisted: return "not-persisted";
       case FindingKind::NotOrdered: return "not-ordered";
@@ -23,7 +27,7 @@ findingKindName(FindingKind kind)
       case FindingKind::DuplicateLog: return "duplicate-log";
       case FindingKind::Malformed: return "malformed-trace";
     }
-    return "?";
+    panic("unknown FindingKind");
 }
 
 std::string
@@ -36,7 +40,25 @@ Finding::str() const
     out += message;
     out += " @ ";
     out += loc.str();
+    // The (fileId, traceId, opIndex) identity: without it, findings
+    // from multi-file or sharded runs cannot be attributed to an
+    // input trace.
+    out += " [f";
+    out += std::to_string(fileId);
+    out += ":t";
+    out += std::to_string(traceId);
+    out += ":op";
+    out += std::to_string(opIndex);
+    out += "]";
     return out;
+}
+
+void
+Report::add(Finding finding)
+{
+    if (finding.hint.valid())
+        obs::count(obs::Counter::HintsSynthesized);
+    findings_.push_back(std::move(finding));
 }
 
 size_t
@@ -155,12 +177,12 @@ Report::summary() const
 std::string
 Report::summaryStr() const
 {
+    const auto lines = summary();
     std::string out = "summary: " + std::to_string(failCount()) +
                       " FAIL, " + std::to_string(warnCount()) +
-                      " WARN across " +
-                      std::to_string(summary().size()) +
+                      " WARN across " + std::to_string(lines.size()) +
                       " distinct sites\n";
-    for (const auto &line : summary()) {
+    for (const auto &line : lines) {
         out += "  ";
         out += line.severity == Severity::Fail ? "FAIL" : "WARN";
         out += "(";

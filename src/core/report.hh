@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/fix_hint.hh"
 #include "util/source_location.hh"
 
 namespace pmtest::core
@@ -56,7 +57,16 @@ struct Finding
     uint32_t fileId = 0; ///< which input source the trace came from
     size_t opIndex = 0; ///< index of the offending op within the trace
 
-    /** Render as "FAIL(kind) message @ file:line". */
+    /**
+     * Machine-readable repair proposal, synthesized by the emitting
+     * check when it knows the mechanical fix (hint.valid() is false
+     * for Malformed and other unfixable findings). Only trustworthy
+     * once core::verifyHints has set hint.verified by replaying the
+     * patched trace.
+     */
+    FixHint hint{};
+
+    /** Render as "FAIL(kind) message @ file:line [fN:tM:opK]". */
     std::string str() const;
 };
 
@@ -73,11 +83,14 @@ class Report
     {
     }
 
-    /** Record a finding. */
-    void add(Finding finding) { findings_.push_back(std::move(finding)); }
+    /** Record a finding (counts synthesized fix hints as it goes). */
+    void add(Finding finding);
 
     /** All findings, in detection order. */
     const std::vector<Finding> &findings() const { return findings_; }
+
+    /** Mutable findings, for the hint-verification pass. */
+    std::vector<Finding> &mutableFindings() { return findings_; }
 
     /** Number of FAIL findings. */
     size_t failCount() const;

@@ -1,5 +1,7 @@
 #include "core/shadow_memory.hh"
 
+#include <algorithm>
+
 namespace pmtest::core
 {
 
@@ -138,6 +140,31 @@ ShadowMemory::persistIntervals(const AddrRange &range) const
         }
     });
     return out;
+}
+
+AddrRange
+ShadowMemory::unflushedSpan(const AddrRange &range) const
+{
+    uint64_t lo = 0, hi = 0;
+    bool found = false;
+    map_.forEachOverlap(range, [&](const auto &entry) {
+        const RangeStatus &s = entry.value;
+        if (!s.hasPersist || !s.persist.isOpen())
+            return;
+        if (s.hasFlush && s.flush.isOpen())
+            return; // writeback already in flight; a fence closes it
+        const uint64_t start = std::max(entry.start, range.addr);
+        const uint64_t end = std::min(entry.end, range.end());
+        if (!found) {
+            lo = start;
+            hi = end;
+            found = true;
+        } else {
+            lo = std::min(lo, start);
+            hi = std::max(hi, end);
+        }
+    });
+    return found ? AddrRange(lo, hi - lo) : AddrRange();
 }
 
 bool

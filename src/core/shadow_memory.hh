@@ -120,6 +120,16 @@ class ShadowMemory
     std::vector<std::pair<AddrRange, Interval>>
     persistIntervals(const AddrRange &range) const;
 
+    /**
+     * Bounding range of the bytes in @p range whose persist interval
+     * is open but which have no open flush interval — the bytes a
+     * fence alone cannot persist. Empty when every pending byte
+     * already has a writeback in flight (a fence suffices); the fix
+     * synthesizers use this to choose between InsertFence and
+     * InsertFlushFence.
+     */
+    AddrRange unflushedSpan(const AddrRange &range) const;
+
     /** Whether any write was recorded in @p range. */
     bool anyWrite(const AddrRange &range) const;
 

@@ -66,6 +66,9 @@ class X86Model final : public PersistencyModel
                             const ShadowMemory &shadow,
                             std::string *why) const override;
 
+    OpType repairFlushOp() const override { return OpType::Clwb; }
+    OpType repairFenceOp() const override { return OpType::Sfence; }
+
   private:
     /** Emit the clwb performance WARNs derived from a pre-update scan
      *  (cold path; out of line). */

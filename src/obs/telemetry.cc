@@ -32,6 +32,8 @@ stageName(Stage stage)
         return "report.canonicalize";
       case Stage::SourceOpen:
         return "source.open";
+      case Stage::HintReplay:
+        return "hint.replay";
     }
     return "unknown";
 }
@@ -66,6 +68,10 @@ counterName(Counter counter)
         return "reports_merged";
       case Counter::SourcesIngested:
         return "sources_ingested";
+      case Counter::HintsSynthesized:
+        return "hints_synthesized";
+      case Counter::HintsVerified:
+        return "hints_verified";
     }
     return "unknown";
 }

@@ -78,10 +78,11 @@ enum class Stage : uint8_t
     EngineCheck,       ///< Engine::check — one trace through the kernel
     ReportMerge,       ///< merging a per-trace report into the aggregate
     ReportCanonicalize,///< sorting the merged report into canonical order
-    SourceOpen         ///< opening/validating one trace source (file)
+    SourceOpen,        ///< opening/validating one trace source (file)
+    HintReplay         ///< replaying one patched trace to verify a hint
 };
 
-inline constexpr size_t kStageCount = 10;
+inline constexpr size_t kStageCount = 11;
 
 /** Stable span/metric name of @p stage (e.g. "engine.check"). */
 const char *stageName(Stage stage);
@@ -101,10 +102,12 @@ enum class Counter : uint8_t
     TracesChecked,   ///< traces through Engine::check
     OpsChecked,      ///< PM ops through Engine::check
     ReportsMerged,   ///< per-trace reports merged into aggregates
-    SourcesIngested  ///< trace sources drained to End by ingest()
+    SourcesIngested, ///< trace sources drained to End by ingest()
+    HintsSynthesized,///< findings recorded with a valid FixHint
+    HintsVerified    ///< hints whose patched replay came back clean
 };
 
-inline constexpr size_t kCounterCount = 13;
+inline constexpr size_t kCounterCount = 15;
 
 /** Stable metric name of @p counter (e.g. "traces_checked"). */
 const char *counterName(Counter counter);

@@ -12,7 +12,8 @@
  *                [--batch=N] [--ingest=auto|mmap|stream]
  *                [--decoders=N] [--shards=N] [--stats]
  *                [--metrics-json=FILE] [--trace-events=FILE]
- *                [--span-sample=N] <trace-file-or-dir>...
+ *                [--span-sample=N] [--fix-hints[=FILE]]
+ *                <trace-file-or-dir>...
  *
  * Inputs:
  *  - Each positional argument is a trace file or a directory;
@@ -58,6 +59,14 @@
  *    writes a Chrome trace-event / Perfetto timeline to FILE.
  *    --span-sample=N keeps every Nth span per thread (default 1 =
  *    all; higher values bound memory and overhead on huge runs).
+ *  - --fix-hints[=FILE] closes the detect→repair→verify loop: every
+ *    finding's synthesized FixHint is applied to its trace by the
+ *    trace-level patcher, the patched trace is replayed through the
+ *    same engine, and the hint is marked verified only when the
+ *    original finding disappears with no new findings introduced.
+ *    The `pmtest-fixhints-v1` JSON document goes to FILE ("-" or no
+ *    value = stdout). The inputs are re-opened for the replay pass,
+ *    so this works with every ingest/shard configuration.
  *
  * Findings are reported in canonical (fileId, traceId, opIndex)
  * order, so any decoder/shard/worker configuration prints a
@@ -78,6 +87,7 @@
 
 #include "core/engine.hh"
 #include "core/engine_pool.hh"
+#include "core/fix_verify.hh"
 #include "core/stats_json.hh"
 #include "core/trace_ingest.hh"
 #include "obs/telemetry.hh"
@@ -100,7 +110,8 @@ usage(const char *argv0)
         "          [--batch=N] [--ingest=auto|mmap|stream]\n"
         "          [--decoders=N] [--shards=N] [--stats]\n"
         "          [--metrics-json=FILE] [--trace-events=FILE]\n"
-        "          [--span-sample=N] <trace-file-or-dir>...\n",
+        "          [--span-sample=N] [--fix-hints[=FILE]]\n"
+        "          <trace-file-or-dir>...\n",
         argv0);
 }
 
@@ -276,6 +287,8 @@ main(int argc, char **argv)
     std::vector<std::string> input_args;
     std::string metrics_path;
     std::string trace_events_path;
+    bool fix_hints = false;
+    std::string fix_hints_path = "-";
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -353,6 +366,18 @@ main(int argc, char **argv)
                 usage(argv[0]);
                 return 2;
             }
+        } else if (arg == "--fix-hints") {
+            fix_hints = true;
+        } else if (arg.rfind("--fix-hints=", 0) == 0) {
+            fix_hints = true;
+            fix_hints_path = arg.substr(12);
+            if (fix_hints_path.empty()) {
+                std::fprintf(stderr,
+                             "--fix-hints needs a file path "
+                             "(or omit '=' for stdout)\n");
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg == "--stats") {
             show_stats = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -399,28 +424,34 @@ main(int argc, char **argv)
     obs::nameThread("main");
 
     // Build the source: one per input file (fileId = input order),
-    // or the byte-balanced shards of a single v2 file.
-    std::unique_ptr<TraceSource> source;
-    if (shards > 1) {
-        std::string error;
-        std::shared_ptr<const TraceFileReader> reader =
-            TraceFileReader::open(inputs[0], ingest_mode, &error);
-        if (!reader) {
-            if (error.rfind(inputs[0], 0) != 0)
-                error = inputs[0] + ": " + error;
-            std::fprintf(stderr, "%s\n", error.c_str());
-            return 2;
+    // or the byte-balanced shards of a single v2 file. A lambda so
+    // the fix-hints replay pass can re-open the (drained) inputs with
+    // identical fileId assignment; returns null after printing the
+    // error.
+    const auto buildSource =
+        [&]() -> std::unique_ptr<TraceSource> {
+        if (shards > 1) {
+            std::string error;
+            std::shared_ptr<const TraceFileReader> reader =
+                TraceFileReader::open(inputs[0], ingest_mode, &error);
+            if (!reader) {
+                if (error.rfind(inputs[0], 0) != 0)
+                    error = inputs[0] + ": " + error;
+                std::fprintf(stderr, "%s\n", error.c_str());
+                return nullptr;
+            }
+            return std::make_unique<MultiTraceSource>(
+                shardTraceSource(std::move(reader), inputs[0], 0,
+                                 shards));
         }
-        source = std::make_unique<MultiTraceSource>(
-            shardTraceSource(std::move(reader), inputs[0], 0, shards));
-    } else if (inputs.size() == 1) {
-        std::string error;
-        source = openTraceSource(inputs[0], ingest_mode, 0, &error);
-        if (!source) {
-            std::fprintf(stderr, "%s\n", error.c_str());
-            return 2;
+        if (inputs.size() == 1) {
+            std::string error;
+            auto single =
+                openTraceSource(inputs[0], ingest_mode, 0, &error);
+            if (!single)
+                std::fprintf(stderr, "%s\n", error.c_str());
+            return single;
         }
-    } else {
         std::vector<std::unique_ptr<TraceSource>> children;
         children.reserve(inputs.size());
         for (size_t i = 0; i < inputs.size(); i++) {
@@ -430,13 +461,17 @@ main(int argc, char **argv)
                 static_cast<uint32_t>(i), &error);
             if (!child) {
                 std::fprintf(stderr, "%s\n", error.c_str());
-                return 2;
+                return nullptr;
             }
             children.push_back(std::move(child));
         }
-        source = std::make_unique<MultiTraceSource>(
+        return std::make_unique<MultiTraceSource>(
             std::move(children));
-    }
+    };
+
+    std::unique_ptr<TraceSource> source = buildSource();
+    if (!source)
+        return 2;
 
     const size_t trace_count = source->traceCount();
     const size_t total_ops =
@@ -474,6 +509,48 @@ main(int argc, char **argv)
     // worker configuration prints a byte-identical report for the
     // same input set.
     merged.canonicalize();
+
+    // The detect→repair→verify pass: re-open the inputs (the primary
+    // source is drained), patch each hinted finding's trace, replay
+    // it through the same engine, and emit the fixhints document.
+    if (fix_hints) {
+        auto replay_source = buildSource();
+        if (!replay_source)
+            return 2;
+        SourceError replay_error;
+        const core::HintVerifyStats hint_stats = core::verifyHints(
+            merged, *replay_source, model, &replay_error);
+        if (!replay_error.message.empty())
+            std::fprintf(stderr, "fix-hints replay: %s\n",
+                         replay_error.str().c_str());
+
+        JsonWriter w;
+        core::writeFixHintsJson(w, merged, hint_stats, model);
+        if (fix_hints_path == "-") {
+            std::fwrite(w.str().data(), 1, w.str().size(), stdout);
+            std::fputc('\n', stdout);
+        } else {
+            std::FILE *f = std::fopen(fix_hints_path.c_str(), "w");
+            if (!f) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             fix_hints_path.c_str());
+                return 2;
+            }
+            const bool ok =
+                std::fwrite(w.str().data(), 1, w.str().size(), f) ==
+                w.str().size();
+            std::fclose(f);
+            if (!ok)
+                return 2;
+            if (!quiet) {
+                std::printf("fix hints: %zu candidates, %zu verified, "
+                            "%zu rejected -> %s\n",
+                            hint_stats.candidates, hint_stats.verified,
+                            hint_stats.rejected,
+                            fix_hints_path.c_str());
+            }
+        }
+    }
 
     if (!quiet) {
         const std::string display =

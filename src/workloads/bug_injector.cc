@@ -1,6 +1,7 @@
 #include "workloads/bug_injector.hh"
 
 #include "core/api.hh"
+#include "core/engine.hh"
 #include "mnemosyne/region.hh"
 #include "pmds/btree_map.hh"
 #include "pmds/ctree_map.hh"
@@ -364,6 +365,31 @@ buildTable6Campaign()
     }
 
     return cases;
+}
+
+CapturedRun
+capturedRun(const std::function<void()> &body, core::ModelKind kind)
+{
+    ScopedLogSilencer quiet;
+    CapturedRun run;
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    // Intercept sealed traces instead of letting the framework's pool
+    // check them; the inline engine below is the same checking path,
+    // and keeping the traces is what makes patched replay possible.
+    pmtestSetTraceSink(
+        [&run](Trace &&trace) { run.traces.push_back(std::move(trace)); });
+    pmtestStart();
+    body();
+    pmtestSendTrace();
+    pmtestSetTraceSink(nullptr);
+    pmtestEnd();
+    pmtestExit();
+
+    core::Engine engine(kind);
+    for (const Trace &trace : run.traces)
+        run.report.merge(engine.check(trace));
+    return run;
 }
 
 CampaignOutcome

@@ -23,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "core/persistency_model.hh"
 #include "core/report.hh"
+#include "trace/trace.hh"
 
 namespace pmtest::workloads
 {
@@ -58,6 +60,26 @@ CampaignOutcome runCampaign(const std::vector<BugCase> &cases);
 
 /** Whether @p report contains a finding of @p kind. */
 bool reportContains(const core::Report &report, core::FindingKind kind);
+
+/**
+ * A bug-case run captured for patched replay: the merged report plus
+ * the sealed traces it was computed from, so core::verifyHints can
+ * re-check patched copies of exactly what the checker saw.
+ */
+struct CapturedRun
+{
+    core::Report report;
+    std::vector<Trace> traces;
+};
+
+/**
+ * Run @p body under a fresh PMTest instance like the campaign cases
+ * do, but intercept the sealed traces with a capture sink and check
+ * them inline on one Engine of @p kind. Workloads that submit traces
+ * directly (the PMFS FIFO pump) bypass the sink and are not captured.
+ */
+CapturedRun capturedRun(const std::function<void()> &body,
+                        core::ModelKind kind = core::ModelKind::X86);
 
 } // namespace pmtest::workloads
 

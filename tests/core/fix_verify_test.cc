@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Round-trip tests of the detect→repair→replay loop: for each
+ * finding kind, a seeded buggy trace must yield a finding whose
+ * synthesized FixHint, applied by the trace patcher and replayed
+ * through the same engine, produces a clean report — and verifyHints
+ * must mark it verified. Plus the negative space: unfixable shapes,
+ * deliberately wrong patches, and missing replay traces.
+ */
+
+#include "core/fix_verify.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/api.hh"
+#include "core/engine.hh"
+#include "trace/fix_hint.hh"
+#include "util/json.hh"
+#include "workloads/bug_injector.hh"
+
+namespace pmtest::core
+{
+namespace
+{
+
+Trace
+makeTrace(std::vector<PmOp> ops)
+{
+    Trace t(1, 0);
+    t.append(ops);
+    return t;
+}
+
+PmOp
+op(OpType type, uint64_t addr = 0, uint64_t size = 0)
+{
+    return PmOp{type, addr, size, 0, 0, {}};
+}
+
+/** First finding of @p kind, or nullptr. */
+const Finding *
+findByKind(const Report &report, FindingKind kind)
+{
+    for (const Finding &f : report.findings())
+        if (f.kind == kind)
+            return &f;
+    return nullptr;
+}
+
+/**
+ * The common positive path: check @p trace, expect exactly one
+ * finding of @p kind carrying @p action, then verify it by patched
+ * replay and expect the replayed trace to come back clean.
+ */
+void
+expectRoundTrip(std::vector<PmOp> ops, ModelKind model,
+                FindingKind kind, FixAction action)
+{
+    const Trace trace = makeTrace(std::move(ops));
+    Engine engine(model);
+    Report report = engine.check(trace);
+
+    const Finding *f = findByKind(report, kind);
+    ASSERT_NE(f, nullptr) << report.str();
+    ASSERT_EQ(f->hint.action, action)
+        << "wrong action: " << fixActionName(f->hint.action);
+
+    // The hint must actually fix the trace.
+    const Trace patched = applyFixHint(trace, f->hint);
+    EXPECT_TRUE(engine.check(patched).clean())
+        << "patched replay not clean:\n"
+        << engine.check(patched).str();
+
+    // ... and verifyHints must agree.
+    const HintVerifyStats stats = verifyHints(report, {trace}, model);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.verified, stats.candidates);
+    EXPECT_GE(stats.verified, 1u);
+    EXPECT_TRUE(findByKind(report, kind)->hint.verified);
+}
+
+TEST(FixVerifyTest, NotPersistedX86RoundTrip)
+{
+    expectRoundTrip(
+        {
+            PmOp::write(0x10, 64),
+            PmOp::isPersist(0x10, 64),
+        },
+        ModelKind::X86, FindingKind::NotPersisted,
+        FixAction::InsertFlushFence);
+}
+
+TEST(FixVerifyTest, NotPersistedFlushedButUnfencedRoundTrip)
+{
+    // The writeback exists but no fence completes it: the span of
+    // un-flushed bytes is empty, so a bare fence is the repair.
+    expectRoundTrip(
+        {
+            PmOp::write(0x10, 64),
+            PmOp::clwb(0x10, 64),
+            PmOp::isPersist(0x10, 64),
+        },
+        ModelKind::X86, FindingKind::NotPersisted,
+        FixAction::InsertFence);
+}
+
+TEST(FixVerifyTest, NotOrderedFig1aRoundTrip)
+{
+    // The intro's ArrayUpdate bug: val and valid land in the same
+    // epoch. The repair materializes val's writeback + fence before
+    // valid's write and retires the original trailing writeback.
+    expectRoundTrip(
+        {
+            PmOp::write(0x100, 8),
+            PmOp::write(0x140, 1),
+            PmOp::clwb(0x100, 8),
+            PmOp::clwb(0x140, 1),
+            PmOp::sfence(),
+            PmOp::isOrderedBefore(0x100, 8, 0x140, 1),
+        },
+        ModelKind::X86, FindingKind::NotOrdered,
+        FixAction::InsertOrdering);
+}
+
+TEST(FixVerifyTest, NotOrderedMissingFenceRoundTrip)
+{
+    // A's writeback precedes B's write; only the fence between the
+    // epochs is missing, so the patcher inserts just the fence.
+    expectRoundTrip(
+        {
+            PmOp::write(0x100, 8),
+            PmOp::clwb(0x100, 8),
+            PmOp::write(0x140, 1),
+            PmOp::clwb(0x140, 1),
+            PmOp::sfence(),
+            PmOp::isOrderedBefore(0x100, 8, 0x140, 1),
+        },
+        ModelKind::X86, FindingKind::NotOrdered,
+        FixAction::InsertOrdering);
+}
+
+TEST(FixVerifyTest, NotPersistedHopsRoundTrip)
+{
+    // HOPS durability repair is a dfence, never a writeback.
+    expectRoundTrip(
+        {
+            PmOp::write(0x10, 64),
+            PmOp::isPersist(0x10, 64),
+        },
+        ModelKind::Hops, FindingKind::NotPersisted,
+        FixAction::InsertFence);
+}
+
+TEST(FixVerifyTest, NotOrderedHopsRoundTrip)
+{
+    // HOPS ordering repair is an ofence in front of B's write.
+    expectRoundTrip(
+        {
+            PmOp::write(0x10, 64),
+            PmOp::write(0x50, 64),
+            PmOp::dfence(),
+            PmOp::isOrderedBefore(0x10, 64, 0x50, 64),
+        },
+        ModelKind::Hops, FindingKind::NotOrdered,
+        FixAction::InsertOrdering);
+}
+
+TEST(FixVerifyTest, NotPersistedArmRoundTrip)
+{
+    expectRoundTrip(
+        {
+            PmOp::write(0x10, 64),
+            PmOp::isPersist(0x10, 64),
+        },
+        ModelKind::Arm, FindingKind::NotPersisted,
+        FixAction::InsertFlushFence);
+}
+
+TEST(FixVerifyTest, MissingLogRoundTrip)
+{
+    expectRoundTrip(
+        {
+            op(OpType::TxBegin),
+            op(OpType::TxAdd, 0x10, 64),
+            PmOp::write(0x10, 64),
+            PmOp::write(0x80, 64), // not backed up
+            PmOp::clwb(0x10, 64),
+            PmOp::clwb(0x80, 64),
+            PmOp::sfence(),
+            op(OpType::TxEnd),
+        },
+        ModelKind::X86, FindingKind::MissingLog,
+        FixAction::InsertTxAdd);
+}
+
+TEST(FixVerifyTest, IncompleteTxRoundTrip)
+{
+    expectRoundTrip(
+        {
+            op(OpType::TxCheckStart),
+            op(OpType::TxBegin),
+            op(OpType::TxAdd, 0x10, 64),
+            PmOp::write(0x10, 64),
+            op(OpType::TxEnd), // updates may still be volatile
+            op(OpType::TxCheckEnd),
+        },
+        ModelKind::X86, FindingKind::IncompleteTx,
+        FixAction::InsertFlushFence);
+}
+
+TEST(FixVerifyTest, UnmatchedTxAtTraceEndRoundTrip)
+{
+    expectRoundTrip({op(OpType::TxBegin)}, ModelKind::X86,
+                    FindingKind::UnmatchedTx, FixAction::InsertTxEnd);
+}
+
+TEST(FixVerifyTest, UnmatchedNestedTxRoundTrip)
+{
+    // Two open transactions: the hint carries count = txDepth and the
+    // patcher appends that many TxEnds.
+    expectRoundTrip(
+        {
+            op(OpType::TxBegin),
+            op(OpType::TxBegin),
+        },
+        ModelKind::X86, FindingKind::UnmatchedTx,
+        FixAction::InsertTxEnd);
+}
+
+TEST(FixVerifyTest, RedundantFlushRoundTrip)
+{
+    expectRoundTrip(
+        {
+            PmOp::write(0x10, 64),
+            PmOp::clwb(0x10, 64),
+            PmOp::clwb(0x10, 64), // same line, same epoch
+            PmOp::sfence(),
+        },
+        ModelKind::X86, FindingKind::RedundantFlush,
+        FixAction::DeleteFlush);
+}
+
+TEST(FixVerifyTest, UnnecessaryFlushOfCleanDataRoundTrip)
+{
+    expectRoundTrip(
+        {
+            PmOp::write(0x10, 64),
+            PmOp::clwb(0x10, 64),
+            PmOp::sfence(),
+            PmOp::clwb(0x10, 64), // already persistent
+        },
+        ModelKind::X86, FindingKind::UnnecessaryFlush,
+        FixAction::DeleteFlush);
+}
+
+TEST(FixVerifyTest, UnnecessaryFlushOfUntouchedDataRoundTrip)
+{
+    expectRoundTrip({PmOp::clwb(0x900, 64)}, ModelKind::X86,
+                    FindingKind::UnnecessaryFlush,
+                    FixAction::DeleteFlush);
+}
+
+TEST(FixVerifyTest, RedundantFlushArmRoundTrip)
+{
+    expectRoundTrip(
+        {
+            PmOp::write(0x10, 64),
+            PmOp::dcCvap(0x10, 64),
+            PmOp::dcCvap(0x10, 64),
+            PmOp::dsb(),
+        },
+        ModelKind::Arm, FindingKind::RedundantFlush,
+        FixAction::DeleteFlush);
+}
+
+TEST(FixVerifyTest, DuplicateLogRoundTrip)
+{
+    expectRoundTrip(
+        {
+            op(OpType::TxBegin),
+            op(OpType::TxAdd, 0x10, 64),
+            op(OpType::TxAdd, 0x10, 64), // duplicate backup
+            PmOp::write(0x10, 64),
+            PmOp::clwb(0x10, 64),
+            PmOp::sfence(),
+            op(OpType::TxEnd),
+        },
+        ModelKind::X86, FindingKind::DuplicateLog,
+        FixAction::DeleteTxAdd);
+}
+
+TEST(FixVerifyTest, MalformedCarriesNoHint)
+{
+    Engine engine(ModelKind::X86);
+    const Trace trace = makeTrace({op(OpType::TxEnd)});
+    Report report = engine.check(trace);
+    ASSERT_EQ(report.failCount(), 1u);
+    EXPECT_EQ(report.findings()[0].kind, FindingKind::Malformed);
+    EXPECT_FALSE(report.findings()[0].hint.valid());
+
+    const HintVerifyStats stats =
+        verifyHints(report, {trace}, ModelKind::X86);
+    EXPECT_EQ(stats.candidates, 0u);
+}
+
+TEST(FixVerifyTest, WrongPatchIsRejected)
+{
+    // A fence alone cannot persist a write that was never flushed;
+    // forging the hint to InsertFence must fail verification.
+    const Trace trace = makeTrace({
+        PmOp::write(0x10, 64),
+        PmOp::isPersist(0x10, 64),
+    });
+    Engine engine(ModelKind::X86);
+    Report report = engine.check(trace);
+    Finding *f = &report.mutableFindings()[0];
+    ASSERT_EQ(f->kind, FindingKind::NotPersisted);
+    f->hint = FixHint{};
+    f->hint.action = FixAction::InsertFence;
+    f->hint.opIndex = 1;
+
+    const HintVerifyStats stats =
+        verifyHints(report, {trace}, ModelKind::X86);
+    EXPECT_EQ(stats.candidates, 1u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.verified, 0u);
+    EXPECT_FALSE(report.findings()[0].hint.verified);
+}
+
+TEST(FixVerifyTest, UnfixableOpenTxInsideCheckerIsRejected)
+{
+    // A TxEnd inserted before the TxCheckEnd closes the transaction,
+    // but the original trailing TxEnd then has no match and becomes
+    // Malformed: the mechanical repair trades one finding for
+    // another, so verification must reject it.
+    const Trace trace = makeTrace({
+        op(OpType::TxCheckStart),
+        op(OpType::TxBegin),
+        op(OpType::TxCheckEnd), // TX still open here
+        op(OpType::TxEnd),
+    });
+    Engine engine(ModelKind::X86);
+    Report report = engine.check(trace);
+    const Finding *f = findByKind(report, FindingKind::UnmatchedTx);
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(f->hint.action, FixAction::InsertTxEnd);
+
+    const HintVerifyStats stats =
+        verifyHints(report, {trace}, ModelKind::X86);
+    EXPECT_EQ(stats.verified, 0u);
+    EXPECT_GE(stats.rejected, 1u);
+    EXPECT_FALSE(findByKind(report, FindingKind::UnmatchedTx)
+                     ->hint.verified);
+}
+
+TEST(FixVerifyTest, MissingTraceIsCounted)
+{
+    Engine engine(ModelKind::X86);
+    Report report = engine.check(makeTrace({
+        PmOp::write(0x10, 64),
+        PmOp::isPersist(0x10, 64),
+    }));
+    const HintVerifyStats stats =
+        verifyHints(report, std::vector<Trace>{}, ModelKind::X86);
+    EXPECT_EQ(stats.candidates, 1u);
+    EXPECT_EQ(stats.missingTrace, 1u);
+    EXPECT_EQ(stats.verified, 0u);
+    EXPECT_FALSE(report.findings()[0].hint.verified);
+}
+
+TEST(FixVerifyTest, FixHintsJsonIsBalancedAndTagged)
+{
+    const Trace trace = makeTrace({
+        PmOp::write(0x10, 64),
+        PmOp::isPersist(0x10, 64),
+    });
+    Engine engine(ModelKind::X86);
+    Report report = engine.check(trace);
+    const HintVerifyStats stats =
+        verifyHints(report, {trace}, ModelKind::X86);
+
+    JsonWriter w;
+    writeFixHintsJson(w, report, stats, ModelKind::X86);
+    EXPECT_TRUE(w.balanced());
+    const std::string &json = w.str();
+    EXPECT_NE(json.find("pmtest-fixhints-v1"), std::string::npos);
+    EXPECT_NE(json.find("insert-flush-fence"), std::string::npos);
+    EXPECT_NE(json.find("\"verified\":true"), std::string::npos)
+        << json;
+}
+
+TEST(FixVerifyTest, CapturedLiveRunRoundTrips)
+{
+    // End-to-end through the real capture path: an instrumented
+    // missing-flush workload, sealed traces intercepted by the
+    // capture sink, hints verified against exactly those traces.
+    alignas(64) static char cell[64];
+    const workloads::CapturedRun run = workloads::capturedRun([] {
+        PMTEST_ASSIGN(reinterpret_cast<uint64_t *>(cell),
+                      uint64_t{42});
+        PMTEST_IS_PERSIST(cell, sizeof(uint64_t));
+    });
+    ASSERT_FALSE(run.traces.empty());
+    Report report = run.report;
+    const Finding *f =
+        findByKind(report, FindingKind::NotPersisted);
+    ASSERT_NE(f, nullptr) << report.str();
+    ASSERT_TRUE(f->hint.valid());
+
+    const HintVerifyStats stats =
+        verifyHints(report, run.traces, ModelKind::X86);
+    EXPECT_EQ(stats.missingTrace, 0u);
+    EXPECT_GE(stats.verified, 1u);
+    EXPECT_EQ(stats.rejected, 0u);
+}
+
+} // namespace
+} // namespace pmtest::core

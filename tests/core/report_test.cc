@@ -91,7 +91,19 @@ TEST(ReportTest, FindingStrFormat)
 {
     const auto f = finding(Severity::Warn, FindingKind::DuplicateLog,
                            "z.cc", 11, "logged twice");
-    EXPECT_EQ(f.str(), "WARN(duplicate-log) logged twice @ z.cc:11");
+    EXPECT_EQ(f.str(),
+              "WARN(duplicate-log) logged twice @ z.cc:11 [f0:t0:op0]");
+}
+
+TEST(ReportTest, FindingStrRendersIdentityTriple)
+{
+    auto f = finding(Severity::Fail, FindingKind::NotPersisted,
+                     "a.cc", 3, "not persisted");
+    f.fileId = 2;
+    f.traceId = 17;
+    f.opIndex = 4;
+    EXPECT_EQ(f.str(),
+              "FAIL(not-persisted) not persisted @ a.cc:3 [f2:t17:op4]");
 }
 
 TEST(ReportTest, KindNamesAreStable)
