@@ -17,9 +17,11 @@
  *  1. v2 + mmap + 4 decoders + worker pool   (the pipeline)
  *  2. v2 + mmap + 2 decoders + worker pool   (scaling point)
  *  3. v2 + mmap + 1 decoder  + worker pool   (overlap only)
- *  4. v2 + mmap + 4 decoders over 4 shards   (--shards path)
- *  5. v2 split across 3 files + 4 decoders   (multi-file path)
- *  6. v1 + stream loader + serial engine     (the baseline)
+ *  4. v2 + mmap + 4 decoders over 4 shards   (--shards path; Auto
+ *     affinity resolves to pinned decoder→worker placement here)
+ *  5. same, affinity forced to shared        (placement comparison)
+ *  6. v2 split across 3 files + 4 decoders   (multi-file path)
+ *  7. v1 + stream loader + serial engine     (the baseline)
  *
  * Every phase produces a canonicalized Report; verdict_match asserts
  * every configuration's merged report is byte-identical to the
@@ -106,7 +108,8 @@ struct Phase
 Phase
 runSource(std::string name, std::unique_ptr<TraceSource> source,
           size_t decoders, size_t workers, Timer &timer,
-          size_t rss_before)
+          size_t rss_before,
+          IngestOptions::Affinity affinity = IngestOptions::Affinity::Auto)
 {
     Phase phase;
     phase.name = std::move(name);
@@ -117,6 +120,7 @@ runSource(std::string name, std::unique_ptr<TraceSource> source,
     IngestOptions ingest_options;
     ingest_options.decoders = decoders;
     ingest_options.batch = 32;
+    ingest_options.affinity = affinity;
     IngestStats stats;
     SourceError error;
     if (!ingest(*source, pool, ingest_options, &stats, &error)) {
@@ -137,11 +141,16 @@ runSource(std::string name, std::unique_ptr<TraceSource> source,
 /** v2 file → decoder team → engine pool (optionally sharded). */
 Phase
 runPipeline(const std::string &path, size_t decoders, size_t workers,
-            size_t shards = 1)
+            size_t shards = 1,
+            IngestOptions::Affinity affinity = IngestOptions::Affinity::Auto)
 {
     std::string name = "v2_mmap_" + std::to_string(decoders) + "dec";
     if (shards > 1)
         name += "_sh" + std::to_string(shards);
+    if (affinity == IngestOptions::Affinity::Pinned)
+        name += "_pin";
+    else if (affinity == IngestOptions::Affinity::Shared)
+        name += "_shr";
     const size_t rss_before = peakRssKb();
     Timer timer;
 
@@ -166,7 +175,7 @@ runPipeline(const std::string &path, size_t decoders, size_t workers,
         }
     }
     return runSource(std::move(name), std::move(source), decoders,
-                     workers, timer, rss_before);
+                     workers, timer, rss_before, affinity);
 }
 
 /** The same trace set split across several v2 files. */
@@ -309,6 +318,8 @@ runShape(const std::string &name, size_t count, size_t rounds,
     shape.phases.push_back(runPipeline(v2_path, 2, workers));
     shape.phases.push_back(runPipeline(v2_path, 1, workers));
     shape.phases.push_back(runPipeline(v2_path, 4, workers, 4));
+    shape.phases.push_back(runPipeline(v2_path, 4, workers, 4,
+                                       IngestOptions::Affinity::Shared));
     shape.phases.push_back(runMultiFile(part_paths, 4, workers));
     shape.phases.push_back(runSerialBaseline(v1_path));
 

@@ -4,11 +4,18 @@
  * rewrite axes end to end and emitting the results as JSON for CI
  * trend tracking.
  *
- *  - storage: flat sorted-vector IntervalMap vs the node-backed
- *    std::map layout it replaced, on an interval-heavy op stream.
+ *  - storage: chunked IntervalMap vs the flat sorted-vector layout it
+ *    replaced, on hot (4 KiB / 64 KiB), sparse never-retouched
+ *    (1 MiB / 8 MiB) and mixed hot+sparse shapes — the sparse shapes
+ *    are the flat layout's O(n)-memmove cliff — plus one chunked vs
+ *    node-std::map section for continuity with the older trend line.
+ *  - batch: assignBatch (sort once, walk chunks once) vs a per-op
+ *    assign loop over identical sorted disjoint ranges.
  *  - state: one reused engine (capacity-retaining reset) vs a fresh
  *    engine per trace.
- *  - dispatch: model-templated kernel vs per-op virtual dispatch.
+ *  - dispatch: model-templated kernel vs per-op virtual dispatch,
+ *    and the batched write-run kernel vs the same templated kernel
+ *    with batching off (Dispatch::TemplatedPerOp).
  *
  * Flags:
  *  --smoke        tiny workload (seconds -> milliseconds); CI uses
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "bench/flat_interval_map.hh"
 #include "bench/node_interval_map.hh"
 #include "core/engine.hh"
 #include "core/interval_map.hh"
@@ -54,7 +62,7 @@ struct Section
 
 using pmtest::bestOfSeconds;
 
-// --- storage: flat vs node interval map ----------------------------
+// --- storage: chunked vs flat (and node) interval map --------------
 
 struct IntervalOp
 {
@@ -86,6 +94,57 @@ makeIntervalStream(size_t n_ops, uint64_t working_set, uint64_t seed)
     return ops;
 }
 
+/**
+ * The adversarial shape for a flat sorted vector: @p span/@p stride
+ * disjoint 64 B ranges (the gaps keep them from coalescing), each
+ * assigned exactly once in random order and never retouched. Every
+ * insert lands at a random rank, so the flat layout memmoves half
+ * the accumulated tail per op — O(n) splice with nothing amortising
+ * it — while the chunked layout moves at most one chunk.
+ */
+std::vector<IntervalOp>
+makeSparseStream(uint64_t span, uint64_t stride, uint64_t seed)
+{
+    Rng rng(seed);
+    const size_t count = span / stride;
+    std::vector<IntervalOp> ops;
+    ops.reserve(count);
+    for (size_t i = 0; i < count; i++)
+        ops.push_back({0, 0x100000 + stride * i, 64});
+    for (size_t i = count; i > 1; i--)
+        std::swap(ops[i - 1], ops[rng.below(i)]);
+    return ops;
+}
+
+/**
+ * Hot/sparse mix: three of four ops churn a hot 4 KiB window with the
+ * usual assign/erase/covers/overlap mix; every fourth op plants a
+ * unique never-retouched range in a 4 MiB span above it. In the flat
+ * layout the hot window sorts *below* the sparse tail, so every hot
+ * splice pays a memmove proportional to the sparse population.
+ */
+std::vector<IntervalOp>
+makeMixedStream(size_t n_ops, uint64_t seed)
+{
+    Rng rng(seed);
+    const auto sparse = makeSparseStream(4 << 20, 512, seed ^ 0x9e37);
+    std::vector<IntervalOp> ops;
+    ops.reserve(n_ops);
+    size_t next_sparse = 0;
+    for (size_t i = 0; i < n_ops; i++) {
+        if (i % 4 == 3 && next_sparse < sparse.size()) {
+            ops.push_back(sparse[next_sparse++]);
+            continue;
+        }
+        const uint64_t dice = rng.below(10);
+        const uint64_t addr = 64 * rng.below((4 << 10) / 64);
+        const uint64_t size = 8 + rng.below(120);
+        const int kind = dice < 5 ? 0 : dice < 6 ? 1 : dice < 8 ? 2 : 3;
+        ops.push_back({kind, addr, size});
+    }
+    return ops;
+}
+
 template <typename MapT>
 uint64_t
 runIntervalStream(MapT &map, const std::vector<IntervalOp> &ops)
@@ -113,32 +172,87 @@ runIntervalStream(MapT &map, const std::vector<IntervalOp> &ops)
     return acc;
 }
 
+/** Chunked IntervalMap vs @p BaselineT on one prebuilt op stream. */
+template <typename BaselineT>
 Section
-measureStorage(size_t stream_ops, int passes, uint64_t working_set,
-               const char *tag)
+measureStorage(const std::vector<IntervalOp> &ops, int passes,
+               const char *tag, const char *baseline_name)
 {
-    const auto ops = makeIntervalStream(stream_ops, working_set, 42);
     volatile uint64_t sink = 0;
 
-    IntervalMap<uint64_t> flat;
-    const double flat_sec = bestOfSeconds(3, [&] {
+    IntervalMap<uint64_t> chunked;
+    const double chunked_sec = bestOfSeconds(3, [&] {
         for (int p = 0; p < passes; p++)
-            sink += runIntervalStream(flat, ops);
+            sink += runIntervalStream(chunked, ops);
     });
 
-    pmtest::bench::NodeIntervalMap<uint64_t> node;
-    const double node_sec = bestOfSeconds(3, [&] {
+    BaselineT baseline;
+    const double baseline_sec = bestOfSeconds(3, [&] {
         for (int p = 0; p < passes; p++)
-            sink += runIntervalStream(node, ops);
+            sink += runIntervalStream(baseline, ops);
     });
 
-    const double total = static_cast<double>(stream_ops) * passes;
+    const double total = static_cast<double>(ops.size()) * passes;
     Section s;
     s.name = std::string("interval_map_storage_") + tag;
-    s.baseline = "node_std_map";
-    s.candidate = "flat_vector";
-    s.baselineMops = total / node_sec * 1e-6;
-    s.candidateMops = total / flat_sec * 1e-6;
+    s.baseline = baseline_name;
+    s.candidate = "chunked";
+    s.baselineMops = total / baseline_sec * 1e-6;
+    s.candidateMops = total / chunked_sec * 1e-6;
+    return s;
+}
+
+// --- batch: assignBatch vs a per-op assign loop --------------------
+
+Section
+measureBatchAssign(size_t batches_n, size_t per_batch, int passes)
+{
+    // Sorted disjoint 64 B ranges with 64 B gaps, per_batch to a
+    // batch. Batches are shuffled so some land inside existing chunks
+    // (gap-run inserts) and some past the end (append runs) — both
+    // single-walk paths, against per_batch separate binary searches.
+    Rng rng(99);
+    std::vector<std::vector<AddrRange>> batches(batches_n);
+    for (size_t b = 0; b < batches_n; b++) {
+        const uint64_t base = b * per_batch * 128;
+        auto &batch = batches[b];
+        batch.reserve(per_batch);
+        for (size_t i = 0; i < per_batch; i++)
+            batch.emplace_back(base + 128 * i, 64);
+    }
+    for (size_t i = batches_n; i > 1; i--)
+        std::swap(batches[i - 1], batches[rng.below(i)]);
+
+    volatile uint64_t sink = 0;
+    IntervalMap<uint64_t> batched;
+    const double batch_sec = bestOfSeconds(3, [&] {
+        for (int p = 0; p < passes; p++) {
+            batched.clear();
+            for (const auto &b : batches)
+                batched.assignBatch(b.data(), b.size(), 7);
+            sink += batched.size();
+        }
+    });
+
+    IntervalMap<uint64_t> per_op;
+    const double perop_sec = bestOfSeconds(3, [&] {
+        for (int p = 0; p < passes; p++) {
+            per_op.clear();
+            for (const auto &b : batches)
+                for (const AddrRange &r : b)
+                    per_op.assign(r, 7);
+            sink += per_op.size();
+        }
+    });
+
+    const double total =
+        static_cast<double>(batches_n) * per_batch * passes;
+    Section s;
+    s.name = "interval_batch_assign";
+    s.baseline = "per_op_assign";
+    s.candidate = "assign_batch";
+    s.baselineMops = total / perop_sec * 1e-6;
+    s.candidateMops = total / batch_sec * 1e-6;
     return s;
 }
 
@@ -226,6 +340,66 @@ measureDispatch(size_t rounds, int passes)
     return s;
 }
 
+// --- dispatch: batched write runs vs per-op templated --------------
+
+/**
+ * Table-1-shaped traces: each round writes 8 distinct lines back to
+ * back, then flushes them and fences — the write-run pattern the
+ * batched kernel coalesces into one sorted shadow splice.
+ */
+std::vector<Trace>
+makeWriteRunTraces(size_t count, size_t rounds, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Trace> traces;
+    traces.reserve(count);
+    for (size_t t = 0; t < count; t++) {
+        Trace trace(t, 0);
+        for (size_t i = 0; i < rounds; i++) {
+            const uint64_t base = 64 * 8 * rng.below(512);
+            for (size_t w = 0; w < 8; w++)
+                trace.append(PmOp::write(base + 64 * w, 64));
+            for (size_t w = 0; w < 8; w++)
+                trace.append(PmOp::clwb(base + 64 * w, 64));
+            trace.append(PmOp::sfence());
+        }
+        traces.push_back(std::move(trace));
+    }
+    return traces;
+}
+
+Section
+measureEngineBatch(size_t traces_n, size_t rounds)
+{
+    const auto traces = makeWriteRunTraces(traces_n, rounds, 21);
+    size_t total_ops = 0;
+    for (const auto &t : traces)
+        total_ops += t.size();
+    volatile uint64_t sink = 0;
+
+    Engine batched(ModelKind::X86, Engine::Dispatch::Templated);
+    const double batched_sec = bestOfSeconds(3, [&] {
+        for (const auto &t : traces)
+            sink += batched.check(t).failCount();
+    });
+
+    Engine per_op(ModelKind::X86, Engine::Dispatch::TemplatedPerOp);
+    const double perop_sec = bestOfSeconds(3, [&] {
+        for (const auto &t : traces)
+            sink += per_op.check(t).failCount();
+    });
+
+    Section s;
+    s.name = "engine_batched_writes";
+    s.baseline = "templated_per_op";
+    s.candidate = "templated_batched";
+    s.baselineMops =
+        static_cast<double>(total_ops) / perop_sec * 1e-6;
+    s.candidateMops =
+        static_cast<double>(total_ops) / batched_sec * 1e-6;
+    return s;
+}
+
 // --- reporting -----------------------------------------------------
 
 void
@@ -293,23 +467,62 @@ main(int argc, char **argv)
         obs::Telemetry::instance().enableSpans();
 
     pmtest::bench::banner("Kernel ablation",
-                          "flat storage, state reuse, devirtualised "
-                          "dispatch");
+                          "chunked storage, batched splices, state "
+                          "reuse, devirtualised dispatch");
 
+    using Flat = pmtest::bench::FlatIntervalMap<uint64_t>;
+    using Node = pmtest::bench::NodeIntervalMap<uint64_t>;
     const size_t s = pmtest::bench::scale();
+    const int sp = static_cast<int>(s); // int passes
     std::vector<Section> sections;
     if (smoke) {
-        sections.push_back(measureStorage(1024, 2, 4 << 10, "hot4k"));
-        sections.push_back(measureStorage(1024, 2, 64 << 10, "64k"));
-        sections.push_back(measureStateReuse(16, 16));
-        sections.push_back(measureDispatch(256, 4));
+        // Small enough for CI, large enough that each timed rep is
+        // milliseconds — the speedup ratios gate regressions
+        // (bench/check_kernel_regression.py), so they must be stable.
+        sections.push_back(measureStorage<Flat>(
+            makeIntervalStream(2048, 4 << 10, 42), 8, "hot4k",
+            "flat_vector"));
+        sections.push_back(measureStorage<Flat>(
+            makeIntervalStream(2048, 64 << 10, 42), 8, "64k",
+            "flat_vector"));
+        sections.push_back(measureStorage<Flat>(
+            makeSparseStream(1 << 20, 512, 13), 2, "sparse1m",
+            "flat_vector"));
+        sections.push_back(measureStorage<Flat>(
+            makeSparseStream(8 << 20, 2048, 17), 1, "sparse8m",
+            "flat_vector"));
+        sections.push_back(measureStorage<Flat>(
+            makeMixedStream(2048, 23), 8, "mixed", "flat_vector"));
+        sections.push_back(measureStorage<Node>(
+            makeIntervalStream(2048, 4 << 10, 42), 8, "node_hot4k",
+            "node_std_map"));
+        sections.push_back(measureBatchAssign(128, 16, 6));
+        sections.push_back(measureStateReuse(64, 32));
+        sections.push_back(measureDispatch(512, 8));
+        sections.push_back(measureEngineBatch(32, 32));
     } else {
-        sections.push_back(
-            measureStorage(8192, 50 * s, 4 << 10, "hot4k"));
-        sections.push_back(
-            measureStorage(8192, 50 * s, 64 << 10, "64k"));
+        sections.push_back(measureStorage<Flat>(
+            makeIntervalStream(8192, 4 << 10, 42), 50 * sp, "hot4k",
+            "flat_vector"));
+        sections.push_back(measureStorage<Flat>(
+            makeIntervalStream(8192, 64 << 10, 42), 50 * sp, "64k",
+            "flat_vector"));
+        sections.push_back(measureStorage<Flat>(
+            makeSparseStream(1 << 20, 128, 13), 2 * sp, "sparse1m",
+            "flat_vector"));
+        sections.push_back(measureStorage<Flat>(
+            makeSparseStream(8 << 20, 512, 17), 1, "sparse8m",
+            "flat_vector"));
+        sections.push_back(measureStorage<Flat>(
+            makeMixedStream(8192, 23), 10 * sp, "mixed",
+            "flat_vector"));
+        sections.push_back(measureStorage<Node>(
+            makeIntervalStream(8192, 4 << 10, 42), 50 * sp,
+            "node_hot4k", "node_std_map"));
+        sections.push_back(measureBatchAssign(512, 16, 10 * sp));
         sections.push_back(measureStateReuse(512 * s, 64));
-        sections.push_back(measureDispatch(4096, 100 * s));
+        sections.push_back(measureDispatch(4096, 100 * sp));
+        sections.push_back(measureEngineBatch(256 * s, 64));
     }
 
     for (const auto &section : sections)

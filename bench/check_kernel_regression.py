@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gate bench_kernel results against the committed baseline.
+
+Usage: check_kernel_regression.py CURRENT.json BASELINE.json [TOL]
+
+Compares the per-section candidate-vs-baseline speedup ratio — the
+only number that is comparable across machines; absolute Mops track
+the runner's CPU — and fails when any section's speedup dropped by
+more than TOL (default 0.25, i.e. 25%) relative to the committed
+baseline. Sections present on only one side are reported: a missing
+section in CURRENT fails (a shape silently dropped is a regression in
+coverage), a new section passes with a note (the baseline needs
+refreshing).
+
+Exit status: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+
+def load_sections(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return {s["name"]: s for s in doc.get("sections", [])}
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) > 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current = load_sections(argv[1])
+    baseline = load_sections(argv[2])
+    tolerance = float(argv[3]) if len(argv) == 4 else 0.25
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"FAIL {name}: section missing from {argv[1]}")
+            failed = True
+            continue
+        got = current[name]["speedup"]
+        want = base["speedup"]
+        floor = want * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "FAIL"
+        print(f"{verdict:4} {name}: speedup {got:.3f} "
+              f"(baseline {want:.3f}, floor {floor:.3f})")
+        if got < floor:
+            failed = True
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note {name}: not in baseline "
+              f"(refresh {argv[2]} to start tracking it)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,8 @@
 #include "core/engine.hh"
 
+#include <algorithm>
+#include <type_traits>
+
 #include "core/arm_model.hh"
 #include "core/hops_model.hh"
 #include "core/x86_model.hh"
@@ -88,10 +91,124 @@ void
 Engine::runTrace(M &model, const Trace &trace, Report &report)
 {
     const auto &ops = trace.ops();
+
+    // Batched write runs are valid precisely because every concrete
+    // model applies OpType::Write as shadow.recordWrite(range) and
+    // nothing else; the polymorphic baseline keeps the pure per-op
+    // loop so Dispatch::Virtual remains the oracle the batched path
+    // is verified against (tests/core/kernel_equivalence_test.cc).
+    if (dispatch_ == Dispatch::Templated &&
+        !std::is_same_v<M, PersistencyModel>) {
+        size_t i = 0;
+        while (i < ops.size()) {
+            if (ops[i].type == OpType::Write) {
+                i = runWriteRun(trace, i, state_, report);
+                continue;
+            }
+            handleOp(model, ops[i], i, state_, report);
+            opsProcessed_++;
+            i++;
+        }
+        return;
+    }
+
     for (size_t i = 0; i < ops.size(); i++) {
         handleOp(model, ops[i], i, state_, report);
         opsProcessed_++;
     }
+}
+
+size_t
+Engine::runWriteRun(const Trace &trace, size_t i, TraceState &state,
+                    Report &report)
+{
+    const auto &ops = trace.ops();
+    writeBatch_.clear();
+    uint64_t lo = 0, hi = 0; // bounding box of the batch
+    while (i < ops.size() && ops[i].type == OpType::Write) {
+        const PmOp &op = ops[i];
+        const size_t index = i;
+        opsProcessed_++;
+        i++;
+
+        const AddrRange range(op.addr, op.size);
+        // Matches the per-op path: an empty or fully-excluded write
+        // is skipped before any check or shadow update (covers() is
+        // vacuously true on empty ranges).
+        if (excluded(state, range))
+            continue;
+        preWriteChecks(op, range, index, state, report);
+
+        if (!writeBatch_.empty() && range.addr < hi &&
+            range.end() > lo) {
+            // The bounding box overlaps; if any batched member truly
+            // overlaps, application order matters — flush first.
+            for (const AddrRange &b : writeBatch_) {
+                if (range.addr < b.end() && range.end() > b.addr) {
+                    flushWriteBatch(state);
+                    break;
+                }
+            }
+        }
+        if (writeBatch_.empty()) {
+            lo = range.addr;
+            hi = range.end();
+        } else {
+            lo = std::min(lo, range.addr);
+            hi = std::max(hi, range.end());
+        }
+        writeBatch_.push_back(range);
+        if (writeBatch_.size() >= kWriteBatchMax)
+            flushWriteBatch(state);
+    }
+    flushWriteBatch(state);
+    return i;
+}
+
+void
+Engine::flushWriteBatch(TraceState &state)
+{
+    if (writeBatch_.empty())
+        return;
+    if (writeBatch_.size() == 1) {
+        state.shadow.recordWrite(writeBatch_[0]);
+    } else {
+        // Members are pairwise disjoint (overlap forces an early
+        // flush above), so sorting cannot change the outcome — only
+        // the cost of applying it.
+        std::sort(writeBatch_.begin(), writeBatch_.end(),
+                  [](const AddrRange &a, const AddrRange &b) {
+                      return a.addr < b.addr;
+                  });
+        state.shadow.recordWriteBatch(writeBatch_.data(),
+                                      writeBatch_.size());
+    }
+    writeBatch_.clear();
+}
+
+void
+Engine::preWriteChecks(const PmOp &op, const AddrRange &range,
+                       size_t index, TraceState &state, Report &report)
+{
+    // Transaction-aware rule (§5.1.1): inside a transaction, a
+    // modified persistent object must have been backed up first.
+    if (state.txDepth > 0 && !state.logTree.covers(range)) {
+        Finding f;
+        f.severity = Severity::Fail;
+        f.kind = FindingKind::MissingLog;
+        f.message = "write to " + range.str() +
+                    " inside a transaction without a log backup "
+                    "(missing TX_ADD)";
+        f.loc = op.loc;
+        f.opIndex = index;
+        f.hint.action = FixAction::InsertTxAdd;
+        f.hint.addr = range.addr;
+        f.hint.size = range.size;
+        f.hint.opIndex = index;
+        report.add(std::move(f));
+    }
+    if (state.txCheckActive)
+        state.txWrites.emplace_back(range, op.loc);
 }
 
 bool
@@ -140,27 +257,8 @@ Engine::handleOp(M &model, const PmOp &op, size_t index,
     if (ranged && excluded(state, range))
         return;
 
-    if (op.type == OpType::Write) {
-        // Transaction-aware rule (§5.1.1): inside a transaction, a
-        // modified persistent object must have been backed up first.
-        if (state.txDepth > 0 && !state.logTree.covers(range)) {
-            Finding f;
-            f.severity = Severity::Fail;
-            f.kind = FindingKind::MissingLog;
-            f.message = "write to " + range.str() +
-                        " inside a transaction without a log backup "
-                        "(missing TX_ADD)";
-            f.loc = op.loc;
-            f.opIndex = index;
-            f.hint.action = FixAction::InsertTxAdd;
-            f.hint.addr = range.addr;
-            f.hint.size = range.size;
-            f.hint.opIndex = index;
-            report.add(std::move(f));
-        }
-        if (state.txCheckActive)
-            state.txWrites.emplace_back(range, op.loc);
-    }
+    if (op.type == OpType::Write)
+        preWriteChecks(op, range, index, state, report);
 
     model.apply(op, state.shadow, report, index);
 }

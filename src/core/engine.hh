@@ -50,8 +50,12 @@ class Engine
     /** How the per-op model rules are invoked. */
     enum class Dispatch
     {
-        Templated, ///< model-specialized kernel (default; inlined)
-        Virtual,   ///< one virtual call per op (ablation baseline)
+        Templated,      ///< model-specialized kernel with batched
+                        ///< write runs (default; inlined)
+        TemplatedPerOp, ///< model-specialized kernel, batching off
+                        ///< (ablation baseline for the batch win)
+        Virtual,        ///< one virtual call per op (the classic
+                        ///< per-op oracle; ablation baseline)
     };
 
     explicit Engine(ModelKind kind,
@@ -99,6 +103,31 @@ class Engine
     template <typename M>
     void runTrace(M &model, const Trace &trace, Report &report);
 
+    /**
+     * Batched write runs (Dispatch::Templated only): consume the
+     * maximal run of consecutive Write ops starting at @p i, applying
+     * the per-op transaction checks immediately but deferring the
+     * shadow updates into writeBatch_, flushed in one sorted batched
+     * assign. A write overlapping a batched one forces a flush first,
+     * so application order — and therefore shadow fragmentation,
+     * which leaks into finding messages — is preserved exactly.
+     * @return the index of the first op after the run.
+     */
+    size_t runWriteRun(const Trace &trace, size_t i,
+                       TraceState &state, Report &report);
+
+    /** Spill writeBatch_ into the shadow memory (sorted, batched). */
+    void flushWriteBatch(TraceState &state);
+
+    /**
+     * The checks the per-op path performs on a Write before the model
+     * applies it: missing-log detection and TX_CHECKER write
+     * collection. Shared verbatim by the batched path.
+     */
+    void preWriteChecks(const PmOp &op, const AddrRange &range,
+                        size_t index, TraceState &state,
+                        Report &report);
+
     template <typename M>
     void handleOp(M &model, const PmOp &op, size_t index,
                   TraceState &state, Report &report);
@@ -111,10 +140,15 @@ class Engine
     /** Whether the op's primary range is fully excluded from testing. */
     static bool excluded(const TraceState &state, const AddrRange &range);
 
+    /** Writes batched per flush (bounds the overlap scan). */
+    static constexpr size_t kWriteBatchMax = 32;
+
     ModelKind kind_;
     Dispatch dispatch_;
     std::unique_ptr<PersistencyModel> model_;
     TraceState state_;
+    /** Pending write ranges of the current run (reused storage). */
+    std::vector<AddrRange> writeBatch_;
     uint64_t opsProcessed_ = 0;
     uint64_t tracesChecked_ = 0;
 };

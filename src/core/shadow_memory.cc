@@ -15,6 +15,22 @@ ShadowMemory::recordWrite(const AddrRange &range)
     openWrites_.assign(range, 1);
 }
 
+void
+ShadowMemory::recordWriteBatch(const AddrRange *ranges, size_t n)
+{
+    if (n == 0)
+        return;
+    if (n == 1) {
+        recordWrite(ranges[0]);
+        return;
+    }
+    RangeStatus status;
+    status.hasPersist = true;
+    status.persist = Interval::open(timestamp_);
+    map_.assignBatch(ranges, n, status);
+    openWrites_.assignBatch(ranges, n, uint8_t{1});
+}
+
 ClwbScan
 ShadowMemory::scanClwb(const AddrRange &range) const
 {
@@ -80,31 +96,42 @@ ShadowMemory::recordClwb(const AddrRange &range)
 void
 ShadowMemory::completePendingFlushes()
 {
+    // The pending set is sorted and disjoint by map invariant, so the
+    // whole completion is one monotone batched walk over map_ rather
+    // than a binary search per pending entry. An entry spanning two
+    // pending ranges is revisited, exactly as the per-entry walk did;
+    // the open-flush guard makes the second visit a no-op either way.
+    scratch_.clear();
     pendingFlushes_.forEach([&](const auto &pending) {
-        map_.forEachOverlapMut(
-            AddrRange(pending.start, pending.end - pending.start),
-            [&](uint64_t, uint64_t, RangeStatus &s) {
-                if (!s.hasFlush || !s.flush.isOpen())
-                    return; // a later write invalidated this flush
-                s.flush.close(timestamp_);
-                if (s.hasPersist)
-                    s.persist.close(timestamp_);
-            });
+        scratch_.push_back(
+            AddrRange(pending.start, pending.end - pending.start));
     });
+    map_.forEachOverlapBatchMut(
+        scratch_.data(), scratch_.size(),
+        [&](size_t, uint64_t, uint64_t, RangeStatus &s) {
+            if (!s.hasFlush || !s.flush.isOpen())
+                return; // a later write invalidated this flush
+            s.flush.close(timestamp_);
+            if (s.hasPersist)
+                s.persist.close(timestamp_);
+        });
     pendingFlushes_.clear();
 }
 
 void
 ShadowMemory::completeAllWrites()
 {
+    scratch_.clear();
     openWrites_.forEach([&](const auto &open) {
-        map_.forEachOverlapMut(
-            AddrRange(open.start, open.end - open.start),
-            [&](uint64_t, uint64_t, RangeStatus &s) {
-                if (s.hasPersist)
-                    s.persist.close(timestamp_);
-            });
+        scratch_.push_back(
+            AddrRange(open.start, open.end - open.start));
     });
+    map_.forEachOverlapBatchMut(
+        scratch_.data(), scratch_.size(),
+        [&](size_t, uint64_t, uint64_t, RangeStatus &s) {
+            if (s.hasPersist)
+                s.persist.close(timestamp_);
+        });
     openWrites_.clear();
 }
 

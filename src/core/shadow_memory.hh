@@ -78,6 +78,18 @@ class ShadowMemory
     void recordWrite(const AddrRange &range);
 
     /**
+     * Record @p n stores at once through the interval maps' batched
+     * assign, which sorts nothing and searches once per run instead
+     * of once per store. REQUIRES: ranges sorted by addr and pairwise
+     * disjoint — under that precondition the resulting shadow state
+     * (including entry fragmentation, which leaks into finding
+     * messages) is byte-identical to n recordWrite calls in any
+     * order. The engine groups consecutive trace writes and flushes
+     * the group early when a write would overlap a batched one.
+     */
+    void recordWriteBatch(const AddrRange *ranges, size_t n);
+
+    /**
      * Scan the range for the clwb WARN rules, without mutating.
      * @see ClwbScan
      */
@@ -158,6 +170,13 @@ class ShadowMemory
     IntervalMap<uint8_t> pendingFlushes_;
     /** Ranges written since the last dfence (HOPS bookkeeping). */
     IntervalMap<uint8_t> openWrites_;
+    /**
+     * Reused staging buffer for the fence-completion walks: the
+     * pending/open entries are collected here (already sorted and
+     * disjoint by map invariant) and applied to map_ with one batched
+     * overlap walk instead of one binary search per entry.
+     */
+    std::vector<AddrRange> scratch_;
 };
 
 } // namespace pmtest::core

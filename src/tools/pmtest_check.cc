@@ -10,7 +10,8 @@
  *   pmtest_check [--model=x86|hops|arm] [--summary] [--quiet]
  *                [--max-findings=N] [--workers=N] [--queue-cap=N]
  *                [--batch=N] [--ingest=auto|mmap|stream]
- *                [--decoders=N] [--shards=N] [--stats]
+ *                [--decoders=N] [--shards=N]
+ *                [--affinity=auto|pinned|shared] [--stats]
  *                [--metrics-json=FILE] [--trace-events=FILE]
  *                [--span-sample=N] [--fix-hints[=FILE]]
  *                <trace-file-or-dir>...
@@ -44,6 +45,18 @@
  * --workers=N checks traces on an engine pool instead of a single
  * inline engine (the paper's decoupled mode); --queue-cap bounds the
  * per-worker queues and --batch submits traces N at a time.
+ *
+ * Thread-count precedence (core-aware defaults): an explicit
+ * --workers/--decoders flag wins; otherwise the PMTEST_WORKERS /
+ * PMTEST_DECODERS environment variables; otherwise a layout derived
+ * from std::thread::hardware_concurrency() (single core: inline
+ * checking, one decoder; multi-core: ~1/4 of the cores decode, the
+ * rest check). --affinity picks the decoder→engine placement for
+ * multi-source inputs: "pinned" keeps each shard/file on one fixed
+ * engine (warm per-shard checking state), "shared" round-robins,
+ * "auto" (default) pins when the input is multi-source and at least
+ * two workers exist. Every combination prints a byte-identical
+ * canonical report.
  *
  * Output selection and precedence:
  *  - The findings report goes to stdout unless --quiet. --summary
@@ -92,6 +105,7 @@
 #include "core/trace_ingest.hh"
 #include "obs/telemetry.hh"
 #include "trace/trace_source.hh"
+#include "util/cpu.hh"
 #include "util/json.hh"
 
 namespace
@@ -108,7 +122,8 @@ usage(const char *argv0)
         "usage: %s [--model=x86|hops|arm] [--summary] [--quiet]\n"
         "          [--max-findings=N] [--workers=N] [--queue-cap=N]\n"
         "          [--batch=N] [--ingest=auto|mmap|stream]\n"
-        "          [--decoders=N] [--shards=N] [--stats]\n"
+        "          [--decoders=N] [--shards=N]\n"
+        "          [--affinity=auto|pinned|shared] [--stats]\n"
         "          [--metrics-json=FILE] [--trace-events=FILE]\n"
         "          [--span-sample=N] [--fix-hints[=FILE]]\n"
         "          <trace-file-or-dir>...\n",
@@ -277,11 +292,15 @@ main(int argc, char **argv)
     bool quiet = false;
     bool show_stats = false;
     size_t max_findings = 50;
-    size_t workers = 0;
+    // Thread counts: SIZE_MAX/0 = "no explicit flag", resolved after
+    // parsing via util::defaultPipelineLayout() (flag > env >
+    // detected cores).
+    size_t workers = static_cast<size_t>(-1);
     size_t queue_cap = 0;
     size_t batch = 1;
-    size_t decoders = 1;
+    size_t decoders = 0;
     size_t shards = 1;
+    auto affinity = core::IngestOptions::Affinity::Auto;
     size_t span_sample = 1;
     IngestMode ingest_mode = IngestMode::Auto;
     std::vector<std::string> input_args;
@@ -331,6 +350,20 @@ main(int argc, char **argv)
             shards = parseNumericOption(arg, 9, "--shards", argv[0]);
             if (shards == 0)
                 shards = 1;
+        } else if (arg.rfind("--affinity=", 0) == 0) {
+            const std::string name = arg.substr(11);
+            if (name == "auto") {
+                affinity = core::IngestOptions::Affinity::Auto;
+            } else if (name == "pinned") {
+                affinity = core::IngestOptions::Affinity::Pinned;
+            } else if (name == "shared") {
+                affinity = core::IngestOptions::Affinity::Shared;
+            } else {
+                std::fprintf(stderr, "unknown affinity '%s'\n",
+                             name.c_str());
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg.rfind("--span-sample=", 0) == 0) {
             span_sample =
                 parseNumericOption(arg, 14, "--span-sample", argv[0]);
@@ -473,6 +506,14 @@ main(int argc, char **argv)
     if (!source)
         return 2;
 
+    // Core-aware defaults: flags beat PMTEST_WORKERS/PMTEST_DECODERS,
+    // which beat the hardware-derived layout (see util/cpu.hh).
+    const util::PipelineLayout layout = util::defaultPipelineLayout();
+    if (workers == static_cast<size_t>(-1))
+        workers = layout.workers;
+    if (decoders == 0)
+        decoders = layout.decoders;
+
     const size_t trace_count = source->traceCount();
     const size_t total_ops =
         static_cast<size_t>(source->totalOps());
@@ -492,6 +533,7 @@ main(int argc, char **argv)
         core::IngestOptions ingest_options;
         ingest_options.decoders = decoders;
         ingest_options.batch = batch;
+        ingest_options.affinity = affinity;
         core::IngestStats ingest_stats;
         ingest_ok = core::ingest(*source, pool, ingest_options,
                                  &ingest_stats, &ingest_error);

@@ -9,186 +9,35 @@
  *
  * Every trace is a minimal reproduction of one bug class, each op
  * tagged with a synthetic source location naming the class, so the
- * emitted fixhints document is self-describing. The corpus is fully
- * deterministic: same tool version, byte-identical file.
+ * emitted fixhints document is self-describing. The corpus itself
+ * lives in trace/seed_corpus.cc (shared with the kernel-equivalence
+ * tests) and is fully deterministic: same library version,
+ * byte-identical file.
  *
  * Exit status: 0 on success, 2 on usage/write errors.
  */
 
 #include <cstdio>
-#include <string>
 #include <vector>
 
-#include "trace/trace.hh"
+#include "trace/seed_corpus.hh"
 #include "trace/trace_io.hh"
-
-namespace
-{
-
-using namespace pmtest;
-
-/** One seeded bug: a name (becomes the location file) and its ops. */
-struct SeedCase
-{
-    const char *name;
-    std::vector<PmOp> ops;
-};
-
-/** Location literal for line @p line of @p name. */
-SourceLocation
-at(const char *name, uint32_t line)
-{
-    return SourceLocation(name, line);
-}
-
-/**
- * The corpus: every Fail-severity class except Malformed (which is
- * deliberately unfixable), plus the flush-hygiene warns. All shapes
- * mirror the unit-test reproductions in tests/core.
- */
-std::vector<SeedCase>
-buildCorpus()
-{
-    std::vector<SeedCase> cases;
-
-    {
-        const char *n = "seed/not_persisted_missing_flush.cc";
-        cases.push_back({n,
-                         {
-                             PmOp::write(0x10, 64, at(n, 1)),
-                             PmOp::isPersist(0x10, 64, at(n, 2)),
-                         }});
-    }
-    {
-        const char *n = "seed/not_persisted_missing_fence.cc";
-        cases.push_back({n,
-                         {
-                             PmOp::write(0x10, 64, at(n, 1)),
-                             PmOp::clwb(0x10, 64, at(n, 2)),
-                             PmOp::isPersist(0x10, 64, at(n, 3)),
-                         }});
-    }
-    {
-        // Fig. 1a: val and valid persist in the same epoch.
-        const char *n = "seed/not_ordered_same_epoch.cc";
-        cases.push_back(
-            {n,
-             {
-                 PmOp::write(0x100, 8, at(n, 1)),
-                 PmOp::write(0x140, 1, at(n, 2)),
-                 PmOp::clwb(0x100, 8, at(n, 3)),
-                 PmOp::clwb(0x140, 1, at(n, 4)),
-                 PmOp::sfence(at(n, 5)),
-                 PmOp::isOrderedBefore(0x100, 8, 0x140, 1, at(n, 6)),
-             }});
-    }
-    {
-        const char *n = "seed/not_ordered_missing_fence.cc";
-        cases.push_back(
-            {n,
-             {
-                 PmOp::write(0x100, 8, at(n, 1)),
-                 PmOp::clwb(0x100, 8, at(n, 2)),
-                 PmOp::write(0x140, 1, at(n, 3)),
-                 PmOp::clwb(0x140, 1, at(n, 4)),
-                 PmOp::sfence(at(n, 5)),
-                 PmOp::isOrderedBefore(0x100, 8, 0x140, 1, at(n, 6)),
-             }});
-    }
-    {
-        const char *n = "seed/missing_log.cc";
-        cases.push_back(
-            {n,
-             {
-                 PmOp{OpType::TxBegin, 0, 0, 0, 0, at(n, 1)},
-                 PmOp{OpType::TxAdd, 0x10, 64, 0, 0, at(n, 2)},
-                 PmOp::write(0x10, 64, at(n, 3)),
-                 PmOp::write(0x80, 64, at(n, 4)), // unlogged
-                 PmOp::clwb(0x10, 64, at(n, 5)),
-                 PmOp::clwb(0x80, 64, at(n, 6)),
-                 PmOp::sfence(at(n, 7)),
-                 PmOp{OpType::TxEnd, 0, 0, 0, 0, at(n, 8)},
-             }});
-    }
-    {
-        const char *n = "seed/incomplete_tx.cc";
-        cases.push_back(
-            {n,
-             {
-                 PmOp{OpType::TxCheckStart, 0, 0, 0, 0, at(n, 1)},
-                 PmOp{OpType::TxBegin, 0, 0, 0, 0, at(n, 2)},
-                 PmOp{OpType::TxAdd, 0x10, 64, 0, 0, at(n, 3)},
-                 PmOp::write(0x10, 64, at(n, 4)),
-                 PmOp{OpType::TxEnd, 0, 0, 0, 0, at(n, 5)},
-                 PmOp{OpType::TxCheckEnd, 0, 0, 0, 0, at(n, 6)},
-             }});
-    }
-    {
-        const char *n = "seed/unmatched_tx.cc";
-        cases.push_back(
-            {n, {PmOp{OpType::TxBegin, 0, 0, 0, 0, at(n, 1)}}});
-    }
-    {
-        const char *n = "seed/redundant_flush.cc";
-        cases.push_back({n,
-                         {
-                             PmOp::write(0x10, 64, at(n, 1)),
-                             PmOp::clwb(0x10, 64, at(n, 2)),
-                             PmOp::clwb(0x10, 64, at(n, 3)),
-                             PmOp::sfence(at(n, 4)),
-                         }});
-    }
-    {
-        const char *n = "seed/unnecessary_flush_clean.cc";
-        cases.push_back({n,
-                         {
-                             PmOp::write(0x10, 64, at(n, 1)),
-                             PmOp::clwb(0x10, 64, at(n, 2)),
-                             PmOp::sfence(at(n, 3)),
-                             PmOp::clwb(0x10, 64, at(n, 4)),
-                         }});
-    }
-    {
-        const char *n = "seed/unnecessary_flush_untouched.cc";
-        cases.push_back({n, {PmOp::clwb(0x900, 64, at(n, 1))}});
-    }
-    {
-        const char *n = "seed/duplicate_log.cc";
-        cases.push_back(
-            {n,
-             {
-                 PmOp{OpType::TxBegin, 0, 0, 0, 0, at(n, 1)},
-                 PmOp{OpType::TxAdd, 0x10, 64, 0, 0, at(n, 2)},
-                 PmOp{OpType::TxAdd, 0x10, 64, 0, 0, at(n, 3)},
-                 PmOp::write(0x10, 64, at(n, 4)),
-                 PmOp::clwb(0x10, 64, at(n, 5)),
-                 PmOp::sfence(at(n, 6)),
-                 PmOp{OpType::TxEnd, 0, 0, 0, 0, at(n, 7)},
-             }});
-    }
-
-    return cases;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
+    using namespace pmtest;
+
     if (argc != 2 || argv[1][0] == '-') {
         std::fprintf(stderr, "usage: %s <out.trace>\n", argv[0]);
         return 2;
     }
 
-    const std::vector<SeedCase> corpus = buildCorpus();
+    std::vector<SeedTrace> corpus = seedCorpusTraces();
     std::vector<Trace> traces;
     traces.reserve(corpus.size());
-    uint64_t id = 1;
-    for (const SeedCase &seed : corpus) {
-        Trace t(id++, 0);
-        t.append(seed.ops);
-        traces.push_back(std::move(t));
-    }
+    for (SeedTrace &seed : corpus)
+        traces.push_back(std::move(seed.trace));
 
     if (!saveTracesToFile(argv[1], traces, TraceFormat::V2)) {
         std::fprintf(stderr, "cannot write %s\n", argv[1]);
@@ -196,7 +45,7 @@ main(int argc, char **argv)
     }
     std::printf("%s: %zu seeded bug traces\n", argv[1],
                 traces.size());
-    for (const SeedCase &seed : corpus)
+    for (const SeedTrace &seed : corpus)
         std::printf("  %s\n", seed.name);
     return 0;
 }

@@ -1,0 +1,165 @@
+#include "trace/seed_corpus.hh"
+
+namespace pmtest
+{
+
+namespace
+{
+
+/** Location literal for line @p line of @p name. */
+SourceLocation
+at(const char *name, uint32_t line)
+{
+    return SourceLocation(name, line);
+}
+
+/** One seeded bug before trace assembly: a name and its ops. */
+struct SeedCase
+{
+    const char *name;
+    std::vector<PmOp> ops;
+};
+
+/** All shapes mirror the unit-test reproductions in tests/core. */
+std::vector<SeedCase>
+buildCorpus()
+{
+    std::vector<SeedCase> cases;
+
+    {
+        const char *n = "seed/not_persisted_missing_flush.cc";
+        cases.push_back({n,
+                         {
+                             PmOp::write(0x10, 64, at(n, 1)),
+                             PmOp::isPersist(0x10, 64, at(n, 2)),
+                         }});
+    }
+    {
+        const char *n = "seed/not_persisted_missing_fence.cc";
+        cases.push_back({n,
+                         {
+                             PmOp::write(0x10, 64, at(n, 1)),
+                             PmOp::clwb(0x10, 64, at(n, 2)),
+                             PmOp::isPersist(0x10, 64, at(n, 3)),
+                         }});
+    }
+    {
+        // Fig. 1a: val and valid persist in the same epoch.
+        const char *n = "seed/not_ordered_same_epoch.cc";
+        cases.push_back(
+            {n,
+             {
+                 PmOp::write(0x100, 8, at(n, 1)),
+                 PmOp::write(0x140, 1, at(n, 2)),
+                 PmOp::clwb(0x100, 8, at(n, 3)),
+                 PmOp::clwb(0x140, 1, at(n, 4)),
+                 PmOp::sfence(at(n, 5)),
+                 PmOp::isOrderedBefore(0x100, 8, 0x140, 1, at(n, 6)),
+             }});
+    }
+    {
+        const char *n = "seed/not_ordered_missing_fence.cc";
+        cases.push_back(
+            {n,
+             {
+                 PmOp::write(0x100, 8, at(n, 1)),
+                 PmOp::clwb(0x100, 8, at(n, 2)),
+                 PmOp::write(0x140, 1, at(n, 3)),
+                 PmOp::clwb(0x140, 1, at(n, 4)),
+                 PmOp::sfence(at(n, 5)),
+                 PmOp::isOrderedBefore(0x100, 8, 0x140, 1, at(n, 6)),
+             }});
+    }
+    {
+        const char *n = "seed/missing_log.cc";
+        cases.push_back(
+            {n,
+             {
+                 PmOp{OpType::TxBegin, 0, 0, 0, 0, at(n, 1)},
+                 PmOp{OpType::TxAdd, 0x10, 64, 0, 0, at(n, 2)},
+                 PmOp::write(0x10, 64, at(n, 3)),
+                 PmOp::write(0x80, 64, at(n, 4)), // unlogged
+                 PmOp::clwb(0x10, 64, at(n, 5)),
+                 PmOp::clwb(0x80, 64, at(n, 6)),
+                 PmOp::sfence(at(n, 7)),
+                 PmOp{OpType::TxEnd, 0, 0, 0, 0, at(n, 8)},
+             }});
+    }
+    {
+        const char *n = "seed/incomplete_tx.cc";
+        cases.push_back(
+            {n,
+             {
+                 PmOp{OpType::TxCheckStart, 0, 0, 0, 0, at(n, 1)},
+                 PmOp{OpType::TxBegin, 0, 0, 0, 0, at(n, 2)},
+                 PmOp{OpType::TxAdd, 0x10, 64, 0, 0, at(n, 3)},
+                 PmOp::write(0x10, 64, at(n, 4)),
+                 PmOp{OpType::TxEnd, 0, 0, 0, 0, at(n, 5)},
+                 PmOp{OpType::TxCheckEnd, 0, 0, 0, 0, at(n, 6)},
+             }});
+    }
+    {
+        const char *n = "seed/unmatched_tx.cc";
+        cases.push_back(
+            {n, {PmOp{OpType::TxBegin, 0, 0, 0, 0, at(n, 1)}}});
+    }
+    {
+        const char *n = "seed/redundant_flush.cc";
+        cases.push_back({n,
+                         {
+                             PmOp::write(0x10, 64, at(n, 1)),
+                             PmOp::clwb(0x10, 64, at(n, 2)),
+                             PmOp::clwb(0x10, 64, at(n, 3)),
+                             PmOp::sfence(at(n, 4)),
+                         }});
+    }
+    {
+        const char *n = "seed/unnecessary_flush_clean.cc";
+        cases.push_back({n,
+                         {
+                             PmOp::write(0x10, 64, at(n, 1)),
+                             PmOp::clwb(0x10, 64, at(n, 2)),
+                             PmOp::sfence(at(n, 3)),
+                             PmOp::clwb(0x10, 64, at(n, 4)),
+                         }});
+    }
+    {
+        const char *n = "seed/unnecessary_flush_untouched.cc";
+        cases.push_back({n, {PmOp::clwb(0x900, 64, at(n, 1))}});
+    }
+    {
+        const char *n = "seed/duplicate_log.cc";
+        cases.push_back(
+            {n,
+             {
+                 PmOp{OpType::TxBegin, 0, 0, 0, 0, at(n, 1)},
+                 PmOp{OpType::TxAdd, 0x10, 64, 0, 0, at(n, 2)},
+                 PmOp{OpType::TxAdd, 0x10, 64, 0, 0, at(n, 3)},
+                 PmOp::write(0x10, 64, at(n, 4)),
+                 PmOp::clwb(0x10, 64, at(n, 5)),
+                 PmOp::sfence(at(n, 6)),
+                 PmOp{OpType::TxEnd, 0, 0, 0, 0, at(n, 7)},
+             }});
+    }
+
+    return cases;
+}
+
+} // namespace
+
+std::vector<SeedTrace>
+seedCorpusTraces()
+{
+    const std::vector<SeedCase> corpus = buildCorpus();
+    std::vector<SeedTrace> seeds;
+    seeds.reserve(corpus.size());
+    uint64_t id = 1;
+    for (const SeedCase &seed : corpus) {
+        Trace t(id++, 0);
+        t.append(seed.ops);
+        seeds.push_back({seed.name, std::move(t)});
+    }
+    return seeds;
+}
+
+} // namespace pmtest

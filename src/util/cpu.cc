@@ -1,0 +1,58 @@
+#include "util/cpu.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace pmtest::util
+{
+
+size_t
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+size_t
+envThreadOverride(const char *name, size_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    size_t value = 0;
+    const char *end = raw + std::strlen(raw);
+    const auto [ptr, ec] = std::from_chars(raw, end, value);
+    if (ec != std::errc{} || ptr != end || value == 0)
+        return fallback; // malformed or zero: ignore the override
+    return value;
+}
+
+size_t
+configuredWorkers()
+{
+    return envThreadOverride("PMTEST_WORKERS", hardwareThreads());
+}
+
+PipelineLayout
+defaultPipelineLayout()
+{
+    const size_t cores = hardwareThreads();
+    PipelineLayout layout;
+    if (cores <= 1) {
+        layout.workers = 0; // inline: threads would only switch
+        layout.decoders = 1;
+    } else {
+        layout.decoders = std::clamp<size_t>(cores / 4, 1, 4);
+        layout.workers = cores - layout.decoders;
+    }
+    layout.workers = envThreadOverride("PMTEST_WORKERS",
+                                       layout.workers);
+    layout.decoders = envThreadOverride("PMTEST_DECODERS",
+                                        layout.decoders);
+    return layout;
+}
+
+} // namespace pmtest::util

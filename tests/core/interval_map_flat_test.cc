@@ -1,10 +1,13 @@
 /**
  * @file
- * Differential validation of the flat (sorted-vector) IntervalMap
- * backing store: every operation sequence must behave exactly like a
- * naive per-byte reference model — assign/erase/covers/anyOverlap/
- * forEachOverlap over random ranges — and the flat storage must keep
- * its capacity across clear() so reused maps stop allocating.
+ * Differential validation of the IntervalMap backing store (now the
+ * chunked layout; historically the flat sorted vector): every
+ * operation sequence must behave exactly like a naive per-byte
+ * reference model — assign/erase/covers/anyOverlap/forEachOverlap
+ * over random ranges — and the storage must keep its capacity across
+ * clear() so reused maps stop allocating. Chunk-layout specifics
+ * (split/merge boundaries, batch ops, cross-layout equivalence) live
+ * in interval_map_chunked_test.cc.
  */
 
 #include "core/interval_map.hh"

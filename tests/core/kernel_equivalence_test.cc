@@ -1,11 +1,14 @@
 /**
  * @file
  * Equivalence guarantees for the devirtualised checking kernel: the
- * model-templated fast path, the virtual-dispatch baseline, and a
- * reused (state-retaining) engine must all emit byte-identical
- * reports — (kind, opIndex, message) — on random traces and on the
- * Table 1 data-structure workloads. Dispatch and state reuse are
- * performance features, never semantic ones.
+ * model-templated fast path (which batches write runs into sorted
+ * shadow splices), the same kernel with batching off
+ * (Dispatch::TemplatedPerOp), the virtual-dispatch per-op oracle,
+ * and a reused (state-retaining) engine must all emit byte-identical
+ * reports — (kind, opIndex, message) — on random traces, on the
+ * Table 1 data-structure workloads, and on the seeded-bug corpus.
+ * Dispatch, batching and state reuse are performance features, never
+ * semantic ones.
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +21,7 @@
 #include "core/api.hh"
 #include "core/engine.hh"
 #include "pmds/pm_map.hh"
+#include "trace/seed_corpus.hh"
 #include "txlib/obj_pool.hh"
 #include "util/random.hh"
 
@@ -108,15 +112,79 @@ TEST_P(KernelEquivalenceTest, TemplatedMatchesVirtualDispatch)
     Rng rng(0xbeef + static_cast<uint64_t>(kind));
 
     Engine templated(kind);
+    Engine per_op(kind, Engine::Dispatch::TemplatedPerOp);
     Engine virtualised(kind, Engine::Dispatch::Virtual);
     ASSERT_EQ(templated.dispatch(), Engine::Dispatch::Templated);
+    ASSERT_EQ(per_op.dispatch(), Engine::Dispatch::TemplatedPerOp);
     ASSERT_EQ(virtualised.dispatch(), Engine::Dispatch::Virtual);
 
     for (int round = 0; round < 60; round++) {
         const Trace trace = randomTrace(rng, round, kind);
         const auto fast = signature(templated.check(trace));
+        const auto unbatched = signature(per_op.check(trace));
         const auto slow = signature(virtualised.check(trace));
         ASSERT_EQ(fast, slow) << "round " << round;
+        ASSERT_EQ(unbatched, slow) << "round " << round;
+    }
+}
+
+TEST_P(KernelEquivalenceTest, WriteRunBatchingMatchesOracle)
+{
+    // Long write runs are what the batched kernel coalesces; make
+    // them adversarial: overlapping writes inside a run (forces the
+    // mid-run flush), empty writes (must vanish without a trace, as
+    // per-op exclusion-covers treats them vacuously), runs longer
+    // than the batch cap, and runs cut short by every other op type.
+    const ModelKind kind = GetParam();
+    Rng rng(0xfeed + static_cast<uint64_t>(kind));
+
+    Engine templated(kind);
+    Engine per_op(kind, Engine::Dispatch::TemplatedPerOp);
+    Engine virtualised(kind, Engine::Dispatch::Virtual);
+
+    for (int round = 0; round < 40; round++) {
+        Trace trace(round, 0);
+        const size_t runs = 1 + rng.below(6);
+        for (size_t run = 0; run < runs; run++) {
+            const size_t len = 1 + rng.below(80);
+            for (size_t w = 0; w < len; w++) {
+                const uint64_t addr = 64 * rng.below(24);
+                const uint64_t size =
+                    rng.below(10) == 0 ? 0 : 8 + rng.below(120);
+                trace.append(PmOp::write(addr, size));
+            }
+            switch (rng.below(4)) {
+              case 0:
+                trace.append(PmOp::clwb(64 * rng.below(24), 64));
+                break;
+              case 1:
+                trace.append(PmOp::sfence());
+                break;
+              case 2:
+                trace.append(PmOp::isPersist(64 * rng.below(24), 64));
+                break;
+              default:
+                break; // back-to-back runs
+            }
+        }
+        for (auto &op : trace.mutableOps()) {
+            if (kind == ModelKind::Hops) {
+                if (op.type == OpType::Sfence)
+                    op.type = OpType::Dfence;
+                if (op.type == OpType::Clwb)
+                    op.type = OpType::Ofence;
+            } else if (kind == ModelKind::Arm) {
+                if (op.type == OpType::Sfence)
+                    op.type = OpType::Dsb;
+                if (op.type == OpType::Clwb)
+                    op.type = OpType::DcCvap;
+            }
+        }
+        const auto oracle = signature(virtualised.check(trace));
+        ASSERT_EQ(signature(templated.check(trace)), oracle)
+            << "round " << round;
+        ASSERT_EQ(signature(per_op.check(trace)), oracle)
+            << "round " << round;
     }
 }
 
@@ -209,15 +277,41 @@ TEST(KernelEquivalenceTable1Test, WorkloadReportsAreIdentical)
         ASSERT_FALSE(traces.empty());
 
         Engine reused(ModelKind::X86);
+        Engine per_op(ModelKind::X86,
+                      Engine::Dispatch::TemplatedPerOp);
         size_t ops = 0;
         for (const auto &trace : traces) {
             ops += trace.size();
             Engine baseline(ModelKind::X86, Engine::Dispatch::Virtual);
-            ASSERT_EQ(signature(reused.check(trace)),
-                      signature(baseline.check(trace)))
+            const auto oracle = signature(baseline.check(trace));
+            ASSERT_EQ(signature(reused.check(trace)), oracle)
+                << "map kind " << static_cast<int>(kind);
+            ASSERT_EQ(signature(per_op.check(trace)), oracle)
                 << "map kind " << static_cast<int>(kind);
         }
         EXPECT_GT(ops, 0u);
+    }
+}
+
+TEST(KernelEquivalenceCorpusTest, SeededBugVerdictsAreIdentical)
+{
+    // The seeded-bug corpus is the repair loop's regression anchor:
+    // every dispatch mode must report each planted bug identically,
+    // finding for finding, message for message — and actually find
+    // something in every case.
+    const std::vector<SeedTrace> corpus = seedCorpusTraces();
+    ASSERT_FALSE(corpus.empty());
+
+    Engine templated(ModelKind::X86);
+    Engine per_op(ModelKind::X86, Engine::Dispatch::TemplatedPerOp);
+    for (const SeedTrace &seed : corpus) {
+        Engine oracle(ModelKind::X86, Engine::Dispatch::Virtual);
+        const auto expected = signature(oracle.check(seed.trace));
+        EXPECT_FALSE(expected.empty()) << seed.name;
+        ASSERT_EQ(signature(templated.check(seed.trace)), expected)
+            << seed.name;
+        ASSERT_EQ(signature(per_op.check(seed.trace)), expected)
+            << seed.name;
     }
 }
 
