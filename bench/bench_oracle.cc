@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Ground-truth oracle harness: exhaustive vs representative vs
+ * parallel crash-state exploration on the Table-1 workload shapes,
+ * emitting JSON for CI trend tracking.
+ *
+ * Gated sections report the *states-tested reduction* in the
+ * "speedup" field — verdicts obtained by exhaustive enumeration per
+ * verdict the representative oracle needs for the same coverage.
+ * That ratio is a property of the workload and the recovery read
+ * set, not of the machine, so CI gates it exactly like the kernel
+ * speedups (bench/check_kernel_regression.py against
+ * bench/oracle_baseline.json). The parallel section's wall-clock
+ * speedup IS machine-dependent and is deliberately left out of the
+ * baseline — the gate prints it as a note.
+ *
+ * Structure-level sections (txlib / atomic map / PMFS) run on spaces
+ * of 2^20..2^30+ states where exhaustive enumeration is infeasible;
+ * their reduction is statesCovered/statesTested of one representative
+ * pass, and their exhaustive column is reported as the covered total.
+ *
+ * Flags:
+ *  --smoke        shrink the wall-clock sections for CI.
+ *  --json=PATH    where to write the JSON (default BENCH_oracle.json).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/yat.hh"
+#include "bench/bench_util.hh"
+#include "core/api.hh"
+#include "pmds/hashmap_atomic.hh"
+#include "pmds/hashmap_tx.hh"
+#include "pmfs/pmfs.hh"
+#include "txlib/undo_log.hh"
+#include "util/clock.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace pmtest;
+using baseline::Yat;
+using ByteMap = std::map<uint64_t, std::vector<uint8_t>>;
+
+/** One measured section; "reduction" is what CI gates. */
+struct Section
+{
+    std::string name;
+    uint64_t exhaustiveStates = 0; ///< tested, or covered when inf.
+    uint64_t representativeStates = 0;
+    double reduction = 0; ///< exhaustiveStates / representativeStates
+    double wallExhaustiveMs = -1; ///< <0 = not run (infeasible)
+    double wallRepresentativeMs = 0;
+};
+
+/**
+ * The valid-flag protocol with @p payload_lines extra in-flight
+ * lines — the microbenchmark shape whose crash-state space grows
+ * 2^lines per crash point (paper §2.2).
+ */
+struct FlagWorkload
+{
+    explicit FlagWorkload(size_t payload_lines)
+        : pool(1 << 16), payloadLines(payload_lines)
+    {
+        data = static_cast<uint64_t *>(pool.at(pool.alloc(64)));
+        valid = static_cast<uint64_t *>(pool.at(pool.alloc(64)));
+        *data = 0;
+        *valid = 0;
+        payload.resize(payload_lines);
+        for (auto &p : payload) {
+            p = static_cast<uint64_t *>(pool.at(pool.alloc(64)));
+            *p = 0;
+        }
+        initial.assign(pool.base(), pool.base() + pool.size());
+    }
+
+    Trace
+    trace()
+    {
+        *data = 42;
+        *valid = 1;
+        Trace t(1, 0);
+        t.append(PmOp::write(addr(data), 8));
+        t.append(PmOp::write(addr(valid), 8));
+        for (size_t i = 0; i < payload.size(); i++) {
+            *payload[i] = 0x1000 + i;
+            t.append(PmOp::write(addr(payload[i]), 8));
+        }
+        t.append(PmOp::clwb(addr(data), 8));
+        t.append(PmOp::clwb(addr(valid), 8));
+        t.append(PmOp::sfence());
+        return t;
+    }
+
+    pmem::TrackedPredicate
+    predicate() const
+    {
+        const uint64_t data_off = pool.offsetOf(data);
+        const uint64_t valid_off = pool.offsetOf(valid);
+        return [data_off, valid_off](pmem::TrackedImage &image) {
+            if (image.readAt<uint64_t>(valid_off) == 0)
+                return true;
+            return image.readAt<uint64_t>(data_off) == 42;
+        };
+    }
+
+    Yat
+    yat()
+    {
+        Yat y(pool);
+        y.setInitialImage(initial);
+        return y;
+    }
+
+    static uint64_t addr(const void *p)
+    {
+        return reinterpret_cast<uint64_t>(p);
+    }
+
+    pmem::PmPool pool;
+    size_t payloadLines;
+    uint64_t *data = nullptr;
+    uint64_t *valid = nullptr;
+    std::vector<uint64_t *> payload;
+    std::vector<uint8_t> initial;
+};
+
+Yat::OracleOptions
+options(Yat::OracleOptions::Mode mode, size_t workers = 1)
+{
+    Yat::OracleOptions opts;
+    opts.mode = mode;
+    opts.workers = workers;
+    return opts;
+}
+
+/** Exhaustive vs representative on the flag-protocol trace. */
+Section
+measureFlagTrace(size_t payload_lines)
+{
+    FlagWorkload w(payload_lines);
+    const Trace trace = w.trace();
+    Yat yat = w.yat();
+
+    Timer timer;
+    const auto ex = yat.runOracle(
+        trace, w.predicate(),
+        options(Yat::OracleOptions::Mode::Exhaustive));
+    const double ex_ms = timer.elapsedNs() * 1e-6;
+
+    timer.reset();
+    const auto re = yat.runOracle(
+        trace, w.predicate(),
+        options(Yat::OracleOptions::Mode::Representative));
+    const double re_ms = timer.elapsedNs() * 1e-6;
+
+    if (ex.statesCovered != re.statesCovered ||
+        ex.failures != re.failures)
+        panic("representative/exhaustive verdict divergence");
+
+    Section s;
+    s.name = "flag-trace-" + std::to_string(payload_lines) + "-lines";
+    s.exhaustiveStates = ex.statesTested;
+    s.representativeStates = re.statesTested;
+    s.reduction = double(ex.statesTested) / double(re.statesTested);
+    s.wallExhaustiveMs = ex_ms;
+    s.wallRepresentativeMs = re_ms;
+    return s;
+}
+
+/** Representative-only structure-level section. */
+Section
+measurePool(const char *name, pmem::PmPool &pool,
+            const pmem::TrackedPredicate &predicate)
+{
+    Timer timer;
+    const auto result = Yat::explorePool(
+        pool, predicate,
+        options(Yat::OracleOptions::Mode::Representative));
+    const double re_ms = timer.elapsedNs() * 1e-6;
+
+    if (result.failures != 0)
+        panic("clean workload failed ground-truth validation");
+
+    Section s;
+    s.name = name;
+    s.exhaustiveStates = result.statesCovered;
+    s.representativeStates = result.statesTested;
+    s.reduction = result.reductionRatio();
+    s.wallRepresentativeMs = re_ms;
+    return s;
+}
+
+Section
+measureTxlibOpenTx()
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    txlib::ObjPool pool(4 << 20, /*simulate_crashes=*/true);
+    pmtestAttachPool(&pool.pmPool());
+    pmds::HashmapTx map(pool);
+    ByteMap reference;
+    const std::vector<uint8_t> value(40, 0x5a);
+    for (uint64_t k = 1; k <= 12; k++) {
+        map.insert(k, value.data(), value.size());
+        reference[k] = value;
+    }
+    pool.txBegin();
+    for (int i = 0; i < 24; i++) {
+        auto *obj = static_cast<uint64_t *>(pool.txAllocRaw(64));
+        uint64_t payload[8];
+        for (int w = 0; w < 8; w++)
+            payload[w] = 0x4000 * (i + 1) + w + 1;
+        pool.txWrite(obj, payload, sizeof(payload));
+    }
+
+    Section s = measurePool(
+        "txlib-open-tx", pool.pmPool(),
+        [&](pmem::TrackedImage &image) {
+            txlib::recoverImage(image);
+            ByteMap walked;
+            if (!pmds::HashmapTx::readImage(pool.pmPool(),
+                                            image.raw(), &walked,
+                                            image.tracker()))
+                return false;
+            return walked == reference;
+        });
+    pool.txCommit();
+    pmtestDetachPool();
+    pmtestExit();
+    return s;
+}
+
+Section
+measureAtomicMapStaged()
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    txlib::ObjPool pool(4 << 20, /*simulate_crashes=*/true);
+    pmtestAttachPool(&pool.pmPool());
+    pmds::HashmapAtomic map(pool);
+    const std::vector<uint8_t> value(32, 0x4c);
+    for (uint64_t k = 1; k <= 15; k++)
+        map.insert(k, value.data(), value.size());
+    for (int i = 0; i < 30; i++) {
+        auto *buf = static_cast<uint64_t *>(pool.allocRaw(64));
+        uint64_t payload[8];
+        for (int w = 0; w < 8; w++)
+            payload[w] = 0xbeef0000 + 8 * i + w;
+        pmStore(buf, payload, sizeof(payload));
+    }
+
+    Section s = measurePool(
+        "atomic-map-staged", pool.pmPool(),
+        [&](pmem::TrackedImage &image) {
+            uint64_t recounted = 0;
+            if (!pmds::HashmapAtomic::recoverImage(
+                    pool.pmPool(), image.raw(), &recounted,
+                    image.tracker()))
+                return false;
+            return recounted == 15;
+        });
+    pmtestDetachPool();
+    pmtestExit();
+    return s;
+}
+
+Section
+measurePmfsJournal()
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+    pmfs::Pmfs fs(4 << 20, /*simulate_crashes=*/true,
+                  /*use_fifo=*/false);
+    pmtestAttachPool(&fs.pmPool());
+    fs.faults.skipDataFlush = true;
+    const std::string payload(700, 'q');
+    for (int i = 0; i < 3; i++) {
+        const int ino = fs.create("bench" + std::to_string(i));
+        if (ino < 0 ||
+            fs.write(ino, 0, payload.data(), payload.size()) !=
+                static_cast<long>(payload.size()))
+            panic("pmfs setup failed");
+    }
+
+    Section s = measurePool(
+        "pmfs-journal", fs.pmPool(),
+        [&](pmem::TrackedImage &image) {
+            pmfs::Pmfs::recoverImage(image);
+            const auto sb = image.readAt<pmfs::Superblock>(0);
+            if (sb.magic != pmfs::Superblock::kMagic)
+                return false;
+            size_t in_use = 0;
+            for (uint64_t i = 0; i < sb.nInodes; i++) {
+                const auto ino = image.readAt<pmfs::Inode>(
+                    sb.inodeTableOffset + i * sizeof(pmfs::Inode));
+                if (ino.inUse)
+                    in_use++;
+            }
+            return in_use == 3;
+        });
+    pmtestDetachPool();
+    pmtestExit();
+    return s;
+}
+
+/** Cross-crash-point memo reuse on the flag trace (serial). */
+Section
+measureMemoReuse(size_t payload_lines)
+{
+    FlagWorkload w(payload_lines);
+    const Trace trace = w.trace();
+    Yat yat = w.yat();
+
+    auto opts = options(Yat::OracleOptions::Mode::Representative);
+    opts.memoize = false;
+    Timer timer;
+    const auto raw = yat.runOracle(trace, w.predicate(), opts);
+    const double raw_ms = timer.elapsedNs() * 1e-6;
+
+    opts.memoize = true;
+    timer.reset();
+    const auto memo = yat.runOracle(trace, w.predicate(), opts);
+    const double memo_ms = timer.elapsedNs() * 1e-6;
+
+    if (memo.failures != raw.failures)
+        panic("memoization changed the failure total");
+
+    // Reduction = predicate executions avoided: every class still
+    // gets a verdict, the memo just serves repeats from the cache.
+    Section s;
+    s.name = "memo-cross-point";
+    s.exhaustiveStates = raw.statesTested;
+    s.representativeStates = memo.statesTested - memo.memoHits;
+    s.reduction = double(s.exhaustiveStates) /
+                  double(s.representativeStates);
+    s.wallExhaustiveMs = raw_ms;
+    s.wallRepresentativeMs = memo_ms;
+    return s;
+}
+
+/**
+ * Wall-clock crash-point parallelism (machine-dependent; not in the
+ * committed baseline). Exhaustive mode on a wide flag trace gives
+ * each crash point enough work for the team to matter.
+ */
+Section
+measureParallel(size_t payload_lines)
+{
+    FlagWorkload w(payload_lines);
+    const Trace trace = w.trace();
+    Yat yat = w.yat();
+
+    auto opts = options(Yat::OracleOptions::Mode::Exhaustive, 1);
+    opts.memoize = false;
+    Timer timer;
+    const auto serial = yat.runOracle(trace, w.predicate(), opts);
+    const double serial_ms = timer.elapsedNs() * 1e-6;
+
+    opts.workers = 0; // size from util::defaultPipelineLayout
+    timer.reset();
+    const auto par = yat.runOracle(trace, w.predicate(), opts);
+    const double par_ms = timer.elapsedNs() * 1e-6;
+
+    if (par.statesTested != serial.statesTested ||
+        par.failures != serial.failures)
+        panic("parallel merge diverged from serial counts");
+
+    Section s;
+    s.name = "parallel-crash-points";
+    s.exhaustiveStates = serial.statesTested;
+    s.representativeStates = par.statesTested;
+    s.reduction = serial_ms / par_ms; // wall-clock speedup
+    s.wallExhaustiveMs = serial_ms;
+    s.wallRepresentativeMs = par_ms;
+    return s;
+}
+
+void
+printSection(const Section &s)
+{
+    if (s.wallExhaustiveMs >= 0) {
+        std::printf("%-22s %12llu states %10.2f ms exhaustive\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(
+                        s.exhaustiveStates),
+                    s.wallExhaustiveMs);
+    } else {
+        std::printf("%-22s %12llu states    (exhaustive "
+                    "infeasible)\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(
+                        s.exhaustiveStates));
+    }
+    std::printf("%-22s %12llu tested %10.2f ms   -> %.1fx\n", "",
+                static_cast<unsigned long long>(
+                    s.representativeStates),
+                s.wallRepresentativeMs, s.reduction);
+}
+
+bool
+writeJson(const std::string &path,
+          const std::vector<Section> &sections, bool smoke)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("bench", "oracle");
+    w.member("smoke", smoke);
+    w.member("scale", pmtest::bench::scale());
+    w.key("sections").beginArray();
+    for (const Section &s : sections) {
+        w.beginObject();
+        w.member("name", s.name);
+        w.member("exhaustive_states", s.exhaustiveStates);
+        w.member("representative_states", s.representativeStates);
+        w.member("speedup", s.reduction, 3);
+        if (s.wallExhaustiveMs >= 0)
+            w.member("wall_exhaustive_ms", s.wallExhaustiveMs, 3);
+        w.member("wall_representative_ms", s.wallRepresentativeMs,
+                 3);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return pmtest::bench::writeJsonFile(path, w);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string json_path = "BENCH_oracle.json";
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    pmtest::bench::banner(
+        "Ground-truth oracle",
+        "exhaustive vs representative vs parallel crash-state "
+        "exploration");
+
+    // The reduction sections are deterministic workload properties —
+    // identical in smoke and full runs, so one committed baseline
+    // (bench/oracle_baseline.json) serves both. Only the wall-clock
+    // parallel section scales down under --smoke.
+    std::vector<Section> sections;
+    sections.push_back(measureFlagTrace(10));
+    sections.push_back(measureTxlibOpenTx());
+    sections.push_back(measureAtomicMapStaged());
+    sections.push_back(measurePmfsJournal());
+    sections.push_back(measureMemoReuse(10));
+    sections.push_back(measureParallel(smoke ? 11 : 15));
+    for (const Section &s : sections)
+        printSection(s);
+
+    if (!writeJson(json_path, sections, smoke))
+        return 2;
+    return 0;
+}

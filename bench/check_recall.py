@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Gate pmtest_recall results against the committed baseline.
+
+Usage: check_recall.py CURRENT.json BASELINE.json
+
+Recall is a correctness metric, not a performance one, so the gate is
+exact: checker recall and oracle recall/precision must not drop below
+the committed baseline values, no false positives may appear beyond
+the baseline, and the oracle's state-space reduction ratio must stay
+at or above 10x (the representative-oracle acceptance floor). Seeded
+populations growing is fine; detection falling behind them is not —
+the recall *ratio* is what gates, so adding new seeded bugs that are
+caught keeps passing.
+
+Exit status: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+REDUCTION_FLOOR = 10.0
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "pmtest-recall-v1":
+        print(f"error: {path}: not a pmtest-recall-v1 document",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def gate(name, got, want, failed):
+    verdict = "ok" if got >= want else "FAIL"
+    print(f"{verdict:4} {name}: {got:.3f} (baseline {want:.3f})")
+    return failed or got < want
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current = load(argv[1])
+    baseline = load(argv[2])
+
+    failed = False
+    failed = gate("checker recall", current["checker"]["recall"],
+                  baseline["checker"]["recall"], failed)
+    failed = gate("oracle recall", current["oracle"]["recall"],
+                  baseline["oracle"]["recall"], failed)
+    failed = gate("oracle precision", current["oracle"]["precision"],
+                  baseline["oracle"]["precision"], failed)
+    failed = gate("oracle reduction ratio",
+                  current["oracle"]["reduction_ratio"],
+                  REDUCTION_FLOOR, failed)
+
+    missed = current["checker"].get("seed_corpus", {}).get("missed", [])
+    for camp in ("table5", "table6"):
+        missed += current["checker"].get(camp, {}).get("missed", [])
+    missed += current["oracle"].get("missed", [])
+    for case in missed:
+        print(f"miss {case}")
+
+    seeded = current["checker"]["seeded"]
+    base_seeded = baseline["checker"]["seeded"]
+    if seeded < base_seeded:
+        print(f"FAIL checker population shrank: {seeded} seeded "
+              f"cases (baseline {base_seeded})")
+        failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

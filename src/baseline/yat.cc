@@ -1,11 +1,53 @@
 #include "baseline/yat.hh"
 
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "obs/telemetry.hh"
 #include "pmem/cache_sim.hh"
 #include "pmem/crash_injector.hh"
 #include "pmem/pm_device.hh"
+#include "util/cpu.hh"
+#include "util/logging.hh"
 
 namespace pmtest::baseline
 {
+
+namespace
+{
+
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    return (a > UINT64_MAX - b) ? UINT64_MAX : a + b;
+}
+
+/** Fold one crash point's exploration into an oracle result. */
+void
+accumulate(Yat::OracleResult &into,
+           const pmem::CrashInjector::ExploreResult &er,
+           uint64_t raw_states)
+{
+    into.crashPoints++;
+    into.statesTested = satAdd(into.statesTested, er.statesTested);
+    into.statesCovered = satAdd(into.statesCovered, er.statesCovered);
+    into.rawStates = satAdd(into.rawStates, raw_states);
+    into.failures = satAdd(into.failures, er.failures);
+    into.memoHits = satAdd(into.memoHits, er.memoHits);
+    if (er.truncated)
+        into.truncated = true;
+}
+
+void
+countOracle(const Yat::OracleResult &r)
+{
+    obs::count(obs::Counter::OracleStatesTested, r.statesTested);
+    obs::count(obs::Counter::OracleStatesCovered, r.statesCovered);
+    obs::count(obs::Counter::OracleMemoHits, r.memoHits);
+}
+
+} // namespace
 
 Yat::Result
 Yat::run(const Trace &trace, const Predicate &predicate,
@@ -19,6 +61,34 @@ Yat::runFinal(const Trace &trace, const Predicate &predicate,
               uint64_t per_point_cap)
 {
     return runImpl(trace, predicate, per_point_cap, false);
+}
+
+void
+Yat::replayOp(pmem::CacheSim &cache, const PmOp &op) const
+{
+    switch (op.type) {
+      case OpType::Write: {
+        // The trace records the *new* content's address; replay
+        // copies the bytes the program actually wrote, which at
+        // replay time still live at that address.
+        const void *data = reinterpret_cast<const void *>(op.addr);
+        cache.store(pool_.offsetOf(data), data, op.size);
+        break;
+      }
+      case OpType::Clwb:
+      case OpType::ClflushOpt:
+      case OpType::Clflush:
+        cache.clwb(
+            pool_.offsetOf(reinterpret_cast<const void *>(op.addr)),
+            op.size);
+        break;
+      case OpType::Sfence:
+      case OpType::Dfence:
+        cache.sfence();
+        break;
+      default:
+        break; // checkers/TX events do not affect the medium
+    }
 }
 
 Yat::Result
@@ -38,12 +108,16 @@ Yat::runImpl(const Trace &trace, const Predicate &predicate,
                         : initialImage_);
     pmem::CacheSim cache(device, true);
 
+    // One scratch image reused across every crash state; assignment
+    // keeps the capacity, so only the first state allocates.
+    std::vector<uint8_t> scratch;
+
     auto test_point = [&] {
         pmem::CrashInjector injector(cache);
         const uint64_t visited = injector.enumerate(
             [&](const std::vector<uint8_t> &image) {
-                std::vector<uint8_t> copy = image;
-                if (!predicate(copy))
+                scratch = image;
+                if (!predicate(scratch))
                     result.failures++;
                 result.statesTested++;
             },
@@ -53,37 +127,143 @@ Yat::runImpl(const Trace &trace, const Predicate &predicate,
         result.crashPoints++;
     };
 
-    const auto &ops = trace.ops();
-    for (const auto &op : ops) {
-        switch (op.type) {
-          case OpType::Write: {
-            // The trace records the *new* content's address; replay
-            // copies the bytes the program actually wrote, which at
-            // replay time still live at that address.
-            const void *data =
-                reinterpret_cast<const void *>(op.addr);
-            cache.store(pool_.offsetOf(data), data, op.size);
-            break;
-          }
-          case OpType::Clwb:
-          case OpType::ClflushOpt:
-          case OpType::Clflush:
-            cache.clwb(pool_.offsetOf(
-                           reinterpret_cast<const void *>(op.addr)),
-                       op.size);
-            break;
-          case OpType::Sfence:
-          case OpType::Dfence:
-            cache.sfence();
-            break;
-          default:
-            break; // checkers/TX events do not affect the medium
-        }
+    for (const auto &op : trace.ops()) {
+        replayOp(cache, op);
         if (every_point)
             test_point();
     }
     if (!every_point)
         test_point();
+    return result;
+}
+
+Yat::OracleResult
+Yat::runOracle(const Trace &trace,
+               const pmem::TrackedPredicate &predicate,
+               const OracleOptions &options)
+{
+    const auto &ops = trace.ops();
+    const uint64_t points = options.finalOnly ? 1 : ops.size();
+    OracleResult result;
+    if (points == 0)
+        return result;
+
+    size_t workers = options.workers;
+    if (workers == 0)
+        workers = std::max<size_t>(1, util::defaultPipelineLayout().workers);
+    workers = static_cast<size_t>(
+        std::min<uint64_t>(workers, points));
+
+    const std::vector<uint8_t> initial =
+        initialImage_.empty()
+            ? std::vector<uint8_t>(pool_.base(),
+                                   pool_.base() + pool_.size())
+            : initialImage_;
+
+    // Crash points are claimed in contiguous blocks off a shared
+    // counter; each worker's claims are monotonically increasing, so
+    // a worker only ever replays the trace forward into its private
+    // device/cache pair, and a write-log-synced mirror of the device
+    // image doubles as the in-place working image for exploration
+    // (CrashInjector::explore restores it before returning).
+    std::atomic<uint64_t> next_point{0};
+    const uint64_t block =
+        std::max<uint64_t>(1, points / (workers * 4));
+
+    auto explore_points = [&](OracleResult &local) {
+        pmem::PmDevice device(pool_.size());
+        device.setImage(initial);
+        device.enableWriteLog();
+        pmem::CacheSim cache(device, true);
+        std::vector<uint8_t> mirror = device.image();
+        device.takeWriteLog(); // mirror is synced from here on
+        pmem::PredicateMemo memo;
+        uint64_t replayed = 0;
+
+        for (;;) {
+            const uint64_t begin = next_point.fetch_add(block);
+            if (begin >= points)
+                break;
+            const uint64_t end = std::min(points, begin + block);
+            for (uint64_t p = begin; p < end; p++) {
+                const uint64_t target =
+                    options.finalOnly ? ops.size() : p + 1;
+                while (replayed < target) {
+                    replayOp(cache, ops[replayed]);
+                    replayed++;
+                }
+                for (const auto &wr : device.takeWriteLog()) {
+                    std::memcpy(mirror.data() + wr.offset,
+                                device.image().data() + wr.offset,
+                                wr.size);
+                }
+
+                obs::SpanScope span(obs::Stage::OracleEnumerate);
+                pmem::CrashInjector injector(cache, false);
+                pmem::CrashInjector::ExploreOptions eo;
+                eo.representative =
+                    options.mode == OracleOptions::Mode::Representative;
+                eo.stateCap = options.perPointCap;
+                eo.memo = options.memoize ? &memo : nullptr;
+                accumulate(local,
+                           injector.explore(mirror, predicate, eo),
+                           injector.rawStateCount());
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        explore_points(result);
+    } else {
+        std::vector<OracleResult> locals(workers);
+        std::vector<std::thread> team;
+        team.reserve(workers);
+        for (size_t w = 0; w < workers; w++)
+            team.emplace_back(
+                [&, w] { explore_points(locals[w]); });
+        for (auto &t : team)
+            t.join();
+        for (const OracleResult &local : locals) {
+            result.crashPoints += local.crashPoints;
+            result.statesTested =
+                satAdd(result.statesTested, local.statesTested);
+            result.statesCovered =
+                satAdd(result.statesCovered, local.statesCovered);
+            result.rawStates = satAdd(result.rawStates, local.rawStates);
+            result.failures = satAdd(result.failures, local.failures);
+            result.memoHits = satAdd(result.memoHits, local.memoHits);
+            if (local.truncated)
+                result.truncated = true;
+        }
+    }
+
+    countOracle(result);
+    return result;
+}
+
+Yat::OracleResult
+Yat::explorePool(pmem::PmPool &pool,
+                 const pmem::TrackedPredicate &predicate,
+                 const OracleOptions &options)
+{
+    if (!pool.simulating())
+        panic("Yat::explorePool: pool has no crash simulation");
+
+    obs::SpanScope span(obs::Stage::OracleEnumerate);
+    pmem::CrashInjector injector(*pool.cache(), false);
+    std::vector<uint8_t> working = pool.pmDevice()->image();
+    pmem::PredicateMemo memo;
+
+    pmem::CrashInjector::ExploreOptions eo;
+    eo.representative =
+        options.mode == OracleOptions::Mode::Representative;
+    eo.stateCap = options.perPointCap;
+    eo.memo = options.memoize ? &memo : nullptr;
+
+    OracleResult result;
+    accumulate(result, injector.explore(working, predicate, eo),
+               injector.rawStateCount());
+    countOracle(result);
     return result;
 }
 

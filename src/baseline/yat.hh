@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "pmem/crash_injector.hh"
 #include "pmem/pm_pool.hh"
 #include "trace/trace.hh"
 
@@ -84,9 +85,108 @@ class Yat
     Result runFinal(const Trace &trace, const Predicate &predicate,
                     uint64_t per_point_cap = UINT64_MAX);
 
+    /** Options for the scalable oracle entry points below. */
+    struct OracleOptions
+    {
+        enum class Mode : uint8_t
+        {
+            /** Run recovery on every canonical crash state. */
+            Exhaustive,
+            /**
+             * Run recovery once per recovery-distinguishable class,
+             * weighting each verdict by the class size. Same failure
+             * totals as Exhaustive, exponentially fewer runs.
+             */
+            Representative
+        };
+
+        Mode mode = Mode::Representative;
+        /** Cap on recovery runs per crash point (classes in
+         *  representative mode). */
+        uint64_t perPointCap = UINT64_MAX;
+        /**
+         * Worker threads exploring crash points. 0 sizes from
+         * util::defaultPipelineLayout() (1 on a single-core host);
+         * 1 forces serial exploration.
+         */
+        size_t workers = 0;
+        /** Reuse verdicts across crash points whose images agree on
+         *  the recovery read set (see pmem::PredicateMemo). */
+        bool memoize = true;
+        /** Test only the single crash point after the last op. */
+        bool finalOnly = false;
+    };
+
+    /**
+     * Aggregate result of one oracle run. All merged counters are
+     * independent of worker count and scheduling except memoHits
+     * (which points hit the memo depends on which worker explored
+     * them first — the verdicts and totals do not).
+     */
+    struct OracleResult
+    {
+        uint64_t crashPoints = 0;   ///< op boundaries tested
+        uint64_t statesTested = 0;  ///< recovery verdicts obtained
+        uint64_t statesCovered = 0; ///< crash states accounted for
+        uint64_t rawStates = 0;     ///< pre-dedup cache-model states
+        uint64_t failures = 0;      ///< states whose recovery failed
+        uint64_t memoHits = 0;      ///< verdicts served from the memo
+        bool truncated = false;     ///< a per-point cap was hit
+
+        /** Crash states proven per recovery run (>= 1). */
+        double
+        reductionRatio() const
+        {
+            return statesTested == 0 ? 1.0
+                                     : static_cast<double>(statesCovered) /
+                                           static_cast<double>(statesTested);
+        }
+    };
+
+    /**
+     * Replay @p trace as run() does, but explore each crash point
+     * with delta images, read-set pruning (per @p options.mode), and
+     * a crash-point-parallel worker team. The predicate must route
+     * every image access through its TrackedImage (or an ImageView
+     * carrying the tracker) — see CrashInjector::explore.
+     */
+    OracleResult runOracle(const Trace &trace,
+                           const pmem::TrackedPredicate &predicate,
+                           const OracleOptions &options);
+
+    /** runOracle() with default options. */
+    OracleResult
+    runOracle(const Trace &trace,
+              const pmem::TrackedPredicate &predicate)
+    {
+        return runOracle(trace, predicate, OracleOptions());
+    }
+
+    /**
+     * Explore the crash states of a live simulating pool *now* (one
+     * crash point at the pool's current cache/device state). This is
+     * how structure-level workloads — whose traces rewrite locations
+     * and so cannot be replayed from addresses — get ground truth:
+     * execute the workload against the pool, then ask what recovery
+     * sees if power fails here.
+     */
+    static OracleResult
+    explorePool(pmem::PmPool &pool,
+                const pmem::TrackedPredicate &predicate,
+                const OracleOptions &options);
+
+    /** explorePool() with default options. */
+    static OracleResult
+    explorePool(pmem::PmPool &pool,
+                const pmem::TrackedPredicate &predicate)
+    {
+        return explorePool(pool, predicate, OracleOptions());
+    }
+
   private:
     Result runImpl(const Trace &trace, const Predicate &predicate,
                    uint64_t per_point_cap, bool every_point);
+    void replayOp(pmem::CacheSim &cache, const PmOp &op) const;
 
     pmem::PmPool &pool_;
     std::vector<uint8_t> initialImage_;

@@ -228,43 +228,50 @@ Region::persist(void *dst, const void *src, size_t size,
 size_t
 Region::recoverImage(std::vector<uint8_t> &image)
 {
-    RegionHeader header;
-    if (image.size() < sizeof(header))
+    pmem::TrackedImage view(image);
+    return recoverImage(view);
+}
+
+size_t
+Region::recoverImage(pmem::TrackedImage &image)
+{
+    if (image.size() < sizeof(RegionHeader))
         return 0;
-    std::memcpy(&header, image.data(), sizeof(header));
+    const auto header = image.readAt<RegionHeader>(0);
     if (header.magic != RegionHeader::kMagic)
         return 0;
 
-    LogHeader log;
-    std::memcpy(&log, image.data() + header.logOffset, sizeof(log));
+    const auto log = image.readAt<LogHeader>(header.logOffset);
     if (log.committed == 0) {
         // Uncommitted: discard the log; in-place data is untouched
         // because updates are deferred until after the commit record.
-        LogHeader cleared;
-        std::memcpy(image.data() + header.logOffset, &cleared,
-                    sizeof(cleared));
+        image.writeAt(header.logOffset, LogHeader{});
         return 0;
     }
 
     size_t applied = 0;
+    // Entry fields and payloads are read individually so recovery's
+    // recorded read set is exactly the bytes it depends on (what the
+    // representative crash-state oracle prunes against).
     for (uint64_t i = 0; i < log.entryCount; i++) {
-        LogEntry entry;
         const uint64_t off = header.logOffset + sizeof(LogHeader) +
                              i * sizeof(LogEntry);
-        if (off + sizeof(entry) > image.size())
+        if (off + sizeof(LogEntry) > image.size())
             break;
-        std::memcpy(&entry, image.data() + off, sizeof(entry));
-        if (entry.size > LogEntry::kMaxData ||
-            entry.offset + entry.size > image.size())
+        const auto offset = image.readAt<uint64_t>(
+            off + offsetof(LogEntry, offset));
+        const auto size = image.readAt<uint64_t>(
+            off + offsetof(LogEntry, size));
+        if (size > LogEntry::kMaxData ||
+            offset + size > image.size())
             continue;
-        std::memcpy(image.data() + entry.offset, entry.data,
-                    entry.size);
+        uint8_t data[LogEntry::kMaxData];
+        image.readBytes(off + offsetof(LogEntry, data), data, size);
+        image.writeBytes(offset, data, size);
         applied++;
     }
 
-    LogHeader cleared;
-    std::memcpy(image.data() + header.logOffset, &cleared,
-                sizeof(cleared));
+    image.writeAt(header.logOffset, LogHeader{});
     return applied;
 }
 

@@ -21,6 +21,7 @@
 
 #include "core/api.hh"
 #include "pmem/pm_pool.hh"
+#include "pmem/tracked_image.hh"
 
 namespace pmtest::mnemosyne
 {
@@ -116,6 +117,13 @@ class Region
      * @return number of entries replayed.
      */
     static size_t recoverImage(std::vector<uint8_t> &image);
+
+    /**
+     * Tracked variant: with a tracker attached every byte recovery
+     * reads/repairs is recorded for the crash-state oracle's pruning
+     * and rollback. The untracked overload wraps this one.
+     */
+    static size_t recoverImage(pmem::TrackedImage &image);
 
   private:
     struct RegionHeader

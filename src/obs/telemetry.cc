@@ -34,6 +34,8 @@ stageName(Stage stage)
         return "source.open";
       case Stage::HintReplay:
         return "hint.replay";
+      case Stage::OracleEnumerate:
+        return "oracle.enumerate";
     }
     return "unknown";
 }
@@ -72,6 +74,12 @@ counterName(Counter counter)
         return "hints_synthesized";
       case Counter::HintsVerified:
         return "hints_verified";
+      case Counter::OracleStatesTested:
+        return "oracle_states_tested";
+      case Counter::OracleStatesCovered:
+        return "oracle_states_covered";
+      case Counter::OracleMemoHits:
+        return "oracle_memo_hits";
     }
     return "unknown";
 }

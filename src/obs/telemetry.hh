@@ -79,10 +79,11 @@ enum class Stage : uint8_t
     ReportMerge,       ///< merging a per-trace report into the aggregate
     ReportCanonicalize,///< sorting the merged report into canonical order
     SourceOpen,        ///< opening/validating one trace source (file)
-    HintReplay         ///< replaying one patched trace to verify a hint
+    HintReplay,        ///< replaying one patched trace to verify a hint
+    OracleEnumerate    ///< crash-state oracle: one crash point explored
 };
 
-inline constexpr size_t kStageCount = 11;
+inline constexpr size_t kStageCount = 12;
 
 /** Stable span/metric name of @p stage (e.g. "engine.check"). */
 const char *stageName(Stage stage);
@@ -104,10 +105,13 @@ enum class Counter : uint8_t
     ReportsMerged,   ///< per-trace reports merged into aggregates
     SourcesIngested, ///< trace sources drained to End by ingest()
     HintsSynthesized,///< findings recorded with a valid FixHint
-    HintsVerified    ///< hints whose patched replay came back clean
+    HintsVerified,   ///< hints whose patched replay came back clean
+    OracleStatesTested, ///< recovery verdicts the oracle obtained
+    OracleStatesCovered,///< crash states those verdicts account for
+    OracleMemoHits      ///< verdicts served from the predicate memo
 };
 
-inline constexpr size_t kCounterCount = 15;
+inline constexpr size_t kCounterCount = 18;
 
 /** Stable metric name of @p counter (e.g. "traces_checked"). */
 const char *counterName(Counter counter);

@@ -223,11 +223,12 @@ walkSlot(const pmem::ImageView &view, uint64_t slot, size_t depth,
 bool
 CtreeMap::readImage(const pmem::PmPool &pool,
                     const std::vector<uint8_t> &image,
-                    std::map<uint64_t, std::vector<uint8_t>> *out)
+                    std::map<uint64_t, std::vector<uint8_t>> *out,
+                    pmem::ReadSetTracker *tracker)
 {
     if (image.size() != pool.size())
         return false;
-    pmem::ImageView view(pool, image);
+    pmem::ImageView view(pool, image, tracker);
 
     const auto header = view.readAt<txlib::PoolHeader>(0);
     if (header.magic != txlib::PoolHeader::kMagic ||

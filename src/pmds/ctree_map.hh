@@ -42,7 +42,8 @@ class CtreeMap : public PmMap
     static bool readImage(const pmem::PmPool &pool,
                           const std::vector<uint8_t> &image,
                           std::map<uint64_t, std::vector<uint8_t>>
-                              *out);
+                              *out,
+                          pmem::ReadSetTracker *tracker = nullptr);
 
   private:
     /** Tagged child pointer: low bit set = leaf. */

@@ -172,11 +172,12 @@ HashmapAtomic::count() const
 bool
 HashmapAtomic::recoverImage(const pmem::PmPool &pool,
                             std::vector<uint8_t> &image,
-                            uint64_t *recounted)
+                            uint64_t *recounted,
+                            pmem::ReadSetTracker *tracker)
 {
     if (image.size() != pool.size())
         return false;
-    pmem::ImageView view(pool, image);
+    pmem::ImageView view(pool, image, tracker);
 
     const auto header = view.readAt<txlib::PoolHeader>(0);
     if (header.magic != txlib::PoolHeader::kMagic ||
@@ -209,10 +210,13 @@ HashmapAtomic::recoverImage(const pmem::PmPool &pool,
     if (root.countDirty != 0 || root.count != counted) {
         // Repair: the dirty flag marks an interrupted update, and a
         // mismatched counter without the flag means the crash hit
-        // between the link persist and the counter protocol.
+        // between the link persist and the counter protocol. The
+        // write goes through the tracker so the oracle can roll the
+        // repair back between crash states.
         root.count = counted;
         root.countDirty = 0;
-        std::memcpy(image.data() + root_off, &root, sizeof(root));
+        pmem::TrackedImage repair(image, tracker);
+        repair.writeAt(root_off, root);
     }
     return true;
 }

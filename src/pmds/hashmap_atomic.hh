@@ -47,7 +47,8 @@ class HashmapAtomic : public PmMap
      */
     static bool recoverImage(const pmem::PmPool &pool,
                              std::vector<uint8_t> &image,
-                             uint64_t *recounted = nullptr);
+                             uint64_t *recounted = nullptr,
+                             pmem::ReadSetTracker *tracker = nullptr);
 
   private:
     struct Node

@@ -106,11 +106,12 @@ PmQueue::dequeue(std::vector<uint8_t> *out)
 bool
 PmQueue::readImage(const pmem::PmPool &pool,
                    const std::vector<uint8_t> &image,
-                   std::vector<std::vector<uint8_t>> *out)
+                   std::vector<std::vector<uint8_t>> *out,
+                   pmem::ReadSetTracker *tracker)
 {
     if (image.size() != pool.size())
         return false;
-    pmem::ImageView view(pool, image);
+    pmem::ImageView view(pool, image, tracker);
 
     const auto header = view.readAt<txlib::PoolHeader>(0);
     if (header.magic != txlib::PoolHeader::kMagic ||

@@ -83,7 +83,8 @@ class PmQueue
      */
     static bool readImage(const pmem::PmPool &pool,
                           const std::vector<uint8_t> &image,
-                          std::vector<std::vector<uint8_t>> *out);
+                          std::vector<std::vector<uint8_t>> *out,
+                          pmem::ReadSetTracker *tracker = nullptr);
 
   private:
     struct Slot

@@ -1,21 +1,70 @@
 #include "pmem/crash_injector.hh"
 
+#include <algorithm>
 #include <cstring>
+
+#include "util/logging.hh"
 
 namespace pmtest::pmem
 {
 
-CrashInjector::CrashInjector(const CacheSim &cache)
-    : baseImage_(cache.device().image()), choices_(cache.crashChoices())
+namespace
 {
+
+uint64_t
+satMul(uint64_t a, uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > UINT64_MAX / b)
+        return UINT64_MAX;
+    return a * b;
+}
+
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    return (a > UINT64_MAX - b) ? UINT64_MAX : a + b;
+}
+
+} // namespace
+
+CrashInjector::CrashInjector(const CacheSim &cache, bool copy_base_image)
+{
+    const std::vector<uint8_t> &device = cache.device().image();
+    if (copy_base_image)
+        baseImage_ = device;
+
+    // Canonicalize: device content is always choice 0; candidates
+    // equal to it (or to each other) collapse, and a line whose every
+    // choice is the device content cannot distinguish crash states.
+    for (const LineCrashChoices &c : cache.crashChoices()) {
+        rawChoiceCounts_.push_back(1 + c.candidates.size());
+
+        Slot slot;
+        slot.lineIndex = c.lineIndex;
+        LineData device_line(kLineSize);
+        std::memcpy(device_line.data(),
+                    device.data() + c.lineIndex * kLineSize, kLineSize);
+        slot.contents.push_back(std::move(device_line));
+        for (const LineData &cand : c.candidates) {
+            if (std::find(slot.contents.begin(), slot.contents.end(),
+                          cand) == slot.contents.end())
+                slot.contents.push_back(cand);
+        }
+        if (slot.contents.size() <= 1)
+            continue;
+        slotOfLine_.emplace(slot.lineIndex, slots_.size());
+        slots_.push_back(std::move(slot));
+    }
 }
 
 uint64_t
 CrashInjector::stateCount(uint64_t cap) const
 {
     uint64_t count = 1;
-    for (const auto &c : choices_) {
-        const uint64_t per_line = 1 + c.candidates.size();
+    for (const Slot &slot : slots_) {
+        const uint64_t per_line = slot.contents.size();
         if (count > cap / per_line)
             return cap;
         count *= per_line;
@@ -23,17 +72,36 @@ CrashInjector::stateCount(uint64_t cap) const
     return count;
 }
 
+uint64_t
+CrashInjector::rawStateCount(uint64_t cap) const
+{
+    uint64_t count = 1;
+    for (const uint64_t per_line : rawChoiceCounts_) {
+        if (count > cap / per_line)
+            return cap;
+        count *= per_line;
+    }
+    return count;
+}
+
+void
+CrashInjector::applyLine(std::vector<uint8_t> &image, const Slot &slot,
+                         size_t pick) const
+{
+    std::memcpy(image.data() + slot.lineIndex * kLineSize,
+                slot.contents[pick].data(), kLineSize);
+}
+
 std::vector<uint8_t>
 CrashInjector::sample(Rng &rng) const
 {
+    if (baseImage_.empty())
+        panic("CrashInjector::sample needs a base image copy");
     std::vector<uint8_t> image = baseImage_;
-    for (const auto &c : choices_) {
-        const uint64_t pick = rng.below(1 + c.candidates.size());
-        if (pick == 0)
-            continue; // line did not reach the device; keep old content
-        const LineData &data = c.candidates[pick - 1];
-        std::memcpy(image.data() + c.lineIndex * kLineSize, data.data(),
-                    kLineSize);
+    for (const Slot &slot : slots_) {
+        const uint64_t pick = rng.below(slot.contents.size());
+        if (pick != 0)
+            applyLine(image, slot, pick);
     }
     return image;
 }
@@ -43,35 +111,204 @@ CrashInjector::enumerate(
     const std::function<void(const std::vector<uint8_t> &)> &visit,
     uint64_t limit) const
 {
-    // Odometer walk over the per-line choice space.
-    std::vector<size_t> pick(choices_.size(), 0);
+    if (baseImage_.empty())
+        panic("CrashInjector::enumerate needs a base image copy");
+    if (limit == 0)
+        return 0;
+
+    // Odometer walk with one working buffer: each advance rewrites
+    // only the lines whose pick changed (O(changed lines) per state).
+    std::vector<uint8_t> image = baseImage_;
+    std::vector<size_t> pick(slots_.size(), 0);
     uint64_t visited = 0;
 
-    while (visited < limit) {
-        std::vector<uint8_t> image = baseImage_;
-        for (size_t i = 0; i < choices_.size(); i++) {
-            if (pick[i] == 0)
-                continue;
-            const LineData &data = choices_[i].candidates[pick[i] - 1];
-            std::memcpy(image.data() + choices_[i].lineIndex * kLineSize,
-                        data.data(), kLineSize);
-        }
+    for (;;) {
         visit(image);
         visited++;
+        if (visited >= limit)
+            break;
 
-        // Advance the odometer; stop after the last combination.
         size_t i = 0;
-        for (; i < pick.size(); i++) {
-            if (pick[i] < choices_[i].candidates.size()) {
+        for (; i < slots_.size(); i++) {
+            if (pick[i] + 1 < slots_[i].contents.size()) {
                 pick[i]++;
+                applyLine(image, slots_[i], pick[i]);
                 break;
             }
             pick[i] = 0;
+            applyLine(image, slots_[i], 0);
         }
-        if (i == pick.size())
+        if (i == slots_.size())
             break;
     }
     return visited;
+}
+
+bool
+CrashInjector::runPredicate(std::vector<uint8_t> &working,
+                            const TrackedPredicate &predicate,
+                            ReadSetTracker &tracker) const
+{
+    tracker.reset();
+    TrackedImage image(working, &tracker);
+    const bool verdict = predicate(image);
+    tracker.undo(working);
+    return verdict;
+}
+
+CrashInjector::ExploreResult
+CrashInjector::explore(std::vector<uint8_t> &working,
+                       const TrackedPredicate &predicate,
+                       const ExploreOptions &opts) const
+{
+    for (const Slot &slot : slots_) {
+        if ((slot.lineIndex + 1) * kLineSize > working.size())
+            panic("CrashInjector::explore: working image too small");
+    }
+    return opts.representative
+               ? exploreRepresentative(working, predicate, opts)
+               : exploreExhaustive(working, predicate, opts);
+}
+
+CrashInjector::ExploreResult
+CrashInjector::exploreExhaustive(std::vector<uint8_t> &working,
+                                 const TrackedPredicate &predicate,
+                                 const ExploreOptions &opts) const
+{
+    ExploreResult r;
+    ReadSetTracker tracker;
+    std::vector<size_t> pick(slots_.size(), 0);
+
+    for (;;) {
+        bool verdict;
+        const PredicateMemo::Entry *hit =
+            opts.memo ? opts.memo->lookup(working) : nullptr;
+        if (hit) {
+            r.memoHits++;
+            verdict = hit->verdict;
+        } else {
+            verdict = runPredicate(working, predicate, tracker);
+            if (opts.memo)
+                opts.memo->insert(tracker, verdict);
+        }
+        r.statesTested++;
+        r.statesCovered = satAdd(r.statesCovered, 1);
+        if (!verdict)
+            r.failures = satAdd(r.failures, 1);
+
+        size_t i = 0;
+        for (; i < slots_.size(); i++) {
+            if (pick[i] + 1 < slots_[i].contents.size()) {
+                pick[i]++;
+                applyLine(working, slots_[i], pick[i]);
+                break;
+            }
+            pick[i] = 0;
+            applyLine(working, slots_[i], 0);
+        }
+        if (i == slots_.size())
+            break; // odometer wrapped; working is back at the base
+
+        if (r.statesTested >= opts.stateCap) {
+            r.truncated = true;
+            for (size_t s = 0; s < slots_.size(); s++) {
+                if (pick[s] != 0)
+                    applyLine(working, slots_[s], 0);
+            }
+            break;
+        }
+    }
+    return r;
+}
+
+CrashInjector::ExploreResult
+CrashInjector::exploreRepresentative(std::vector<uint8_t> &working,
+                                     const TrackedPredicate &predicate,
+                                     const ExploreOptions &opts) const
+{
+    ExploreResult r;
+
+    // The decision stack holds, in first-read order, the unpersisted
+    // lines recovery has observed on the current path, each with its
+    // assigned pick. Lines not on the stack sit at choice 0 (device
+    // content) in the working image. Because recovery is
+    // deterministic, runs sharing the stacked observations execute
+    // identically up to the deepest stacked read — so the stack is
+    // always a prefix of the next run's read order and only ever
+    // grows by appending newly-read lines.
+    struct Decision
+    {
+        size_t slot;
+        size_t pick;
+    };
+    std::vector<Decision> stack;
+    std::vector<char> onStack(slots_.size(), 0);
+    ReadSetTracker tracker;
+
+    for (;;) {
+        bool verdict;
+        const std::vector<uint64_t> *read_lines;
+        const PredicateMemo::Entry *hit =
+            opts.memo ? opts.memo->lookup(working) : nullptr;
+        if (hit) {
+            r.memoHits++;
+            verdict = hit->verdict;
+            read_lines = &hit->readLines;
+        } else {
+            verdict = runPredicate(working, predicate, tracker);
+            if (opts.memo)
+                opts.memo->insert(tracker, verdict);
+            read_lines = &tracker.readLines();
+        }
+
+        for (const uint64_t line : *read_lines) {
+            auto it = slotOfLine_.find(line);
+            if (it == slotOfLine_.end())
+                continue; // persisted line: no choice to make
+            if (!onStack[it->second]) {
+                onStack[it->second] = 1;
+                stack.push_back({it->second, 0});
+            }
+        }
+
+        // Every state differing only in unread lines recovers
+        // identically: this run represents their whole cross product.
+        uint64_t weight = 1;
+        for (size_t s = 0; s < slots_.size(); s++) {
+            if (!onStack[s])
+                weight = satMul(weight, slots_[s].contents.size());
+        }
+
+        r.statesTested++;
+        r.statesCovered = satAdd(r.statesCovered, weight);
+        if (!verdict)
+            r.failures = satAdd(r.failures, weight);
+
+        // Depth-first advance: bump the deepest decision with picks
+        // left; exhausted decisions revert to the device content and
+        // pop (their subtree is fully covered).
+        while (!stack.empty()) {
+            Decision &d = stack.back();
+            if (d.pick + 1 < slots_[d.slot].contents.size()) {
+                d.pick++;
+                applyLine(working, slots_[d.slot], d.pick);
+                break;
+            }
+            applyLine(working, slots_[d.slot], 0);
+            onStack[d.slot] = 0;
+            stack.pop_back();
+        }
+        if (stack.empty())
+            break; // space exhausted; working is back at the base
+
+        if (r.statesTested >= opts.stateCap) {
+            r.truncated = true;
+            for (const Decision &d : stack)
+                applyLine(working, slots_[d.slot], 0);
+            break;
+        }
+    }
+    return r;
 }
 
 } // namespace pmtest::pmem

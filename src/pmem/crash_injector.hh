@@ -5,6 +5,24 @@
  * interval verdicts against ground truth: a crash image is the device
  * image plus, for every unpersisted line, one of the contents that
  * line could legally have reached the device with.
+ *
+ * The injector canonicalizes the per-line choice space at
+ * construction: the device's current content is always choice 0,
+ * candidate contents equal to the device content or to each other are
+ * collapsed, and lines whose every choice is the device content are
+ * dropped entirely (they cannot distinguish crash states). stateCount
+ * reports the canonical space, rawStateCount the uncollapsed
+ * Π(1+candidates) product the cache model implies.
+ *
+ * Beyond enumerate()/sample(), explore() runs a recovery predicate
+ * over the space directly — in place on a caller-owned working image
+ * mutated via per-line apply/undo deltas (no per-state pool copy) —
+ * and, in representative mode, tests only one state per
+ * recovery-distinguishable equivalence class: the predicate's
+ * read set (recorded by a ReadSetTracker) proves which unpersisted
+ * lines recovery never observes, and the cross product over those
+ * lines collapses to a multiplicative weight. A PredicateMemo reuses
+ * verdicts across crash points whose images agree on the read set.
  */
 
 #ifndef PMTEST_PMEM_CRASH_INJECTOR_HH
@@ -12,45 +30,228 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "pmem/cache_sim.hh"
+#include "pmem/tracked_image.hh"
 #include "util/random.hh"
 
 namespace pmtest::pmem
 {
 
+/** Recovery predicate run under read-set tracking. */
+using TrackedPredicate = std::function<bool(TrackedImage &image)>;
+
+/**
+ * Verdict cache keyed on crash-read content, shared across crash
+ * points. A recovery run is fully determined by the bytes it
+ * crash-reads, so a candidate image that matches a previous run's
+ * crash-read ranges byte-for-byte must produce that run's verdict
+ * and read the same lines — both are stored and reused without
+ * executing the predicate. Keys are 64-bit FNV hashes, so a reused
+ * verdict is exact up to hash collision odds (~2^-64 per pair);
+ * disable memoization for bit-exact oracle runs.
+ */
+class PredicateMemo
+{
+  public:
+    struct Entry
+    {
+        bool verdict;
+        std::vector<uint64_t> readLines;
+    };
+
+    /**
+     * Find an entry whose recorded crash reads match @p image.
+     * @return the entry, or nullptr when no prior run matches.
+     */
+    const Entry *
+    lookup(const std::vector<uint8_t> &image) const
+    {
+        for (const auto &[sig, group] : groups_) {
+            const uint64_t hash =
+                ReadSetTracker::hashImageOver(image, group.ranges);
+            auto it = group.entries.find(hash);
+            if (it != group.entries.end())
+                return &it->second;
+        }
+        return nullptr;
+    }
+
+    /** Record a completed run's read set and verdict. */
+    void
+    insert(const ReadSetTracker &tracker, bool verdict)
+    {
+        if (entryCount_ >= kMaxEntries) {
+            groups_.clear();
+            entryCount_ = 0;
+        }
+        Group &group = groups_[tracker.rangeSignature()];
+        if (group.entries.empty())
+            group.ranges = tracker.readRanges();
+        auto [it, inserted] = group.entries.emplace(
+            tracker.contentHash(),
+            Entry{verdict, tracker.readLines()});
+        (void)it;
+        if (inserted)
+            entryCount_++;
+    }
+
+    /** Total entries currently cached. */
+    size_t size() const { return entryCount_; }
+
+    void
+    clear()
+    {
+        groups_.clear();
+        entryCount_ = 0;
+    }
+
+  private:
+    /** Entries sharing one crash-read range list. */
+    struct Group
+    {
+        std::vector<ReadSetTracker::ReadRange> ranges;
+        std::unordered_map<uint64_t, Entry> entries;
+    };
+
+    /** Bound on retained entries; the cache resets at the cap. */
+    static constexpr size_t kMaxEntries = size_t{1} << 16;
+
+    std::unordered_map<uint64_t, Group> groups_;
+    size_t entryCount_ = 0;
+};
+
 /**
  * Produces crash images from a CacheSim snapshot.
  *
- * Each unpersisted line contributes (1 + #candidates) choices: the
- * content already on the device, or any recorded candidate content.
- * The full space is the cartesian product over lines; enumerate()
- * walks it (optionally capped), sample() draws uniformly at random.
+ * Each unpersisted line contributes its canonical choice set (device
+ * content first). The full space is the cartesian product over
+ * lines; enumerate() walks it (optionally capped), sample() draws
+ * uniformly at random, explore() runs a predicate over it with
+ * representative pruning and delta images.
  */
 class CrashInjector
 {
   public:
-    explicit CrashInjector(const CacheSim &cache);
+    /** Options controlling explore(). */
+    struct ExploreOptions
+    {
+        /**
+         * Test one representative per recovery-distinguishable class
+         * (true) or every canonical state (false).
+         */
+        bool representative = true;
+        /** Cap on predicate evaluations (classes in repr. mode). */
+        uint64_t stateCap = UINT64_MAX;
+        /** Cross-crash-point verdict cache; null disables. */
+        PredicateMemo *memo = nullptr;
+    };
 
-    /** Total number of legal crash states (saturating at cap). */
+    /** Outcome of one explore() call; counters saturate at 2^64-1. */
+    struct ExploreResult
+    {
+        /** Predicate verdicts obtained (classes in repr. mode). */
+        uint64_t statesTested = 0;
+        /** Crash states those verdicts cover (== tested when
+         *  exhaustive; the summed class weights when repr.). */
+        uint64_t statesCovered = 0;
+        /** Crash states whose recovery predicate failed. */
+        uint64_t failures = 0;
+        /** Verdicts served from the memo without running recovery. */
+        uint64_t memoHits = 0;
+        bool truncated = false; ///< stateCap hit before completion
+    };
+
+    /**
+     * @param cache the cache model to snapshot choices from
+     * @param copy_base_image retain a private copy of the device
+     *        image for enumerate()/sample(); explore() callers that
+     *        maintain their own mirror pass false and skip the copy
+     */
+    explicit CrashInjector(const CacheSim &cache,
+                           bool copy_base_image = true);
+
+    /**
+     * Number of canonical crash states (saturating at cap): the
+     * product of per-line distinct choices after collapsing
+     * duplicates and device-equal candidates.
+     */
     uint64_t stateCount(uint64_t cap = UINT64_MAX) const;
 
-    /** Draw one crash image uniformly at random. */
+    /**
+     * Number of states the raw cache-model choice space implies —
+     * Π(1+candidates) before canonicalization (saturating at cap).
+     * stateCount()/rawStateCount() never exceeds 1; the gap is
+     * dedup-level pruning before any read-set reasoning.
+     */
+    uint64_t rawStateCount(uint64_t cap = UINT64_MAX) const;
+
+    /** Draw one crash image uniformly over the canonical space. */
     std::vector<uint8_t> sample(Rng &rng) const;
 
     /**
      * Enumerate crash images, invoking @p visit for each until all
-     * states are visited or @p limit images have been produced.
+     * states are visited or @p limit images have been produced. The
+     * vector passed to @p visit is one reused buffer mutated by
+     * per-line deltas between states — copy out any bytes needed
+     * beyond the callback.
      * @return number of images visited.
      */
     uint64_t
     enumerate(const std::function<void(const std::vector<uint8_t> &)> &visit,
               uint64_t limit = UINT64_MAX) const;
 
+    /**
+     * Run @p predicate over the crash-state space in place on
+     * @p working, which must hold the device image content on entry
+     * and is restored to it on return (picks and recovery writes are
+     * both rolled back). In representative mode the predicate must
+     * route every image access through the TrackedImage (or an
+     * ImageView carrying its tracker) — untracked reads void the
+     * pruning argument, untracked writes void the rollback.
+     */
+    ExploreResult explore(std::vector<uint8_t> &working,
+                          const TrackedPredicate &predicate,
+                          const ExploreOptions &opts) const;
+
+    /** explore() with default options (representative, uncapped). */
+    ExploreResult
+    explore(std::vector<uint8_t> &working,
+            const TrackedPredicate &predicate) const
+    {
+        return explore(working, predicate, ExploreOptions());
+    }
+
   private:
-    std::vector<uint8_t> baseImage_;
-    std::vector<LineCrashChoices> choices_;
+    /** One unpersisted line's canonical choices; contents[0] is the
+     *  device content at snapshot time. */
+    struct Slot
+    {
+        uint64_t lineIndex;
+        std::vector<LineData> contents;
+    };
+
+    void applyLine(std::vector<uint8_t> &image, const Slot &slot,
+                   size_t pick) const;
+    ExploreResult exploreExhaustive(std::vector<uint8_t> &working,
+                                    const TrackedPredicate &predicate,
+                                    const ExploreOptions &opts) const;
+    ExploreResult
+    exploreRepresentative(std::vector<uint8_t> &working,
+                          const TrackedPredicate &predicate,
+                          const ExploreOptions &opts) const;
+    bool runPredicate(std::vector<uint8_t> &working,
+                      const TrackedPredicate &predicate,
+                      ReadSetTracker &tracker) const;
+
+    std::vector<uint8_t> baseImage_; ///< empty when not copied
+    std::vector<Slot> slots_;
+    /** lineIndex -> index into slots_. */
+    std::unordered_map<uint64_t, size_t> slotOfLine_;
+    /** Per raw line, 1 + candidate count (for rawStateCount). */
+    std::vector<uint64_t> rawChoiceCounts_;
 };
 
 } // namespace pmtest::pmem

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "pmem/pm_pool.hh"
+#include "pmem/tracked_image.hh"
 #include "util/logging.hh"
 
 namespace pmtest::pmem
@@ -27,9 +28,13 @@ class ImageView
      * @param pool the live pool the image was captured from (supplies
      *        the base address for pointer translation)
      * @param image the crash image; must match the pool size
+     * @param tracker optional read-set recorder — every read through
+     *        the view is reported so the crash-state oracle can prune
+     *        states the walker cannot distinguish
      */
-    ImageView(const PmPool &pool, const std::vector<uint8_t> &image)
-        : pool_(pool), image_(image)
+    ImageView(const PmPool &pool, const std::vector<uint8_t> &image,
+              ReadSetTracker *tracker = nullptr)
+        : pool_(pool), image_(image), tracker_(tracker)
     {
         if (image.size() != pool.size())
             panic("ImageView: image size does not match pool");
@@ -62,9 +67,7 @@ class ImageView
     readAt(uint64_t offset) const
     {
         T value;
-        if (offset + sizeof(T) > image_.size())
-            panic("ImageView: read outside image");
-        std::memcpy(&value, image_.data() + offset, sizeof(T));
+        readBytes(offset, &value, sizeof(T));
         return value;
     }
 
@@ -74,15 +77,21 @@ class ImageView
     {
         if (offset + size > image_.size())
             panic("ImageView: read outside image");
+        if (tracker_)
+            tracker_->noteRead(offset, size, image_.data() + offset);
         std::memcpy(out, image_.data() + offset, size);
     }
 
     /** The underlying image. */
     const std::vector<uint8_t> &image() const { return image_; }
 
+    /** The attached read-set tracker (null when untracked). */
+    ReadSetTracker *tracker() const { return tracker_; }
+
   private:
     const PmPool &pool_;
     const std::vector<uint8_t> &image_;
+    ReadSetTracker *tracker_;
 };
 
 } // namespace pmtest::pmem

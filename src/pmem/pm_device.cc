@@ -32,6 +32,8 @@ PmDevice::write(uint64_t offset, const void *data, size_t size)
     checkRange(offset, size);
     std::memcpy(image_.data() + offset, data, size);
     mediaWrites_++;
+    if (logWrites_)
+        writeLog_.push_back({offset, static_cast<uint32_t>(size)});
 }
 
 uint8_t
@@ -47,6 +49,8 @@ PmDevice::setImage(std::vector<uint8_t> image)
     if (image.size() != image_.size())
         panic("PmDevice::setImage size mismatch");
     image_ = std::move(image);
+    if (logWrites_)
+        writeLog_.push_back({0, static_cast<uint32_t>(image_.size())});
 }
 
 } // namespace pmtest::pmem

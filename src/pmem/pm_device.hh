@@ -50,11 +50,36 @@ class PmDevice
     /** Number of write() calls served (media-write statistic). */
     uint64_t mediaWrites() const { return mediaWrites_; }
 
+    /** One logged media write (see enableWriteLog). */
+    struct WriteRecord
+    {
+        uint64_t offset;
+        uint32_t size;
+    };
+
+    /**
+     * Start logging the (offset, size) of every write(). The oracle
+     * uses the log to keep a mirror of the image in sync between
+     * crash points without re-copying the pool.
+     */
+    void enableWriteLog() { logWrites_ = true; }
+
+    /** Drain the write log accumulated since the last take. */
+    std::vector<WriteRecord>
+    takeWriteLog()
+    {
+        std::vector<WriteRecord> out;
+        out.swap(writeLog_);
+        return out;
+    }
+
   private:
     void checkRange(uint64_t offset, size_t size) const;
 
     std::vector<uint8_t> image_;
     uint64_t mediaWrites_ = 0;
+    bool logWrites_ = false;
+    std::vector<WriteRecord> writeLog_;
 };
 
 } // namespace pmtest::pmem

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Read-set tracking over crash images — the instrument that makes
+ * representative crash-state exploration sound.
+ *
+ * A recovery procedure is deterministic: its execution is fully
+ * determined by the sequence of bytes it reads *out of the crash
+ * image* before overwriting them itself. Two crash images that agree
+ * on exactly those bytes drive recovery through the identical
+ * execution and verdict, so one of them can represent both. The
+ * ReadSetTracker records that determining read set while a recovery
+ * predicate runs:
+ *
+ *  - every read of a byte the run has not itself written yet is a
+ *    *crash read*: its cache line joins the read set (first-read
+ *    order preserved), the byte range joins the ordered crash-read
+ *    range list, and the observed value folds into a running hash;
+ *  - bytes the run wrote before reading are derived data — reading
+ *    them back cannot distinguish crash states, so they are masked
+ *    out at byte granularity (one 64-bit mask per 64-byte line);
+ *  - re-reading an already-recorded crash byte adds no information
+ *    and is skipped, keeping the range list minimal.
+ *
+ * The (ranges, content hash) pair doubles as a memoization key: a
+ * candidate image whose bytes match a previous run's crash-read
+ * ranges is guaranteed to produce that run's verdict (see
+ * PredicateMemo in crash_injector.hh).
+ *
+ * TrackedImage is the mutable-image accessor recovery code runs
+ * against: bounds-checked typed reads and writes over a raw pool
+ * image, routing every access through an optional tracker. With a
+ * null tracker it compiles down to memcpy plus a bounds check, so
+ * the untracked legacy entry points share the same implementation.
+ */
+
+#ifndef PMTEST_PMEM_TRACKED_IMAGE_HH
+#define PMTEST_PMEM_TRACKED_IMAGE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pmtest::pmem
+{
+
+/** Records the crash-read set of one recovery execution. */
+class ReadSetTracker
+{
+  public:
+    /** One maximal run of crash-read bytes, in first-read order. */
+    struct ReadRange
+    {
+        uint64_t offset = 0;
+        uint32_t size = 0;
+
+        bool
+        operator==(const ReadRange &o) const
+        {
+            return offset == o.offset && size == o.size;
+        }
+    };
+
+    /**
+     * Record a read of @p size bytes at @p offset observing
+     * @p observed (the image content at read time). Bytes already
+     * written or already recorded as crash reads are skipped.
+     */
+    void
+    noteRead(uint64_t offset, size_t size, const uint8_t *observed)
+    {
+        for (size_t i = 0; i < size; i++) {
+            const uint64_t byte = offset + i;
+            Masks &m = masks_[byte / kLine];
+            const uint64_t bit = uint64_t{1} << (byte % kLine);
+            if ((m.written | m.read) & bit)
+                continue; // derived data or already recorded
+            m.read |= bit;
+            if (!(m.lineListed)) {
+                m.lineListed = true;
+                readLines_.push_back(byte / kLine);
+            }
+            // Extend the current range or open a new one.
+            if (!ranges_.empty() &&
+                ranges_.back().offset + ranges_.back().size == byte) {
+                ranges_.back().size++;
+            } else {
+                ranges_.push_back({byte, 1});
+            }
+            contentHash_ = fnv1a(contentHash_, observed[i]);
+            rangeChanged_ = true;
+        }
+    }
+
+    /**
+     * Record a write of @p size bytes at @p offset, with @p old_bytes
+     * the image content being overwritten (captured for undo()).
+     */
+    void
+    noteWrite(uint64_t offset, size_t size, const uint8_t *old_bytes)
+    {
+        undoOps_.push_back(
+            {offset, static_cast<uint32_t>(size), undoBytes_.size()});
+        undoBytes_.insert(undoBytes_.end(), old_bytes,
+                          old_bytes + size);
+        for (size_t i = 0; i < size; i++) {
+            const uint64_t byte = offset + i;
+            masks_[byte / kLine].written |= uint64_t{1}
+                                            << (byte % kLine);
+        }
+    }
+
+    /**
+     * Roll back every tracked write in @p image, newest first,
+     * restoring the bytes observed at write time. O(bytes written).
+     */
+    void
+    undo(std::vector<uint8_t> &image) const
+    {
+        for (auto it = undoOps_.rbegin(); it != undoOps_.rend(); ++it) {
+            if (it->offset + it->size > image.size())
+                panic("ReadSetTracker::undo outside image");
+            std::memcpy(image.data() + it->offset,
+                        undoBytes_.data() + it->byteStart, it->size);
+        }
+    }
+
+    /** Cache lines crash-read, in first-read order (unique). */
+    const std::vector<uint64_t> &
+    readLines() const
+    {
+        return readLines_;
+    }
+
+    /** Whether line @p line_index was crash-read. */
+    bool
+    lineRead(uint64_t line_index) const
+    {
+        auto it = masks_.find(line_index);
+        return it != masks_.end() && it->second.read != 0;
+    }
+
+    /** Crash-read byte ranges in read order. */
+    const std::vector<ReadRange> &
+    readRanges() const
+    {
+        return ranges_;
+    }
+
+    /** FNV-1a hash of the crash-read bytes, in read order. */
+    uint64_t contentHash() const { return contentHash_; }
+
+    /** Signature of the range *positions* (offsets/sizes, ordered). */
+    uint64_t
+    rangeSignature() const
+    {
+        if (rangeChanged_) {
+            uint64_t sig = kFnvOffset;
+            for (const ReadRange &r : ranges_) {
+                for (size_t b = 0; b < 8; b++)
+                    sig = fnv1a(sig, (r.offset >> (8 * b)) & 0xff);
+                for (size_t b = 0; b < 4; b++)
+                    sig = fnv1a(sig, (r.size >> (8 * b)) & 0xff);
+            }
+            rangeSig_ = sig;
+            rangeChanged_ = false;
+        }
+        return rangeSig_;
+    }
+
+    /**
+     * Hash @p image over a previously recorded range list — the value
+     * contentHash() would report for a run whose crash reads observe
+     * exactly @p image at those ranges. Ranges outside the image
+     * return kNoMatch (never equal to any contentHash).
+     */
+    static uint64_t
+    hashImageOver(const std::vector<uint8_t> &image,
+                  const std::vector<ReadRange> &ranges)
+    {
+        uint64_t hash = kFnvOffset;
+        for (const ReadRange &r : ranges) {
+            if (r.offset + r.size > image.size())
+                return kNoMatch;
+            const uint8_t *p = image.data() + r.offset;
+            for (uint32_t i = 0; i < r.size; i++)
+                hash = fnv1a(hash, p[i]);
+        }
+        return hash;
+    }
+
+    /** Clear everything recorded, keeping allocated capacity. */
+    void
+    reset()
+    {
+        masks_.clear();
+        readLines_.clear();
+        ranges_.clear();
+        undoOps_.clear();
+        undoBytes_.clear();
+        contentHash_ = kFnvOffset;
+        rangeSig_ = kFnvOffset;
+        rangeChanged_ = false;
+    }
+
+    static constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+    /** Sentinel hashImageOver() returns for out-of-bounds ranges. */
+    static constexpr uint64_t kNoMatch = 0;
+
+  private:
+    static constexpr uint64_t kLine = 64;
+
+    struct Masks
+    {
+        uint64_t written = 0; ///< bytes written by this run
+        uint64_t read = 0;    ///< bytes recorded as crash reads
+        bool lineListed = false;
+    };
+
+    struct UndoOp
+    {
+        uint64_t offset;
+        uint32_t size;
+        size_t byteStart; ///< start of saved bytes in undoBytes_
+    };
+
+    static uint64_t
+    fnv1a(uint64_t hash, uint8_t byte)
+    {
+        return (hash ^ byte) * 0x100000001b3ULL;
+    }
+
+    std::unordered_map<uint64_t, Masks> masks_;
+    std::vector<uint64_t> readLines_;
+    std::vector<ReadRange> ranges_;
+    std::vector<UndoOp> undoOps_;
+    std::vector<uint8_t> undoBytes_;
+    uint64_t contentHash_ = kFnvOffset;
+    mutable uint64_t rangeSig_ = kFnvOffset;
+    mutable bool rangeChanged_ = false;
+};
+
+/**
+ * Mutable, bounds-checked, optionally tracked accessor over a raw
+ * pool image. Recovery procedures take this instead of the raw byte
+ * vector so the same implementation serves the untracked legacy
+ * entry points and the oracle's read-set-tracked exploration.
+ */
+class TrackedImage
+{
+  public:
+    explicit TrackedImage(std::vector<uint8_t> &image,
+                          ReadSetTracker *tracker = nullptr)
+        : image_(image), tracker_(tracker)
+    {
+    }
+
+    /** Image size in bytes. */
+    size_t size() const { return image_.size(); }
+
+    /** Copy @p size bytes at @p offset into @p out. */
+    void
+    readBytes(uint64_t offset, void *out, size_t size) const
+    {
+        if (offset + size > image_.size())
+            panic("TrackedImage: read outside image");
+        if (tracker_)
+            tracker_->noteRead(offset, size, image_.data() + offset);
+        std::memcpy(out, image_.data() + offset, size);
+    }
+
+    /** Read a T at absolute image offset @p offset. */
+    template <typename T>
+    T
+    readAt(uint64_t offset) const
+    {
+        T value;
+        readBytes(offset, &value, sizeof(T));
+        return value;
+    }
+
+    /** Write @p size bytes from @p data at @p offset. */
+    void
+    writeBytes(uint64_t offset, const void *data, size_t size)
+    {
+        if (offset + size > image_.size())
+            panic("TrackedImage: write outside image");
+        if (tracker_)
+            tracker_->noteWrite(offset, size,
+                                image_.data() + offset);
+        std::memcpy(image_.data() + offset, data, size);
+    }
+
+    /** Write a T at absolute image offset @p offset. */
+    template <typename T>
+    void
+    writeAt(uint64_t offset, const T &value)
+    {
+        writeBytes(offset, &value, sizeof(T));
+    }
+
+    /**
+     * The raw image. Accesses through this reference bypass
+     * tracking — callers must route them through the tracker
+     * themselves (e.g. ImageView's tracker parameter).
+     */
+    std::vector<uint8_t> &raw() { return image_; }
+    const std::vector<uint8_t> &raw() const { return image_; }
+
+    /** The attached tracker (null when untracked). */
+    ReadSetTracker *tracker() const { return tracker_; }
+
+  private:
+    std::vector<uint8_t> &image_;
+    ReadSetTracker *tracker_;
+};
+
+} // namespace pmtest::pmem
+
+#endif // PMTEST_PMEM_TRACKED_IMAGE_HH

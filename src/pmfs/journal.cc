@@ -133,45 +133,63 @@ Journal::commitTransaction(SourceLocation loc)
 size_t
 Journal::recoverImage(std::vector<uint8_t> &image)
 {
-    Superblock sb;
-    if (image.size() < sizeof(sb))
+    pmem::TrackedImage view(image);
+    return recoverImage(view);
+}
+
+size_t
+Journal::recoverImage(pmem::TrackedImage &image)
+{
+    if (image.size() < sizeof(Superblock))
         return 0;
-    std::memcpy(&sb, image.data(), sizeof(sb));
+    const auto sb = image.readAt<Superblock>(0);
     if (sb.magic != Superblock::kMagic)
         return 0;
 
-    JournalHeader hdr;
-    std::memcpy(&hdr, image.data() + sb.journalOffset, sizeof(hdr));
+    const auto hdr = image.readAt<JournalHeader>(sb.journalOffset);
     if (hdr.live == 0)
         return 0;
 
     // Look for a commit record of the open generation: if present,
-    // the transaction completed and the undo entries are stale.
+    // the transaction completed and the undo entries are stale. Only
+    // the identifying fields are read while scanning — undo payloads
+    // are read when (and only if) they are applied, so the recorded
+    // read set stays as tight as what recovery depends on.
     bool committed = false;
-    std::vector<LogEntry> entries;
+    std::vector<uint64_t> undo_entries;
     for (uint64_t i = 0; i < hdr.entryCount + 1; i++) {
-        LogEntry le;
         const uint64_t off = sb.journalOffset + sizeof(JournalHeader) +
                              i * sizeof(LogEntry);
-        if (off + sizeof(le) > image.size())
+        if (off + sizeof(LogEntry) > image.size())
             break;
-        std::memcpy(&le, image.data() + off, sizeof(le));
-        if (le.genId != hdr.genId)
+        const auto gen_id = image.readAt<uint64_t>(
+            off + offsetof(LogEntry, genId));
+        if (gen_id != hdr.genId)
             continue;
-        if (le.type == 1) {
+        const auto type = image.readAt<uint32_t>(
+            off + offsetof(LogEntry, type));
+        if (type == 1) {
             committed = true;
             break;
         }
-        entries.push_back(le);
+        undo_entries.push_back(off);
     }
 
     size_t applied = 0;
     if (!committed) {
-        for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-            if (it->size > LogEntry::kMaxData ||
-                it->offset + it->size > image.size())
+        for (auto it = undo_entries.rbegin();
+             it != undo_entries.rend(); ++it) {
+            const auto size = image.readAt<uint32_t>(
+                *it + offsetof(LogEntry, size));
+            const auto offset = image.readAt<uint64_t>(
+                *it + offsetof(LogEntry, offset));
+            if (size > LogEntry::kMaxData ||
+                offset + size > image.size())
                 continue;
-            std::memcpy(image.data() + it->offset, it->data, it->size);
+            uint8_t data[LogEntry::kMaxData];
+            image.readBytes(*it + offsetof(LogEntry, data), data,
+                            size);
+            image.writeBytes(offset, data, size);
             applied++;
         }
     }
@@ -179,8 +197,7 @@ Journal::recoverImage(std::vector<uint8_t> &image)
     JournalHeader cleared = hdr;
     cleared.live = 0;
     cleared.entryCount = 0;
-    std::memcpy(image.data() + sb.journalOffset, &cleared,
-                sizeof(cleared));
+    image.writeAt(sb.journalOffset, cleared);
     return applied;
 }
 

@@ -20,6 +20,7 @@
 
 #include "core/api.hh"
 #include "pmem/pm_pool.hh"
+#include "pmem/tracked_image.hh"
 #include "pmfs/layout.hh"
 
 namespace pmtest::pmfs
@@ -75,6 +76,13 @@ class Journal
      * @return entries applied.
      */
     static size_t recoverImage(std::vector<uint8_t> &image);
+
+    /**
+     * Tracked variant: with a tracker attached every byte recovery
+     * reads/repairs is recorded for the crash-state oracle's pruning
+     * and rollback. The untracked overload wraps this one.
+     */
+    static size_t recoverImage(pmem::TrackedImage &image);
 
   private:
     JournalHeader *header();

@@ -128,6 +128,13 @@ class Pmfs
         return Journal::recoverImage(image);
     }
 
+    /** Tracked variant (see Journal::recoverImage). */
+    static size_t
+    recoverImage(pmem::TrackedImage &image)
+    {
+        return Journal::recoverImage(image);
+    }
+
   private:
     Superblock *sb() { return sbPtr_; }
     const Superblock *sb() const { return sbPtr_; }

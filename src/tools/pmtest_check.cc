@@ -282,6 +282,31 @@ printSourceStats(const TraceSource &source)
                 source.mmapBacked() ? "mmapped" : "buffered");
 }
 
+/**
+ * One "  oracle: ..." line when a ground-truth oracle ran in this
+ * process (pmtest_check itself does not run one; the line appears
+ * when the binary is linked into an oracle-driving harness). Covered
+ * vs tested is the representative-mode pruning win.
+ */
+void
+printOracleStats()
+{
+    const auto snap = obs::Telemetry::instance().metrics();
+    const uint64_t tested =
+        snap.counter(obs::Counter::OracleStatesTested);
+    if (tested == 0)
+        return;
+    const uint64_t covered =
+        snap.counter(obs::Counter::OracleStatesCovered);
+    const uint64_t hits = snap.counter(obs::Counter::OracleMemoHits);
+    std::printf("  oracle: %llu states tested covering %llu "
+                "(%.1fx reduction), %llu memo hits\n",
+                static_cast<unsigned long long>(tested),
+                static_cast<unsigned long long>(covered),
+                tested ? double(covered) / double(tested) : 1.0,
+                static_cast<unsigned long long>(hits));
+}
+
 } // namespace
 
 int
@@ -624,6 +649,7 @@ main(int argc, char **argv)
         if (source->sourceCount() > 1)
             printSourceStats(*source);
         std::printf("%s", stats.str().c_str());
+        printOracleStats();
     }
     // The machine-readable outputs are files; they are written
     // whatever the stdout flags say.

@@ -1,5 +1,6 @@
 #include "txlib/undo_log.hh"
 
+#include <cstddef>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -7,61 +8,71 @@
 namespace pmtest::txlib
 {
 
-namespace
-{
-
-template <typename T>
-T
-readAt(const std::vector<uint8_t> &image, uint64_t offset)
-{
-    T value;
-    if (offset + sizeof(T) > image.size())
-        panic("recoverImage: read outside image");
-    std::memcpy(&value, image.data() + offset, sizeof(T));
-    return value;
-}
-
-} // namespace
-
 bool
 imageLogValid(const std::vector<uint8_t> &image)
 {
-    const auto header = readAt<PoolHeader>(image, 0);
+    // Only reads; TrackedImage's mutability is unused.
+    pmem::TrackedImage view(const_cast<std::vector<uint8_t> &>(image));
+    return imageLogValid(view);
+}
+
+bool
+imageLogValid(const pmem::TrackedImage &image)
+{
+    const auto header = image.readAt<PoolHeader>(0);
     if (header.magic != PoolHeader::kMagic)
         return false;
-    const auto log = readAt<LogHeader>(image, header.logOffset);
+    const auto log = image.readAt<LogHeader>(header.logOffset);
     return log.valid != 0;
 }
 
 size_t
 recoverImage(std::vector<uint8_t> &image)
 {
-    const auto header = readAt<PoolHeader>(image, 0);
+    pmem::TrackedImage view(image);
+    return recoverImage(view);
+}
+
+size_t
+recoverImage(pmem::TrackedImage &image)
+{
+    const auto header = image.readAt<PoolHeader>(0);
     if (header.magic != PoolHeader::kMagic)
         return 0; // not a txlib pool (or header itself was lost)
 
-    const auto log = readAt<LogHeader>(image, header.logOffset);
+    const auto log = image.readAt<LogHeader>(header.logOffset);
     if (log.valid == 0)
         return 0; // no transaction in flight at the crash
 
     size_t applied = 0;
     // Apply snapshots newest-first so overlapping TX_ADDs of the same
-    // range restore the oldest (pre-transaction) data last.
+    // range restore the oldest (pre-transaction) data last. Entry
+    // fields and payloads are read individually — recovery's read set
+    // is exactly the bytes it depends on, which is what lets the
+    // oracle prune crash states recovery cannot distinguish.
     for (uint64_t i = log.entryCount; i-- > 0;) {
         const uint64_t entry_off =
             header.logOffset + logEntryOffset(i);
-        const auto entry = readAt<LogEntry>(image, entry_off);
-        if (entry.kind != LogEntry::Snapshot)
+        const auto kind = image.readAt<uint64_t>(
+            entry_off + offsetof(LogEntry, kind));
+        if (kind != LogEntry::Snapshot)
             continue; // alloc entries need no data rollback
-        if (entry.size > LogEntry::kMaxData ||
-            entry.offset + entry.size > image.size()) {
+        const auto offset = image.readAt<uint64_t>(
+            entry_off + offsetof(LogEntry, offset));
+        const auto size = image.readAt<uint64_t>(
+            entry_off + offsetof(LogEntry, size));
+        if (size > LogEntry::kMaxData ||
+            offset + size > image.size()) {
             // Torn entry (count persisted before data): skip it; the
             // commit protocol guarantees this cannot happen for a
             // correctly instrumented library, but crash images from
             // buggy programs can contain anything.
             continue;
         }
-        std::memcpy(image.data() + entry.offset, entry.data, entry.size);
+        uint8_t data[LogEntry::kMaxData];
+        image.readBytes(entry_off + offsetof(LogEntry, data), data,
+                        size);
+        image.writeBytes(offset, data, size);
         applied++;
     }
 
@@ -69,8 +80,7 @@ recoverImage(std::vector<uint8_t> &image)
     LogHeader cleared = log;
     cleared.valid = 0;
     cleared.entryCount = 0;
-    std::memcpy(image.data() + header.logOffset, &cleared,
-                sizeof(cleared));
+    image.writeAt(header.logOffset, cleared);
     return applied;
 }
 

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "pmem/tracked_image.hh"
+
 namespace pmtest::txlib
 {
 
@@ -89,8 +91,20 @@ logCapacity(uint64_t log_size)
  */
 size_t recoverImage(std::vector<uint8_t> &image);
 
+/**
+ * recoverImage() against a TrackedImage: with a tracker attached,
+ * every byte recovery depends on (and every byte it repairs) is
+ * recorded, which is what the representative crash-state oracle
+ * prunes and rolls back with. The untracked overload above wraps
+ * this one.
+ */
+size_t recoverImage(pmem::TrackedImage &image);
+
 /** Whether the image's log is marked valid (crash mid-transaction). */
 bool imageLogValid(const std::vector<uint8_t> &image);
+
+/** Tracked variant of imageLogValid(). */
+bool imageLogValid(const pmem::TrackedImage &image);
 
 } // namespace pmtest::txlib
 

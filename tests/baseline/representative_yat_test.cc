@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Differential validation of the representative crash-state oracle:
+ * representative mode must account for exactly the states exhaustive
+ * mode tests — same covered totals, same failure totals, point by
+ * point — while running the recovery predicate far fewer times. Also
+ * pins memo equivalence and worker-count determinism.
+ */
+
+#include "baseline/yat.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/random.hh"
+
+namespace pmtest::baseline
+{
+namespace
+{
+
+/**
+ * The yat_test valid-flag protocol, extended with a handful of
+ * payload lines so the crash-state space is big enough to prune:
+ * recovery reads valid, and only when it is set reads data — the
+ * payload lines are never read, so every payload choice collapses
+ * into one representative class.
+ */
+class RepresentativeYatTest : public ::testing::Test
+{
+  protected:
+    static constexpr size_t kPayloadLines = 4;
+
+    RepresentativeYatTest() : pool_(1 << 16)
+    {
+        data_ = static_cast<uint64_t *>(pool_.at(pool_.alloc(64)));
+        valid_ = static_cast<uint64_t *>(pool_.at(pool_.alloc(64)));
+        *data_ = 0;
+        *valid_ = 0;
+        for (size_t i = 0; i < kPayloadLines; i++) {
+            payload_[i] =
+                static_cast<uint64_t *>(pool_.at(pool_.alloc(64)));
+            *payload_[i] = 0;
+        }
+        initialImage_.assign(pool_.base(),
+                             pool_.base() + pool_.size());
+    }
+
+    Yat
+    makeYat()
+    {
+        Yat yat(pool_);
+        yat.setInitialImage(initialImage_);
+        return yat;
+    }
+
+    /** Tracked recovery: read valid; only if set, read data. */
+    pmem::TrackedPredicate
+    predicate()
+    {
+        const uint64_t data_off = pool_.offsetOf(data_);
+        const uint64_t valid_off = pool_.offsetOf(valid_);
+        return [data_off, valid_off](pmem::TrackedImage &image) {
+            const auto valid = image.readAt<uint64_t>(valid_off);
+            if (valid == 0)
+                return true;
+            return image.readAt<uint64_t>(data_off) == 42;
+        };
+    }
+
+    /**
+     * data=42, valid=1, payload writes, one combined flush, fence —
+     * every line is in flight together, so valid may persist before
+     * data (the bug) and the payload lines inflate the state space.
+     */
+    Trace
+    buggyTrace()
+    {
+        *data_ = 42;
+        *valid_ = 1;
+        Trace t(1, 0);
+        t.append(PmOp::write(addr(data_), 8));
+        t.append(PmOp::write(addr(valid_), 8));
+        for (size_t i = 0; i < kPayloadLines; i++) {
+            *payload_[i] = 0x1000 + i;
+            t.append(PmOp::write(addr(payload_[i]), 8));
+        }
+        t.append(PmOp::clwb(addr(data_), 8));
+        t.append(PmOp::clwb(addr(valid_), 8));
+        t.append(PmOp::sfence());
+        return t;
+    }
+
+    /** Correctly fenced variant: data durable before valid. */
+    Trace
+    correctTrace()
+    {
+        *data_ = 42;
+        *valid_ = 1;
+        Trace t(1, 0);
+        t.append(PmOp::write(addr(data_), 8));
+        t.append(PmOp::clwb(addr(data_), 8));
+        t.append(PmOp::sfence());
+        t.append(PmOp::write(addr(valid_), 8));
+        for (size_t i = 0; i < kPayloadLines; i++) {
+            *payload_[i] = 0x2000 + i;
+            t.append(PmOp::write(addr(payload_[i]), 8));
+        }
+        t.append(PmOp::clwb(addr(valid_), 8));
+        t.append(PmOp::sfence());
+        return t;
+    }
+
+    Yat::OracleResult
+    runMode(const Trace &trace, Yat::OracleOptions::Mode mode,
+            size_t workers = 1, bool memoize = true)
+    {
+        Yat yat = makeYat();
+        Yat::OracleOptions opts;
+        opts.mode = mode;
+        opts.workers = workers;
+        opts.memoize = memoize;
+        return yat.runOracle(trace, predicate(), opts);
+    }
+
+    static uint64_t addr(const void *p)
+    {
+        return reinterpret_cast<uint64_t>(p);
+    }
+
+    pmem::PmPool pool_;
+    uint64_t *data_;
+    uint64_t *valid_;
+    uint64_t *payload_[kPayloadLines];
+    std::vector<uint8_t> initialImage_;
+};
+
+TEST_F(RepresentativeYatTest, RepresentativeMatchesExhaustiveOnBug)
+{
+    const Trace trace = buggyTrace();
+    const auto ex =
+        runMode(trace, Yat::OracleOptions::Mode::Exhaustive);
+    const auto re =
+        runMode(trace, Yat::OracleOptions::Mode::Representative);
+
+    EXPECT_GT(ex.failures, 0u) << "the protocol is buggy";
+    EXPECT_EQ(re.crashPoints, ex.crashPoints);
+    EXPECT_EQ(re.statesCovered, ex.statesCovered);
+    EXPECT_EQ(re.failures, ex.failures);
+    EXPECT_EQ(re.rawStates, ex.rawStates);
+    EXPECT_FALSE(re.truncated);
+    // Exhaustive tests every covered state; representative fewer.
+    EXPECT_EQ(ex.statesTested, ex.statesCovered);
+    EXPECT_LT(re.statesTested, ex.statesCovered);
+    EXPECT_GT(re.reductionRatio(), 1.0);
+}
+
+TEST_F(RepresentativeYatTest, RepresentativeMatchesExhaustiveOnClean)
+{
+    const Trace trace = correctTrace();
+    const auto ex =
+        runMode(trace, Yat::OracleOptions::Mode::Exhaustive);
+    const auto re =
+        runMode(trace, Yat::OracleOptions::Mode::Representative);
+
+    EXPECT_EQ(ex.failures, 0u);
+    EXPECT_EQ(re.failures, 0u);
+    EXPECT_EQ(re.statesCovered, ex.statesCovered);
+}
+
+TEST_F(RepresentativeYatTest, UnreadPayloadLinesCollapse)
+{
+    // At the crash point right after the payload writes, recovery
+    // reads only valid (still 0 on the device), so the 4 payload
+    // lines and both flag lines collapse into a handful of classes.
+    Trace trace = buggyTrace();
+    trace.mutableOps().pop_back(); // drop the fence: all in flight
+    Yat yat = makeYat();
+    Yat::OracleOptions opts;
+    opts.mode = Yat::OracleOptions::Mode::Representative;
+    opts.finalOnly = true;
+    opts.workers = 1;
+    const auto re = yat.runOracle(trace, predicate(), opts);
+
+    opts.mode = Yat::OracleOptions::Mode::Exhaustive;
+    const auto ex = yat.runOracle(trace, predicate(), opts);
+
+    EXPECT_EQ(re.statesCovered, ex.statesCovered);
+    EXPECT_EQ(re.failures, ex.failures);
+    EXPECT_GE(ex.statesCovered, 64u) << "2^6 line combinations";
+    // Recovery reads at most valid and data: <= 4 distinguishable
+    // classes regardless of the payload lines.
+    EXPECT_LE(re.statesTested, 4u);
+}
+
+TEST_F(RepresentativeYatTest, MemoizationPreservesVerdicts)
+{
+    const Trace trace = buggyTrace();
+    const auto memo = runMode(
+        trace, Yat::OracleOptions::Mode::Representative, 1, true);
+    const auto raw = runMode(
+        trace, Yat::OracleOptions::Mode::Representative, 1, false);
+
+    EXPECT_EQ(memo.statesCovered, raw.statesCovered);
+    EXPECT_EQ(memo.failures, raw.failures);
+    EXPECT_EQ(memo.crashPoints, raw.crashPoints);
+    EXPECT_EQ(raw.memoHits, 0u);
+    // The flag protocol repeats across crash points: the memo must
+    // actually fire, and it does not change which classes the DFS
+    // visits — only whether the predicate re-runs for them.
+    EXPECT_GT(memo.memoHits, 0u);
+    EXPECT_EQ(memo.statesTested, raw.statesTested);
+}
+
+TEST_F(RepresentativeYatTest, ParallelCountsMatchSerial)
+{
+    const Trace trace = buggyTrace();
+    const auto serial = runMode(
+        trace, Yat::OracleOptions::Mode::Representative, 1);
+    for (size_t workers : {2, 4, 7}) {
+        const auto par = runMode(
+            trace, Yat::OracleOptions::Mode::Representative, workers);
+        EXPECT_EQ(par.crashPoints, serial.crashPoints);
+        EXPECT_EQ(par.statesTested, serial.statesTested);
+        EXPECT_EQ(par.statesCovered, serial.statesCovered);
+        EXPECT_EQ(par.rawStates, serial.rawStates);
+        EXPECT_EQ(par.failures, serial.failures);
+        EXPECT_EQ(par.truncated, serial.truncated);
+    }
+}
+
+TEST_F(RepresentativeYatTest, ParallelExhaustiveMatchesLegacyRun)
+{
+    // The legacy exhaustive entry point and the oracle in exhaustive
+    // mode walk the same canonical space.
+    const Trace trace = buggyTrace();
+    Yat yat = makeYat();
+    const uint64_t data_off = pool_.offsetOf(data_);
+    const uint64_t valid_off = pool_.offsetOf(valid_);
+    const auto legacy = yat.run(
+        trace, [&](std::vector<uint8_t> &image) {
+            uint64_t data, valid;
+            std::memcpy(&data, image.data() + data_off, 8);
+            std::memcpy(&valid, image.data() + valid_off, 8);
+            return valid == 0 || data == 42;
+        });
+
+    Yat::OracleOptions opts;
+    opts.mode = Yat::OracleOptions::Mode::Exhaustive;
+    opts.memoize = false;
+    opts.workers = 4;
+    const auto oracle = yat.runOracle(trace, predicate(), opts);
+
+    EXPECT_EQ(oracle.crashPoints, legacy.crashPoints);
+    EXPECT_EQ(oracle.statesTested, legacy.statesTested);
+    EXPECT_EQ(oracle.statesCovered, legacy.statesTested);
+    EXPECT_EQ(oracle.failures, legacy.failures);
+}
+
+TEST_F(RepresentativeYatTest, PerPointCapTruncates)
+{
+    Yat yat = makeYat();
+    Yat::OracleOptions opts;
+    opts.mode = Yat::OracleOptions::Mode::Exhaustive;
+    opts.perPointCap = 2;
+    opts.workers = 1;
+    const auto result = yat.runOracle(buggyTrace(), predicate(), opts);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_LE(result.statesTested, 2u * result.crashPoints);
+}
+
+TEST_F(RepresentativeYatTest, EmptyTraceYieldsEmptyResult)
+{
+    Yat yat = makeYat();
+    const Trace empty(1, 0);
+    const auto result = yat.runOracle(empty, predicate());
+    EXPECT_EQ(result.crashPoints, 0u);
+    EXPECT_EQ(result.statesTested, 0u);
+    EXPECT_EQ(result.reductionRatio(), 1.0);
+}
+
+/**
+ * Randomized differential sweep: arbitrary interleavings of writes,
+ * writebacks, and fences over a few lines, with a recovery predicate
+ * whose read set depends on what it observes. Representative and
+ * exhaustive modes must agree exactly on covered and failing totals
+ * for every trace.
+ */
+TEST_F(RepresentativeYatTest, RandomizedDifferentialSweep)
+{
+    Rng rng(0xd1ffe7);
+    uint64_t *lines[2 + kPayloadLines];
+    lines[0] = data_;
+    lines[1] = valid_;
+    for (size_t i = 0; i < kPayloadLines; i++)
+        lines[2 + i] = payload_[i];
+
+    for (int iter = 0; iter < 25; iter++) {
+        // Rebuild the pristine pool state for each generated trace.
+        std::memcpy(pool_.base(), initialImage_.data(),
+                    initialImage_.size());
+        Trace t(1, 0);
+        const size_t ops = 6 + rng.next() % 8;
+        for (size_t i = 0; i < ops; i++) {
+            const size_t line = rng.next() % (2 + kPayloadLines);
+            switch (rng.next() % 4) {
+            case 0:
+            case 1: {
+                *lines[line] = rng.next() % 5; // small value domain
+                t.append(PmOp::write(addr(lines[line]), 8));
+                break;
+            }
+            case 2:
+                t.append(PmOp::clwb(addr(lines[line]), 8));
+                break;
+            case 3:
+                t.append(PmOp::sfence());
+                break;
+            }
+        }
+
+        Yat yat = makeYat();
+        Yat::OracleOptions opts;
+        opts.workers = 1;
+        opts.mode = Yat::OracleOptions::Mode::Exhaustive;
+        opts.memoize = false;
+        const auto ex = yat.runOracle(t, predicate(), opts);
+        opts.mode = Yat::OracleOptions::Mode::Representative;
+        opts.memoize = (iter % 2) == 0;
+        const auto re = yat.runOracle(t, predicate(), opts);
+
+        ASSERT_EQ(re.crashPoints, ex.crashPoints) << "iter " << iter;
+        ASSERT_EQ(re.statesCovered, ex.statesCovered)
+            << "iter " << iter;
+        ASSERT_EQ(re.failures, ex.failures) << "iter " << iter;
+        ASSERT_LE(re.statesTested, ex.statesTested)
+            << "iter " << iter;
+    }
+}
+
+} // namespace
+} // namespace pmtest::baseline

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Ground-truth oracle at Table-1 scale: workloads whose crash-state
+ * spaces are far beyond exhaustive enumeration (2^20+ states at a
+ * single crash point) get full validation through representative
+ * exploration — recovery's read set collapses the unread dirty lines
+ * into multiplicative weights, so every state is accounted for while
+ * only a handful of recovery runs execute. Covers the three workload
+ * families: a pmds map (low-level hashmap), txlib transactions, and
+ * the PMFS journal — plus an injected-bug case proving pruning does
+ * not hide real failures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baseline/yat.hh"
+#include "core/api.hh"
+#include "pmds/hashmap_atomic.hh"
+#include "pmds/hashmap_tx.hh"
+#include "pmfs/pmfs.hh"
+#include "txlib/undo_log.hh"
+#include "util/logging.hh"
+
+namespace pmtest
+{
+namespace
+{
+
+using baseline::Yat;
+using ByteMap = std::map<uint64_t, std::vector<uint8_t>>;
+
+/** Spaces this size and beyond are what exhaustive Yat cannot do. */
+constexpr uint64_t kIntractable = uint64_t{1} << 20;
+
+class OracleScaleTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        if (pmtestInitialized())
+            pmtestExit();
+    }
+
+    static Yat::OracleOptions
+    representative()
+    {
+        Yat::OracleOptions opts;
+        opts.mode = Yat::OracleOptions::Mode::Representative;
+        return opts;
+    }
+};
+
+TEST_F(OracleScaleTest, TxlibOpenTransactionValidatesAtScale)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    txlib::ObjPool pool(4 << 20, /*simulate_crashes=*/true);
+    pmtestAttachPool(&pool.pmPool());
+    pmds::HashmapTx map(pool);
+    ByteMap reference;
+
+    const std::vector<uint8_t> value(40, 0x5a);
+    for (uint64_t k = 1; k <= 12; k++) {
+        map.insert(k, value.data(), value.size());
+        reference[k] = value;
+    }
+
+    // A large open transaction: two dozen fresh objects written but
+    // not committed. Every data line is in flight (txlib flushes them
+    // only at commit), so the crash-state space at this point is
+    // >= 2^24 — recovery rolls all of it back without reading any of
+    // it, which is exactly what representative exploration exploits.
+    pool.txBegin();
+    for (int i = 0; i < 24; i++) {
+        auto *obj = static_cast<uint64_t *>(pool.txAllocRaw(64));
+        uint64_t payload[8];
+        for (int w = 0; w < 8; w++)
+            payload[w] = 0x1000 * i + w;
+        pool.txWrite(obj, payload, sizeof(payload));
+    }
+
+    const auto result = Yat::explorePool(
+        pool.pmPool(),
+        [&](pmem::TrackedImage &image) {
+            txlib::recoverImage(image);
+            ByteMap walked;
+            if (!pmds::HashmapTx::readImage(pool.pmPool(),
+                                            image.raw(), &walked,
+                                            image.tracker()))
+                return false;
+            return walked == reference;
+        },
+        representative());
+
+    EXPECT_EQ(result.failures, 0u)
+        << "an uncommitted transaction must be invisible in every "
+           "crash state";
+    EXPECT_GE(result.statesCovered, kIntractable);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_GE(result.reductionRatio(), 10.0);
+    pool.txCommit();
+    pmtestDetachPool();
+    pmtestExit();
+}
+
+TEST_F(OracleScaleTest, UnloggedWriteBugIsFoundAtScale)
+{
+    // The missing-TX_ADD bug class: a store inside a transaction
+    // with no undo entry. Recovery cannot roll it back, so the crash
+    // states where that line reached the medium are corrupt — and
+    // the oracle must find them inside a 2^20+ space without testing
+    // it exhaustively.
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    txlib::ObjPool pool(4 << 20, /*simulate_crashes=*/true);
+    pmtestAttachPool(&pool.pmPool());
+    pmds::HashmapTx map(pool);
+    ByteMap reference;
+
+    const std::vector<uint8_t> value(40, 0x5b);
+    for (uint64_t k = 1; k <= 12; k++) {
+        map.insert(k, value.data(), value.size());
+        reference[k] = value;
+    }
+
+    pool.txBegin();
+    for (int i = 0; i < 24; i++) {
+        auto *obj = static_cast<uint64_t *>(pool.txAllocRaw(64));
+        uint64_t payload[8];
+        for (int w = 0; w < 8; w++)
+            payload[w] = 0x2000 * i + w + 1;
+        pool.txWrite(obj, payload, sizeof(payload));
+    }
+    // The unlogged store: bump the map's element count in place.
+    // readImage cross-checks the walked size against it, so any
+    // crash state where this line persisted fails validation.
+    txlib::PoolHeader header;
+    std::memcpy(&header, pool.pmPool().base(), sizeof(header));
+    auto *count = reinterpret_cast<uint64_t *>(
+        pool.pmPool().base() + header.rootOffset + 16);
+    pmAssign(count, *count + 1);
+
+    const auto result = Yat::explorePool(
+        pool.pmPool(),
+        [&](pmem::TrackedImage &image) {
+            txlib::recoverImage(image);
+            ByteMap walked;
+            if (!pmds::HashmapTx::readImage(pool.pmPool(),
+                                            image.raw(), &walked,
+                                            image.tracker()))
+                return false;
+            return walked == reference;
+        },
+        representative());
+
+    EXPECT_GT(result.failures, 0u)
+        << "states where the unlogged count persisted are corrupt";
+    EXPECT_LT(result.failures, result.statesCovered)
+        << "states where the line stayed stale are still consistent";
+    EXPECT_GE(result.statesCovered, kIntractable);
+    EXPECT_GE(result.reductionRatio(), 10.0);
+    pool.txCommit();
+    pmtestDetachPool();
+    pmtestExit();
+}
+
+TEST_F(OracleScaleTest, AtomicMapValidatesAtScale)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    txlib::ObjPool pool(4 << 20, /*simulate_crashes=*/true);
+    pmtestAttachPool(&pool.pmPool());
+    pmds::HashmapAtomic map(pool);
+
+    const std::vector<uint8_t> value(32, 0x4c);
+    for (uint64_t k = 1; k <= 15; k++)
+        map.insert(k, value.data(), value.size());
+
+    // Thirty staged-but-unpublished value buffers: written, never
+    // flushed, reachable from nothing. They multiply the crash-state
+    // space past 2^30 while recovery can never observe them.
+    for (int i = 0; i < 30; i++) {
+        auto *buf = static_cast<uint64_t *>(pool.allocRaw(64));
+        uint64_t payload[8];
+        for (int w = 0; w < 8; w++)
+            payload[w] = 0xbeef0000 + 8 * i + w;
+        pmStore(buf, payload, sizeof(payload));
+    }
+
+    const auto result = Yat::explorePool(
+        pool.pmPool(),
+        [&](pmem::TrackedImage &image) {
+            uint64_t recounted = 0;
+            if (!pmds::HashmapAtomic::recoverImage(
+                    pool.pmPool(), image.raw(), &recounted,
+                    image.tracker()))
+                return false;
+            return recounted == 15;
+        },
+        representative());
+
+    EXPECT_EQ(result.failures, 0u)
+        << "every completed insert is fully durable";
+    EXPECT_GE(result.statesCovered, kIntractable);
+    EXPECT_GE(result.reductionRatio(), 10.0);
+    pmtestDetachPool();
+    pmtestExit();
+}
+
+TEST_F(OracleScaleTest, PmfsValidatesAtScale)
+{
+    pmtestInit(Config{});
+    pmtestThreadInit();
+
+    pmfs::Pmfs fs(4 << 20, /*simulate_crashes=*/true,
+                  /*use_fifo=*/false);
+    pmtestAttachPool(&fs.pmPool());
+
+    // Metadata is journaled and durable; with the data flush
+    // suppressed the file payloads stay in flight, inflating the
+    // crash-state space past 2^30 with lines the journal-recovery
+    // path and the metadata walk never read.
+    fs.faults.skipDataFlush = true;
+    const std::string payload(700, 'q');
+    for (int i = 0; i < 3; i++) {
+        const std::string name = "scale" + std::to_string(i);
+        const int ino = fs.create(name);
+        ASSERT_GE(ino, 0);
+        ASSERT_EQ(fs.write(ino, 0, payload.data(), payload.size()),
+                  static_cast<long>(payload.size()));
+    }
+
+    const auto result = Yat::explorePool(
+        fs.pmPool(),
+        [&](pmem::TrackedImage &image) {
+            pmfs::Pmfs::recoverImage(image);
+            const auto sb = image.readAt<pmfs::Superblock>(0);
+            if (sb.magic != pmfs::Superblock::kMagic)
+                return false;
+            size_t in_use = 0;
+            for (uint64_t i = 0; i < sb.nInodes; i++) {
+                const auto ino = image.readAt<pmfs::Inode>(
+                    sb.inodeTableOffset + i * sizeof(pmfs::Inode));
+                if (!ino.inUse)
+                    continue;
+                in_use++;
+                if (std::strncmp(ino.name, "scale", 5) != 0 ||
+                    ino.size != 700)
+                    return false;
+            }
+            return in_use == 3;
+        },
+        representative());
+
+    EXPECT_EQ(result.failures, 0u)
+        << "journaled metadata survives every crash state";
+    EXPECT_GE(result.statesCovered, kIntractable);
+    EXPECT_GE(result.reductionRatio(), 10.0);
+    pmtestDetachPool();
+    pmtestExit();
+}
+
+} // namespace
+} // namespace pmtest

@@ -1,0 +1,251 @@
+#include "pmem/tracked_image.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "pmem/crash_injector.hh"
+#include "util/random.hh"
+
+namespace pmtest::pmem
+{
+namespace
+{
+
+std::vector<uint8_t>
+patternImage(size_t size, uint8_t seed = 0)
+{
+    std::vector<uint8_t> image(size);
+    for (size_t i = 0; i < size; i++)
+        image[i] = static_cast<uint8_t>(seed + i * 7);
+    return image;
+}
+
+TEST(ReadSetTracker, RecordsReadRangesInFirstReadOrder)
+{
+    auto image = patternImage(256);
+    ReadSetTracker tracker;
+    TrackedImage view(image, &tracker);
+
+    uint8_t buf[16];
+    view.readBytes(128, buf, 8);
+    view.readBytes(0, buf, 4);
+    view.readBytes(132, buf, 8); // overlaps [132,136): only 4 new
+
+    ASSERT_EQ(tracker.readRanges().size(), 3u);
+    EXPECT_EQ(tracker.readRanges()[0],
+              (ReadSetTracker::ReadRange{128, 8}));
+    EXPECT_EQ(tracker.readRanges()[1],
+              (ReadSetTracker::ReadRange{0, 4}));
+    EXPECT_EQ(tracker.readRanges()[2],
+              (ReadSetTracker::ReadRange{136, 4}));
+
+    ASSERT_EQ(tracker.readLines().size(), 2u);
+    EXPECT_EQ(tracker.readLines()[0], 2u); // line of offset 128
+    EXPECT_EQ(tracker.readLines()[1], 0u);
+    EXPECT_TRUE(tracker.lineRead(2));
+    EXPECT_FALSE(tracker.lineRead(1));
+}
+
+TEST(ReadSetTracker, AdjacentReadsCoalesceIntoOneRange)
+{
+    auto image = patternImage(128);
+    ReadSetTracker tracker;
+    TrackedImage view(image, &tracker);
+
+    uint8_t buf[8];
+    view.readBytes(8, buf, 8);
+    view.readBytes(16, buf, 8);
+
+    ASSERT_EQ(tracker.readRanges().size(), 1u);
+    EXPECT_EQ(tracker.readRanges()[0],
+              (ReadSetTracker::ReadRange{8, 16}));
+}
+
+TEST(ReadSetTracker, WrittenBytesAreDerivedDataNotCrashReads)
+{
+    auto image = patternImage(128);
+    ReadSetTracker tracker;
+    TrackedImage view(image, &tracker);
+
+    view.writeAt<uint64_t>(0, 0xdeadbeef);
+    uint8_t buf[8];
+    view.readBytes(0, buf, 8); // reads back own write
+
+    EXPECT_TRUE(tracker.readRanges().empty());
+    EXPECT_TRUE(tracker.readLines().empty());
+    EXPECT_EQ(tracker.contentHash(), ReadSetTracker::kFnvOffset);
+}
+
+TEST(ReadSetTracker, RereadingRecordedBytesAddsNothing)
+{
+    auto image = patternImage(128);
+    ReadSetTracker tracker;
+    TrackedImage view(image, &tracker);
+
+    uint8_t buf[8];
+    view.readBytes(32, buf, 8);
+    const uint64_t hash = tracker.contentHash();
+    const auto ranges = tracker.readRanges();
+    view.readBytes(32, buf, 8);
+    view.readBytes(34, buf, 4);
+
+    EXPECT_EQ(tracker.contentHash(), hash);
+    EXPECT_EQ(tracker.readRanges(), ranges);
+}
+
+TEST(ReadSetTracker, ContentHashDistinguishesObservedBytes)
+{
+    auto a = patternImage(128, 0);
+    auto b = patternImage(128, 1);
+    ReadSetTracker ta, tb;
+    uint8_t buf[8];
+    TrackedImage(a, &ta).readBytes(0, buf, 8);
+    TrackedImage(b, &tb).readBytes(0, buf, 8);
+
+    EXPECT_NE(ta.contentHash(), tb.contentHash());
+    // Same positions read: the range signature agrees even though
+    // the content differs.
+    EXPECT_EQ(ta.rangeSignature(), tb.rangeSignature());
+}
+
+TEST(ReadSetTracker, RangeSignatureDistinguishesPositions)
+{
+    auto image = patternImage(128);
+    ReadSetTracker ta, tb;
+    uint8_t buf[8];
+    TrackedImage(image, &ta).readBytes(0, buf, 8);
+    TrackedImage(image, &tb).readBytes(8, buf, 8);
+    EXPECT_NE(ta.rangeSignature(), tb.rangeSignature());
+}
+
+TEST(ReadSetTracker, HashImageOverMatchesContentHash)
+{
+    auto image = patternImage(256);
+    ReadSetTracker tracker;
+    TrackedImage view(image, &tracker);
+    uint8_t buf[16];
+    view.readBytes(100, buf, 16);
+    view.readBytes(3, buf, 5);
+
+    EXPECT_EQ(ReadSetTracker::hashImageOver(image,
+                                            tracker.readRanges()),
+              tracker.contentHash());
+
+    // Perturb a crash-read byte: the hash must move.
+    auto other = image;
+    other[104] ^= 0xff;
+    EXPECT_NE(ReadSetTracker::hashImageOver(other,
+                                            tracker.readRanges()),
+              tracker.contentHash());
+
+    // Perturb an unread byte: the hash must not move.
+    auto unread = image;
+    unread[200] ^= 0xff;
+    EXPECT_EQ(ReadSetTracker::hashImageOver(unread,
+                                            tracker.readRanges()),
+              tracker.contentHash());
+}
+
+TEST(ReadSetTracker, HashImageOverOutOfBoundsIsNoMatch)
+{
+    std::vector<ReadSetTracker::ReadRange> ranges = {{120, 16}};
+    auto small = patternImage(128);
+    EXPECT_EQ(ReadSetTracker::hashImageOver(small, ranges),
+              ReadSetTracker::kNoMatch);
+}
+
+TEST(ReadSetTracker, UndoRestoresImageExactly)
+{
+    auto image = patternImage(512);
+    const auto pristine = image;
+    ReadSetTracker tracker;
+    TrackedImage view(image, &tracker);
+
+    Rng rng(7);
+    for (int i = 0; i < 100; i++) {
+        const uint64_t off = rng.next() % (image.size() - 16);
+        const size_t size = 1 + rng.next() % 16;
+        std::vector<uint8_t> junk(size);
+        for (auto &b : junk)
+            b = static_cast<uint8_t>(rng.next());
+        view.writeBytes(off, junk.data(), size);
+    }
+    ASSERT_NE(image, pristine) << "writes must have landed";
+
+    tracker.undo(image);
+    EXPECT_EQ(image, pristine);
+}
+
+TEST(ReadSetTracker, ResetClearsEverything)
+{
+    auto image = patternImage(128);
+    ReadSetTracker tracker;
+    TrackedImage view(image, &tracker);
+    uint8_t buf[8];
+    view.readBytes(0, buf, 8);
+    view.writeAt<uint32_t>(64, 1);
+
+    tracker.reset();
+    EXPECT_TRUE(tracker.readRanges().empty());
+    EXPECT_TRUE(tracker.readLines().empty());
+    EXPECT_EQ(tracker.contentHash(), ReadSetTracker::kFnvOffset);
+
+    // Undo after reset is a no-op: the write log is gone.
+    const auto current = image;
+    tracker.undo(image);
+    EXPECT_EQ(image, current);
+}
+
+TEST(TrackedImage, UntrackedAccessorStillWorks)
+{
+    auto image = patternImage(128);
+    TrackedImage view(image);
+    EXPECT_EQ(view.tracker(), nullptr);
+    view.writeAt<uint64_t>(8, 12345);
+    EXPECT_EQ(view.readAt<uint64_t>(8), 12345u);
+}
+
+TEST(PredicateMemo, ReusesVerdictForMatchingReadSet)
+{
+    auto image = patternImage(256);
+    ReadSetTracker tracker;
+    TrackedImage view(image, &tracker);
+    uint8_t buf[8];
+    view.readBytes(64, buf, 8);
+
+    PredicateMemo memo;
+    memo.insert(tracker, /*verdict=*/true);
+    EXPECT_EQ(memo.size(), 1u);
+
+    // Same bytes at the crash-read ranges: hit, with read lines.
+    auto candidate = image;
+    candidate[200] ^= 0xff; // unread byte may differ freely
+    const auto *hit = memo.lookup(candidate);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_TRUE(hit->verdict);
+    EXPECT_EQ(hit->readLines, tracker.readLines());
+
+    // A crash-read byte differs: no entry may be reused.
+    candidate[64] ^= 0xff;
+    EXPECT_EQ(memo.lookup(candidate), nullptr);
+}
+
+TEST(PredicateMemo, ClearEmptiesTheCache)
+{
+    auto image = patternImage(128);
+    ReadSetTracker tracker;
+    TrackedImage view(image, &tracker);
+    uint8_t buf[4];
+    view.readBytes(0, buf, 4);
+
+    PredicateMemo memo;
+    memo.insert(tracker, false);
+    memo.clear();
+    EXPECT_EQ(memo.size(), 0u);
+    EXPECT_EQ(memo.lookup(image), nullptr);
+}
+
+} // namespace
+} // namespace pmtest::pmem
