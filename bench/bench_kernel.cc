@@ -25,6 +25,8 @@
  *                 histograms) of the run.
  *  --trace-events=PATH  Chrome trace-event / Perfetto timeline of the
  *                 run's engine.check spans.
+ *  --metrics-port=N  serve live /metrics and /metrics.json on
+ *                 127.0.0.1:N for the duration of the run.
  */
 
 #include <cstdio>
@@ -37,6 +39,7 @@
 #include "bench/node_interval_map.hh"
 #include "core/engine.hh"
 #include "core/interval_map.hh"
+#include "obs/metrics_service.hh"
 #include "obs/telemetry.hh"
 #include "util/json.hh"
 #include "util/random.hh"
@@ -445,6 +448,7 @@ main(int argc, char **argv)
     std::string json_path = "BENCH_kernel.json";
     std::string metrics_path;
     std::string trace_events_path;
+    long metrics_port = -1;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -454,17 +458,47 @@ main(int argc, char **argv)
             metrics_path = argv[i] + 15;
         } else if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
             trace_events_path = argv[i] + 15;
+        } else if (std::strncmp(argv[i], "--metrics-port=", 15) ==
+                   0) {
+            char *end = nullptr;
+            metrics_port = std::strtol(argv[i] + 15, &end, 10);
+            if (!end || *end != '\0' || metrics_port < 0 ||
+                metrics_port > 65535) {
+                std::fprintf(stderr,
+                             "invalid value for --metrics-port: "
+                             "'%s'\n",
+                             argv[i] + 15);
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--json=PATH]\n"
                          "          [--metrics-json=PATH] "
-                         "[--trace-events=PATH]\n",
+                         "[--trace-events=PATH]\n"
+                         "          [--metrics-port=N]\n",
                          argv[0]);
             return 2;
         }
     }
     if (!trace_events_path.empty())
         obs::Telemetry::instance().enableSpans();
+
+    // Live scrape endpoint for the benchmark run (used by the <2%
+    // overhead measurement in EXPERIMENTS.md): telemetry counters,
+    // stage latencies, and process gauges — no pool/ingest samplers.
+    obs::MetricsService metrics_service;
+    if (metrics_port >= 0) {
+        obs::ServiceOptions service_options;
+        service_options.tool = "bench_kernel";
+        service_options.metricsPort =
+            static_cast<int32_t>(metrics_port);
+        std::string service_error;
+        if (!metrics_service.start(std::move(service_options),
+                                   &service_error)) {
+            std::fprintf(stderr, "%s\n", service_error.c_str());
+            return 2;
+        }
+    }
 
     pmtest::bench::banner("Kernel ablation",
                           "chunked storage, batched splices, state "
@@ -543,5 +577,6 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    metrics_service.stop();
     return 0;
 }

@@ -84,6 +84,9 @@ ingestPinned(MultiTraceSource &multi, EnginePool &pool,
                 break;
             const size_t done = batch.size() - before;
             decoded.fetch_add(done, std::memory_order_relaxed);
+            if (options.progress)
+                options.progress->tracesDecoded.fetch_add(
+                    done, std::memory_order_relaxed);
             obs::count(obs::Counter::ChunksDecoded);
             obs::count(obs::Counter::TracesDecoded, done);
             if (batch.size() >= batch_size)
@@ -133,6 +136,8 @@ ingestPinned(MultiTraceSource &multi, EnginePool &pool,
         ingest->stallNanos =
             stall_nanos.load(std::memory_order_relaxed);
     }
+    if (options.progress)
+        options.progress->done.store(true, std::memory_order_release);
     return ok;
 }
 
@@ -225,6 +230,9 @@ ingest(TraceSource &source, EnginePool &pool,
                 break;
             const size_t done = batch.size() - before;
             decoded.fetch_add(done, std::memory_order_relaxed);
+            if (options.progress)
+                options.progress->tracesDecoded.fetch_add(
+                    done, std::memory_order_relaxed);
             obs::count(obs::Counter::ChunksDecoded);
             obs::count(obs::Counter::TracesDecoded, done);
             if (batch.size() >= batch_size)
@@ -266,6 +274,8 @@ ingest(TraceSource &source, EnginePool &pool,
         ingest->stallNanos =
             stall_nanos.load(std::memory_order_relaxed);
     }
+    if (options.progress)
+        options.progress->done.store(true, std::memory_order_release);
     return ok;
 }
 

@@ -26,6 +26,18 @@
 namespace pmtest::core
 {
 
+/**
+ * Live progress of one ingest() call, safe to read from any thread
+ * while the decoders run. The metrics publisher samples it to tell
+ * "source still has traces" from "decoders finished" — the EOF and
+ * stall-watchdog signals the drained TraceSource alone can't give.
+ */
+struct IngestProgress
+{
+    std::atomic<uint64_t> tracesDecoded{0};
+    std::atomic<bool> done{false}; ///< ingest() has returned
+};
+
 /** Knobs for ingest(). */
 struct IngestOptions
 {
@@ -58,6 +70,8 @@ struct IngestOptions
     size_t batch = 8;
     /** Placement policy (canonical reports are identical in all). */
     Affinity affinity = Affinity::Auto;
+    /** Optional live-progress mirror (not owned; may be null). */
+    IngestProgress *progress = nullptr;
 };
 
 /**

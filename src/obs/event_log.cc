@@ -1,0 +1,100 @@
+#include "obs/event_log.hh"
+
+#include <cerrno>
+#include <chrono>
+
+#include "obs/telemetry.hh"
+#include "util/json.hh"
+
+namespace pmtest::obs
+{
+
+const char *
+eventSeverityName(EventSeverity severity)
+{
+    switch (severity) {
+    case EventSeverity::Info:
+        return "info";
+    case EventSeverity::Warn:
+        return "warn";
+    case EventSeverity::Error:
+        return "error";
+    }
+    return "info";
+}
+
+bool
+EventLog::open(const std::string &path, std::string *error)
+{
+    close();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (path == "-") {
+        file_ = stdout;
+        ownsFile_ = false;
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        if (error)
+            *error = "cannot write " + path;
+        return false;
+    }
+    file_ = f;
+    ownsFile_ = true;
+    return true;
+}
+
+void
+EventLog::emit(EventSeverity severity, const char *type,
+               const std::function<void(JsonWriter &)> &fields)
+{
+#if PMTEST_TELEMETRY_ENABLED
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;
+    const uint64_t wall_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    // Read the epoch before the clock: if this emit is the process's
+    // first telemetry touch, instance() constructs here and captures
+    // its epoch *now* — sampling monotonicNanos() first would make
+    // the subtraction underflow.
+    const uint64_t epoch = Telemetry::instance().epochNanos();
+    const uint64_t now = monotonicNanos();
+    const uint64_t mono_ns = now > epoch ? now - epoch : 0;
+
+    JsonWriter w;
+    w.beginObject();
+    w.member("ts_ms", wall_ms);
+    w.member("mono_ns", mono_ns);
+    w.member("severity", eventSeverityName(severity));
+    w.member("type", type);
+    if (fields)
+        fields(w);
+    w.endObject();
+
+    std::fwrite(w.str().data(), 1, w.str().size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+#else
+    (void)severity;
+    (void)type;
+    (void)fields;
+#endif
+}
+
+void
+EventLog::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;
+    std::fflush(file_);
+    if (ownsFile_)
+        std::fclose(file_);
+    file_ = nullptr;
+    ownsFile_ = false;
+}
+
+} // namespace pmtest::obs

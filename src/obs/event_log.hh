@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structured JSONL event log: the greppable audit trail of a
+ * long-running check. One JSON object per line, each timestamped
+ * (wall-clock milliseconds plus nanoseconds since the telemetry
+ * epoch) and severity-tagged:
+ *
+ *   {"ts_ms":1754550000123,"mono_ns":81234567,"severity":"info",
+ *    "type":"run_start","tool":"pmtest_check",...}
+ *
+ * Producers: the tools emit run_start/run_stop, per-source open/EOF
+ * and finding records; the MetricsPublisher emits watchdog warnings.
+ * emit() is mutex-serialized and flushes per record, so `tail -f`
+ * and crash post-mortems see complete lines.
+ *
+ * "-" opens stdout; an unwritable path fails open() with a
+ * path-qualified error so callers can honor the exit-2 flag-error
+ * contract. Under -DPMTEST_TELEMETRY=OFF the path is still opened
+ * and validated (the flag contract is configuration-independent) but
+ * emit() compiles to a no-op — the log stays empty.
+ */
+
+#ifndef PMTEST_OBS_EVENT_LOG_HH
+#define PMTEST_OBS_EVENT_LOG_HH
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace pmtest
+{
+class JsonWriter;
+}
+
+namespace pmtest::obs
+{
+
+/** Severity tag on one event record. */
+enum class EventSeverity : uint8_t
+{
+    Info,
+    Warn,
+    Error,
+};
+
+/** Stable record tag of @p severity ("info"/"warn"/"error"). */
+const char *eventSeverityName(EventSeverity severity);
+
+/** Thread-safe JSONL event sink. */
+class EventLog
+{
+  public:
+    EventLog() = default;
+    ~EventLog() { close(); }
+
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /**
+     * Open @p path for appending events ("-" = stdout). @return
+     * false with @p error set to "cannot write <path>" when the file
+     * cannot be created.
+     */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    /** True once open() succeeded (events will be written). */
+    bool active() const { return file_ != nullptr; }
+
+    /**
+     * Append one record of @p type. @p fields, when provided, adds
+     * extra members to the (already open) record object via the
+     * passed writer. Thread-safe; a no-op when the log is not active
+     * or telemetry is compiled out.
+     */
+    void emit(EventSeverity severity, const char *type,
+              const std::function<void(JsonWriter &)> &fields = {});
+
+    /** Flush and close (stdout is flushed, not closed). */
+    void close();
+
+  private:
+    std::mutex mutex_;
+    std::FILE *file_ = nullptr;
+    bool ownsFile_ = false; ///< false when writing to stdout
+};
+
+} // namespace pmtest::obs
+
+#endif // PMTEST_OBS_EVENT_LOG_HH

@@ -1,0 +1,157 @@
+#include "obs/metrics_http.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pmtest::obs
+{
+
+namespace
+{
+
+/** Write all of @p data, tolerating short writes and EINTR. */
+void
+writeAll(int fd, const char *data, size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // client went away; nothing to salvage
+        }
+        data += static_cast<size_t>(n);
+        len -= static_cast<size_t>(n);
+    }
+}
+
+} // namespace
+
+bool
+MetricsHttpServer::start(uint16_t port, HttpHandler handler,
+                         std::string *error)
+{
+    stop();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        if (error)
+            *error = "cannot bind 127.0.0.1:" + std::to_string(port) +
+                     ": " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        if (error)
+            *error = std::string("getsockname: ") +
+                     std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    port_ = ntohs(addr.sin_port);
+
+    listenFd_ = fd;
+    handler_ = std::move(handler);
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+MetricsHttpServer::stop()
+{
+    if (!running_.load(std::memory_order_acquire))
+        return;
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    running_.store(false, std::memory_order_release);
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready <= 0)
+            continue; // timeout (stop check) or EINTR
+        const int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        serveOne(client);
+        ::close(client);
+    }
+}
+
+void
+MetricsHttpServer::serveOne(int client)
+{
+    // One read is enough for any scraper's GET line + headers; we only
+    // need the request line and ignore everything after it.
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    if (n <= 0)
+        return;
+    buf[n] = '\0';
+
+    std::string request(buf);
+    std::string path;
+    if (request.rfind("GET ", 0) == 0) {
+        const size_t end = request.find(' ', 4);
+        if (end != std::string::npos)
+            path = request.substr(4, end - 4);
+    }
+
+    std::string body;
+    std::string content_type = "text/plain; charset=utf-8";
+    bool found = false;
+    if (!path.empty() && handler_)
+        found = handler_(path, &body, &content_type);
+
+    std::string response;
+    if (found) {
+        response = "HTTP/1.0 200 OK\r\nContent-Type: " + content_type +
+                   "\r\nContent-Length: " + std::to_string(body.size()) +
+                   "\r\nConnection: close\r\n\r\n" + body;
+    } else {
+        body = "not found\n";
+        response = "HTTP/1.0 404 Not Found\r\nContent-Type: "
+                   "text/plain\r\nContent-Length: " +
+                   std::to_string(body.size()) +
+                   "\r\nConnection: close\r\n\r\n" + body;
+    }
+    writeAll(client, response.data(), response.size());
+}
+
+} // namespace pmtest::obs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal embedded HTTP/1.0 server for metrics scraping. Deliberately
+ * tiny: binds 127.0.0.1 only, answers GET, closes after each response
+ * ("Connection: close"), and routes through a single handler
+ * callback. That is exactly what `curl` and a Prometheus scrape job
+ * need and nothing a production ingress would want — checking tools
+ * should never grow a web framework.
+ *
+ * The accept loop runs on its own thread and polls with a short
+ * timeout so stop() cannot hang on a quiet socket. Port 0 requests an
+ * ephemeral port; port() reports the bound one (the tools print it so
+ * tests and scripts can scrape without racing the kernel's choice).
+ */
+
+#ifndef PMTEST_OBS_METRICS_HTTP_HH
+#define PMTEST_OBS_METRICS_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace pmtest::obs
+{
+
+/**
+ * Route callback: fill @p body and @p content_type for @p path and
+ * return true, or return false for a 404. Called from the server
+ * thread; must be safe against whatever else the process is doing.
+ */
+using HttpHandler = std::function<bool(const std::string &path,
+                                       std::string *body,
+                                       std::string *content_type)>;
+
+/** Single-threaded scrape endpoint bound to 127.0.0.1. */
+class MetricsHttpServer
+{
+  public:
+    MetricsHttpServer() = default;
+    ~MetricsHttpServer() { stop(); }
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and start serving
+     * @p handler on a background thread. @return false with @p error
+     * set when the socket cannot be bound.
+     */
+    bool start(uint16_t port, HttpHandler handler,
+               std::string *error = nullptr);
+
+    /** The bound port (differs from the request when it was 0). */
+    uint16_t port() const { return port_; }
+
+    /** True between a successful start() and stop(). */
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** Stop accepting, close the socket, and join the thread. */
+    void stop();
+
+  private:
+    void serveLoop();
+    void serveOne(int client);
+
+    HttpHandler handler_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+};
+
+} // namespace pmtest::obs
+
+#endif // PMTEST_OBS_METRICS_HTTP_HH

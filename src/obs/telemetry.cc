@@ -80,9 +80,24 @@ counterName(Counter counter)
         return "oracle_states_covered";
       case Counter::OracleMemoHits:
         return "oracle_memo_hits";
+      case Counter::WatchdogStalls:
+        return "watchdog_stalls";
+      case Counter::MetricsScrapes:
+        return "metrics_scrapes";
     }
     return "unknown";
 }
+
+namespace
+{
+
+uint64_t
+saturatingSub(uint64_t a, uint64_t b)
+{
+    return a > b ? a - b : 0;
+}
+
+} // namespace
 
 uint64_t
 HistogramSnapshot::bucketLowerBound(size_t index)
@@ -102,6 +117,19 @@ HistogramSnapshot::merge(const HistogramSnapshot &other)
     count += other.count;
     sum += other.sum;
     max = std::max(max, other.max);
+}
+
+void
+HistogramSnapshot::subtract(const HistogramSnapshot &baseline)
+{
+    for (size_t i = 0; i < kHistogramBuckets; i++)
+        buckets[i] = saturatingSub(buckets[i], baseline.buckets[i]);
+    count = saturatingSub(count, baseline.count);
+    sum = saturatingSub(sum, baseline.sum);
+    // max cannot be windowed; keep the raw upper bound unless the
+    // window is empty.
+    if (count == 0)
+        max = 0;
 }
 
 double
@@ -160,13 +188,15 @@ LatencyHistogram::snapshot() const
 }
 
 void
-LatencyHistogram::reset()
+MetricsSnapshot::subtract(const MetricsSnapshot &baseline)
 {
-    for (auto &b : buckets_)
-        b.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
-    sum_.store(0, std::memory_order_relaxed);
-    max_.store(0, std::memory_order_relaxed);
+    for (size_t c = 0; c < kCounterCount; c++)
+        counters[c] = saturatingSub(counters[c], baseline.counters[c]);
+    for (size_t h = 0; h < kStageCount; h++)
+        stages[h].subtract(baseline.stages[h]);
+    spansRecorded = saturatingSub(spansRecorded,
+                                  baseline.spansRecorded);
+    spansDropped = saturatingSub(spansDropped, baseline.spansDropped);
 }
 
 Telemetry &
@@ -244,10 +274,9 @@ Telemetry::disableSpans()
 }
 
 MetricsSnapshot
-Telemetry::metrics() const
+Telemetry::mergedLocked() const
 {
     MetricsSnapshot snap;
-    std::lock_guard<std::mutex> lock(mutex_);
     snap.threads = static_cast<uint32_t>(slots_.size());
     for (const auto &s : slots_) {
         for (size_t c = 0; c < kCounterCount; c++)
@@ -263,12 +292,29 @@ Telemetry::metrics() const
     return snap;
 }
 
+MetricsSnapshot
+Telemetry::metrics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap = mergedLocked();
+    snap.subtract(baseline_);
+    snap.snapshotNs = monotonicNanos() - epochNs_;
+    return snap;
+}
+
 void
 Telemetry::writeMetricsJson(JsonWriter &w) const
 {
-    const MetricsSnapshot snap = metrics();
+    writeMetricsJson(w, metrics());
+}
+
+void
+Telemetry::writeMetricsJson(JsonWriter &w,
+                            const MetricsSnapshot &snap) const
+{
     w.beginObject();
     w.member("compiled", PMTEST_TELEMETRY_ENABLED != 0);
+    w.member("snapshot_ns", snap.snapshotNs);
     w.member("threads", snap.threads);
 
     w.key("counters").beginObject();
@@ -372,16 +418,21 @@ void
 Telemetry::resetForTest()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Baseline subtraction instead of destructive zeroing: recorders
+    // are never written to, so a concurrent fetch_add lands either
+    // before the baseline capture (absorbed into the baseline) or
+    // after it (reported by the next metrics() call) — never lost,
+    // and never a store racing an increment.
+    baseline_ = mergedLocked();
     for (auto &s : slots_) {
-        for (auto &c : s->counters)
-            c.store(0, std::memory_order_relaxed);
-        for (auto &h : s->stages)
-            h.reset();
-        s->spansDropped.store(0, std::memory_order_relaxed);
         std::lock_guard<std::mutex> span_lock(s->spanMutex);
         s->spans.clear();
         s->spanSeq = 0;
     }
+    // Spans really are cleared (owner-append is spanMutex-guarded),
+    // so the recorded tally restarts from zero rather than being
+    // baseline-subtracted.
+    baseline_.spansRecorded = 0;
 }
 
 } // namespace pmtest::obs

@@ -108,10 +108,12 @@ enum class Counter : uint8_t
     HintsVerified,   ///< hints whose patched replay came back clean
     OracleStatesTested, ///< recovery verdicts the oracle obtained
     OracleStatesCovered,///< crash states those verdicts account for
-    OracleMemoHits      ///< verdicts served from the predicate memo
+    OracleMemoHits,     ///< verdicts served from the predicate memo
+    WatchdogStalls,     ///< stall episodes the metrics watchdog flagged
+    MetricsScrapes      ///< /metrics + /metrics.json requests served
 };
 
-inline constexpr size_t kCounterCount = 18;
+inline constexpr size_t kCounterCount = 20;
 
 /** Stable metric name of @p counter (e.g. "traces_checked"). */
 const char *counterName(Counter counter);
@@ -132,6 +134,15 @@ struct HistogramSnapshot
 
     /** Accumulate @p other into this snapshot (cross-thread merge). */
     void merge(const HistogramSnapshot &other);
+
+    /**
+     * Saturating-subtract @p baseline from this snapshot — the
+     * baseline-reset primitive: a snapshot minus an earlier snapshot
+     * of the same histogram is the activity in between. The observed
+     * max cannot be re-derived for a window, so it stays as the raw
+     * upper bound (and is zeroed when the window holds no samples).
+     */
+    void subtract(const HistogramSnapshot &baseline);
 
     /**
      * Approximate @p p quantile (0 < p <= 1) in nanoseconds, linearly
@@ -185,9 +196,6 @@ class LatencyHistogram
     /** Copy the current state into a mergeable snapshot. */
     HistogramSnapshot snapshot() const;
 
-    /** Zero all buckets (test support; racy against recorders). */
-    void reset();
-
   private:
     std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
     std::atomic<uint64_t> count_{0};
@@ -211,6 +219,21 @@ struct MetricsSnapshot
     uint64_t spansRecorded = 0;
     uint64_t spansDropped = 0;
     uint32_t threads = 0;
+
+    /**
+     * Capture time, in nanoseconds since the registry epoch
+     * (Telemetry::epochNanos()). Two snapshots of the same registry
+     * are directly comparable, which is what makes rate computation
+     * between scrapes well-defined.
+     */
+    uint64_t snapshotNs = 0;
+
+    /**
+     * Saturating-subtract @p baseline (counters, histograms, span
+     * accounting) — the window of activity since @p baseline was
+     * taken. threads and snapshotNs keep this snapshot's values.
+     */
+    void subtract(const MetricsSnapshot &baseline);
 
     uint64_t
     counter(Counter c) const
@@ -269,15 +292,24 @@ class Telemetry
         return spansOn_.load(std::memory_order_relaxed);
     }
 
-    /** Merged counters + histograms across all threads ever seen. */
+    /**
+     * Merged counters + histograms across all threads ever seen,
+     * relative to the last resetForTest() baseline, stamped with the
+     * capture time (snapshotNs).
+     */
     MetricsSnapshot metrics() const;
 
     /**
-     * Append the "telemetry" metrics object (compiled flag, counters,
-     * per-stage histogram quantiles, span accounting) to @p w. The
-     * writer must be positioned where an object value is legal.
+     * Append the "telemetry" metrics object (compiled flag, capture
+     * timestamp, counters, per-stage histogram quantiles, span
+     * accounting) to @p w. The writer must be positioned where an
+     * object value is legal.
      */
     void writeMetricsJson(JsonWriter &w) const;
+
+    /** Same, but rendering the already-taken snapshot @p snap. */
+    void writeMetricsJson(JsonWriter &w,
+                          const MetricsSnapshot &snap) const;
 
     /**
      * Append the full Chrome trace-event document (an object with a
@@ -295,8 +327,13 @@ class Telemetry
                               std::string *error = nullptr) const;
 
     /**
-     * Zero all counters/histograms and drop collected spans. Test
-     * support only — racy against concurrently recording threads.
+     * Rebase metrics() to zero and drop collected spans. Test
+     * support. Implemented as baseline subtraction — the current
+     * merged totals become the new baseline and subsequent snapshots
+     * report only activity after this call — so it is safe against
+     * concurrently recording threads (no destructive store ever races
+     * a recorder's fetch_add; a recorder racing the baseline capture
+     * lands either before the baseline or after it, never lost).
      */
     void resetForTest();
 
@@ -322,8 +359,12 @@ class Telemetry
     /** The calling thread's slot, registering it on first use. */
     ThreadSlot &slot();
 
-    mutable std::mutex mutex_; ///< guards slots_ growth
+    /** Merge all slots into one raw snapshot. Caller holds mutex_. */
+    MetricsSnapshot mergedLocked() const;
+
+    mutable std::mutex mutex_; ///< guards slots_ growth and baseline_
     std::vector<std::unique_ptr<ThreadSlot>> slots_;
+    MetricsSnapshot baseline_; ///< subtracted by metrics()
     std::atomic<bool> spansOn_{false};
     std::atomic<uint64_t> sampleEvery_{1};
     uint64_t epochNs_;

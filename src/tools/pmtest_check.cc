@@ -14,6 +14,8 @@
  *                [--affinity=auto|pinned|shared] [--stats]
  *                [--metrics-json=FILE] [--trace-events=FILE]
  *                [--span-sample=N] [--fix-hints[=FILE]]
+ *                [--metrics-port=N] [--metrics-interval-ms=N]
+ *                [--event-log=FILE] [--progress] [--metrics-linger]
  *                <trace-file-or-dir>...
  *
  * Inputs:
@@ -81,6 +83,23 @@
  *    value = stdout). The inputs are re-opened for the replay pass,
  *    so this works with every ingest/shard configuration.
  *
+ * Live observability (all optional; none touches the verdict or the
+ * stdout report — see src/obs/metrics_service.hh):
+ *  - --metrics-port=N serves /metrics (Prometheus text) and
+ *    /metrics.json (pmtest-metrics-v1) on 127.0.0.1:N while the run
+ *    is live (N=0 picks an ephemeral port, printed on stderr). The
+ *    publisher samples queue depths, in-flight traces, per-source
+ *    ingest progress, RSS, and rates every --metrics-interval-ms
+ *    (default 1000) and watches for pipeline stalls.
+ *  - --event-log=FILE appends structured JSONL events (run start/
+ *    stop, per-source open/EOF, findings with the [fN:tM:opK]
+ *    identity triple and fix-hint status, watchdog warnings). "-"
+ *    writes to stdout; an unwritable path exits 2.
+ *  - --progress repaints a live TTY line on stderr.
+ *  - --metrics-linger keeps the scrape endpoint up after the run
+ *    finishes (serving the final frozen sample) until SIGINT/SIGTERM,
+ *    then exits with the normal verdict status.
+ *
  * Findings are reported in canonical (fileId, traceId, opIndex)
  * order, so any decoder/shard/worker configuration prints a
  * byte-identical report for the same input set.
@@ -92,17 +111,22 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.hh"
 #include "core/engine_pool.hh"
 #include "core/fix_verify.hh"
+#include "core/live_gauges.hh"
 #include "core/stats_json.hh"
 #include "core/trace_ingest.hh"
+#include "obs/metrics_service.hh"
 #include "obs/telemetry.hh"
 #include "trace/trace_source.hh"
 #include "util/cpu.hh"
@@ -126,6 +150,8 @@ usage(const char *argv0)
         "          [--affinity=auto|pinned|shared] [--stats]\n"
         "          [--metrics-json=FILE] [--trace-events=FILE]\n"
         "          [--span-sample=N] [--fix-hints[=FILE]]\n"
+        "          [--metrics-port=N] [--metrics-interval-ms=N]\n"
+        "          [--event-log=FILE] [--progress] [--metrics-linger]\n"
         "          <trace-file-or-dir>...\n",
         argv0);
 }
@@ -307,6 +333,80 @@ printOracleStats()
                 static_cast<unsigned long long>(hits));
 }
 
+/** One "source_open" event per leaf source of @p source. */
+void
+emitSourceOpenEvents(obs::EventLog &log, const TraceSource &source)
+{
+    if (const auto *multi =
+            dynamic_cast<const MultiTraceSource *>(&source)) {
+        for (const auto &child : multi->children())
+            emitSourceOpenEvents(log, *child);
+        return;
+    }
+    log.emit(obs::EventSeverity::Info, "source_open",
+             [&](JsonWriter &w) {
+                 w.member("source", source.name());
+                 const size_t count = source.traceCount();
+                 const bool known =
+                     count != TraceSource::kUnknownCount;
+                 w.member("traces_total_known", known);
+                 w.member("traces_total",
+                          known ? static_cast<uint64_t>(count) : 0);
+                 w.member("bytes_total", source.sizeBytes());
+                 w.member("mmap_backed", source.mmapBacked());
+             });
+}
+
+/**
+ * One "finding" event per canonical finding, capped so a pathological
+ * input cannot turn the event log into a second copy of the report.
+ */
+void
+emitFindingEvents(obs::EventLog &log, const core::Report &merged)
+{
+    constexpr size_t kMaxFindingEvents = 10000;
+    size_t emitted = 0;
+    for (const auto &finding : merged.findings()) {
+        if (emitted++ == kMaxFindingEvents) {
+            log.emit(obs::EventSeverity::Warn, "findings_truncated",
+                     [&](JsonWriter &w) {
+                         w.member("emitted", kMaxFindingEvents);
+                         w.member("total",
+                                  merged.findings().size());
+                     });
+            break;
+        }
+        const auto severity =
+            finding.severity == core::Severity::Fail
+                ? obs::EventSeverity::Error
+                : obs::EventSeverity::Warn;
+        log.emit(severity, "finding", [&](JsonWriter &w) {
+            w.member("verdict",
+                     finding.severity == core::Severity::Fail
+                         ? "FAIL"
+                         : "WARN");
+            w.member("kind", core::findingKindName(finding.kind));
+            w.member("message", finding.message);
+            w.member("loc", finding.loc.str());
+            w.member("file_id",
+                     static_cast<uint64_t>(finding.fileId));
+            w.member("trace_id", finding.traceId);
+            w.member("op_index",
+                     static_cast<uint64_t>(finding.opIndex));
+            w.member("hint_valid", finding.hint.valid());
+            w.member("hint_verified", finding.hint.verified);
+        });
+    }
+}
+
+volatile std::sig_atomic_t g_linger_stop = 0;
+
+void
+lingerSignalHandler(int)
+{
+    g_linger_stop = 1;
+}
+
 } // namespace
 
 int
@@ -333,6 +433,11 @@ main(int argc, char **argv)
     std::string trace_events_path;
     bool fix_hints = false;
     std::string fix_hints_path = "-";
+    int32_t metrics_port = -1; ///< -1 = no scrape server
+    size_t metrics_interval_ms = 1000;
+    std::string event_log_path;
+    bool progress = false;
+    bool metrics_linger = false;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -436,6 +541,35 @@ main(int argc, char **argv)
                 usage(argv[0]);
                 return 2;
             }
+        } else if (arg.rfind("--metrics-port=", 0) == 0) {
+            const size_t port =
+                parseNumericOption(arg, 15, "--metrics-port", argv[0]);
+            if (port > 65535) {
+                std::fprintf(stderr,
+                             "invalid value for --metrics-port: "
+                             "'%zu' (max 65535)\n",
+                             port);
+                usage(argv[0]);
+                return 2;
+            }
+            metrics_port = static_cast<int32_t>(port);
+        } else if (arg.rfind("--metrics-interval-ms=", 0) == 0) {
+            metrics_interval_ms = parseNumericOption(
+                arg, 22, "--metrics-interval-ms", argv[0]);
+            if (metrics_interval_ms == 0)
+                metrics_interval_ms = 1;
+        } else if (arg.rfind("--event-log=", 0) == 0) {
+            event_log_path = arg.substr(12);
+            if (event_log_path.empty()) {
+                std::fprintf(stderr,
+                             "--event-log needs a file path\n");
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--progress") {
+            progress = true;
+        } else if (arg == "--metrics-linger") {
+            metrics_linger = true;
         } else if (arg == "--stats") {
             show_stats = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -553,12 +687,41 @@ main(int argc, char **argv)
     size_t pool_workers = 0;
     bool ingest_ok = false;
     SourceError ingest_error;
+    obs::MetricsService service; ///< outlives the pool (linger)
     {
         core::EnginePool pool(options);
+        core::IngestProgress ingest_progress;
+
+        obs::ServiceOptions service_options;
+        service_options.tool = "pmtest_check";
+        service_options.metricsPort = metrics_port;
+        service_options.intervalMs = metrics_interval_ms;
+        service_options.progress = progress;
+        service_options.eventLogPath = event_log_path;
+        service_options.poolSampler = core::poolGaugeSampler(pool);
+        service_options.ingestSampler =
+            core::ingestGaugeSampler(*source, &ingest_progress);
+        std::string service_error;
+        if (!service.start(std::move(service_options),
+                           &service_error)) {
+            std::fprintf(stderr, "%s\n", service_error.c_str());
+            return 2;
+        }
+        service.eventLog().emit(
+            obs::EventSeverity::Info, "run_start", [&](JsonWriter &w) {
+                w.member("tool", "pmtest_check");
+                w.member("model", core::makeModel(model)->name());
+                w.member("inputs", inputs.size());
+                w.member("workers", workers);
+                w.member("decoders", decoders);
+            });
+        emitSourceOpenEvents(service.eventLog(), *source);
+
         core::IngestOptions ingest_options;
         ingest_options.decoders = decoders;
         ingest_options.batch = batch;
         ingest_options.affinity = affinity;
+        ingest_options.progress = &ingest_progress;
         core::IngestStats ingest_stats;
         ingest_ok = core::ingest(*source, pool, ingest_options,
                                  &ingest_stats, &ingest_error);
@@ -566,6 +729,10 @@ main(int argc, char **argv)
         stats = pool.stats();
         stats.ingest = ingest_stats;
         pool_workers = pool.workerCount();
+
+        // Final sample + sampler detach before the pool dies; the
+        // scrape server keeps serving the frozen sample.
+        service.freeze();
     }
     if (!ingest_ok) {
         std::fprintf(stderr, "%s\n", ingest_error.str().c_str());
@@ -674,5 +841,35 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    return merged.failCount() == 0 ? 0 : 1;
+
+    const int exit_code = merged.failCount() == 0 ? 0 : 1;
+
+    // Findings go out after the fix-hints replay so hint_verified is
+    // final; run_stop closes the audit trail.
+    emitFindingEvents(service.eventLog(), merged);
+    service.eventLog().emit(
+        obs::EventSeverity::Info, "run_stop", [&](JsonWriter &w) {
+            w.member("traces", trace_count);
+            w.member("ops", total_ops);
+            w.member("fail", merged.failCount());
+            w.member("warn", merged.warnCount());
+            w.member("exit_code", exit_code);
+        });
+
+    // --metrics-linger: keep answering scrapes with the frozen final
+    // sample until somebody tells us to go (the CI smoke leg curls
+    // here, then SIGTERMs). The verdict exit code is preserved.
+    if (metrics_linger && service.port() != 0) {
+        std::signal(SIGINT, lingerSignalHandler);
+        std::signal(SIGTERM, lingerSignalHandler);
+        std::fprintf(stderr,
+                     "pmtest: run complete; metrics linger on "
+                     "http://127.0.0.1:%u (SIGINT/SIGTERM to exit)\n",
+                     static_cast<unsigned>(service.port()));
+        while (!g_linger_stop)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+    }
+    service.stop();
+    return exit_code;
 }

@@ -17,7 +17,12 @@
  * bench/check_recall.py: recall must never drop below the recorded
  * baseline.
  *
- * Usage: pmtest_recall [--json=FILE]
+ * Usage: pmtest_recall [--json=FILE] [--metrics-port=N]
+ *                      [--event-log=FILE]
+ * --metrics-port serves /metrics and /metrics.json live while the
+ * campaigns run (oracle counters, RSS, rates); --event-log appends
+ * run start/stop records. Both follow the pmtest_check contract
+ * (port 0 = ephemeral, "-" = stdout, unwritable path = exit 2).
  * Exit status: 0 on success, 2 on usage/IO errors.
  */
 
@@ -26,6 +31,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "obs/metrics_service.hh"
 
 #include "baseline/yat.hh"
 #include "core/api.hh"
@@ -460,12 +467,34 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    int32_t metrics_port = -1;
+    std::string event_log_path;
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
         if (arg.rfind("--json=", 0) == 0) {
             json_path = arg.substr(7);
+        } else if (arg.rfind("--metrics-port=", 0) == 0) {
+            char *end = nullptr;
+            const long port =
+                std::strtol(arg.c_str() + 15, &end, 10);
+            if (!end || *end != '\0' || port < 0 || port > 65535) {
+                std::fprintf(stderr,
+                             "invalid value for --metrics-port: "
+                             "'%s'\n",
+                             arg.c_str() + 15);
+                return 2;
+            }
+            metrics_port = static_cast<int32_t>(port);
+        } else if (arg.rfind("--event-log=", 0) == 0) {
+            event_log_path = arg.substr(12);
+            if (event_log_path.empty()) {
+                std::fprintf(stderr,
+                             "--event-log needs a file path\n");
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: pmtest_recall [--json=FILE]\n");
+            std::printf("usage: pmtest_recall [--json=FILE] "
+                        "[--metrics-port=N] [--event-log=FILE]\n");
             return 0;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n",
@@ -473,8 +502,35 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    // The campaigns intentionally run buggy workloads; keep their
-    // expected-failure logging quiet.
-    pmtest::ScopedLogSilencer quiet;
-    return pmtest::run(json_path);
+
+    // No engine pool or trace source here — the live service still
+    // exports the telemetry counters (oracle states, hint replays),
+    // process gauges, and the event-log bracket.
+    pmtest::obs::MetricsService service;
+    pmtest::obs::ServiceOptions service_options;
+    service_options.tool = "pmtest_recall";
+    service_options.metricsPort = metrics_port;
+    service_options.eventLogPath = event_log_path;
+    std::string service_error;
+    if (!service.start(std::move(service_options), &service_error)) {
+        std::fprintf(stderr, "%s\n", service_error.c_str());
+        return 2;
+    }
+    service.eventLog().emit(pmtest::obs::EventSeverity::Info,
+                            "run_start", [](pmtest::JsonWriter &w) {
+                                w.member("tool", "pmtest_recall");
+                            });
+
+    int rc;
+    {
+        // The campaigns intentionally run buggy workloads; keep
+        // their expected-failure logging quiet.
+        pmtest::ScopedLogSilencer quiet;
+        rc = pmtest::run(json_path);
+    }
+    service.eventLog().emit(pmtest::obs::EventSeverity::Info,
+                            "run_stop", [&](pmtest::JsonWriter &w) {
+                                w.member("exit_code", rc);
+                            });
+    return rc;
 }

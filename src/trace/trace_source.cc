@@ -77,6 +77,7 @@ V2FileSource::pull(size_t max, std::vector<Trace> *out,
     if (first >= end_)
         return Pull::End;
     const size_t last = std::min(end_, first + max);
+    uint64_t pulled_bytes = 0;
     for (size_t i = first; i < last; i++) {
         DecodedTrace decoded;
         if (!reader_->decode(i, &decoded)) {
@@ -88,8 +89,11 @@ V2FileSource::pull(size_t max, std::vector<Trace> *out,
             return Pull::Error;
         }
         decoded.trace.setFileId(fileId_);
+        pulled_bytes += reader_->frameBytes(i);
         out->push_back(std::move(decoded.trace));
     }
+    consumedTraces_.fetch_add(last - first, std::memory_order_relaxed);
+    consumedBytes_.fetch_add(pulled_bytes, std::memory_order_relaxed);
     return Pull::Items;
 }
 
@@ -123,6 +127,24 @@ StreamTraceSource::pull(size_t max, std::vector<Trace> *out,
     for (; cursor_ < last; cursor_++)
         out->push_back(std::move(traces_[cursor_]));
     return Pull::Items;
+}
+
+uint64_t
+StreamTraceSource::consumedTraces() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cursor_;
+}
+
+uint64_t
+StreamTraceSource::consumedBytes() const
+{
+    // Decode happened up front, so attribute file bytes pro rata to
+    // the traces handed out — good enough for a progress gauge.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (traces_.empty())
+        return cursor_ ? fileBytes_ : 0;
+    return fileBytes_ * cursor_ / traces_.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -173,6 +195,7 @@ CaptureTraceSource::pull(size_t max, std::vector<Trace> *out,
     if (head_ == queue_.size())
         return Pull::End; // closed and drained
     const size_t last = std::min(queue_.size(), head_ + max);
+    pulled_ += last - head_;
     for (; head_ < last; head_++)
         out->push_back(std::move(queue_[head_]));
     if (head_ == queue_.size()) {
@@ -182,6 +205,13 @@ CaptureTraceSource::pull(size_t max, std::vector<Trace> *out,
         head_ = 0;
     }
     return Pull::Items;
+}
+
+uint64_t
+CaptureTraceSource::consumedTraces() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pulled_;
 }
 
 // ---------------------------------------------------------------------------
@@ -241,6 +271,24 @@ MultiTraceSource::sourceCount() const
     size_t total = 0;
     for (const auto &c : children_)
         total += c->sourceCount();
+    return total;
+}
+
+uint64_t
+MultiTraceSource::consumedTraces() const
+{
+    uint64_t total = 0;
+    for (const auto &c : children_)
+        total += c->consumedTraces();
+    return total;
+}
+
+uint64_t
+MultiTraceSource::consumedBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &c : children_)
+        total += c->consumedBytes();
     return total;
 }
 

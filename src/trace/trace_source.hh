@@ -108,6 +108,20 @@ class TraceSource
     virtual size_t sourceCount() const { return 1; }
 
     /**
+     * Traces already yielded by pull() (monotonic). Composites sum
+     * their children. Thread-safe at any moment of a live run — this
+     * is the ingest-progress gauge the metrics publisher samples.
+     */
+    virtual uint64_t consumedTraces() const { return 0; }
+
+    /**
+     * Input bytes behind the yielded traces (frame bytes for indexed
+     * files, a pro-rata estimate for pre-decoded streams, 0 where
+     * byte accounting is meaningless, e.g. in-process capture).
+     */
+    virtual uint64_t consumedBytes() const { return 0; }
+
+    /**
      * Claim and decode up to @p max traces into @p out (appended).
      * Every yielded trace has its fileId stamped and its string
      * arena attached. Blocking is implementation-defined: file
@@ -149,6 +163,15 @@ class V2FileSource final : public TraceSource
     Pull pull(size_t max, std::vector<Trace> *out,
               SourceError *error) override;
 
+    uint64_t consumedTraces() const override
+    {
+        return consumedTraces_.load(std::memory_order_relaxed);
+    }
+    uint64_t consumedBytes() const override
+    {
+        return consumedBytes_.load(std::memory_order_relaxed);
+    }
+
     /** First index (inclusive) of this source's slice. */
     size_t begin() const { return begin_; }
 
@@ -163,6 +186,8 @@ class V2FileSource final : public TraceSource
     size_t begin_;
     size_t end_;
     std::atomic<size_t> cursor_;
+    std::atomic<uint64_t> consumedTraces_{0};
+    std::atomic<uint64_t> consumedBytes_{0};
 };
 
 /**
@@ -191,12 +216,15 @@ class StreamTraceSource final : public TraceSource
     Pull pull(size_t max, std::vector<Trace> *out,
               SourceError *error) override;
 
+    uint64_t consumedTraces() const override;
+    uint64_t consumedBytes() const override;
+
   private:
     std::string name_;
     std::vector<Trace> traces_;
     uint64_t totalOps_ = 0;
     uint64_t fileBytes_ = 0;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     size_t cursor_ = 0; ///< guarded by mutex_
 };
 
@@ -230,13 +258,16 @@ class CaptureTraceSource final : public TraceSource
     Pull pull(size_t max, std::vector<Trace> *out,
               SourceError *error) override;
 
+    uint64_t consumedTraces() const override;
+
   private:
     std::string name_;
     uint32_t fileId_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::vector<Trace> queue_; ///< guarded by mutex_
     size_t head_ = 0;          ///< first unpulled element
+    uint64_t pulled_ = 0;      ///< lifetime total (survives drains)
     bool closed_ = false;
 };
 
@@ -259,6 +290,8 @@ class MultiTraceSource final : public TraceSource
     uint64_t sizeBytes() const override;
     bool mmapBacked() const override;
     size_t sourceCount() const override;
+    uint64_t consumedTraces() const override;
+    uint64_t consumedBytes() const override;
 
     /** The child sources, for per-source reporting. */
     const std::vector<std::unique_ptr<TraceSource>> &

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Strict recursive-descent JSON parser shared by the obs tests.
+ *
+ * Deliberately unforgiving: no trailing garbage, no unquoted keys, no
+ * comments. If the exporters drift from valid JSON, the tests fail
+ * before chrome://tracing or Prometheus ever see the output.
+ */
+
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmtest::test
+{
+
+struct Json
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<Json> items;
+    std::vector<std::pair<std::string, Json>> members;
+
+    const Json *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &s)
+        : p_(s.data()), end_(s.data() + s.size())
+    {
+    }
+
+    bool
+    parse(Json *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return p_ == end_; // no trailing garbage
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_)))
+            p_++;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (static_cast<size_t>(end_ - p_) < n ||
+            std::strncmp(p_, word, n) != 0)
+            return false;
+        p_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (p_ >= end_ || *p_ != '"')
+            return false;
+        p_++;
+        out->clear();
+        while (p_ < end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                p_++;
+                if (p_ >= end_)
+                    return false;
+                switch (*p_) {
+                  case '"': *out += '"'; break;
+                  case '\\': *out += '\\'; break;
+                  case '/': *out += '/'; break;
+                  case 'n': *out += '\n'; break;
+                  case 'r': *out += '\r'; break;
+                  case 't': *out += '\t'; break;
+                  case 'b': *out += '\b'; break;
+                  case 'f': *out += '\f'; break;
+                  case 'u': {
+                    if (end_ - p_ < 5)
+                        return false;
+                    for (int i = 1; i <= 4; i++)
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(p_[i])))
+                            return false;
+                    p_ += 4;
+                    *out += '?'; // content irrelevant to the tests
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+                p_++;
+            } else if (static_cast<unsigned char>(*p_) < 0x20) {
+                return false; // raw control char: invalid JSON
+            } else {
+                *out += *p_++;
+            }
+        }
+        if (p_ >= end_)
+            return false;
+        p_++; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(double *out)
+    {
+        const char *start = p_;
+        if (p_ < end_ && *p_ == '-')
+            p_++;
+        if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+            return false;
+        while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_)))
+            p_++;
+        if (p_ < end_ && *p_ == '.') {
+            p_++;
+            if (p_ >= end_ ||
+                !std::isdigit(static_cast<unsigned char>(*p_)))
+                return false;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                p_++;
+        }
+        if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+            p_++;
+            if (p_ < end_ && (*p_ == '+' || *p_ == '-'))
+                p_++;
+            if (p_ >= end_ ||
+                !std::isdigit(static_cast<unsigned char>(*p_)))
+                return false;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                p_++;
+        }
+        *out = std::strtod(std::string(start, p_).c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(Json *out)
+    {
+        skipWs();
+        if (p_ >= end_)
+            return false;
+        if (*p_ == '{') {
+            p_++;
+            out->kind = Json::Kind::Object;
+            skipWs();
+            if (p_ < end_ && *p_ == '}') {
+                p_++;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                skipWs();
+                if (p_ >= end_ || *p_++ != ':')
+                    return false;
+                Json v;
+                if (!parseValue(&v))
+                    return false;
+                out->members.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (p_ < end_ && *p_ == ',') {
+                    p_++;
+                    continue;
+                }
+                break;
+            }
+            skipWs();
+            return p_ < end_ && *p_++ == '}';
+        }
+        if (*p_ == '[') {
+            p_++;
+            out->kind = Json::Kind::Array;
+            skipWs();
+            if (p_ < end_ && *p_ == ']') {
+                p_++;
+                return true;
+            }
+            while (true) {
+                Json v;
+                if (!parseValue(&v))
+                    return false;
+                out->items.push_back(std::move(v));
+                skipWs();
+                if (p_ < end_ && *p_ == ',') {
+                    p_++;
+                    continue;
+                }
+                break;
+            }
+            skipWs();
+            return p_ < end_ && *p_++ == ']';
+        }
+        if (*p_ == '"') {
+            out->kind = Json::Kind::String;
+            return parseString(&out->text);
+        }
+        if (literal("true")) {
+            out->kind = Json::Kind::Bool;
+            out->boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out->kind = Json::Kind::Bool;
+            out->boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            out->kind = Json::Kind::Null;
+            return true;
+        }
+        out->kind = Json::Kind::Number;
+        return parseNumber(&out->number);
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+} // namespace pmtest::test
