@@ -47,6 +47,7 @@
 #include "core/trace_ingest.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_source.hh"
+#include "util/cli.hh"
 #include "util/random.hh"
 #include "util/clock.hh"
 
@@ -399,24 +400,18 @@ main(int argc, char **argv)
     std::string json_path = "BENCH_ingest.json";
     std::string metrics_path;
     std::string trace_events_path;
-    for (int i = 1; i < argc; i++) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-            json_path = argv[i] + 7;
-        } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
-            metrics_path = argv[i] + 15;
-        } else if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
-            trace_events_path = argv[i] + 15;
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--smoke] [--json=PATH]\n"
-                         "          [--metrics-json=PATH] "
-                         "[--trace-events=PATH]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    pmtest::util::CliParser cli("bench_ingest");
+    cli.addFlag("--smoke", &smoke, "tiny deterministic run for CI");
+    cli.addString("--json", &json_path,
+                  "result document path (default BENCH_ingest.json)");
+    cli.addString("--metrics-json", &metrics_path,
+                  "write the pmtest-metrics-v1 snapshot");
+    cli.addString("--trace-events", &trace_events_path,
+                  "write a Chrome trace-event timeline");
+    cli.positionalCount(0, 0);
+    const auto cli_status = cli.parse(argc, argv);
+    if (cli_status != pmtest::util::CliStatus::Ok)
+        return pmtest::util::cliExitCode(cli_status);
     if (!trace_events_path.empty())
         obs::Telemetry::instance().enableSpans();
 

@@ -41,6 +41,7 @@
 #include "core/interval_map.hh"
 #include "obs/metrics_service.hh"
 #include "obs/telemetry.hh"
+#include "util/cli.hh"
 #include "util/json.hh"
 #include "util/random.hh"
 #include "util/clock.hh"
@@ -448,38 +449,22 @@ main(int argc, char **argv)
     std::string json_path = "BENCH_kernel.json";
     std::string metrics_path;
     std::string trace_events_path;
-    long metrics_port = -1;
-    for (int i = 1; i < argc; i++) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-            json_path = argv[i] + 7;
-        } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
-            metrics_path = argv[i] + 15;
-        } else if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
-            trace_events_path = argv[i] + 15;
-        } else if (std::strncmp(argv[i], "--metrics-port=", 15) ==
-                   0) {
-            char *end = nullptr;
-            metrics_port = std::strtol(argv[i] + 15, &end, 10);
-            if (!end || *end != '\0' || metrics_port < 0 ||
-                metrics_port > 65535) {
-                std::fprintf(stderr,
-                             "invalid value for --metrics-port: "
-                             "'%s'\n",
-                             argv[i] + 15);
-                return 2;
-            }
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--smoke] [--json=PATH]\n"
-                         "          [--metrics-json=PATH] "
-                         "[--trace-events=PATH]\n"
-                         "          [--metrics-port=N]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    size_t metrics_port = static_cast<size_t>(-1);
+    pmtest::util::CliParser cli("bench_kernel");
+    cli.addFlag("--smoke", &smoke, "tiny deterministic run for CI");
+    cli.addString("--json", &json_path,
+                  "result document path (default BENCH_kernel.json)");
+    cli.addString("--metrics-json", &metrics_path,
+                  "write the pmtest-metrics-v1 snapshot");
+    cli.addString("--trace-events", &trace_events_path,
+                  "write a Chrome trace-event timeline");
+    cli.addSize("--metrics-port", &metrics_port,
+                "serve /metrics on 127.0.0.1:N (0 = ephemeral)", 0,
+                65535);
+    cli.positionalCount(0, 0);
+    const auto cli_status = cli.parse(argc, argv);
+    if (cli_status != pmtest::util::CliStatus::Ok)
+        return pmtest::util::cliExitCode(cli_status);
     if (!trace_events_path.empty())
         obs::Telemetry::instance().enableSpans();
 
@@ -487,7 +472,7 @@ main(int argc, char **argv)
     // overhead measurement in EXPERIMENTS.md): telemetry counters,
     // stage latencies, and process gauges — no pool/ingest samplers.
     obs::MetricsService metrics_service;
-    if (metrics_port >= 0) {
+    if (metrics_port != static_cast<size_t>(-1)) {
         obs::ServiceOptions service_options;
         service_options.tool = "bench_kernel";
         service_options.metricsPort =

@@ -37,6 +37,7 @@
 #include "pmds/hashmap_tx.hh"
 #include "pmfs/pmfs.hh"
 #include "txlib/undo_log.hh"
+#include "util/cli.hh"
 #include "util/clock.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -439,17 +440,14 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     std::string json_path = "BENCH_oracle.json";
-    for (int i = 1; i < argc; i++) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-            json_path = argv[i] + 7;
-        } else {
-            std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    pmtest::util::CliParser cli("bench_oracle");
+    cli.addFlag("--smoke", &smoke, "tiny deterministic run for CI");
+    cli.addString("--json", &json_path,
+                  "result document path (default BENCH_oracle.json)");
+    cli.positionalCount(0, 0);
+    const auto cli_status = cli.parse(argc, argv);
+    if (cli_status != pmtest::util::CliStatus::Ok)
+        return pmtest::util::cliExitCode(cli_status);
 
     pmtest::bench::banner(
         "Ground-truth oracle",

@@ -59,20 +59,11 @@ fmtSlowdown(double factor)
 inline bool
 writeJsonFile(const std::string &path, const JsonWriter &w)
 {
-    if (path == "-") {
-        std::fwrite(w.str().data(), 1, w.str().size(), stdout);
-        std::fputc('\n', stdout);
+    std::string error;
+    if (pmtest::writeJsonFile(path, w, &error))
         return true;
-    }
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return false;
-    }
-    const bool ok = std::fwrite(w.str().data(), 1, w.str().size(),
-                                f) == w.str().size();
-    std::fclose(f);
-    return ok;
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return false;
 }
 
 /**
@@ -90,7 +81,7 @@ writeBenchMetricsJson(const std::string &path, const char *bench)
     w.key("telemetry");
     obs::Telemetry::instance().writeMetricsJson(w);
     w.endObject();
-    return writeJsonFile(path, w);
+    return pmtest::bench::writeJsonFile(path, w);
 }
 
 } // namespace pmtest::bench

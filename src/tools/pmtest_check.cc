@@ -1,410 +1,58 @@
 /**
  * @file
- * pmtest_check: command-line offline checker. Opens one or more
- * trace files (or directories of them) written with trace_io (see
- * examples/offline_check.cpp for the record side) and runs the
- * checking engine over every trace through the unified TraceSource
- * ingest pipeline.
+ * pmtest_check: command-line offline checker. A thin flag-parsing
+ * shell: every flag lands in a core::CheckPlan, and the whole run
+ * lifecycle — sources, ingest, engine pool, canonical report, every
+ * output surface — lives in core::CheckSession (src/core/
+ * check_session.hh, where the behavior is documented).
  *
- * Usage:
- *   pmtest_check [--model=x86|hops|arm] [--summary] [--quiet]
- *                [--max-findings=N] [--workers=N] [--queue-cap=N]
- *                [--batch=N] [--ingest=auto|mmap|stream]
- *                [--decoders=N] [--shards=N]
- *                [--affinity=auto|pinned|shared] [--stats]
- *                [--metrics-json=FILE] [--trace-events=FILE]
- *                [--span-sample=N] [--fix-hints[=FILE]]
- *                [--metrics-port=N] [--metrics-interval-ms=N]
- *                [--event-log=FILE] [--progress] [--metrics-linger]
- *                <trace-file-or-dir>...
- *
- * Inputs:
- *  - Each positional argument is a trace file or a directory;
- *    directories expand to their regular files in sorted name order.
- *  - Every input becomes one TraceSource with a stable fileId
- *    assigned in input order, so findings from different files never
- *    collide and the merged report is reproducible.
- *  - Duplicate inputs (after directory expansion and path
- *    canonicalization) are rejected with exit status 2.
- *
- * Ingest paths:
- *  --ingest=mmap   require the indexed v2 reader for every input and
- *                  decode traces in parallel on --decoders=N threads,
- *                  feeding the engine pool as they decode — decode of
- *                  trace N+1 overlaps checking of trace N and peak
- *                  memory is the in-flight window, not the whole
- *                  file. Fails on v1 files (no index footer).
- *  --ingest=stream parse each file sequentially through the buffered
- *                  loader before checking (works for v1 and v2).
- *  --ingest=auto   (default) indexed reader when a file has a v2
- *                  index, stream otherwise — v1 and v2 files mix
- *                  freely in one input set.
- *
- * --shards=N splits a single v2 input into N byte-balanced index
- * ranges that decode independently (decoder threads spread across
- * the shards). Requires exactly one input file with a v2 index.
- *
- * --workers=N checks traces on an engine pool instead of a single
- * inline engine (the paper's decoupled mode); --queue-cap bounds the
- * per-worker queues and --batch submits traces N at a time.
- *
- * Thread-count precedence (core-aware defaults): an explicit
- * --workers/--decoders flag wins; otherwise the PMTEST_WORKERS /
- * PMTEST_DECODERS environment variables; otherwise a layout derived
- * from std::thread::hardware_concurrency() (single core: inline
- * checking, one decoder; multi-core: ~1/4 of the cores decode, the
- * rest check). --affinity picks the decoder→engine placement for
- * multi-source inputs: "pinned" keeps each shard/file on one fixed
- * engine (warm per-shard checking state), "shared" round-robins,
- * "auto" (default) pins when the input is multi-source and at least
- * two workers exist. Every combination prints a byte-identical
- * canonical report.
- *
- * Output selection and precedence:
- *  - The findings report goes to stdout unless --quiet. --summary
- *    condenses it; --quiet beats --summary.
- *  - --stats (human-readable dispatch/ingest counters on stdout,
- *    including one line per input source) is an explicit request and
- *    always prints, --quiet notwithstanding.
- *  - --metrics-json=FILE writes the machine-readable snapshot — the
- *    unified pool/ingest stats plus the telemetry counters and stage
- *    latency histograms — to FILE regardless of --quiet/--stats.
- *    FILE may be "-" for stdout.
- *  - --trace-events=FILE enables span collection for the run and
- *    writes a Chrome trace-event / Perfetto timeline to FILE.
- *    --span-sample=N keeps every Nth span per thread (default 1 =
- *    all; higher values bound memory and overhead on huge runs).
- *  - --fix-hints[=FILE] closes the detect→repair→verify loop: every
- *    finding's synthesized FixHint is applied to its trace by the
- *    trace-level patcher, the patched trace is replayed through the
- *    same engine, and the hint is marked verified only when the
- *    original finding disappears with no new findings introduced.
- *    The `pmtest-fixhints-v1` JSON document goes to FILE ("-" or no
- *    value = stdout). The inputs are re-opened for the replay pass,
- *    so this works with every ingest/shard configuration.
- *
- * Live observability (all optional; none touches the verdict or the
- * stdout report — see src/obs/metrics_service.hh):
- *  - --metrics-port=N serves /metrics (Prometheus text) and
- *    /metrics.json (pmtest-metrics-v1) on 127.0.0.1:N while the run
- *    is live (N=0 picks an ephemeral port, printed on stderr). The
- *    publisher samples queue depths, in-flight traces, per-source
- *    ingest progress, RSS, and rates every --metrics-interval-ms
- *    (default 1000) and watches for pipeline stalls.
- *  - --event-log=FILE appends structured JSONL events (run start/
- *    stop, per-source open/EOF, findings with the [fN:tM:opK]
- *    identity triple and fix-hint status, watchdog warnings). "-"
- *    writes to stdout; an unwritable path exits 2.
- *  - --progress repaints a live TTY line on stderr.
- *  - --metrics-linger keeps the scrape endpoint up after the run
- *    finishes (serving the final frozen sample) until SIGINT/SIGTERM,
- *    then exits with the normal verdict status.
- *
- * Findings are reported in canonical (fileId, traceId, opIndex)
- * order, so any decoder/shard/worker configuration prints a
- * byte-identical report for the same input set.
+ * Run shapes:
+ *  - plain: check the inputs in this process (the historical tool);
+ *  - `--worker=i/N --report-out=FILE`: run shard i of an N-way split
+ *    and emit a `pmtest-report-v1` wire report instead of stdout;
+ *  - `--distribute=N`: fork N workers, gather and merge their wire
+ *    reports, and print exactly what the sequential run prints.
  *
  * Exit status: 0 when no FAIL findings, 1 when crash-consistency
  * bugs were found, 2 on usage/input errors (malformed flags,
- * unreadable or duplicate inputs, decode failures).
+ * unreadable or duplicate inputs, decode failures, failed workers).
  */
 
-#include <algorithm>
 #include <charconv>
-#include <chrono>
-#include <csignal>
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "core/engine.hh"
-#include "core/engine_pool.hh"
-#include "core/fix_verify.hh"
-#include "core/live_gauges.hh"
-#include "core/stats_json.hh"
-#include "core/trace_ingest.hh"
-#include "obs/metrics_service.hh"
-#include "obs/telemetry.hh"
-#include "trace/trace_source.hh"
-#include "util/cpu.hh"
-#include "util/json.hh"
+#include "core/check_session.hh"
+#include "util/cli.hh"
 
 namespace
 {
 
 using namespace pmtest;
-namespace fs = std::filesystem;
+using util::CliParser;
+using util::CliStatus;
 
-void
-usage(const char *argv0)
-{
-    std::fprintf(
-        stderr,
-        "usage: %s [--model=x86|hops|arm] [--summary] [--quiet]\n"
-        "          [--max-findings=N] [--workers=N] [--queue-cap=N]\n"
-        "          [--batch=N] [--ingest=auto|mmap|stream]\n"
-        "          [--decoders=N] [--shards=N]\n"
-        "          [--affinity=auto|pinned|shared] [--stats]\n"
-        "          [--metrics-json=FILE] [--trace-events=FILE]\n"
-        "          [--span-sample=N] [--fix-hints[=FILE]]\n"
-        "          [--metrics-port=N] [--metrics-interval-ms=N]\n"
-        "          [--event-log=FILE] [--progress] [--metrics-linger]\n"
-        "          <trace-file-or-dir>...\n",
-        argv0);
-}
-
-/**
- * Parse the numeric value of "--flag=N". Unlike std::atol (which
- * silently maps garbage to 0), any non-digit input, empty value,
- * trailing junk or overflow is a hard usage error: print a message
- * plus the usage text and exit 2.
- */
-size_t
-parseNumericOption(const std::string &arg, size_t prefix_len,
-                   const char *flag, const char *argv0)
-{
-    const char *begin = arg.c_str() + prefix_len;
-    const char *end = arg.c_str() + arg.size();
-    size_t value = 0;
-    const auto [ptr, ec] = std::from_chars(begin, end, value);
-    if (ec != std::errc{} || ptr != end || begin == end) {
-        std::fprintf(stderr, "invalid value for %s: '%s'\n", flag,
-                     begin);
-        usage(argv0);
-        std::exit(2);
-    }
-    return value;
-}
-
-/**
- * Expand positional arguments into the flat input-file list:
- * directories contribute their regular files in sorted name order,
- * plain paths pass through. @return false (with a message) on an
- * unreadable or empty directory.
- */
+/** Parse the "--worker=i/N" shard spec into the plan. */
 bool
-expandInputs(const std::vector<std::string> &args,
-             std::vector<std::string> *files)
+parseWorkerSpec(const std::string &spec, core::CheckPlan *plan)
 {
-    for (const auto &arg : args) {
-        std::error_code ec;
-        if (fs::is_directory(arg, ec)) {
-            std::vector<std::string> entries;
-            for (const auto &entry : fs::directory_iterator(arg, ec)) {
-                if (entry.is_regular_file())
-                    entries.push_back(entry.path().string());
-            }
-            if (ec) {
-                std::fprintf(stderr, "%s: cannot read directory\n",
-                             arg.c_str());
-                return false;
-            }
-            if (entries.empty()) {
-                std::fprintf(stderr, "%s: no trace files in "
-                                     "directory\n",
-                             arg.c_str());
-                return false;
-            }
-            std::sort(entries.begin(), entries.end());
-            files->insert(files->end(), entries.begin(),
-                          entries.end());
-        } else {
-            files->push_back(arg);
-        }
-    }
-    return true;
-}
-
-/**
- * Reject the same file appearing twice in the input set (directly or
- * via directory expansion): duplicate traces would double every
- * finding. Compares canonicalized paths so "a.trc" and "./a.trc"
- * collide.
- */
-bool
-rejectDuplicates(const std::vector<std::string> &files)
-{
-    std::vector<std::string> seen;
-    for (const auto &file : files) {
-        std::error_code ec;
-        fs::path canon = fs::weakly_canonical(file, ec);
-        const std::string key = ec ? file : canon.string();
-        if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
-            std::fprintf(stderr, "duplicate input: %s\n",
-                         file.c_str());
-            return false;
-        }
-        seen.push_back(key);
-    }
-    return true;
-}
-
-/**
- * Write the unified metrics snapshot: run identity, verdict counts,
- * the shared pool/ingest stats rendering, and the telemetry section
- * (counters, per-stage latency histograms, span accounting).
- */
-bool
-writeMetricsJson(const std::string &path, const std::string &file,
-                 const char *model_name, size_t traces, size_t ops,
-                 size_t workers, size_t sources,
-                 const core::Report &merged,
-                 const core::PoolStats &stats)
-{
-    JsonWriter w;
-    w.beginObject();
-    w.member("schema", "pmtest-metrics-v1");
-    w.member("tool", "pmtest_check");
-    w.member("trace_file", file);
-    w.member("model", model_name);
-    w.member("traces", traces);
-    w.member("ops", ops);
-    w.member("workers", workers);
-    w.member("sources", sources);
-    w.key("verdict").beginObject();
-    w.member("fail", merged.failCount());
-    w.member("warn", merged.warnCount());
-    w.member("findings", merged.findings().size());
-    w.endObject();
-    w.key("pool");
-    core::writePoolStatsJson(w, stats);
-    w.key("telemetry");
-    obs::Telemetry::instance().writeMetricsJson(w);
-    w.endObject();
-
-    if (path == "-") {
-        std::fwrite(w.str().data(), 1, w.str().size(), stdout);
-        std::fputc('\n', stdout);
-        return true;
-    }
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    const size_t slash = spec.find('/');
+    if (slash == std::string::npos)
         return false;
-    }
-    const bool ok = std::fwrite(w.str().data(), 1, w.str().size(),
-                                f) == w.str().size();
-    std::fclose(f);
-    return ok;
-}
-
-/** One "  source NAME: ..." line per leaf source. */
-void
-printSourceStats(const TraceSource &source)
-{
-    if (const auto *multi =
-            dynamic_cast<const MultiTraceSource *>(&source)) {
-        for (const auto &child : multi->children())
-            printSourceStats(*child);
-        return;
-    }
-    std::printf("  source %s: %zu traces, %llu ops, %llu bytes %s\n",
-                source.name().c_str(), source.traceCount(),
-                static_cast<unsigned long long>(source.totalOps()),
-                static_cast<unsigned long long>(source.sizeBytes()),
-                source.mmapBacked() ? "mmapped" : "buffered");
-}
-
-/**
- * One "  oracle: ..." line when a ground-truth oracle ran in this
- * process (pmtest_check itself does not run one; the line appears
- * when the binary is linked into an oracle-driving harness). Covered
- * vs tested is the representative-mode pruning win.
- */
-void
-printOracleStats()
-{
-    const auto snap = obs::Telemetry::instance().metrics();
-    const uint64_t tested =
-        snap.counter(obs::Counter::OracleStatesTested);
-    if (tested == 0)
-        return;
-    const uint64_t covered =
-        snap.counter(obs::Counter::OracleStatesCovered);
-    const uint64_t hits = snap.counter(obs::Counter::OracleMemoHits);
-    std::printf("  oracle: %llu states tested covering %llu "
-                "(%.1fx reduction), %llu memo hits\n",
-                static_cast<unsigned long long>(tested),
-                static_cast<unsigned long long>(covered),
-                tested ? double(covered) / double(tested) : 1.0,
-                static_cast<unsigned long long>(hits));
-}
-
-/** One "source_open" event per leaf source of @p source. */
-void
-emitSourceOpenEvents(obs::EventLog &log, const TraceSource &source)
-{
-    if (const auto *multi =
-            dynamic_cast<const MultiTraceSource *>(&source)) {
-        for (const auto &child : multi->children())
-            emitSourceOpenEvents(log, *child);
-        return;
-    }
-    log.emit(obs::EventSeverity::Info, "source_open",
-             [&](JsonWriter &w) {
-                 w.member("source", source.name());
-                 const size_t count = source.traceCount();
-                 const bool known =
-                     count != TraceSource::kUnknownCount;
-                 w.member("traces_total_known", known);
-                 w.member("traces_total",
-                          known ? static_cast<uint64_t>(count) : 0);
-                 w.member("bytes_total", source.sizeBytes());
-                 w.member("mmap_backed", source.mmapBacked());
-             });
-}
-
-/**
- * One "finding" event per canonical finding, capped so a pathological
- * input cannot turn the event log into a second copy of the report.
- */
-void
-emitFindingEvents(obs::EventLog &log, const core::Report &merged)
-{
-    constexpr size_t kMaxFindingEvents = 10000;
-    size_t emitted = 0;
-    for (const auto &finding : merged.findings()) {
-        if (emitted++ == kMaxFindingEvents) {
-            log.emit(obs::EventSeverity::Warn, "findings_truncated",
-                     [&](JsonWriter &w) {
-                         w.member("emitted", kMaxFindingEvents);
-                         w.member("total",
-                                  merged.findings().size());
-                     });
-            break;
-        }
-        const auto severity =
-            finding.severity == core::Severity::Fail
-                ? obs::EventSeverity::Error
-                : obs::EventSeverity::Warn;
-        log.emit(severity, "finding", [&](JsonWriter &w) {
-            w.member("verdict",
-                     finding.severity == core::Severity::Fail
-                         ? "FAIL"
-                         : "WARN");
-            w.member("kind", core::findingKindName(finding.kind));
-            w.member("message", finding.message);
-            w.member("loc", finding.loc.str());
-            w.member("file_id",
-                     static_cast<uint64_t>(finding.fileId));
-            w.member("trace_id", finding.traceId);
-            w.member("op_index",
-                     static_cast<uint64_t>(finding.opIndex));
-            w.member("hint_valid", finding.hint.valid());
-            w.member("hint_verified", finding.hint.verified);
-        });
-    }
-}
-
-volatile std::sig_atomic_t g_linger_stop = 0;
-
-void
-lingerSignalHandler(int)
-{
-    g_linger_stop = 1;
+    uint32_t index = 0, count = 0;
+    const char *ibegin = spec.c_str();
+    const char *iend = ibegin + slash;
+    const char *cbegin = iend + 1;
+    const char *cend = spec.c_str() + spec.size();
+    const auto [iptr, iec] = std::from_chars(ibegin, iend, index);
+    const auto [cptr, cec] = std::from_chars(cbegin, cend, count);
+    if (iec != std::errc{} || iptr != iend || cec != std::errc{} ||
+        cptr != cend || cbegin == cend || count == 0)
+        return false;
+    plan->workerIndex = index;
+    plan->workerCount = count;
+    return true;
 }
 
 } // namespace
@@ -412,464 +60,104 @@ lingerSignalHandler(int)
 int
 main(int argc, char **argv)
 {
-    core::ModelKind model = core::ModelKind::X86;
-    bool summary = false;
-    bool quiet = false;
-    bool show_stats = false;
-    size_t max_findings = 50;
-    // Thread counts: SIZE_MAX/0 = "no explicit flag", resolved after
-    // parsing via util::defaultPipelineLayout() (flag > env >
-    // detected cores).
-    size_t workers = static_cast<size_t>(-1);
-    size_t queue_cap = 0;
-    size_t batch = 1;
-    size_t decoders = 0;
-    size_t shards = 1;
-    auto affinity = core::IngestOptions::Affinity::Auto;
-    size_t span_sample = 1;
-    IngestMode ingest_mode = IngestMode::Auto;
-    std::vector<std::string> input_args;
-    std::string metrics_path;
-    std::string trace_events_path;
-    bool fix_hints = false;
-    std::string fix_hints_path = "-";
-    int32_t metrics_port = -1; ///< -1 = no scrape server
-    size_t metrics_interval_ms = 1000;
-    std::string event_log_path;
-    bool progress = false;
-    bool metrics_linger = false;
+    core::CheckPlan plan;
+    int model = static_cast<int>(core::ModelKind::X86);
+    int affinity =
+        static_cast<int>(core::IngestOptions::Affinity::Auto);
+    int ingest = static_cast<int>(IngestMode::Auto);
+    size_t metrics_port = static_cast<size_t>(-1);
+    std::string worker_spec;
 
-    for (int i = 1; i < argc; i++) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--model=", 0) == 0) {
-            const std::string name = arg.substr(8);
-            if (name == "x86") {
-                model = core::ModelKind::X86;
-            } else if (name == "hops") {
-                model = core::ModelKind::Hops;
-            } else if (name == "arm") {
-                model = core::ModelKind::Arm;
-            } else {
-                std::fprintf(stderr, "unknown model '%s'\n",
-                             name.c_str());
-                usage(argv[0]);
-                return 2;
-            }
-        } else if (arg == "--summary") {
-            summary = true;
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else if (arg.rfind("--max-findings=", 0) == 0) {
-            max_findings =
-                parseNumericOption(arg, 15, "--max-findings", argv[0]);
-        } else if (arg.rfind("--workers=", 0) == 0) {
-            workers = parseNumericOption(arg, 10, "--workers", argv[0]);
-        } else if (arg.rfind("--queue-cap=", 0) == 0) {
-            queue_cap =
-                parseNumericOption(arg, 12, "--queue-cap", argv[0]);
-        } else if (arg.rfind("--batch=", 0) == 0) {
-            batch = parseNumericOption(arg, 8, "--batch", argv[0]);
-            if (batch == 0)
-                batch = 1;
-        } else if (arg.rfind("--decoders=", 0) == 0) {
-            decoders =
-                parseNumericOption(arg, 11, "--decoders", argv[0]);
-            if (decoders == 0)
-                decoders = 1;
-        } else if (arg.rfind("--shards=", 0) == 0) {
-            shards = parseNumericOption(arg, 9, "--shards", argv[0]);
-            if (shards == 0)
-                shards = 1;
-        } else if (arg.rfind("--affinity=", 0) == 0) {
-            const std::string name = arg.substr(11);
-            if (name == "auto") {
-                affinity = core::IngestOptions::Affinity::Auto;
-            } else if (name == "pinned") {
-                affinity = core::IngestOptions::Affinity::Pinned;
-            } else if (name == "shared") {
-                affinity = core::IngestOptions::Affinity::Shared;
-            } else {
-                std::fprintf(stderr, "unknown affinity '%s'\n",
-                             name.c_str());
-                usage(argv[0]);
-                return 2;
-            }
-        } else if (arg.rfind("--span-sample=", 0) == 0) {
-            span_sample =
-                parseNumericOption(arg, 14, "--span-sample", argv[0]);
-            if (span_sample == 0)
-                span_sample = 1;
-        } else if (arg.rfind("--ingest=", 0) == 0) {
-            const std::string name = arg.substr(9);
-            if (name == "auto") {
-                ingest_mode = IngestMode::Auto;
-            } else if (name == "mmap") {
-                ingest_mode = IngestMode::Mmap;
-            } else if (name == "stream") {
-                ingest_mode = IngestMode::Stream;
-            } else {
-                std::fprintf(stderr, "unknown ingest mode '%s'\n",
-                             name.c_str());
-                usage(argv[0]);
-                return 2;
-            }
-        } else if (arg.rfind("--metrics-json=", 0) == 0) {
-            metrics_path = arg.substr(15);
-            if (metrics_path.empty()) {
-                std::fprintf(stderr,
-                             "--metrics-json needs a file path\n");
-                usage(argv[0]);
-                return 2;
-            }
-        } else if (arg.rfind("--trace-events=", 0) == 0) {
-            trace_events_path = arg.substr(15);
-            if (trace_events_path.empty()) {
-                std::fprintf(stderr,
-                             "--trace-events needs a file path\n");
-                usage(argv[0]);
-                return 2;
-            }
-        } else if (arg == "--fix-hints") {
-            fix_hints = true;
-        } else if (arg.rfind("--fix-hints=", 0) == 0) {
-            fix_hints = true;
-            fix_hints_path = arg.substr(12);
-            if (fix_hints_path.empty()) {
-                std::fprintf(stderr,
-                             "--fix-hints needs a file path "
-                             "(or omit '=' for stdout)\n");
-                usage(argv[0]);
-                return 2;
-            }
-        } else if (arg.rfind("--metrics-port=", 0) == 0) {
-            const size_t port =
-                parseNumericOption(arg, 15, "--metrics-port", argv[0]);
-            if (port > 65535) {
-                std::fprintf(stderr,
-                             "invalid value for --metrics-port: "
-                             "'%zu' (max 65535)\n",
-                             port);
-                usage(argv[0]);
-                return 2;
-            }
-            metrics_port = static_cast<int32_t>(port);
-        } else if (arg.rfind("--metrics-interval-ms=", 0) == 0) {
-            metrics_interval_ms = parseNumericOption(
-                arg, 22, "--metrics-interval-ms", argv[0]);
-            if (metrics_interval_ms == 0)
-                metrics_interval_ms = 1;
-        } else if (arg.rfind("--event-log=", 0) == 0) {
-            event_log_path = arg.substr(12);
-            if (event_log_path.empty()) {
-                std::fprintf(stderr,
-                             "--event-log needs a file path\n");
-                usage(argv[0]);
-                return 2;
-            }
-        } else if (arg == "--progress") {
-            progress = true;
-        } else if (arg == "--metrics-linger") {
-            metrics_linger = true;
-        } else if (arg == "--stats") {
-            show_stats = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n",
-                         arg.c_str());
-            usage(argv[0]);
-            return 2;
-        } else {
-            input_args.push_back(arg);
-        }
-    }
-    if (input_args.empty()) {
-        usage(argv[0]);
+    CliParser cli("pmtest_check", "<trace-file-or-dir>...");
+    cli.addChoice("--model", &model,
+                  {{"x86", static_cast<int>(core::ModelKind::X86)},
+                   {"hops", static_cast<int>(core::ModelKind::Hops)},
+                   {"arm", static_cast<int>(core::ModelKind::Arm)}},
+                  "persistency model to check against (default x86)");
+    cli.addFlag("--summary", &plan.summary,
+                "one aggregated line per distinct finding");
+    cli.addFlag("--quiet", &plan.quiet,
+                "suppress the stdout report (beats --summary)");
+    cli.addSize("--max-findings", &plan.maxFindings,
+                "findings listed before truncating (default 50)");
+    cli.addSize("--workers", &plan.workers,
+                "engine pool workers (0 = inline checking)");
+    cli.addSize("--queue-cap", &plan.queueCap,
+                "per-worker queue bound (0 = default)");
+    cli.addSize("--batch", &plan.batch,
+                "traces submitted to the pool at a time", 1);
+    cli.addChoice("--ingest", &ingest,
+                  {{"auto", static_cast<int>(IngestMode::Auto)},
+                   {"mmap", static_cast<int>(IngestMode::Mmap)},
+                   {"stream", static_cast<int>(IngestMode::Stream)}},
+                  "reader selection (default auto: v2 index when "
+                  "present)");
+    cli.addSize("--decoders", &plan.decoders,
+                "decoder threads feeding the pool", 1);
+    cli.addSize("--shards", &plan.shards,
+                "split one v2 input into N index slices", 1);
+    cli.addChoice(
+        "--affinity", &affinity,
+        {{"auto",
+          static_cast<int>(core::IngestOptions::Affinity::Auto)},
+         {"pinned",
+          static_cast<int>(core::IngestOptions::Affinity::Pinned)},
+         {"shared",
+          static_cast<int>(core::IngestOptions::Affinity::Shared)}},
+        "decoder-to-engine placement for multi-source inputs");
+    cli.addFlag("--stats", &plan.showStats,
+                "print dispatch/ingest counters (wins over --quiet)");
+    cli.addString("--metrics-json", &plan.metricsJsonPath,
+                  "write the pmtest-metrics-v1 snapshot (\"-\" = "
+                  "stdout)");
+    cli.addString("--trace-events", &plan.traceEventsPath,
+                  "write a Chrome trace-event timeline");
+    cli.addSize("--span-sample", &plan.spanSample,
+                "keep every Nth span per thread (default 1 = all)", 1);
+    cli.addOptionalString("--fix-hints", &plan.fixHints,
+                          &plan.fixHintsPath,
+                          "verify fix hints; write pmtest-fixhints-v1 "
+                          "(default stdout)");
+    cli.addSize("--metrics-port", &metrics_port,
+                "serve /metrics on 127.0.0.1:N (0 = ephemeral)", 0,
+                65535);
+    cli.addSize("--metrics-interval-ms", &plan.metricsIntervalMs,
+                "publisher sampling period (default 1000)", 1);
+    cli.addString("--event-log", &plan.eventLogPath,
+                  "append structured JSONL events (\"-\" = stdout)");
+    cli.addFlag("--progress", &plan.progress,
+                "live TTY progress line on stderr");
+    cli.addFlag("--metrics-linger", &plan.metricsLinger,
+                "keep the scrape endpoint up after the run");
+    cli.addString("--worker", &worker_spec,
+                  "run shard i of N (\"i/N\"); needs --report-out");
+    cli.addSize("--distribute", &plan.distribute,
+                "fork N workers and merge their reports", 1);
+    cli.addString("--report-out", &plan.reportOutPath,
+                  "write the pmtest-report-v1 wire report to FILE");
+    cli.positionalCount(1);
+
+    const CliStatus status = cli.parse(argc, argv, &plan.inputArgs);
+    if (status != CliStatus::Ok)
+        return util::cliExitCode(status);
+    plan.model = static_cast<core::ModelKind>(model);
+    plan.affinity =
+        static_cast<core::IngestOptions::Affinity>(affinity);
+    plan.ingestMode = static_cast<IngestMode>(ingest);
+    if (metrics_port != static_cast<size_t>(-1))
+        plan.metricsPort = static_cast<int32_t>(metrics_port);
+    if (!worker_spec.empty() && !parseWorkerSpec(worker_spec, &plan))
+        return util::cliExitCode(
+            cli.usageError("invalid value for --worker: '" +
+                           worker_spec + "' (want i/N)"));
+
+    std::string error;
+    bool usage_hint = false;
+    if (!plan.finalize(&error, &usage_hint)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        if (usage_hint)
+            cli.printUsage(stderr);
         return 2;
     }
-
-    std::vector<std::string> inputs;
-    if (!expandInputs(input_args, &inputs))
-        return 2;
-    if (!rejectDuplicates(inputs))
-        return 2;
-    if (shards > 1 && inputs.size() != 1) {
-        std::fprintf(stderr,
-                     "--shards needs exactly one input file "
-                     "(got %zu)\n",
-                     inputs.size());
-        usage(argv[0]);
-        return 2;
-    }
-    if (shards > 1 && ingest_mode == IngestMode::Stream) {
-        std::fprintf(stderr, "--shards needs an indexed (v2) input; "
-                             "remove --ingest=stream\n");
-        usage(argv[0]);
-        return 2;
-    }
-
-    // Span collection must start before the pipeline so capture-side
-    // and ingest-side spans land in the timeline.
-    if (!trace_events_path.empty())
-        obs::Telemetry::instance().enableSpans(span_sample);
-    obs::nameThread("main");
-
-    // Build the source: one per input file (fileId = input order),
-    // or the byte-balanced shards of a single v2 file. A lambda so
-    // the fix-hints replay pass can re-open the (drained) inputs with
-    // identical fileId assignment; returns null after printing the
-    // error.
-    const auto buildSource =
-        [&]() -> std::unique_ptr<TraceSource> {
-        if (shards > 1) {
-            std::string error;
-            std::shared_ptr<const TraceFileReader> reader =
-                TraceFileReader::open(inputs[0], ingest_mode, &error);
-            if (!reader) {
-                if (error.rfind(inputs[0], 0) != 0)
-                    error = inputs[0] + ": " + error;
-                std::fprintf(stderr, "%s\n", error.c_str());
-                return nullptr;
-            }
-            return std::make_unique<MultiTraceSource>(
-                shardTraceSource(std::move(reader), inputs[0], 0,
-                                 shards));
-        }
-        if (inputs.size() == 1) {
-            std::string error;
-            auto single =
-                openTraceSource(inputs[0], ingest_mode, 0, &error);
-            if (!single)
-                std::fprintf(stderr, "%s\n", error.c_str());
-            return single;
-        }
-        std::vector<std::unique_ptr<TraceSource>> children;
-        children.reserve(inputs.size());
-        for (size_t i = 0; i < inputs.size(); i++) {
-            std::string error;
-            auto child = openTraceSource(
-                inputs[i], ingest_mode,
-                static_cast<uint32_t>(i), &error);
-            if (!child) {
-                std::fprintf(stderr, "%s\n", error.c_str());
-                return nullptr;
-            }
-            children.push_back(std::move(child));
-        }
-        return std::make_unique<MultiTraceSource>(
-            std::move(children));
-    };
-
-    std::unique_ptr<TraceSource> source = buildSource();
-    if (!source)
-        return 2;
-
-    // Core-aware defaults: flags beat PMTEST_WORKERS/PMTEST_DECODERS,
-    // which beat the hardware-derived layout (see util/cpu.hh).
-    const util::PipelineLayout layout = util::defaultPipelineLayout();
-    if (workers == static_cast<size_t>(-1))
-        workers = layout.workers;
-    if (decoders == 0)
-        decoders = layout.decoders;
-
-    const size_t trace_count = source->traceCount();
-    const size_t total_ops =
-        static_cast<size_t>(source->totalOps());
-
-    core::PoolOptions options;
-    options.model = model;
-    options.workers = workers;
-    options.queueCapacity = queue_cap;
-
-    core::Report merged;
-    core::PoolStats stats;
-    size_t pool_workers = 0;
-    bool ingest_ok = false;
-    SourceError ingest_error;
-    obs::MetricsService service; ///< outlives the pool (linger)
-    {
-        core::EnginePool pool(options);
-        core::IngestProgress ingest_progress;
-
-        obs::ServiceOptions service_options;
-        service_options.tool = "pmtest_check";
-        service_options.metricsPort = metrics_port;
-        service_options.intervalMs = metrics_interval_ms;
-        service_options.progress = progress;
-        service_options.eventLogPath = event_log_path;
-        service_options.poolSampler = core::poolGaugeSampler(pool);
-        service_options.ingestSampler =
-            core::ingestGaugeSampler(*source, &ingest_progress);
-        std::string service_error;
-        if (!service.start(std::move(service_options),
-                           &service_error)) {
-            std::fprintf(stderr, "%s\n", service_error.c_str());
-            return 2;
-        }
-        service.eventLog().emit(
-            obs::EventSeverity::Info, "run_start", [&](JsonWriter &w) {
-                w.member("tool", "pmtest_check");
-                w.member("model", core::makeModel(model)->name());
-                w.member("inputs", inputs.size());
-                w.member("workers", workers);
-                w.member("decoders", decoders);
-            });
-        emitSourceOpenEvents(service.eventLog(), *source);
-
-        core::IngestOptions ingest_options;
-        ingest_options.decoders = decoders;
-        ingest_options.batch = batch;
-        ingest_options.affinity = affinity;
-        ingest_options.progress = &ingest_progress;
-        core::IngestStats ingest_stats;
-        ingest_ok = core::ingest(*source, pool, ingest_options,
-                                 &ingest_stats, &ingest_error);
-        merged = pool.results();
-        stats = pool.stats();
-        stats.ingest = ingest_stats;
-        pool_workers = pool.workerCount();
-
-        // Final sample + sampler detach before the pool dies; the
-        // scrape server keeps serving the frozen sample.
-        service.freeze();
-    }
-    if (!ingest_ok) {
-        std::fprintf(stderr, "%s\n", ingest_error.str().c_str());
-        return 2;
-    }
-
-    // Canonical (fileId, traceId, opIndex) order: any shard/decoder/
-    // worker configuration prints a byte-identical report for the
-    // same input set.
-    merged.canonicalize();
-
-    // The detect→repair→verify pass: re-open the inputs (the primary
-    // source is drained), patch each hinted finding's trace, replay
-    // it through the same engine, and emit the fixhints document.
-    if (fix_hints) {
-        auto replay_source = buildSource();
-        if (!replay_source)
-            return 2;
-        SourceError replay_error;
-        const core::HintVerifyStats hint_stats = core::verifyHints(
-            merged, *replay_source, model, &replay_error);
-        if (!replay_error.message.empty())
-            std::fprintf(stderr, "fix-hints replay: %s\n",
-                         replay_error.str().c_str());
-
-        JsonWriter w;
-        core::writeFixHintsJson(w, merged, hint_stats, model);
-        if (fix_hints_path == "-") {
-            std::fwrite(w.str().data(), 1, w.str().size(), stdout);
-            std::fputc('\n', stdout);
-        } else {
-            std::FILE *f = std::fopen(fix_hints_path.c_str(), "w");
-            if (!f) {
-                std::fprintf(stderr, "cannot write %s\n",
-                             fix_hints_path.c_str());
-                return 2;
-            }
-            const bool ok =
-                std::fwrite(w.str().data(), 1, w.str().size(), f) ==
-                w.str().size();
-            std::fclose(f);
-            if (!ok)
-                return 2;
-            if (!quiet) {
-                std::printf("fix hints: %zu candidates, %zu verified, "
-                            "%zu rejected -> %s\n",
-                            hint_stats.candidates, hint_stats.verified,
-                            hint_stats.rejected,
-                            fix_hints_path.c_str());
-            }
-        }
-    }
-
-    if (!quiet) {
-        const std::string display =
-            inputs.size() == 1
-                ? inputs[0]
-                : std::to_string(inputs.size()) + " files";
-        std::printf("%s: %zu traces, %zu PM operations, model=%s, "
-                    "%zu workers\n",
-                    display.c_str(), trace_count, total_ops,
-                    core::makeModel(model)->name(), pool_workers);
-        if (summary) {
-            std::printf("%s", merged.summaryStr().c_str());
-        } else {
-            std::printf("%zu FAIL, %zu WARN\n", merged.failCount(),
-                        merged.warnCount());
-            size_t shown = 0;
-            for (const auto &finding : merged.findings()) {
-                if (shown++ == max_findings) {
-                    std::printf("  ... (%zu more; use --summary)\n",
-                                merged.findings().size() - shown + 1);
-                    break;
-                }
-                std::printf("  %s\n", finding.str().c_str());
-            }
-        }
-    }
-    // An explicit --stats request wins over --quiet.
-    if (show_stats) {
-        if (source->sourceCount() > 1)
-            printSourceStats(*source);
-        std::printf("%s", stats.str().c_str());
-        printOracleStats();
-    }
-    // The machine-readable outputs are files; they are written
-    // whatever the stdout flags say.
-    if (!metrics_path.empty()) {
-        std::string joined;
-        for (const auto &input : inputs) {
-            if (!joined.empty())
-                joined += ",";
-            joined += input;
-        }
-        if (!writeMetricsJson(metrics_path, joined,
-                              core::makeModel(model)->name(),
-                              trace_count, total_ops, pool_workers,
-                              source->sourceCount(), merged, stats))
-            return 2;
-    }
-    if (!trace_events_path.empty()) {
-        std::string error;
-        if (!obs::Telemetry::instance().writeTraceEventsFile(
-                trace_events_path, &error)) {
-            std::fprintf(stderr, "%s\n", error.c_str());
-            return 2;
-        }
-    }
-
-    const int exit_code = merged.failCount() == 0 ? 0 : 1;
-
-    // Findings go out after the fix-hints replay so hint_verified is
-    // final; run_stop closes the audit trail.
-    emitFindingEvents(service.eventLog(), merged);
-    service.eventLog().emit(
-        obs::EventSeverity::Info, "run_stop", [&](JsonWriter &w) {
-            w.member("traces", trace_count);
-            w.member("ops", total_ops);
-            w.member("fail", merged.failCount());
-            w.member("warn", merged.warnCount());
-            w.member("exit_code", exit_code);
-        });
-
-    // --metrics-linger: keep answering scrapes with the frozen final
-    // sample until somebody tells us to go (the CI smoke leg curls
-    // here, then SIGTERMs). The verdict exit code is preserved.
-    if (metrics_linger && service.port() != 0) {
-        std::signal(SIGINT, lingerSignalHandler);
-        std::signal(SIGTERM, lingerSignalHandler);
-        std::fprintf(stderr,
-                     "pmtest: run complete; metrics linger on "
-                     "http://127.0.0.1:%u (SIGINT/SIGTERM to exit)\n",
-                     static_cast<unsigned>(service.port()));
-        while (!g_linger_stop)
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(50));
-    }
-    service.stop();
-    return exit_code;
+    return core::runCheckTool(plan);
 }

@@ -32,7 +32,8 @@
 #include <string>
 #include <vector>
 
-#include "obs/metrics_service.hh"
+#include "core/check_session.hh"
+#include "util/cli.hh"
 
 #include "baseline/yat.hh"
 #include "core/api.hh"
@@ -425,22 +426,11 @@ run(const std::string &json_path)
     w.endObject();
     w.endObject();
 
-    if (json_path.empty() || json_path == "-") {
-        std::fwrite(w.str().data(), 1, w.str().size(), stdout);
-        std::fputc('\n', stdout);
-    } else {
-        std::FILE *f = std::fopen(json_path.c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         json_path.c_str());
-            return 2;
-        }
-        const bool ok = std::fwrite(w.str().data(), 1,
-                                    w.str().size(), f) ==
-                        w.str().size();
-        std::fclose(f);
-        if (!ok)
-            return 2;
+    std::string write_error;
+    if (!writeJsonFile(json_path.empty() ? "-" : json_path, w,
+                       &write_error)) {
+        std::fprintf(stderr, "%s\n", write_error.c_str());
+        return 2;
     }
 
     std::fprintf(stderr,
@@ -467,59 +457,41 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
-    int32_t metrics_port = -1;
+    size_t metrics_port = static_cast<size_t>(-1);
     std::string event_log_path;
-    for (int i = 1; i < argc; i++) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--json=", 0) == 0) {
-            json_path = arg.substr(7);
-        } else if (arg.rfind("--metrics-port=", 0) == 0) {
-            char *end = nullptr;
-            const long port =
-                std::strtol(arg.c_str() + 15, &end, 10);
-            if (!end || *end != '\0' || port < 0 || port > 65535) {
-                std::fprintf(stderr,
-                             "invalid value for --metrics-port: "
-                             "'%s'\n",
-                             arg.c_str() + 15);
-                return 2;
-            }
-            metrics_port = static_cast<int32_t>(port);
-        } else if (arg.rfind("--event-log=", 0) == 0) {
-            event_log_path = arg.substr(12);
-            if (event_log_path.empty()) {
-                std::fprintf(stderr,
-                             "--event-log needs a file path\n");
-                return 2;
-            }
-        } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: pmtest_recall [--json=FILE] "
-                        "[--metrics-port=N] [--event-log=FILE]\n");
-            return 0;
-        } else {
-            std::fprintf(stderr, "unknown argument: %s\n",
-                         arg.c_str());
-            return 2;
-        }
-    }
 
-    // No engine pool or trace source here — the live service still
-    // exports the telemetry counters (oracle states, hint replays),
-    // process gauges, and the event-log bracket.
-    pmtest::obs::MetricsService service;
+    pmtest::util::CliParser cli("pmtest_recall");
+    cli.addString("--json", &json_path,
+                  "write the pmtest-recall-v1 document (\"-\" = "
+                  "stdout)");
+    cli.addSize("--metrics-port", &metrics_port,
+                "serve /metrics on 127.0.0.1:N (0 = ephemeral)", 0,
+                65535);
+    cli.addString("--event-log", &event_log_path,
+                  "append structured JSONL events (\"-\" = stdout)");
+    cli.positionalCount(0, 0);
+    const auto status = cli.parse(argc, argv);
+    if (status != pmtest::util::CliStatus::Ok)
+        return pmtest::util::cliExitCode(status);
+
+    // No engine pool or trace source here — the session-services
+    // bracket (the same one CheckSession runs on) still exports the
+    // telemetry counters (oracle states, hint replays), process
+    // gauges, and the run_start/run_stop event pair.
+    pmtest::core::SessionServices services;
     pmtest::obs::ServiceOptions service_options;
     service_options.tool = "pmtest_recall";
-    service_options.metricsPort = metrics_port;
+    if (metrics_port != static_cast<size_t>(-1))
+        service_options.metricsPort =
+            static_cast<int32_t>(metrics_port);
     service_options.eventLogPath = event_log_path;
     std::string service_error;
-    if (!service.start(std::move(service_options), &service_error)) {
+    if (!services.start(std::move(service_options),
+                        &service_error)) {
         std::fprintf(stderr, "%s\n", service_error.c_str());
         return 2;
     }
-    service.eventLog().emit(pmtest::obs::EventSeverity::Info,
-                            "run_start", [](pmtest::JsonWriter &w) {
-                                w.member("tool", "pmtest_recall");
-                            });
+    services.emitRunStart("pmtest_recall");
 
     int rc;
     {
@@ -528,9 +500,7 @@ main(int argc, char **argv)
         pmtest::ScopedLogSilencer quiet;
         rc = pmtest::run(json_path);
     }
-    service.eventLog().emit(pmtest::obs::EventSeverity::Info,
-                            "run_stop", [&](pmtest::JsonWriter &w) {
-                                w.member("exit_code", rc);
-                            });
+    services.emitRunStop(rc);
+    services.stop();
     return rc;
 }

@@ -22,16 +22,20 @@
 
 #include "trace/seed_corpus.hh"
 #include "trace/trace_io.hh"
+#include "util/cli.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace pmtest;
 
-    if (argc != 2 || argv[1][0] == '-') {
-        std::fprintf(stderr, "usage: %s <out.trace>\n", argv[0]);
-        return 2;
-    }
+    util::CliParser cli("pmtest_seed_corpus", "<out.trace>");
+    cli.positionalCount(1, 1);
+    std::vector<std::string> positionals;
+    const auto status = cli.parse(argc, argv, &positionals);
+    if (status != util::CliStatus::Ok)
+        return util::cliExitCode(status);
+    const std::string out_path = positionals[0];
 
     std::vector<SeedTrace> corpus = seedCorpusTraces();
     std::vector<Trace> traces;
@@ -39,11 +43,11 @@ main(int argc, char **argv)
     for (SeedTrace &seed : corpus)
         traces.push_back(std::move(seed.trace));
 
-    if (!saveTracesToFile(argv[1], traces, TraceFormat::V2)) {
-        std::fprintf(stderr, "cannot write %s\n", argv[1]);
+    if (!saveTracesToFile(out_path, traces, TraceFormat::V2)) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
         return 2;
     }
-    std::printf("%s: %zu seeded bug traces\n", argv[1],
+    std::printf("%s: %zu seeded bug traces\n", out_path.c_str(),
                 traces.size());
     for (const SeedTrace &seed : corpus)
         std::printf("  %s\n", seed.name);

@@ -171,4 +171,27 @@ JsonWriter::value(double v, int precision)
     return *this;
 }
 
+bool
+writeJsonFile(const std::string &path, const JsonWriter &w,
+              std::string *error)
+{
+    if (path == "-") {
+        std::fwrite(w.str().data(), 1, w.str().size(), stdout);
+        std::fputc('\n', stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        if (error)
+            *error = "cannot write " + path;
+        return false;
+    }
+    const bool ok = std::fwrite(w.str().data(), 1, w.str().size(),
+                                f) == w.str().size();
+    std::fclose(f);
+    if (!ok && error)
+        *error = "cannot write " + path;
+    return ok;
+}
+
 } // namespace pmtest

@@ -90,6 +90,15 @@ class JsonWriter
     bool pendingKey_ = false;
 };
 
+/**
+ * Write a finished document to @p path ("-" = stdout, with a
+ * trailing newline). The one implementation of the "--x-json=FILE"
+ * output contract shared by the tools and benches. @return false
+ * with @p error set to "cannot write <path>" on failure.
+ */
+bool writeJsonFile(const std::string &path, const JsonWriter &w,
+                   std::string *error = nullptr);
+
 } // namespace pmtest
 
 #endif // PMTEST_UTIL_JSON_HH

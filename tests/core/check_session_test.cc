@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The check-session layer: CheckPlan validation (exit-2 semantics
+ * for flag combinations, input errors without the usage hint) and
+ * the worker/sequential equivalence at the heart of distributed
+ * checking — N in-process worker-shaped sessions merge to the exact
+ * findings of one plain session over the seed corpus.
+ */
+
+#include "core/check_session.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include "core/report_io.hh"
+#include "trace/seed_corpus.hh"
+#include "trace/trace_io.hh"
+
+namespace pmtest::core
+{
+namespace
+{
+
+/** Write the seed corpus to a temp v2 trace file, returning its path. */
+std::string
+corpusFile(const char *name)
+{
+    const std::string path = testing::TempDir() + name;
+    std::vector<SeedTrace> corpus = seedCorpusTraces();
+    std::vector<Trace> traces;
+    for (SeedTrace &seed : corpus)
+        traces.push_back(std::move(seed.trace));
+    EXPECT_TRUE(saveTracesToFile(path, traces, TraceFormat::V2));
+    return path;
+}
+
+CheckPlan
+quietPlan(const std::string &input)
+{
+    CheckPlan plan;
+    plan.inputArgs = {input};
+    plan.quiet = true;
+    plan.workers = 2;
+    return plan;
+}
+
+TEST(CheckPlanTest, MissingInputIsAUsageError)
+{
+    CheckPlan plan;
+    std::string error;
+    bool usage = false;
+    EXPECT_FALSE(plan.finalize(&error, &usage));
+    EXPECT_EQ(error, "missing input trace file");
+    EXPECT_TRUE(usage);
+}
+
+TEST(CheckPlanTest, EmptyDirectoryIsNotAUsageError)
+{
+    const std::string dir = testing::TempDir() + "plan_empty_dir";
+    ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
+    CheckPlan plan;
+    plan.inputArgs = {dir};
+    std::string error;
+    bool usage = true;
+    EXPECT_FALSE(plan.finalize(&error, &usage));
+    EXPECT_NE(error.find("no trace files"), std::string::npos)
+        << error;
+    EXPECT_FALSE(usage) << "input errors do not reprint usage";
+    rmdir(dir.c_str());
+}
+
+TEST(CheckPlanTest, DuplicateInputsRejected)
+{
+    const std::string path = corpusFile("plan_dup.trace");
+    CheckPlan plan;
+    plan.inputArgs = {path, path};
+    std::string error;
+    EXPECT_FALSE(plan.finalize(&error));
+    EXPECT_NE(error.find("duplicate input"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CheckPlanTest, WorkerModeValidation)
+{
+    const std::string path = corpusFile("plan_worker.trace");
+    std::string error;
+    bool usage = false;
+
+    CheckPlan no_out = quietPlan(path);
+    no_out.workerIndex = 0;
+    no_out.workerCount = 2;
+    EXPECT_FALSE(no_out.finalize(&error, &usage));
+    EXPECT_EQ(error, "--worker needs --report-out=FILE");
+    EXPECT_TRUE(usage);
+
+    CheckPlan bad_index = quietPlan(path);
+    bad_index.workerIndex = 2;
+    bad_index.workerCount = 2;
+    bad_index.reportOutPath = "r.bin";
+    EXPECT_FALSE(bad_index.finalize(&error, &usage));
+    EXPECT_NE(error.find("out of range"), std::string::npos);
+
+    CheckPlan both = quietPlan(path);
+    both.workerCount = 2;
+    both.distribute = 2;
+    both.reportOutPath = "r.bin";
+    EXPECT_FALSE(both.finalize(&error, &usage));
+    EXPECT_NE(error.find("mutually exclusive"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CheckPlanTest, DistributeRejectsPerProcessSurfaces)
+{
+    const std::string path = corpusFile("plan_dist.trace");
+    const auto expectRejected = [&](void (*tweak)(CheckPlan &),
+                                    const char *needle) {
+        CheckPlan plan = quietPlan(path);
+        plan.distribute = 2;
+        tweak(plan);
+        std::string error;
+        bool usage = false;
+        EXPECT_FALSE(plan.finalize(&error, &usage)) << needle;
+        EXPECT_NE(error.find(needle), std::string::npos) << error;
+        EXPECT_TRUE(usage);
+    };
+    expectRejected([](CheckPlan &p) { p.shards = 4; }, "--shards");
+    expectRejected([](CheckPlan &p) { p.fixHints = true; },
+                   "--fix-hints");
+    expectRejected([](CheckPlan &p) { p.metricsLinger = true; },
+                   "--metrics-linger");
+    expectRejected([](CheckPlan &p) { p.showStats = true; },
+                   "--stats");
+    expectRejected([](CheckPlan &p) { p.traceEventsPath = "t.json"; },
+                   "--trace-events");
+    std::remove(path.c_str());
+}
+
+TEST(CheckPlanTest, ValidPlanExpandsInputs)
+{
+    const std::string path = corpusFile("plan_ok.trace");
+    CheckPlan plan = quietPlan(path);
+    std::string error;
+    EXPECT_TRUE(plan.finalize(&error)) << error;
+    ASSERT_EQ(plan.inputs.size(), 1u);
+    EXPECT_EQ(plan.inputs[0], path);
+    std::remove(path.c_str());
+}
+
+TEST(CheckSessionTest, PlainSessionWritesWireReport)
+{
+    const std::string path = corpusFile("session_plain.trace");
+    const std::string report_path =
+        testing::TempDir() + "session_plain.report";
+    CheckPlan plan = quietPlan(path);
+    plan.reportOutPath = report_path;
+    std::string error;
+    ASSERT_TRUE(plan.finalize(&error)) << error;
+    EXPECT_EQ(runCheckTool(plan), 1) << "seed corpus has FAILs";
+
+    Report report;
+    ReportMeta meta;
+    ASSERT_TRUE(loadReportFile(report_path, &report, &meta, &error))
+        << error;
+    EXPECT_GT(report.failCount(), 0u);
+    EXPECT_EQ(meta.workerCount, 0u) << "plain run, not a worker";
+    EXPECT_EQ(meta.traceCount, seedCorpusTraces().size());
+    EXPECT_EQ(meta.sourceCount, 1u);
+    std::remove(path.c_str());
+    std::remove(report_path.c_str());
+}
+
+TEST(CheckSessionTest, WorkerShardsMergeToTheSequentialReport)
+{
+    const std::string path = corpusFile("session_shards.trace");
+    std::string error;
+
+    // Sequential baseline.
+    const std::string seq_path =
+        testing::TempDir() + "session_seq.report";
+    CheckPlan seq = quietPlan(path);
+    seq.reportOutPath = seq_path;
+    ASSERT_TRUE(seq.finalize(&error)) << error;
+    EXPECT_EQ(runCheckTool(seq), 1);
+    Report seq_report;
+    ReportMeta seq_meta;
+    ASSERT_TRUE(
+        loadReportFile(seq_path, &seq_report, &seq_meta, &error))
+        << error;
+
+    // Three worker-shaped sessions over the same input, in-process.
+    const uint32_t n = 3;
+    std::vector<WorkerReport> parts;
+    for (uint32_t i = 0; i < n; i++) {
+        const std::string part_path = testing::TempDir() +
+                                      "session_worker." +
+                                      std::to_string(i);
+        CheckPlan worker = quietPlan(path);
+        worker.workerIndex = i;
+        worker.workerCount = n;
+        worker.reportOutPath = part_path;
+        ASSERT_TRUE(worker.finalize(&error)) << error;
+        const int rc = runCheckTool(worker);
+        EXPECT_TRUE(rc == 0 || rc == 1) << "worker verdict, got "
+                                        << rc;
+        WorkerReport part;
+        ASSERT_TRUE(loadReportFile(part_path, &part.report,
+                                   &part.meta, &error))
+            << error;
+        EXPECT_EQ(part.meta.workerIndex, i);
+        EXPECT_EQ(part.meta.workerCount, n);
+        parts.push_back(std::move(part));
+        std::remove(part_path.c_str());
+    }
+
+    Report merged;
+    ReportMeta merged_meta;
+    mergeReports(std::move(parts), &merged, &merged_meta);
+    EXPECT_EQ(merged_meta.traceCount, seq_meta.traceCount);
+    EXPECT_EQ(merged_meta.totalOps, seq_meta.totalOps);
+
+    // Byte-level equivalence of the findings + string table: encode
+    // both under a normalized meta (workerCount legitimately differs
+    // between the two run shapes).
+    ReportMeta normalized = seq_meta;
+    normalized.workerIndex = 0;
+    normalized.workerCount = 0;
+    std::string seq_wire, merged_wire;
+    encodeReport(seq_report, normalized, &seq_wire);
+    encodeReport(merged, normalized, &merged_wire);
+    EXPECT_EQ(merged_wire, seq_wire);
+
+    std::remove(path.c_str());
+    std::remove(seq_path.c_str());
+}
+
+} // namespace
+} // namespace pmtest::core

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * The pmtest-report-v1 wire format: lossless round-trips for every
+ * finding kind and fix-hint shape, fail-closed parsing under
+ * truncation and bit flips at every byte position, and gather-order
+ * independence of mergeReports — the properties distributed
+ * scatter/gather checking leans on.
+ */
+
+#include "core/report_io.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pmtest::core
+{
+namespace
+{
+
+FixHint
+hint(FixAction action, uint64_t addr = 0x1000, uint64_t size = 64,
+     uint64_t op_index = 3)
+{
+    FixHint h;
+    h.action = action;
+    h.addr = addr;
+    h.size = size;
+    h.opIndex = op_index;
+    return h;
+}
+
+Finding
+finding(Severity severity, FindingKind kind, const char *file,
+        uint32_t line, std::string msg, uint32_t file_id,
+        uint64_t trace_id, size_t op_index, FixHint h = {})
+{
+    Finding f;
+    f.severity = severity;
+    f.kind = kind;
+    f.loc = SourceLocation(file, line);
+    f.message = std::move(msg);
+    f.fileId = file_id;
+    f.traceId = trace_id;
+    f.opIndex = op_index;
+    f.hint = h;
+    return f;
+}
+
+/**
+ * A report exercising every finding kind, every fix action, both
+ * hint flags, non-x86 op vocabulary, an empty message and a missing
+ * source location.
+ */
+Report
+sampleReport()
+{
+    Report r;
+    FixHint ordering = hint(FixAction::InsertOrdering, 0x2000, 8, 5);
+    ordering.addrB = 0x3000;
+    ordering.sizeB = 16;
+    ordering.withFlush = true;
+    ordering.verified = true;
+    FixHint arm = hint(FixAction::InsertFlushFence, 0x4000, 64, 7);
+    arm.flushOp = OpType::DcCvap;
+    arm.fenceOp = OpType::Dsb;
+    FixHint tx_end = hint(FixAction::InsertTxEnd, 0, 0, 9);
+    tx_end.count = 3;
+
+    r.add(finding(Severity::Fail, FindingKind::NotPersisted, "a.cc",
+                  10, "not persisted", 0, 1, 2,
+                  hint(FixAction::InsertFlushFence)));
+    r.add(finding(Severity::Fail, FindingKind::NotOrdered, "a.cc", 11,
+                  "not ordered", 0, 1, 3, ordering));
+    r.add(finding(Severity::Fail, FindingKind::MissingLog, "b.cc", 20,
+                  "write without backup", 0, 2, 1,
+                  hint(FixAction::InsertTxAdd, 0x5000, 32, 4)));
+    r.add(finding(Severity::Fail, FindingKind::IncompleteTx, "b.cc",
+                  21, "tx left updates unpersisted", 1, 3, 6, arm));
+    r.add(finding(Severity::Fail, FindingKind::UnmatchedTx, "c.cc",
+                  30, "region closed with open tx", 1, 4, 8, tx_end));
+    r.add(finding(Severity::Warn, FindingKind::RedundantFlush, "d.cc",
+                  40, "flushed twice", 2, 5, 2,
+                  hint(FixAction::DeleteFlush, 0x6000, 64, 2)));
+    r.add(finding(Severity::Warn, FindingKind::UnnecessaryFlush,
+                  "d.cc", 41, "flush of clean range", 2, 5, 4,
+                  hint(FixAction::InsertFence, 0, 0, 4)));
+    r.add(finding(Severity::Warn, FindingKind::DuplicateLog, "e.cc",
+                  50, "", 3, 6, 1,
+                  hint(FixAction::DeleteTxAdd, 0x7000, 16, 1)));
+    r.add(finding(Severity::Fail, FindingKind::Malformed, nullptr, 0,
+                  "tx-end without tx-begin", 3, 7, 0,
+                  hint(FixAction::None)));
+    return r;
+}
+
+ReportMeta
+sampleMeta()
+{
+    ReportMeta m;
+    m.workerIndex = 2;
+    m.workerCount = 4;
+    m.traceCount = 11;
+    m.totalOps = 48;
+    m.sourceCount = 3;
+    m.model = ModelKind::Arm;
+    return m;
+}
+
+void
+expectSameFindings(const Report &got, const Report &want)
+{
+    ASSERT_EQ(got.findings().size(), want.findings().size());
+    for (size_t i = 0; i < want.findings().size(); i++) {
+        const Finding &a = want.findings()[i];
+        const Finding &b = got.findings()[i];
+        EXPECT_EQ(b.severity, a.severity) << "finding " << i;
+        EXPECT_EQ(b.kind, a.kind) << "finding " << i;
+        EXPECT_EQ(b.message, a.message) << "finding " << i;
+        EXPECT_EQ(b.loc.str(), a.loc.str()) << "finding " << i;
+        EXPECT_EQ(b.fileId, a.fileId) << "finding " << i;
+        EXPECT_EQ(b.traceId, a.traceId) << "finding " << i;
+        EXPECT_EQ(b.opIndex, a.opIndex) << "finding " << i;
+        EXPECT_TRUE(b.hint.sameEdit(a.hint)) << "finding " << i;
+        EXPECT_EQ(b.hint.verified, a.hint.verified) << "finding " << i;
+        EXPECT_EQ(b.str(), a.str()) << "finding " << i;
+    }
+}
+
+TEST(ReportIoTest, RoundTripEveryKindAndHint)
+{
+    const Report original = sampleReport();
+    const ReportMeta meta = sampleMeta();
+    std::string wire;
+    encodeReport(original, meta, &wire);
+
+    Report decoded;
+    ReportMeta decoded_meta;
+    std::string error;
+    ASSERT_TRUE(decodeReport(wire.data(), wire.size(), &decoded,
+                             &decoded_meta, &error))
+        << error;
+    expectSameFindings(decoded, original);
+    EXPECT_EQ(decoded_meta.workerIndex, meta.workerIndex);
+    EXPECT_EQ(decoded_meta.workerCount, meta.workerCount);
+    EXPECT_EQ(decoded_meta.traceCount, meta.traceCount);
+    EXPECT_EQ(decoded_meta.totalOps, meta.totalOps);
+    EXPECT_EQ(decoded_meta.sourceCount, meta.sourceCount);
+    EXPECT_EQ(decoded_meta.model, meta.model);
+}
+
+TEST(ReportIoTest, DecodedReportIsSelfContained)
+{
+    std::string wire;
+    {
+        // The encoded report dies before the decoded one is read:
+        // decoded locations must point into the report's own arena.
+        const Report original = sampleReport();
+        encodeReport(original, sampleMeta(), &wire);
+    }
+    Report decoded;
+    ASSERT_TRUE(
+        decodeReport(wire.data(), wire.size(), &decoded, nullptr));
+    wire.assign(wire.size(), '\0'); // scramble the source bytes
+    EXPECT_EQ(decoded.findings()[0].loc.str(), "a.cc:10");
+    EXPECT_FALSE(decoded.str().empty());
+}
+
+TEST(ReportIoTest, EmptyReportRoundTrips)
+{
+    std::string wire;
+    encodeReport(Report{}, ReportMeta{}, &wire);
+    Report decoded;
+    ReportMeta meta;
+    std::string error;
+    ASSERT_TRUE(decodeReport(wire.data(), wire.size(), &decoded,
+                             &meta, &error))
+        << error;
+    EXPECT_TRUE(decoded.clean());
+    EXPECT_EQ(meta.workerCount, 0u);
+}
+
+TEST(ReportIoTest, ReencodeOfDecodeIsByteIdentical)
+{
+    std::string wire;
+    encodeReport(sampleReport(), sampleMeta(), &wire);
+    Report decoded;
+    ReportMeta meta;
+    ASSERT_TRUE(
+        decodeReport(wire.data(), wire.size(), &decoded, &meta));
+    std::string rewire;
+    encodeReport(decoded, meta, &rewire);
+    EXPECT_EQ(wire, rewire);
+}
+
+TEST(ReportIoTest, EveryTruncationFailsClosed)
+{
+    std::string wire;
+    encodeReport(sampleReport(), sampleMeta(), &wire);
+    for (size_t len = 0; len < wire.size(); len++) {
+        Report sink;
+        sink.add(finding(Severity::Warn, FindingKind::DuplicateLog,
+                         "sentinel.cc", 1, "sentinel", 0, 0, 0));
+        ReportMeta meta;
+        meta.traceCount = 999;
+        std::string error;
+        EXPECT_FALSE(
+            decodeReport(wire.data(), len, &sink, &meta, &error))
+            << "prefix of " << len << " bytes decoded";
+        EXPECT_FALSE(error.empty()) << "at " << len;
+        // All-or-nothing: a failed decode must not touch the outputs.
+        ASSERT_EQ(sink.findings().size(), 1u) << "at " << len;
+        EXPECT_EQ(sink.findings()[0].message, "sentinel");
+        EXPECT_EQ(meta.traceCount, 999u) << "at " << len;
+    }
+}
+
+TEST(ReportIoTest, EveryFlippedByteFailsClosed)
+{
+    std::string wire;
+    encodeReport(sampleReport(), sampleMeta(), &wire);
+    for (size_t i = 0; i < wire.size(); i++) {
+        for (const uint8_t mask : {uint8_t{0x01}, uint8_t{0xff}}) {
+            std::string corrupt = wire;
+            corrupt[i] = static_cast<char>(
+                static_cast<uint8_t>(corrupt[i]) ^ mask);
+            Report sink;
+            ReportMeta meta;
+            std::string error;
+            EXPECT_FALSE(decodeReport(corrupt.data(), corrupt.size(),
+                                      &sink, &meta, &error))
+                << "byte " << i << " ^ " << int(mask) << " decoded";
+            EXPECT_TRUE(sink.clean()) << "byte " << i;
+        }
+    }
+}
+
+TEST(ReportIoTest, TrailingBytesRejected)
+{
+    std::string wire;
+    encodeReport(sampleReport(), sampleMeta(), &wire);
+    wire.push_back('\0');
+    Report sink;
+    std::string error;
+    EXPECT_FALSE(
+        decodeReport(wire.data(), wire.size(), &sink, nullptr, &error));
+    EXPECT_EQ(error, "report length mismatch");
+}
+
+TEST(ReportIoTest, ForeignBytesRejectedWithReason)
+{
+    const std::string junk(64, 'x');
+    Report sink;
+    std::string error;
+    EXPECT_FALSE(decodeReport(junk.data(), junk.size(), &sink,
+                              nullptr, &error));
+    EXPECT_EQ(error, "not a pmtest report (bad magic)");
+}
+
+TEST(ReportIoTest, SaveLoadFileRoundTrips)
+{
+    const std::string path =
+        testing::TempDir() + "report_io_roundtrip.bin";
+    const Report original = sampleReport();
+    std::string error;
+    ASSERT_TRUE(saveReportFile(path, original, sampleMeta(), &error))
+        << error;
+    Report loaded;
+    ReportMeta meta;
+    ASSERT_TRUE(loadReportFile(path, &loaded, &meta, &error)) << error;
+    expectSameFindings(loaded, original);
+    EXPECT_EQ(meta.workerIndex, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ReportIoTest, LoadErrorsNameThePath)
+{
+    const std::string missing =
+        testing::TempDir() + "no_such_report.bin";
+    Report sink;
+    std::string error;
+    EXPECT_FALSE(loadReportFile(missing, &sink, nullptr, &error));
+    EXPECT_NE(error.find(missing), std::string::npos);
+
+    const std::string garbage =
+        testing::TempDir() + "garbage_report.bin";
+    std::FILE *f = std::fopen(garbage.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 64; i++)
+        std::fputc('x', f); // long enough to get past the length check
+    std::fclose(f);
+    EXPECT_FALSE(loadReportFile(garbage, &sink, nullptr, &error));
+    EXPECT_NE(error.find(garbage), std::string::npos);
+    EXPECT_NE(error.find("bad magic"), std::string::npos);
+    std::remove(garbage.c_str());
+}
+
+/** Split sampleReport's findings into @p n per-worker parts. */
+std::vector<WorkerReport>
+splitIntoWorkers(size_t n)
+{
+    const Report whole = sampleReport();
+    std::vector<WorkerReport> parts(n);
+    for (size_t w = 0; w < n; w++) {
+        parts[w].meta.workerIndex = static_cast<uint32_t>(w);
+        parts[w].meta.workerCount = static_cast<uint32_t>(n);
+        parts[w].meta.traceCount = w + 1;
+        parts[w].meta.totalOps = 10 * (w + 1);
+        parts[w].meta.sourceCount = 1;
+        parts[w].meta.model = ModelKind::X86;
+    }
+    for (size_t i = 0; i < whole.findings().size(); i++)
+        parts[i % n].report.add(whole.findings()[i]);
+    return parts;
+}
+
+TEST(ReportIoTest, MergeIsGatherOrderIndependent)
+{
+    std::vector<WorkerReport> ordered = splitIntoWorkers(3);
+    Report baseline_report;
+    ReportMeta baseline_meta;
+    mergeReports(ordered, &baseline_report, &baseline_meta);
+    std::string baseline;
+    encodeReport(baseline_report, baseline_meta, &baseline);
+
+    // Every permutation of the gather order folds to the same bytes.
+    std::vector<size_t> perm{0, 1, 2};
+    do {
+        std::vector<WorkerReport> shuffled;
+        for (const size_t i : perm)
+            shuffled.push_back(splitIntoWorkers(3)[i]);
+        Report merged;
+        ReportMeta meta;
+        mergeReports(std::move(shuffled), &merged, &meta);
+        std::string wire;
+        encodeReport(merged, meta, &wire);
+        EXPECT_EQ(wire, baseline)
+            << "gather order " << perm[0] << perm[1] << perm[2];
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(ReportIoTest, MergeSumsTotalsAndCanonicalizes)
+{
+    Report merged;
+    ReportMeta meta;
+    mergeReports(splitIntoWorkers(3), &merged, &meta);
+    EXPECT_EQ(meta.workerCount, 3u);
+    EXPECT_EQ(meta.traceCount, 1u + 2 + 3);
+    EXPECT_EQ(meta.totalOps, 10u + 20 + 30);
+    EXPECT_EQ(meta.sourceCount, 3u);
+    EXPECT_EQ(merged.findings().size(),
+              sampleReport().findings().size());
+    const auto &fs = merged.findings();
+    for (size_t i = 1; i < fs.size(); i++) {
+        const auto key = [](const Finding &f) {
+            return std::make_tuple(f.fileId, f.traceId, f.opIndex);
+        };
+        EXPECT_LE(key(fs[i - 1]), key(fs[i])) << "finding " << i;
+    }
+}
+
+TEST(ReportIoTest, MergeRoundTripsThroughTheWire)
+{
+    // The actual coordinator path: encode each part, decode, merge.
+    std::vector<WorkerReport> parts = splitIntoWorkers(2);
+    std::vector<WorkerReport> gathered;
+    for (const WorkerReport &part : parts) {
+        std::string wire;
+        encodeReport(part.report, part.meta, &wire);
+        WorkerReport back;
+        ASSERT_TRUE(decodeReport(wire.data(), wire.size(),
+                                 &back.report, &back.meta));
+        gathered.push_back(std::move(back));
+    }
+    Report direct, via_wire;
+    ReportMeta direct_meta, wire_meta;
+    mergeReports(std::move(parts), &direct, &direct_meta);
+    mergeReports(std::move(gathered), &via_wire, &wire_meta);
+    std::string a, b;
+    encodeReport(direct, direct_meta, &a);
+    encodeReport(via_wire, wire_meta, &b);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace pmtest::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helper for the tool-driving tests: run a real binary via
+ * /bin/sh, capturing its exit code, stdout and stderr. Binary paths
+ * come in as the PMTEST_*_BIN compile definitions.
+ */
+
+#ifndef PMTEST_TESTS_TOOLS_TOOL_DRIVER_HH
+#define PMTEST_TESTS_TOOLS_TOOL_DRIVER_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace pmtest::testtools
+{
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string stdoutText;
+    std::string stderrText;
+};
+
+/** Run @p cmd under /bin/sh, capturing exit code and both streams. */
+inline RunResult
+run(const std::string &cmd)
+{
+    static int counter = 0;
+    const std::string base = testing::TempDir() + "tooldrv_" +
+                             std::to_string(getpid()) + "_" +
+                             std::to_string(counter++);
+    const std::string out_path = base + ".out";
+    const std::string err_path = base + ".err";
+    const int status = std::system(
+        (cmd + " >" + out_path + " 2>" + err_path).c_str());
+
+    const auto slurp = [](const std::string &path) {
+        std::string text;
+        if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+            char buf[4096];
+            size_t n;
+            while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+                text.append(buf, n);
+            std::fclose(f);
+        }
+        std::remove(path.c_str());
+        return text;
+    };
+    RunResult result;
+    result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    result.stdoutText = slurp(out_path);
+    result.stderrText = slurp(err_path);
+    return result;
+}
+
+} // namespace pmtest::testtools
+
+#endif // PMTEST_TESTS_TOOLS_TOOL_DRIVER_HH
